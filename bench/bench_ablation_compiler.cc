@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Compiler-side ablations beyond the paper's figures (DESIGN.md §7):
+ *  - checkpoint pruning effectiveness (static checkpoints removed and
+ *    the resulting run-time difference),
+ *  - the cost of cutting register WAR hazards in the compiler instead
+ *    of relying on cWSP's always-logged checkpoint stores,
+ *  - region-length capping (Capri's 29-instruction compiler bound).
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto baseline = core::makeSystemConfig("baseline");
+
+    for (const char *name : {"lulesh", "water-ns", "radix", "tpcc"}) {
+        auto app = workloads::appByName(name);
+
+        registerMetric(
+            "ablation/pruned-checkpoint-fraction/" + app.name,
+            "fraction", [app]() {
+                compiler::CompileStats stats;
+                workloads::buildApp(app, compiler::cwspOptions(),
+                                    &stats);
+                return stats.checkpointsInserted == 0
+                           ? 0.0
+                           : static_cast<double>(
+                                 stats.checkpointsPruned) /
+                                 static_cast<double>(
+                                     stats.checkpointsInserted);
+            });
+
+        registerMetric(
+            "ablation/pruning-speedup/" + app.name, "speedup",
+            [app, baseline]() {
+                auto pruned = core::makeSystemConfig("cwsp");
+                auto unpruned = core::makeSystemConfig("cwsp");
+                unpruned.compiler.pruneCheckpoints = false;
+                double with_p =
+                    slowdown(app, pruned, baseline, "abl-pruned");
+                double without_p = slowdown(app, unpruned, baseline,
+                                            "abl-unpruned");
+                return without_p / with_p;
+            });
+
+        registerMetric(
+            "ablation/register-war-cuts-overhead/" + app.name,
+            "slowdown_ratio", [app, baseline]() {
+                auto cuts = core::makeSystemConfig("cwsp");
+                cuts.compiler.cutRegisterAntideps = true;
+                double with_cuts =
+                    slowdown(app, cuts, baseline, "abl-regcuts");
+                double without_cuts =
+                    slowdown(app, core::makeSystemConfig("cwsp"),
+                             baseline, "cwsp");
+                return with_cuts / without_cuts;
+            });
+
+        registerMetric(
+            "ablation/capri-region-cap-regions/" + app.name,
+            "boundary_ratio", [app]() {
+                compiler::CompileStats capped, natural;
+                workloads::buildApp(app, compiler::capriOptions(),
+                                    &capped);
+                workloads::buildApp(app, compiler::cwspOptions(),
+                                    &natural);
+                return natural.boundaries == 0
+                           ? 0.0
+                           : static_cast<double>(capped.boundaries) /
+                                 static_cast<double>(
+                                     natural.boundaries);
+            });
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 1: normalized slowdown of CXL-PMEM main memory relative to
+ * CXL-DRAM main memory as the cache hierarchy deepens from 2 to 5
+ * levels. The paper reports the penalty shrinking from ~2.1x to
+ * ~1.34x — the motivation for WSP on deep hierarchies. Uses the
+ * memory-intensive subset and the baseline (no-persistence) scheme.
+ */
+
+#include "bench_util.hh"
+
+#include "mem/nvm_device.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto series = std::make_shared<
+        std::map<unsigned, std::vector<double>>>();
+
+    for (unsigned levels = 2; levels <= 5; ++levels) {
+        for (const auto &app : workloads::memIntensiveApps()) {
+            registerMetric(
+                "fig01/levels" + std::to_string(levels) + "/" +
+                    app.name,
+                "pmem_over_dram", [app, levels, series]() {
+                    auto dram = core::makeSystemConfig("baseline");
+                    dram.hierarchy = mem::figure1Hierarchy(levels);
+                    dram.hierarchy.tech = mem::cxlDram();
+                    auto pmem = dram;
+                    pmem.hierarchy.tech = mem::cxlD();
+
+                    std::string key = "lvl" + std::to_string(levels);
+                    const auto &d =
+                        cachedRun(app, dram, key + "-dram");
+                    const auto &p =
+                        cachedRun(app, pmem, key + "-pmem");
+                    double s = static_cast<double>(p.cycles) /
+                               static_cast<double>(d.cycles);
+                    (*series)[levels].push_back(s);
+                    return s;
+                });
+        }
+        registerMetric("fig01/levels" + std::to_string(levels) +
+                           "/gmean",
+                       "pmem_over_dram", [levels, series]() {
+                           return gmean((*series)[levels]);
+                       });
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

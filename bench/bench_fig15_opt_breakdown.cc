@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 15: the cumulative performance impact of each cWSP
+ * optimization. Per the paper: region formation alone ~4%, adding
+ * the persist path ~10%, MC speculation / WB delaying / WPQ delaying
+ * ~free, and checkpoint pruning brings the total down to ~6%.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+namespace {
+
+/** The six cumulative steps. */
+core::SystemConfig
+stepConfig(int step)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    // Steps 1..5 run without checkpoint pruning (it is added last).
+    if (step < 6)
+        cfg.compiler.pruneCheckpoints = false;
+    cfg.scheme.features.persistPath = step >= 2;
+    cfg.scheme.features.mcSpeculation = step >= 3;
+    cfg.scheme.features.wbDelay = step >= 4;
+    cfg.scheme.features.wpqDelay = step >= 5;
+    core::syncFeatureFlags(cfg);
+    return cfg;
+}
+
+const char *kStepNames[] = {
+    "",
+    "region-formation",
+    "persist-path",
+    "mc-speculation",
+    "wb-delaying",
+    "wpq-delaying",
+    "pruning",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto baseline = core::makeSystemConfig("baseline");
+    auto per_step =
+        std::make_shared<std::map<int, std::vector<double>>>();
+
+    for (int step = 1; step <= 6; ++step) {
+        auto cfg = stepConfig(step);
+        for (const auto &app : workloads::appTable()) {
+            registerMetric(
+                "fig15/step" + std::to_string(step) + "-" +
+                    kStepNames[step] + "/" + app.name,
+                "slowdown", [app, cfg, baseline, step, per_step]() {
+                    double s =
+                        slowdown(app, cfg, baseline,
+                                 "fig15-step" + std::to_string(step));
+                    (*per_step)[step].push_back(s);
+                    return s;
+                });
+        }
+        registerMetric("fig15/step" + std::to_string(step) + "-" +
+                           kStepNames[step] + "/gmean",
+                       "slowdown", [step, per_step]() {
+                           return gmean((*per_step)[step]);
+                       });
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table I + Figure 17: cWSP on the four CXL memory devices (hard-IP
+ * and soft-IP NVDIMMs plus simulated CXL PMEM). The paper reports a
+ * ~4% average overhead regardless of device speed, slightly higher on
+ * the faster devices (cWSP benefits less from faster memory than the
+ * baseline does). Each device's slowdown is normalized to the
+ * baseline on the *same* device.
+ */
+
+#include "bench_util.hh"
+
+#include "mem/nvm_device.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    const char *devices[] = {"cxl-a", "cxl-b", "cxl-c", "cxl-d"};
+    auto per_dev = std::make_shared<
+        std::map<std::string, std::vector<double>>>();
+
+    for (const char *dev : devices) {
+        for (const auto &app : workloads::memIntensiveApps()) {
+            registerMetric(
+                "fig17/" + std::string(dev) + "/" + app.name,
+                "slowdown", [app, dev, per_dev]() {
+                    auto base = core::makeSystemConfig("baseline");
+                    base.hierarchy.tech = mem::nvmTechByName(dev);
+                    auto cw = core::makeSystemConfig("cwsp");
+                    cw.hierarchy.tech = mem::nvmTechByName(dev);
+                    double s = slowdown(
+                        app, cw, base, std::string("cwsp-") + dev,
+                        nullptr, std::string("base-") + dev);
+                    (*per_dev)[dev].push_back(s);
+                    return s;
+                });
+        }
+        registerMetric("fig17/" + std::string(dev) + "/gmean",
+                       "slowdown", [dev, per_dev]() {
+                           return gmean((*per_dev)[dev]);
+                       });
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 19: average dynamic instructions per recoverable region
+ * under cWSP. The paper reports 38.15 on average — short enough for
+ * fast recovery, long enough to overlap the persist latency through
+ * a 16-entry RBT.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto cwsp_cfg = core::makeSystemConfig("cwsp");
+    auto all = std::make_shared<std::vector<double>>();
+
+    for (const auto &app : workloads::appTable()) {
+        registerMetric("fig19/" + app.suite + "/" + app.name,
+                       "instrs_per_region", [app, cwsp_cfg, all]() {
+                           double v = cachedRun(app, cwsp_cfg, "cwsp")
+                                          .meanRegionInstrs;
+                           all->push_back(v);
+                           return v;
+                       });
+    }
+    registerMetric("fig19/mean", "instrs_per_region", [all]() {
+        double sum = 0;
+        for (double v : *all)
+            sum += v;
+        return all->empty() ? 0.0
+                            : sum / static_cast<double>(all->size());
+    });
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

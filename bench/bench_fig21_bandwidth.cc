@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 21: cWSP's slowdown with persist-path bandwidth swept from
+ * 1 GB/s to 32 GB/s. The paper's trend: overhead falls with
+ * bandwidth and flattens beyond ~10 GB/s thanks to the 8-byte
+ * persist granularity.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<SweepPoint> points;
+    for (double bw : {1.0, 2.0, 4.0, 10.0, 20.0, 32.0}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.path.bandwidthGBs = bw;
+        points.push_back(SweepPoint{
+            "bw" + std::to_string(static_cast<int>(bw)) + "GB", cfg});
+    }
+    registerSweep("fig21", points, core::makeSystemConfig("baseline"));
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

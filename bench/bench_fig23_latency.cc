@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 23: cWSP's slowdown with the persist path round-trip latency
+ * swept from 10 ns to 40 ns. The RBT overlaps the latency with region
+ * execution, so the paper sees almost no sensitivity.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<SweepPoint> points;
+    for (unsigned ns : {10u, 20u, 30u, 40u}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        // Round trip of `ns` nanoseconds: one way = ns/2 * 2GHz = ns
+        // cycles.
+        cfg.scheme.path.oneWayLatency = ns;
+        points.push_back(
+            SweepPoint{"lat" + std::to_string(ns) + "ns", cfg});
+    }
+    registerSweep("fig23", points, core::makeSystemConfig("baseline"));
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

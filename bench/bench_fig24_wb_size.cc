@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 24: cWSP's slowdown with the L1D write buffer sized 8/16/32
+ * entries. The paper reports no sensitivity at all — the persist path
+ * outruns the regular path, so the stale-read writeback delay never
+ * backs the WB up.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<SweepPoint> points;
+    for (std::uint32_t entries : {8u, 16u, 32u}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.hierarchy.wbCapacity = entries;
+        points.push_back(
+            SweepPoint{"wb" + std::to_string(entries), cfg});
+    }
+    registerSweep("fig24", points, core::makeSystemConfig("baseline"));
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 25: cWSP's slowdown with the persist buffer sized 20/40/50
+ * (default)/60 entries. The paper reports near-insensitivity (~7% at
+ * 20 entries) thanks to asynchronous store persistence.
+ */
+
+#include "bench_util.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<SweepPoint> points;
+    for (std::uint32_t entries : {20u, 40u, 50u, 60u}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.pbCapacity = entries;
+        points.push_back(
+            SweepPoint{"pb" + std::to_string(entries), cfg});
+    }
+    registerSweep("fig25", points, core::makeSystemConfig("baseline"));
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

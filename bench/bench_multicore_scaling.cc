@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multicore scaling (beyond the paper's single aggregate): cWSP's
+ * overhead as 1→8 cores share the two memory controllers and their
+ * WPQs. The paper's design goal is that MC speculation keeps
+ * boundaries stall-free even under 8-core NUMA persist traffic; here
+ * the overhead per core count quantifies it for a store-burst
+ * workload and a compute-heavy workload.
+ */
+
+#include "bench_util.hh"
+
+#include "compiler/pass_manager.hh"
+#include "workloads/kernels.hh"
+
+using namespace cwsp;
+using namespace cwsp::bench;
+
+namespace {
+
+Tick
+runParallel(const workloads::ParallelParams &pp, const char *scheme)
+{
+    auto cfg = core::makeSystemConfig(scheme);
+    cfg.numCores = pp.numWorkers;
+    auto mod = workloads::buildParallelKernel(pp);
+    compiler::compileForWsp(*mod, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    std::vector<core::ThreadSpec> threads;
+    for (std::uint32_t t = 0; t < pp.numWorkers; ++t)
+        threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+    return sim.run(threads).cycles;
+}
+
+workloads::ParallelParams
+storeHeavy(std::uint32_t workers)
+{
+    workloads::ParallelParams pp;
+    pp.numWorkers = workers;
+    pp.itersPerWorker = 2'000;
+    pp.wordsPerWorker = 1 << 12;
+    pp.storesPerBurst = 4;
+    pp.computeOps = 8;
+    pp.atomicEvery = 64;
+    return pp;
+}
+
+workloads::ParallelParams
+computeHeavy(std::uint32_t workers)
+{
+    workloads::ParallelParams pp;
+    pp.numWorkers = workers;
+    pp.itersPerWorker = 2'000;
+    pp.wordsPerWorker = 1 << 12;
+    pp.storesPerBurst = 1;
+    pp.computeOps = 40;
+    pp.atomicEvery = 256;
+    return pp;
+}
+
+} // namespace
+
+namespace {
+
+Tick
+runMixWorkers(const workloads::MixParams &mp, std::uint32_t workers,
+              const char *scheme)
+{
+    auto cfg = core::makeSystemConfig(scheme);
+    cfg.numCores = workers;
+    auto mod = workloads::buildMixKernel(mp, workers);
+    compiler::compileForWsp(*mod, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    std::vector<core::ThreadSpec> threads;
+    for (std::uint32_t t = 0; t < workers; ++t)
+        threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+    return sim.run(threads).cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // SPLASH3-class shared-read / partitioned-write mix workload at
+    // 1..8 threads (the suites the paper runs multithreaded).
+    for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        registerMetric(
+            "multicore/splash-mix/cores" + std::to_string(workers),
+            "slowdown", [workers]() {
+                workloads::MixParams mp =
+                    workloads::appByName("ocg").mix;
+                mp.iterations = 2'500;
+                return static_cast<double>(
+                           runMixWorkers(mp, workers, "cwsp")) /
+                       static_cast<double>(
+                           runMixWorkers(mp, workers, "baseline"));
+            });
+    }
+
+    for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        registerMetric(
+            "multicore/store-heavy/cores" + std::to_string(workers),
+            "slowdown", [workers]() {
+                auto pp = storeHeavy(workers);
+                return static_cast<double>(runParallel(pp, "cwsp")) /
+                       static_cast<double>(
+                           runParallel(pp, "baseline"));
+            });
+        registerMetric(
+            "multicore/compute-heavy/cores" + std::to_string(workers),
+            "slowdown", [workers]() {
+                auto pp = computeHeavy(workers);
+                return static_cast<double>(runParallel(pp, "cwsp")) /
+                       static_cast<double>(
+                           runParallel(pp, "baseline"));
+            });
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,106 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+namespace cwsp::bench {
+
+core::RunResult
+runApp(const workloads::AppProfile &app,
+       const core::SystemConfig &config)
+{
+    auto mod = workloads::buildApp(app, config.compiler);
+    core::WholeSystemSim sim(*mod, config);
+    return sim.run("main");
+}
+
+const core::RunResult &
+cachedRun(const workloads::AppProfile &app,
+          const core::SystemConfig &config, const std::string &key)
+{
+    static std::map<std::string, core::RunResult> cache;
+    std::string full = app.name + "|" + key;
+    auto it = cache.find(full);
+    if (it == cache.end())
+        it = cache.emplace(full, runApp(app, config)).first;
+    return it->second;
+}
+
+double
+slowdown(const workloads::AppProfile &app,
+         const core::SystemConfig &config,
+         const core::SystemConfig &baseline_config,
+         const std::string &config_key, core::RunResult *config_result,
+         const std::string &baseline_key)
+{
+    const auto &base = cachedRun(app, baseline_config, baseline_key);
+    const auto &run = cachedRun(app, config, config_key);
+    if (config_result)
+        *config_result = run;
+    return static_cast<double>(run.cycles) /
+           static_cast<double>(base.cycles);
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+registerMetric(const std::string &bench_name,
+               const std::string &counter_name,
+               std::function<double()> fn)
+{
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [counter_name, fn](benchmark::State &state) {
+            double value = 0.0;
+            for (auto _ : state)
+                value = fn();
+            state.counters[counter_name] = value;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
+registerSweep(const std::string &fig,
+              const std::vector<SweepPoint> &points,
+              const core::SystemConfig &baseline)
+{
+    using Bucket = std::map<std::string, std::vector<double>>;
+    auto buckets = std::make_shared<std::map<std::string, Bucket>>();
+
+    for (const auto &point : points) {
+        for (const auto &app : workloads::appTable()) {
+            registerMetric(
+                fig + "/" + point.label + "/" + app.suite + "/" +
+                    app.name,
+                "slowdown", [app, point, baseline, fig, buckets]() {
+                    double s = slowdown(app, point.config, baseline,
+                                        fig + "-" + point.label);
+                    (*buckets)[point.label][app.suite].push_back(s);
+                    (*buckets)[point.label]["all"].push_back(s);
+                    return s;
+                });
+        }
+        std::vector<std::string> groups = workloads::suiteNames();
+        groups.push_back("all");
+        for (const auto &suite : groups) {
+            registerMetric(fig + "/" + point.label + "/gmean/" + suite,
+                           "slowdown", [point, suite, buckets]() {
+                               return gmean(
+                                   (*buckets)[point.label][suite]);
+                           });
+        }
+    }
+}
+
+} // namespace cwsp::bench

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared machinery for the figure-reproduction benches: per-app
+ * simulation runs, slowdown computation against cached baselines,
+ * and suite geometric means. Each bench binary registers one
+ * google-benchmark case per bar/series point of its figure and
+ * reports the figure's metric as a counter.
+ */
+
+#ifndef CWSP_BENCH_BENCH_UTIL_HH
+#define CWSP_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/whole_system_sim.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp::bench {
+
+/** Run @p app under @p config (compiling it accordingly). */
+core::RunResult runApp(const workloads::AppProfile &app,
+                       const core::SystemConfig &config);
+
+/**
+ * Slowdown of @p config over the same app on @p baseline_config.
+ * Results are memoized per (app, config-key) so each simulation runs
+ * once per bench process.
+ */
+double slowdown(const workloads::AppProfile &app,
+                const core::SystemConfig &config,
+                const core::SystemConfig &baseline_config,
+                const std::string &config_key,
+                core::RunResult *config_result = nullptr,
+                const std::string &baseline_key = "baseline");
+
+/** Cached run keyed by (app, key). */
+const core::RunResult &cachedRun(const workloads::AppProfile &app,
+                                 const core::SystemConfig &config,
+                                 const std::string &key);
+
+/** Geometric mean. */
+double gmean(const std::vector<double> &values);
+
+/**
+ * Register one benchmark that runs @p fn once and reports its return
+ * value as the counter @p counter_name.
+ */
+void registerMetric(const std::string &bench_name,
+                    const std::string &counter_name,
+                    std::function<double()> fn);
+
+/** One design point of a sensitivity sweep. */
+struct SweepPoint
+{
+    std::string label;
+    core::SystemConfig config;
+};
+
+/**
+ * Register a full sensitivity sweep (Figs. 21-27 pattern): for every
+ * sweep point, per-app slowdown bars over @p baseline plus per-suite
+ * and overall geometric means.
+ */
+void registerSweep(const std::string &fig,
+                   const std::vector<SweepPoint> &points,
+                   const core::SystemConfig &baseline);
+
+} // namespace cwsp::bench
+
+#endif // CWSP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the cWSP
+ * hardware knobs (RBT depth, PB size, persist-path bandwidth) for a
+ * write-heavy workload and print the overhead surface — the workflow
+ * an architect would use to size the 176-byte RBT the paper settles
+ * on.
+ *
+ *   $ build/examples/design_space
+ */
+
+#include <cstdio>
+
+#include "core/whole_system_sim.hh"
+#include "workloads/workload.hh"
+
+using namespace cwsp;
+
+namespace {
+
+double
+overheadFor(const workloads::AppProfile &app,
+            const core::SystemConfig &cfg, Tick base_cycles)
+{
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    auto r = sim.run("main");
+    return 100.0 * (static_cast<double>(r.cycles) /
+                        static_cast<double>(base_cycles) -
+                    1.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    // radix: the store-burst workload that stresses the persist path.
+    auto app = workloads::appByName("radix");
+
+    auto base_cfg = core::makeSystemConfig("baseline");
+    auto base_mod = workloads::buildApp(app, base_cfg.compiler);
+    core::WholeSystemSim base_sim(*base_mod, base_cfg);
+    Tick base_cycles = base_sim.run("main").cycles;
+    std::printf("workload: %s (baseline %llu cycles)\n\n",
+                app.name.c_str(), (unsigned long long)base_cycles);
+
+    std::printf("RBT depth sweep (speculation window):\n");
+    std::printf("  %8s %10s\n", "entries", "overhead");
+    for (std::uint32_t rbt : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.rbtCapacity = rbt;
+        std::printf("  %8u %9.2f%%\n", rbt,
+                    overheadFor(app, cfg, base_cycles));
+    }
+
+    std::printf("\nPB size sweep (store-commit buffering):\n");
+    std::printf("  %8s %10s\n", "entries", "overhead");
+    for (std::uint32_t pb : {5u, 10u, 20u, 50u}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.pbCapacity = pb;
+        std::printf("  %8u %9.2f%%\n", pb,
+                    overheadFor(app, cfg, base_cycles));
+    }
+
+    std::printf("\npersist-path bandwidth sweep:\n");
+    std::printf("  %8s %10s\n", "GB/s", "overhead");
+    for (double bw : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.path.bandwidthGBs = bw;
+        std::printf("  %8.0f %9.2f%%\n", bw,
+                    overheadFor(app, cfg, base_cycles));
+    }
+
+    std::printf("\ncross product (RBT x bandwidth), overhead %%:\n");
+    std::printf("  %8s", "rbt\\bw");
+    for (double bw : {1.0, 4.0, 16.0})
+        std::printf(" %7.0fGB", bw);
+    std::printf("\n");
+    for (std::uint32_t rbt : {2u, 8u, 16u}) {
+        std::printf("  %8u", rbt);
+        for (double bw : {1.0, 4.0, 16.0}) {
+            auto cfg = core::makeSystemConfig("cwsp");
+            cfg.scheme.rbtCapacity = rbt;
+            cfg.scheme.path.bandwidthGBs = bw;
+            std::printf(" %8.2f",
+                        overheadFor(app, cfg, base_cycles));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,293 @@
+#include "analysis/alias_analysis.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::analysis {
+
+namespace {
+
+/** The frame-pointer register convention (see interp/machine_state). */
+constexpr ir::Reg kFramePointer = 31;
+
+AbsVal
+topVal()
+{
+    AbsVal v;
+    v.kind = AbsVal::Kind::Top;
+    return v;
+}
+
+AbsVal
+nonPtrVal()
+{
+    AbsVal v;
+    v.kind = AbsVal::Kind::NonPtr;
+    return v;
+}
+
+} // namespace
+
+bool
+AbsVal::operator==(const AbsVal &o) const
+{
+    if (kind != o.kind)
+        return false;
+    if (kind != Kind::Ptr)
+        return true;
+    return base == o.base && offsetKnown == o.offsetKnown &&
+           (!offsetKnown || offset == o.offset);
+}
+
+AliasAnalysis::AliasAnalysis(const ir::Module &module, const Cfg &cfg)
+    : module_(&module), cfg_(&cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    blockIn_.resize(n);
+
+    // Entry state: the frame pointer is a stack pointer; parameters
+    // could be anything (Top); everything else starts NonPtr-unknown
+    // as Top too — conservative but simple. We refine only what the
+    // transfer function can prove.
+    RegState entry;
+    for (auto &v : entry)
+        v = topVal();
+    {
+        AbsVal fp;
+        fp.kind = AbsVal::Kind::Ptr;
+        fp.base.kind = AbstractBase::Kind::Stack;
+        fp.offsetKnown = true;
+        fp.offset = 0;
+        entry[kFramePointer] = fp;
+    }
+    blockIn_[0] = entry;
+    for (std::size_t b = 1; b < n; ++b) {
+        for (auto &v : blockIn_[b])
+            v.kind = AbsVal::Kind::Bottom;
+    }
+
+    // Forward fixpoint over the CFG.
+    const auto &rpo = cfg.rpo();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : rpo) {
+            // Skip unreached blocks (all-Bottom, except the entry).
+            if (b != 0 &&
+                blockIn_[b][0].kind == AbsVal::Kind::Bottom) {
+                bool reached = false;
+                for (const auto &v : blockIn_[b]) {
+                    if (v.kind != AbsVal::Kind::Bottom) {
+                        reached = true;
+                        break;
+                    }
+                }
+                if (!reached)
+                    continue;
+            }
+            RegState state = blockIn_[b];
+            for (const auto &i : cfg.function().block(b).instrs())
+                transfer(i, state);
+            for (ir::BlockId s : cfg.successors(b)) {
+                if (merge(blockIn_[s], state))
+                    changed = true;
+            }
+        }
+    }
+}
+
+AbsVal
+AliasAnalysis::classifyConstant(std::int64_t value) const
+{
+    if (value < 0)
+        return nonPtrVal();
+    auto addr = static_cast<Addr>(value);
+    if (addr < ir::Module::kGlobalBase)
+        return nonPtrVal(); // small integers are not object addresses
+    const auto &globals = module_->globals();
+    for (std::uint32_t g = 0; g < globals.size(); ++g) {
+        const auto &gv = globals[g];
+        if (addr >= gv.base && addr < gv.base + gv.sizeBytes) {
+            AbsVal v;
+            v.kind = AbsVal::Kind::Ptr;
+            v.base.kind = AbstractBase::Kind::Global;
+            v.base.globalIndex = g;
+            v.offsetKnown = true;
+            v.offset = static_cast<std::int64_t>(addr - gv.base);
+            return v;
+        }
+    }
+    // A large constant that is not a known object: unknown pointer.
+    return topVal();
+}
+
+void
+AliasAnalysis::transfer(const ir::Instr &i, RegState &state) const
+{
+    using Op = ir::Opcode;
+    switch (i.op) {
+      case Op::MovImm:
+        state[i.dst] = classifyConstant(i.imm);
+        // Remember the literal for pointer arithmetic only when it is
+        // not an object address; classifyConstant already captured
+        // object addresses precisely.
+        break;
+      case Op::Mov:
+        state[i.dst] = state[i.a];
+        break;
+      case Op::Add:
+      case Op::Sub: {
+        const AbsVal &av = state[i.a];
+        std::int64_t sign = (i.op == Op::Sub) ? -1 : 1;
+        if (av.kind == AbsVal::Kind::Ptr) {
+            AbsVal v = av;
+            if (i.bIsImm && av.offsetKnown) {
+                v.offset += sign * i.imm;
+            } else {
+                v.offsetKnown = false;
+            }
+            state[i.dst] = v;
+        } else if (!i.bIsImm && state[i.b].kind == AbsVal::Kind::Ptr &&
+                   i.op == Op::Add) {
+            AbsVal v = state[i.b];
+            v.offsetKnown = false; // reg + ptr: offset unknown
+            state[i.dst] = v;
+        } else if (av.kind == AbsVal::Kind::NonPtr &&
+                   (i.bIsImm ||
+                    state[i.b].kind == AbsVal::Kind::NonPtr)) {
+            state[i.dst] = nonPtrVal();
+        } else {
+            state[i.dst] = topVal();
+        }
+        break;
+      }
+      case Op::Mul:
+      case Op::DivU:
+      case Op::RemU:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::Shr:
+        // Arithmetic that we do not track as pointer math.
+        state[i.dst] = nonPtrVal();
+        break;
+      case Op::CmpEq:
+      case Op::CmpNe:
+      case Op::CmpUlt:
+      case Op::CmpSlt:
+        state[i.dst] = nonPtrVal();
+        break;
+      case Op::Load:
+      case Op::Call:
+      case Op::AtomicAdd:
+      case Op::AtomicXchg:
+        // Values from memory or callees: could be pointers anywhere.
+        if (i.dst != ir::kNoReg)
+            state[i.dst] = topVal();
+        break;
+      default:
+        break; // stores, branches, fences, boundaries: no reg defs
+    }
+}
+
+bool
+AliasAnalysis::merge(RegState &dst, const RegState &src)
+{
+    bool changed = false;
+    for (std::size_t r = 0; r < dst.size(); ++r) {
+        AbsVal &d = dst[r];
+        const AbsVal &s = src[r];
+        if (s.kind == AbsVal::Kind::Bottom || d == s)
+            continue;
+        AbsVal merged;
+        if (d.kind == AbsVal::Kind::Bottom) {
+            merged = s;
+        } else if (d.kind == AbsVal::Kind::Ptr &&
+                   s.kind == AbsVal::Kind::Ptr && d.base == s.base) {
+            merged = d;
+            if (!(d.offsetKnown && s.offsetKnown &&
+                  d.offset == s.offset)) {
+                merged.offsetKnown = false;
+                merged.offset = 0;
+            }
+        } else if (d.kind == AbsVal::Kind::NonPtr &&
+                   s.kind == AbsVal::Kind::NonPtr) {
+            merged = nonPtrVal();
+        } else {
+            merged = topVal();
+        }
+        if (!(merged == d)) {
+            d = merged;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+AbstractLoc
+AliasAnalysis::locOf(ir::BlockId b, std::uint32_t idx) const
+{
+    const auto &instrs = cfg_->function().block(b).instrs();
+    cwsp_assert(idx < instrs.size(), "locOf index out of range");
+    const ir::Instr &i = instrs[idx];
+    cwsp_assert(ir::accessesMemory(i.op), "locOf on non-memory instr");
+
+    if (i.op == ir::Opcode::Checkpoint) {
+        AbstractLoc loc;
+        loc.base.kind = AbstractBase::Kind::Ckpt;
+        loc.offsetKnown = true;
+        loc.offset = static_cast<std::int64_t>(i.a) * kWordBytes;
+        return loc;
+    }
+
+    // Recompute the abstract state at idx by replaying the block.
+    RegState state = blockIn_[b];
+    for (std::uint32_t k = 0; k < idx; ++k)
+        transfer(instrs[k], state);
+
+    ir::Reg base_reg =
+        (i.op == ir::Opcode::Load) ? i.a : i.b;
+    const AbsVal &bv = state[base_reg];
+    AbstractLoc loc;
+    if (bv.kind == AbsVal::Kind::Ptr) {
+        loc.base = bv.base;
+        if (bv.offsetKnown) {
+            loc.offsetKnown = true;
+            loc.offset = bv.offset + i.imm;
+        }
+    } else {
+        loc.base.kind = AbstractBase::Kind::Unknown;
+    }
+    return loc;
+}
+
+AliasResult
+AliasAnalysis::alias(const AbstractLoc &x, const AbstractLoc &y)
+{
+    using K = AbstractBase::Kind;
+    if (x.base.kind == K::Unknown || y.base.kind == K::Unknown)
+        return AliasResult::MayAlias;
+    if (!(x.base == y.base)) {
+        // Distinct known bases never overlap: globals are padded to
+        // cachelines and the stack/ckpt areas live in disjoint ranges.
+        return AliasResult::NoAlias;
+    }
+    if (x.offsetKnown && y.offsetKnown) {
+        // Word-sized accesses: overlap iff within 8 bytes.
+        std::int64_t d = x.offset - y.offset;
+        if (d == 0)
+            return AliasResult::MustAlias;
+        return (d > -8 && d < 8) ? AliasResult::MayAlias
+                                 : AliasResult::NoAlias;
+    }
+    return AliasResult::MayAlias;
+}
+
+AliasResult
+AliasAnalysis::alias(ir::BlockId b1, std::uint32_t i1, ir::BlockId b2,
+                     std::uint32_t i2) const
+{
+    return alias(locOf(b1, i1), locOf(b2, i2));
+}
+
+} // namespace cwsp::analysis

@@ -1,0 +1,54 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::analysis {
+
+Cfg::Cfg(const ir::Function &func) : func_(&func)
+{
+    const std::size_t n = func.numBlocks();
+    succs_.resize(n);
+    preds_.resize(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        succs_[b] = func.block(static_cast<ir::BlockId>(b)).successors();
+        for (ir::BlockId s : succs_[b])
+            preds_[s].push_back(static_cast<ir::BlockId>(b));
+    }
+
+    // Iterative post-order DFS from the entry block.
+    std::vector<ir::BlockId> post;
+    std::vector<std::uint8_t> state(n, 0); // 0=unseen 1=on-stack 2=done
+    std::vector<std::pair<ir::BlockId, std::size_t>> stack;
+    if (n > 0) {
+        stack.emplace_back(0, 0);
+        state[0] = 1;
+    }
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < succs_[b].size()) {
+            ir::BlockId s = succs_[b][next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    // Unreachable blocks appended in id order so every block has an
+    // RPO slot (analyses simply never propagate into them).
+    for (std::size_t b = 0; b < n; ++b) {
+        if (state[b] == 0)
+            rpo_.push_back(static_cast<ir::BlockId>(b));
+    }
+    rpoIdx_.assign(n, 0);
+    for (std::size_t i = 0; i < rpo_.size(); ++i)
+        rpoIdx_[rpo_[i]] = static_cast<std::uint32_t>(i);
+}
+
+} // namespace cwsp::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Control-flow-graph utilities for one function: predecessor lists and
+ * reverse post-order, shared by the dataflow analyses.
+ */
+
+#ifndef CWSP_ANALYSIS_CFG_HH
+#define CWSP_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace cwsp::analysis {
+
+/** Precomputed CFG edges for a function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const ir::Function &func);
+
+    const ir::Function &function() const { return *func_; }
+
+    const std::vector<ir::BlockId> &
+    successors(ir::BlockId b) const
+    {
+        return succs_[b];
+    }
+
+    const std::vector<ir::BlockId> &
+    predecessors(ir::BlockId b) const
+    {
+        return preds_[b];
+    }
+
+    /** Blocks in reverse post-order from the entry (unreachable last). */
+    const std::vector<ir::BlockId> &rpo() const { return rpo_; }
+
+    /** Position of each block in rpo() (for dominator computation). */
+    const std::vector<std::uint32_t> &rpoIndex() const { return rpoIdx_; }
+
+    std::size_t numBlocks() const { return succs_.size(); }
+
+  private:
+    const ir::Function *func_;
+    std::vector<std::vector<ir::BlockId>> succs_;
+    std::vector<std::vector<ir::BlockId>> preds_;
+    std::vector<ir::BlockId> rpo_;
+    std::vector<std::uint32_t> rpoIdx_;
+};
+
+} // namespace cwsp::analysis
+
+#endif // CWSP_ANALYSIS_CFG_HH

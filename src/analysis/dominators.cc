@@ -1,0 +1,64 @@
+#include "analysis/dominators.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::analysis {
+
+Dominators::Dominators(const Cfg &cfg) : cfg_(&cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    idom_.assign(n, ir::kNoBlock);
+    if (n == 0)
+        return;
+    idom_[0] = 0;
+
+    const auto &rpo = cfg.rpo();
+    const auto &rpo_idx = cfg.rpoIndex();
+
+    auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+        while (a != b) {
+            while (rpo_idx[a] > rpo_idx[b])
+                a = idom_[a];
+            while (rpo_idx[b] > rpo_idx[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : rpo) {
+            if (b == 0)
+                continue;
+            ir::BlockId new_idom = ir::kNoBlock;
+            for (ir::BlockId p : cfg.predecessors(b)) {
+                if (idom_[p] == ir::kNoBlock)
+                    continue; // predecessor not yet reachable
+                new_idom = (new_idom == ir::kNoBlock)
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != ir::kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(ir::BlockId a, ir::BlockId b) const
+{
+    if (!reachable(b))
+        return false;
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == 0)
+            return false;
+        b = idom_[b];
+    }
+}
+
+} // namespace cwsp::analysis

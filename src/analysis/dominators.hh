@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+
+#ifndef CWSP_ANALYSIS_DOMINATORS_HH
+#define CWSP_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace cwsp::analysis {
+
+/** Immediate-dominator relation for a function's CFG. */
+class Dominators
+{
+  public:
+    explicit Dominators(const Cfg &cfg);
+
+    /** Immediate dominator of @p b; entry's idom is itself. */
+    ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+    /** @return true when @p a dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** @return true when @p b is reachable from the entry. */
+    bool reachable(ir::BlockId b) const
+    {
+        return idom_[b] != ir::kNoBlock;
+    }
+
+  private:
+    const Cfg *cfg_;
+    std::vector<ir::BlockId> idom_;
+};
+
+} // namespace cwsp::analysis
+
+#endif // CWSP_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,93 @@
+#include "analysis/liveness.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::analysis {
+
+RegMask
+Liveness::uses(const ir::Instr &instr)
+{
+    RegMask m = 0;
+    static thread_local std::vector<ir::Reg> tmp;
+    tmp.clear();
+    instr.useRegs(tmp);
+    for (ir::Reg r : tmp)
+        m |= regBit(r);
+    return m;
+}
+
+RegMask
+Liveness::defs(const ir::Instr &instr)
+{
+    ir::Reg d = instr.defReg();
+    return d == ir::kNoReg ? 0 : regBit(d);
+}
+
+Liveness::Liveness(const Cfg &cfg) : cfg_(&cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    liveIn_.assign(n, 0);
+    liveOut_.assign(n, 0);
+
+    // Precompute per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegMask> gen(n, 0), kill(n, 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto &instrs =
+            cfg.function().block(static_cast<ir::BlockId>(b)).instrs();
+        RegMask defined = 0;
+        for (const auto &i : instrs) {
+            gen[b] |= uses(i) & ~defined;
+            defined |= defs(i);
+        }
+        kill[b] = defined;
+    }
+
+    // Backward fixpoint, iterating blocks in reverse RPO.
+    const auto &rpo = cfg.rpo();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            ir::BlockId b = *it;
+            RegMask out = 0;
+            for (ir::BlockId s : cfg.successors(b))
+                out |= liveIn_[s];
+            RegMask in = gen[b] | (out & ~kill[b]);
+            if (out != liveOut_[b] || in != liveIn_[b]) {
+                liveOut_[b] = out;
+                liveIn_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+RegMask
+Liveness::liveBefore(ir::BlockId b, std::uint32_t idx) const
+{
+    const auto &instrs = cfg_->function().block(b).instrs();
+    cwsp_assert(idx <= instrs.size(), "liveBefore index out of range");
+    RegMask live = liveOut_[b];
+    for (std::size_t k = instrs.size(); k > idx; --k) {
+        const ir::Instr &i = instrs[k - 1];
+        live = (live & ~defs(i)) | uses(i);
+    }
+    return live;
+}
+
+std::vector<RegMask>
+Liveness::liveBeforeAll(ir::BlockId b) const
+{
+    const auto &instrs = cfg_->function().block(b).instrs();
+    std::vector<RegMask> result(instrs.size() + 1);
+    RegMask live = liveOut_[b];
+    result[instrs.size()] = live;
+    for (std::size_t k = instrs.size(); k > 0; --k) {
+        const ir::Instr &i = instrs[k - 1];
+        live = (live & ~defs(i)) | uses(i);
+        result[k - 1] = live;
+    }
+    return result;
+}
+
+} // namespace cwsp::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Register liveness via backward dataflow. With 32 architectural
+ * registers a live set is a single 32-bit mask, so per-point queries
+ * are cheap.
+ */
+
+#ifndef CWSP_ANALYSIS_LIVENESS_HH
+#define CWSP_ANALYSIS_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace cwsp::analysis {
+
+/** Set of registers as a bitmask (bit r set = r in the set). */
+using RegMask = std::uint32_t;
+
+constexpr RegMask
+regBit(ir::Reg r)
+{
+    return RegMask{1} << r;
+}
+
+/** Iterate the registers present in @p mask. */
+template <typename Fn>
+void
+forEachReg(RegMask mask, Fn &&fn)
+{
+    while (mask) {
+        int r = __builtin_ctz(mask);
+        fn(static_cast<ir::Reg>(r));
+        mask &= mask - 1;
+    }
+}
+
+/** Per-block and per-point register liveness for one function. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Cfg &cfg);
+
+    RegMask liveIn(ir::BlockId b) const { return liveIn_[b]; }
+    RegMask liveOut(ir::BlockId b) const { return liveOut_[b]; }
+
+    /**
+     * Registers live immediately *before* instruction @p idx of block
+     * @p b. liveBefore(b, size) gives the block's live-out set.
+     */
+    RegMask liveBefore(ir::BlockId b, std::uint32_t idx) const;
+
+    /**
+     * Bulk variant: live-before masks for indices 0..size of block
+     * @p b (the last element is the block's live-out set).
+     */
+    std::vector<RegMask> liveBeforeAll(ir::BlockId b) const;
+
+    /** Registers used by @p instr. */
+    static RegMask uses(const ir::Instr &instr);
+    /** Register defined by @p instr as a mask (0 if none). */
+    static RegMask defs(const ir::Instr &instr);
+
+  private:
+    const Cfg *cfg_;
+    std::vector<RegMask> liveIn_;
+    std::vector<RegMask> liveOut_;
+};
+
+} // namespace cwsp::analysis
+
+#endif // CWSP_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,55 @@
+#include "analysis/loop_info.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace cwsp::analysis {
+
+LoopInfo::LoopInfo(const Cfg &cfg, const Dominators &doms)
+{
+    const std::size_t n = cfg.numBlocks();
+    isHeader_.assign(n, false);
+    depth_.assign(n, 0);
+
+    // Collect back edges (u -> h where h dominates u) grouped by header.
+    std::map<ir::BlockId, std::vector<ir::BlockId>> latches;
+    for (std::size_t u = 0; u < n; ++u) {
+        auto ub = static_cast<ir::BlockId>(u);
+        if (!doms.reachable(ub))
+            continue;
+        for (ir::BlockId s : cfg.successors(ub)) {
+            if (doms.dominates(s, ub))
+                latches[s].push_back(ub);
+        }
+    }
+
+    for (auto &[header, latch_list] : latches) {
+        Loop loop;
+        loop.header = header;
+        isHeader_[header] = true;
+
+        // Standard natural-loop body discovery: walk predecessors
+        // backwards from each latch until the header.
+        std::vector<bool> in_loop(n, false);
+        in_loop[header] = true;
+        std::vector<ir::BlockId> work(latch_list);
+        while (!work.empty()) {
+            ir::BlockId b = work.back();
+            work.pop_back();
+            if (in_loop[b])
+                continue;
+            in_loop[b] = true;
+            for (ir::BlockId p : cfg.predecessors(b))
+                work.push_back(p);
+        }
+        for (std::size_t b = 0; b < n; ++b) {
+            if (in_loop[b]) {
+                loop.blocks.push_back(static_cast<ir::BlockId>(b));
+                ++depth_[b];
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+}
+
+} // namespace cwsp::analysis

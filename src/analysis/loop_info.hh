@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Natural-loop discovery. The cWSP compiler inserts a region boundary
+ * at each loop header so that every iteration forms (at least) one
+ * recoverable region (Section IV-A).
+ */
+
+#ifndef CWSP_ANALYSIS_LOOP_INFO_HH
+#define CWSP_ANALYSIS_LOOP_INFO_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+
+namespace cwsp::analysis {
+
+/** One natural loop: header plus member blocks. */
+struct Loop
+{
+    ir::BlockId header = ir::kNoBlock;
+    std::vector<ir::BlockId> blocks; ///< includes the header
+};
+
+/** All natural loops of a function (loops sharing a header merged). */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Cfg &cfg, const Dominators &doms);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** @return true when @p b is some natural loop's header. */
+    bool isHeader(ir::BlockId b) const { return isHeader_[b]; }
+
+    /** Loop nesting depth of @p b (0 = not in any loop). */
+    unsigned depth(ir::BlockId b) const { return depth_[b]; }
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<bool> isHeader_;
+    std::vector<unsigned> depth_;
+};
+
+} // namespace cwsp::analysis
+
+#endif // CWSP_ANALYSIS_LOOP_INFO_HH

@@ -1,0 +1,130 @@
+#include "analysis/reaching_defs.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace cwsp::analysis {
+
+namespace {
+
+/** Merge sorted @p src into sorted @p dst; @return true if dst grew. */
+bool
+mergeSorted(std::vector<DefId> &dst, const std::vector<DefId> &src)
+{
+    bool grew = false;
+    for (DefId d : src) {
+        auto it = std::lower_bound(dst.begin(), dst.end(), d);
+        if (it == dst.end() || *it != d) {
+            dst.insert(it, d);
+            grew = true;
+        }
+    }
+    return grew;
+}
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const Cfg &cfg) : cfg_(&cfg)
+{
+    const auto &func = cfg.function();
+    const std::size_t n = cfg.numBlocks();
+    defsOfReg_.resize(ir::kNumRegs);
+
+    // Implicit entry definitions: parameters r0..k-1 plus the frame
+    // pointer r31 are defined at function entry; model every register
+    // as entry-defined so that uninitialized reads still have a
+    // (non-rematerializable) reaching def instead of none.
+    std::vector<DefId> entry_defs(ir::kNumRegs);
+    for (ir::Reg r = 0; r < ir::kNumRegs; ++r) {
+        entry_defs[r] = static_cast<DefId>(sites_.size());
+        sites_.push_back(ir::InstrRef{ir::kNoBlock, r});
+        defsOfReg_[r].push_back(entry_defs[r]);
+    }
+
+    // Number every real definition site.
+    // gen_[b][r] = DefId of last def of r in b, or kNoDef.
+    std::vector<std::array<DefId, ir::kNumRegs>> gen(n);
+    for (auto &g : gen)
+        g.fill(kNoDef);
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto &instrs =
+            func.block(static_cast<ir::BlockId>(b)).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            ir::Reg d = instrs[k].defReg();
+            if (d == ir::kNoReg)
+                continue;
+            auto id = static_cast<DefId>(sites_.size());
+            sites_.push_back(
+                ir::InstrRef{static_cast<ir::BlockId>(b), k});
+            defsOfReg_[d].push_back(id);
+            gen[b][d] = id; // later defs overwrite: keeps the last
+        }
+    }
+
+    // Forward fixpoint on per-register reaching sets.
+    reachIn_.assign(n, std::vector<std::vector<DefId>>(ir::kNumRegs));
+    for (ir::Reg r = 0; r < ir::kNumRegs; ++r)
+        reachIn_[0][r].push_back(entry_defs[r]);
+
+    const auto &rpo = cfg.rpo();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : rpo) {
+            for (ir::BlockId s : cfg.successors(b)) {
+                for (ir::Reg r = 0; r < ir::kNumRegs; ++r) {
+                    if (gen[b][r] != kNoDef) {
+                        std::vector<DefId> one{gen[b][r]};
+                        if (mergeSorted(reachIn_[s][r], one))
+                            changed = true;
+                    } else {
+                        if (mergeSorted(reachIn_[s][r], reachIn_[b][r]))
+                            changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+DefId
+ReachingDefs::lastLocalDefBefore(ir::BlockId b, std::uint32_t idx,
+                                 ir::Reg r) const
+{
+    const auto &instrs = cfg_->function().block(b).instrs();
+    cwsp_assert(idx <= instrs.size(), "index out of range");
+    for (std::uint32_t k = idx; k > 0; --k) {
+        if (instrs[k - 1].defReg() == r) {
+            // Recover the DefId by searching this register's def list.
+            for (DefId d : defsOfReg_[r]) {
+                const auto &s = sites_[d];
+                if (s.block == b && s.index == k - 1)
+                    return d;
+            }
+            cwsp_panic("definition site not numbered");
+        }
+    }
+    return kNoDef;
+}
+
+std::vector<DefId>
+ReachingDefs::reachingAt(ir::BlockId b, std::uint32_t idx,
+                         ir::Reg r) const
+{
+    DefId local = lastLocalDefBefore(b, idx, r);
+    if (local != kNoDef)
+        return {local};
+    return reachIn_[b][r];
+}
+
+DefId
+ReachingDefs::uniqueReachingAt(ir::BlockId b, std::uint32_t idx,
+                               ir::Reg r) const
+{
+    auto defs = reachingAt(b, idx, r);
+    return defs.size() == 1 ? defs[0] : kNoDef;
+}
+
+} // namespace cwsp::analysis

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reaching definitions per register. The checkpoint-pruning pass needs
+ * to know, for a register live at a region boundary, whether a unique
+ * static definition produces its value there — that is what makes the
+ * value rematerializable in a recovery slice.
+ */
+
+#ifndef CWSP_ANALYSIS_REACHING_DEFS_HH
+#define CWSP_ANALYSIS_REACHING_DEFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace cwsp::analysis {
+
+/** Identifier of a definition site; kParamDef marks "function entry". */
+using DefId = std::uint32_t;
+constexpr DefId kNoDef = ~DefId{0};
+
+/** Reaching-definition sets per register per program point. */
+class ReachingDefs
+{
+  public:
+    explicit ReachingDefs(const Cfg &cfg);
+
+    /** Position of definition @p d; block==kNoBlock for entry defs. */
+    ir::InstrRef defSite(DefId d) const { return sites_[d]; }
+
+    /** True when @p d is the implicit entry definition of a register. */
+    bool isEntryDef(DefId d) const { return sites_[d].block == ir::kNoBlock; }
+
+    /**
+     * Definitions of register @p r reaching the point just before
+     * instruction @p idx of block @p b.
+     */
+    std::vector<DefId> reachingAt(ir::BlockId b, std::uint32_t idx,
+                                  ir::Reg r) const;
+
+    /**
+     * The unique definition of @p r reaching (b, idx), or kNoDef when
+     * zero or multiple definitions reach.
+     */
+    DefId uniqueReachingAt(ir::BlockId b, std::uint32_t idx,
+                           ir::Reg r) const;
+
+  private:
+    const Cfg *cfg_;
+    std::vector<ir::InstrRef> sites_;           ///< DefId -> position
+    std::vector<std::vector<DefId>> defsOfReg_; ///< per reg, all DefIds
+    /// reachIn_[b][r]: sorted DefIds of r reaching block b's entry.
+    std::vector<std::vector<std::vector<DefId>>> reachIn_;
+
+    /** Last definition of @p r in block @p b strictly before @p idx. */
+    DefId lastLocalDefBefore(ir::BlockId b, std::uint32_t idx,
+                             ir::Reg r) const;
+};
+
+} // namespace cwsp::analysis
+
+#endif // CWSP_ANALYSIS_REACHING_DEFS_HH

@@ -1,0 +1,49 @@
+#include "arch/io_redo_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::arch {
+
+IoRedoBuffer::IoRedoBuffer(std::uint32_t depth) : depth_(depth)
+{
+    cwsp_assert(depth > 0, "I/O redo buffer needs at least one slot");
+}
+
+void
+IoRedoBuffer::beginRegion(RegionId region)
+{
+    cwsp_assert(!full(), "I/O redo buffer overflow: region persistence "
+                         "must catch up before new regions issue I/O");
+    cwsp_assert(fifos_.empty() || fifos_.back().region < region,
+                "regions must begin in id order");
+    fifos_.push_back(RegionFifo{region, {}});
+}
+
+void
+IoRedoBuffer::issue(const IoOp &op)
+{
+    cwsp_assert(!fifos_.empty(), "I/O issued outside any region");
+    fifos_.back().ops.push_back(op);
+}
+
+std::vector<IoOp>
+IoRedoBuffer::regionPersisted(RegionId region)
+{
+    cwsp_assert(!fifos_.empty() && fifos_.front().region == region,
+                "regions must persist in order (Section VIII)");
+    std::vector<IoOp> released = std::move(fifos_.front().ops);
+    fifos_.pop_front();
+    return released;
+}
+
+std::vector<RegionId>
+IoRedoBuffer::discardAll()
+{
+    std::vector<RegionId> dropped;
+    for (const auto &f : fifos_)
+        dropped.push_back(f.region);
+    fifos_.clear();
+    return dropped;
+}
+
+} // namespace cwsp::arch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Battery-backed I/O redo buffers (Section VIII, "I/O and Device
+ * States"). Irrevocable device operations issued inside a region are
+ * held in a per-region FIFO redo buffer and released to the device
+ * only once the region is persisted; regions release strictly in
+ * order, so device state always matches a region prefix. On power
+ * failure, buffered operations of unpersisted regions are discarded —
+ * the regions will re-execute and re-issue them.
+ */
+
+#ifndef CWSP_ARCH_IO_REDO_BUFFER_HH
+#define CWSP_ARCH_IO_REDO_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::arch {
+
+/** One buffered device operation. */
+struct IoOp
+{
+    std::uint64_t device = 0;
+    std::uint64_t payload = 0;
+};
+
+/** Region-ordered I/O staging, one FIFO per in-flight region. */
+class IoRedoBuffer
+{
+  public:
+    /** @param depth matches the RBT size (one buffer per region). */
+    explicit IoRedoBuffer(std::uint32_t depth);
+
+    /** Begin buffering for region @p region (opens a FIFO slot). */
+    void beginRegion(RegionId region);
+
+    /** Queue an operation for the current (newest) region. */
+    void issue(const IoOp &op);
+
+    /**
+     * The oldest region persisted: release its operations to the
+     * device in order. Must be called in region order.
+     *
+     * @return the operations released.
+     */
+    std::vector<IoOp> regionPersisted(RegionId region);
+
+    /** Power failure: drop operations of all unpersisted regions. */
+    std::vector<RegionId> discardAll();
+
+    std::size_t inflightRegions() const { return fifos_.size(); }
+    bool full() const { return fifos_.size() >= depth_; }
+
+  private:
+    struct RegionFifo
+    {
+        RegionId region;
+        std::vector<IoOp> ops;
+    };
+
+    std::uint32_t depth_;
+    std::deque<RegionFifo> fifos_;
+};
+
+} // namespace cwsp::arch
+
+#endif // CWSP_ARCH_IO_REDO_BUFFER_HH

@@ -1,0 +1,43 @@
+#include "arch/persist_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::arch {
+
+PersistBuffer::PersistBuffer(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    cwsp_assert(capacity > 0, "PB capacity must be positive");
+}
+
+Tick
+PersistBuffer::reserve(Tick now)
+{
+    cwsp_assert(!pendingReservation_,
+                "PB reserve() without matching complete()");
+    ++reservations_;
+    while (!releaseTimes_.empty() && releaseTimes_.front() <= now)
+        releaseTimes_.pop_front();
+    Tick start = now;
+    if (releaseTimes_.size() >= capacity_) {
+        start = releaseTimes_.front();
+        releaseTimes_.pop_front();
+        ++fullStalls_;
+    }
+    pendingReservation_ = true;
+    return start;
+}
+
+void
+PersistBuffer::complete(Tick ack_time)
+{
+    cwsp_assert(pendingReservation_, "PB complete() without reserve()");
+    // FIFO deallocation (Section V-B1): an entry only leaves at the
+    // PB head, so a slot cannot free before its predecessors.
+    if (!releaseTimes_.empty() && ack_time < releaseTimes_.back())
+        ack_time = releaseTimes_.back();
+    releaseTimes_.push_back(ack_time);
+    pendingReservation_ = false;
+}
+
+} // namespace cwsp::arch

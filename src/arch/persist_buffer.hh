@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The persist buffer (PB): Intel's write-combining buffer repurposed
+ * as a volatile FIFO staging area between the store queue and the
+ * persist path (Section V-A). A committed store occupies a PB slot
+ * until the memory controller acknowledges its WPQ arrival; a full PB
+ * stalls store commit.
+ */
+
+#ifndef CWSP_ARCH_PERSIST_BUFFER_HH
+#define CWSP_ARCH_PERSIST_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace cwsp::arch {
+
+/** Timestamp-based occupancy model of one core's persist buffer. */
+class PersistBuffer
+{
+  public:
+    explicit PersistBuffer(std::uint32_t capacity);
+
+    /**
+     * Reserve a slot for a store committing at @p now.
+     * @return the time the store can actually commit (== @p now
+     *         unless the buffer is full).
+     */
+    Tick reserve(Tick now);
+
+    /** Provide the reserved entry's release (MC ack) time. */
+    void complete(Tick ack_time);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint64_t reservations() const { return reservations_; }
+    std::uint64_t fullStalls() const { return fullStalls_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<Tick> releaseTimes_; ///< FIFO of slot release times
+    std::uint64_t reservations_ = 0;
+    std::uint64_t fullStalls_ = 0;
+    bool pendingReservation_ = false;
+};
+
+} // namespace cwsp::arch
+
+#endif // CWSP_ARCH_PERSIST_BUFFER_HH

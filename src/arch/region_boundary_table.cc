@@ -1,0 +1,55 @@
+#include "arch/region_boundary_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::arch {
+
+RegionBoundaryTable::RegionBoundaryTable(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    cwsp_assert(capacity > 0, "RBT capacity must be positive");
+}
+
+Tick
+RegionBoundaryTable::beginRegion(Tick now, RegionId id)
+{
+    if (open_) {
+        // Close the current region. Entries leave the RBT in order,
+        // so its departure is the cascade max of its own persistence
+        // and its predecessor's departure.
+        Tick free_time = std::max(prevFreeTime_, currentPersistMax_);
+        freeTimes_.push_back(free_time);
+        prevFreeTime_ = free_time;
+    }
+
+    // Retire departed entries.
+    while (!freeTimes_.empty() && freeTimes_.front() <= now)
+        freeTimes_.pop_front();
+
+    Tick start = now;
+    if (freeTimes_.size() >= capacity_) {
+        // Wait until enough heads depart to make room.
+        std::size_t overflow = freeTimes_.size() - capacity_ + 1;
+        for (std::size_t i = 0; i < overflow; ++i) {
+            start = freeTimes_.front();
+            freeTimes_.pop_front();
+        }
+        ++fullStalls_;
+    }
+
+    open_ = true;
+    currentId_ = id;
+    currentPersistMax_ = start;
+    return start;
+}
+
+void
+RegionBoundaryTable::recordStoreAck(Tick ack)
+{
+    cwsp_assert(open_, "store ack with no open region");
+    currentPersistMax_ = std::max(currentPersistMax_, ack);
+}
+
+} // namespace cwsp::arch

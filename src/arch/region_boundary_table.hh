@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The region boundary table (RBT, Fig. 9): a per-core FIFO of regions
+ * whose stores have not all persisted yet. Its head is the oldest
+ * unpersisted (non-speculative) region; deeper entries are
+ * speculative and their stores are undo-logged at the MCs. A full RBT
+ * stalls the pipeline at the next region boundary — the knob behind
+ * the paper's Fig. 22 sensitivity study.
+ */
+
+#ifndef CWSP_ARCH_REGION_BOUNDARY_TABLE_HH
+#define CWSP_ARCH_REGION_BOUNDARY_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace cwsp::arch {
+
+/** Timestamp-based occupancy model of one core's RBT. */
+class RegionBoundaryTable
+{
+  public:
+    explicit RegionBoundaryTable(std::uint32_t capacity);
+
+    /**
+     * Commit a region boundary at @p now: closes the current region
+     * (fixing its departure time) and allocates an entry for the new
+     * region @p id.
+     *
+     * @return the time the boundary can actually commit (== @p now
+     *         unless the RBT is full).
+     */
+    Tick beginRegion(Tick now, RegionId id);
+
+    /** Record a store acknowledgement for the *current* region. */
+    void recordStoreAck(Tick ack);
+
+    /**
+     * The time the current region became/becomes non-speculative:
+     * the departure time of its predecessor. Stores sent while the
+     * region is speculative must be undo-logged.
+     */
+    Tick currentSpecEnd() const { return prevFreeTime_; }
+
+    /** Departure time of the most recently *closed* region. */
+    Tick lastClosedFreeTime() const { return prevFreeTime_; }
+
+    RegionId currentRegion() const { return currentId_; }
+    bool hasOpenRegion() const { return open_; }
+
+    std::uint64_t fullStalls() const { return fullStalls_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<Tick> freeTimes_; ///< departure times of closed regions
+    Tick prevFreeTime_ = 0;      ///< running cascade maximum
+    Tick currentPersistMax_ = 0; ///< max store ack of the open region
+    RegionId currentId_ = 0;
+    bool open_ = false;
+    std::uint64_t fullStalls_ = 0;
+};
+
+} // namespace cwsp::arch
+
+#endif // CWSP_ARCH_REGION_BOUNDARY_TABLE_HH

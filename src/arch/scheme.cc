@@ -1,0 +1,269 @@
+#include "arch/scheme.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cwsp::arch {
+
+Scheme::CoreState::CoreState(const SchemeConfig &cfg, CoreId core,
+                             std::uint32_t num_mcs)
+    : pb(cfg.pbCapacity), rbt(cfg.rbtCapacity),
+      path(cfg.path, core, num_mcs)
+{
+}
+
+Scheme::Scheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+               std::uint32_t num_cores)
+    : config_(config), hierarchy_(&hierarchy)
+{
+    for (CoreId c = 0; c < num_cores; ++c)
+        cores_.emplace_back(config_, c, hierarchy.numMcs());
+
+    hierarchy_->persistReadyHook = [this](Addr line) -> Tick {
+        // The hook runs during a hierarchy access made on behalf of
+        // the core whose access is in flight; all our accesses pass
+        // the core through member state below.
+        return hookCore_ == ~CoreId{0}
+                   ? 0
+                   : linePersistReady(hookCore_, line);
+    };
+}
+
+void
+Scheme::enableRecording(std::vector<StoreRecord> *stores,
+                        std::vector<RegionEvent> *regions,
+                        std::vector<IoRecord> *io)
+{
+    storeLog_ = stores;
+    regionLog_ = regions;
+    ioLog_ = io;
+}
+
+void
+Scheme::onCommit(const interp::CommitInfo &info)
+{
+    CoreState &cs = cores_[info.core];
+    if (info.kind != interp::CommitKind::AtomicPrepare)
+        ++cs.instrs;
+    Tick now = cs.cycle;
+    Tick cost = 1;
+
+    hookCore_ = info.core;
+    switch (info.kind) {
+      case interp::CommitKind::Alu:
+        break;
+      case interp::CommitKind::Branch:
+        break;
+      case interp::CommitKind::CallRet:
+        cost = 2;
+        break;
+      case interp::CommitKind::Load: {
+        auto out =
+            hierarchy_->access(info.core, info.addr, false, now);
+        cost = 1 + static_cast<Tick>(
+                       (out.latency - 1) *
+                       config_.loadLatencyFactor);
+        break;
+      }
+      case interp::CommitKind::Store: {
+        auto out = hierarchy_->access(info.core, info.addr, true, now);
+        // Stores are posted: charge only the write-buffer
+        // back-pressure, not the allocation latency.
+        cost = 1 + out.evictionStall;
+        ++cs.stores;
+        ++cs.storesInRegion;
+        cost += onStore(info.core, info, now + cost);
+        break;
+      }
+      case interp::CommitKind::AtomicPrepare:
+        cost = onAtomicPrepare(info.core, info, now);
+        break;
+      case interp::CommitKind::Atomic: {
+        auto out = hierarchy_->access(info.core, info.addr, true, now);
+        cost = 2 + static_cast<Tick>(
+                       (out.latency - 1) *
+                       config_.loadLatencyFactor);
+        ++cs.stores;
+        ++cs.storesInRegion;
+        cost += onStore(info.core, info, now + cost);
+        break;
+      }
+      case interp::CommitKind::Fence:
+        cost = 1 + onSync(info.core, now + 1);
+        break;
+      case interp::CommitKind::Io:
+        // Queued into the region's battery-backed I/O redo buffer
+        // (Section VIII): no stall; released when the region persists.
+        if (ioLog_) {
+            ioLog_->push_back(IoRecord{info.addr, info.storeValue,
+                                       cs.rbt.currentRegion(),
+                                       info.core});
+        }
+        break;
+      case interp::CommitKind::Boundary:
+        ++cs.boundaries;
+        cs.regionInstrSum += cs.instrs - cs.regionStartInstr;
+        cs.regionStartInstr = cs.instrs;
+        cost = 1 + onBoundary(info.core, info, now + 1);
+        cs.storesInRegion = 0;
+        break;
+    }
+    hookCore_ = ~CoreId{0};
+    cs.cycle = now + cost;
+}
+
+Scheme::PersistOutcome
+Scheme::persistEntry(CoreId core, Addr addr, Tick now,
+                     std::uint32_t bytes, bool speculation_enabled,
+                     bool is_checkpoint)
+{
+    CoreState &cs = cores_[core];
+    Addr word = wordAlign(addr);
+    Addr line = lineAlign(addr);
+    PersistOutcome out;
+    out.mc = hierarchy_->mcFor(addr);
+
+    Tick start = cs.pb.reserve(now);
+    out.stall = start - now;
+
+    Tick arrival = cs.path.send(start, bytes, out.mc);
+    // Speculative stores are undo-logged; checkpoint stores are
+    // always logged (their logs live until the region persists, see
+    // StoreRecord::isCkpt).
+    out.logged = is_checkpoint ||
+                 (speculation_enabled && cs.rbt.hasOpenRegion() &&
+                  start < cs.rbt.currentSpecEnd());
+    auto adm = hierarchy_->mc(out.mc).admitStore(arrival, bytes,
+                                                 out.logged, word);
+
+    out.admit = adm.admitted;
+    out.ack = adm.admitted + config_.path.oneWayLatency;
+    // WPQ backpressure propagates up the FIFO path: while this entry
+    // waits for a slot it occupies the link head.
+    if (adm.admitted > arrival)
+        cs.path.stallLink(adm.admitted);
+    cs.pb.complete(out.ack);
+    if (cs.rbt.hasOpenRegion())
+        cs.rbt.recordStoreAck(out.ack);
+    cs.lastAckMax = std::max(cs.lastAckMax, out.ack);
+
+    auto &lp = cs.linePersist[line];
+    lp = std::max(lp, out.admit);
+    if (++cs.linePersistOps >= 8192) {
+        cs.linePersistOps = 0;
+        for (auto it = cs.linePersist.begin();
+             it != cs.linePersist.end();) {
+            if (it->second <= now)
+                it = cs.linePersist.erase(it);
+            else
+                ++it;
+        }
+    }
+    return out;
+}
+
+Tick
+Scheme::persistThroughPath(CoreId core, const interp::CommitInfo &info,
+                           Tick now, std::uint32_t bytes,
+                           bool speculation_enabled)
+{
+    PersistOutcome out = persistEntry(core, info.addr, now, bytes,
+                                      speculation_enabled,
+                                      info.isCheckpoint);
+    if (storeLog_) {
+        storeLog_->push_back(StoreRecord{
+            wordAlign(info.addr), info.storeValue, out.admit, out.ack,
+            cores_[core].rbt.currentRegion(), core, out.mc,
+            out.logged, info.isCheckpoint, false});
+    }
+    return out.stall;
+}
+
+Tick
+Scheme::drainPersists(CoreId core, Tick now) const
+{
+    const CoreState &cs = cores_[core];
+    return cs.lastAckMax > now ? cs.lastAckMax - now : 0;
+}
+
+Tick
+Scheme::beginRegion(CoreId core, const interp::CommitInfo &info,
+                    Tick now, bool use_rbt_capacity)
+{
+    CoreState &cs = cores_[core];
+    RegionId id = nextRegionId_++;
+    Tick start = cs.rbt.beginRegion(now, id);
+    Tick stall = use_rbt_capacity ? start - now : 0;
+    if (regionLog_) {
+        regionLog_->push_back(RegionEvent{id, core, now + stall,
+                                          cs.rbt.currentSpecEnd(),
+                                          info.func,
+                                          info.staticRegion,
+                                          cs.instrs});
+    }
+    return stall;
+}
+
+Tick
+Scheme::linePersistReady(CoreId core, Addr line) const
+{
+    const auto &lp = cores_[core].linePersist;
+    auto it = lp.find(line);
+    return it == lp.end() ? 0 : it->second;
+}
+
+double
+Scheme::meanRegionInstrs() const
+{
+    std::uint64_t instr_sum = 0;
+    std::uint64_t regions = 0;
+    for (const auto &cs : cores_) {
+        instr_sum += cs.regionInstrSum;
+        regions += cs.boundaries;
+    }
+    return regions == 0 ? 0.0
+                        : static_cast<double>(instr_sum) /
+                              static_cast<double>(regions);
+}
+
+std::uint64_t
+Scheme::pbFullStalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cs : cores_)
+        n += cs.pb.fullStalls();
+    return n;
+}
+
+std::uint64_t
+Scheme::rbtFullStalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cs : cores_)
+        n += cs.rbt.fullStalls();
+    return n;
+}
+
+std::unique_ptr<Scheme>
+makeScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+           std::uint32_t num_cores)
+{
+    if (config.name == "baseline")
+        return makeBaselineScheme(config, hierarchy, num_cores);
+    if (config.name == "cwsp")
+        return makeCwspScheme(config, hierarchy, num_cores);
+    if (config.name == "capri")
+        return makeCapriScheme(config, hierarchy, num_cores);
+    if (config.name == "ido")
+        return makeIdoScheme(config, hierarchy, num_cores);
+    if (config.name == "replaycache")
+        return makeReplayCacheScheme(config, hierarchy, num_cores);
+    if (config.name == "psp")
+        return makeIdealPspScheme(config, hierarchy, num_cores);
+    cwsp_fatal("unknown scheme: ", config.name);
+}
+
+} // namespace cwsp::arch

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Persistence schemes: the commit-level timing models that couple the
+ * interpreter's instruction stream to the memory hierarchy and the
+ * persistence hardware. One subclass per evaluated design point:
+ * baseline (no persistence), cWSP, Capri, iDO, ReplayCache; the ideal
+ * PSP point (BBB/eADR/LightPC) is the baseline scheme on a hierarchy
+ * without the DRAM cache.
+ */
+
+#ifndef CWSP_ARCH_SCHEME_HH
+#define CWSP_ARCH_SCHEME_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/persist_buffer.hh"
+#include "arch/region_boundary_table.hh"
+#include "interp/commit.hh"
+#include "mem/hierarchy.hh"
+#include "mem/persist_path.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cwsp::arch {
+
+/** cWSP feature toggles (the cumulative steps of Fig. 15). */
+struct CwspFeatures
+{
+    bool persistPath = true;   ///< asynchronous store persistence
+    bool mcSpeculation = true; ///< undo logging + RBT, no boundary wait
+    bool wbDelay = true;       ///< stale-read writeback delay
+    bool wpqDelay = true;      ///< WPQ-hit load delay
+    /**
+     * Prior-work behaviour (Section II-B): stall at every region
+     * boundary until all prior stores persist. Off in every cWSP
+     * configuration; used by the iDO model and ablations.
+     */
+    bool stallAtBoundaries = false;
+};
+
+/** Configuration shared by all schemes. */
+struct SchemeConfig
+{
+    std::string name = "baseline";
+    mem::PersistPathConfig path;
+    std::uint32_t pbCapacity = 50;
+    std::uint32_t rbtCapacity = 16;
+    CwspFeatures features;
+
+    /**
+     * Fraction of beyond-L1 load latency the out-of-order core fails
+     * to hide (1.0 = fully serialized, 0 = perfectly overlapped).
+     * Models gem5-O3-style memory-level parallelism at commit level.
+     */
+    double loadLatencyFactor = 0.5;
+
+    /** Capri: redo-buffer capacity in cachelines (18 KB / 64 B). */
+    std::uint32_t capriRedoLines = 288;
+    /** ReplayCache: memory-level parallelism of the replay writes. */
+    std::uint32_t replayMlp = 8;
+};
+
+/** One durable store, for the crash/recovery machinery. */
+struct StoreRecord
+{
+    Addr addr = 0;        ///< word address
+    Word value = 0;
+    Tick persistTime = 0; ///< WPQ admission (durability instant)
+    /**
+     * MC acknowledgement time: the instant the RBT's PendingWrs
+     * decrements. The recovery protocol's notion of "region
+     * persisted" (resume selection, log reclamation) follows acks,
+     * while raw durability follows WPQ admission.
+     */
+    Tick ackTime = 0;
+    RegionId region = 0;
+    CoreId core = 0;
+    McId mc = 0;
+    bool logged = false;  ///< undo-logged at the MC (speculative)
+    /**
+     * Checkpoint/argument-spill store. Checkpoint stores are always
+     * undo-logged and their logs are reclaimed only when their region
+     * is persisted (not merely non-speculative), so the oldest
+     * unpersisted region can never observe a clobbered checkpoint
+     * slot during recovery.
+     */
+    bool isCkpt = false;
+    /**
+     * Atomic read-modify-write. Atomics are not idempotent, so the
+     * MC persists an atomic's region failure-atomically (an extension
+     * of the Section V-B2 failure-atomic undo-log+write unit): once
+     * the atomic reaches the WPQ, its whole region counts as
+     * persisted and is never re-executed.
+     */
+    bool isAtomic = false;
+};
+
+/** One buffered irrevocable device operation (Section VIII). */
+struct IoRecord
+{
+    std::uint64_t device = 0;
+    Word payload = 0;
+    RegionId region = 0;
+    CoreId core = 0;
+};
+
+/** A dynamic region-begin event, for snapshot bookkeeping. */
+struct RegionEvent
+{
+    RegionId region = 0;
+    CoreId core = 0;
+    Tick begin = 0;
+    Tick specEnd = 0; ///< when the region becomes non-speculative
+    ir::FuncId func = ir::kNoFunc;
+    ir::StaticRegionId staticRegion = ir::kNoStaticRegion;
+    /** Core's committed-instruction count at region entry. */
+    std::uint64_t instrsAtBegin = 0;
+};
+
+/** Base class: owns per-core cycle accounting and common stats. */
+class Scheme : public interp::CommitSink
+{
+  public:
+    Scheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+           std::uint32_t num_cores);
+    ~Scheme() override = default;
+
+    void onCommit(const interp::CommitInfo &info) final;
+
+    const SchemeConfig &config() const { return config_; }
+    mem::Hierarchy &hierarchy() { return *hierarchy_; }
+
+    /** Current cycle of @p core. */
+    Tick cycles(CoreId core) const { return cores_[core].cycle; }
+    /** Committed instructions on @p core. */
+    std::uint64_t instrs(CoreId core) const
+    {
+        return cores_[core].instrs;
+    }
+
+    /** Dynamic region currently executing on @p core. */
+    RegionId currentRegion(CoreId core) const
+    {
+        return cores_[core].rbt.currentRegion();
+    }
+
+    /** Mean dynamic instructions per region across all cores. */
+    double meanRegionInstrs() const;
+
+    /** Persisted stores recorded when recording is enabled. */
+    void enableRecording(std::vector<StoreRecord> *stores,
+                         std::vector<RegionEvent> *regions,
+                         std::vector<IoRecord> *io = nullptr);
+
+    std::uint64_t pbFullStalls() const;
+    std::uint64_t rbtFullStalls() const;
+
+  protected:
+    struct CoreState
+    {
+        Tick cycle = 0;
+        std::uint64_t instrs = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t boundaries = 0;
+        std::uint64_t regionInstrSum = 0;
+        std::uint64_t regionStartInstr = 0;
+        std::uint64_t storesInRegion = 0;
+        Tick lastAckMax = 0; ///< max MC ack over all persists issued
+
+        /** Timing computed at AtomicPrepare, consumed at Atomic. */
+        struct PendingAtomic
+        {
+            bool valid = false;
+            Tick admit = 0;
+            Tick ack = 0;
+            bool logged = false;
+            McId mc = 0;
+        } pendingAtomic;
+        PersistBuffer pb;
+        RegionBoundaryTable rbt;
+        mem::PersistPath path;
+        std::unordered_map<Addr, Tick> linePersist;
+        std::uint64_t linePersistOps = 0;
+
+        CoreState(const SchemeConfig &cfg, CoreId core,
+                  std::uint32_t num_mcs);
+    };
+
+    SchemeConfig config_;
+    mem::Hierarchy *hierarchy_;
+    std::vector<CoreState> cores_;
+    RegionId nextRegionId_ = 1; ///< shared hardware counter (Fig. 9)
+    std::vector<StoreRecord> *storeLog_ = nullptr;
+    std::vector<RegionEvent> *regionLog_ = nullptr;
+    std::vector<IoRecord> *ioLog_ = nullptr;
+    CoreId hookCore_ = ~CoreId{0}; ///< core whose access is in flight
+
+    // ---- subclass hooks; each returns extra cycles to charge ------
+
+    /** A store (or checkpoint) committed; @p now is post-cache time. */
+    virtual Tick onStore(CoreId core, const interp::CommitInfo &info,
+                         Tick now) = 0;
+    /** A region boundary committed. */
+    virtual Tick onBoundary(CoreId core,
+                            const interp::CommitInfo &info,
+                            Tick now) = 0;
+    /** A fence committed (atomics use onAtomicPrepare instead). */
+    virtual Tick onSync(CoreId core, Tick now) = 0;
+
+    /**
+     * Pre-execution phase of an atomic (Section VIII): reserve the
+     * persist machinery for the atomic's address and stall until the
+     * atomic and everything before it is acknowledged. Default: no
+     * persistence, no stall.
+     */
+    virtual Tick
+    onAtomicPrepare(CoreId core, const interp::CommitInfo &info,
+                    Tick now)
+    {
+        (void)core;
+        (void)info;
+        (void)now;
+        return 0;
+    }
+
+    // ---- shared helpers for persist-path schemes -------------------
+
+    /** Outcome of one persist-path round (no record emission). */
+    struct PersistOutcome
+    {
+        Tick stall = 0; ///< PB back-pressure on the core
+        Tick admit = 0; ///< WPQ admission (durability)
+        Tick ack = 0;   ///< MC acknowledgement
+        bool logged = false;
+        McId mc = 0;
+    };
+
+    /**
+     * Run one @p bytes-sized entry for @p addr through PB → persist
+     * path → WPQ on behalf of @p core's current region, updating the
+     * RBT, the line-persist map, and lastAckMax.
+     */
+    PersistOutcome persistEntry(CoreId core, Addr addr, Tick now,
+                                std::uint32_t bytes,
+                                bool speculation_enabled,
+                                bool is_checkpoint = false);
+
+    /**
+     * persistEntry plus a store-record emission (plain stores and
+     * checkpoints).
+     *
+     * @return core stall cycles (PB back-pressure).
+     */
+    Tick persistThroughPath(CoreId core, const interp::CommitInfo &info,
+                            Tick now, std::uint32_t bytes,
+                            bool speculation_enabled);
+
+    /** Stall until every issued persist has been acknowledged. */
+    Tick drainPersists(CoreId core, Tick now) const;
+
+    /** Begin a new dynamic region on @p core; returns stall cycles. */
+    Tick beginRegion(CoreId core, const interp::CommitInfo &info,
+                     Tick now, bool use_rbt_capacity);
+
+    /** Persist-time hook for the write-buffer stale-read delay. */
+    Tick linePersistReady(CoreId core, Addr line) const;
+};
+
+/** Build the scheme named by @p config (see scheme_*.cc). */
+std::unique_ptr<Scheme> makeScheme(const SchemeConfig &config,
+                                   mem::Hierarchy &hierarchy,
+                                   std::uint32_t num_cores);
+
+// Per-scheme factories (defined in the scheme_*.cc files).
+std::unique_ptr<Scheme> makeBaselineScheme(const SchemeConfig &,
+                                           mem::Hierarchy &,
+                                           std::uint32_t num_cores);
+std::unique_ptr<Scheme> makeCwspScheme(const SchemeConfig &,
+                                       mem::Hierarchy &,
+                                       std::uint32_t num_cores);
+std::unique_ptr<Scheme> makeCapriScheme(const SchemeConfig &,
+                                        mem::Hierarchy &,
+                                        std::uint32_t num_cores);
+std::unique_ptr<Scheme> makeIdoScheme(const SchemeConfig &,
+                                      mem::Hierarchy &,
+                                      std::uint32_t num_cores);
+std::unique_ptr<Scheme> makeReplayCacheScheme(const SchemeConfig &,
+                                              mem::Hierarchy &,
+                                              std::uint32_t num_cores);
+std::unique_ptr<Scheme> makeIdealPspScheme(const SchemeConfig &,
+                                           mem::Hierarchy &,
+                                           std::uint32_t num_cores);
+
+} // namespace cwsp::arch
+
+#endif // CWSP_ARCH_SCHEME_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Baseline scheme: the original program on the original hardware with
+ * no crash-consistency support (Section IX's normalization point).
+ * Stores stay in the cache hierarchy; boundaries do not exist in the
+ * baseline binary, but the hooks are no-ops anyway so the same scheme
+ * also measures instrumented binaries without persistence ("+Region
+ * Formation" in Fig. 15).
+ */
+
+#include "arch/scheme.hh"
+
+namespace cwsp::arch {
+
+namespace {
+
+class BaselineScheme final : public Scheme
+{
+  public:
+    using Scheme::Scheme;
+
+  protected:
+    Tick
+    onStore(CoreId, const interp::CommitInfo &, Tick) override
+    {
+        return 0;
+    }
+
+    Tick
+    onBoundary(CoreId core, const interp::CommitInfo &info,
+               Tick now) override
+    {
+        // Track regions for statistics only; no capacity stalls.
+        return beginRegion(core, info, now, false);
+    }
+
+    Tick
+    onSync(CoreId, Tick) override
+    {
+        return 0;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeBaselineScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+                   std::uint32_t num_cores)
+{
+    return std::make_unique<BaselineScheme>(config, hierarchy,
+                                            num_cores);
+}
+
+} // namespace cwsp::arch

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Capri model (Sections II-C, II-D): the state-of-the-art WSP this
+ * paper compares against. Every store copies its whole dirty
+ * cacheline into a battery-backed redo buffer next to L1D; the buffer
+ * drains over the persist path at 64-byte granularity (8x the NVM
+ * write traffic of cWSP) through a 2-phase proxy-buffer protocol.
+ * Because the redo buffer is battery-backed, region boundaries do not
+ * stall, but a full redo buffer does — which is exactly what happens
+ * when the 64-byte entries saturate a 4 GB/s persist path. Capri also
+ * delays DRAM-cache evictions to scan the proxy buffer for the
+ * stale-read problem; we charge the worst-case delivery wait the
+ * paper describes.
+ */
+
+#include "arch/scheme.hh"
+
+namespace cwsp::arch {
+
+namespace {
+
+class CapriScheme final : public Scheme
+{
+  public:
+    CapriScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+                std::uint32_t num_cores)
+        : Scheme(config, hierarchy, num_cores),
+          redo_(num_cores, PersistBuffer(config.capriRedoLines))
+    {
+    }
+
+  protected:
+    /** Run one 64-byte line through redo buffer → path → WPQ. */
+    PersistOutcome
+    capriPersist(CoreId core, Addr addr, Tick now)
+    {
+        PersistOutcome out;
+        PersistBuffer &rb = redo_[core];
+        Tick start = rb.reserve(now);
+        out.stall = start - now;
+
+        CoreState &cs = cores_[core];
+        out.mc = hierarchy_->mcFor(addr);
+        Tick arrival = cs.path.send(start, kCachelineBytes, out.mc);
+        // The 8x write amplification the paper attributes to Capri is
+        // the 64-byte entry itself (vs cWSP's 8 bytes); the WPQ media
+        // service is byte-proportional, so no extra log factor.
+        auto adm = hierarchy_->mc(out.mc).admitStore(
+            arrival, kCachelineBytes, false, wordAlign(addr));
+        out.admit = adm.admitted;
+        out.ack = adm.admitted + config_.path.oneWayLatency;
+        out.logged = true;
+        if (adm.admitted > arrival)
+            cs.path.stallLink(adm.admitted);
+        rb.complete(out.ack);
+        if (cs.rbt.hasOpenRegion())
+            cs.rbt.recordStoreAck(out.ack);
+        cs.lastAckMax = std::max(cs.lastAckMax, out.ack);
+        return out;
+    }
+
+    Tick
+    onStore(CoreId core, const interp::CommitInfo &info,
+            Tick now) override
+    {
+        CoreState &cs = cores_[core];
+        if (info.kind == interp::CommitKind::Atomic) {
+            auto &pa = cs.pendingAtomic;
+            if (pa.valid && storeLog_) {
+                storeLog_->push_back(StoreRecord{
+                    wordAlign(info.addr), info.storeValue, pa.admit,
+                    pa.ack, cs.rbt.currentRegion(), core, pa.mc,
+                    pa.logged, false, true});
+            }
+            pa.valid = false;
+            return 0;
+        }
+        PersistOutcome po = capriPersist(core, info.addr, now);
+        if (storeLog_) {
+            storeLog_->push_back(StoreRecord{
+                wordAlign(info.addr), info.storeValue, po.admit,
+                po.ack, cs.rbt.currentRegion(), core, po.mc, true,
+                info.isCheckpoint, false});
+        }
+        return po.stall;
+    }
+
+    Tick
+    onAtomicPrepare(CoreId core, const interp::CommitInfo &info,
+                    Tick now) override
+    {
+        PersistOutcome po = capriPersist(core, info.addr, now);
+        auto &pa = cores_[core].pendingAtomic;
+        pa.valid = true;
+        pa.admit = po.admit;
+        pa.ack = po.ack;
+        pa.logged = po.logged;
+        pa.mc = po.mc;
+        Tick after = now + po.stall;
+        return po.stall + drainPersists(core, after);
+    }
+
+    Tick
+    onBoundary(CoreId core, const interp::CommitInfo &info,
+               Tick now) override
+    {
+        // Battery-backed redo buffer: the next region starts
+        // immediately (Section II-C); region tracking for stats only.
+        return beginRegion(core, info, now, false);
+    }
+
+    Tick
+    onSync(CoreId core, Tick now) override
+    {
+        return drainPersists(core, now);
+    }
+
+  private:
+    std::vector<PersistBuffer> redo_;
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeCapriScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+                std::uint32_t num_cores)
+{
+    return std::make_unique<CapriScheme>(config, hierarchy, num_cores);
+}
+
+} // namespace cwsp::arch

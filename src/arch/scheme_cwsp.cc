@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The cWSP scheme (Sections III and V): asynchronous 8-byte store
+ * persistence through the PB and persist path, memory-controller
+ * speculation with undo logging, stale-read writeback delay, and the
+ * WPQ-hit load delay. Feature flags reproduce the cumulative steps of
+ * Fig. 15.
+ */
+
+#include "arch/scheme.hh"
+
+namespace cwsp::arch {
+
+namespace {
+
+class CwspScheme final : public Scheme
+{
+  public:
+    using Scheme::Scheme;
+
+  protected:
+    Tick
+    onStore(CoreId core, const interp::CommitInfo &info,
+            Tick now) override
+    {
+        if (!config_.features.persistPath)
+            return 0;
+        if (info.kind == interp::CommitKind::Atomic) {
+            // Timing happened at AtomicPrepare; emit the record with
+            // the now-known value.
+            auto &pa = cores_[core].pendingAtomic;
+            if (pa.valid && storeLog_) {
+                storeLog_->push_back(arch::StoreRecord{
+                    wordAlign(info.addr), info.storeValue, pa.admit,
+                    pa.ack, cores_[core].rbt.currentRegion(), core,
+                    pa.mc, pa.logged, false, true});
+            }
+            pa.valid = false;
+            return 0;
+        }
+        return persistThroughPath(core, info, now, kWordBytes,
+                                  config_.features.mcSpeculation);
+    }
+
+    Tick
+    onAtomicPrepare(CoreId core, const interp::CommitInfo &info,
+                    Tick now) override
+    {
+        if (!config_.features.persistPath)
+            return 0;
+        // Reserve the persist round for the atomic's address, then
+        // stall until it and everything older is acknowledged
+        // (Section VIII).
+        auto po = persistEntry(core, info.addr, now, kWordBytes,
+                               config_.features.mcSpeculation);
+        auto &pa = cores_[core].pendingAtomic;
+        pa.valid = true;
+        pa.admit = po.admit;
+        pa.ack = po.ack;
+        pa.logged = po.logged;
+        pa.mc = po.mc;
+        Tick after = now + po.stall;
+        return po.stall + drainPersists(core, after);
+    }
+
+    Tick
+    onBoundary(CoreId core, const interp::CommitInfo &info,
+               Tick now) override
+    {
+        Tick stall = 0;
+        if (config_.features.stallAtBoundaries)
+            stall += drainPersists(core, now);
+        // The RBT bounds speculation depth only when MC speculation
+        // is enabled; otherwise regions retire without tracking.
+        bool use_rbt = config_.features.persistPath &&
+                       config_.features.mcSpeculation;
+        stall += beginRegion(core, info, now + stall, use_rbt);
+
+        if (use_rbt) {
+            // When the previous region becomes non-speculative its RS
+            // pointer is written to NVM (Fig. 9 step 4): one 8-byte
+            // persist-path entry charged off the critical path.
+            CoreState &cs = cores_[core];
+            McId mc = cs.path.nearMc();
+            Tick arrival = cs.path.send(now + stall, kWordBytes, mc);
+            hierarchy_->mc(mc).admitStore(arrival, kWordBytes, false,
+                                          ir::Module::kCkptBase - 8);
+        }
+        return stall;
+    }
+
+    Tick
+    onSync(CoreId core, Tick now) override
+    {
+        // Stores before a synchronization primitive must be persisted
+        // before it commits (Section VIII).
+        return config_.features.persistPath ? drainPersists(core, now)
+                                            : 0;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeCwspScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+               std::uint32_t num_cores)
+{
+    return std::make_unique<CwspScheme>(config, hierarchy, num_cores);
+}
+
+} // namespace cwsp::arch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * iDO model (Section X): software failure atomicity over idempotent
+ * regions. Stores are flushed to NVM at cacheline granularity
+ * (clwb-style, through the persist machinery), and each region
+ * boundary executes two persist barriers that stall the pipeline
+ * until every outstanding flush completes — the behaviour the paper
+ * identifies as iDO's performance problem.
+ */
+
+#include "arch/scheme.hh"
+
+namespace cwsp::arch {
+
+namespace {
+
+/** sfence-style front-end cost per barrier, in cycles. */
+constexpr Tick kBarrierCost = 20;
+
+class IdoScheme final : public Scheme
+{
+  public:
+    using Scheme::Scheme;
+
+  protected:
+    Tick
+    onStore(CoreId core, const interp::CommitInfo &info,
+            Tick now) override
+    {
+        if (info.kind == interp::CommitKind::Atomic) {
+            auto &pa = cores_[core].pendingAtomic;
+            if (pa.valid && storeLog_) {
+                storeLog_->push_back(arch::StoreRecord{
+                    wordAlign(info.addr), info.storeValue, pa.admit,
+                    pa.ack, cores_[core].rbt.currentRegion(), core,
+                    pa.mc, pa.logged, false, true});
+            }
+            pa.valid = false;
+            return 0;
+        }
+        // clwb: the whole dirty line travels to NVM.
+        return persistThroughPath(core, info, now, kCachelineBytes,
+                                  false);
+    }
+
+    Tick
+    onAtomicPrepare(CoreId core, const interp::CommitInfo &info,
+                    Tick now) override
+    {
+        auto po = persistEntry(core, info.addr, now, kCachelineBytes,
+                               false);
+        auto &pa = cores_[core].pendingAtomic;
+        pa.valid = true;
+        pa.admit = po.admit;
+        pa.ack = po.ack;
+        pa.logged = po.logged;
+        pa.mc = po.mc;
+        Tick after = now + po.stall;
+        return po.stall + drainPersists(core, after) + kBarrierCost;
+    }
+
+    Tick
+    onBoundary(CoreId core, const interp::CommitInfo &info,
+               Tick now) override
+    {
+        // Two persist barriers around the boundary (Section I): wait
+        // for all prior flushes, pay both fence costs.
+        Tick stall = drainPersists(core, now) + 2 * kBarrierCost;
+        stall += beginRegion(core, info, now + stall, false);
+        return stall;
+    }
+
+    Tick
+    onSync(CoreId core, Tick now) override
+    {
+        return drainPersists(core, now) + kBarrierCost;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeIdoScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
+              std::uint32_t num_cores)
+{
+    return std::make_unique<IdoScheme>(config, hierarchy, num_cores);
+}
+
+} // namespace cwsp::arch

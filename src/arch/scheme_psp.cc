@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ideal partial-system persistence (Section IX-D): BBB / eADR /
+ * LightPC rolled into one optimistic point. Battery-backed buffers
+ * make every store persistent for free, so there are no persistence
+ * stalls at all — but PSP cannot repurpose DRAM as a cache, so the
+ * system runs without the DRAM LLC and every L2 miss pays NVM
+ * latency. The hierarchy passed to this scheme must be configured
+ * with hasDramCache = false (core/config.cc does this).
+ */
+
+#include "arch/scheme.hh"
+
+namespace cwsp::arch {
+
+namespace {
+
+class IdealPspScheme final : public Scheme
+{
+  public:
+    using Scheme::Scheme;
+
+  protected:
+    Tick
+    onStore(CoreId, const interp::CommitInfo &, Tick) override
+    {
+        return 0;
+    }
+
+    Tick
+    onBoundary(CoreId core, const interp::CommitInfo &info,
+               Tick now) override
+    {
+        return beginRegion(core, info, now, false);
+    }
+
+    Tick
+    onSync(CoreId, Tick) override
+    {
+        return 0;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeIdealPspScheme(const SchemeConfig &config,
+                   mem::Hierarchy &hierarchy, std::uint32_t num_cores)
+{
+    return std::make_unique<IdealPspScheme>(config, hierarchy,
+                                            num_cores);
+}
+
+} // namespace cwsp::arch

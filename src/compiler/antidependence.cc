@@ -1,0 +1,285 @@
+#include "compiler/antidependence.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/liveness.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+namespace {
+
+using analysis::AbstractLoc;
+using analysis::AliasAnalysis;
+using analysis::AliasResult;
+using analysis::Cfg;
+using analysis::RegMask;
+
+/** Positions (indices) of seed boundaries within one block. */
+std::vector<std::uint32_t>
+seedPositions(const ir::BasicBlock &blk, const BoundaryPred &has_seed)
+{
+    std::vector<std::uint32_t> pos;
+    for (std::uint32_t k = 0; k <= blk.instrs().size(); ++k) {
+        if (has_seed(blk.id(), k))
+            pos.push_back(k);
+    }
+    return pos;
+}
+
+/** Greedy optimal stabbing of half-open intervals (lo, hi]. */
+std::vector<std::uint32_t>
+stabIntervals(std::vector<std::pair<std::uint32_t, std::uint32_t>> ivs)
+{
+    std::sort(ivs.begin(), ivs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    std::vector<std::uint32_t> stabs;
+    std::uint32_t last = ~std::uint32_t{0};
+    for (const auto &[lo, hi] : ivs) {
+        // A stab at position p cuts (lo, hi] when lo < p <= hi.
+        if (last != ~std::uint32_t{0} && lo < last && last <= hi)
+            continue;
+        stabs.push_back(hi);
+        last = hi;
+    }
+    return stabs;
+}
+
+} // namespace
+
+CutResult
+computeMemoryCuts(const Cfg &cfg, const AliasAnalysis &aa,
+                  const BoundaryPred &has_seed)
+{
+    CutResult result;
+    const auto &func = cfg.function();
+    const std::size_t n = cfg.numBlocks();
+
+    // Enumerate memory-reading instructions (loads and atomics) so the
+    // cross-block exposure sets can be bitsets over a finite universe.
+    struct ReadSite
+    {
+        ir::BlockId block;
+        std::uint32_t index;
+        AbstractLoc loc;
+    };
+    std::vector<ReadSite> reads;
+    std::vector<std::vector<std::uint32_t>> readsInBlock(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto &instrs =
+            func.block(static_cast<ir::BlockId>(b)).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            if (!instrs[k].readsMemory())
+                continue;
+            readsInBlock[b].push_back(
+                static_cast<std::uint32_t>(reads.size()));
+            reads.push_back(
+                ReadSite{static_cast<ir::BlockId>(b), k,
+                         aa.locOf(static_cast<ir::BlockId>(b), k)});
+        }
+    }
+
+    // Per-block: gen = reads exposed to the block exit (after the last
+    // seed boundary); passThrough = no seed boundary anywhere in block.
+    std::vector<std::set<std::uint32_t>> gen(n);
+    std::vector<bool> pass(n, false);
+    std::vector<std::vector<std::uint32_t>> seeds(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto &blk = func.block(static_cast<ir::BlockId>(b));
+        seeds[b] = seedPositions(blk, has_seed);
+        std::uint32_t last_seed =
+            seeds[b].empty() ? 0 : seeds[b].back();
+        pass[b] = seeds[b].empty();
+        for (std::uint32_t rid : readsInBlock[b]) {
+            if (reads[rid].index >= last_seed || pass[b])
+                gen[b].insert(rid);
+        }
+    }
+
+    // Forward fixpoint: inSet[b] = union over predecessors of their
+    // exit sets; exit = gen ∪ (pass ? in : ∅).
+    std::vector<std::set<std::uint32_t>> inSet(n), exitSet(n);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : cfg.rpo()) {
+            std::set<std::uint32_t> in;
+            for (ir::BlockId p : cfg.predecessors(b))
+                in.insert(exitSet[p].begin(), exitSet[p].end());
+            std::set<std::uint32_t> out = gen[b];
+            if (pass[b])
+                out.insert(in.begin(), in.end());
+            if (in != inSet[b] || out != exitSet[b]) {
+                inSet[b] = std::move(in);
+                exitSet[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+
+    // Cross-block cuts: a store in the pre-first-seed prefix of block b
+    // that may alias an incoming exposed read gets a cut right before
+    // it; one cut per block prefix suffices (it stabs everything that
+    // follows it in the prefix as well).
+    std::set<CutPos> cuts;
+    for (std::size_t b = 0; b < n; ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        const auto &instrs = func.block(bid).instrs();
+        std::uint32_t first_seed = seeds[b].empty()
+                                       ? static_cast<std::uint32_t>(
+                                             instrs.size())
+                                       : seeds[b].front();
+        if (inSet[b].empty())
+            continue;
+        for (std::uint32_t k = 0; k < first_seed; ++k) {
+            if (!instrs[k].writesMemory() ||
+                instrs[k].op == ir::Opcode::Checkpoint)
+                continue;
+            AbstractLoc sloc = aa.locOf(bid, k);
+            bool hit = false;
+            for (std::uint32_t rid : inSet[b]) {
+                ++result.pairs;
+                if (AliasAnalysis::alias(reads[rid].loc, sloc) !=
+                    AliasResult::NoAlias) {
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit) {
+                cuts.insert(CutPos{bid, k});
+                break; // the cut stabs all later prefix pairs
+            }
+        }
+    }
+
+    // Local pairs: within each seed/cut segment, collect (read, write)
+    // may-alias intervals and stab them optimally.
+    for (std::size_t b = 0; b < n; ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        const auto &instrs = func.block(bid).instrs();
+
+        std::vector<std::uint32_t> dividers = seeds[b];
+        for (const auto &c : cuts) {
+            if (c.block == bid)
+                dividers.push_back(c.index);
+        }
+        std::sort(dividers.begin(), dividers.end());
+        dividers.erase(std::unique(dividers.begin(), dividers.end()),
+                       dividers.end());
+        dividers.push_back(static_cast<std::uint32_t>(instrs.size()));
+
+        std::uint32_t seg_start = 0;
+        for (std::uint32_t div : dividers) {
+            // Segment [seg_start, div).
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> ivs;
+            std::vector<std::uint32_t> local_reads;
+            for (std::uint32_t k = seg_start; k < div; ++k) {
+                const ir::Instr &i = instrs[k];
+                if (i.writesMemory() &&
+                    i.op != ir::Opcode::Checkpoint) {
+                    AbstractLoc sloc = aa.locOf(bid, k);
+                    for (std::uint32_t rk : local_reads) {
+                        ++result.pairs;
+                        if (AliasAnalysis::alias(aa.locOf(bid, rk),
+                                                 sloc) !=
+                            AliasResult::NoAlias) {
+                            ivs.emplace_back(rk, k);
+                        }
+                    }
+                }
+                if (i.readsMemory())
+                    local_reads.push_back(k);
+            }
+            for (std::uint32_t p : stabIntervals(std::move(ivs)))
+                cuts.insert(CutPos{bid, p});
+            seg_start = div;
+        }
+    }
+
+    result.cuts.assign(cuts.begin(), cuts.end());
+    return result;
+}
+
+CutResult
+computeRegisterCuts(const Cfg &cfg, const BoundaryPred &has_seed)
+{
+    CutResult result;
+    const auto &func = cfg.function();
+    const std::size_t n = cfg.numBlocks();
+
+    // exposed[r]: since the last boundary, register r has been read
+    // while still holding its at-boundary value. A definition of an
+    // exposed register is a WAR hazard on checkpoint slot r.
+    //
+    // Per-block transfer under the current seed set; cuts found feed
+    // back as additional dividers so one pass after the fixpoint
+    // places them.
+    std::vector<RegMask> inExp(n, 0), outExp(n, 0);
+
+    auto transfer = [&](ir::BlockId b, RegMask exp,
+                        std::set<CutPos> *cuts) {
+        const auto &instrs = func.block(b).instrs();
+        RegMask defined = 0; // defined since last boundary
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            if (has_seed(b, k) ||
+                (cuts && cuts->count(CutPos{b, k}))) {
+                exp = 0;
+                defined = 0;
+            }
+            const ir::Instr &i = instrs[k];
+            RegMask uses = analysis::Liveness::uses(i);
+            RegMask defs = analysis::Liveness::defs(i);
+            // Reads of still-boundary-valued registers expose them.
+            exp |= uses & ~defined;
+            if (defs & exp) {
+                if (cuts) {
+                    cuts->insert(CutPos{b, k});
+                    exp = 0;
+                    defined = 0;
+                    // Re-process this instruction in the new region:
+                    // its own uses become exposed.
+                    exp |= uses;
+                } else {
+                    // Fixpoint phase: act as if a cut were placed.
+                    exp = uses;
+                    defined = 0;
+                }
+            }
+            defined |= defs;
+            exp &= ~defs; // a redefined register's entry value is gone
+        }
+        if (has_seed(b, static_cast<std::uint32_t>(instrs.size())))
+            exp = 0;
+        return exp;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : cfg.rpo()) {
+            RegMask in = 0;
+            for (ir::BlockId p : cfg.predecessors(b))
+                in |= outExp[p];
+            RegMask out = transfer(b, in, nullptr);
+            if (in != inExp[b] || out != outExp[b]) {
+                inExp[b] = in;
+                outExp[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    std::set<CutPos> cuts;
+    for (std::size_t b = 0; b < n; ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        transfer(bid, inExp[b], &cuts);
+    }
+    result.pairs = cuts.size();
+    result.cuts.assign(cuts.begin(), cuts.end());
+    return result;
+}
+
+} // namespace cwsp::compiler

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Antidependence detection and optimal cut placement (Section IV-A).
+ *
+ * An idempotent region must not overwrite a location it previously
+ * read ("memory antidependence" / write-after-read): re-executing such
+ * a region would read its own partially-persisted output. The same
+ * discipline is extended to architectural registers whose checkpoint
+ * slots double as recovery inputs. Each offending (read, write) pair
+ * defines an interval that some region boundary must stab; within one
+ * basic block we solve the stabbing problem optimally with the classic
+ * greedy (sort by right endpoint), which is the interval special case
+ * of the paper's hitting-set formulation. Cross-block pairs are cut
+ * directly before the writing instruction.
+ */
+
+#ifndef CWSP_COMPILER_ANTIDEPENDENCE_HH
+#define CWSP_COMPILER_ANTIDEPENDENCE_HH
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "analysis/alias_analysis.hh"
+#include "analysis/cfg.hh"
+
+namespace cwsp::compiler {
+
+/** "Insert a boundary before instruction `index` of `block`". */
+struct CutPos
+{
+    ir::BlockId block = ir::kNoBlock;
+    std::uint32_t index = 0;
+
+    bool
+    operator<(const CutPos &o) const
+    {
+        return block != o.block ? block < o.block : index < o.index;
+    }
+    bool
+    operator==(const CutPos &o) const
+    {
+        return block == o.block && index == o.index;
+    }
+};
+
+/** Predicate: is there already a boundary before (block, index)? */
+using BoundaryPred =
+    std::function<bool(ir::BlockId, std::uint32_t)>;
+
+/** Result of one cut computation. */
+struct CutResult
+{
+    std::vector<CutPos> cuts;
+    std::uint64_t pairs = 0; ///< antidependence pairs considered
+};
+
+/**
+ * Compute boundary positions that cut every *memory* antidependence
+ * not already cut by a seed boundary.
+ *
+ * @param cfg       CFG of the function under compilation.
+ * @param aa        alias analysis for the same function.
+ * @param has_seed  existing (seed) boundary positions.
+ */
+CutResult computeMemoryCuts(const analysis::Cfg &cfg,
+                            const analysis::AliasAnalysis &aa,
+                            const BoundaryPred &has_seed);
+
+/**
+ * Compute boundary positions that cut every *register* WAR hazard: a
+ * region that reads the region-entry value of r and later redefines r
+ * would overwrite checkpoint slot r while slot r may still be its own
+ * recovery input, so the redefinition must start a new region.
+ */
+CutResult computeRegisterCuts(const analysis::Cfg &cfg,
+                              const BoundaryPred &has_seed);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_ANTIDEPENDENCE_HH

@@ -1,0 +1,46 @@
+#include "compiler/baseline_lowering.hh"
+
+namespace cwsp::compiler {
+
+CompilerOptions
+baselineOptions()
+{
+    CompilerOptions o;
+    o.instrument = false;
+    return o;
+}
+
+CompilerOptions
+cwspOptions()
+{
+    return CompilerOptions{};
+}
+
+CompilerOptions
+idoOptions()
+{
+    CompilerOptions o;
+    o.pruneCheckpoints = false;
+    return o;
+}
+
+CompilerOptions
+capriOptions()
+{
+    CompilerOptions o;
+    o.maxRegionInstrs = 29;
+    o.insertCheckpoints = false;
+    o.pruneCheckpoints = false;
+    o.buildRecoverySlices = false;
+    return o;
+}
+
+CompilerOptions
+replayCacheOptions()
+{
+    CompilerOptions o;
+    o.pruneCheckpoints = false;
+    return o;
+}
+
+} // namespace cwsp::compiler

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Compilation profiles for the baseline schemes the paper compares
+ * against. The hardware-side differences live in src/arch; these
+ * wrappers select the compiler-side differences.
+ */
+
+#ifndef CWSP_COMPILER_BASELINE_LOWERING_HH
+#define CWSP_COMPILER_BASELINE_LOWERING_HH
+
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/** Uninstrumented build (the paper's baseline has no persistence). */
+CompilerOptions baselineOptions();
+
+/** Full cWSP pipeline (regions + checkpoints + pruning + slices). */
+CompilerOptions cwspOptions();
+
+/**
+ * iDO-style lowering: idempotent regions with unpruned live-out
+ * checkpoints; persistence ordering comes from persist barriers at
+ * each boundary in the timing model, not from the hardware path.
+ */
+CompilerOptions idoOptions();
+
+/**
+ * Capri-style lowering: regions bounded by the hardware redo buffer
+ * (~29 instructions on average per the paper); registers are covered
+ * by JIT checkpointing, so no compiler checkpoints or slices.
+ */
+CompilerOptions capriOptions();
+
+/**
+ * ReplayCache-style lowering: regions with live-out checkpoints, no
+ * pruning (the scheme replays stores in software at each boundary).
+ */
+CompilerOptions replayCacheOptions();
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_BASELINE_LOWERING_HH

@@ -1,0 +1,84 @@
+#include "compiler/checkpoint_insertion.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+namespace {
+
+using analysis::Cfg;
+using analysis::Liveness;
+using analysis::RegMask;
+
+struct Insertion
+{
+    std::uint32_t index; ///< insert before this instruction
+    ir::Reg reg;
+};
+
+} // namespace
+
+CompileStats
+insertCheckpoints(ir::Function &func)
+{
+    CompileStats stats;
+    Cfg cfg(func);
+    Liveness live(cfg);
+
+    const RegMask fp_mask = analysis::regBit(kFramePointer);
+
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        auto &instrs = func.block(bid).instrs();
+        auto live_at = live.liveBeforeAll(bid);
+
+        std::vector<Insertion> inserts;
+        RegMask defined = 0; // defined since the previous divider
+
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            const ir::Instr &i = instrs[k];
+            if (i.op == ir::Opcode::RegionBoundary) {
+                // K1: checkpoint registers live here and defined since
+                // the previous divider in this block.
+                RegMask need = live_at[k] & defined & ~fp_mask;
+                analysis::forEachReg(need, [&](ir::Reg r) {
+                    inserts.push_back(Insertion{k, r});
+                });
+                defined = 0;
+                continue;
+            }
+            if (ir::isTerminator(i.op)) {
+                // K2: block exit carries locally-defined live values
+                // into successor blocks' regions.
+                RegMask need =
+                    live.liveOut(bid) & defined & ~fp_mask;
+                analysis::forEachReg(need, [&](ir::Reg r) {
+                    inserts.push_back(Insertion{k, r});
+                });
+                break;
+            }
+            defined |= Liveness::defs(i);
+        }
+
+        stats.checkpointsInserted += inserts.size();
+        // Materialize from the back so indices remain valid.
+        std::sort(inserts.begin(), inserts.end(),
+                  [](const Insertion &x, const Insertion &y) {
+                      return x.index > y.index;
+                  });
+        for (const auto &ins : inserts) {
+            ir::Instr ck;
+            ck.op = ir::Opcode::Checkpoint;
+            ck.a = ins.reg;
+            instrs.insert(instrs.begin() + ins.index, ck);
+        }
+    }
+    return stats;
+}
+
+} // namespace cwsp::compiler

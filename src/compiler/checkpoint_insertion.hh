@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Live-out register checkpointing (Section IV-B): after every
+ * definition whose value is live across a region boundary, persist
+ * the register into its NVM checkpoint slot so a later region's
+ * recovery slice can restore it.
+ */
+
+#ifndef CWSP_COMPILER_CHECKPOINT_INSERTION_HH
+#define CWSP_COMPILER_CHECKPOINT_INSERTION_HH
+
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/**
+ * Insert Checkpoint instructions into @p func. Requires region
+ * boundaries to be present. The insertion discipline maintains the
+ * slot invariant: *whenever execution sits at a region boundary b,
+ * every register live at b has its current value in its checkpoint
+ * slot* — either from a checkpoint inside the current block (placed
+ * just before b for registers defined since the previous divider) or
+ * from a block-exit checkpoint in the defining block.
+ *
+ * @return statistics (checkpointsInserted).
+ */
+CompileStats insertCheckpoints(ir::Function &func);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_CHECKPOINT_INSERTION_HH

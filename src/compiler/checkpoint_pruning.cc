@@ -1,0 +1,411 @@
+#include "compiler/checkpoint_pruning.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "analysis/reaching_defs.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+namespace {
+
+using analysis::Cfg;
+using analysis::DefId;
+using analysis::kNoDef;
+using analysis::Liveness;
+using analysis::ReachingDefs;
+using analysis::RegMask;
+
+struct Boundary
+{
+    ir::BlockId block;
+    std::uint32_t index;
+    ir::StaticRegionId id;
+    RegMask live;
+};
+
+struct Ckpt
+{
+    ir::BlockId block;
+    std::uint32_t index;
+    ir::Reg reg;
+    std::vector<DefId> valueDefs; ///< defs whose value this ckpt saves
+    bool kept = true;
+    bool pinned = false;
+};
+
+/** ALU transforms a rematerialization chain may apply. */
+bool
+chainableOp(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::Add:
+      case ir::Opcode::Sub:
+      case ir::Opcode::Mul:
+      case ir::Opcode::And:
+      case ir::Opcode::Or:
+      case ir::Opcode::Xor:
+      case ir::Opcode::Shl:
+      case ir::Opcode::Shr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class Pruner
+{
+  public:
+    explicit Pruner(ir::Function &func)
+        : func_(func), cfg_(func), live_(cfg_), rd_(cfg_)
+    {
+        collect();
+    }
+
+    PruneResult run();
+
+  private:
+    ir::Function &func_;
+    Cfg cfg_;
+    Liveness live_;
+    ReachingDefs rd_;
+    std::vector<Boundary> boundaries_;
+    std::vector<Ckpt> ckpts_;
+    std::vector<std::vector<std::size_t>> ckptsOfReg_;
+    /** Chains recorded so far (owned by run()); see slotValidAt. */
+    const std::map<std::pair<ir::StaticRegionId, ir::Reg>,
+                   RematPlan> *chains_ = nullptr;
+
+    void collect();
+
+    bool sameDefs(const std::vector<DefId> &a,
+                  const std::vector<DefId> &b) const
+    {
+        return a == b; // both sorted by construction
+    }
+
+    static bool
+    intersects(const std::vector<DefId> &a, const std::vector<DefId> &b)
+    {
+        auto ia = a.begin();
+        auto ib = b.begin();
+        while (ia != a.end() && ib != b.end()) {
+            if (*ia < *ib)
+                ++ia;
+            else if (*ib < *ia)
+                ++ib;
+            else
+                return true;
+        }
+        return false;
+    }
+
+    /** Boundaries a checkpoint may dynamically serve. */
+    std::vector<std::size_t> served(const Ckpt &c) const;
+
+    /**
+     * Try to build a rematerialization chain for register @p r at
+     * boundary @p b, assuming checkpoint @p candidate is pruned.
+     * On success returns the chain and appends the checkpoint indices
+     * it relies on to @p suppliers.
+     */
+    std::optional<RematPlan>
+    tryChain(const Boundary &b, ir::Reg r, std::size_t candidate,
+             std::vector<std::size_t> &suppliers) const;
+
+    /**
+     * Is register @p q's value at boundary @p b exactly the value of
+     * definition @p dq, guaranteed present in slot[q] at recovery (a
+     * kept canonical checkpoint follows dq)? On success appends the
+     * checkpoints that must stay pinned to @p suppliers.
+     */
+    bool slotValidAt(const Boundary &b, ir::Reg q, DefId dq,
+                     std::size_t candidate,
+                     std::vector<std::size_t> &suppliers) const;
+};
+
+void
+Pruner::collect()
+{
+    ckptsOfReg_.resize(ir::kNumRegs);
+    for (std::size_t bb = 0; bb < func_.numBlocks(); ++bb) {
+        auto bid = static_cast<ir::BlockId>(bb);
+        const auto &instrs = func_.block(bid).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            const ir::Instr &i = instrs[k];
+            if (i.op == ir::Opcode::RegionBoundary) {
+                boundaries_.push_back(Boundary{
+                    bid, k,
+                    static_cast<ir::StaticRegionId>(i.imm),
+                    live_.liveBefore(bid, k) &
+                        ~analysis::regBit(kFramePointer)});
+            } else if (i.op == ir::Opcode::Checkpoint) {
+                Ckpt c;
+                c.block = bid;
+                c.index = k;
+                c.reg = i.a;
+                c.valueDefs = rd_.reachingAt(bid, k, i.a);
+                ckptsOfReg_[i.a].push_back(ckpts_.size());
+                ckpts_.push_back(std::move(c));
+            }
+        }
+    }
+}
+
+std::vector<std::size_t>
+Pruner::served(const Ckpt &c) const
+{
+    std::vector<std::size_t> result;
+    for (std::size_t bi = 0; bi < boundaries_.size(); ++bi) {
+        const Boundary &b = boundaries_[bi];
+        if (!(b.live & analysis::regBit(c.reg)))
+            continue;
+        auto reach = rd_.reachingAt(b.block, b.index, c.reg);
+        if (intersects(c.valueDefs, reach))
+            result.push_back(bi);
+    }
+    return result;
+}
+
+bool
+Pruner::slotValidAt(const Boundary &b, ir::Reg q, DefId dq,
+                    std::size_t candidate,
+                    std::vector<std::size_t> &suppliers) const
+{
+    if (rd_.isEntryDef(dq))
+        return false;
+    auto reach_q = rd_.reachingAt(b.block, b.index, q);
+    if (reach_q.size() != 1 || reach_q[0] != dq ||
+        !(b.live & analysis::regBit(q)))
+        return false;
+    ir::InstrRef dsite = rd_.defSite(dq);
+    std::size_t canonical = ~std::size_t{0};
+    for (std::size_t ci : ckptsOfReg_[q]) {
+        const Ckpt &c = ckpts_[ci];
+        if (ci == candidate || !c.kept)
+            continue;
+        if (c.block == dsite.block && c.index > dsite.index &&
+            c.valueDefs.size() == 1 && c.valueDefs[0] == dq) {
+            canonical = ci;
+            break;
+        }
+    }
+    if (canonical == ~std::size_t{0})
+        return false;
+    // The register q must be restored by a plain slot load at
+    // recovery (chains read it as a register operand): reject when a
+    // rematerialization chain was already recorded for (b, q) — and
+    // the pinning below prevents any future one.
+    if (chains_ && chains_->count(std::make_pair(b.id, q)))
+        return false;
+    // Pin every kept checkpoint of q serving this boundary: they
+    // jointly maintain the slot invariant the chain reads through.
+    for (std::size_t ci : ckptsOfReg_[q]) {
+        const Ckpt &c = ckpts_[ci];
+        if (ci != candidate && c.kept &&
+            intersects(c.valueDefs, reach_q)) {
+            suppliers.push_back(ci);
+        }
+    }
+    return true;
+}
+
+std::optional<RematPlan>
+Pruner::tryChain(const Boundary &b, ir::Reg r, std::size_t candidate,
+                 std::vector<std::size_t> &suppliers) const
+{
+    auto reach_r = rd_.reachingAt(b.block, b.index, r);
+    if (reach_r.size() != 1)
+        return std::nullopt;
+
+    constexpr int kMaxSteps = 6;
+    std::vector<ir::RsOp> transforms; // collected in reverse order
+
+    ir::Reg q = r;
+    DefId dq = reach_r[0];
+    for (int step = 0;; ++step) {
+        if (step > kMaxSteps)
+            return std::nullopt;
+
+        // Slot termination (skipped at step 0 — that would just be
+        // the checkpoint we are trying to prune): valid when q's value
+        // at the boundary is exactly dq's value and the canonical
+        // checkpoint following dq survives.
+        if (step > 0 &&
+            slotValidAt(b, q, dq, candidate, suppliers)) {
+            RematPlan plan;
+            ir::RsOp init;
+            init.kind = ir::RsOp::Kind::LoadSlot;
+            init.dst = r;
+            init.slot = q;
+            plan.ops.push_back(init);
+            for (auto it = transforms.rbegin();
+                 it != transforms.rend(); ++it)
+                plan.ops.push_back(*it);
+            return plan;
+        }
+
+        if (rd_.isEntryDef(dq)) {
+            // Parameter values are spilled into their slots by the
+            // call sequence, so an unmodified parameter reads its
+            // slot directly.
+            auto reach_q = rd_.reachingAt(b.block, b.index, q);
+            if (q < func_.numParams() && reach_q.size() == 1 &&
+                reach_q[0] == dq) {
+                RematPlan plan;
+                ir::RsOp init;
+                init.kind = ir::RsOp::Kind::LoadSlot;
+                init.dst = r;
+                init.slot = q;
+                plan.ops.push_back(init);
+                for (auto it = transforms.rbegin();
+                     it != transforms.rend(); ++it)
+                    plan.ops.push_back(*it);
+                return plan;
+            }
+            return std::nullopt;
+        }
+
+        ir::InstrRef site = rd_.defSite(dq);
+        const ir::Instr &inst =
+            func_.block(site.block).instrs()[site.index];
+
+        if (inst.op == ir::Opcode::MovImm) {
+            RematPlan plan;
+            ir::RsOp init;
+            init.kind = ir::RsOp::Kind::SetImm;
+            init.dst = r;
+            init.imm = inst.imm;
+            plan.ops.push_back(init);
+            for (auto it = transforms.rbegin(); it != transforms.rend();
+                 ++it)
+                plan.ops.push_back(*it);
+            return plan;
+        }
+        if (inst.op == ir::Opcode::Mov) {
+            q = inst.a;
+        } else if (chainableOp(inst.op) && inst.bIsImm) {
+            ir::RsOp t;
+            t.kind = ir::RsOp::Kind::Apply;
+            t.op = inst.op;
+            t.dst = r;
+            t.srcA = r;
+            t.bIsImm = true;
+            t.imm = inst.imm;
+            transforms.push_back(t);
+            q = inst.a;
+        } else if (chainableOp(inst.op) && !inst.bIsImm) {
+            // Two-register form (base+index addressing): the second
+            // operand must be restorable from its own slot at this
+            // boundary; the recovery slice reads the *register* after
+            // the slot-restored live-ins run (buildRecoverySlices
+            // emits slot restores before chains).
+            DefId dq2 = rd_.uniqueReachingAt(site.block, site.index,
+                                             inst.b);
+            if (dq2 == kNoDef ||
+                !slotValidAt(b, inst.b, dq2, candidate, suppliers))
+                return std::nullopt;
+            ir::RsOp t;
+            t.kind = ir::RsOp::Kind::Apply;
+            t.op = inst.op;
+            t.dst = r;
+            t.srcA = r;
+            t.srcB = inst.b;
+            t.bIsImm = false;
+            transforms.push_back(t);
+            q = inst.a;
+        } else {
+            return std::nullopt;
+        }
+        auto next = rd_.reachingAt(site.block, site.index, q);
+        if (next.size() != 1)
+            return std::nullopt;
+        dq = next[0];
+    }
+}
+
+PruneResult
+Pruner::run()
+{
+    PruneResult result;
+    chains_ = &result.chains;
+
+    // Greedy pass in reverse program order: loop-body checkpoints
+    // (the hot ones) are attempted first.
+    std::vector<std::size_t> order(ckpts_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = ckpts_.size() - 1 - i;
+
+    for (std::size_t ci : order) {
+        Ckpt &c = ckpts_[ci];
+        if (c.pinned)
+            continue;
+
+        auto served_boundaries = served(c);
+        std::vector<
+            std::pair<std::pair<ir::StaticRegionId, ir::Reg>, RematPlan>>
+            plans;
+        std::vector<std::size_t> suppliers;
+        bool ok = true;
+        for (std::size_t bi : served_boundaries) {
+            const Boundary &b = boundaries_[bi];
+            auto key = std::make_pair(b.id, c.reg);
+            // A chain recorded by an earlier pruning of a sibling
+            // checkpoint already covers this pair.
+            if (result.chains.count(key))
+                continue;
+            auto plan = tryChain(b, c.reg, ci, suppliers);
+            if (!plan) {
+                ok = false;
+                break;
+            }
+            plans.emplace_back(key, std::move(*plan));
+        }
+        if (!ok)
+            continue;
+
+        c.kept = false;
+        ++result.pruned;
+        for (auto &[key, plan] : plans)
+            result.chains[key] = std::move(plan);
+        for (std::size_t si : suppliers)
+            ckpts_[si].pinned = true;
+    }
+
+    // Delete pruned checkpoint instructions, back to front per block.
+    std::vector<std::size_t> doomed;
+    for (std::size_t ci = 0; ci < ckpts_.size(); ++ci) {
+        if (!ckpts_[ci].kept)
+            doomed.push_back(ci);
+    }
+    std::sort(doomed.begin(), doomed.end(),
+              [this](std::size_t x, std::size_t y) {
+                  const Ckpt &a = ckpts_[x];
+                  const Ckpt &b = ckpts_[y];
+                  return a.block != b.block ? a.block > b.block
+                                            : a.index > b.index;
+              });
+    for (std::size_t ci : doomed) {
+        const Ckpt &c = ckpts_[ci];
+        auto &instrs = func_.block(c.block).instrs();
+        cwsp_assert(instrs[c.index].op == ir::Opcode::Checkpoint &&
+                        instrs[c.index].a == c.reg,
+                    "pruning bookkeeping out of sync");
+        instrs.erase(instrs.begin() + c.index);
+    }
+    return result;
+}
+
+} // namespace
+
+PruneResult
+pruneCheckpoints(ir::Function &func)
+{
+    return Pruner(func).run();
+}
+
+} // namespace cwsp::compiler

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Checkpoint pruning (Section IV-C). Many checkpoints are redundant:
+ * the saved value can be rebuilt at recovery time from immediates
+ * and/or other (surviving) checkpoints. This pass removes such
+ * checkpoints and records, per (region, register), the
+ * rematerialization chain the recovery slice must run instead.
+ *
+ * The paper uses Penny's optimal pruning; we implement a greedy,
+ * pin-based approximation with the same structure: a checkpoint is
+ * pruned only when every region boundary it may serve gets a valid
+ * rematerialization chain, and every checkpoint a chain relies on is
+ * pinned against later pruning. Chains are linear: they start from an
+ * immediate or a surviving checkpoint slot and apply immediate-operand
+ * ALU transforms, which covers the paper's motivating patterns
+ * (constants, copies, pointer+offset recomputation, Fig. 4's
+ * load-then-shift slice).
+ */
+
+#ifndef CWSP_COMPILER_CHECKPOINT_PRUNING_HH
+#define CWSP_COMPILER_CHECKPOINT_PRUNING_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/** Rematerialization chain for one (region, register) pair. */
+struct RematPlan
+{
+    std::vector<ir::RsOp> ops;
+};
+
+/** Output of the pruning pass, consumed by recovery-slice synthesis. */
+struct PruneResult
+{
+    /**
+     * Chains for live-in registers whose value is rebuilt rather than
+     * loaded from its own slot. Absent entries mean "load the slot".
+     */
+    std::map<std::pair<ir::StaticRegionId, ir::Reg>, RematPlan> chains;
+
+    std::uint64_t pruned = 0; ///< checkpoints removed
+};
+
+/**
+ * Prune redundant checkpoints in @p func (mutates the IR by deleting
+ * Checkpoint instructions) and return the rematerialization chains.
+ * Requires boundaries and checkpoints to be present.
+ */
+PruneResult pruneCheckpoints(ir::Function &func);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_CHECKPOINT_PRUNING_HH

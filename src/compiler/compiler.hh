@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared declarations for the cWSP compiler pipeline (Section IV of
+ * the paper): idempotent region formation, live-out register
+ * checkpointing, checkpoint pruning, and recovery-slice synthesis.
+ */
+
+#ifndef CWSP_COMPILER_COMPILER_HH
+#define CWSP_COMPILER_COMPILER_HH
+
+#include <cstdint>
+
+#include "ir/ir.hh"
+
+namespace cwsp::compiler {
+
+/** The frame-pointer register is runtime-managed, never checkpointed. */
+constexpr ir::Reg kFramePointer = 31;
+
+/** Tuning knobs for the WSP compilation pipeline. */
+struct CompilerOptions
+{
+    /// Master switch: when false no pass runs at all (the baseline
+    /// binary has no boundaries, checkpoints, or slices).
+    bool instrument = true;
+    /// Cut memory antidependences (write-after-read) within regions.
+    bool cutMemoryAntideps = true;
+    /// Cut register WAR hazards (a region reading then redefining a
+    /// register). OFF by default: cWSP hardware undo-logs checkpoint
+    /// stores unconditionally and reclaims their logs only when the
+    /// region is *persisted*, so a region can never clobber its own
+    /// recovery inputs (see DESIGN.md §6); the cuts remain available
+    /// as an ablation of that hardware rule.
+    bool cutRegisterAntideps = false;
+    /// Seed a boundary at every natural-loop header (region per
+    /// iteration).
+    bool boundariesAtLoopHeaders = true;
+    /// Seed boundaries around call sites.
+    bool boundariesAtCalls = true;
+    /// Seed boundaries around atomics and fences.
+    bool boundariesAtSync = true;
+    /// When nonzero, additionally bound static region length (used by
+    /// the Capri baseline whose hardware redo buffer limits regions
+    /// to ~29 instructions).
+    unsigned maxRegionInstrs = 0;
+    /// Insert live-out register checkpoints.
+    bool insertCheckpoints = true;
+    /// Run the Penny-style optimal checkpoint pruning.
+    bool pruneCheckpoints = true;
+    /// Synthesize per-region recovery slices.
+    bool buildRecoverySlices = true;
+};
+
+/** Aggregate statistics from one compilation. */
+struct CompileStats
+{
+    std::uint64_t boundaries = 0;          ///< RegionBoundary instrs
+    std::uint64_t memAntidepCuts = 0;      ///< boundaries due to mem WAR
+    std::uint64_t regAntidepCuts = 0;      ///< boundaries due to reg WAR
+    std::uint64_t checkpointsInserted = 0; ///< before pruning
+    std::uint64_t checkpointsPruned = 0;   ///< removed by pruning
+    std::uint64_t sliceOps = 0;            ///< total recovery-slice ops
+
+    CompileStats &
+    operator+=(const CompileStats &o)
+    {
+        boundaries += o.boundaries;
+        memAntidepCuts += o.memAntidepCuts;
+        regAntidepCuts += o.regAntidepCuts;
+        checkpointsInserted += o.checkpointsInserted;
+        checkpointsPruned += o.checkpointsPruned;
+        sliceOps += o.sliceOps;
+        return *this;
+    }
+};
+
+/**
+ * Run the full cWSP pipeline over every function of @p module.
+ * The module must be laid out. Verifies the result.
+ *
+ * @return accumulated statistics.
+ */
+CompileStats compileForWsp(ir::Module &module,
+                           const CompilerOptions &options);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_COMPILER_HH

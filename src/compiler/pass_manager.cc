@@ -1,0 +1,59 @@
+#include "compiler/pass_manager.hh"
+
+#include "compiler/checkpoint_insertion.hh"
+#include "compiler/checkpoint_pruning.hh"
+#include "compiler/recovery_slice.hh"
+#include "compiler/region_formation.hh"
+#include "ir/verifier.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+CompileStats
+compileFunctionForWsp(ir::Module &module, ir::Function &func,
+                      const CompilerOptions &options)
+{
+    cwsp_assert(!func.instrumented(),
+                "function ", func.name(), " compiled twice");
+    CompileStats stats;
+    if (!options.instrument) {
+        func.setInstrumented();
+        return stats;
+    }
+
+    stats += formRegions(module, func, options);
+
+    if (options.insertCheckpoints)
+        stats += insertCheckpoints(func);
+
+    PruneResult pruning;
+    if (options.insertCheckpoints && options.pruneCheckpoints) {
+        pruning = pruneCheckpoints(func);
+        stats.checkpointsPruned = pruning.pruned;
+    }
+
+    if (options.buildRecoverySlices) {
+        stats += buildRecoverySlices(
+            func, options.pruneCheckpoints ? &pruning : nullptr);
+    }
+
+    func.setInstrumented();
+    return stats;
+}
+
+CompileStats
+compileForWsp(ir::Module &module, const CompilerOptions &options)
+{
+    cwsp_assert(module.laidOut(),
+                "layoutMemory() must run before compilation");
+    CompileStats stats;
+    for (std::size_t f = 0; f < module.numFunctions(); ++f) {
+        stats += compileFunctionForWsp(
+            module, module.function(static_cast<ir::FuncId>(f)),
+            options);
+    }
+    ir::verifyOrDie(module);
+    return stats;
+}
+
+} // namespace cwsp::compiler

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Pipeline driver for the cWSP compiler passes.
+ */
+
+#ifndef CWSP_COMPILER_PASS_MANAGER_HH
+#define CWSP_COMPILER_PASS_MANAGER_HH
+
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/** Run the configured pipeline on a single function. */
+CompileStats compileFunctionForWsp(ir::Module &module,
+                                   ir::Function &func,
+                                   const CompilerOptions &options);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_PASS_MANAGER_HH

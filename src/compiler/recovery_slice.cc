@@ -1,0 +1,69 @@
+#include "compiler/recovery_slice.hh"
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+CompileStats
+buildRecoverySlices(ir::Function &func, const PruneResult *pruning)
+{
+    CompileStats stats;
+    analysis::Cfg cfg(func);
+    analysis::Liveness live(cfg);
+
+    auto &slices = func.recoverySlices();
+
+    for (std::size_t bb = 0; bb < func.numBlocks(); ++bb) {
+        auto bid = static_cast<ir::BlockId>(bb);
+        const auto &instrs = func.block(bid).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            const ir::Instr &i = instrs[k];
+            if (i.op != ir::Opcode::RegionBoundary)
+                continue;
+            auto rid = static_cast<ir::StaticRegionId>(i.imm);
+            cwsp_assert(rid < slices.size(),
+                        "region id out of slice-table range");
+            ir::RecoverySlice &slice = slices[rid];
+            slice.ops.clear();
+            slice.liveIns.clear();
+
+            analysis::RegMask mask =
+                live.liveBefore(bid, k) &
+                ~analysis::regBit(kFramePointer);
+            // Two passes: plain slot restores first, then
+            // rematerialization chains — chains may read the
+            // slot-restored registers (two-register Apply operands).
+            std::vector<std::pair<ir::Reg, const RematPlan *>> chains;
+            analysis::forEachReg(mask, [&](ir::Reg r) {
+                slice.liveIns.push_back(r);
+                const RematPlan *plan = nullptr;
+                if (pruning) {
+                    auto it =
+                        pruning->chains.find(std::make_pair(rid, r));
+                    if (it != pruning->chains.end())
+                        plan = &it->second;
+                }
+                if (plan) {
+                    chains.emplace_back(r, plan);
+                } else {
+                    ir::RsOp op;
+                    op.kind = ir::RsOp::Kind::LoadSlot;
+                    op.dst = r;
+                    op.slot = r;
+                    slice.ops.push_back(op);
+                }
+            });
+            for (const auto &[r, plan] : chains) {
+                (void)r;
+                for (const auto &op : plan->ops)
+                    slice.ops.push_back(op);
+            }
+            stats.sliceOps += slice.ops.size();
+        }
+    }
+    return stats;
+}
+
+} // namespace cwsp::compiler

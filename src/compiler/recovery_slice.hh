@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Recovery-slice synthesis (Sections IV-C, VII). For every static
+ * region, emit the short restoration program the recovery runtime
+ * executes before resuming the region: each live-in register is either
+ * loaded from its checkpoint slot or rebuilt by the rematerialization
+ * chain the pruning pass recorded.
+ */
+
+#ifndef CWSP_COMPILER_RECOVERY_SLICE_HH
+#define CWSP_COMPILER_RECOVERY_SLICE_HH
+
+#include "compiler/checkpoint_pruning.hh"
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/**
+ * Populate @p func's recovery-slice table. Boundaries must carry
+ * their static ids; @p pruning may be null (every live-in then loads
+ * its slot).
+ *
+ * @return statistics (sliceOps).
+ */
+CompileStats buildRecoverySlices(ir::Function &func,
+                                 const PruneResult *pruning);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_RECOVERY_SLICE_HH

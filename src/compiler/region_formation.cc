@@ -1,0 +1,151 @@
+#include "compiler/region_formation.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/alias_analysis.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loop_info.hh"
+#include "compiler/antidependence.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::compiler {
+
+namespace {
+
+using analysis::AliasAnalysis;
+using analysis::Cfg;
+using analysis::Dominators;
+using analysis::LoopInfo;
+
+/** Collect seed boundary positions per Section IV-A. */
+std::set<CutPos>
+collectSeeds(const ir::Function &func, const Cfg &cfg,
+             const CompilerOptions &options)
+{
+    std::set<CutPos> seeds;
+
+    // Function entry: the first region starts with the function.
+    seeds.insert(CutPos{0, 0});
+
+    if (options.boundariesAtLoopHeaders) {
+        Dominators doms(cfg);
+        LoopInfo loops(cfg, doms);
+        for (const auto &loop : loops.loops())
+            seeds.insert(CutPos{loop.header, 0});
+    }
+
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        const auto &instrs = func.block(bid).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            const ir::Instr &i = instrs[k];
+            if (options.boundariesAtCalls &&
+                i.op == ir::Opcode::Call) {
+                seeds.insert(CutPos{bid, k});
+                seeds.insert(CutPos{bid, k + 1});
+            }
+            if (options.boundariesAtSync) {
+                if (ir::isAtomic(i.op)) {
+                    seeds.insert(CutPos{bid, k});
+                    seeds.insert(CutPos{bid, k + 1});
+                } else if (i.op == ir::Opcode::Fence) {
+                    seeds.insert(CutPos{bid, k + 1});
+                }
+            }
+        }
+    }
+    return seeds;
+}
+
+/** Enforce a static bound on region length within each block. */
+void
+addLengthCaps(const ir::Function &func, unsigned max_len,
+              std::set<CutPos> &positions)
+{
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        const auto &instrs = func.block(bid).instrs();
+        unsigned run = 0;
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            if (positions.count(CutPos{bid, k}))
+                run = 0;
+            if (++run > max_len) {
+                positions.insert(CutPos{bid, k});
+                run = 1;
+            }
+        }
+    }
+}
+
+} // namespace
+
+CompileStats
+formRegions(ir::Module &module, ir::Function &func,
+            const CompilerOptions &options)
+{
+    CompileStats stats;
+    Cfg cfg(func);
+
+    std::set<CutPos> positions = collectSeeds(func, cfg, options);
+
+    auto has_boundary = [&positions](ir::BlockId b, std::uint32_t k) {
+        return positions.count(CutPos{b, k}) > 0;
+    };
+
+    if (options.cutMemoryAntideps) {
+        AliasAnalysis aa(module, cfg);
+        CutResult mem = computeMemoryCuts(cfg, aa, has_boundary);
+        stats.memAntidepCuts += mem.cuts.size();
+        positions.insert(mem.cuts.begin(), mem.cuts.end());
+    }
+
+    if (options.cutRegisterAntideps) {
+        CutResult reg = computeRegisterCuts(cfg, has_boundary);
+        stats.regAntidepCuts += reg.cuts.size();
+        positions.insert(reg.cuts.begin(), reg.cuts.end());
+    }
+
+    if (options.maxRegionInstrs > 0)
+        addLengthCaps(func, options.maxRegionInstrs, positions);
+
+    // Materialize: insert boundary instructions from the back of each
+    // block so earlier indices stay valid. Positions past the
+    // terminator (e.g. "after" a trailing call) are clamped to just
+    // before the terminator... they cannot occur because calls are
+    // never terminators, but clamp defensively.
+    ir::StaticRegionId next_id = 0;
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        auto bid = static_cast<ir::BlockId>(b);
+        auto &instrs = func.block(bid).instrs();
+        std::vector<std::uint32_t> here;
+        for (const auto &p : positions) {
+            if (p.block == bid)
+                here.push_back(p.index);
+        }
+        std::sort(here.rbegin(), here.rend());
+        for (std::uint32_t k : here) {
+            std::uint32_t at = std::min(
+                k, static_cast<std::uint32_t>(instrs.size() - 1));
+            ir::Instr boundary;
+            boundary.op = ir::Opcode::RegionBoundary;
+            boundary.imm = 0; // ids assigned below
+            instrs.insert(instrs.begin() + at, boundary);
+        }
+    }
+
+    // Assign static region ids in block/instruction order and size the
+    // recovery-slice table accordingly.
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        for (auto &i : func.block(static_cast<ir::BlockId>(b)).instrs()) {
+            if (i.op == ir::Opcode::RegionBoundary)
+                i.imm = static_cast<std::int64_t>(next_id++);
+        }
+    }
+    func.recoverySlices().resize(next_id);
+    stats.boundaries = next_id;
+    return stats;
+}
+
+} // namespace cwsp::compiler

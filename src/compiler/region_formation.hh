@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Idempotent region formation (Section IV-A): seeds boundaries at the
+ * function entry, loop headers, call sites, and synchronization
+ * points, then cuts every remaining memory/register antidependence so
+ * each region can be re-executed after power failure.
+ */
+
+#ifndef CWSP_COMPILER_REGION_FORMATION_HH
+#define CWSP_COMPILER_REGION_FORMATION_HH
+
+#include "compiler/compiler.hh"
+
+namespace cwsp::compiler {
+
+/**
+ * Insert RegionBoundary instructions into @p func per @p options and
+ * assign consecutive static region ids (stored in the boundary's imm
+ * field). Recovery slices are sized but left empty; later passes fill
+ * them.
+ *
+ * @param module needed for alias analysis over globals.
+ * @return per-function statistics (boundary and cut counts).
+ */
+CompileStats formRegions(ir::Module &module, ir::Function &func,
+                         const CompilerOptions &options);
+
+} // namespace cwsp::compiler
+
+#endif // CWSP_COMPILER_REGION_FORMATION_HH

@@ -1,0 +1,28 @@
+#include "core/consistency_checker.hh"
+
+namespace cwsp::core {
+
+CheckResult
+checkGlobals(const ir::Module &module,
+             const interp::SparseMemory &expected,
+             const interp::SparseMemory &actual)
+{
+    CheckResult result;
+    for (const auto &g : module.globals()) {
+        for (Addr a = g.base; a < g.base + g.sizeBytes;
+             a += kWordBytes) {
+            Word e = expected.read(a);
+            Word v = actual.read(a);
+            if (e != v) {
+                result.consistent = false;
+                if (result.divergences.size() < 16) {
+                    result.divergences.push_back(
+                        Divergence{a, e, v, g.name});
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace cwsp::core

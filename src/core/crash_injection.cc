@@ -1,0 +1,229 @@
+#include "core/crash_injection.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "mem/undo_log.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::core {
+
+CrashState
+computeCrashState(Tick crash_tick,
+                  const std::vector<arch::StoreRecord> &stores,
+                  const std::vector<arch::RegionEvent> &regions,
+                  std::uint32_t num_cores,
+                  const std::vector<Tick> &program_finished_at,
+                  const std::vector<arch::IoRecord> &io)
+{
+    CrashState state;
+    state.resume.resize(num_cores);
+
+    // Region metadata: begin events per core in program order (only
+    // those that actually happened before the crash).
+    std::map<RegionId, const arch::RegionEvent *> byId;
+    std::vector<std::vector<const arch::RegionEvent *>> perCore(
+        num_cores);
+    for (const auto &ev : regions) {
+        byId[ev.region] = &ev;
+        if (ev.begin <= crash_tick)
+            perCore[ev.core].push_back(&ev);
+    }
+
+    // Atomic regions persist failure-atomically (StoreRecord::
+    // isAtomic): once the atomic reaches the WPQ, the whole region —
+    // including its transition checkpoints — counts as durable and
+    // complete; it is never re-executed. Realize this by clamping the
+    // region's record timestamps to the atomic's admission and
+    // remembering the region as force-complete.
+    std::vector<arch::StoreRecord> adjusted(stores);
+    std::set<std::pair<CoreId, RegionId>> atomicDone;
+    {
+        std::map<std::pair<CoreId, RegionId>, Tick> atomicAdmit;
+        for (const auto &s : adjusted) {
+            if (s.isAtomic && s.persistTime <= crash_tick)
+                atomicAdmit[{s.core, s.region}] = s.persistTime;
+        }
+        for (auto &s : adjusted) {
+            auto it = atomicAdmit.find({s.core, s.region});
+            if (it == atomicAdmit.end())
+                continue;
+            s.persistTime = std::min(s.persistTime, it->second);
+            s.ackTime = std::min(s.ackTime, it->second);
+        }
+        for (const auto &[key, when] : atomicAdmit) {
+            (void)when;
+            atomicDone.insert(key);
+        }
+    }
+    const std::vector<arch::StoreRecord> &stores_adj = adjusted;
+
+    // Per-(core, region) max *acknowledgement* time: the protocol's
+    // notion of region persistence (RBT PendingWrs) follows MC acks,
+    // not raw WPQ admission — resume selection and log reclamation
+    // must use the same clock the hardware does.
+    std::map<std::pair<CoreId, RegionId>, Tick> maxAck;
+    for (const auto &s : stores_adj) {
+        auto &mp = maxAck[{s.core, s.region}];
+        mp = std::max(mp, s.ackTime);
+    }
+    auto max_ack_of = [&maxAck](CoreId c, RegionId r) {
+        auto it = maxAck.find({c, r});
+        return it == maxAck.end() ? Tick{0} : it->second;
+    };
+
+    // Per-region departure ("persisted") time: the cascade maximum
+    // over the core's region sequence; the region still open at the
+    // crash never departs. Checkpoint-store undo logs live until
+    // this instant (see StoreRecord::isCkpt).
+    std::map<RegionId, Tick> freeTime;
+    std::vector<Tick> freeTime0(num_cores, kTickNever);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        Tick cascade = max_ack_of(c, 0); // pre-main spills
+        if (!perCore[c].empty())
+            freeTime0[c] = cascade; // departs once region 1 begins
+        const auto &evs = perCore[c];
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            const auto *ev = evs[i];
+            bool complete = (i + 1 < evs.size()) ||
+                            program_finished_at[c] <= crash_tick ||
+                            atomicDone.count({c, ev->region}) > 0;
+            cascade = std::max(cascade, max_ack_of(c, ev->region));
+            freeTime[ev->region] = complete ? cascade : kTickNever;
+            if (!complete)
+                cascade = kTickNever;
+        }
+    }
+
+    auto log_live_at_crash = [&](const arch::StoreRecord &s) {
+        if (!s.logged)
+            return false;
+        if (s.isCkpt) {
+            if (s.region == 0) {
+                return s.core >= num_cores ||
+                       freeTime0[s.core] > crash_tick;
+            }
+            auto it = freeTime.find(s.region);
+            return it == freeTime.end() || it->second > crash_tick;
+        }
+        auto it = byId.find(s.region);
+        return it != byId.end() && it->second->specEnd > crash_tick;
+    };
+
+    // 1. Apply the persisted prefix, building surviving undo logs.
+    mem::UndoLogArea logs;
+    for (const auto &s : stores_adj) {
+        if (s.persistTime > crash_tick)
+            continue;
+        ++state.persistedStores;
+        if (log_live_at_crash(s))
+            logs.append(s.region, s.addr, state.nvm.read(s.addr));
+        state.nvm.write(s.addr, s.value);
+    }
+    state.liveLogRegions = logs.liveRegions();
+
+    // 2. Revert speculative updates, newest region first (Section VII).
+    logs.replayReverse([&state](RegionId, Addr addr, Word old_value) {
+        state.nvm.write(addr, old_value);
+        ++state.revertedStores;
+    });
+
+    if (std::getenv("CWSP_CRASH_DEBUG")) {
+        std::fprintf(stderr, "crash@%llu: %zu records, %zu events\n",
+                     (unsigned long long)crash_tick,
+                     stores_adj.size(), regions.size());
+        for (std::size_t i = stores_adj.size() > 12
+                                 ? stores_adj.size() - 12
+                                 : 0;
+             i < stores_adj.size(); ++i) {
+            const auto &s = stores_adj[i];
+            std::fprintf(stderr,
+                         "  st[%zu] rgn=%llu addr=0x%llx "
+                         "persist=%llu ack=%llu log=%d ck=%d at=%d\n",
+                         i, (unsigned long long)s.region,
+                         (unsigned long long)s.addr,
+                         (unsigned long long)s.persistTime,
+                         (unsigned long long)s.ackTime, s.logged,
+                         s.isCkpt, s.isAtomic);
+        }
+        for (const auto &[key, t] : maxAck) {
+            std::fprintf(stderr, "  maxAck core%u rgn%llu = %llu\n",
+                         key.first, (unsigned long long)key.second,
+                         (unsigned long long)t);
+            if (key.second > 6)
+                break;
+        }
+    }
+
+    // Release device operations of persisted regions, in issue order
+    // (Section VIII: the I/O redo buffers flush region-by-region).
+    for (const auto &op : io) {
+        auto it = freeTime.find(op.region);
+        if (it != freeTime.end() && it->second <= crash_tick)
+            state.releasedIo.push_back(op);
+    }
+
+    // 3. Locate each core's oldest unpersisted region.
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const auto &evs = perCore[c];
+        ResumePoint &rp = state.resume[c];
+        if (evs.empty()) {
+            // Crash before the first boundary committed: restart.
+            rp.hasWork = true;
+            rp.restart = true;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            const auto *ev = evs[i];
+            bool complete = (i + 1 < evs.size()) ||
+                            program_finished_at[c] <= crash_tick ||
+                            atomicDone.count({c, ev->region}) > 0;
+            if (!complete ||
+                max_ack_of(c, ev->region) > crash_tick) {
+                rp.hasWork = true;
+                rp.region = ev->region;
+                rp.func = ev->func;
+                rp.staticRegion = ev->staticRegion;
+                // The program's first region restarts from scratch:
+                // its inputs are the ABI argument spills re-issued by
+                // start().
+                rp.restart = (i == 0);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (program_finished_at[c] > crash_tick) {
+                // The core was still running but its last begun
+                // region force-completed via a persisted atomic and
+                // the next boundary never committed: resume inside
+                // that region, skipping the atomic.
+                const auto *ev = evs.back();
+                rp.hasWork = true;
+                rp.region = ev->region;
+                rp.func = ev->func;
+                rp.staticRegion = ev->staticRegion;
+                rp.resumeAfterAtomic = true;
+            } else {
+                rp.hasWork = false;
+            }
+        }
+    }
+
+    // Pre-main spills (region 0) that did not persist force a restart
+    // of the affected core even when its first region looked
+    // persisted.
+    for (const auto &s : stores_adj) {
+        if (s.region == 0 && s.persistTime > crash_tick &&
+            s.core < num_cores) {
+            state.resume[s.core].hasWork = true;
+            state.resume[s.core].restart = true;
+        }
+    }
+    return state;
+}
+
+} // namespace cwsp::core

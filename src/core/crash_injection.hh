@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Power-failure modeling: given the persistence record of a run and a
+ * crash instant, compute the durable NVM state (persisted prefix,
+ * then undo-log reversal of speculative updates) and each core's
+ * recovery point — the oldest unpersisted region (Section III-D).
+ */
+
+#ifndef CWSP_CORE_CRASH_INJECTION_HH
+#define CWSP_CORE_CRASH_INJECTION_HH
+
+#include <map>
+#include <vector>
+
+#include "arch/scheme.hh"
+#include "interp/machine_state.hh"
+#include "sim/types.hh"
+
+namespace cwsp::core {
+
+/** Per-core recovery point. */
+struct ResumePoint
+{
+    bool hasWork = false;  ///< false: core fully persisted & finished
+    bool restart = false;  ///< resume at program start (entry region)
+    /**
+     * The resume region's atomic already persisted: re-enter the
+     * region but skip the atomic, reloading its destination register
+     * from the post-atomic checkpoint slot (atomics are not
+     * idempotent; see StoreRecord::isAtomic).
+     */
+    bool resumeAfterAtomic = false;
+    RegionId region = 0;
+    ir::FuncId func = ir::kNoFunc;
+    ir::StaticRegionId staticRegion = ir::kNoStaticRegion;
+};
+
+/** Durable state after the failure plus recovery metadata. */
+struct CrashState
+{
+    interp::SparseMemory nvm; ///< post-revert durable memory
+    std::vector<ResumePoint> resume; ///< per core
+    std::uint64_t persistedStores = 0;
+    std::uint64_t revertedStores = 0;
+    std::uint64_t liveLogRegions = 0;
+    /**
+     * Device operations released from the I/O redo buffers before the
+     * failure (their region persisted, Section VIII); unreleased ones
+     * are discarded and re-issued by the recovery re-execution.
+     */
+    std::vector<arch::IoRecord> releasedIo;
+};
+
+/**
+ * Compute the crash state at @p crash_tick.
+ *
+ * @param stores   persist records of the run (commit order).
+ * @param regions  region-begin events of the run.
+ * @param num_cores core count.
+ * @param program_finished_at per-core completion cycle (kTickNever if
+ *        the core was still running when recording stopped).
+ */
+CrashState computeCrashState(
+    Tick crash_tick, const std::vector<arch::StoreRecord> &stores,
+    const std::vector<arch::RegionEvent> &regions,
+    std::uint32_t num_cores,
+    const std::vector<Tick> &program_finished_at,
+    const std::vector<arch::IoRecord> &io = {});
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_CRASH_INJECTION_HH

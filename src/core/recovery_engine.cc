@@ -1,0 +1,99 @@
+#include "core/recovery_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::core {
+
+namespace {
+
+Word
+applyRsOp(interp::Interpreter &interp, const ir::RsOp &op,
+          std::size_t frame_depth)
+{
+    switch (op.kind) {
+      case ir::RsOp::Kind::LoadSlot: {
+        Addr slot = interp::ckptSlotAddr(interp.core(), frame_depth,
+                                         op.slot);
+        Word v = interp.memory().read(slot);
+        interp.setReg(op.dst, v);
+        return v;
+      }
+      case ir::RsOp::Kind::SetImm:
+        interp.setReg(op.dst, static_cast<Word>(op.imm));
+        return static_cast<Word>(op.imm);
+      case ir::RsOp::Kind::Apply: {
+        Word a = interp.reg(op.srcA);
+        Word b = op.bIsImm ? static_cast<Word>(op.imm)
+                           : interp.reg(op.srcB);
+        Word r = 0;
+        switch (op.op) {
+          case ir::Opcode::Add: r = a + b; break;
+          case ir::Opcode::Sub: r = a - b; break;
+          case ir::Opcode::Mul: r = a * b; break;
+          case ir::Opcode::And: r = a & b; break;
+          case ir::Opcode::Or: r = a | b; break;
+          case ir::Opcode::Xor: r = a ^ b; break;
+          case ir::Opcode::Shl: r = a << (b & 63); break;
+          case ir::Opcode::Shr: r = a >> (b & 63); break;
+          case ir::Opcode::Mov: r = a; break;
+          default:
+            cwsp_panic("unsupported opcode in recovery slice");
+        }
+        interp.setReg(op.dst, r);
+        return r;
+      }
+    }
+    cwsp_panic("unreachable recovery-slice op kind");
+}
+
+} // namespace
+
+void
+runRecoverySlice(interp::Interpreter &interp,
+                 const ir::RecoverySlice &slice)
+{
+    std::size_t depth = interp.depth() - 1;
+    for (const auto &op : slice.ops)
+        applyRsOp(interp, op, depth);
+}
+
+bool
+prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
+              const RecordingBundle &bundle, const ir::Module &module)
+{
+    cwsp_assert(rp.hasWork, "prepareResume on an idle core");
+    if (rp.restart)
+        return false;
+
+    auto it = bundle.snapshots.find(rp.region);
+    cwsp_assert(it != bundle.snapshots.end(),
+                "no control snapshot for resume region ", rp.region,
+                " (snapshot ring too small?)");
+    interp.restoreForRecovery(it->second);
+
+    const ir::Function &func = module.function(rp.func);
+    cwsp_assert(rp.staticRegion < func.recoverySlices().size(),
+                "resume region has no recovery slice");
+    runRecoverySlice(interp, func.recoverySlices()[rp.staticRegion]);
+
+    if (rp.resumeAfterAtomic) {
+        // The region's atomic persisted before the failure and must
+        // not re-execute. Step over the boundary, then install the
+        // atomic's result from its post-atomic checkpoint slot
+        // (persisted failure-atomically with the atomic itself).
+        interp::NullCommitSink sink;
+        cwsp_assert(interp.currentInstr().op ==
+                        ir::Opcode::RegionBoundary,
+                    "atomic resume must sit at the region boundary");
+        interp.step(sink);
+        const ir::Instr &atomic = interp.currentInstr();
+        cwsp_assert(ir::isAtomic(atomic.op),
+                    "atomic region does not start with an atomic");
+        Addr slot = interp::ckptSlotAddr(
+            interp.core(), interp.depth() - 1, atomic.dst);
+        interp.skipAtomic(interp.memory().read(slot));
+    }
+    return true;
+}
+
+} // namespace cwsp::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The power-failure recovery protocol (Section VII): after the crash
+ * state is computed (undo logs already replayed), each core (1) jumps
+ * to the resume region's recovery slice to rebuild its live-in
+ * registers from checkpoint slots/immediates, then (2) resumes
+ * execution from the beginning of that region.
+ */
+
+#ifndef CWSP_CORE_RECOVERY_ENGINE_HH
+#define CWSP_CORE_RECOVERY_ENGINE_HH
+
+#include "core/crash_injection.hh"
+#include "core/whole_system_sim.hh"
+#include "interp/interpreter.hh"
+
+namespace cwsp::core {
+
+/**
+ * Execute the recovery slice of @p slice on @p interp's top frame:
+ * LoadSlot ops read the frame's checkpoint slots from @p nvm (which
+ * is also the interpreter's memory after recovery), SetImm/Apply ops
+ * rebuild derived values.
+ */
+void runRecoverySlice(interp::Interpreter &interp,
+                      const ir::RecoverySlice &slice);
+
+/**
+ * Prepare @p interp (already bound to the recovered memory) to resume
+ * at @p rp using @p bundle's control snapshots, then run the recovery
+ * slice. For restart points the caller must call start() instead.
+ *
+ * @return false when the resume point needs a full restart.
+ */
+bool prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
+                   const RecordingBundle &bundle,
+                   const ir::Module &module);
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_RECOVERY_ENGINE_HH

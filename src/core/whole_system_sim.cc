@@ -1,0 +1,385 @@
+#include "core/whole_system_sim.hh"
+
+#include <algorithm>
+
+#include "core/crash_injection.hh"
+#include "core/recovery_engine.hh"
+#include "sim/stats.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::core {
+
+namespace {
+
+/**
+ * Sink that forwards commits to the scheme and snapshots the
+ * committing interpreter's control state at each region boundary,
+ * pruning snapshots of long-persisted regions.
+ */
+class RecordingSink final : public interp::CommitSink
+{
+  public:
+    RecordingSink(arch::Scheme &scheme, RecordingBundle &bundle,
+                  std::vector<std::unique_ptr<interp::Interpreter>>
+                      &cores,
+                  std::size_t keep_per_core)
+        : scheme_(scheme), bundle_(bundle), cores_(cores),
+          keep_(keep_per_core)
+    {
+    }
+
+    void
+    onCommit(const interp::CommitInfo &info) override
+    {
+        scheme_.onCommit(info);
+        if (info.kind != interp::CommitKind::Boundary)
+            return;
+        RegionId id = scheme_.currentRegion(info.core);
+        bundle_.snapshots[id] = cores_[info.core]->snapshot();
+        if (ring_.size() <= info.core)
+            ring_.resize(info.core + 1);
+        auto &r = ring_[info.core];
+        r.push_back(id);
+        if (r.size() > keep_) {
+            bundle_.snapshots.erase(r.front());
+            r.erase(r.begin());
+        }
+    }
+
+  private:
+    arch::Scheme &scheme_;
+    RecordingBundle &bundle_;
+    std::vector<std::unique_ptr<interp::Interpreter>> &cores_;
+    std::size_t keep_;
+    std::vector<std::vector<RegionId>> ring_;
+};
+
+/** Sink that forwards to an inner sink and collects Io commits. */
+class IoCollectingSink final : public interp::CommitSink
+{
+  public:
+    explicit IoCollectingSink(std::vector<arch::IoRecord> &out,
+                              interp::CommitSink *inner = nullptr)
+        : out_(out), inner_(inner)
+    {
+    }
+
+    void
+    onCommit(const interp::CommitInfo &info) override
+    {
+        if (inner_)
+            inner_->onCommit(info);
+        if (info.kind == interp::CommitKind::Io) {
+            out_.push_back(arch::IoRecord{info.addr, info.storeValue,
+                                          0, info.core});
+        }
+    }
+
+  private:
+    std::vector<arch::IoRecord> &out_;
+    interp::CommitSink *inner_;
+};
+
+} // namespace
+
+std::vector<arch::IoRecord>
+collectIoStream(const ir::Module &module, const std::string &entry,
+                const std::vector<Word> &args)
+{
+    std::vector<arch::IoRecord> stream;
+    interp::SparseMemory memory;
+    IoCollectingSink sink(stream);
+    interp::Interpreter interp(module, memory, 0);
+    interp.start(entry, args, sink);
+    std::uint64_t budget = 200'000'000;
+    while (!interp.finished()) {
+        if (interp.committed() >= budget)
+            cwsp_fatal("instruction budget exceeded in ", entry);
+        interp.step(sink);
+    }
+    return stream;
+}
+
+WholeSystemSim::WholeSystemSim(const ir::Module &module,
+                               const SystemConfig &config)
+    : module_(&module), config_(config)
+{
+    cwsp_assert(module.laidOut(), "module must be laid out");
+    reset();
+}
+
+WholeSystemSim::~WholeSystemSim() = default;
+
+void
+WholeSystemSim::reset()
+{
+    memory_ = std::make_unique<interp::SparseMemory>();
+    hierarchy_ = std::make_unique<mem::Hierarchy>(config_.hierarchy,
+                                                  config_.numCores);
+    scheme_ = arch::makeScheme(config_.scheme, *hierarchy_,
+                               config_.numCores);
+}
+
+RunResult
+WholeSystemSim::collectStats(
+    const std::vector<std::unique_ptr<interp::Interpreter>> &cores)
+{
+    RunResult r;
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        r.cycles = std::max(r.cycles,
+                            scheme_->cycles(static_cast<CoreId>(c)));
+        r.instructions += scheme_->instrs(static_cast<CoreId>(c));
+        r.returnValues.push_back(cores[c]->returnValue());
+    }
+    lastCycles_ = r.cycles;
+    r.meanRegionInstrs = scheme_->meanRegionInstrs();
+    r.meanWbOccupancy = hierarchy_->meanWbOccupancy();
+    r.wpqHits = hierarchy_->wpqHits();
+    r.nvmReads = hierarchy_->nvmReads();
+    r.l1Accesses = hierarchy_->l1Accesses();
+    r.l1Misses = hierarchy_->l1Misses();
+    r.dramCacheHits = hierarchy_->dramCacheHits();
+    r.dramCacheMisses = hierarchy_->dramCacheMisses();
+    r.pbFullStalls = scheme_->pbFullStalls();
+    r.rbtFullStalls = scheme_->rbtFullStalls();
+    std::uint64_t wbd = 0;
+    for (std::uint32_t c = 0; c < config_.numCores; ++c)
+        wbd += hierarchy_->writeBuffer(c).persistDelays();
+    r.wbPersistDelays = wbd;
+    return r;
+}
+
+RunResult
+WholeSystemSim::run(const std::vector<ThreadSpec> &threads,
+                    std::uint64_t max_instrs)
+{
+    cwsp_assert(threads.size() >= 1 &&
+                    threads.size() <= config_.numCores,
+                "thread count must be in [1, numCores]");
+    reset();
+
+    std::vector<std::unique_ptr<interp::Interpreter>> cores;
+    for (std::size_t c = 0; c < threads.size(); ++c) {
+        cores.push_back(std::make_unique<interp::Interpreter>(
+            *module_, *memory_, static_cast<CoreId>(c)));
+        cores[c]->start(threads[c].entry, threads[c].args, *scheme_);
+    }
+
+    std::uint64_t total = 0;
+    while (true) {
+        // Run the core with the smallest clock next (deterministic
+        // interleaving for shared-memory workloads).
+        interp::Interpreter *next = nullptr;
+        Tick best = kTickNever;
+        CoreId best_core = 0;
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            if (cores[c]->finished())
+                continue;
+            Tick t = scheme_->cycles(static_cast<CoreId>(c));
+            if (t < best) {
+                best = t;
+                next = cores[c].get();
+                best_core = static_cast<CoreId>(c);
+            }
+        }
+        (void)best_core;
+        if (!next)
+            break;
+        next->step(*scheme_);
+        if (++total > max_instrs)
+            cwsp_fatal("instruction budget exceeded (", max_instrs,
+                       ")");
+    }
+    return collectStats(cores);
+}
+
+void
+WholeSystemSim::dumpStats(std::ostream &os) const
+{
+    StatsRegistry reg;
+    for (std::uint32_t c = 0; c < config_.numCores; ++c) {
+        std::string p = "core" + std::to_string(c) + ".";
+        reg.counter(p + "instrs").inc(scheme_->instrs(c));
+        reg.counter(p + "cycles").inc(scheme_->cycles(c));
+        const auto &wb = hierarchy_->writeBuffer(c);
+        reg.counter(p + "wb.inserts").inc(wb.inserts());
+        reg.counter(p + "wb.fullStalls").inc(wb.fullStalls());
+        reg.counter(p + "wb.persistDelays").inc(wb.persistDelays());
+    }
+    reg.counter("scheme.pbFullStalls").inc(scheme_->pbFullStalls());
+    reg.counter("scheme.rbtFullStalls").inc(scheme_->rbtFullStalls());
+    reg.average("scheme.regionInstrs")
+        .sample(scheme_->meanRegionInstrs());
+    reg.counter("mem.l1.accesses").inc(hierarchy_->l1Accesses());
+    reg.counter("mem.l1.misses").inc(hierarchy_->l1Misses());
+    reg.counter("mem.dram$.hits").inc(hierarchy_->dramCacheHits());
+    reg.counter("mem.dram$.misses")
+        .inc(hierarchy_->dramCacheMisses());
+    reg.counter("mem.nvm.reads").inc(hierarchy_->nvmReads());
+    reg.counter("mem.wpq.loadHits").inc(hierarchy_->wpqHits());
+    for (McId m = 0; m < hierarchy_->numMcs(); ++m) {
+        std::string p = "mc" + std::to_string(m) + ".";
+        const auto &mc = hierarchy_->mc(m);
+        reg.counter(p + "wpq.admissions").inc(mc.admissions());
+        reg.counter(p + "wpq.fullStalls").inc(mc.fullStalls());
+        reg.counter(p + "loggedStores").inc(mc.loggedStores());
+        reg.counter(p + "evictionWrites").inc(mc.evictionWrites());
+    }
+    reg.dump(os);
+}
+
+RunResult
+WholeSystemSim::run(const std::string &entry, std::vector<Word> args,
+                    std::uint64_t max_instrs)
+{
+    return run({ThreadSpec{entry, std::move(args)}}, max_instrs);
+}
+
+CrashRunResult
+WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
+                             Tick crash_tick, std::uint64_t max_instrs)
+{
+    cwsp_assert(threads.size() >= 1 &&
+                    threads.size() <= config_.numCores,
+                "thread count must be in [1, numCores]");
+    CrashRunResult out;
+    out.crashTick = crash_tick;
+    reset();
+
+    RecordingBundle bundle;
+    scheme_->enableRecording(&bundle.stores, &bundle.regions,
+                             &bundle.io);
+
+    std::vector<std::unique_ptr<interp::Interpreter>> cores;
+    cores.reserve(threads.size());
+    std::size_t keep = 4 * config_.scheme.rbtCapacity + 16;
+    RecordingSink sink(*scheme_, bundle, cores, keep);
+    for (std::size_t c = 0; c < threads.size(); ++c) {
+        cores.push_back(std::make_unique<interp::Interpreter>(
+            *module_, *memory_, static_cast<CoreId>(c)));
+        cores[c]->start(threads[c].entry, threads[c].args, sink);
+    }
+
+    // Phase 1: execute until every core has either finished or its
+    // clock passed the crash instant.
+    std::vector<Tick> finished_at(threads.size(), kTickNever);
+    std::uint64_t total = 0;
+    while (true) {
+        interp::Interpreter *next = nullptr;
+        CoreId next_core = 0;
+        Tick best = kTickNever;
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            auto cid = static_cast<CoreId>(c);
+            if (cores[c]->finished()) {
+                if (finished_at[c] == kTickNever)
+                    finished_at[c] = scheme_->cycles(cid);
+                continue;
+            }
+            Tick t = scheme_->cycles(cid);
+            if (t > crash_tick)
+                continue; // this core has reached the crash
+            if (t < best) {
+                best = t;
+                next = cores[c].get();
+                next_core = cid;
+            }
+        }
+        (void)next_core;
+        if (!next)
+            break;
+        next->step(sink);
+        if (++total > max_instrs)
+            cwsp_fatal("instruction budget exceeded before crash");
+    }
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        if (cores[c]->finished() && finished_at[c] == kTickNever)
+            finished_at[c] = scheme_->cycles(static_cast<CoreId>(c));
+    }
+
+    // Compute the durable state at the crash.
+    CrashState cs = computeCrashState(
+        crash_tick, bundle.stores, bundle.regions,
+        static_cast<std::uint32_t>(threads.size()), finished_at,
+        bundle.io);
+    out.persistedStores = cs.persistedStores;
+    out.revertedStores = cs.revertedStores;
+    out.ioStream = cs.releasedIo;
+
+    bool any_work = false;
+    for (const auto &rp : cs.resume)
+        any_work |= rp.hasWork;
+    out.crashed = any_work;
+
+    // Lost work: instructions committed past each core's resume point.
+    for (std::size_t c = 0; c < threads.size(); ++c) {
+        const ResumePoint &rp = cs.resume[c];
+        if (!rp.hasWork)
+            continue;
+        std::uint64_t committed =
+            scheme_->instrs(static_cast<CoreId>(c));
+        std::uint64_t at_resume = 0;
+        if (!rp.restart) {
+            for (const auto &ev : bundle.regions) {
+                if (ev.region == rp.region) {
+                    at_resume = ev.instrsAtBegin;
+                    break;
+                }
+            }
+        }
+        out.lostWork += committed - at_resume;
+    }
+
+    // Phase 2: recovery + functional completion on the durable state.
+    auto recovered =
+        std::make_unique<interp::SparseMemory>(std::move(cs.nvm));
+    IoCollectingSink null_sink(out.ioStream);
+    std::vector<std::unique_ptr<interp::Interpreter>> post;
+    for (std::size_t c = 0; c < threads.size(); ++c) {
+        post.push_back(std::make_unique<interp::Interpreter>(
+            *module_, *recovered, static_cast<CoreId>(c)));
+        const ResumePoint &rp = cs.resume[c];
+        if (!rp.hasWork) {
+            out.resumeRegions.push_back(0);
+            continue;
+        }
+        out.resumeRegions.push_back(rp.restart ? 0 : rp.region);
+        if (rp.restart ||
+            !prepareResume(*post[c], rp, bundle, *module_)) {
+            post[c]->start(threads[c].entry, threads[c].args,
+                           null_sink);
+        }
+    }
+
+    std::uint64_t re_instrs = 0;
+    while (true) {
+        interp::Interpreter *next = nullptr;
+        // Round-robin on instruction counts for fairness.
+        std::uint64_t best = ~std::uint64_t{0};
+        for (std::size_t c = 0; c < post.size(); ++c) {
+            if (!cs.resume[c].hasWork || post[c]->finished())
+                continue;
+            if (post[c]->committed() < best) {
+                best = post[c]->committed();
+                next = post[c].get();
+            }
+        }
+        if (!next)
+            break;
+        next->step(null_sink);
+        if (++re_instrs > max_instrs)
+            cwsp_fatal("instruction budget exceeded during recovery");
+    }
+    out.reexecutedInstrs = re_instrs;
+
+    // Result assembly: timing from phase 1, return values preferring
+    // the re-executed cores.
+    out.result = collectStats(cores);
+    for (std::size_t c = 0; c < post.size(); ++c) {
+        if (cs.resume[c].hasWork)
+            out.result.returnValues[c] = post[c]->returnValue();
+    }
+    memory_ = std::move(recovered);
+    return out;
+}
+
+} // namespace cwsp::core

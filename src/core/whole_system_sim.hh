@@ -1,0 +1,170 @@
+/**
+ * @file
+ * WholeSystemSim: the library's main entry point. Wires a compiled
+ * module, the functional interpreter(s), the memory hierarchy, and a
+ * persistence scheme together; runs programs with cycle accounting;
+ * optionally records persistence events, injects a power failure, and
+ * drives the recovery protocol.
+ */
+
+#ifndef CWSP_CORE_WHOLE_SYSTEM_SIM_HH
+#define CWSP_CORE_WHOLE_SYSTEM_SIM_HH
+
+#include <map>
+#include <ostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/scheme.hh"
+#include "core/config.hh"
+#include "interp/interpreter.hh"
+#include "ir/ir.hh"
+
+namespace cwsp::core {
+
+/** What one core should execute. */
+struct ThreadSpec
+{
+    std::string entry = "main";
+    std::vector<Word> args;
+};
+
+/** Aggregate outcome of one simulated run. */
+struct RunResult
+{
+    Tick cycles = 0; ///< max over cores
+    std::uint64_t instructions = 0;
+    std::vector<Word> returnValues; ///< per core
+    double meanRegionInstrs = 0.0;
+    double meanWbOccupancy = 0.0;
+    std::uint64_t wpqHits = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t dramCacheHits = 0;
+    std::uint64_t dramCacheMisses = 0;
+    std::uint64_t pbFullStalls = 0;
+    std::uint64_t rbtFullStalls = 0;
+    std::uint64_t wbPersistDelays = 0;
+
+    /** WPQ hits per million instructions (Fig. 8). */
+    double
+    wpqHitsPerMi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1e6 * static_cast<double>(wpqHits) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/** Everything recorded for crash analysis. */
+struct RecordingBundle
+{
+    std::vector<arch::StoreRecord> stores;
+    std::vector<arch::RegionEvent> regions;
+    std::vector<arch::IoRecord> io;
+    /** Control snapshots per dynamic region id. */
+    std::map<RegionId, interp::ControlSnapshot> snapshots;
+};
+
+/** Outcome of a crash-and-recover run. */
+struct CrashRunResult
+{
+    RunResult result;          ///< post-recovery completion
+    bool crashed = false;      ///< false: program finished before X
+    Tick crashTick = 0;
+    std::uint64_t persistedStores = 0;
+    std::uint64_t revertedStores = 0;   ///< undo-log records replayed
+    std::uint64_t reexecutedInstrs = 0; ///< recovery re-execution work
+    /**
+     * Instructions whose work the failure destroyed: committed after
+     * the resume points but before the crash (the paper's Section
+     * IX-E recovery-cost argument — typically tens per core, bounded
+     * by RBT depth x region length).
+     */
+    std::uint64_t lostWork = 0;
+    std::vector<RegionId> resumeRegions; ///< per core (0 = restart)
+    /**
+     * The complete device-output stream across the failure: the
+     * operations the I/O redo buffers released before the crash
+     * followed by those the recovery re-execution re-issued. For a
+     * correct run this equals the uninterrupted stream exactly once,
+     * in order (verified by test_io_persistence).
+     */
+    std::vector<arch::IoRecord> ioStream;
+};
+
+/**
+ * Collect the device-output stream of an uninterrupted functional run
+ * (golden reference for exactly-once I/O checks).
+ */
+std::vector<arch::IoRecord>
+collectIoStream(const ir::Module &module, const std::string &entry,
+                const std::vector<Word> &args);
+
+/** The assembled system. */
+class WholeSystemSim
+{
+  public:
+    /**
+     * @param module  program already compiled with config.compiler
+     *                (use compileForWsp / the workload builders).
+     * @param config  design point; numCores bounds ThreadSpec count.
+     */
+    WholeSystemSim(const ir::Module &module, const SystemConfig &config);
+    ~WholeSystemSim();
+
+    /** Run @p threads (one per core) to completion with timing. */
+    RunResult run(const std::vector<ThreadSpec> &threads,
+                  std::uint64_t max_instrs = 2'000'000'000);
+
+    /** Single-core convenience. */
+    RunResult run(const std::string &entry, std::vector<Word> args = {},
+                  std::uint64_t max_instrs = 2'000'000'000);
+
+    /**
+     * Run with persistence recording, inject a power failure at
+     * @p crash_tick, execute the recovery protocol (Section VII), and
+     * complete the program on the recovered state.
+     */
+    CrashRunResult runWithCrash(const std::vector<ThreadSpec> &threads,
+                                Tick crash_tick,
+                                std::uint64_t max_instrs = 200'000'000);
+
+    /** Cycle count of a plain (no-crash) run, for picking crash points. */
+    Tick lastRunCycles() const { return lastCycles_; }
+
+    mem::Hierarchy &hierarchy() { return *hierarchy_; }
+    arch::Scheme &scheme() { return *scheme_; }
+    const SystemConfig &config() const { return config_; }
+
+    /** Final architectural memory of the last run. */
+    const interp::SparseMemory &memory() const { return *memory_; }
+
+    /**
+     * Dump the last run's component statistics (cache hits/misses,
+     * WB/PB/RBT stalls, MC admissions, persist traffic) as
+     * gem5-style "name value" lines.
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    const ir::Module *module_;
+    SystemConfig config_;
+    std::unique_ptr<interp::SparseMemory> memory_;
+    std::unique_ptr<mem::Hierarchy> hierarchy_;
+    std::unique_ptr<arch::Scheme> scheme_;
+    Tick lastCycles_ = 0;
+
+    /** Rebuild hierarchy/scheme state for a fresh run. */
+    void reset();
+
+    RunResult collectStats(
+        const std::vector<std::unique_ptr<interp::Interpreter>> &cores);
+};
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_WHOLE_SYSTEM_SIM_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The committed-instruction event interface between the functional
+ * interpreter and the timing/persistence models. The paper's hardware
+ * acts at instruction commit (persist-buffer allocation, RBT
+ * bookkeeping), so commit events are the natural coupling point.
+ */
+
+#ifndef CWSP_INTERP_COMMIT_HH
+#define CWSP_INTERP_COMMIT_HH
+
+#include "ir/ir.hh"
+#include "sim/types.hh"
+
+namespace cwsp::interp {
+
+/** Classification of one committed instruction for the timing model. */
+enum class CommitKind : std::uint8_t {
+    Alu,      ///< register-only work (also Mov/MovImm/Nop)
+    Load,     ///< memory read
+    Store,    ///< memory write (includes checkpoint stores)
+    Atomic,   ///< atomic read-modify-write (visibility instant)
+    /**
+     * Pre-execution phase of an atomic: the core stalls while prior
+     * stores and the atomic's own persist-path round complete
+     * (Section VIII: a synchronization primitive commits only after
+     * persistence). The functional effect becomes visible only at the
+     * following Atomic commit, so "visible implies durable" holds
+     * across cores.
+     */
+    AtomicPrepare,
+    Fence,    ///< full fence
+    Io,       ///< irrevocable device output (Section VIII)
+    Branch,   ///< control transfer within a function
+    CallRet,  ///< call or return sequencing work
+    Boundary, ///< region boundary instruction
+};
+
+/** One committed instruction, as seen by the timing model. */
+struct CommitInfo
+{
+    CommitKind kind = CommitKind::Alu;
+    CoreId core = 0;
+
+    // Memory operations.
+    Addr addr = 0;       ///< word-aligned effective address
+    Word storeValue = 0; ///< value written (Store/Atomic)
+    bool isCheckpoint = false; ///< checkpoint or argument-spill store
+
+    // Boundary information.
+    ir::FuncId func = ir::kNoFunc;
+    ir::StaticRegionId staticRegion = ir::kNoStaticRegion;
+};
+
+/** Consumer of commit events (implemented by the system simulator). */
+class CommitSink
+{
+  public:
+    virtual ~CommitSink() = default;
+    virtual void onCommit(const CommitInfo &info) = 0;
+};
+
+/** A sink that discards everything (pure functional runs). */
+class NullCommitSink final : public CommitSink
+{
+  public:
+    void onCommit(const CommitInfo &) override {}
+};
+
+} // namespace cwsp::interp
+
+#endif // CWSP_INTERP_COMMIT_HH

@@ -1,0 +1,36 @@
+#include "interp/machine_state.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::interp {
+
+Word
+SparseMemory::read(Addr addr) const
+{
+    cwsp_assert((addr & 7) == 0, "misaligned read at ", addr);
+    auto it = words_.find(addr);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+SparseMemory::write(Addr addr, Word value)
+{
+    cwsp_assert((addr & 7) == 0, "misaligned write at ", addr);
+    words_[addr] = value;
+}
+
+bool
+SparseMemory::equals(const SparseMemory &other) const
+{
+    for (const auto &[a, v] : words_) {
+        if (other.read(a) != v)
+            return false;
+    }
+    for (const auto &[a, v] : other.words_) {
+        if (read(a) != v)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cwsp::interp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Architectural machine state: sparse word-addressed memory, call
+ * frames, and the NVM checkpoint-area address map.
+ */
+
+#ifndef CWSP_INTERP_MACHINE_STATE_HH
+#define CWSP_INTERP_MACHINE_STATE_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "sim/types.hh"
+
+namespace cwsp::interp {
+
+/**
+ * Sparse 64-bit-word memory. Unwritten words read as zero (zero-filled
+ * pages). Addresses must be 8-byte aligned.
+ */
+class SparseMemory
+{
+  public:
+    Word read(Addr addr) const;
+    void write(Addr addr, Word value);
+
+    /** Number of distinct words ever written. */
+    std::size_t footprintWords() const { return words_.size(); }
+
+    /** Iterate all (addr, value) pairs (unordered). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[a, v] : words_)
+            fn(a, v);
+    }
+
+    void clear() { words_.clear(); }
+
+    /**
+     * Value equality under zero-default semantics: words absent from
+     * one side compare equal to zero on the other.
+     */
+    bool equals(const SparseMemory &other) const;
+
+  private:
+    std::unordered_map<Addr, Word> words_;
+};
+
+/** Poison pattern for registers recovery does not restore. */
+constexpr Word kPoison = 0xdeadbeefdeadbeefULL;
+
+/** One activation record. */
+struct Frame
+{
+    std::array<Word, ir::kNumRegs> regs{};
+    ir::FuncId func = ir::kNoFunc;
+    ir::BlockId block = 0;
+    std::uint32_t index = 0;   ///< next instruction to execute
+    ir::Reg returnDst = ir::kNoReg; ///< caller register for the result
+};
+
+/** A resumable control snapshot (taken at region boundaries). */
+struct ControlSnapshot
+{
+    std::vector<Frame> frames;
+};
+
+/** Bytes of simulated stack given to each frame. */
+constexpr Addr kFrameStackBytes = 4096;
+
+/** Checkpoint-slot bytes per frame (one word per register). */
+constexpr Addr kCkptFrameBytes = ir::kNumRegs * kWordBytes;
+
+/** Base of core @p core's stack area. */
+inline Addr
+stackBase(CoreId core)
+{
+    return ir::Module::kStackBase + core * ir::Module::kStackStride;
+}
+
+/** Frame pointer value for frame depth @p depth on core @p core. */
+inline Addr
+framePointer(CoreId core, std::size_t depth)
+{
+    return stackBase(core) + depth * kFrameStackBytes;
+}
+
+/** Address of checkpoint slot @p reg of frame @p depth on @p core. */
+inline Addr
+ckptSlotAddr(CoreId core, std::size_t depth, ir::Reg reg)
+{
+    return ir::Module::kCkptBase + core * ir::Module::kCkptStride +
+           depth * kCkptFrameBytes + reg * kWordBytes;
+}
+
+} // namespace cwsp::interp
+
+#endif // CWSP_INTERP_MACHINE_STATE_HH

@@ -1,0 +1,200 @@
+#include "ir/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::ir {
+
+std::vector<Instr> &
+IRBuilder::ops()
+{
+    cwsp_assert(haveBlock_, "IRBuilder has no insertion block; call "
+                            "newBlock()/setBlock() first");
+    return func_->block(cur_).instrs();
+}
+
+BlockId
+IRBuilder::newBlock()
+{
+    return func_->addBlock().id();
+}
+
+void
+IRBuilder::setBlock(BlockId block)
+{
+    cwsp_assert(block < func_->numBlocks(), "setBlock: bad block id");
+    cur_ = block;
+    haveBlock_ = true;
+}
+
+Reg
+IRBuilder::movImm(Reg dst, std::int64_t imm)
+{
+    Instr i;
+    i.op = Opcode::MovImm;
+    i.dst = dst;
+    i.imm = imm;
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::mov(Reg dst, Reg src)
+{
+    Instr i;
+    i.op = Opcode::Mov;
+    i.dst = dst;
+    i.a = src;
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::binOp(Opcode op, Reg dst, Reg a, Reg b)
+{
+    cwsp_assert(isBinaryAlu(op), "binOp with non-ALU opcode");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::binOpImm(Opcode op, Reg dst, Reg a, std::int64_t imm)
+{
+    cwsp_assert(isBinaryAlu(op), "binOpImm with non-ALU opcode");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.bIsImm = true;
+    i.imm = imm;
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::load(Reg dst, Reg base, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::Load;
+    i.dst = dst;
+    i.a = base;
+    i.imm = offset;
+    ops().push_back(i);
+    return dst;
+}
+
+void
+IRBuilder::store(Reg value, Reg base, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::Store;
+    i.a = value;
+    i.b = base;
+    i.imm = offset;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::br(BlockId target)
+{
+    Instr i;
+    i.op = Opcode::Br;
+    i.target0 = target;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::condBr(Reg cond, BlockId if_nonzero, BlockId if_zero)
+{
+    Instr i;
+    i.op = Opcode::CondBr;
+    i.a = cond;
+    i.target0 = if_nonzero;
+    i.target1 = if_zero;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::ret(Reg value)
+{
+    Instr i;
+    i.op = Opcode::Ret;
+    i.a = value;
+    ops().push_back(i);
+}
+
+Reg
+IRBuilder::call(Reg dst, FuncId callee, std::vector<Reg> args)
+{
+    Instr i;
+    i.op = Opcode::Call;
+    i.dst = dst;
+    i.callee = callee;
+    i.args = std::move(args);
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::atomicAdd(Reg dst, Reg operand, Reg base, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::AtomicAdd;
+    i.dst = dst;
+    i.a = operand;
+    i.b = base;
+    i.imm = offset;
+    ops().push_back(i);
+    return dst;
+}
+
+Reg
+IRBuilder::atomicXchg(Reg dst, Reg operand, Reg base, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::AtomicXchg;
+    i.dst = dst;
+    i.a = operand;
+    i.b = base;
+    i.imm = offset;
+    ops().push_back(i);
+    return dst;
+}
+
+void
+IRBuilder::fence()
+{
+    Instr i;
+    i.op = Opcode::Fence;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::ioWrite(Reg value, std::int64_t dev)
+{
+    Instr i;
+    i.op = Opcode::IoWrite;
+    i.a = value;
+    i.imm = dev;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::nop()
+{
+    Instr i;
+    i.op = Opcode::Nop;
+    ops().push_back(i);
+}
+
+void
+IRBuilder::emit(Instr instr)
+{
+    ops().push_back(std::move(instr));
+}
+
+} // namespace cwsp::ir

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fluent construction API for the mini-IR, used by workload kernels,
+ * tests, and examples.
+ */
+
+#ifndef CWSP_IR_BUILDER_HH
+#define CWSP_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace cwsp::ir {
+
+/**
+ * Emits instructions into a current insertion block of one function.
+ * All emit methods return the destination register for chaining
+ * convenience where one exists.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &func) : func_(&func) {}
+
+    /** Create a new block and return its id (does not switch to it). */
+    BlockId newBlock();
+
+    /** Switch the insertion point to @p block. */
+    void setBlock(BlockId block);
+
+    /** Current insertion block. */
+    BlockId currentBlock() const { return cur_; }
+
+    // -- Data movement -------------------------------------------------
+    Reg movImm(Reg dst, std::int64_t imm);
+    Reg mov(Reg dst, Reg src);
+
+    // -- ALU -----------------------------------------------------------
+    Reg binOp(Opcode op, Reg dst, Reg a, Reg b);
+    Reg binOpImm(Opcode op, Reg dst, Reg a, std::int64_t imm);
+
+    Reg add(Reg dst, Reg a, Reg b) { return binOp(Opcode::Add, dst, a, b); }
+    Reg addImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::Add, dst, a, i);
+    }
+    Reg sub(Reg dst, Reg a, Reg b) { return binOp(Opcode::Sub, dst, a, b); }
+    Reg mul(Reg dst, Reg a, Reg b) { return binOp(Opcode::Mul, dst, a, b); }
+    Reg mulImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::Mul, dst, a, i);
+    }
+    Reg andImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::And, dst, a, i);
+    }
+    Reg xorOp(Reg dst, Reg a, Reg b) { return binOp(Opcode::Xor, dst, a, b); }
+    Reg shlImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::Shl, dst, a, i);
+    }
+    Reg shrImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::Shr, dst, a, i);
+    }
+    Reg cmpUlt(Reg dst, Reg a, Reg b)
+    {
+        return binOp(Opcode::CmpUlt, dst, a, b);
+    }
+    Reg cmpUltImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::CmpUlt, dst, a, i);
+    }
+    Reg cmpEqImm(Reg dst, Reg a, std::int64_t i)
+    {
+        return binOpImm(Opcode::CmpEq, dst, a, i);
+    }
+
+    // -- Memory ----------------------------------------------------------
+    Reg load(Reg dst, Reg base, std::int64_t offset = 0);
+    void store(Reg value, Reg base, std::int64_t offset = 0);
+
+    // -- Control flow ----------------------------------------------------
+    void br(BlockId target);
+    void condBr(Reg cond, BlockId if_nonzero, BlockId if_zero);
+    void ret(Reg value = kNoReg);
+
+    Reg call(Reg dst, FuncId callee, std::vector<Reg> args);
+
+    // -- Synchronization ---------------------------------------------------
+    Reg atomicAdd(Reg dst, Reg operand, Reg base, std::int64_t offset = 0);
+    Reg atomicXchg(Reg dst, Reg operand, Reg base, std::int64_t offset = 0);
+    void fence();
+
+    /** Irrevocable device output: write r[value] to device @p dev. */
+    void ioWrite(Reg value, std::int64_t dev);
+
+    void nop();
+
+    /** Raw emission escape hatch. */
+    void emit(Instr instr);
+
+  private:
+    Function *func_;
+    BlockId cur_ = 0;
+    bool haveBlock_ = false;
+
+    std::vector<Instr> &ops();
+};
+
+} // namespace cwsp::ir
+
+#endif // CWSP_IR_BUILDER_HH

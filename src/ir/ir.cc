@@ -1,0 +1,304 @@
+#include "ir/ir.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::DivU: return "divu";
+      case Opcode::RemU: return "remu";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpUlt: return "cmpult";
+      case Opcode::CmpSlt: return "cmpslt";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Call: return "call";
+      case Opcode::AtomicAdd: return "atomadd";
+      case Opcode::AtomicXchg: return "atomxchg";
+      case Opcode::Fence: return "fence";
+      case Opcode::RegionBoundary: return "rgnbound";
+      case Opcode::Checkpoint: return "ckpt";
+      case Opcode::IoWrite: return "iowr";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+bool
+accessesMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::AtomicAdd:
+      case Opcode::AtomicXchg:
+      case Opcode::Checkpoint:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAtomic(Opcode op)
+{
+    return op == Opcode::AtomicAdd || op == Opcode::AtomicXchg;
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::DivU:
+      case Opcode::RemU:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpUlt:
+      case Opcode::CmpSlt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Reg
+Instr::defReg() const
+{
+    switch (op) {
+      case Opcode::MovImm:
+      case Opcode::Mov:
+      case Opcode::Load:
+      case Opcode::Call:
+      case Opcode::AtomicAdd:
+      case Opcode::AtomicXchg:
+        return dst;
+      default:
+        return isBinaryAlu(op) ? dst : kNoReg;
+    }
+}
+
+void
+Instr::useRegs(std::vector<Reg> &out) const
+{
+    auto push = [&out](Reg r) {
+        if (r != kNoReg)
+            out.push_back(r);
+    };
+    switch (op) {
+      case Opcode::MovImm:
+        break;
+      case Opcode::Mov:
+        push(a);
+        break;
+      case Opcode::Load:
+        push(a); // base
+        break;
+      case Opcode::Store:
+        push(a); // value
+        push(b); // base
+        break;
+      case Opcode::Br:
+        break;
+      case Opcode::CondBr:
+        push(a);
+        break;
+      case Opcode::Ret:
+        push(a);
+        break;
+      case Opcode::Call:
+        for (Reg r : args)
+            push(r);
+        break;
+      case Opcode::AtomicAdd:
+      case Opcode::AtomicXchg:
+        push(a); // operand value
+        push(b); // base
+        break;
+      case Opcode::Fence:
+      case Opcode::RegionBoundary:
+      case Opcode::Nop:
+        break;
+      case Opcode::Checkpoint:
+      case Opcode::IoWrite:
+        push(a);
+        break;
+      default:
+        if (isBinaryAlu(op)) {
+            push(a);
+            if (!bIsImm)
+                push(b);
+        }
+        break;
+    }
+}
+
+bool
+Instr::writesMemory() const
+{
+    return op == Opcode::Store || op == Opcode::AtomicAdd ||
+           op == Opcode::AtomicXchg || op == Opcode::Checkpoint;
+}
+
+bool
+Instr::readsMemory() const
+{
+    return op == Opcode::Load || op == Opcode::AtomicAdd ||
+           op == Opcode::AtomicXchg;
+}
+
+const Instr &
+BasicBlock::terminator() const
+{
+    cwsp_assert(!instrs_.empty(), "terminator() on empty block");
+    const Instr &last = instrs_.back();
+    cwsp_assert(isTerminator(last.op), "block ", id_,
+                " does not end in a terminator");
+    return last;
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    const Instr &t = terminator();
+    switch (t.op) {
+      case Opcode::Br:
+        return {t.target0};
+      case Opcode::CondBr:
+        if (t.target0 == t.target1)
+            return {t.target0};
+        return {t.target0, t.target1};
+      case Opcode::Ret:
+        return {};
+      default:
+        cwsp_panic("unreachable terminator kind");
+    }
+}
+
+Function::Function(FuncId id, std::string name, unsigned num_params)
+    : id_(id), name_(std::move(name)), numParams_(num_params)
+{
+    cwsp_assert(num_params <= kNumRegs, "too many parameters");
+}
+
+BasicBlock &
+Function::addBlock()
+{
+    auto id = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(std::make_unique<BasicBlock>(id));
+    return *blocks_.back();
+}
+
+std::size_t
+Function::numInstrs() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        n += b->instrs().size();
+    return n;
+}
+
+Function &
+Module::addFunction(const std::string &name, unsigned num_params)
+{
+    cwsp_assert(funcIndex_.find(name) == funcIndex_.end(),
+                "duplicate function ", name);
+    auto id = static_cast<FuncId>(functions_.size());
+    functions_.push_back(std::make_unique<Function>(id, name, num_params));
+    funcIndex_[name] = id;
+    return *functions_.back();
+}
+
+Function &
+Module::functionByName(const std::string &name)
+{
+    FuncId id = findFunction(name);
+    if (id == kNoFunc)
+        cwsp_fatal("unknown function ", name);
+    return *functions_[id];
+}
+
+FuncId
+Module::findFunction(const std::string &name) const
+{
+    auto it = funcIndex_.find(name);
+    return it == funcIndex_.end() ? kNoFunc : it->second;
+}
+
+GlobalVar &
+Module::addGlobal(const std::string &name, std::uint64_t size_bytes)
+{
+    cwsp_assert(!laidOut_, "cannot add globals after layoutMemory()");
+    cwsp_assert(globalIndex_.find(name) == globalIndex_.end(),
+                "duplicate global ", name);
+    globalIndex_[name] = globals_.size();
+    globals_.push_back(GlobalVar{name, size_bytes, 0, {}});
+    return globals_.back();
+}
+
+GlobalVar &
+Module::global(const std::string &name)
+{
+    auto it = globalIndex_.find(name);
+    if (it == globalIndex_.end())
+        cwsp_fatal("unknown global ", name);
+    return globals_[it->second];
+}
+
+void
+Module::layoutMemory()
+{
+    cwsp_assert(!laidOut_, "layoutMemory() called twice");
+    Addr next = kGlobalBase;
+    for (auto &g : globals_) {
+        g.base = next;
+        // Round each object up to a cacheline so distinct globals
+        // never share a line (keeps alias reasoning exact).
+        std::uint64_t sz =
+            (g.sizeBytes + kCachelineBytes - 1) & ~std::uint64_t{63};
+        next += std::max<std::uint64_t>(sz, kCachelineBytes);
+    }
+    cwsp_assert(next < kStackBase, "globals overflow into stack area");
+    laidOut_ = true;
+}
+
+std::size_t
+Module::numInstrs() const
+{
+    std::size_t n = 0;
+    for (const auto &f : functions_)
+        n += f->numInstrs();
+    return n;
+}
+
+} // namespace cwsp::ir

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The cWSP mini-IR: a register-machine intermediate representation
+ * with a fixed architectural register file.
+ *
+ * The paper's compiler operates on LLVM bitcode but its persistence
+ * transformations (idempotent region formation, live-out register
+ * checkpointing, checkpoint pruning) are fundamentally post-register-
+ * allocation concepts: checkpoints save *architectural* registers into
+ * an NVM area indexed by register number. We therefore model programs
+ * directly as non-SSA three-address code over 32 general-purpose
+ * 64-bit registers, which is the representation those algorithms
+ * actually reason about.
+ */
+
+#ifndef CWSP_IR_IR_HH
+#define CWSP_IR_IR_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::ir {
+
+/** Architectural register index (r0..r31). */
+using Reg = std::uint8_t;
+
+/** Number of general-purpose registers in the machine model. */
+constexpr Reg kNumRegs = 32;
+
+/** Sentinel meaning "no register operand". */
+constexpr Reg kNoReg = 0xff;
+
+/** Index of a basic block within its function. */
+using BlockId = std::uint32_t;
+
+/** Sentinel meaning "no block". */
+constexpr BlockId kNoBlock = ~BlockId{0};
+
+/** Index of a function within its module. */
+using FuncId = std::uint32_t;
+
+/** Sentinel meaning "no function". */
+constexpr FuncId kNoFunc = ~FuncId{0};
+
+/**
+ * Static identifier of a recoverable region; equals the index of the
+ * RegionBoundary instruction's entry in Function::recoverySlices().
+ */
+using StaticRegionId = std::uint32_t;
+
+constexpr StaticRegionId kNoStaticRegion = ~StaticRegionId{0};
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t {
+    // Data movement.
+    MovImm,   ///< dst = imm
+    Mov,      ///< dst = ra
+
+    // Integer arithmetic/logic: dst = ra OP (bIsImm ? imm : rb).
+    Add,
+    Sub,
+    Mul,
+    DivU,     ///< unsigned divide; divide-by-zero yields 0 (trap-free)
+    RemU,     ///< unsigned remainder; mod-by-zero yields ra
+    And,
+    Or,
+    Xor,
+    Shl,      ///< shift count taken mod 64
+    Shr,      ///< logical right shift, count mod 64
+    CmpEq,    ///< dst = (ra == op2) ? 1 : 0
+    CmpNe,
+    CmpUlt,   ///< unsigned less-than
+    CmpSlt,   ///< signed less-than
+
+    // Memory (64-bit words). Effective address = r[base] + imm.
+    Load,     ///< dst = mem[ra + imm]
+    Store,    ///< mem[rb + imm] = ra
+
+    // Control flow (terminators).
+    Br,       ///< unconditional branch to target0
+    CondBr,   ///< if (ra != 0) goto target0 else goto target1
+    Ret,      ///< return ra (or void when ra == kNoReg)
+
+    // Calls (not terminators; args in Instr::args, result in dst).
+    Call,
+
+    // Synchronization.
+    AtomicAdd,  ///< dst = mem[rb+imm]; mem[rb+imm] += ra  (sequentially consistent)
+    AtomicXchg, ///< dst = mem[rb+imm]; mem[rb+imm] = ra
+    Fence,      ///< full memory fence
+
+    // Persistence instrumentation (inserted by the cWSP compiler).
+    RegionBoundary, ///< starts a new recoverable region; imm = StaticRegionId
+    Checkpoint,     ///< persist r[a] into the checkpoint slot for a
+
+    /**
+     * Irrevocable device output: write r[a] to device `imm`
+     * (Section VIII's open problem, solved with region-ordered
+     * battery-backed redo buffers — see arch/io_redo_buffer).
+     */
+    IoWrite,
+
+    Nop,
+};
+
+/** @return printable mnemonic for @p op. */
+const char *opcodeName(Opcode op);
+
+/** @return true when @p op ends a basic block. */
+bool isTerminator(Opcode op);
+
+/** @return true for Load/Store/AtomicAdd/AtomicXchg/Checkpoint. */
+bool accessesMemory(Opcode op);
+
+/** @return true for AtomicAdd/AtomicXchg. */
+bool isAtomic(Opcode op);
+
+/** @return true for the two-source ALU opcodes (Add..CmpSlt). */
+bool isBinaryAlu(Opcode op);
+
+/**
+ * A single three-address instruction.
+ *
+ * Operand roles by opcode family are documented on Opcode. Unused
+ * fields hold their sentinel values.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    Reg dst = kNoReg;     ///< destination register
+    Reg a = kNoReg;       ///< first source register
+    Reg b = kNoReg;       ///< second source register (base reg for memory)
+    bool bIsImm = false;  ///< ALU second operand comes from imm
+    std::int64_t imm = 0; ///< immediate / address offset / region id
+    BlockId target0 = kNoBlock; ///< branch target (taken / unconditional)
+    BlockId target1 = kNoBlock; ///< branch target (fall-through)
+    FuncId callee = kNoFunc;    ///< called function
+    std::vector<Reg> args;      ///< call arguments (copied to r0..rk-1)
+
+    /** @return destination register or kNoReg. */
+    Reg defReg() const;
+
+    /** Append every source register to @p out (may contain dups). */
+    void useRegs(std::vector<Reg> &out) const;
+
+    /** @return true when this instruction writes simulated memory. */
+    bool writesMemory() const;
+
+    /** @return true when this instruction reads simulated memory. */
+    bool readsMemory() const;
+};
+
+/** A straight-line sequence of instructions ending in a terminator. */
+class BasicBlock
+{
+  public:
+    explicit BasicBlock(BlockId id) : id_(id) {}
+
+    BlockId id() const { return id_; }
+
+    std::vector<Instr> &instrs() { return instrs_; }
+    const std::vector<Instr> &instrs() const { return instrs_; }
+
+    /** @return the terminator; block must be non-empty and well-formed. */
+    const Instr &terminator() const;
+
+    /** Successor block ids derived from the terminator. */
+    std::vector<BlockId> successors() const;
+
+  private:
+    BlockId id_;
+    std::vector<Instr> instrs_;
+};
+
+/**
+ * A recovery-slice operation: one step of rebuilding a live-in
+ * register at recovery time (Section IV-C / VII of the paper).
+ */
+struct RsOp
+{
+    enum class Kind : std::uint8_t {
+        LoadSlot, ///< dst = checkpoint slot of register `slot`
+        SetImm,   ///< dst = imm
+        Apply,    ///< dst = op(srcA, srcB/imm) over already-restored regs
+    };
+
+    Kind kind = Kind::LoadSlot;
+    Reg dst = kNoReg;
+    Reg slot = kNoReg;        ///< for LoadSlot: which slot to read
+    Opcode op = Opcode::Nop;  ///< for Apply
+    Reg srcA = kNoReg;        ///< for Apply
+    Reg srcB = kNoReg;        ///< for Apply (unless bIsImm)
+    bool bIsImm = false;
+    std::int64_t imm = 0;     ///< for SetImm / Apply immediate operand
+};
+
+/** The recovery slice of one static region. */
+struct RecoverySlice
+{
+    /** Ordered restoration program; later ops may read earlier dsts. */
+    std::vector<RsOp> ops;
+
+    /** Registers this slice restores (the region's live-ins). */
+    std::vector<Reg> liveIns;
+};
+
+/** A function: a CFG of basic blocks; entry is block 0. */
+class Function
+{
+  public:
+    Function(FuncId id, std::string name, unsigned num_params);
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    unsigned numParams() const { return numParams_; }
+
+    BasicBlock &addBlock();
+    BasicBlock &block(BlockId id) { return *blocks_[id]; }
+    const BasicBlock &block(BlockId id) const { return *blocks_[id]; }
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Total instruction count across all blocks. */
+    std::size_t numInstrs() const;
+
+    std::vector<RecoverySlice> &recoverySlices() { return slices_; }
+    const std::vector<RecoverySlice> &recoverySlices() const
+    {
+        return slices_;
+    }
+
+    /** True once the cWSP compiler instrumented this function. */
+    bool instrumented() const { return instrumented_; }
+    void setInstrumented() { instrumented_ = true; }
+
+  private:
+    FuncId id_;
+    std::string name_;
+    unsigned numParams_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    std::vector<RecoverySlice> slices_;
+    bool instrumented_ = false;
+};
+
+/** A named global memory object. */
+struct GlobalVar
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+    Addr base = 0;           ///< assigned by Module::layoutMemory()
+    std::vector<Word> init;  ///< optional word initializer (prefix)
+};
+
+/**
+ * A whole program: functions plus global memory objects laid out in a
+ * flat simulated physical address space.
+ */
+class Module
+{
+  public:
+    /// Address-space layout constants.
+    static constexpr Addr kGlobalBase = 0x1000'0000;
+    static constexpr Addr kStackBase = 0x8000'0000;
+    static constexpr Addr kStackStride = 0x40'0000; ///< per-core stack
+    static constexpr Addr kCkptBase = 0xc000'0000;  ///< checkpoint area
+    static constexpr Addr kCkptStride = 0x10'0000;  ///< per-core area
+
+    Function &addFunction(const std::string &name, unsigned num_params);
+    Function &function(FuncId id) { return *functions_[id]; }
+    const Function &function(FuncId id) const { return *functions_[id]; }
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** @return the function with @p name; fatal if absent. */
+    Function &functionByName(const std::string &name);
+    /** @return function id for @p name or kNoFunc. */
+    FuncId findFunction(const std::string &name) const;
+
+    /**
+     * Declare a global of @p size_bytes; address assigned at layout.
+     * The returned reference stays valid across later addGlobal calls
+     * (deque storage).
+     */
+    GlobalVar &addGlobal(const std::string &name,
+                         std::uint64_t size_bytes);
+    GlobalVar &global(const std::string &name);
+    const std::deque<GlobalVar> &globals() const { return globals_; }
+
+    /** Assign addresses to all globals. Call once after construction. */
+    void layoutMemory();
+    bool laidOut() const { return laidOut_; }
+
+    /** Total instruction count across all functions. */
+    std::size_t numInstrs() const;
+
+  private:
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::unordered_map<std::string, FuncId> funcIndex_;
+    std::deque<GlobalVar> globals_;
+    std::unordered_map<std::string, std::size_t> globalIndex_;
+    bool laidOut_ = false;
+};
+
+/** A (block, instruction-index) position inside one function. */
+struct InstrRef
+{
+    BlockId block = kNoBlock;
+    std::uint32_t index = 0;
+
+    bool
+    operator==(const InstrRef &o) const
+    {
+        return block == o.block && index == o.index;
+    }
+    bool
+    operator<(const InstrRef &o) const
+    {
+        return block != o.block ? block < o.block : index < o.index;
+    }
+};
+
+} // namespace cwsp::ir
+
+#endif // CWSP_IR_IR_HH

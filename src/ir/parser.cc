@@ -1,0 +1,361 @@
+#include "ir/parser.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cwsp::ir {
+
+namespace {
+
+/** Cursor over one instruction line. */
+class LineLexer
+{
+  public:
+    explicit LineLexer(std::string line) : s_(std::move(line)) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (std::isspace(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == ','))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= s_.size();
+    }
+
+    /** Consume one character; fatal when it is not @p c. */
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            cwsp_fatal("IR parse error: expected '", c, "' in: ", s_);
+        ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    /** An identifier-ish token: [A-Za-z0-9_.$-]+ */
+    std::string
+    word()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.' || c == '$' || c == '-')
+                ++pos_;
+            else
+                break;
+        }
+        if (start == pos_)
+            cwsp_fatal("IR parse error: expected token in: ", s_);
+        return s_.substr(start, pos_ - start);
+    }
+
+    std::int64_t
+    integer()
+    {
+        std::string w = word();
+        try {
+            return static_cast<std::int64_t>(std::stoll(w, nullptr, 0));
+        } catch (...) {
+            cwsp_fatal("IR parse error: bad integer '", w, "' in: ",
+                       s_);
+        }
+    }
+
+    Reg
+    reg()
+    {
+        skipWs();
+        if (tryConsume('-'))
+            return kNoReg;
+        std::string w = word();
+        if (w.empty() || w[0] != 'r')
+            cwsp_fatal("IR parse error: expected register, got '", w,
+                       "' in: ", s_);
+        auto n = std::stoul(w.substr(1));
+        if (n >= kNumRegs)
+            cwsp_fatal("IR parse error: register out of range: ", w);
+        return static_cast<Reg>(n);
+    }
+
+    BlockId
+    blockRef()
+    {
+        std::string w = word();
+        if (w.size() < 3 || w.substr(0, 2) != "bb")
+            cwsp_fatal("IR parse error: expected block ref, got '", w,
+                       "'");
+        return static_cast<BlockId>(std::stoul(w.substr(2)));
+    }
+
+    /** Peek: does the next token start with a digit or sign? */
+    bool
+    nextIsNumber()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        return std::isdigit(static_cast<unsigned char>(c)) ||
+               c == '-' || c == '+';
+    }
+
+  private:
+    std::string s_; // owned: callers often pass temporaries
+    std::size_t pos_ = 0;
+};
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"movi", Opcode::MovImm},   {"mov", Opcode::Mov},
+        {"add", Opcode::Add},       {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},       {"divu", Opcode::DivU},
+        {"remu", Opcode::RemU},     {"and", Opcode::And},
+        {"or", Opcode::Or},         {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},       {"shr", Opcode::Shr},
+        {"cmpeq", Opcode::CmpEq},   {"cmpne", Opcode::CmpNe},
+        {"cmpult", Opcode::CmpUlt}, {"cmpslt", Opcode::CmpSlt},
+        {"ld", Opcode::Load},       {"st", Opcode::Store},
+        {"br", Opcode::Br},         {"condbr", Opcode::CondBr},
+        {"ret", Opcode::Ret},       {"call", Opcode::Call},
+        {"atomadd", Opcode::AtomicAdd},
+        {"atomxchg", Opcode::AtomicXchg},
+        {"fence", Opcode::Fence},
+        {"rgnbound", Opcode::RegionBoundary},
+        {"ckpt", Opcode::Checkpoint},
+        {"iowr", Opcode::IoWrite},
+        {"nop", Opcode::Nop},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        cwsp_fatal("IR parse error: unknown mnemonic '", name, "'");
+    return it->second;
+}
+
+/** Parse "[rB+off]" into (base, offset). */
+std::pair<Reg, std::int64_t>
+parseMemRef(LineLexer &lex)
+{
+    lex.expect('[');
+    Reg base = lex.reg();
+    lex.expect('+');
+    std::int64_t off = lex.integer();
+    lex.expect(']');
+    return {base, off};
+}
+
+Instr
+parseInstr(LineLexer &lex)
+{
+    Instr i;
+    std::string mn = lex.word();
+    i.op = opcodeFromName(mn);
+    using Op = Opcode;
+    switch (i.op) {
+      case Op::MovImm:
+        i.dst = lex.reg();
+        i.imm = lex.integer();
+        break;
+      case Op::Mov:
+        i.dst = lex.reg();
+        i.a = lex.reg();
+        break;
+      case Op::Load: {
+        i.dst = lex.reg();
+        auto [base, off] = parseMemRef(lex);
+        i.a = base;
+        i.imm = off;
+        break;
+      }
+      case Op::Store: {
+        i.a = lex.reg();
+        auto [base, off] = parseMemRef(lex);
+        i.b = base;
+        i.imm = off;
+        break;
+      }
+      case Op::Br:
+        i.target0 = lex.blockRef();
+        break;
+      case Op::CondBr:
+        i.a = lex.reg();
+        i.target0 = lex.blockRef();
+        i.target1 = lex.blockRef();
+        break;
+      case Op::Ret:
+        if (!lex.atEnd())
+            i.a = lex.reg();
+        break;
+      case Op::Call: {
+        i.dst = lex.reg();
+        std::string callee = lex.word(); // f<index>
+        if (callee.empty() || callee[0] != 'f')
+            cwsp_fatal("IR parse error: bad callee '", callee, "'");
+        i.callee =
+            static_cast<FuncId>(std::stoul(callee.substr(1)));
+        lex.expect('(');
+        while (!lex.tryConsume(')'))
+            i.args.push_back(lex.reg());
+        break;
+      }
+      case Op::AtomicAdd:
+      case Op::AtomicXchg: {
+        i.dst = lex.reg();
+        i.a = lex.reg();
+        auto [base, off] = parseMemRef(lex);
+        i.b = base;
+        i.imm = off;
+        break;
+      }
+      case Op::Fence:
+      case Op::Nop:
+        break;
+      case Op::RegionBoundary:
+        lex.expect('#');
+        i.imm = lex.integer();
+        break;
+      case Op::Checkpoint:
+        i.a = lex.reg();
+        break;
+      case Op::IoWrite: {
+        i.a = lex.reg();
+        std::string dev = lex.word();
+        if (dev.rfind("dev", 0) != 0)
+            cwsp_fatal("IR parse error: expected devN, got '", dev,
+                       "'");
+        i.imm = std::stoll(dev.substr(3));
+        break;
+      }
+      default:
+        if (isBinaryAlu(i.op)) {
+            i.dst = lex.reg();
+            i.a = lex.reg();
+            if (lex.nextIsNumber()) {
+                i.bIsImm = true;
+                i.imm = lex.integer();
+            } else {
+                i.b = lex.reg();
+            }
+        } else {
+            cwsp_panic("unhandled opcode in parser");
+        }
+        break;
+    }
+    return i;
+}
+
+/** Strip a leading "[<idx>]" instruction-index annotation. */
+std::string
+stripIndex(const std::string &line)
+{
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p != std::string::npos && line[p] == '[') {
+        std::size_t close = line.find(']', p);
+        if (close != std::string::npos)
+            return line.substr(close + 1);
+    }
+    return line;
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+parseModule(const std::string &text)
+{
+    auto mod = std::make_unique<Module>();
+    std::istringstream in(text);
+    std::string line;
+
+    Function *cur_func = nullptr;
+    BasicBlock *cur_block = nullptr;
+    bool laid_out = false;
+
+    auto finish_globals = [&]() {
+        if (!laid_out) {
+            mod->layoutMemory();
+            laid_out = true;
+        }
+    };
+
+    while (std::getline(in, line)) {
+        // Trim.
+        std::size_t a = line.find_first_not_of(" \t\r");
+        if (a == std::string::npos)
+            continue;
+        std::size_t z = line.find_last_not_of(" \t\r");
+        std::string body = line.substr(a, z - a + 1);
+        if (body.empty() || body[0] == ';' || body[0] == '#')
+            continue;
+
+        if (body.rfind("global ", 0) == 0) {
+            cwsp_assert(!laid_out,
+                        "globals must precede all functions");
+            LineLexer lex(body.substr(7));
+            std::string name = lex.word();
+            lex.expect('(');
+            std::int64_t bytes = lex.integer();
+            mod->addGlobal(name,
+                           static_cast<std::uint64_t>(bytes));
+            continue; // rest of line ("bytes) @0x...") ignored
+        }
+        if (body.rfind("func ", 0) == 0) {
+            finish_globals();
+            LineLexer lex(body.substr(5));
+            std::string name = lex.word();
+            lex.expect('(');
+            std::int64_t params = lex.integer();
+            cur_func = &mod->addFunction(
+                name, static_cast<unsigned>(params));
+            cur_block = nullptr;
+            continue;
+        }
+        if (body.rfind("bb", 0) == 0 && body.back() == ':') {
+            if (!cur_func)
+                cwsp_fatal("IR parse error: block outside function");
+            cur_block = &cur_func->addBlock();
+            // Labels must be consecutive (the printer's invariant).
+            auto want = std::stoul(
+                body.substr(2, body.size() - 3));
+            if (want != cur_block->id())
+                cwsp_fatal("IR parse error: non-consecutive block "
+                           "label bb",
+                           want);
+            continue;
+        }
+        if (!cur_block)
+            cwsp_fatal("IR parse error: instruction outside block: ",
+                       body);
+        std::string stripped = stripIndex(body);
+        LineLexer lex(stripped);
+        cur_block->instrs().push_back(parseInstr(lex));
+    }
+    finish_globals();
+    return mod;
+}
+
+} // namespace cwsp::ir

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Textual IR parser: reads the format the printer emits, enabling
+ * IR-as-text test fixtures, golden files, and tooling round trips.
+ */
+
+#ifndef CWSP_IR_PARSER_HH
+#define CWSP_IR_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.hh"
+
+namespace cwsp::ir {
+
+/**
+ * Parse a module from @p text. The grammar is exactly the printer's
+ * output:
+ *
+ *   global <name> (<bytes> bytes) [@0x<addr>]
+ *   func <name>(<n> params)
+ *   bb<k>:
+ *     [<idx>] <mnemonic> <operands...>
+ *
+ * Addresses printed after globals are ignored; the module is laid out
+ * afresh. Calls reference callees as `f<index>` in definition order.
+ *
+ * Throws std::runtime_error (via cwsp_fatal) on malformed input.
+ */
+std::unique_ptr<Module> parseModule(const std::string &text);
+
+} // namespace cwsp::ir
+
+#endif // CWSP_IR_PARSER_HH

@@ -1,0 +1,115 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+namespace cwsp::ir {
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    if (r == kNoReg)
+        return "-";
+    return "r" + std::to_string(unsigned{r});
+}
+
+} // namespace
+
+std::string
+toString(const Instr &i)
+{
+    std::ostringstream os;
+    os << opcodeName(i.op);
+    switch (i.op) {
+      case Opcode::MovImm:
+        os << " " << regName(i.dst) << ", " << i.imm;
+        break;
+      case Opcode::Mov:
+        os << " " << regName(i.dst) << ", " << regName(i.a);
+        break;
+      case Opcode::Load:
+        os << " " << regName(i.dst) << ", [" << regName(i.a) << "+"
+           << i.imm << "]";
+        break;
+      case Opcode::Store:
+        os << " " << regName(i.a) << ", [" << regName(i.b) << "+"
+           << i.imm << "]";
+        break;
+      case Opcode::Br:
+        os << " bb" << i.target0;
+        break;
+      case Opcode::CondBr:
+        os << " " << regName(i.a) << ", bb" << i.target0 << ", bb"
+           << i.target1;
+        break;
+      case Opcode::Ret:
+        if (i.a != kNoReg)
+            os << " " << regName(i.a);
+        break;
+      case Opcode::Call:
+        os << " " << regName(i.dst) << ", f" << i.callee << "(";
+        for (std::size_t k = 0; k < i.args.size(); ++k)
+            os << (k ? ", " : "") << regName(i.args[k]);
+        os << ")";
+        break;
+      case Opcode::AtomicAdd:
+      case Opcode::AtomicXchg:
+        os << " " << regName(i.dst) << ", " << regName(i.a) << ", ["
+           << regName(i.b) << "+" << i.imm << "]";
+        break;
+      case Opcode::Fence:
+      case Opcode::Nop:
+        break;
+      case Opcode::RegionBoundary:
+        os << " #" << i.imm;
+        break;
+      case Opcode::Checkpoint:
+        os << " " << regName(i.a);
+        break;
+      case Opcode::IoWrite:
+        os << " " << regName(i.a) << ", dev" << i.imm;
+        break;
+      default:
+        if (isBinaryAlu(i.op)) {
+            os << " " << regName(i.dst) << ", " << regName(i.a) << ", ";
+            if (i.bIsImm)
+                os << i.imm;
+            else
+                os << regName(i.b);
+        }
+        break;
+    }
+    return os.str();
+}
+
+void
+print(std::ostream &os, const Function &func)
+{
+    os << "func " << func.name() << "(" << func.numParams()
+       << " params)\n";
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        const auto &blk = func.block(static_cast<BlockId>(b));
+        os << "bb" << b << ":\n";
+        const auto &instrs = blk.instrs();
+        for (std::size_t k = 0; k < instrs.size(); ++k)
+            os << "  [" << k << "] " << toString(instrs[k]) << "\n";
+    }
+}
+
+void
+print(std::ostream &os, const Module &module)
+{
+    for (const auto &g : module.globals()) {
+        os << "global " << g.name << " (" << g.sizeBytes << " bytes)";
+        if (module.laidOut())
+            os << " @0x" << std::hex << g.base << std::dec;
+        os << "\n";
+    }
+    for (std::size_t f = 0; f < module.numFunctions(); ++f) {
+        print(os, module.function(static_cast<FuncId>(f)));
+        os << "\n";
+    }
+}
+
+} // namespace cwsp::ir

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Textual dump of modules/functions/instructions for debugging and
+ * golden tests.
+ */
+
+#ifndef CWSP_IR_PRINTER_HH
+#define CWSP_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/ir.hh"
+
+namespace cwsp::ir {
+
+/** Render one instruction as text (no trailing newline). */
+std::string toString(const Instr &instr);
+
+/** Print @p func with block labels and per-instruction indices. */
+void print(std::ostream &os, const Function &func);
+
+/** Print every function and global of @p module. */
+void print(std::ostream &os, const Module &module);
+
+} // namespace cwsp::ir
+
+#endif // CWSP_IR_PRINTER_HH

@@ -1,0 +1,170 @@
+#include "ir/verifier.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cwsp::ir {
+
+namespace {
+
+void
+checkReg(Reg r, bool allow_none, const std::string &where,
+         std::vector<std::string> &problems)
+{
+    if (r == kNoReg) {
+        if (!allow_none)
+            problems.push_back(where + ": missing register operand");
+        return;
+    }
+    if (r >= kNumRegs)
+        problems.push_back(where + ": register out of range");
+}
+
+void
+verifyFunction(const Function &func, const Module *module,
+               std::vector<std::string> &problems)
+{
+    auto where = [&func](std::size_t b, std::size_t k) {
+        std::ostringstream os;
+        os << func.name() << " bb" << b << "[" << k << "]";
+        return os.str();
+    };
+
+    if (func.numBlocks() == 0) {
+        problems.push_back(func.name() + ": function has no blocks");
+        return;
+    }
+
+    for (std::size_t b = 0; b < func.numBlocks(); ++b) {
+        const auto &blk = func.block(static_cast<BlockId>(b));
+        const auto &instrs = blk.instrs();
+        if (instrs.empty()) {
+            problems.push_back(func.name() + " bb" + std::to_string(b) +
+                               ": empty block");
+            continue;
+        }
+        if (!isTerminator(instrs.back().op)) {
+            problems.push_back(func.name() + " bb" + std::to_string(b) +
+                               ": does not end in a terminator");
+        }
+        for (std::size_t k = 0; k < instrs.size(); ++k) {
+            const Instr &i = instrs[k];
+            const std::string w = where(b, k);
+
+            if (isTerminator(i.op) && k + 1 != instrs.size())
+                problems.push_back(w + ": terminator mid-block");
+
+            switch (i.op) {
+              case Opcode::MovImm:
+                checkReg(i.dst, false, w, problems);
+                break;
+              case Opcode::Mov:
+                checkReg(i.dst, false, w, problems);
+                checkReg(i.a, false, w, problems);
+                break;
+              case Opcode::Load:
+                checkReg(i.dst, false, w, problems);
+                checkReg(i.a, false, w, problems);
+                break;
+              case Opcode::Store:
+                checkReg(i.a, false, w, problems);
+                checkReg(i.b, false, w, problems);
+                break;
+              case Opcode::Br:
+                if (i.target0 >= func.numBlocks())
+                    problems.push_back(w + ": bad branch target");
+                break;
+              case Opcode::CondBr:
+                checkReg(i.a, false, w, problems);
+                if (i.target0 >= func.numBlocks() ||
+                    i.target1 >= func.numBlocks())
+                    problems.push_back(w + ": bad branch target");
+                break;
+              case Opcode::Ret:
+                checkReg(i.a, true, w, problems);
+                break;
+              case Opcode::Call: {
+                checkReg(i.dst, true, w, problems);
+                for (Reg r : i.args)
+                    checkReg(r, false, w, problems);
+                if (module) {
+                    if (i.callee >= module->numFunctions()) {
+                        problems.push_back(w + ": bad callee");
+                    } else if (module->function(i.callee).numParams() !=
+                               i.args.size()) {
+                        problems.push_back(w + ": call argument count "
+                                               "mismatch");
+                    }
+                }
+                break;
+              }
+              case Opcode::AtomicAdd:
+              case Opcode::AtomicXchg:
+                checkReg(i.dst, false, w, problems);
+                checkReg(i.a, false, w, problems);
+                checkReg(i.b, false, w, problems);
+                break;
+              case Opcode::Fence:
+              case Opcode::Nop:
+                break;
+              case Opcode::RegionBoundary:
+                if (func.instrumented()) {
+                    auto rid = static_cast<std::uint64_t>(i.imm);
+                    if (rid >= func.recoverySlices().size())
+                        problems.push_back(w + ": region id without "
+                                               "recovery slice");
+                }
+                break;
+              case Opcode::Checkpoint:
+              case Opcode::IoWrite:
+                checkReg(i.a, false, w, problems);
+                break;
+              default:
+                if (isBinaryAlu(i.op)) {
+                    checkReg(i.dst, false, w, problems);
+                    checkReg(i.a, false, w, problems);
+                    if (!i.bIsImm)
+                        checkReg(i.b, false, w, problems);
+                } else {
+                    problems.push_back(w + ": unknown opcode");
+                }
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Function &func)
+{
+    std::vector<std::string> problems;
+    verifyFunction(func, nullptr, problems);
+    return problems;
+}
+
+std::vector<std::string>
+verify(const Module &module)
+{
+    std::vector<std::string> problems;
+    for (std::size_t f = 0; f < module.numFunctions(); ++f)
+        verifyFunction(module.function(static_cast<FuncId>(f)), &module,
+                       problems);
+    return problems;
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    auto problems = verify(module);
+    if (problems.empty())
+        return;
+    std::string all;
+    for (const auto &p : problems)
+        all += p + "; ";
+    cwsp_panic("IR verification failed: ", all);
+}
+
+} // namespace cwsp::ir

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural well-formedness checks for the mini-IR. Run after
+ * construction and after each compiler pass.
+ */
+
+#ifndef CWSP_IR_VERIFIER_HH
+#define CWSP_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace cwsp::ir {
+
+/**
+ * Verify structural invariants of @p module:
+ *  - every block is non-empty and ends in exactly one terminator,
+ *    with no terminator mid-block;
+ *  - branch targets, callees, and register indices are in range;
+ *  - call argument counts match callee parameter counts;
+ *  - RegionBoundary ids reference existing recovery slices (when the
+ *    function is instrumented);
+ *  - memory has been laid out when any global is referenced.
+ *
+ * @return list of human-readable problems; empty means valid.
+ */
+std::vector<std::string> verify(const Module &module);
+
+/** Verify a single function (same checks, callee checks skipped). */
+std::vector<std::string> verify(const Function &func);
+
+/** Panic with a combined message if verify(module) is non-empty. */
+void verifyOrDie(const Module &module);
+
+} // namespace cwsp::ir
+
+#endif // CWSP_IR_VERIFIER_HH

@@ -1,0 +1,93 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::mem {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    cwsp_assert(config.ways > 0, "cache must have at least one way");
+    cwsp_assert(config.sizeBytes % (config.ways * kCachelineBytes) == 0,
+                "cache size not divisible into sets: ", config.name);
+    numSets_ = config.sizeBytes / (config.ways * kCachelineBytes);
+    cwsp_assert(numSets_ > 0, "cache has no sets: ", config.name);
+}
+
+bool
+Cache::probe(Addr line) const
+{
+    auto it = sets_.find(setIndex(line));
+    if (it == sets_.end())
+        return false;
+    for (const auto &w : it->second) {
+        if (w.valid && w.line == line)
+            return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+Cache::access(Addr line, bool is_write)
+{
+    cwsp_assert(line == lineAlign(line), "unaligned line address");
+    CacheAccessResult result;
+    auto &ways = sets_[setIndex(line)];
+    if (ways.empty())
+        ways.resize(config_.ways);
+
+    ++useClock_;
+    for (auto &w : ways) {
+        if (w.valid && w.line == line) {
+            w.lastUse = useClock_;
+            w.dirty = w.dirty || is_write;
+            result.hit = true;
+            ++hits_;
+            return result;
+        }
+    }
+
+    ++misses_;
+    // Choose victim: an invalid way, else the LRU way.
+    Way *victim = &ways[0];
+    for (auto &w : ways) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+    if (victim->valid) {
+        result.evictedValid = true;
+        result.evictedDirty = victim->dirty;
+        result.evictedLine = victim->line;
+        if (victim->dirty)
+            ++dirtyEvictions_;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->line = line;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+bool
+Cache::invalidate(Addr line)
+{
+    auto it = sets_.find(setIndex(line));
+    if (it == sets_.end())
+        return false;
+    for (auto &w : it->second) {
+        if (w.valid && w.line == line) {
+            bool dirty = w.dirty;
+            w.valid = false;
+            w.dirty = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+} // namespace cwsp::mem

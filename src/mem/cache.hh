@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A set-associative writeback cache model (tags + LRU only; data
+ * values live in the functional memory). Sets are allocated lazily so
+ * multi-gigabyte DRAM caches cost memory proportional to the touched
+ * footprint, not the configured capacity.
+ */
+
+#ifndef CWSP_MEM_CACHE_HH
+#define CWSP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t ways = 8;        ///< 1 = direct-mapped
+    std::uint32_t hitLatency = 4;  ///< cycles
+    bool sharedAcrossCores = false;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool evictedValid = false;
+    bool evictedDirty = false;
+    Addr evictedLine = 0;
+};
+
+/** Tag/LRU state for one cache instance. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** @return true when @p line is present (no LRU update). */
+    bool probe(Addr line) const;
+
+    /**
+     * Access @p line (must be line-aligned): on a hit, refresh LRU
+     * and possibly set the dirty bit; on a miss, allocate the line
+     * (write-allocate policy), evicting the LRU way.
+     */
+    CacheAccessResult access(Addr line, bool is_write);
+
+    /** Remove @p line if present; @return true when it was dirty. */
+    bool invalidate(Addr line);
+
+    /** Insert a line in a non-dirty state (fills from lower levels). */
+    CacheAccessResult fill(Addr line) { return access(line, false); }
+
+    std::uint64_t numSets() const { return numSets_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_; }
+
+    void
+    resetStats()
+    {
+        hits_ = misses_ = dirtyEvictions_ = 0;
+    }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::unordered_map<std::uint64_t, std::vector<Way>> sets_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+
+    std::uint64_t
+    setIndex(Addr line) const
+    {
+        return (line / kCachelineBytes) % numSets_;
+    }
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_CACHE_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The full memory hierarchy: private/shared SRAM cache levels, an
+ * optional memory-side DRAM cache (Intel PMEM "memory mode" LLC), the
+ * L1D write buffer, and the NVM memory controllers. Produces per-
+ * access latencies for the commit-level core model and keeps all tag
+ * state so miss rates emerge from the workload's reference stream.
+ */
+
+#ifndef CWSP_MEM_HIERARCHY_HH
+#define CWSP_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/memory_controller.hh"
+#include "mem/write_buffer.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Static description of the whole memory system. */
+struct HierarchyConfig
+{
+    /** SRAM levels, L1D first. L1D must be private. */
+    std::vector<CacheConfig> sramLevels;
+
+    /** Memory-side DRAM cache (direct-mapped in the paper). */
+    bool hasDramCache = true;
+    CacheConfig dramCache;
+
+    NvmTech tech;
+    std::uint32_t numMcs = 2;
+    std::uint32_t wpqCapacity = 24;
+    double logServiceFactor = 3.0;
+
+    std::uint32_t wbCapacity = 32;
+    std::uint32_t wbDrainCycles = 14;
+
+    /** L1 hits cost 1 cycle (pipelined) instead of the tag latency. */
+    bool chargeFirstLevelAsOne = true;
+
+    /**
+     * Drop dirty LLC evictions instead of writing them to NVM — the
+     * persist path already delivered the data (persist-path schemes).
+     */
+    bool dropLlcDirtyEvictions = false;
+
+    /** Delay loads that hit an in-flight WPQ entry (Section V-A2). */
+    bool wpqLoadDelay = false;
+
+    /** Apply the stale-read writeback delay in the WB (Section V-A1). */
+    bool wbPersistDelay = false;
+
+    /**
+     * Capri's stale-read handling (Section II-D): every DRAM-cache
+     * dirty eviction waits the worst-case persist-path delivery
+     * latency while the proxy buffer is scanned. Charged to the
+     * access that triggered the eviction.
+     */
+    std::uint32_t dramEvictionDelay = 0;
+};
+
+/** The paper's default configuration (Section IX). */
+HierarchyConfig defaultHierarchy();
+
+/** Fig. 20 variant: private 1 MB L2 + shared 16 MB L3. */
+HierarchyConfig threeLevelHierarchy();
+
+/** Fig. 1 variants: 2..5 levels ending in the DRAM cache. */
+HierarchyConfig figure1Hierarchy(unsigned levels);
+
+/** Where an access was served. */
+enum class ServedBy : std::uint8_t { Sram, DramCache, Nvm };
+
+/** Result of one memory access through the hierarchy. */
+struct AccessOutcome
+{
+    std::uint32_t latency = 0;
+    /** Write-buffer back-pressure portion of @ref latency. */
+    std::uint32_t evictionStall = 0;
+    ServedBy servedBy = ServedBy::Sram;
+    std::uint32_t sramLevel = 0; ///< valid when servedBy == Sram
+    bool wpqHit = false;         ///< NVM read found an in-flight entry
+    McId mc = 0;                 ///< valid when servedBy == Nvm
+};
+
+/** The assembled memory system for @p numCores cores. */
+class Hierarchy
+{
+  public:
+    Hierarchy(const HierarchyConfig &config, std::uint32_t num_cores);
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Demand access from @p core at word address @p addr. */
+    AccessOutcome access(CoreId core, Addr addr, bool is_write,
+                         Tick now);
+
+    /** MC that owns @p addr (cacheline interleaving). */
+    McId
+    mcFor(Addr addr) const
+    {
+        return static_cast<McId>((addr / kCachelineBytes) %
+                                 config_.numMcs);
+    }
+
+    MemoryController &mc(McId id) { return *mcs_[id]; }
+    std::uint32_t numMcs() const { return config_.numMcs; }
+
+    WriteBuffer &writeBuffer(CoreId core) { return *wbs_[core]; }
+
+    /**
+     * Hook supplied by the persistence scheme: the persist-completion
+     * time of the newest in-flight store to @p line (0 when none).
+     * Drives the WB stale-read delay.
+     */
+    std::function<Tick(Addr line)> persistReadyHook;
+
+    /** Mean WB occupancy sampled at each insertion, over all cores. */
+    double meanWbOccupancy() const;
+
+    std::uint64_t wpqHits() const { return wpqHits_; }
+    std::uint64_t nvmReads() const { return nvmReads_; }
+    std::uint64_t dramCacheHits() const { return dramHits_; }
+    std::uint64_t dramCacheMisses() const { return dramMisses_; }
+
+    /** Demand accesses/misses of SRAM level 0 (L1D), all cores. */
+    std::uint64_t l1Accesses() const;
+    std::uint64_t l1Misses() const;
+
+  private:
+    HierarchyConfig config_;
+    std::uint32_t numCores_;
+    /// caches_[level][coreOr0]: private levels have one per core.
+    std::vector<std::vector<std::unique_ptr<Cache>>> caches_;
+    std::unique_ptr<Cache> dram_;
+    std::vector<std::unique_ptr<WriteBuffer>> wbs_;
+    std::vector<std::unique_ptr<MemoryController>> mcs_;
+    Average wbOccupancy_;
+    std::uint64_t wpqHits_ = 0;
+    std::uint64_t nvmReads_ = 0;
+    std::uint64_t dramHits_ = 0;
+    std::uint64_t dramMisses_ = 0;
+    std::uint64_t l1DemandAccesses_ = 0;
+    std::uint64_t l1DemandMisses_ = 0;
+
+    Cache &cacheAt(std::size_t level, CoreId core);
+
+    /** Handle a dirty eviction out of SRAM level @p level. */
+    std::uint32_t handleEviction(std::size_t level, CoreId core,
+                                 Addr line, Tick now);
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_HIERARCHY_HH

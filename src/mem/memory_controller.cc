@@ -1,0 +1,73 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::mem {
+
+MemoryController::MemoryController(const McConfig &config)
+    : config_(config)
+{
+    cwsp_assert(config.wpqCapacity > 0, "WPQ capacity must be positive");
+    cwsp_assert(config.tech.writeBytesPerCycle > 0,
+                "media write bandwidth must be positive");
+}
+
+WpqAdmitResult
+MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
+                             bool logged, Addr word_addr)
+{
+    ++admissions_;
+    if (logged)
+        ++loggedStores_;
+
+    // Retire freed slots.
+    while (!slotFree_.empty() && slotFree_.front() <= arrival)
+        slotFree_.pop_front();
+
+    Tick admit = arrival;
+    if (slotFree_.size() >= config_.wpqCapacity) {
+        admit = slotFree_.front(); // wait for the oldest drain
+        slotFree_.pop_front();
+        ++fullStalls_;
+    }
+
+    // Media drain: serialized at the device write bandwidth. The undo
+    // log (old-value fetch + log record) rides the same media.
+    Tick start = std::max(admit, mediaFree_);
+    Tick drained = start + serviceCycles(bytes, logged);
+    mediaFree_ = drained;
+    slotFree_.push_back(drained);
+
+    inflight_[word_addr] = drained;
+    if (++sinceCleanup_ >= 4096) {
+        sinceCleanup_ = 0;
+        for (auto it = inflight_.begin(); it != inflight_.end();) {
+            if (it->second <= arrival)
+                it = inflight_.erase(it);
+            else
+                ++it;
+        }
+    }
+    return WpqAdmitResult{admit, drained};
+}
+
+void
+MemoryController::chargeEviction(Tick now, std::uint32_t bytes)
+{
+    ++evictionWrites_;
+    Tick start = std::max(now, mediaFree_);
+    mediaFree_ = start + serviceCycles(bytes, false);
+}
+
+Tick
+MemoryController::inflightDrainTime(Addr word_addr, Tick now) const
+{
+    auto it = inflight_.find(word_addr);
+    if (it == inflight_.end() || it->second <= now)
+        return 0;
+    return it->second;
+}
+
+} // namespace cwsp::mem

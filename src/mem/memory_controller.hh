@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Memory-controller model: a battery-backed write pending queue (WPQ,
+ * the ADR persistence domain) drained into NVM media at the device's
+ * write bandwidth, with asynchronous undo logging for speculative
+ * stores (Section V-B2). Data arriving in the WPQ counts as persisted;
+ * a full WPQ backpressures the persist path.
+ */
+
+#ifndef CWSP_MEM_MEMORY_CONTROLLER_HH
+#define CWSP_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mem/nvm_device.hh"
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Configuration of one memory controller. */
+struct McConfig
+{
+    McId id = 0;
+    NvmTech tech;
+    std::uint32_t wpqCapacity = 24;
+    /**
+     * Media-bandwidth multiplier for undo-logged stores: fetching the
+     * old value plus writing the (addr, old) log record costs extra
+     * media work relative to a plain in-place write (Fig. 10 b).
+     */
+    double logServiceFactor = 3.0;
+};
+
+/** Outcome of admitting one store into the WPQ. */
+struct WpqAdmitResult
+{
+    Tick admitted = 0; ///< persist point (entry durable from here)
+    Tick drained = 0;  ///< media write complete; WPQ slot free
+};
+
+/** One memory controller. */
+class MemoryController
+{
+  public:
+    explicit MemoryController(const McConfig &config);
+
+    const McConfig &config() const { return config_; }
+
+    /**
+     * Admit a persist-path entry of @p bytes arriving at @p arrival.
+     * When the WPQ is full the admission waits for a slot; the
+     * returned admit time is the store's persistence instant.
+     */
+    WpqAdmitResult admitStore(Tick arrival, std::uint32_t bytes,
+                              bool logged, Addr word_addr);
+
+    /**
+     * Charge a dirty-line writeback from the memory-side cache: media
+     * bandwidth only, no WPQ slot (evictions are not persist events).
+     */
+    void chargeEviction(Tick now, std::uint32_t bytes);
+
+    /** Latency of a demand read that reaches the media. */
+    std::uint32_t readLatency() const
+    {
+        return config_.tech.totalReadCycles();
+    }
+
+    /**
+     * If @p word_addr has an in-flight WPQ entry at @p now, the time
+     * that entry drains; otherwise 0. Used for the paper's WPQ-hit
+     * load delay (Section V-A2).
+     */
+    Tick inflightDrainTime(Addr word_addr, Tick now) const;
+
+    std::uint64_t admissions() const { return admissions_; }
+    std::uint64_t fullStalls() const { return fullStalls_; }
+    std::uint64_t loggedStores() const { return loggedStores_; }
+    std::uint64_t evictionWrites() const { return evictionWrites_; }
+
+  private:
+    McConfig config_;
+    std::deque<Tick> slotFree_;  ///< WPQ slot release times (FIFO)
+    Tick mediaFree_ = 0;         ///< media next-free time
+    std::unordered_map<Addr, Tick> inflight_; ///< word -> drain time
+    std::uint64_t admissions_ = 0;
+    std::uint64_t fullStalls_ = 0;
+    std::uint64_t loggedStores_ = 0;
+    std::uint64_t evictionWrites_ = 0;
+    std::uint64_t sinceCleanup_ = 0;
+
+    std::uint32_t
+    serviceCycles(std::uint32_t bytes, bool logged) const
+    {
+        double factor = logged ? config_.logServiceFactor : 1.0;
+        double cycles =
+            static_cast<double>(bytes) * factor /
+            config_.tech.writeBytesPerCycle;
+        std::uint32_t c = static_cast<std::uint32_t>(cycles);
+        return c == 0 ? 1 : c;
+    }
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_MEMORY_CONTROLLER_HH

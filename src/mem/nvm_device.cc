@@ -1,0 +1,136 @@
+#include "mem/nvm_device.hh"
+
+#include "sim/logging.hh"
+
+namespace cwsp::mem {
+
+NvmTech
+pmemTech()
+{
+    NvmTech t;
+    t.name = "pmem";
+    t.readCycles = nsToCycles(175);
+    t.writeCycles = nsToCycles(90);
+    // Per-MC sustained media write bandwidth. Six interleaved DIMMs
+    // per controller comfortably exceed the 4 GB/s persist path, which
+    // the paper treats as the bottleneck resource (Fig. 21); the WPQ
+    // only backs up during bursts (Fig. 26).
+    t.writeBytesPerCycle = gbsToBytesPerCycle(6.0);
+    return t;
+}
+
+NvmTech
+sttramTech()
+{
+    NvmTech t;
+    t.name = "sttram";
+    t.readCycles = nsToCycles(60);
+    t.writeCycles = nsToCycles(50);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(8.0);
+    return t;
+}
+
+NvmTech
+reramTech()
+{
+    NvmTech t;
+    t.name = "reram";
+    t.readCycles = nsToCycles(40);
+    t.writeCycles = nsToCycles(30);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(10.0);
+    return t;
+}
+
+NvmTech
+dramDevice()
+{
+    NvmTech t;
+    t.name = "dram";
+    t.readCycles = nsToCycles(50);
+    t.writeCycles = nsToCycles(50);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(12.5);
+    return t;
+}
+
+NvmTech
+cxlA()
+{
+    NvmTech t;
+    t.name = "cxl-a";
+    t.readCycles = nsToCycles(158);
+    t.writeCycles = nsToCycles(120);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(38.4 / 2);
+    return t;
+}
+
+NvmTech
+cxlB()
+{
+    NvmTech t;
+    t.name = "cxl-b";
+    t.readCycles = nsToCycles(223);
+    t.writeCycles = nsToCycles(139);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(19.2 / 2);
+    return t;
+}
+
+NvmTech
+cxlC()
+{
+    NvmTech t;
+    t.name = "cxl-c";
+    t.readCycles = nsToCycles(348);
+    t.writeCycles = nsToCycles(241);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(25.6 / 2);
+    return t;
+}
+
+NvmTech
+cxlD()
+{
+    NvmTech t;
+    t.name = "cxl-d";
+    t.readCycles = nsToCycles(245);
+    t.writeCycles = nsToCycles(160);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(2.3);
+    return t;
+}
+
+NvmTech
+cxlDram()
+{
+    NvmTech t;
+    t.name = "cxl-dram";
+    // Local DRAM latency plus the ~70 ns CXL interconnect hop [74].
+    t.readCycles = nsToCycles(50);
+    t.writeCycles = nsToCycles(50);
+    t.interconnectCycles = nsToCycles(70);
+    t.writeBytesPerCycle = gbsToBytesPerCycle(12.5);
+    return t;
+}
+
+NvmTech
+nvmTechByName(const std::string &name)
+{
+    if (name == "pmem")
+        return pmemTech();
+    if (name == "sttram")
+        return sttramTech();
+    if (name == "reram")
+        return reramTech();
+    if (name == "dram")
+        return dramDevice();
+    if (name == "cxl-a")
+        return cxlA();
+    if (name == "cxl-b")
+        return cxlB();
+    if (name == "cxl-c")
+        return cxlC();
+    if (name == "cxl-d")
+        return cxlD();
+    if (name == "cxl-dram")
+        return cxlDram();
+    cwsp_fatal("unknown NVM technology: ", name);
+}
+
+} // namespace cwsp::mem

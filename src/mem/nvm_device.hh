@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NVM technology and CXL device models. Latencies come from the
+ * paper's Section IX (PMEM: 175 ns read / 90 ns write) and Table I
+ * (four CXL devices); bandwidths bound the media drain rate of each
+ * memory controller's write pending queue.
+ *
+ * The simulator clock is 2 GHz, so 1 cycle = 0.5 ns (the paper's
+ * "20 ns = 40 cycles" persist-path round trip implies the same).
+ */
+
+#ifndef CWSP_MEM_NVM_DEVICE_HH
+#define CWSP_MEM_NVM_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Core clock in GHz; converts ns-based datasheet numbers to cycles. */
+constexpr double kClockGhz = 2.0;
+
+/** Convert nanoseconds to clock cycles. */
+constexpr std::uint32_t
+nsToCycles(double ns)
+{
+    return static_cast<std::uint32_t>(ns * kClockGhz);
+}
+
+/** Convert GB/s to bytes per clock cycle. */
+constexpr double
+gbsToBytesPerCycle(double gbs)
+{
+    return gbs / kClockGhz;
+}
+
+/** Timing/bandwidth description of one memory device. */
+struct NvmTech
+{
+    std::string name = "pmem";
+    std::uint32_t readCycles = nsToCycles(175);
+    std::uint32_t writeCycles = nsToCycles(90);
+    /// Sustained media write bandwidth per memory controller.
+    double writeBytesPerCycle = gbsToBytesPerCycle(2.3);
+    /// Extra interconnect cycles added to every access (CXL devices).
+    std::uint32_t interconnectCycles = 0;
+
+    std::uint32_t
+    totalReadCycles() const
+    {
+        return readCycles + interconnectCycles;
+    }
+    std::uint32_t
+    totalWriteCycles() const
+    {
+        return writeCycles + interconnectCycles;
+    }
+};
+
+/** Intel Optane-style PMEM (the paper's default main memory). */
+NvmTech pmemTech();
+/** STT-MRAM (Section IX-M). */
+NvmTech sttramTech();
+/** ReRAM, the fastest NVM the paper evaluates (Section IX-M). */
+NvmTech reramTech();
+
+/** DRAM device (used by Fig. 1's CXL-DRAM baseline memory). */
+NvmTech dramDevice();
+
+/** Table I CXL devices. */
+NvmTech cxlA(); ///< hard-IP NVDIMM, DDR5-4800, 158/120 ns, 38.4 GB/s
+NvmTech cxlB(); ///< hard-IP NVDIMM, DDR4-2400, 223/139 ns, 19.2 GB/s
+NvmTech cxlC(); ///< soft-IP NVDIMM, DDR4-3200, 348/241 ns, 25.6 GB/s
+NvmTech cxlD(); ///< simulated CXL PMEM, 245/160 ns, 6.6/2.3 GB/s
+
+/** CXL DRAM main memory used as Fig. 1's fast comparison point. */
+NvmTech cxlDram();
+
+/** Look up a technology preset by name; fatal on unknown names. */
+NvmTech nvmTechByName(const std::string &name);
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_NVM_DEVICE_HH

@@ -1,0 +1,39 @@
+#include "mem/persist_path.hh"
+
+#include <algorithm>
+
+#include "mem/nvm_device.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::mem {
+
+PersistPath::PersistPath(const PersistPathConfig &config, CoreId core,
+                         std::uint32_t num_mcs)
+    : config_(config),
+      bytesPerCycle_(gbsToBytesPerCycle(config.bandwidthGBs)),
+      nearMc_(num_mcs == 0 ? 0 : core % num_mcs)
+{
+    cwsp_assert(bytesPerCycle_ > 0, "persist path needs bandwidth");
+}
+
+Tick
+PersistPath::send(Tick ready, std::uint32_t bytes, McId mc)
+{
+    ++sent_;
+    bytes_ += bytes;
+
+    auto transfer = static_cast<Tick>(
+        static_cast<double>(bytes) / bytesPerCycle_);
+    if (transfer == 0)
+        transfer = 1;
+
+    Tick start = std::max(ready, linkFree_);
+    linkFree_ = start + transfer;
+
+    Tick latency = config_.oneWayLatency;
+    if (mc != nearMc_)
+        latency += config_.numaExtraCycles;
+    return linkFree_ + latency;
+}
+
+} // namespace cwsp::mem

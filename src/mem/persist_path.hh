@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The FIFO persist path connecting each core to the memory
+ * controllers (Fig. 3 b). Entries are serialized at the configured
+ * bandwidth and experience a one-way delivery latency plus a NUMA
+ * penalty when the target MC is not the core's near controller
+ * (Section V-B). cWSP's entries are 8 bytes; prior schemes ship whole
+ * 64-byte cachelines, which is what makes them bandwidth-bound.
+ */
+
+#ifndef CWSP_MEM_PERSIST_PATH_HH
+#define CWSP_MEM_PERSIST_PATH_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Configuration of one core's persist link. */
+struct PersistPathConfig
+{
+    double bandwidthGBs = 4.0;       ///< link bandwidth
+    std::uint32_t oneWayLatency = 20; ///< cycles (20 ns round trip / 2)
+    std::uint32_t numaExtraCycles = 12; ///< far-MC penalty (6 ns)
+};
+
+/** Per-core bandwidth/latency model of the persist path. */
+class PersistPath
+{
+  public:
+    PersistPath(const PersistPathConfig &config, CoreId core,
+                std::uint32_t num_mcs);
+
+    /**
+     * Dispatch an entry of @p bytes that became ready at @p ready.
+     *
+     * @return the entry's arrival time at MC @p mc.
+     */
+    Tick send(Tick ready, std::uint32_t bytes, McId mc);
+
+    /** Time the link becomes free (for drain/fence modeling). */
+    Tick linkFree() const { return linkFree_; }
+
+    /**
+     * Backpressure: a full WPQ holds the head entry on the link, so
+     * nothing behind it can transfer before @p until.
+     */
+    void
+    stallLink(Tick until)
+    {
+        if (until > linkFree_)
+            linkFree_ = until;
+    }
+
+    std::uint64_t entriesSent() const { return sent_; }
+    std::uint64_t bytesSent() const { return bytes_; }
+
+    const PersistPathConfig &config() const { return config_; }
+
+    /** The controller closest to this core (no NUMA penalty). */
+    McId nearMc() const { return nearMc_; }
+
+  private:
+    PersistPathConfig config_;
+    double bytesPerCycle_;
+    McId nearMc_;
+    Tick linkFree_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_PERSIST_PATH_HH

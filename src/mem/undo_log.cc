@@ -1,0 +1,33 @@
+#include "mem/undo_log.hh"
+
+namespace cwsp::mem {
+
+void
+UndoLogArea::append(RegionId region, Addr addr, Word old_value)
+{
+    logs_[region].push_back(UndoRecord{addr, old_value});
+    ++live_;
+    if (live_ > maxLive_)
+        maxLive_ = live_;
+}
+
+void
+UndoLogArea::reclaim(RegionId region)
+{
+    auto it = logs_.find(region);
+    if (it == logs_.end())
+        return;
+    live_ -= it->second.size();
+    logs_.erase(it);
+}
+
+std::size_t
+UndoLogArea::liveRecords() const
+{
+    std::size_t n = 0;
+    for (const auto &[region, records] : logs_)
+        n += records.size();
+    return n;
+}
+
+} // namespace cwsp::mem

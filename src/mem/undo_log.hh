@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-MC, per-region append-only undo logs (Section V-B2). Each MC
+ * keeps, in its local NVM, one log array per speculative region that
+ * has stores directed at it; a region's array is reclaimed when the
+ * region becomes non-speculative. On power failure the recovery
+ * runtime replays every surviving log in reverse region-id order.
+ */
+
+#ifndef CWSP_MEM_UNDO_LOG_HH
+#define CWSP_MEM_UNDO_LOG_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** One undo record: the pre-store NVM contents of a word. */
+struct UndoRecord
+{
+    Addr addr = 0;
+    Word oldValue = 0;
+};
+
+/** The undo-log area of one memory controller. */
+class UndoLogArea
+{
+  public:
+    /** Append a record for @p region (allocates its array lazily). */
+    void append(RegionId region, Addr addr, Word old_value);
+
+    /** Region became non-speculative: drop its array (Section V-B2). */
+    void reclaim(RegionId region);
+
+    /**
+     * Replay all surviving records in reverse chronological region
+     * order, newest region first, each region's records newest first
+     * (Section VII).
+     */
+    template <typename Fn>
+    void
+    replayReverse(Fn &&fn) const
+    {
+        for (auto it = logs_.rbegin(); it != logs_.rend(); ++it) {
+            const auto &records = it->second;
+            for (auto r = records.rbegin(); r != records.rend(); ++r)
+                fn(it->first, r->addr, r->oldValue);
+        }
+    }
+
+    /** Drop every log (end of recovery, Section VII step 1). */
+    void clear() { logs_.clear(); }
+
+    std::size_t liveRegions() const { return logs_.size(); }
+    std::size_t liveRecords() const;
+
+    /** High-water mark of simultaneously live records. */
+    std::size_t maxLiveRecords() const { return maxLive_; }
+
+  private:
+    std::map<RegionId, std::vector<UndoRecord>> logs_;
+    std::size_t live_ = 0;
+    std::size_t maxLive_ = 0;
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_UNDO_LOG_HH

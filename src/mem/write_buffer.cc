@@ -1,0 +1,56 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::mem {
+
+WriteBuffer::WriteBuffer(std::uint32_t capacity,
+                         std::uint32_t drain_cycles)
+    : capacity_(capacity), drainCycles_(drain_cycles)
+{
+    cwsp_assert(capacity > 0, "WB capacity must be positive");
+}
+
+Tick
+WriteBuffer::insert(Tick now, Addr line, Tick persist_ready)
+{
+    (void)line;
+    ++inserts_;
+
+    // Retire entries that have already drained.
+    while (!drainTimes_.empty() && drainTimes_.front() <= now)
+        drainTimes_.pop_front();
+
+    Tick proceed = now;
+    if (drainTimes_.size() >= capacity_) {
+        // Full: the core's eviction waits for the head to drain.
+        proceed = drainTimes_.front();
+        ++fullStalls_;
+        drainTimes_.pop_front();
+    }
+
+    // FIFO drain: one line per drainCycles_, not before the previous
+    // entry, not before the line's pending persist completes.
+    Tick start = std::max(proceed, lastDrain_);
+    if (persist_ready > start)
+        ++persistDelays_;
+    Tick done = std::max(start, persist_ready) + drainCycles_;
+    drainTimes_.push_back(done);
+    lastDrain_ = done;
+    return proceed;
+}
+
+std::uint32_t
+WriteBuffer::occupancyAt(Tick now) const
+{
+    std::uint32_t n = 0;
+    for (Tick t : drainTimes_) {
+        if (t > now)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace cwsp::mem

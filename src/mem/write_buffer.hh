@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The private L1D write buffer (WB) that holds dirty cachelines
+ * evicted from L1D on their way to the shared L2. cWSP's stale-read
+ * fix (Section V-A1, Fig. 5) delays the writeback of a line while a
+ * matching persist-buffer entry is still in flight; the paper's Fig. 6
+ * measures the resulting (negligible) occupancy.
+ *
+ * The model is timestamp-based: each entry records when it is ready to
+ * drain (normal drain serialization, possibly extended to the line's
+ * last persist-completion time), and occupancy at any instant is the
+ * number of entries whose drain time is still in the future.
+ */
+
+#ifndef CWSP_MEM_WRITE_BUFFER_HH
+#define CWSP_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace cwsp::mem {
+
+/** Timestamped FIFO model of the L1D write buffer. */
+class WriteBuffer
+{
+  public:
+    /**
+     * @param capacity      entries (paper default 32)
+     * @param drain_cycles  cycles to write one line into L2
+     */
+    WriteBuffer(std::uint32_t capacity, std::uint32_t drain_cycles);
+
+    /**
+     * Insert the dirty line evicted at time @p now, which may not
+     * drain before @p persist_ready (kTickNever-free: pass @p now when
+     * there is no pending persist for the line).
+     *
+     * @return the time the *core* may proceed: normally @p now, but
+     *         when the WB is full the insertion stalls until the
+     *         oldest entry drains.
+     */
+    Tick insert(Tick now, Addr line, Tick persist_ready);
+
+    /** Entries still queued at time @p now. */
+    std::uint32_t occupancyAt(Tick now) const;
+
+    /** Drain-completion time of the most recently inserted entry. */
+    Tick lastDrainTime() const { return lastDrain_; }
+
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t fullStalls() const { return fullStalls_; }
+    /** Inserts whose drain was extended by a pending persist. */
+    std::uint64_t persistDelays() const { return persistDelays_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t drainCycles_;
+    std::deque<Tick> drainTimes_; ///< completion time per entry (FIFO)
+    Tick lastDrain_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t fullStalls_ = 0;
+    std::uint64_t persistDelays_ = 0;
+};
+
+} // namespace cwsp::mem
+
+#endif // CWSP_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cwsp {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    cwsp_assert(when >= now_, "scheduling event in the past: ", when,
+                " < ", now_);
+    events_.push(PendingEvent{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delta, Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return events_.empty() ? kTickNever : events_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop: the callback may schedule more events.
+    PendingEvent ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit)
+        step();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    cwsp_assert(when >= now_, "time cannot move backwards");
+    cwsp_assert(nextEventTick() >= when,
+                "advanceTo would skip a pending event");
+    now_ = when;
+}
+
+} // namespace cwsp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A minimal deterministic discrete-event queue. Devices that need
+ * time-triggered behaviour (persist-path drain, background undo
+ * logging, crash injection) schedule callbacks here.
+ */
+
+#ifndef CWSP_SIM_EVENT_QUEUE_HH
+#define CWSP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp {
+
+/**
+ * Deterministic event queue ordered by (tick, insertion sequence).
+ * Events scheduled for the same tick fire in insertion order, which
+ * keeps multi-device simulations reproducible.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to fire at absolute time @p when. */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to fire @p delta ticks after the current time. */
+    void scheduleAfter(Tick delta, Callback cb);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Tick of the earliest pending event; kTickNever when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Fire the single earliest event, advancing time to it.
+     * @retval true an event was executed.
+     */
+    bool step();
+
+    /** Run events until the queue is empty or time exceeds @p limit. */
+    void runUntil(Tick limit);
+
+    /** Run all pending events to exhaustion. */
+    void runAll();
+
+    /** Advance time with no event execution (for lock-step models). */
+    void advanceTo(Tick when);
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const PendingEvent &a, const PendingEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
+        events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace cwsp
+
+#endif // CWSP_SIM_EVENT_QUEUE_HH

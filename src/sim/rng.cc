@@ -1,0 +1,93 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cwsp {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    cwsp_assert(bound > 0, "nextBelow(0)");
+    // Modulo bias is negligible for bounds far below 2^64.
+    return next() % bound;
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    cwsp_assert(lo <= hi, "bad range");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double theta)
+{
+    cwsp_assert(n > 0, "nextZipf(0)");
+    if (theta <= 0.0)
+        return nextBelow(n);
+    // Power-law inversion: idx = n * u^(1/(1-theta)) concentrates mass
+    // near 0 as theta -> 1; exact Zipf is unnecessary for locality
+    // shaping.
+    double expnt = 1.0 / (1.0 - std::min(theta, 0.99));
+    double u = nextDouble();
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n) * std::pow(u, expnt));
+    return idx >= n ? n - 1 : idx;
+}
+
+} // namespace cwsp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All randomized parts
+ * of the simulator (workload address streams, crash-point selection)
+ * draw from explicitly seeded Rng instances so that every experiment
+ * is exactly reproducible.
+ */
+
+#ifndef CWSP_SIM_RNG_HH
+#define CWSP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cwsp {
+
+/**
+ * SplitMix64-seeded xoshiro256** generator: tiny, fast, and of far
+ * better quality than std::minstd; identical streams on every
+ * platform, unlike std::mt19937's distribution wrappers.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Approximately Zipf-distributed index in [0, n) with skew
+     * @p theta (0 = uniform, ~0.99 = heavily skewed) using the
+     * rejection-inversion-free power approximation; good enough for
+     * workload locality modeling.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double theta);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cwsp
+
+#endif // CWSP_SIM_RNG_HH

@@ -1,0 +1,121 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t buckets)
+    : bucketWidth_(bucket_width), counts_(buckets, 0)
+{
+    cwsp_assert(bucket_width > 0, "histogram bucket width must be > 0");
+    cwsp_assert(buckets > 0, "histogram must have at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    std::size_t idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++count_;
+    sum_ += static_cast<double>(v);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    cwsp_assert(fraction >= 0.0 && fraction <= 1.0,
+                "percentile fraction out of range");
+    if (count_ == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(fraction * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return (i + 1) * bucketWidth_ - 1;
+    }
+    return counts_.size() * bucketWidth_ - 1;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatsRegistry::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         std::uint64_t bucket_width, std::size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(bucket_width, buckets))
+                 .first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatsRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatsRegistry::averageValue(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? 0.0 : it->second.mean();
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, a] : averages_)
+        os << name << " " << a.mean() << " (n=" << a.count() << ")\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << " mean=" << h.mean() << " n=" << h.count()
+           << " p99=" << h.percentile(0.99) << "\n";
+    }
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : averages_)
+        a.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
+}
+
+} // namespace cwsp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, running averages, and
+ * histograms collected in a registry so experiments can dump them
+ * uniformly.
+ */
+
+#ifndef CWSP_SIM_STATS_HH
+#define CWSP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cwsp {
+
+/** A monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A running mean over samples, e.g. the average occupancy of the L1D
+ * write buffer sampled per committed store (Fig. 6).
+ */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** A fixed-bucket histogram (last bucket is an overflow bucket). */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; @param buckets count. */
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t buckets = 64);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Value below which @p fraction of samples fall (approximate). */
+    std::uint64_t percentile(double fraction) const;
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    void reset();
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named collection of statistics owned by one simulation instance.
+ * Names are hierarchical by convention, e.g. "core0.pb.stalls".
+ */
+class StatsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Average &average(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::uint64_t bucket_width = 1,
+                         std::size_t buckets = 64);
+
+    /** Look up an existing counter; returns 0 value if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Look up an existing average; returns 0.0 if absent. */
+    double averageValue(const std::string &name) const;
+
+    /** Dump every statistic as "name value" lines. */
+    void dump(std::ostream &os) const;
+
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace cwsp
+
+#endif // CWSP_SIM_STATS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CWSP_SIM_TYPES_HH
+#define CWSP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace cwsp {
+
+/** Simulation time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A 64-bit machine word, the granularity of the persist path. */
+using Word = std::uint64_t;
+
+/** Identifier of a recoverable (idempotent) region instance. */
+using RegionId = std::uint64_t;
+
+/** Identifier of a core in the simulated processor. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a memory controller. */
+using McId = std::uint32_t;
+
+/** An invalid/unset tick, used as "not yet scheduled". */
+constexpr Tick kTickNever = ~Tick{0};
+
+/** Size of a cacheline in bytes throughout the memory system. */
+constexpr std::uint32_t kCachelineBytes = 64;
+
+/** Size of a machine word in bytes (persist-path granularity). */
+constexpr std::uint32_t kWordBytes = 8;
+
+/** Align @p addr down to its cacheline base. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~Addr{kCachelineBytes - 1};
+}
+
+/** Align @p addr down to its word base. */
+constexpr Addr
+wordAlign(Addr addr)
+{
+    return addr & ~Addr{kWordBytes - 1};
+}
+
+} // namespace cwsp
+
+#endif // CWSP_SIM_TYPES_HH

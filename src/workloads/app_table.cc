@@ -1,0 +1,335 @@
+/**
+ * @file
+ * The 38-bar application roster (the paper's 37 apps; CPU2017's lbm
+ * and namd reappear as in its figures). Each entry instantiates a
+ * kernel with parameters calibrated to the suite characteristics the
+ * paper reports: SPEC = moderate locality with streaming components,
+ * lbm's ~22 % L1D miss rate, SPLASH3 = cache-resident but store-heavy
+ * with short regions and sequential writes, WHISPER = persistent
+ * key-value traffic, STAMP = transactions with atomics, and the
+ * memory-intensive subset (Figs. 1/17/18) with multi-GB-style
+ * streaming footprints.
+ */
+
+#include "workloads/workload.hh"
+
+namespace cwsp::workloads {
+
+namespace {
+
+AppProfile
+mix(const std::string &name, const std::string &suite, MixParams p,
+    bool mem_intensive = false)
+{
+    AppProfile a;
+    a.name = name;
+    a.suite = suite;
+    a.kind = KernelKind::Mix;
+    a.memIntensive = mem_intensive;
+    a.mix = p;
+    a.mix.seed ^= std::hash<std::string>{}(name);
+    a.mix.seed |= 1;
+    return a;
+}
+
+MixParams
+mixParams(std::uint64_t iters, std::uint32_t unroll,
+          std::uint32_t hot_pct, std::uint32_t warm_pct,
+          std::uint32_t cold_pct, std::uint32_t store_pct,
+          std::uint64_t hot_words, std::uint64_t warm_words,
+          std::uint64_t cold_lines)
+{
+    MixParams p;
+    p.iterations = iters;
+    p.unroll = unroll;
+    p.hotPct = hot_pct;
+    p.warmPct = warm_pct;
+    p.coldPct = cold_pct;
+    p.storePct = store_pct;
+    p.hotWords = hot_words;
+    p.warmWords = warm_words;
+    p.coldLines = cold_lines;
+    return p;
+}
+
+std::vector<AppProfile>
+makeTable()
+{
+    std::vector<AppProfile> t;
+
+    // ---------------- SPEC CPU2006 ----------------
+    {
+        AppProfile a;
+        a.name = "astar";
+        a.suite = "cpu2006";
+        a.kind = KernelKind::PChase;
+        a.memIntensive = true;
+        a.pchase = PChaseParams{1 << 16, 98765, 40'000, 8, 512};
+        t.push_back(a);
+    }
+    t.push_back(mix("bzip2", "cpu2006",
+                    mixParams(10'000, 4, 45, 25, 5, 25, 1 << 12,
+                              1 << 15, 1 << 14)));
+    {
+        AppProfile a;
+        a.name = "gobmk";
+        a.suite = "cpu2006";
+        a.kind = KernelKind::TreeSearch;
+        a.tree = TreeSearchParams{1 << 13, 10, 2'600, 4, 11};
+        t.push_back(a);
+    }
+    t.push_back(mix("h264ref", "cpu2006",
+                    mixParams(7'000, 6, 35, 30, 10, 35, 1 << 11,
+                              1 << 15, 1 << 14)));
+    {
+        auto p = mixParams(11'000, 6, 45, 35, 10, 50, 1 << 10,
+                           1 << 16, 1 << 16);
+        t.push_back(mix("lbm", "cpu2006", p, true));
+    }
+    t.push_back(mix("libquantum", "cpu2006",
+                    mixParams(12'000, 4, 25, 45, 30, 30, 1 << 10,
+                              1 << 16, 1 << 16),
+                    true));
+    t.push_back(mix("milc", "cpu2006",
+                    mixParams(10'000, 5, 40, 40, 20, 40, 1 << 10,
+                              1 << 16, 1 << 16),
+                    true));
+    {
+        AppProfile a;
+        a.name = "namd";
+        a.suite = "cpu2006";
+        a.kind = KernelKind::NBody;
+        a.nbody = NBodyParams{1 << 9, 8, 9, 2};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "sjeng";
+        a.suite = "cpu2006";
+        a.kind = KernelKind::TreeSearch;
+        a.tree = TreeSearchParams{1 << 12, 9, 2'800, 4, 23};
+        t.push_back(a);
+    }
+    t.push_back(mix("soplex", "cpu2006",
+                    mixParams(8'000, 5, 30, 35, 10, 30, 1 << 12,
+                              1 << 16, 1 << 14)));
+
+    // ---------------- SPEC CPU2017 ----------------
+    {
+        AppProfile a;
+        a.name = "dsjeng";
+        a.suite = "cpu2017";
+        a.kind = KernelKind::TreeSearch;
+        a.tree = TreeSearchParams{1 << 13, 12, 2'400, 4, 37};
+        t.push_back(a);
+    }
+    {
+        auto p = mixParams(6'000, 8, 40, 15, 5, 20, 1 << 12, 1 << 14,
+                           1 << 13);
+        p.computeOps = 6;
+        t.push_back(mix("imagick", "cpu2017", p));
+    }
+    {
+        auto p = mixParams(11'000, 6, 45, 35, 10, 50, 1 << 10,
+                           1 << 16, 1 << 16);
+        p.seed = 777;
+        t.push_back(mix("lbm17", "cpu2017", p));
+    }
+    {
+        AppProfile a;
+        a.name = "leela";
+        a.suite = "cpu2017";
+        a.kind = KernelKind::TreeSearch;
+        a.tree = TreeSearchParams{1 << 14, 11, 2'500, 4, 41};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "nab";
+        a.suite = "cpu2017";
+        a.kind = KernelKind::NBody;
+        a.nbody = NBodyParams{1 << 9, 10, 7, 2};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "namd17";
+        a.suite = "cpu2017";
+        a.kind = KernelKind::NBody;
+        a.nbody = NBodyParams{1 << 10, 6, 8, 2};
+        t.push_back(a);
+    }
+    t.push_back(mix("xz", "cpu2017",
+                    mixParams(9'000, 4, 35, 25, 15, 30, 1 << 13,
+                              1 << 15, 1 << 14)));
+
+    // ---------------- DOE Mini-apps ----------------
+    {
+        auto p = mixParams(10'000, 6, 35, 40, 20, 45, 1 << 11,
+                           1 << 16, 1 << 16);
+        p.callEvery = 3;
+        p.prunableDerived = 3;
+        t.push_back(mix("lulesh", "miniapps", p, true));
+    }
+    t.push_back(mix("xsbench", "miniapps",
+                    mixParams(12'000, 4, 25, 50, 25, 10, 1 << 10,
+                              1 << 16, 1 << 16),
+                    true));
+
+    // ---------------- SPLASH3 ----------------
+    {
+        auto p = mixParams(4'500, 10, 60, 10, 0, 40, 1 << 10, 1 << 11,
+                           1 << 10);
+        p.computeOps = 5;
+        t.push_back(mix("cholesky", "splash3", p));
+    }
+    t.push_back(mix("fft", "splash3",
+                    mixParams(5'000, 8, 50, 20, 0, 45, 1 << 10,
+                              1 << 11, 1 << 10)));
+    {
+        auto p = mixParams(5'500, 8, 60, 15, 5, 50, 1 << 10, 1 << 11,
+                           1 << 12);
+        p.coldWordStride = true;
+        t.push_back(mix("lu-cg", "splash3", p));
+    }
+    {
+        auto p = mixParams(8'000, 4, 55, 15, 5, 60, 1 << 10, 1 << 11,
+                           1 << 12);
+        p.sharedReadWrite = true;
+        p.coldWordStride = true;
+        t.push_back(mix("lu-ncg", "splash3", p));
+    }
+    t.push_back(mix("ocg", "splash3",
+                    mixParams(5'000, 8, 45, 25, 5, 45, 1 << 12,
+                              1 << 16, 1 << 12)));
+    {
+        auto p = mixParams(7'000, 5, 45, 25, 5, 50, 1 << 10, 1 << 12,
+                           1 << 12);
+        p.sharedReadWrite = true;
+        t.push_back(mix("oncg", "splash3", p));
+    }
+    {
+        auto p = mixParams(9'000, 4, 20, 10, 55, 85, 1 << 10, 1 << 11,
+                           1 << 14);
+        p.coldWordStride = true;
+        t.push_back(mix("radix", "splash3", p));
+    }
+    {
+        AppProfile a;
+        a.name = "raytrace";
+        a.suite = "splash3";
+        a.kind = KernelKind::PChase;
+        a.pchase = PChaseParams{1 << 14, 7919, 45'000, 16, 8};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "water-ns";
+        a.suite = "splash3";
+        a.kind = KernelKind::NBody;
+        a.nbody = NBodyParams{1 << 9, 8, 9, 3};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "water-sp";
+        a.suite = "splash3";
+        a.kind = KernelKind::NBody;
+        a.nbody = NBodyParams{1 << 10, 6, 7, 3};
+        t.push_back(a);
+    }
+
+    // ---------------- WHISPER ----------------
+    {
+        AppProfile a;
+        a.name = "p"; // echo-style persistent heap
+        a.suite = "whisper";
+        a.kind = KernelKind::KvStore;
+        a.memIntensive = true;
+        a.kv = KvStoreParams{1 << 16, 1 << 14, 22'000, 20, 101};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "c"; // ctree
+        a.suite = "whisper";
+        a.kind = KernelKind::TreeSearch;
+        a.memIntensive = true;
+        a.tree = TreeSearchParams{1 << 16, 14, 2'600, 2, 103};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "rb"; // redis
+        a.suite = "whisper";
+        a.kind = KernelKind::KvStore;
+        a.memIntensive = true;
+        a.kv = KvStoreParams{1 << 16, 1 << 14, 20'000, 40, 107};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "sps";
+        a.suite = "whisper";
+        a.kind = KernelKind::Gups;
+        a.memIntensive = true;
+        a.gups = GupsParams{1 << 17, 30'000, 1, 109};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "tatp";
+        a.suite = "whisper";
+        a.kind = KernelKind::KvStore;
+        a.memIntensive = true;
+        a.kv = KvStoreParams{1 << 15, 1 << 13, 22'000, 60, 113};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "tpcc";
+        a.suite = "whisper";
+        a.kind = KernelKind::KvStore;
+        a.memIntensive = true;
+        a.kv = KvStoreParams{1 << 16, 1 << 14, 18'000, 25, 127};
+        t.push_back(a);
+    }
+
+    // ---------------- STAMP ----------------
+    {
+        AppProfile a;
+        a.name = "kmeans";
+        a.suite = "stamp";
+        a.kind = KernelKind::AtomicMix;
+        a.atomic = AtomicMixParams{1 << 14, 64, 700, 48, 201};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "ssca2";
+        a.suite = "stamp";
+        a.kind = KernelKind::AtomicMix;
+        a.atomic = AtomicMixParams{1 << 18, 256, 900, 32, 203};
+        t.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "vacation";
+        a.suite = "stamp";
+        a.kind = KernelKind::AtomicMix;
+        a.atomic = AtomicMixParams{1 << 16, 128, 500, 64, 207};
+        t.push_back(a);
+    }
+    return t;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+appTable()
+{
+    static const std::vector<AppProfile> table = makeTable();
+    return table;
+}
+
+} // namespace cwsp::workloads

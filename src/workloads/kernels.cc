@@ -1,0 +1,991 @@
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::workloads {
+
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+// LCG constants (Knuth MMIX).
+constexpr std::int64_t kLcgA = 0x5851f42d4c957f2dLL;
+constexpr std::int64_t kLcgC = 0x14057b7ef767814fLL;
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Add a tiny leaf function `leaf(x) = x ^ (x >> 7)` and return it. */
+ir::FuncId
+addLeaf(ir::Module &m)
+{
+    auto &f = m.addFunction("leaf", 1);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.shrImm(1, 0, 7);
+    b.xorOp(0, 0, 1);
+    b.ret(0);
+    return f.id();
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Emit either `main` (single-threaded) or `worker(tid)` for the mix
+ * kernel. Worker mode partitions the write arrays and the cold
+ * stream per thread (data-race-free, deterministic) while the read
+ * sets stay shared; sharedReadWrite is forced off.
+ */
+void
+emitMixFunction(ir::Module &m, const MixParams &p, ir::FuncId leaf,
+                bool worker, std::uint32_t num_workers)
+{
+    auto &hotR = m.global("hot_r");
+    auto &warmR = m.global("warm_r");
+    auto &cold = m.global("cold");
+    auto &hotW = m.global("hot_w");
+    auto &warmW = m.global("warm_w");
+
+    bool shared_rw = p.sharedReadWrite && !worker;
+    std::uint64_t hot_w_words = p.hotWords;
+    std::uint64_t warm_w_words = p.warmWords;
+    std::uint64_t cold_lines = p.coldLines;
+    if (worker) {
+        cwsp_assert(isPow2(num_workers) && num_workers >= 1,
+                    "worker count must be a power of two");
+        hot_w_words = std::max<std::uint64_t>(1, p.hotWords /
+                                                     num_workers);
+        warm_w_words = std::max<std::uint64_t>(1, p.warmWords /
+                                                      num_workers);
+        cold_lines = std::max<std::uint64_t>(1, p.coldLines /
+                                                    num_workers);
+    }
+
+    auto &f = m.addFunction(worker ? "worker" : "main",
+                            worker ? 1 : 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    // Register plan (see the single-threaded comment below): r0 is
+    // the worker's tid in worker mode.
+    const Reg rTid = 0, rHot = 8, rWarm = 9, rCold = 10, rRng = 11,
+              rOff = 12, rI = 13, rN = 14, rAcc = 15, rIt = 20,
+              rHotW = 25, rWarmW = 26, rT0 = 16, rT1 = 17, rT2 = 18,
+              rLeaf = 29;
+
+    // Group-kind allocation with exact proportions.
+    enum class GK { Hot, Warm, Cold, Compute };
+    std::vector<GK> kinds;
+    {
+        auto quota = [&p](std::uint32_t pct) {
+            return (pct * p.unroll + 50) / 100;
+        };
+        std::uint32_t nh = quota(p.hotPct);
+        std::uint32_t nw = quota(p.warmPct);
+        std::uint32_t nc = quota(p.coldPct);
+        while (nh + nw + nc > p.unroll) {
+            if (nc > 0 && nh + nw + nc > p.unroll)
+                --nc;
+            else if (nw > 0)
+                --nw;
+            else
+                --nh;
+        }
+        std::vector<GK> pool;
+        std::uint32_t remaining[3] = {nh, nw, nc};
+        const GK order[3] = {GK::Hot, GK::Warm, GK::Cold};
+        while (pool.size() < p.unroll) {
+            bool any = false;
+            for (int k = 0; k < 3 && pool.size() < p.unroll; ++k) {
+                if (remaining[k] > 0) {
+                    pool.push_back(order[k]);
+                    --remaining[k];
+                    any = true;
+                }
+            }
+            if (!any)
+                pool.push_back(GK::Compute);
+        }
+        std::rotate(pool.begin(),
+                    pool.begin() + (p.seed % pool.size()),
+                    pool.end());
+        kinds = pool;
+    }
+    std::uint32_t cold_groups = 0;
+    for (GK k : kinds)
+        cold_groups += k == GK::Cold;
+    std::int64_t cold_stride = p.coldWordStride ? 8 : 64;
+
+    b.setBlock(entry);
+    b.movImm(rHot, static_cast<std::int64_t>(hotR.base));
+    b.movImm(rWarm, static_cast<std::int64_t>(warmR.base));
+    b.movImm(rCold, static_cast<std::int64_t>(cold.base));
+    b.movImm(rHotW, static_cast<std::int64_t>(
+                        shared_rw ? hotR.base : hotW.base));
+    b.movImm(rWarmW, static_cast<std::int64_t>(
+                         shared_rw ? warmR.base : warmW.base));
+    b.movImm(rRng, static_cast<std::int64_t>(p.seed | 1));
+    if (worker) {
+        // Per-thread slices of the write arrays and the cold stream;
+        // a per-thread random stream.
+        b.binOpImm(Opcode::Mul, rT0, rTid,
+                   static_cast<std::int64_t>(hot_w_words * 8));
+        b.add(rHotW, rHotW, rT0);
+        b.binOpImm(Opcode::Mul, rT0, rTid,
+                   static_cast<std::int64_t>(warm_w_words * 8));
+        b.add(rWarmW, rWarmW, rT0);
+        b.binOpImm(Opcode::Mul, rT0, rTid,
+                   static_cast<std::int64_t>(cold_lines * 64));
+        b.add(rCold, rCold, rT0);
+        b.binOpImm(Opcode::Mul, rT0, rTid, 0x9e3779b97f4a7c15LL);
+        b.xorOp(rRng, rRng, rT0);
+        b.binOpImm(Opcode::Or, rRng, rRng, 1);
+    }
+    b.movImm(rOff, 0);
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.iterations));
+    b.movImm(rAcc, 0);
+    b.movImm(rLeaf, 0);
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, body, exit);
+
+    b.setBlock(body);
+    b.binOpImm(Opcode::Mul, rRng, rRng, kLcgA);
+    b.addImm(rRng, rRng, kLcgC);
+    if (cold_groups > 0) {
+        b.addImm(rOff, rOff,
+                 cold_stride * static_cast<std::int64_t>(cold_groups));
+        b.andImm(rOff, rOff,
+                 static_cast<std::int64_t>(cold_lines * 64 - 1));
+    }
+    b.movImm(rIt, 0);
+
+    std::int64_t hot_w_mask =
+        static_cast<std::int64_t>((hot_w_words - 1) * 8) & ~7LL;
+    std::int64_t warm_w_mask =
+        static_cast<std::int64_t>((warm_w_words - 1) * 8) & ~7LL;
+
+    std::uint32_t cold_seen = 0;
+    std::uint32_t mem_seen = 0;
+    for (std::uint32_t g = 0; g < p.unroll; ++g) {
+        GK kind = kinds[g];
+        bool is_store = false;
+        if (kind != GK::Compute) {
+            is_store = ((mem_seen + 1) * p.storePct) / 100 >
+                       (mem_seen * p.storePct) / 100;
+            ++mem_seen;
+        }
+        std::uint32_t shift = 3 + (g * 7) % 29;
+        bool call_group =
+            p.callEvery != 0 && (g % p.callEvery) == p.callEvery - 1;
+
+        if (kind == GK::Hot) {
+            b.shrImm(rT0, rRng, shift);
+            b.andImm(rT0, rT0, static_cast<std::int64_t>(
+                                   (p.hotWords - 1) * 8) &
+                                   ~7LL);
+            b.add(rT1, rHot, rT0);
+            b.load(rT2, rT1);
+            b.add(rIt, rIt, rT2);
+            if (is_store) {
+                if (worker)
+                    b.andImm(rT0, rT0, hot_w_mask);
+                b.add(rT1, rHotW, rT0);
+                b.store(rIt, rT1);
+            }
+        } else if (kind == GK::Warm) {
+            b.shrImm(rT0, rRng, shift);
+            b.andImm(rT0, rT0, static_cast<std::int64_t>(
+                                   (p.warmWords - 1) * 8) &
+                                   ~7LL);
+            b.add(rT1, rWarm, rT0);
+            b.load(rT2, rT1);
+            b.xorOp(rIt, rIt, rT2);
+            if (is_store) {
+                if (worker)
+                    b.andImm(rT0, rT0, warm_w_mask);
+                b.add(rT1, rWarmW, rT0);
+                b.store(rIt, rT1);
+            }
+        } else if (kind == GK::Cold) {
+            ++cold_seen;
+            std::int64_t back =
+                cold_stride *
+                static_cast<std::int64_t>(cold_groups - cold_seen);
+            b.binOpImm(Opcode::Sub, rT0, rOff, back);
+            b.andImm(rT0, rT0,
+                     static_cast<std::int64_t>(cold_lines * 64 - 1));
+            b.add(rT1, rCold, rT0);
+            if (is_store) {
+                b.store(rIt, rT1);
+            } else {
+                b.load(rT2, rT1);
+                b.add(rIt, rIt, rT2);
+            }
+        } else {
+            for (std::uint32_t k = 0; k < p.computeOps; ++k) {
+                switch ((g + k) % 3) {
+                  case 0:
+                    b.addImm(rIt, rIt, 0x9e37);
+                    break;
+                  case 1:
+                    b.shrImm(rT0, rIt, 5);
+                    b.xorOp(rIt, rIt, rT0);
+                    break;
+                  default:
+                    b.binOpImm(Opcode::Mul, rIt, rIt, 33);
+                    break;
+                }
+            }
+        }
+
+        if (call_group) {
+            // Prunable derived values live across the call boundary.
+            Reg derived[3] = {21, 22, 23};
+            std::uint32_t nd = std::min(p.prunableDerived, 3u);
+            for (std::uint32_t d = 0; d < nd; ++d) {
+                b.addImm(derived[d], rHot,
+                         static_cast<std::int64_t>(
+                             ((g + d) % 8) * 64 + d * 8));
+            }
+            b.call(rLeaf, leaf, {rIt});
+            b.add(rIt, rIt, rLeaf);
+            for (std::uint32_t d = 0; d < nd; ++d) {
+                b.load(rT2, derived[d]);
+                b.xorOp(rIt, rIt, rT2);
+            }
+        }
+    }
+    b.add(rAcc, rAcc, rIt);
+    b.addImm(rI, rI, 1);
+    b.br(header);
+
+    b.setBlock(exit);
+    if (worker) {
+        // Workers return their accumulator; the shared result cell is
+        // only written by main (avoids a cross-thread race).
+        b.ret(rAcc);
+    } else {
+        b.movImm(rT0, static_cast<std::int64_t>(
+                          m.global("result").base));
+        b.store(rAcc, rT0);
+        b.store(rRng, rT0, 8);
+        b.ret(rAcc);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildMixKernel(const MixParams &p, std::uint32_t num_workers)
+{
+    cwsp_assert(isPow2(p.hotWords) && isPow2(p.warmWords) &&
+                    isPow2(p.coldLines),
+                "mix kernel footprints must be powers of two");
+    cwsp_assert(p.unroll >= 1 && p.unroll <= 16, "unroll out of range");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    m.addGlobal("hot_r", p.hotWords * 8);
+    m.addGlobal("warm_r", p.warmWords * 8);
+    m.addGlobal("cold", p.coldLines * 64);
+    m.addGlobal("hot_w", p.hotWords * 8);
+    m.addGlobal("warm_w", p.warmWords * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    ir::FuncId leaf = addLeaf(m);
+    emitMixFunction(m, p, leaf, false, 1);
+    if (num_workers > 0)
+        emitMixFunction(m, p, leaf, true, num_workers);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildPChaseKernel(const PChaseParams &p)
+{
+    cwsp_assert(isPow2(p.nodes), "pchase nodes must be a power of two");
+
+    cwsp_assert(isPow2(p.nodeStrideBytes) && p.nodeStrideBytes >= 8,
+                "node stride must be a power of two >= 8");
+    std::int64_t shift = 0;
+    for (std::uint32_t v = p.nodeStrideBytes; v > 1; v >>= 1)
+        ++shift;
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &next = m.addGlobal("next", p.nodes * p.nodeStrideBytes);
+    auto &payload = m.addGlobal("payload", p.nodes * p.nodeStrideBytes);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId init_hdr = b.newBlock();
+    BlockId init_body = b.newBlock();
+    BlockId walk_hdr = b.newBlock();
+    BlockId walk_body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rNext = 8, rPay = 9, rI = 10, rN = 11, rCur = 12,
+              rHops = 13, rH = 14, rT0 = 16, rT1 = 17, rT2 = 18,
+              rAcc = 15;
+
+    b.setBlock(entry);
+    b.movImm(rNext, static_cast<std::int64_t>(next.base));
+    b.movImm(rPay, static_cast<std::int64_t>(payload.base));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.nodes));
+    b.movImm(rAcc, 0);
+    b.br(init_hdr);
+
+    // Init: next[i] = (i + stride) & (nodes - 1) — a single cycle
+    // permutation when stride is odd. Sequential store burst (the
+    // radix/SPLASH3 write pattern).
+    b.setBlock(init_hdr);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, init_body, walk_hdr);
+
+    b.setBlock(init_body);
+    b.addImm(rT0, rI, static_cast<std::int64_t>(p.stride));
+    b.andImm(rT0, rT0, static_cast<std::int64_t>(p.nodes - 1));
+    b.shlImm(rT1, rI, shift);
+    b.add(rT1, rNext, rT1);
+    b.store(rT0, rT1);
+    b.addImm(rI, rI, 1);
+    b.br(init_hdr);
+
+    // Walk: cur = next[cur]; acc += cur; payload updated every k-th.
+    b.setBlock(walk_hdr);
+    // (falls through from init with rI == nodes)
+    b.movImm(rCur, 0);
+    b.movImm(rH, 0);
+    b.movImm(rHops, static_cast<std::int64_t>(p.hops));
+    b.br(walk_body);
+
+    b.setBlock(walk_body);
+    b.cmpUlt(rT0, rH, rHops);
+    b.condBr(rT0, b.newBlock(), exit);
+    BlockId walk_work = f.numBlocks() - 1;
+
+    b.setBlock(walk_work);
+    // Four dependent hops per iteration (compilers unroll such walk
+    // loops at -O3, so a recoverable region spans several hops).
+    for (int hop = 0; hop < 4; ++hop) {
+        b.shlImm(rT1, rCur, shift);
+        b.add(rT1, rNext, rT1);
+        b.load(rCur, rT1);
+        b.add(rAcc, rAcc, rCur);
+        b.xorOp(rT2, rAcc, rCur);
+        b.shrImm(rT2, rT2, 3);
+        b.add(rAcc, rAcc, rT2);
+    }
+    // Occasional payload update (load-dependent address store).
+    b.andImm(rT0, rH, static_cast<std::int64_t>(p.storeEvery - 1));
+    b.cmpEqImm(rT0, rT0, 0);
+    BlockId do_store = b.newBlock();
+    BlockId cont = b.newBlock();
+    b.condBr(rT0, do_store, cont);
+
+    b.setBlock(do_store);
+    b.shlImm(rT1, rCur, shift);
+    b.add(rT1, rPay, rT1);
+    b.store(rAcc, rT1);
+    b.br(cont);
+
+    b.setBlock(cont);
+    b.addImm(rH, rH, 4);
+    b.br(walk_body);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildGupsKernel(const GupsParams &p)
+{
+    cwsp_assert(isPow2(p.tableWords), "gups table must be power of two");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &table = m.addGlobal("table", p.tableWords * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rTab = 8, rRng = 9, rI = 10, rN = 11, rAcc = 15,
+              rT0 = 16, rT1 = 17, rT2 = 18;
+
+    b.setBlock(entry);
+    b.movImm(rTab, static_cast<std::int64_t>(table.base));
+    b.movImm(rRng, static_cast<std::int64_t>(p.seed | 1));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.updates));
+    b.movImm(rAcc, 0);
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, body, exit);
+
+    b.setBlock(body);
+    b.binOpImm(Opcode::Mul, rRng, rRng, kLcgA);
+    b.addImm(rRng, rRng, kLcgC);
+    b.shrImm(rT0, rRng, 27);
+    b.andImm(rT0, rT0,
+             static_cast<std::int64_t>((p.tableWords - 1) * 8) & ~7LL);
+    b.add(rT1, rTab, rT0);
+    if (p.readModifyWrite) {
+        b.load(rT2, rT1);
+        b.xorOp(rT2, rT2, rRng);
+        b.store(rT2, rT1);
+        b.add(rAcc, rAcc, rT2);
+    } else {
+        b.store(rRng, rT1);
+    }
+    b.addImm(rI, rI, 1);
+    b.br(header);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildKvStoreKernel(const KvStoreParams &p)
+{
+    cwsp_assert(isPow2(p.buckets) && isPow2(p.logWords),
+                "kvstore sizes must be powers of two");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &keys = m.addGlobal("keys", p.buckets * 8);
+    auto &vals = m.addGlobal("vals", p.buckets * 8);
+    auto &log = m.addGlobal("oplog", p.logWords * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId do_insert = b.newBlock();
+    BlockId do_lookup = b.newBlock();
+    BlockId next = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rKeys = 8, rVals = 9, rLog = 10, rRng = 11, rI = 12,
+              rN = 13, rLogPos = 14, rAcc = 15, rT0 = 16, rT1 = 17,
+              rT2 = 18, rKey = 19, rIdx = 20;
+
+    b.setBlock(entry);
+    b.movImm(rKeys, static_cast<std::int64_t>(keys.base));
+    b.movImm(rVals, static_cast<std::int64_t>(vals.base));
+    b.movImm(rLog, static_cast<std::int64_t>(log.base));
+    b.movImm(rRng, static_cast<std::int64_t>(p.seed | 1));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.ops));
+    b.movImm(rLogPos, 0);
+    b.movImm(rAcc, 0);
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, body, exit);
+
+    b.setBlock(body);
+    b.binOpImm(Opcode::Mul, rRng, rRng, kLcgA);
+    b.addImm(rRng, rRng, kLcgC);
+    b.shrImm(rKey, rRng, 17);
+    // hash: idx = (key * phi) >> s & mask, byte-scaled
+    b.binOpImm(Opcode::Mul, rIdx, rKey, 0x9e3779b97f4a7c15LL);
+    b.shrImm(rIdx, rIdx, 29);
+    b.andImm(rIdx, rIdx,
+             static_cast<std::int64_t>((p.buckets - 1) * 8) & ~7LL);
+    // read-vs-insert decision from the key's low bits
+    b.andImm(rT0, rKey, 127);
+    b.cmpUltImm(rT0, rT0, (127 * p.readPct) / 100);
+    b.condBr(rT0, do_lookup, do_insert);
+
+    b.setBlock(do_lookup);
+    b.add(rT1, rVals, rIdx);
+    b.load(rT2, rT1);
+    b.add(rAcc, rAcc, rT2);
+    b.br(next);
+
+    b.setBlock(do_insert);
+    // WHISPER-style persistent insert: key cell, value cell, and an
+    // append-only operation log entry (3 stores).
+    b.add(rT1, rKeys, rIdx);
+    b.store(rKey, rT1);
+    b.add(rT1, rVals, rIdx);
+    b.xorOp(rT2, rKey, rRng);
+    b.store(rT2, rT1);
+    b.addImm(rLogPos, rLogPos, 8);
+    b.andImm(rLogPos, rLogPos,
+             static_cast<std::int64_t>((p.logWords - 1) * 8) & ~7LL);
+    b.add(rT1, rLog, rLogPos);
+    b.store(rKey, rT1);
+    b.br(next);
+
+    b.setBlock(next);
+    b.addImm(rI, rI, 1);
+    b.br(header);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildNBodyKernel(const NBodyParams &p)
+{
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &pos = m.addGlobal("pos", p.particles * 8);
+    auto &force = m.addGlobal("force", p.particles * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    ir::FuncId leaf = addLeaf(m);
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId t_hdr = b.newBlock();
+    BlockId p_hdr = b.newBlock();
+    BlockId p_body = b.newBlock();
+    BlockId p_latch = b.newBlock();
+    BlockId t_latch = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rPos = 8, rForce = 9, rT = 10, rTN = 11, rP = 12,
+              rPN = 13, rAcc = 15, rT0 = 16, rT1 = 17, rT2 = 18,
+              rMyPos = 19, rLeaf = 29;
+    Reg derived[3] = {21, 22, 23};
+
+    b.setBlock(entry);
+    b.movImm(rPos, static_cast<std::int64_t>(pos.base));
+    b.movImm(rForce, static_cast<std::int64_t>(force.base));
+    b.movImm(rT, 0);
+    b.movImm(rTN, static_cast<std::int64_t>(p.timesteps));
+    b.movImm(rAcc, 0);
+    b.br(t_hdr);
+
+    b.setBlock(t_hdr);
+    b.cmpUlt(rT0, rT, rTN);
+    b.condBr(rT0, p_hdr, exit);
+
+    b.setBlock(p_hdr);
+    b.movImm(rP, 0);
+    b.movImm(rPN, static_cast<std::int64_t>(p.particles));
+    b.br(p_body);
+
+    b.setBlock(p_body);
+    b.cmpUlt(rT0, rP, rPN);
+    b.condBr(rT0, p_latch, t_latch);
+
+    b.setBlock(p_latch);
+    b.shlImm(rT0, rP, 3);
+    b.add(rT1, rPos, rT0);
+    b.load(rMyPos, rT1);
+    // Neighbor interactions: strided loads plus compute.
+    for (std::uint32_t k = 0; k < p.neighbors; ++k) {
+        b.addImm(rT2, rP, static_cast<std::int64_t>(k + 1));
+        b.andImm(rT2, rT2,
+                 static_cast<std::int64_t>(p.particles - 1));
+        b.shlImm(rT2, rT2, 3);
+        b.add(rT2, rPos, rT2);
+        b.load(rT2, rT2);
+        b.sub(rT2, rT2, rMyPos);
+        b.binOpImm(Opcode::Mul, rT2, rT2, 7);
+        b.shrImm(rT1, rT2, 11);
+        b.xorOp(rT2, rT2, rT1);
+        b.add(rAcc, rAcc, rT2);
+    }
+    // Prunable derived values, live across the leaf call.
+    std::uint32_t nd = std::min(p.prunableDerived, 3u);
+    for (std::uint32_t d = 0; d < nd; ++d) {
+        b.addImm(derived[d], rForce,
+                 static_cast<std::int64_t>(d * 16 + 8));
+    }
+    b.call(rLeaf, leaf, {rAcc});
+    b.add(rAcc, rAcc, rLeaf);
+    for (std::uint32_t d = 0; d < nd; ++d) {
+        b.load(rT2, derived[d]);
+        b.add(rAcc, rAcc, rT2);
+    }
+    // One force store per particle.
+    b.shlImm(rT0, rP, 3);
+    b.add(rT1, rForce, rT0);
+    b.store(rAcc, rT1);
+    b.addImm(rP, rP, 1);
+    b.br(p_body);
+
+    b.setBlock(t_latch);
+    b.addImm(rT, rT, 1);
+    b.br(t_hdr);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildTreeSearchKernel(const TreeSearchParams &p)
+{
+    cwsp_assert(isPow2(p.nodes), "tree nodes must be a power of two");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &nodes = m.addGlobal("nodes", p.nodes * 8);
+    auto &visited = m.addGlobal("visited", p.nodes * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    ir::FuncId leaf = addLeaf(m);
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId q_hdr = b.newBlock();
+    BlockId q_body = b.newBlock();
+    BlockId d_hdr = b.newBlock();
+    BlockId d_left = b.newBlock();
+    BlockId d_right = b.newBlock();
+    BlockId d_next = b.newBlock();
+    BlockId q_end = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rNodes = 8, rVis = 9, rRng = 10, rQ = 11, rQN = 12,
+              rIdx = 13, rD = 14, rAcc = 15, rT0 = 16, rT1 = 17,
+              rT2 = 18, rKey = 19, rLeaf = 29;
+
+    b.setBlock(entry);
+    b.movImm(rNodes, static_cast<std::int64_t>(nodes.base));
+    b.movImm(rVis, static_cast<std::int64_t>(visited.base));
+    b.movImm(rRng, static_cast<std::int64_t>(p.seed | 1));
+    b.movImm(rQ, 0);
+    b.movImm(rQN, static_cast<std::int64_t>(p.queries));
+    b.movImm(rAcc, 0);
+    b.br(q_hdr);
+
+    b.setBlock(q_hdr);
+    b.cmpUlt(rT0, rQ, rQN);
+    b.condBr(rT0, q_body, exit);
+
+    b.setBlock(q_body);
+    b.binOpImm(Opcode::Mul, rRng, rRng, kLcgA);
+    b.addImm(rRng, rRng, kLcgC);
+    b.shrImm(rKey, rRng, 13);
+    b.movImm(rIdx, 1);
+    b.movImm(rD, 0);
+    b.br(d_hdr);
+
+    // Descent: two tree levels per loop iteration, each with a
+    // data-dependent diamond (game-tree profile: short branchy blocks
+    // within ~20-instruction recoverable regions).
+    b.setBlock(d_hdr);
+    b.cmpUltImm(rT0, rD, p.depth);
+    b.condBr(rT0, d_left, q_end);
+    {
+        BlockId cur = d_left;
+        for (int lvl = 0; lvl < 2; ++lvl) {
+            b.setBlock(cur);
+            // Scatter the logical node id over the whole table so a
+            // deep tree's footprint is not just the top levels.
+            b.binOpImm(Opcode::Mul, rT0, rIdx,
+                       0x9e3779b97f4a7c15LL);
+            b.shrImm(rT0, rT0, 17);
+            b.andImm(rT0, rT0,
+                     static_cast<std::int64_t>((p.nodes - 1) * 8) &
+                         ~7LL);
+            b.add(rT0, rNodes, rT0);
+            b.load(rT1, rT0);
+            // Branch on a key bit (the table itself is cold data):
+            // every query walks a different root-to-leaf path.
+            b.andImm(rT2, rKey, 1);
+            b.shrImm(rKey, rKey, 1);
+            b.shlImm(rIdx, rIdx, 1);
+            b.addImm(rIdx, rIdx, 1);
+            b.add(rIdx, rIdx, rT2);
+            BlockId taken = (lvl == 0) ? d_right : b.newBlock();
+            BlockId fall = (lvl == 0) ? d_next : b.newBlock();
+            BlockId join = b.newBlock();
+            b.condBr(rT2, taken, fall);
+
+            b.setBlock(taken);
+            b.xorOp(rKey, rKey, rT1);
+            b.shrImm(rKey, rKey, 1);
+            b.br(join);
+
+            b.setBlock(fall);
+            b.addImm(rKey, rKey, 0x5bd1);
+            b.br(join);
+
+            b.setBlock(join);
+            if (lvl == 1) {
+                b.addImm(rD, rD, 2);
+                b.br(d_hdr);
+            } else {
+                cur = b.newBlock();
+                b.br(cur);
+            }
+        }
+    }
+
+    b.setBlock(q_end);
+    b.add(rAcc, rAcc, rIdx);
+    // Occasionally evaluate the leaf position via a call (region
+    // boundary); most queries resolve inline.
+    b.andImm(rT0, rQ,
+             static_cast<std::int64_t>(p.callEvery - 1));
+    b.cmpEqImm(rT0, rT0, 0);
+    BlockId call_blk = b.newBlock();
+    BlockId after_call = b.newBlock();
+    b.condBr(rT0, call_blk, after_call);
+
+    b.setBlock(call_blk);
+    b.call(rLeaf, leaf, {rIdx});
+    b.add(rAcc, rAcc, rLeaf);
+    b.br(after_call);
+
+    b.setBlock(after_call);
+    // Occasional visited-table update.
+    b.andImm(rT0, rQ, static_cast<std::int64_t>(p.storeEvery - 1));
+    b.cmpEqImm(rT0, rT0, 0);
+    BlockId store_blk = b.newBlock();
+    BlockId cont = b.newBlock();
+    b.condBr(rT0, store_blk, cont);
+
+    b.setBlock(store_blk);
+    b.andImm(rT0, rIdx, static_cast<std::int64_t>(p.nodes - 1));
+    b.shlImm(rT0, rT0, 3);
+    b.add(rT0, rVis, rT0);
+    b.store(rAcc, rT0);
+    b.br(cont);
+
+    b.setBlock(cont);
+    b.addImm(rQ, rQ, 1);
+    b.br(q_hdr);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildAtomicMixKernel(const AtomicMixParams &p)
+{
+    cwsp_assert(isPow2(p.tableWords) && isPow2(p.counters),
+                "atomicmix sizes must be powers of two");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &table = m.addGlobal("table", p.tableWords * 8);
+    auto &tableW = m.addGlobal("table_w", p.tableWords * 8);
+    auto &counters = m.addGlobal("counters", p.counters * 8);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rTab = 8, rCnt = 9, rRng = 10, rI = 11, rN = 12,
+              rAcc = 15, rT0 = 16, rT1 = 17, rT2 = 18, rOne = 19,
+              rTabW = 13;
+
+    b.setBlock(entry);
+    b.movImm(rTab, static_cast<std::int64_t>(table.base));
+    b.movImm(rTabW, static_cast<std::int64_t>(tableW.base));
+    b.movImm(rCnt, static_cast<std::int64_t>(counters.base));
+    b.movImm(rRng, static_cast<std::int64_t>(p.seed | 1));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.txs));
+    b.movImm(rAcc, 0);
+    b.movImm(rOne, 1);
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, body, exit);
+
+    b.setBlock(body);
+    // A "transaction": several table reads/writes, then an atomic
+    // commit counter update (a synchronization point → persist drain).
+    for (std::uint32_t k = 0; k < p.opsPerTx; ++k) {
+        b.binOpImm(Opcode::Mul, rRng, rRng, kLcgA);
+        b.addImm(rRng, rRng, kLcgC);
+        b.shrImm(rT0, rRng, 21);
+        b.andImm(rT0, rT0,
+                 static_cast<std::int64_t>((p.tableWords - 1) * 8) &
+                     ~7LL);
+        if (k % 2 == 0) {
+            b.add(rT1, rTab, rT0);
+            b.load(rT2, rT1);
+            b.add(rAcc, rAcc, rT2);
+        } else {
+            b.add(rT1, rTabW, rT0);
+            b.store(rAcc, rT1);
+        }
+    }
+    b.shrImm(rT0, rRng, 45);
+    b.andImm(rT0, rT0,
+             static_cast<std::int64_t>((p.counters - 1) * 8) & ~7LL);
+    b.add(rT1, rCnt, rT0);
+    b.atomicAdd(rT2, rOne, rT1);
+    b.add(rAcc, rAcc, rT2);
+    b.addImm(rI, rI, 1);
+    b.br(header);
+
+    b.setBlock(exit);
+    b.movImm(rT0, static_cast<std::int64_t>(m.global("result").base));
+    b.store(rAcc, rT0);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+std::unique_ptr<ir::Module>
+buildParallelKernel(const ParallelParams &p)
+{
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+    auto &data = m.addGlobal("data",
+                             p.wordsPerWorker * p.numWorkers * 8);
+    auto &shared = m.addGlobal("shared", 64);
+    m.addGlobal("result", 64);
+    m.layoutMemory();
+
+    // worker(tid): writes its own slice, bumps the shared counter
+    // atomically — data-race-free, deterministic final state.
+    auto &f = m.addFunction("worker", 1);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    const Reg rTid = 0, rData = 8, rShared = 9, rI = 10, rN = 11,
+              rBase = 12, rAcc = 15, rT0 = 16, rT1 = 17, rOne = 19;
+
+    b.setBlock(entry);
+    b.movImm(rData, static_cast<std::int64_t>(data.base));
+    b.movImm(rShared, static_cast<std::int64_t>(shared.base));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(p.itersPerWorker));
+    b.movImm(rAcc, 0);
+    b.movImm(rOne, 1);
+    b.binOpImm(Opcode::Mul, rBase, rTid,
+               static_cast<std::int64_t>(p.wordsPerWorker * 8));
+    b.add(rBase, rData, rBase);
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(rT0, rI, rN);
+    b.condBr(rT0, body, exit);
+
+    b.setBlock(body);
+    // A burst of back-to-back stores into this worker's slice...
+    for (std::uint32_t k = 0; k < std::max(1u, p.storesPerBurst);
+         ++k) {
+        b.addImm(rT0, rI, static_cast<std::int64_t>(k * 7));
+        b.binOpImm(Opcode::Mul, rT0, rT0, 0x9e3779b97f4a7c15LL);
+        b.shrImm(rT0, rT0, 40);
+        b.andImm(rT0, rT0,
+                 static_cast<std::int64_t>((p.wordsPerWorker - 1) *
+                                           8) &
+                     ~7LL);
+        b.add(rT1, rBase, rT0);
+        b.load(rT0, rT1);
+        b.add(rT0, rT0, rI);
+        b.store(rT0, rT1);
+        b.add(rAcc, rAcc, rT0);
+    }
+    // ...then a quiet compute gap (bursty WPQ pressure, Fig. 26).
+    for (std::uint32_t k = 0; k < p.computeOps; ++k) {
+        b.shrImm(rT0, rAcc, 7);
+        b.xorOp(rAcc, rAcc, rT0);
+    }
+    if (p.atomicEvery <= 1) {
+        b.atomicAdd(rT0, rOne, rShared);
+        b.addImm(rI, rI, 1);
+        b.br(header);
+    } else {
+        BlockId do_atomic = b.newBlock();
+        BlockId next_iter = b.newBlock();
+        b.andImm(rT0, rI,
+                 static_cast<std::int64_t>(p.atomicEvery - 1));
+        b.cmpEqImm(rT0, rT0, 0);
+        b.condBr(rT0, do_atomic, next_iter);
+        b.setBlock(do_atomic);
+        b.atomicAdd(rT0, rOne, rShared);
+        b.br(next_iter);
+        b.setBlock(next_iter);
+        b.addImm(rI, rI, 1);
+        b.br(header);
+    }
+
+    b.setBlock(exit);
+    b.ret(rAcc);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+} // namespace cwsp::workloads

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * IR kernel generators. Every evaluated application is an instance of
+ * one of these parameterized kernels; the parameters (footprints,
+ * access mix, store density, unrolling, call frequency, prunable
+ * derived values) are calibrated per app to the published per-suite
+ * characteristics (see workloads/app_table.cc and DESIGN.md §3).
+ *
+ * All kernels are pure IR: addresses, branches, and "random" streams
+ * come from in-IR LCGs, so every run is bit-deterministic and the
+ * crash-consistency checker can compare against golden executions.
+ */
+
+#ifndef CWSP_WORKLOADS_KERNELS_HH
+#define CWSP_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/ir.hh"
+
+namespace cwsp::workloads {
+
+/** Parameters of the general-purpose "mix" kernel. */
+struct MixParams
+{
+    std::uint64_t iterations = 1000;
+    std::uint32_t unroll = 4;      ///< operation groups per iteration
+    std::uint64_t hotWords = 1 << 10;   ///< power of two
+    std::uint64_t warmWords = 1 << 16;  ///< power of two
+    std::uint64_t coldLines = 1 << 16;  ///< power of two, line stride
+    std::uint32_t hotPct = 40;  ///< % of groups touching the hot set
+    std::uint32_t warmPct = 20; ///< % touching the warm set
+    std::uint32_t coldPct = 10; ///< % streaming a fresh line
+    std::uint32_t storePct = 30;   ///< % of memory groups that store
+    std::uint32_t computeOps = 4;  ///< ALU filler per group
+    /// Cold stream advances by one word (sequential writes sharing
+    /// cachelines, the SPLASH3 pattern) instead of one line.
+    bool coldWordStride = false;
+    std::uint32_t callEvery = 0;   ///< call a leaf every N groups
+    std::uint32_t prunableDerived = 0; ///< derived regs per call group
+    bool sharedReadWrite = false; ///< loads/stores share arrays (cuts)
+    std::uint64_t seed = 12345;
+};
+
+/** Parameters of the pointer-chase kernel. */
+struct PChaseParams
+{
+    std::uint64_t nodes = 1 << 16;  ///< power of two
+    std::uint64_t stride = 97;      ///< coprime with nodes
+    std::uint64_t hops = 50'000;
+    std::uint32_t storeEvery = 8;   ///< payload update frequency
+    /**
+     * Byte spacing between nodes (power of two). Large spacings give
+     * graph-like footprints (one node per cacheline or sparser)
+     * without inflating the init loop's instruction count.
+     */
+    std::uint32_t nodeStrideBytes = 8;
+};
+
+/** Parameters of the random-update (GUPS) kernel. */
+struct GupsParams
+{
+    std::uint64_t tableWords = 1 << 18; ///< power of two
+    std::uint64_t updates = 50'000;
+    std::uint32_t readModifyWrite = 1; ///< 1: load+xor+store, 0: store
+    std::uint64_t seed = 7;
+};
+
+/** Parameters of the WHISPER-style key-value store kernel. */
+struct KvStoreParams
+{
+    std::uint64_t buckets = 1 << 14;  ///< power of two
+    std::uint64_t logWords = 1 << 14; ///< power of two
+    std::uint64_t ops = 30'000;
+    std::uint32_t readPct = 30; ///< % lookups (rest are inserts)
+    std::uint64_t seed = 99;
+};
+
+/** Parameters of the n-body kernel (water-*, namd, nab). */
+struct NBodyParams
+{
+    std::uint64_t particles = 1 << 10;
+    std::uint32_t neighbors = 8;
+    std::uint64_t timesteps = 40;
+    std::uint32_t prunableDerived = 3; ///< per-particle derived regs
+};
+
+/** Parameters of the tree-search kernel (gobmk, sjeng, leela...). */
+struct TreeSearchParams
+{
+    std::uint64_t nodes = 1 << 14; ///< power of two
+    std::uint32_t depth = 12;
+    std::uint64_t queries = 20'000;
+    std::uint32_t storeEvery = 4; ///< visited-table update frequency
+    std::uint64_t seed = 31;
+    std::uint32_t callEvery = 4; ///< leaf-eval call frequency (pow2)
+};
+
+/** Parameters of the atomic transaction kernel (STAMP). */
+struct AtomicMixParams
+{
+    std::uint64_t tableWords = 1 << 16; ///< power of two
+    std::uint64_t counters = 64;
+    std::uint64_t txs = 20'000;
+    std::uint32_t opsPerTx = 6;
+    std::uint64_t seed = 55;
+};
+
+/** Parameters of the disjoint-partition parallel kernel (tests). */
+struct ParallelParams
+{
+    std::uint64_t wordsPerWorker = 1 << 10;
+    std::uint64_t itersPerWorker = 2'000;
+    std::uint32_t numWorkers = 4;
+    std::uint32_t storesPerBurst = 1; ///< back-to-back stores per iter
+    std::uint32_t computeOps = 0;     ///< quiet ALU gap between bursts
+    std::uint32_t atomicEvery = 1;    ///< sync frequency (power of 2)
+};
+
+/**
+ * Each builder returns a fresh module containing a `main` entry (and
+ * for the parallel kernel a `worker` entry taking the thread id),
+ * with memory laid out and ready for compilation.
+ */
+/**
+ * @param num_workers when nonzero, additionally emit a `worker(tid)`
+ * entry whose write arrays and cold stream are partitioned per
+ * thread (data-race-free multicore execution); tid must be below
+ * num_workers (a power of two).
+ */
+std::unique_ptr<ir::Module>
+buildMixKernel(const MixParams &params, std::uint32_t num_workers = 0);
+std::unique_ptr<ir::Module> buildPChaseKernel(const PChaseParams &params);
+std::unique_ptr<ir::Module> buildGupsKernel(const GupsParams &params);
+std::unique_ptr<ir::Module> buildKvStoreKernel(const KvStoreParams &params);
+std::unique_ptr<ir::Module> buildNBodyKernel(const NBodyParams &params);
+std::unique_ptr<ir::Module>
+buildTreeSearchKernel(const TreeSearchParams &params);
+std::unique_ptr<ir::Module>
+buildAtomicMixKernel(const AtomicMixParams &params);
+std::unique_ptr<ir::Module>
+buildParallelKernel(const ParallelParams &params);
+
+} // namespace cwsp::workloads
+
+#endif // CWSP_WORKLOADS_KERNELS_HH

@@ -1,0 +1,310 @@
+#include "workloads/random_program.hh"
+
+#include <vector>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cwsp::workloads {
+
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+/** Registers the generator may define/use as scratch. */
+constexpr Reg kFirstGp = 10;
+constexpr Reg kLastGp = 27;
+
+/** Fixed roles. */
+constexpr Reg kBaseA = 8; ///< base of global a (never redefined)
+constexpr Reg kBaseB = 9; ///< base of global b (never redefined)
+
+class Generator
+{
+  public:
+    Generator(const RandomProgramParams &params)
+        : params_(params), rng_(params.seed * 0x9e3779b97f4a7c15ULL + 1)
+    {
+    }
+
+    std::unique_ptr<ir::Module> run();
+
+  private:
+    RandomProgramParams params_;
+    Rng rng_;
+    ir::Module *mod_ = nullptr;
+    std::vector<ir::FuncId> leaves_;
+
+    Reg
+    anyGp()
+    {
+        return static_cast<Reg>(
+            kFirstGp + rng_.nextBelow(kLastGp - kFirstGp + 1));
+    }
+
+    /** A random ALU op writing a random register. */
+    void
+    emitAlu(IRBuilder &b)
+    {
+        static const Opcode ops[] = {
+            Opcode::Add,  Opcode::Sub, Opcode::Mul, Opcode::And,
+            Opcode::Or,   Opcode::Xor, Opcode::Shl, Opcode::Shr,
+            Opcode::CmpEq, Opcode::CmpUlt,
+        };
+        Opcode op = ops[rng_.nextBelow(std::size(ops))];
+        Reg dst = anyGp();
+        Reg a = anyGp();
+        if (rng_.nextBool(0.5)) {
+            std::int64_t imm =
+                static_cast<std::int64_t>(rng_.nextBelow(64));
+            if (op == Opcode::Shl || op == Opcode::Shr)
+                imm &= 7;
+            b.binOpImm(op, dst, a, imm);
+        } else {
+            b.binOp(op, dst, a, anyGp());
+        }
+    }
+
+    /** dst = masked word offset derived from a random register. */
+    Reg
+    emitOffset(IRBuilder &b, Reg scratch)
+    {
+        b.andImm(scratch, anyGp(),
+                 static_cast<std::int64_t>(
+                     (params_.globalWords - 1) * 8) &
+                     ~7LL);
+        return scratch;
+    }
+
+    void
+    emitMemory(IRBuilder &b)
+    {
+        Reg base = rng_.nextBool(0.5) ? kBaseA : kBaseB;
+        Reg addr = anyGp();
+        if (rng_.nextBool(0.5)) {
+            // Constant offset.
+            auto off = static_cast<std::int64_t>(
+                rng_.nextBelow(params_.globalWords) * 8);
+            if (rng_.nextBool(0.5))
+                b.load(anyGp(), base, off);
+            else
+                b.store(anyGp(), base, off);
+        } else {
+            // Computed offset (may-alias with everything on its base).
+            Reg off = emitOffset(b, addr);
+            Reg ptr = anyGp();
+            b.add(ptr, base, off);
+            if (rng_.nextBool(0.5))
+                b.load(anyGp(), ptr);
+            else
+                b.store(anyGp(), ptr);
+        }
+    }
+
+    void
+    emitAtomic(IRBuilder &b)
+    {
+        Reg base = rng_.nextBool(0.5) ? kBaseA : kBaseB;
+        auto off = static_cast<std::int64_t>(
+            rng_.nextBelow(params_.globalWords) * 8);
+        if (rng_.nextBool(0.5))
+            b.atomicAdd(anyGp(), anyGp(), base, off);
+        else
+            b.atomicXchg(anyGp(), anyGp(), base, off);
+    }
+
+    /** A short straight-line body used inside loops and diamonds. */
+    void
+    emitStraightLine(IRBuilder &b, std::uint32_t ops)
+    {
+        for (std::uint32_t k = 0; k < ops; ++k) {
+            double p = rng_.nextDouble();
+            if (p < 0.55)
+                emitAlu(b);
+            else
+                emitMemory(b);
+        }
+    }
+
+    /**
+     * Counted loop: trip count fixed at build time; @p depth selects
+     * the dedicated counter register (r29 outer, r28 inner) so nested
+     * random bodies can never clobber a live trip counter.
+     */
+    void
+    emitLoop(ir::Function &f, IRBuilder &b, int depth = 0)
+    {
+        std::uint64_t trips = 1 + rng_.nextBelow(params_.maxLoopTrip);
+        const Reg counter = static_cast<Reg>(29 - depth);
+        constexpr Reg cond = 30;
+
+        BlockId hdr = b.newBlock();
+        BlockId body = b.newBlock();
+        BlockId next = b.newBlock();
+        b.movImm(counter, static_cast<std::int64_t>(trips));
+        b.br(hdr);
+
+        b.setBlock(hdr);
+        b.cmpUltImm(cond, counter, 1); // counter < 1 -> exit
+        b.condBr(cond, next, body);
+
+        b.setBlock(body);
+        emitStraightLine(b, 2 + rng_.nextBelow(6));
+        // Structured randomness inside the body: a diamond, a call,
+        // or (for outer loops) one nested counted loop.
+        double p = rng_.nextDouble();
+        if (p < 0.25) {
+            emitDiamond(b);
+        } else if (p < 0.40 && params_.allowCalls) {
+            emitCall(b);
+        } else if (p < 0.50 && depth == 0) {
+            emitLoop(f, b, 1);
+        }
+        // Guarantee progress regardless of what the random body did
+        // to other registers.
+        b.binOpImm(Opcode::Sub, counter, counter, 1);
+        b.br(hdr);
+
+        b.setBlock(next);
+        (void)f;
+    }
+
+    void
+    emitDiamond(IRBuilder &b)
+    {
+        Reg cond = anyGp();
+        BlockId taken = b.newBlock();
+        BlockId fall = b.newBlock();
+        BlockId join = b.newBlock();
+        b.condBr(cond, taken, fall);
+        b.setBlock(taken);
+        emitStraightLine(b, 1 + rng_.nextBelow(4));
+        b.br(join);
+        b.setBlock(fall);
+        emitStraightLine(b, 1 + rng_.nextBelow(4));
+        b.br(join);
+        b.setBlock(join);
+    }
+
+    void
+    emitCall(IRBuilder &b)
+    {
+        if (leaves_.empty())
+            return;
+        ir::FuncId callee =
+            leaves_[rng_.nextBelow(leaves_.size())];
+        unsigned arity = mod_->function(callee).numParams();
+        std::vector<Reg> args;
+        for (unsigned k = 0; k < arity; ++k)
+            args.push_back(anyGp());
+        b.call(anyGp(), callee, std::move(args));
+    }
+
+    void
+    makeLeaf(unsigned arity)
+    {
+        auto &f = mod_->addFunction(
+            "leaf" + std::to_string(leaves_.size()), arity);
+        IRBuilder b(f);
+        b.setBlock(b.newBlock());
+        // Parameters land in r0..arity-1; mix them into a result.
+        b.movImm(2, 0x5bd1);
+        for (unsigned k = 0; k < arity; ++k)
+            b.xorOp(2, 2, static_cast<Reg>(k));
+        if (rng_.nextBool(0.4)) {
+            // A leaf with memory traffic of its own.
+            b.andImm(3, 2,
+                     static_cast<std::int64_t>(
+                         (params_.globalWords - 1) * 8) &
+                         ~7LL);
+            b.movImm(4, static_cast<std::int64_t>(
+                            mod_->global("b").base));
+            b.add(4, 4, 3);
+            b.load(5, 4);
+            b.add(2, 2, 5);
+            if (rng_.nextBool(0.5))
+                b.store(2, 4);
+        }
+        b.shrImm(3, 2, 3);
+        b.xorOp(2, 2, 3);
+        b.ret(2);
+        leaves_.push_back(f.id());
+    }
+};
+
+std::unique_ptr<ir::Module>
+Generator::run()
+{
+    auto mod = std::make_unique<ir::Module>();
+    mod_ = mod.get();
+    auto &ga = mod->addGlobal("a", params_.globalWords * 8);
+    auto &gb = mod->addGlobal("b", params_.globalWords * 8);
+    mod->addGlobal("out", 64);
+    mod->layoutMemory();
+
+    if (params_.allowCalls) {
+        std::uint32_t n =
+            1 + rng_.nextBelow(params_.maxLeafFuncs);
+        for (std::uint32_t k = 0; k < n; ++k)
+            makeLeaf(1 + static_cast<unsigned>(rng_.nextBelow(3)));
+    }
+
+    auto &f = mod->addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+
+    // Initialize every general-purpose register and the two bases so
+    // random dataflow never reads poison.
+    b.movImm(kBaseA, static_cast<std::int64_t>(ga.base));
+    b.movImm(kBaseB, static_cast<std::int64_t>(gb.base));
+    for (Reg r = kFirstGp; r <= kLastGp; ++r) {
+        b.movImm(r, static_cast<std::int64_t>(
+                        rng_.next() & 0xffff));
+    }
+
+    for (std::uint32_t s = 0; s < params_.segments; ++s) {
+        double p = rng_.nextDouble();
+        if (p < 0.35) {
+            emitStraightLine(b, 3 + rng_.nextBelow(8));
+        } else if (p < 0.60) {
+            emitLoop(f, b);
+        } else if (p < 0.78) {
+            emitDiamond(b);
+        } else if (p < 0.92 && params_.allowCalls) {
+            emitCall(b);
+        } else if (params_.allowAtomics) {
+            emitAtomic(b);
+        } else {
+            emitStraightLine(b, 2);
+        }
+    }
+
+    // Fold a visible result into `out` so final state depends on the
+    // whole computation.
+    Reg acc = kFirstGp;
+    for (Reg r = kFirstGp + 1; r <= kLastGp; ++r)
+        b.xorOp(acc, acc, r);
+    Reg addr = static_cast<Reg>(kLastGp + 1); // r28 scratch
+    b.movImm(addr, static_cast<std::int64_t>(
+                       mod->global("out").base));
+    b.store(acc, addr);
+    b.ret(acc);
+
+    ir::verifyOrDie(*mod);
+    return mod;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildRandomProgram(const RandomProgramParams &params)
+{
+    return Generator(params).run();
+}
+
+} // namespace cwsp::workloads

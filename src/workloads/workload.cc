@@ -1,0 +1,83 @@
+#include "workloads/workload.hh"
+
+#include "compiler/pass_manager.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::workloads {
+
+std::vector<AppProfile>
+appsBySuite(const std::string &suite)
+{
+    std::vector<AppProfile> out;
+    for (const auto &app : appTable()) {
+        if (app.suite == suite)
+            out.push_back(app);
+    }
+    return out;
+}
+
+std::vector<AppProfile>
+memIntensiveApps()
+{
+    std::vector<AppProfile> out;
+    for (const auto &app : appTable()) {
+        if (app.memIntensive)
+            out.push_back(app);
+    }
+    return out;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const auto &app : appTable()) {
+        if (app.name == name)
+            return app;
+    }
+    cwsp_fatal("unknown application: ", name);
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "cpu2006", "cpu2017", "miniapps", "splash3", "whisper",
+        "stamp"};
+    return names;
+}
+
+std::unique_ptr<ir::Module>
+buildKernel(const AppProfile &app)
+{
+    switch (app.kind) {
+      case KernelKind::Mix:
+        return buildMixKernel(app.mix);
+      case KernelKind::PChase:
+        return buildPChaseKernel(app.pchase);
+      case KernelKind::Gups:
+        return buildGupsKernel(app.gups);
+      case KernelKind::KvStore:
+        return buildKvStoreKernel(app.kv);
+      case KernelKind::NBody:
+        return buildNBodyKernel(app.nbody);
+      case KernelKind::TreeSearch:
+        return buildTreeSearchKernel(app.tree);
+      case KernelKind::AtomicMix:
+        return buildAtomicMixKernel(app.atomic);
+    }
+    cwsp_panic("unreachable kernel kind");
+}
+
+std::unique_ptr<ir::Module>
+buildApp(const AppProfile &app,
+         const compiler::CompilerOptions &options,
+         compiler::CompileStats *stats)
+{
+    auto mod = buildKernel(app);
+    compiler::CompileStats s = compiler::compileForWsp(*mod, options);
+    if (stats)
+        *stats = s;
+    return mod;
+}
+
+} // namespace cwsp::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The evaluated application set: the paper's 37-app roster (plus the
+ * CPU2017 lbm/namd rerefreshes, 38 bars total as in its figures) as
+ * calibrated kernel instances, and the helpers the benches use to
+ * build and compile them per scheme.
+ */
+
+#ifndef CWSP_WORKLOADS_WORKLOAD_HH
+#define CWSP_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "workloads/kernels.hh"
+
+namespace cwsp::workloads {
+
+/** Which generator realizes an application. */
+enum class KernelKind : std::uint8_t {
+    Mix,
+    PChase,
+    Gups,
+    KvStore,
+    NBody,
+    TreeSearch,
+    AtomicMix,
+};
+
+/** One evaluated application. */
+struct AppProfile
+{
+    std::string name;
+    std::string suite; ///< cpu2006 cpu2017 miniapps splash3 whisper stamp
+    KernelKind kind = KernelKind::Mix;
+    bool memIntensive = false; ///< member of the Figs. 1/17/18 subset
+
+    // Parameters; only the member matching `kind` is used.
+    MixParams mix;
+    PChaseParams pchase;
+    GupsParams gups;
+    KvStoreParams kv;
+    NBodyParams nbody;
+    TreeSearchParams tree;
+    AtomicMixParams atomic;
+};
+
+/** The full roster in figure order. */
+const std::vector<AppProfile> &appTable();
+
+/** Apps of one suite, in figure order. */
+std::vector<AppProfile> appsBySuite(const std::string &suite);
+
+/** The memory-intensive subset (Figs. 1, 17, 18). */
+std::vector<AppProfile> memIntensiveApps();
+
+/** Look up a profile by name; fatal when unknown. */
+const AppProfile &appByName(const std::string &name);
+
+/** Suite names in figure order. */
+const std::vector<std::string> &suiteNames();
+
+/** Build the app's module (uncompiled, laid out). */
+std::unique_ptr<ir::Module> buildKernel(const AppProfile &app);
+
+/**
+ * Build and compile the app for one design point.
+ *
+ * @param stats optional out-param for compile statistics.
+ */
+std::unique_ptr<ir::Module>
+buildApp(const AppProfile &app,
+         const compiler::CompilerOptions &options,
+         compiler::CompileStats *stats = nullptr);
+
+} // namespace cwsp::workloads
+
+#endif // CWSP_WORKLOADS_WORKLOAD_HH

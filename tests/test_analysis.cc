@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the program analyses: CFG utilities, dominators,
+ * natural loops, liveness, reaching definitions, and alias analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alias_analysis.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loop_info.hh"
+#include "analysis/reaching_defs.hh"
+#include "ir/builder.hh"
+
+namespace cwsp {
+namespace {
+
+using namespace ir;
+using namespace analysis;
+
+/** Diamond: bb0 -> (bb1|bb2) -> bb3. */
+std::unique_ptr<Module>
+makeDiamond()
+{
+    auto mod = std::make_unique<Module>();
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId b1 = b.newBlock();
+    BlockId b2 = b.newBlock();
+    BlockId b3 = b.newBlock();
+
+    b.setBlock(b0);
+    b.movImm(1, 10);
+    b.condBr(0, b1, b2);
+    b.setBlock(b1);
+    b.addImm(2, 1, 1); // r2 = r1 + 1
+    b.br(b3);
+    b.setBlock(b2);
+    b.movImm(2, 99);
+    b.br(b3);
+    b.setBlock(b3);
+    b.add(3, 2, 1);
+    b.ret(3);
+    return mod;
+}
+
+/** Loop: bb0 -> bb1(header) -> bb2(body) -> bb1; bb1 -> bb3(exit). */
+std::unique_ptr<Module>
+makeLoop()
+{
+    auto mod = std::make_unique<Module>();
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId b1 = b.newBlock();
+    BlockId b2 = b.newBlock();
+    BlockId b3 = b.newBlock();
+
+    b.setBlock(b0);
+    b.movImm(1, 0);
+    b.br(b1);
+    b.setBlock(b1);
+    b.cmpUlt(2, 1, 0);
+    b.condBr(2, b2, b3);
+    b.setBlock(b2);
+    b.addImm(1, 1, 1);
+    b.br(b1);
+    b.setBlock(b3);
+    b.ret(1);
+    return mod;
+}
+
+TEST(Cfg, PredecessorsAndSuccessors)
+{
+    auto mod = makeDiamond();
+    Cfg cfg(mod->functionByName("main"));
+    EXPECT_EQ(cfg.successors(0).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(3).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(0).size(), 0u);
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversAll)
+{
+    auto mod = makeLoop();
+    Cfg cfg(mod->functionByName("main"));
+    const auto &rpo = cfg.rpo();
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo[0], 0u);
+    // Header precedes body and exit in RPO.
+    EXPECT_LT(cfg.rpoIndex()[1], cfg.rpoIndex()[2]);
+}
+
+TEST(Dominators, DiamondJoinDominatedByEntryOnly)
+{
+    auto mod = makeDiamond();
+    Cfg cfg(mod->functionByName("main"));
+    Dominators doms(cfg);
+    EXPECT_EQ(doms.idom(3), 0u);
+    EXPECT_TRUE(doms.dominates(0, 3));
+    EXPECT_FALSE(doms.dominates(1, 3));
+    EXPECT_TRUE(doms.dominates(2, 2));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    auto mod = makeLoop();
+    Cfg cfg(mod->functionByName("main"));
+    Dominators doms(cfg);
+    EXPECT_TRUE(doms.dominates(1, 2));
+    EXPECT_TRUE(doms.dominates(1, 3));
+    EXPECT_FALSE(doms.dominates(2, 1));
+}
+
+TEST(Dominators, UnreachableBlockDetected)
+{
+    auto mod = std::make_unique<Module>();
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId dead = b.newBlock();
+    b.setBlock(b0);
+    b.ret();
+    b.setBlock(dead);
+    b.ret();
+    Cfg cfg(f);
+    Dominators doms(cfg);
+    EXPECT_TRUE(doms.reachable(b0));
+    EXPECT_FALSE(doms.reachable(dead));
+}
+
+TEST(LoopInfo, FindsNaturalLoop)
+{
+    auto mod = makeLoop();
+    Cfg cfg(mod->functionByName("main"));
+    Dominators doms(cfg);
+    LoopInfo li(cfg, doms);
+    ASSERT_EQ(li.loops().size(), 1u);
+    EXPECT_EQ(li.loops()[0].header, 1u);
+    EXPECT_TRUE(li.isHeader(1));
+    EXPECT_FALSE(li.isHeader(2));
+    EXPECT_EQ(li.depth(2), 1u);
+    EXPECT_EQ(li.depth(3), 0u);
+}
+
+TEST(LoopInfo, DiamondHasNoLoops)
+{
+    auto mod = makeDiamond();
+    Cfg cfg(mod->functionByName("main"));
+    Dominators doms(cfg);
+    LoopInfo li(cfg, doms);
+    EXPECT_TRUE(li.loops().empty());
+}
+
+TEST(Liveness, LoopCarriedValueLiveAtHeader)
+{
+    auto mod = makeLoop();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    Liveness live(cfg);
+    // r1 (induction) and r0 (bound) live into the header.
+    EXPECT_TRUE(live.liveIn(1) & regBit(1));
+    EXPECT_TRUE(live.liveIn(1) & regBit(0));
+    // r2 (the comparison) is not live into the header.
+    EXPECT_FALSE(live.liveIn(1) & regBit(2));
+}
+
+TEST(Liveness, PerPointQueries)
+{
+    auto mod = makeDiamond();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    Liveness live(cfg);
+    // In bb0: before movImm r1, r1 is dead; after it, live (bb3 uses).
+    EXPECT_FALSE(live.liveBefore(0, 0) & regBit(1));
+    EXPECT_TRUE(live.liveBefore(0, 1) & regBit(1));
+    auto all = live.liveBeforeAll(0);
+    EXPECT_EQ(all.size(), 3u); // 2 instrs + exit point
+    EXPECT_EQ(all[1], live.liveBefore(0, 1));
+}
+
+TEST(ReachingDefs, UniqueAndMergedDefs)
+{
+    auto mod = makeDiamond();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    ReachingDefs rd(cfg);
+    // r2 at bb3 entry: two defs reach (bb1 and bb2).
+    auto defs = rd.reachingAt(3, 0, 2);
+    EXPECT_EQ(defs.size(), 2u);
+    EXPECT_EQ(rd.uniqueReachingAt(3, 0, 2), kNoDef);
+    // r1 at bb3: unique def from bb0.
+    DefId d1 = rd.uniqueReachingAt(3, 0, 1);
+    ASSERT_NE(d1, kNoDef);
+    EXPECT_EQ(rd.defSite(d1).block, 0u);
+}
+
+TEST(ReachingDefs, LocalDefShadowsIncoming)
+{
+    auto mod = makeDiamond();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    ReachingDefs rd(cfg);
+    // Inside bb2 after movImm r2: unique local def.
+    DefId d = rd.uniqueReachingAt(2, 1, 2);
+    ASSERT_NE(d, kNoDef);
+    EXPECT_EQ(rd.defSite(d).block, 2u);
+}
+
+TEST(ReachingDefs, ParamsAreEntryDefs)
+{
+    auto mod = makeDiamond();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    ReachingDefs rd(cfg);
+    DefId d = rd.uniqueReachingAt(0, 0, 0); // r0 = parameter
+    ASSERT_NE(d, kNoDef);
+    EXPECT_TRUE(rd.isEntryDef(d));
+}
+
+/** Module with two globals and loads/stores for alias tests. */
+std::unique_ptr<Module>
+makeAliasModule()
+{
+    auto mod = std::make_unique<Module>();
+    mod->addGlobal("a", 256);
+    mod->addGlobal("b", 256);
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 1);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    Addr abase = mod->global("a").base;
+    Addr bbase = mod->global("b").base;
+    b.movImm(1, static_cast<std::int64_t>(abase));
+    b.movImm(2, static_cast<std::int64_t>(bbase));
+    b.load(3, 1, 0);       // [2] load a[0]
+    b.store(3, 1, 0);      // [3] store a[0]   (must alias with [2])
+    b.store(3, 1, 8);      // [4] store a[1]   (no alias with [2])
+    b.store(3, 2, 0);      // [5] store b[0]   (no alias: other base)
+    b.add(4, 1, 0);        // [6] a + runtime value
+    b.store(3, 4, 0);      // [7] store a[?]   (may alias)
+    b.load(5, 0, 0);       // [8] load through parameter (unknown)
+    b.ret(3);
+    return mod;
+}
+
+TEST(AliasAnalysis, MustNoMayClassification)
+{
+    auto mod = makeAliasModule();
+    const auto &f = mod->functionByName("main");
+    Cfg cfg(f);
+    AliasAnalysis aa(*mod, cfg);
+
+    EXPECT_EQ(aa.alias(0, 2, 0, 3), AliasResult::MustAlias);
+    EXPECT_EQ(aa.alias(0, 2, 0, 4), AliasResult::NoAlias);
+    EXPECT_EQ(aa.alias(0, 2, 0, 5), AliasResult::NoAlias);
+    EXPECT_EQ(aa.alias(0, 2, 0, 7), AliasResult::MayAlias);
+    EXPECT_EQ(aa.alias(0, 2, 0, 8), AliasResult::MayAlias);
+}
+
+TEST(AliasAnalysis, CheckpointAreaDisjointFromGlobals)
+{
+    auto mod = makeAliasModule();
+    auto &f = mod->functionByName("main");
+    // Append a checkpoint before the terminator.
+    Instr ck;
+    ck.op = Opcode::Checkpoint;
+    ck.a = 3;
+    auto &instrs = f.block(0).instrs();
+    instrs.insert(instrs.end() - 1, ck);
+
+    Cfg cfg(f);
+    AliasAnalysis aa(*mod, cfg);
+    std::uint32_t ck_idx =
+        static_cast<std::uint32_t>(instrs.size() - 2);
+    EXPECT_EQ(aa.alias(0, 2, 0, ck_idx), AliasResult::NoAlias);
+}
+
+TEST(AliasAnalysis, OffsetArithmeticTracked)
+{
+    auto mod = std::make_unique<Module>();
+    mod->addGlobal("g", 256);
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, static_cast<std::int64_t>(mod->global("g").base));
+    b.addImm(2, 1, 16); // g+16
+    b.load(3, 2, 0);    // [2] load g[2]
+    b.store(3, 1, 16);  // [3] store g[2] via different path
+    b.store(3, 1, 24);  // [4] store g[3]
+    b.ret(3);
+
+    Cfg cfg(f);
+    AliasAnalysis aa(*mod, cfg);
+    EXPECT_EQ(aa.alias(0, 2, 0, 3), AliasResult::MustAlias);
+    EXPECT_EQ(aa.alias(0, 2, 0, 4), AliasResult::NoAlias);
+}
+
+TEST(AliasAnalysis, MergeDegradesOffsetNotBase)
+{
+    // r1 points to g with different offsets on two paths: same base,
+    // unknown offset at the join.
+    auto mod = std::make_unique<Module>();
+    mod->addGlobal("g", 256);
+    mod->layoutMemory();
+    auto &f = mod->addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId b1 = b.newBlock();
+    BlockId b2 = b.newBlock();
+    BlockId b3 = b.newBlock();
+    Addr g = mod->global("g").base;
+    b.setBlock(b0);
+    b.condBr(0, b1, b2);
+    b.setBlock(b1);
+    b.movImm(1, static_cast<std::int64_t>(g));
+    b.br(b3);
+    b.setBlock(b2);
+    b.movImm(1, static_cast<std::int64_t>(g + 64));
+    b.br(b3);
+    b.setBlock(b3);
+    b.load(2, 1, 0);  // [0] g[?]
+    b.store(2, 1, 0); // [1] g[?]: may alias (same unknown offset —
+                      // conservatively may, not must)
+    b.ret(2);
+
+    Cfg cfg(f);
+    AliasAnalysis aa(*mod, cfg);
+    auto loc = aa.locOf(b3, 0);
+    EXPECT_EQ(loc.base.kind, AbstractBase::Kind::Global);
+    EXPECT_FALSE(loc.offsetKnown);
+    EXPECT_EQ(aa.alias(b3, 0, b3, 1), AliasResult::MayAlias);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the architecture layer: persist buffer, region
+ * boundary table, I/O redo buffers, and scheme-level behaviours
+ * (asynchronous persistence, speculation, drain costs, Capri's
+ * bandwidth amplification).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/io_redo_buffer.hh"
+#include "arch/persist_buffer.hh"
+#include "arch/region_boundary_table.hh"
+#include "arch/scheme.hh"
+#include "core/whole_system_sim.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp {
+namespace {
+
+using namespace arch;
+
+TEST(PersistBuffer, NoStallWhileSlotsFree)
+{
+    PersistBuffer pb(2);
+    EXPECT_EQ(pb.reserve(10), 10u);
+    pb.complete(100);
+    EXPECT_EQ(pb.reserve(10), 10u);
+    pb.complete(120);
+    EXPECT_EQ(pb.fullStalls(), 0u);
+}
+
+TEST(PersistBuffer, FullStallsUntilHeadAck)
+{
+    PersistBuffer pb(2);
+    pb.reserve(0);
+    pb.complete(100);
+    pb.reserve(0);
+    pb.complete(120);
+    EXPECT_EQ(pb.reserve(50), 100u); // waits for the first ack
+    pb.complete(140);
+    EXPECT_EQ(pb.fullStalls(), 1u);
+}
+
+TEST(PersistBuffer, FifoDeallocationMonotonic)
+{
+    // A later entry acking earlier than its predecessor still frees
+    // after it (head-only deallocation, Section V-B1).
+    PersistBuffer pb(2);
+    pb.reserve(0);
+    pb.complete(200);
+    pb.reserve(0);
+    pb.complete(50); // out-of-order ack clamped to 200
+    EXPECT_EQ(pb.reserve(60), 200u);
+    pb.complete(220);
+    EXPECT_EQ(pb.reserve(70), 200u);
+}
+
+TEST(Rbt, SpecEndTracksPredecessorDeparture)
+{
+    RegionBoundaryTable rbt(4);
+    rbt.beginRegion(0, 1);
+    rbt.recordStoreAck(500);
+    rbt.beginRegion(10, 2);
+    // Region 2 becomes non-speculative when region 1 departs (500).
+    EXPECT_EQ(rbt.currentSpecEnd(), 500u);
+    rbt.beginRegion(20, 3);
+    EXPECT_EQ(rbt.currentSpecEnd(), 500u); // cascade max
+}
+
+TEST(Rbt, CapacityStallsAtBoundary)
+{
+    RegionBoundaryTable rbt(2);
+    rbt.beginRegion(0, 1);
+    rbt.recordStoreAck(1000);
+    rbt.beginRegion(1, 2);
+    rbt.recordStoreAck(1100);
+    // Regions 1 and 2 are unpersisted: region 3 must wait for the
+    // head (region 1) to depart at 1000...
+    Tick start3 = rbt.beginRegion(2, 3);
+    EXPECT_EQ(start3, 1000u);
+    EXPECT_EQ(rbt.fullStalls(), 1u);
+    // ...and region 4 for region 2's departure at 1100.
+    Tick start4 = rbt.beginRegion(1001, 4);
+    EXPECT_EQ(start4, 1100u);
+    EXPECT_EQ(rbt.fullStalls(), 2u);
+}
+
+TEST(Rbt, PersistedRegionsDepartSilently)
+{
+    RegionBoundaryTable rbt(2);
+    rbt.beginRegion(0, 1);
+    rbt.recordStoreAck(5);
+    rbt.beginRegion(10, 2); // region 1 departed at 5 (< 10)
+    rbt.recordStoreAck(15);
+    Tick start = rbt.beginRegion(20, 3);
+    EXPECT_EQ(start, 20u);
+    EXPECT_EQ(rbt.fullStalls(), 0u);
+}
+
+TEST(IoRedo, ReleasesInRegionOrder)
+{
+    IoRedoBuffer io(4);
+    io.beginRegion(1);
+    io.issue(IoOp{7, 100});
+    io.beginRegion(2);
+    io.issue(IoOp{7, 200});
+    auto r1 = io.regionPersisted(1);
+    ASSERT_EQ(r1.size(), 1u);
+    EXPECT_EQ(r1[0].payload, 100u);
+    auto r2 = io.regionPersisted(2);
+    EXPECT_EQ(r2[0].payload, 200u);
+    EXPECT_EQ(io.inflightRegions(), 0u);
+}
+
+TEST(IoRedo, OutOfOrderReleasePanics)
+{
+    IoRedoBuffer io(4);
+    io.beginRegion(1);
+    io.beginRegion(2);
+    EXPECT_THROW(io.regionPersisted(2), std::logic_error);
+}
+
+TEST(IoRedo, PowerFailureDiscardsUnpersisted)
+{
+    IoRedoBuffer io(4);
+    io.beginRegion(1);
+    io.issue(IoOp{7, 100});
+    io.beginRegion(2);
+    io.issue(IoOp{7, 200});
+    auto dropped = io.discardAll();
+    EXPECT_EQ(dropped, (std::vector<RegionId>{1, 2}));
+    EXPECT_EQ(io.inflightRegions(), 0u);
+}
+
+// ---- scheme-level behaviour ------------------------------------------
+
+core::RunResult
+runUnder(const char *app_name, const char *scheme)
+{
+    auto cfg = core::makeSystemConfig(scheme);
+    auto app = workloads::appByName(app_name);
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    return sim.run("main");
+}
+
+TEST(Schemes, BaselineFastestCwspClose)
+{
+    auto base = runUnder("radix", "baseline");
+    auto cwsp = runUnder("radix", "cwsp");
+    auto capri = runUnder("radix", "capri");
+    auto ido = runUnder("radix", "ido");
+    auto replay = runUnder("radix", "replaycache");
+    EXPECT_LT(base.cycles, cwsp.cycles);
+    EXPECT_LT(cwsp.cycles, capri.cycles);
+    EXPECT_LT(capri.cycles, replay.cycles);
+    EXPECT_LT(cwsp.cycles, ido.cycles);
+}
+
+TEST(Schemes, PspPaysNvmLatencyWithoutDramCache)
+{
+    auto base = runUnder("lbm", "baseline");
+    auto psp = runUnder("lbm", "psp");
+    double slowdown = static_cast<double>(psp.cycles) /
+                      static_cast<double>(base.cycles);
+    // The ideal-PSP point loses the DRAM cache: a clear slowdown on a
+    // memory-intensive app (the paper reports ~1.5x average).
+    EXPECT_GT(slowdown, 1.15);
+}
+
+TEST(Schemes, RbtPressureRisesWhenSmall)
+{
+    auto cfg8 = core::makeSystemConfig("cwsp");
+    cfg8.scheme.rbtCapacity = 2;
+    auto cfg32 = core::makeSystemConfig("cwsp");
+    cfg32.scheme.rbtCapacity = 32;
+    auto app = workloads::appByName("lu-ncg");
+    auto mod8 = workloads::buildApp(app, cfg8.compiler);
+    core::WholeSystemSim sim8(*mod8, cfg8);
+    auto r8 = sim8.run("main");
+    auto mod32 = workloads::buildApp(app, cfg32.compiler);
+    core::WholeSystemSim sim32(*mod32, cfg32);
+    auto r32 = sim32.run("main");
+    EXPECT_GE(r8.rbtFullStalls, r32.rbtFullStalls);
+    EXPECT_GE(r8.cycles, r32.cycles);
+}
+
+TEST(Schemes, PersistBandwidthMatters)
+{
+    auto narrow = core::makeSystemConfig("cwsp");
+    narrow.scheme.path.bandwidthGBs = 1.0;
+    auto wide = core::makeSystemConfig("cwsp");
+    wide.scheme.path.bandwidthGBs = 32.0;
+    auto app = workloads::appByName("radix");
+    auto mod1 = workloads::buildApp(app, narrow.compiler);
+    core::WholeSystemSim sim1(*mod1, narrow);
+    auto r1 = sim1.run("main");
+    auto mod2 = workloads::buildApp(app, wide.compiler);
+    core::WholeSystemSim sim2(*mod2, wide);
+    auto r2 = sim2.run("main");
+    EXPECT_GT(r1.cycles, r2.cycles);
+}
+
+TEST(Schemes, RegionInstrStatspopulated)
+{
+    auto r = runUnder("milc", "cwsp");
+    EXPECT_GT(r.meanRegionInstrs, 5.0);
+    EXPECT_LT(r.meanRegionInstrs, 200.0);
+}
+
+TEST(Schemes, MeanWbOccupancyIsLow)
+{
+    auto r = runUnder("bzip2", "cwsp");
+    // Fig. 6: both baseline and cWSP average well below one entry.
+    EXPECT_LT(r.meanWbOccupancy, 2.0);
+}
+
+TEST(Schemes, FeatureFlagsReduceToRegionFormationOnly)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    cfg.scheme.features.persistPath = false;
+    cfg.scheme.features.mcSpeculation = false;
+    cfg.scheme.features.wbDelay = false;
+    cfg.scheme.features.wpqDelay = false;
+    core::syncFeatureFlags(cfg);
+    auto app = workloads::appByName("radix");
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    auto formation_only = sim.run("main");
+
+    auto base = runUnder("radix", "baseline");
+    auto full = runUnder("radix", "cwsp");
+    // Region formation alone costs less than the full design.
+    EXPECT_GT(formation_only.cycles, base.cycles);
+    EXPECT_LT(formation_only.cycles, full.cycles);
+}
+
+TEST(Schemes, UnknownSchemeNameIsFatal)
+{
+    EXPECT_THROW(core::makeSystemConfig("quantum-persist"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,589 @@
+/**
+ * @file
+ * Unit and property tests for the cWSP compiler pipeline: region
+ * formation (boundary seeding, antidependence cutting, the optimal
+ * interval stabbing), checkpoint insertion, pruning, and recovery
+ * slices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alias_analysis.hh"
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "compiler/antidependence.hh"
+#include "compiler/baseline_lowering.hh"
+#include "compiler/pass_manager.hh"
+#include "interp/interpreter.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp {
+namespace {
+
+using namespace ir;
+using compiler::CompilerOptions;
+using compiler::CompileStats;
+
+std::vector<std::pair<BlockId, std::uint32_t>>
+boundaryPositions(const Function &f)
+{
+    std::vector<std::pair<BlockId, std::uint32_t>> out;
+    for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+        const auto &instrs =
+            f.block(static_cast<BlockId>(bb)).instrs();
+        for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+            if (instrs[k].op == Opcode::RegionBoundary)
+                out.emplace_back(static_cast<BlockId>(bb), k);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+countOp(const Function &f, Opcode op)
+{
+    std::uint64_t n = 0;
+    for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+        for (const auto &i :
+             f.block(static_cast<BlockId>(bb)).instrs()) {
+            n += i.op == op;
+        }
+    }
+    return n;
+}
+
+TEST(RegionFormation, EntryBoundaryAlwaysPresent)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, 5);
+    b.ret(1);
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    auto bounds = boundaryPositions(f);
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_EQ(bounds[0], (std::pair<BlockId, std::uint32_t>{0, 0}));
+}
+
+TEST(RegionFormation, LoopHeaderGetsBoundary)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId hdr = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.setBlock(b0);
+    b.movImm(1, 0);
+    b.br(hdr);
+    b.setBlock(hdr);
+    b.cmpUlt(2, 1, 0);
+    b.condBr(2, body, exit);
+    b.setBlock(body);
+    b.addImm(1, 1, 1);
+    b.br(hdr);
+    b.setBlock(exit);
+    b.ret(1);
+
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_EQ(f.block(hdr).instrs()[0].op, Opcode::RegionBoundary);
+}
+
+TEST(RegionFormation, CallSitesBounded)
+{
+    Module m;
+    m.layoutMemory();
+    auto &callee = m.addFunction("callee", 1);
+    {
+        IRBuilder b(callee);
+        b.setBlock(b.newBlock());
+        b.ret(0);
+    }
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, 5);
+    b.call(2, callee.id(), {1});
+    b.addImm(2, 2, 1);
+    b.ret(2);
+
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    // Find the call; a boundary must precede and follow it.
+    const auto &instrs = f.block(0).instrs();
+    std::size_t call_at = 0;
+    for (std::size_t k = 0; k < instrs.size(); ++k) {
+        if (instrs[k].op == Opcode::Call)
+            call_at = k;
+    }
+    ASSERT_GT(call_at, 0u);
+    // Scan backward past checkpoints for the pre-call boundary.
+    bool pre = false;
+    for (std::size_t k = call_at; k-- > 0;) {
+        if (instrs[k].op == Opcode::Checkpoint)
+            continue;
+        pre = instrs[k].op == Opcode::RegionBoundary;
+        break;
+    }
+    EXPECT_TRUE(pre);
+    bool post = false;
+    for (std::size_t k = call_at + 1; k < instrs.size(); ++k) {
+        if (instrs[k].op == Opcode::Checkpoint)
+            continue;
+        post = instrs[k].op == Opcode::RegionBoundary;
+        break;
+    }
+    EXPECT_TRUE(post);
+}
+
+TEST(RegionFormation, AtomicsIsolated)
+{
+    Module m;
+    auto &g = m.addGlobal("cell", 64);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, static_cast<std::int64_t>(g.base));
+    b.movImm(2, 1);
+    b.atomicAdd(3, 2, 1);
+    b.ret(3);
+
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    const auto &instrs = f.block(0).instrs();
+    for (std::size_t k = 0; k < instrs.size(); ++k) {
+        if (isAtomic(instrs[k].op)) {
+            // A boundary (possibly with checkpoints between) sits on
+            // both sides of the atomic.
+            bool before = false;
+            for (std::size_t j = k; j-- > 0;) {
+                if (instrs[j].op == Opcode::Checkpoint)
+                    continue;
+                before = instrs[j].op == Opcode::RegionBoundary;
+                break;
+            }
+            EXPECT_TRUE(before);
+            bool after = false;
+            for (std::size_t j = k + 1; j < instrs.size(); ++j) {
+                if (instrs[j].op == Opcode::Checkpoint)
+                    continue;
+                after = instrs[j].op == Opcode::RegionBoundary;
+                break;
+            }
+            EXPECT_TRUE(after);
+        }
+    }
+}
+
+TEST(RegionFormation, MustAliasAntidependenceCut)
+{
+    Module m;
+    auto &g = m.addGlobal("g", 256);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, static_cast<std::int64_t>(g.base));
+    b.load(2, 1, 0);
+    b.addImm(2, 2, 1);
+    b.store(2, 1, 0); // WAR on g[0]: must be cut
+    b.ret(2);
+
+    CompileStats stats =
+        compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_GE(stats.memAntidepCuts, 1u);
+    // The load and the store end up in different regions.
+    const auto &instrs = f.block(0).instrs();
+    int load_region = -1, store_region = -1, region = -1;
+    for (const auto &i : instrs) {
+        if (i.op == Opcode::RegionBoundary)
+            region = static_cast<int>(i.imm);
+        if (i.op == Opcode::Load)
+            load_region = region;
+        if (i.op == Opcode::Store)
+            store_region = region;
+    }
+    EXPECT_NE(load_region, store_region);
+}
+
+TEST(RegionFormation, NoAliasPairNotCut)
+{
+    Module m;
+    auto &g = m.addGlobal("g", 256);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, static_cast<std::int64_t>(g.base));
+    b.load(2, 1, 0);
+    b.store(2, 1, 8); // different word: no antidependence
+    b.ret(2);
+
+    CompileStats stats =
+        compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_EQ(stats.memAntidepCuts, 0u);
+}
+
+TEST(RegionFormation, StabbingSharesOneCutAcrossOverlappingPairs)
+{
+    // load g0; load g1; store g0; store g1 — intervals overlap, one
+    // boundary placed before the first store stabs both.
+    Module m;
+    auto &g = m.addGlobal("g", 256);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, static_cast<std::int64_t>(g.base));
+    b.load(2, 1, 0);
+    b.load(3, 1, 8);
+    b.store(2, 1, 0);
+    b.store(3, 1, 8);
+    b.ret(2);
+
+    CompileStats stats =
+        compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_EQ(stats.memAntidepCuts, 1u);
+}
+
+TEST(RegionFormation, CrossBlockAntidependenceCut)
+{
+    // Load in bb0, may-alias store in bb1 (no other boundary between).
+    Module m;
+    auto &g = m.addGlobal("g", 256);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId b1 = b.newBlock();
+    b.setBlock(b0);
+    b.movImm(1, static_cast<std::int64_t>(g.base));
+    b.load(2, 1, 0);
+    b.br(b1);
+    b.setBlock(b1);
+    b.store(2, 1, 0);
+    b.ret(2);
+
+    CompileStats stats =
+        compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_GE(stats.memAntidepCuts, 1u);
+    // The cut lands right before the store in bb1.
+    bool boundary_before_store = false;
+    int last = -1;
+    for (const auto &i : f.block(b1).instrs()) {
+        if (i.op == Opcode::Store)
+            boundary_before_store =
+                last == static_cast<int>(Opcode::RegionBoundary) ||
+                last == static_cast<int>(Opcode::Checkpoint);
+        last = static_cast<int>(i.op);
+    }
+    EXPECT_TRUE(boundary_before_store);
+}
+
+TEST(RegionFormation, MaxRegionLengthCap)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(1, 0);
+    for (int k = 0; k < 100; ++k)
+        b.addImm(1, 1, 1);
+    b.ret(1);
+
+    CompilerOptions opts = compiler::capriOptions();
+    compiler::compileForWsp(m, opts);
+    // Every inter-boundary gap is at most maxRegionInstrs.
+    const auto &instrs = f.block(0).instrs();
+    unsigned gap = 0;
+    for (const auto &i : instrs) {
+        if (i.op == Opcode::RegionBoundary) {
+            gap = 0;
+        } else {
+            ++gap;
+            EXPECT_LE(gap, opts.maxRegionInstrs);
+        }
+    }
+}
+
+TEST(RegionFormation, ResidualAntidependencesAreZero)
+{
+    // Property: after formation, recomputing cuts with the final
+    // boundaries as seeds finds nothing left to cut.
+    for (const char *app : {"lbm", "lu-ncg", "radix", "tpcc"}) {
+        auto mod = workloads::buildApp(workloads::appByName(app),
+                                       compiler::cwspOptions());
+        for (std::size_t fi = 0; fi < mod->numFunctions(); ++fi) {
+            auto &f = mod->function(static_cast<FuncId>(fi));
+            analysis::Cfg cfg(f);
+            analysis::AliasAnalysis aa(*mod, cfg);
+            auto has_boundary = [&f](BlockId bb, std::uint32_t k) {
+                const auto &ins = f.block(bb).instrs();
+                return k < ins.size() &&
+                       ins[k].op == Opcode::RegionBoundary;
+            };
+            auto res =
+                compiler::computeMemoryCuts(cfg, aa, has_boundary);
+            EXPECT_TRUE(res.cuts.empty())
+                << app << " fn " << fi << " has residual cuts";
+        }
+    }
+}
+
+TEST(Checkpoints, LiveOutDefGetsCheckpointed)
+{
+    Module m;
+    m.layoutMemory();
+    auto &callee = m.addFunction("callee", 0);
+    {
+        IRBuilder b(callee);
+        b.setBlock(b.newBlock());
+        b.movImm(0, 1);
+        b.ret(0);
+    }
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(5, 1234);       // r5 live across the call boundary
+    b.call(2, callee.id(), {});
+    b.add(2, 2, 5);
+    b.ret(2);
+
+    CompilerOptions opts = compiler::cwspOptions();
+    opts.pruneCheckpoints = false; // observe raw insertion
+    compiler::compileForWsp(m, opts);
+    bool ck_r5 = false;
+    for (const auto &i : f.block(0).instrs())
+        ck_r5 |= i.op == Opcode::Checkpoint && i.a == 5;
+    EXPECT_TRUE(ck_r5);
+}
+
+TEST(Checkpoints, FramePointerNeverCheckpointed)
+{
+    auto mod = workloads::buildApp(workloads::appByName("lbm"),
+                                   compiler::idoOptions());
+    for (std::size_t fi = 0; fi < mod->numFunctions(); ++fi) {
+        const auto &f = mod->function(static_cast<FuncId>(fi));
+        for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+            for (const auto &i :
+                 f.block(static_cast<BlockId>(bb)).instrs()) {
+                if (i.op == Opcode::Checkpoint) {
+                    EXPECT_NE(i.a, compiler::kFramePointer);
+                }
+            }
+        }
+    }
+}
+
+TEST(Pruning, ConstantCheckpointPruned)
+{
+    Module m;
+    m.layoutMemory();
+    auto &callee = m.addFunction("callee", 0);
+    {
+        IRBuilder b(callee);
+        b.setBlock(b.newBlock());
+        b.movImm(0, 1);
+        b.ret(0);
+    }
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(5, 1234); // rematerializable from the immediate
+    b.call(2, callee.id(), {});
+    b.add(2, 2, 5);
+    b.ret(2);
+
+    CompileStats stats =
+        compiler::compileForWsp(m, compiler::cwspOptions());
+    EXPECT_GE(stats.checkpointsPruned, 1u);
+    bool ck_r5 = false;
+    for (const auto &i : f.block(0).instrs())
+        ck_r5 |= i.op == Opcode::Checkpoint && i.a == 5;
+    EXPECT_FALSE(ck_r5) << "constant checkpoint should be pruned";
+
+    // The recovery slice of the post-call region rebuilds r5 with a
+    // SetImm instead of a slot load.
+    bool setimm_r5 = false;
+    for (const auto &slice : f.recoverySlices()) {
+        for (const auto &op : slice.ops) {
+            setimm_r5 |= op.kind == RsOp::Kind::SetImm &&
+                         op.dst == 5 && op.imm == 1234;
+        }
+    }
+    EXPECT_TRUE(setimm_r5);
+}
+
+TEST(Pruning, BasePlusImmediateChainPruned)
+{
+    // r6 = r5 + 16 where r5 is a stable checkpointed base: r6's
+    // checkpoint is pruned and its slice is LoadSlot(r5); Apply(add).
+    Module m;
+    m.layoutMemory();
+    auto &callee = m.addFunction("callee", 0);
+    {
+        IRBuilder b(callee);
+        b.setBlock(b.newBlock());
+        b.movImm(0, 1);
+        b.ret(0);
+    }
+    auto &f = m.addFunction("main", 1); // r0 parameter = base
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.add(5, 0, 0);   // r5: not rematerializable itself (two-reg op)
+    b.addImm(6, 5, 16); // r6: chainable from r5
+    b.call(2, callee.id(), {});
+    b.add(2, 2, 5);
+    b.add(2, 2, 6);
+    b.ret(2);
+
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    bool ck_r5 = false, ck_r6 = false;
+    for (const auto &i : f.block(0).instrs()) {
+        ck_r5 |= i.op == Opcode::Checkpoint && i.a == 5;
+        ck_r6 |= i.op == Opcode::Checkpoint && i.a == 6;
+    }
+    EXPECT_TRUE(ck_r5) << "anchor checkpoint must stay";
+    EXPECT_FALSE(ck_r6) << "derived checkpoint should be pruned";
+
+    bool chain = false;
+    for (const auto &slice : f.recoverySlices()) {
+        for (std::size_t k = 0; k + 1 < slice.ops.size(); ++k) {
+            chain |= slice.ops[k].kind == RsOp::Kind::LoadSlot &&
+                     slice.ops[k].slot == 5 &&
+                     slice.ops[k].dst == 6 &&
+                     slice.ops[k + 1].kind == RsOp::Kind::Apply &&
+                     slice.ops[k + 1].imm == 16;
+        }
+    }
+    EXPECT_TRUE(chain);
+}
+
+TEST(Pruning, MultiDefValueNotPruned)
+{
+    // A loop induction variable has two reaching defs at the header;
+    // its checkpoints must survive.
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 1);
+    IRBuilder b(f);
+    BlockId b0 = b.newBlock();
+    BlockId hdr = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.setBlock(b0);
+    b.movImm(1, 0);
+    b.br(hdr);
+    b.setBlock(hdr);
+    b.cmpUlt(2, 1, 0);
+    b.condBr(2, body, exit);
+    b.setBlock(body);
+    b.addImm(1, 1, 1);
+    b.br(hdr);
+    b.setBlock(exit);
+    b.ret(1);
+
+    compiler::compileForWsp(m, compiler::cwspOptions());
+    bool ck_r1 = false;
+    for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+        for (const auto &i :
+             f.block(static_cast<BlockId>(bb)).instrs())
+            ck_r1 |= i.op == Opcode::Checkpoint && i.a == 1;
+    }
+    EXPECT_TRUE(ck_r1);
+}
+
+TEST(Pruning, InstrumentedRunStillComputesSameResult)
+{
+    // Pruning must never change program semantics.
+    for (const char *app : {"lulesh", "water-ns", "tpcc"}) {
+        auto plain = workloads::buildKernel(workloads::appByName(app));
+        interp::SparseMemory m0;
+        Word golden = interp::runToCompletion(*plain, m0, "main", {});
+
+        auto pruned = workloads::buildApp(workloads::appByName(app),
+                                          compiler::cwspOptions());
+        interp::SparseMemory m1;
+        EXPECT_EQ(interp::runToCompletion(*pruned, m1, "main", {}),
+                  golden)
+            << app;
+    }
+}
+
+TEST(Slices, EveryRegionHasSliceCoveringItsLiveIns)
+{
+    auto mod = workloads::buildApp(workloads::appByName("milc"),
+                                   compiler::cwspOptions());
+    for (std::size_t fi = 0; fi < mod->numFunctions(); ++fi) {
+        const auto &f = mod->function(static_cast<FuncId>(fi));
+        analysis::Cfg cfg(f);
+        analysis::Liveness live(cfg);
+        for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+            const auto &instrs =
+                f.block(static_cast<BlockId>(bb)).instrs();
+            for (std::uint32_t k = 0; k < instrs.size(); ++k) {
+                if (instrs[k].op != Opcode::RegionBoundary)
+                    continue;
+                auto rid =
+                    static_cast<StaticRegionId>(instrs[k].imm);
+                ASSERT_LT(rid, f.recoverySlices().size());
+                const auto &slice = f.recoverySlices()[rid];
+                auto mask =
+                    live.liveBefore(static_cast<BlockId>(bb), k) &
+                    ~analysis::regBit(compiler::kFramePointer);
+                analysis::forEachReg(mask, [&](Reg r) {
+                    bool restored = false;
+                    for (const auto &op : slice.ops)
+                        restored |= op.dst == r;
+                    EXPECT_TRUE(restored)
+                        << f.name() << " region " << rid
+                        << " misses r" << unsigned{r};
+                });
+            }
+        }
+    }
+}
+
+TEST(Baselines, OptionProfilesDiffer)
+{
+    auto base = compiler::baselineOptions();
+    EXPECT_FALSE(base.instrument);
+    auto capri = compiler::capriOptions();
+    EXPECT_EQ(capri.maxRegionInstrs, 29u);
+    EXPECT_FALSE(capri.insertCheckpoints);
+    auto ido = compiler::idoOptions();
+    EXPECT_TRUE(ido.insertCheckpoints);
+    EXPECT_FALSE(ido.pruneCheckpoints);
+}
+
+TEST(Baselines, BaselineBinaryHasNoInstrumentation)
+{
+    auto mod = workloads::buildApp(workloads::appByName("fft"),
+                                   compiler::baselineOptions());
+    for (std::size_t fi = 0; fi < mod->numFunctions(); ++fi) {
+        const auto &f = mod->function(static_cast<FuncId>(fi));
+        EXPECT_EQ(countOp(f, Opcode::RegionBoundary), 0u);
+        EXPECT_EQ(countOp(f, Opcode::Checkpoint), 0u);
+    }
+}
+
+TEST(Baselines, PruningReducesCheckpointCount)
+{
+    auto app = workloads::appByName("lulesh");
+    compiler::CompileStats with_pruning, without;
+    workloads::buildApp(app, compiler::cwspOptions(), &with_pruning);
+    workloads::buildApp(app, compiler::idoOptions(), &without);
+    EXPECT_GT(with_pruning.checkpointsPruned, 0u);
+    EXPECT_EQ(without.checkpointsPruned, 0u);
+    EXPECT_EQ(with_pruning.checkpointsInserted,
+              without.checkpointsInserted);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Crash-consistency property tests — the heart of the reproduction's
+ * correctness story. For a spread of kernels and many crash points,
+ * a power failure followed by the recovery protocol (undo-log
+ * reversal + recovery slice + region re-execution) must reproduce
+ * exactly the memory state and results of an uninterrupted run.
+ * The paper leaves recovery untested (Section VIII); these tests
+ * close that gap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/consistency_checker.hh"
+#include "core/whole_system_sim.hh"
+#include "interp/interpreter.hh"
+#include "sim/rng.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp {
+namespace {
+
+struct GoldenState
+{
+    Word result;
+    interp::SparseMemory memory;
+};
+
+GoldenState
+goldenRun(const workloads::AppProfile &app,
+          const compiler::CompilerOptions &opts)
+{
+    GoldenState g;
+    auto mod = workloads::buildApp(app, opts);
+    g.result = interp::runToCompletion(*mod, g.memory, "main", {});
+    return g;
+}
+
+void
+crashSweep(const char *app_name, const char *scheme, int points,
+           std::uint64_t seed)
+{
+    auto cfg = core::makeSystemConfig(scheme);
+    auto app = workloads::appByName(app_name);
+    GoldenState golden = goldenRun(app, cfg.compiler);
+
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+
+    Rng rng(seed);
+    for (int k = 0; k < points; ++k) {
+        Tick crash = 1 + rng.nextBelow(full - 1);
+        auto out = sim.runWithCrash({core::ThreadSpec{}}, crash);
+        ASSERT_EQ(out.result.returnValues[0], golden.result)
+            << app_name << " @" << crash;
+        auto check =
+            core::checkGlobals(*mod, golden.memory, sim.memory());
+        ASSERT_TRUE(check.consistent)
+            << app_name << " @" << crash << " first divergence in "
+            << (check.divergences.empty()
+                    ? std::string("?")
+                    : check.divergences[0].global);
+    }
+}
+
+TEST(CrashRecovery, MixKernelSweep)
+{
+    crashSweep("bzip2", "cwsp", 10, 1);
+}
+
+TEST(CrashRecovery, SharedReadWriteMixSweep)
+{
+    crashSweep("lu-ncg", "cwsp", 10, 2);
+}
+
+TEST(CrashRecovery, StreamingStoreHeavySweep)
+{
+    crashSweep("radix", "cwsp", 10, 3);
+}
+
+TEST(CrashRecovery, GupsReadModifyWriteSweep)
+{
+    crashSweep("sps", "cwsp", 10, 4);
+}
+
+TEST(CrashRecovery, KvStoreSweep)
+{
+    crashSweep("tpcc", "cwsp", 10, 5);
+}
+
+TEST(CrashRecovery, PointerChaseSweep)
+{
+    crashSweep("raytrace", "cwsp", 8, 6);
+}
+
+TEST(CrashRecovery, NBodyWithPrunedCheckpointsSweep)
+{
+    crashSweep("water-ns", "cwsp", 10, 7);
+}
+
+TEST(CrashRecovery, TreeSearchSweep)
+{
+    crashSweep("gobmk", "cwsp", 8, 8);
+}
+
+TEST(CrashRecovery, AtomicTransactionSweep)
+{
+    crashSweep("kmeans", "cwsp", 10, 9);
+}
+
+TEST(CrashRecovery, IdoSchemeRecoversToo)
+{
+    crashSweep("bzip2", "ido", 6, 10);
+}
+
+TEST(CrashRecovery, ReplayCacheSchemeRecovers)
+{
+    crashSweep("fft", "replaycache", 6, 11);
+}
+
+TEST(CrashRecovery, VeryEarlyCrashRestarts)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("fft");
+    GoldenState golden = goldenRun(app, cfg.compiler);
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    sim.run("main");
+    for (Tick crash : {Tick{1}, Tick{2}, Tick{5}, Tick{17}}) {
+        auto out = sim.runWithCrash({core::ThreadSpec{}}, crash);
+        EXPECT_EQ(out.result.returnValues[0], golden.result)
+            << "@" << crash;
+        auto check =
+            core::checkGlobals(*mod, golden.memory, sim.memory());
+        EXPECT_TRUE(check.consistent) << "@" << crash;
+    }
+}
+
+TEST(CrashRecovery, VeryLateCrashStillCompletes)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("fft");
+    GoldenState golden = goldenRun(app, cfg.compiler);
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+    for (Tick back : {Tick{1}, Tick{10}, Tick{100}}) {
+        auto out =
+            sim.runWithCrash({core::ThreadSpec{}}, full - back);
+        EXPECT_EQ(out.result.returnValues[0], golden.result);
+        auto check =
+            core::checkGlobals(*mod, golden.memory, sim.memory());
+        EXPECT_TRUE(check.consistent);
+    }
+}
+
+TEST(CrashRecovery, CrashAfterCompletionIsConsistent)
+{
+    // Crashing after the program finished (persists may still be in
+    // flight) must also recover to the golden state.
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("fft");
+    GoldenState golden = goldenRun(app, cfg.compiler);
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+    auto out = sim.runWithCrash({core::ThreadSpec{}}, full + 5);
+    auto check =
+        core::checkGlobals(*mod, golden.memory, sim.memory());
+    EXPECT_TRUE(check.consistent);
+    EXPECT_EQ(out.result.returnValues[0], golden.result);
+}
+
+TEST(CrashRecovery, LostWorkIsBoundedBySpeculationWindow)
+{
+    // Section IX-E: the RBT bounds in-flight regions, so a failure
+    // destroys at most ~RBT-depth x region-length instructions of
+    // work per core (paper: 16 x 38 ≈ 600).
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("milc");
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+    Rng rng(5150);
+    std::uint64_t max_lost = 0;
+    for (int k = 0; k < 10; ++k) {
+        auto out = sim.runWithCrash({core::ThreadSpec{}},
+                                    1 + rng.nextBelow(full - 1));
+        max_lost = std::max(max_lost, out.lostWork);
+    }
+    EXPECT_GT(max_lost, 0u);
+    EXPECT_LT(max_lost, 16u * 200u)
+        << "lost work should be bounded by RBT depth x region size";
+}
+
+TEST(CrashRecovery, RecoveryWorkIsBounded)
+{
+    // The paper argues recovery re-executes only the unpersisted
+    // tail. Re-executed instructions after a mid-run crash must stay
+    // close to the crash point's remaining work, not restart the
+    // whole program (allow generous slack for region granularity).
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("bzip2");
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    auto fullrun = sim.run("main");
+    Tick full = fullrun.cycles;
+
+    auto out = sim.runWithCrash({core::ThreadSpec{}},
+                                static_cast<Tick>(full * 0.9));
+    // Remaining work was ~10%; allow up to 30%.
+    EXPECT_LT(out.reexecutedInstrs, fullrun.instructions * 3 / 10);
+    EXPECT_GT(out.persistedStores, 0u);
+}
+
+TEST(CrashRecovery, UndoLogsActuallyRevert)
+{
+    // At least one crash point in a store-heavy app must exercise the
+    // undo-log reversal path (speculative persists existed).
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto app = workloads::appByName("radix");
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+    std::uint64_t reverted = 0;
+    Rng rng(77);
+    for (int k = 0; k < 8; ++k) {
+        auto out = sim.runWithCrash(
+            {core::ThreadSpec{}}, 1 + rng.nextBelow(full - 1));
+        reverted += out.revertedStores;
+    }
+    EXPECT_GT(reverted, 0u);
+}
+
+TEST(CrashRecovery, MultiCoreDisjointWorkers)
+{
+    workloads::ParallelParams pp;
+    pp.numWorkers = 4;
+    pp.itersPerWorker = 400;
+    pp.wordsPerWorker = 1 << 8;
+
+    auto cfg = core::makeSystemConfig("cwsp");
+    cfg.numCores = 4;
+
+    // Golden: multicore run without crash.
+    auto golden_mod = workloads::buildParallelKernel(pp);
+    compiler::compileForWsp(*golden_mod, cfg.compiler);
+    core::WholeSystemSim golden_sim(*golden_mod, cfg);
+    std::vector<core::ThreadSpec> threads;
+    for (std::uint32_t t = 0; t < pp.numWorkers; ++t)
+        threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+    auto golden = golden_sim.run(threads);
+    const auto &golden_mem = golden_sim.memory();
+
+    auto mod = workloads::buildParallelKernel(pp);
+    compiler::compileForWsp(*mod, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run(threads).cycles;
+
+    Rng rng(123);
+    for (int k = 0; k < 6; ++k) {
+        Tick crash = 1 + rng.nextBelow(full - 1);
+        auto out = sim.runWithCrash(threads, crash);
+        for (std::uint32_t t = 0; t < pp.numWorkers; ++t) {
+            EXPECT_EQ(out.result.returnValues[t],
+                      golden.returnValues[t])
+                << "core " << t << " @" << crash;
+        }
+        auto check = core::checkGlobals(*mod, golden_mem,
+                                        sim.memory());
+        EXPECT_TRUE(check.consistent) << "@" << crash;
+    }
+}
+
+TEST(CrashRecovery, StridedExhaustiveSweepTinyKernels)
+{
+    // Deterministic strided coverage of the whole timeline (~1000
+    // crash points per kernel) on downsized kernels — the heavyweight
+    // backstop behind the randomized sweeps.
+    struct TinyApp
+    {
+        const char *base;
+        std::function<std::unique_ptr<ir::Module>()> build;
+    };
+
+    workloads::MixParams mp;
+    mp.iterations = 120;
+    mp.unroll = 4;
+    mp.hotWords = 1 << 6;
+    mp.warmWords = 1 << 8;
+    mp.coldLines = 1 << 6;
+    mp.hotPct = 45;
+    mp.warmPct = 20;
+    mp.coldPct = 15;
+    mp.storePct = 60;
+    mp.sharedReadWrite = true;
+    mp.callEvery = 2;
+    mp.prunableDerived = 2;
+    mp.seed = 90210;
+
+    workloads::AtomicMixParams ap;
+    ap.tableWords = 1 << 8;
+    ap.counters = 8;
+    ap.txs = 40;
+    ap.opsPerTx = 8;
+    ap.seed = 777;
+
+    std::vector<std::unique_ptr<ir::Module>> mods;
+    mods.push_back(workloads::buildMixKernel(mp));
+    mods.push_back(workloads::buildAtomicMixKernel(ap));
+
+    auto cfg = core::makeSystemConfig("cwsp");
+    for (auto &mod : mods) {
+        compiler::compileForWsp(*mod, cfg.compiler);
+        interp::SparseMemory golden_mem;
+        Word golden =
+            interp::runToCompletion(*mod, golden_mem, "main", {});
+        core::WholeSystemSim sim(*mod, cfg);
+        Tick full = sim.run("main").cycles;
+        Tick stride = std::max<Tick>(1, full / 500);
+        for (Tick crash = 1; crash < full; crash += stride) {
+            auto out =
+                sim.runWithCrash({core::ThreadSpec{}}, crash);
+            ASSERT_EQ(out.result.returnValues[0], golden)
+                << "@" << crash;
+            auto check = core::checkGlobals(*mod, golden_mem,
+                                            sim.memory());
+            ASSERT_TRUE(check.consistent) << "@" << crash;
+        }
+    }
+}
+
+TEST(CrashRecovery, MultiCoreMixWorkload)
+{
+    // Realistic multicore workload (shared read sets, partitioned
+    // writes) across crash points — the paper's 8-core regime at
+    // 4 cores for test speed.
+    workloads::MixParams mp;
+    mp.iterations = 250;
+    mp.unroll = 4;
+    mp.hotWords = 1 << 8;
+    mp.warmWords = 1 << 10;
+    mp.coldLines = 1 << 8;
+    mp.hotPct = 45;
+    mp.warmPct = 20;
+    mp.coldPct = 10;
+    mp.storePct = 50;
+    mp.callEvery = 2;
+    mp.prunableDerived = 2;
+    mp.seed = 4242;
+
+    constexpr std::uint32_t kWorkers = 4;
+    auto cfg = core::makeSystemConfig("cwsp");
+    cfg.numCores = kWorkers;
+    std::vector<core::ThreadSpec> threads;
+    for (std::uint32_t t = 0; t < kWorkers; ++t)
+        threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+
+    auto golden_mod = workloads::buildMixKernel(mp, kWorkers);
+    compiler::compileForWsp(*golden_mod, cfg.compiler);
+    core::WholeSystemSim golden_sim(*golden_mod, cfg);
+    auto golden = golden_sim.run(threads);
+    const auto &golden_mem = golden_sim.memory();
+
+    auto mod = workloads::buildMixKernel(mp, kWorkers);
+    compiler::compileForWsp(*mod, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run(threads).cycles;
+
+    Rng rng(24601);
+    for (int k = 0; k < 8; ++k) {
+        Tick crash = 1 + rng.nextBelow(full - 1);
+        auto out = sim.runWithCrash(threads, crash);
+        for (std::uint32_t t = 0; t < kWorkers; ++t) {
+            ASSERT_EQ(out.result.returnValues[t],
+                      golden.returnValues[t])
+                << "core " << t << " @" << crash;
+        }
+        auto check =
+            core::checkGlobals(*mod, golden_mem, sim.memory());
+        ASSERT_TRUE(check.consistent)
+            << "@" << crash
+            << (check.divergences.empty()
+                    ? ""
+                    : " in " + check.divergences[0].global);
+    }
+}
+
+TEST(CrashRecovery, CheckerDetectsInjectedDivergence)
+{
+    // Sanity: the checker is not vacuously green.
+    auto app = workloads::appByName("fft");
+    auto mod = workloads::buildApp(app, compiler::cwspOptions());
+    interp::SparseMemory a, b;
+    interp::runToCompletion(*mod, a, "main", {});
+    interp::runToCompletion(*mod, b, "main", {});
+    auto clean = core::checkGlobals(*mod, a, b);
+    EXPECT_TRUE(clean.consistent);
+    b.write(mod->global("result").base, 0xbad);
+    auto dirty = core::checkGlobals(*mod, a, b);
+    EXPECT_FALSE(dirty.consistent);
+    ASSERT_FALSE(dirty.divergences.empty());
+    EXPECT_EQ(dirty.divergences[0].global, "result");
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property tests over randomly generated programs: for dozens of
+ * seeds, the cWSP pipeline must (1) produce verifiable IR, (2)
+ * preserve program semantics, and (3) recover every random crash
+ * point to the golden state. This is the adversarial counterpart to
+ * the curated workload tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/consistency_checker.hh"
+#include "core/whole_system_sim.hh"
+#include "interp/interpreter.hh"
+#include "ir/verifier.hh"
+#include "sim/rng.hh"
+#include "workloads/random_program.hh"
+
+namespace cwsp {
+namespace {
+
+workloads::RandomProgramParams
+paramsForSeed(std::uint64_t seed)
+{
+    workloads::RandomProgramParams p;
+    p.seed = seed;
+    p.segments = 8 + seed % 10;
+    p.allowAtomics = seed % 3 != 0;
+    p.allowCalls = seed % 4 != 0;
+    return p;
+}
+
+TEST(Fuzz, GeneratedProgramsVerifyAndTerminate)
+{
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        auto mod = workloads::buildRandomProgram(paramsForSeed(seed));
+        EXPECT_TRUE(ir::verify(*mod).empty()) << "seed " << seed;
+        interp::SparseMemory mem;
+        // Termination within a generous budget.
+        interp::runToCompletion(*mod, mem, "main", {}, 2'000'000);
+    }
+}
+
+TEST(Fuzz, InstrumentationPreservesSemantics)
+{
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        auto plain =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        interp::SparseMemory m0;
+        Word golden =
+            interp::runToCompletion(*plain, m0, "main", {});
+
+        auto inst =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        compiler::compileForWsp(*inst, compiler::cwspOptions());
+        interp::SparseMemory m1;
+        EXPECT_EQ(interp::runToCompletion(*inst, m1, "main", {}),
+                  golden)
+            << "seed " << seed;
+        auto check = core::checkGlobals(*inst, m0, m1);
+        EXPECT_TRUE(check.consistent) << "seed " << seed;
+    }
+}
+
+TEST(Fuzz, CrashRecoveryOnRandomPrograms)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    Rng rng(99);
+    for (std::uint64_t seed = 1; seed <= 35; ++seed) {
+        auto golden_mod =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        compiler::compileForWsp(*golden_mod, cfg.compiler);
+        interp::SparseMemory golden_mem;
+        Word golden = interp::runToCompletion(*golden_mod,
+                                              golden_mem, "main", {});
+
+        auto mod =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        compiler::compileForWsp(*mod, cfg.compiler);
+        core::WholeSystemSim sim(*mod, cfg);
+        Tick full = sim.run("main").cycles;
+
+        for (int k = 0; k < 6; ++k) {
+            Tick crash = 1 + rng.nextBelow(full - 1);
+            auto out =
+                sim.runWithCrash({core::ThreadSpec{}}, crash);
+            ASSERT_EQ(out.result.returnValues[0], golden)
+                << "seed " << seed << " @" << crash;
+            auto check = core::checkGlobals(*mod, golden_mem,
+                                            sim.memory());
+            ASSERT_TRUE(check.consistent)
+                << "seed " << seed << " @" << crash
+                << (check.divergences.empty()
+                        ? ""
+                        : " in " + check.divergences[0].global);
+        }
+    }
+}
+
+TEST(Fuzz, CrashRecoveryUnderIdoScheme)
+{
+    auto cfg = core::makeSystemConfig("ido");
+    Rng rng(7);
+    for (std::uint64_t seed = 2; seed <= 10; seed += 2) {
+        auto golden_mod =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        compiler::compileForWsp(*golden_mod, cfg.compiler);
+        interp::SparseMemory golden_mem;
+        Word golden = interp::runToCompletion(*golden_mod,
+                                              golden_mem, "main", {});
+
+        auto mod =
+            workloads::buildRandomProgram(paramsForSeed(seed));
+        compiler::compileForWsp(*mod, cfg.compiler);
+        core::WholeSystemSim sim(*mod, cfg);
+        Tick full = sim.run("main").cycles;
+        for (int k = 0; k < 4; ++k) {
+            Tick crash = 1 + rng.nextBelow(full - 1);
+            auto out =
+                sim.runWithCrash({core::ThreadSpec{}}, crash);
+            ASSERT_EQ(out.result.returnValues[0], golden)
+                << "seed " << seed << " @" << crash;
+            auto check = core::checkGlobals(*mod, golden_mem,
+                                            sim.memory());
+            ASSERT_TRUE(check.consistent)
+                << "seed " << seed << " @" << crash;
+        }
+    }
+}
+
+TEST(Fuzz, DeterministicGeneration)
+{
+    auto a = workloads::buildRandomProgram(paramsForSeed(5));
+    auto b = workloads::buildRandomProgram(paramsForSeed(5));
+    EXPECT_EQ(a->numInstrs(), b->numInstrs());
+    interp::SparseMemory ma, mb;
+    EXPECT_EQ(interp::runToCompletion(*a, ma, "main", {}),
+              interp::runToCompletion(*b, mb, "main", {}));
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the Section-VIII extension: irrevocable device output
+ * buffered in region-ordered I/O redo buffers. Across arbitrary power
+ * failures, the complete device stream (operations released before
+ * the crash + operations re-issued by recovery) must equal the
+ * uninterrupted stream — exactly once, in order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/consistency_checker.hh"
+#include "core/whole_system_sim.hh"
+#include "interp/interpreter.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "sim/rng.hh"
+
+namespace cwsp {
+namespace {
+
+/**
+ * A logger program: per iteration, do some memory work, then emit a
+ * sequence-stamped record to device 3 (think: a WAL shipping to a
+ * NIC).
+ */
+std::unique_ptr<ir::Module>
+buildLoggerProgram(std::uint64_t iters)
+{
+    auto mod = std::make_unique<ir::Module>();
+    auto &data = mod->addGlobal("data", 512 * 8);
+    mod->layoutMemory();
+
+    auto &f = mod->addFunction("main", 0);
+    ir::IRBuilder b(f);
+    ir::BlockId entry = b.newBlock();
+    ir::BlockId hdr = b.newBlock();
+    ir::BlockId body = b.newBlock();
+    ir::BlockId exit = b.newBlock();
+
+    const ir::Reg rData = 8, rI = 10, rN = 11, rAcc = 12, rT = 16,
+                  rT2 = 17;
+
+    b.setBlock(entry);
+    b.movImm(rData, static_cast<std::int64_t>(data.base));
+    b.movImm(rI, 0);
+    b.movImm(rN, static_cast<std::int64_t>(iters));
+    b.movImm(rAcc, 0);
+    b.br(hdr);
+
+    b.setBlock(hdr);
+    b.cmpUlt(rT, rI, rN);
+    b.condBr(rT, body, exit);
+
+    b.setBlock(body);
+    b.binOpImm(ir::Opcode::Mul, rT, rI, 0x9e3779b97f4a7c15LL);
+    b.shrImm(rT, rT, 50);
+    b.andImm(rT, rT, 511 * 8 & ~7);
+    b.add(rT2, rData, rT);
+    b.load(rT, rT2);
+    b.addImm(rT, rT, 1);
+    b.store(rT, rT2);
+    b.add(rAcc, rAcc, rT);
+    // Device record: (i << 16) | low bits of acc — sequence-stamped.
+    b.shlImm(rT, rI, 16);
+    b.andImm(rT2, rAcc, 0xffff);
+    b.binOp(ir::Opcode::Or, rT, rT, rT2);
+    b.ioWrite(rT, 3);
+    b.addImm(rI, rI, 1);
+    b.br(hdr);
+
+    b.setBlock(exit);
+    b.ret(rAcc);
+    return mod;
+}
+
+TEST(IoPersistence, GoldenStreamIsSequential)
+{
+    auto mod = buildLoggerProgram(50);
+    compiler::compileForWsp(*mod, compiler::cwspOptions());
+    auto stream = core::collectIoStream(*mod, "main", {});
+    ASSERT_EQ(stream.size(), 50u);
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+        EXPECT_EQ(stream[k].device, 3u);
+        EXPECT_EQ(stream[k].payload >> 16, k);
+    }
+}
+
+TEST(IoPersistence, ExactlyOnceAcrossCrashes)
+{
+    auto mod = buildLoggerProgram(120);
+    compiler::compileForWsp(*mod, compiler::cwspOptions());
+    auto golden = core::collectIoStream(*mod, "main", {});
+
+    auto cfg = core::makeSystemConfig("cwsp");
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+
+    Rng rng(31337);
+    for (int k = 0; k < 25; ++k) {
+        Tick crash = 1 + rng.nextBelow(full - 1);
+        auto out = sim.runWithCrash({core::ThreadSpec{}}, crash);
+        ASSERT_EQ(out.ioStream.size(), golden.size())
+            << "@" << crash << ": duplicated or lost device output";
+        for (std::size_t i = 0; i < golden.size(); ++i) {
+            ASSERT_EQ(out.ioStream[i].payload, golden[i].payload)
+                << "@" << crash << " position " << i;
+            ASSERT_EQ(out.ioStream[i].device, golden[i].device);
+        }
+    }
+}
+
+TEST(IoPersistence, ReleasedPrefixNeverExceedsGolden)
+{
+    // The released portion alone must always be a strict prefix of
+    // the golden stream (regions flush in order, Section VIII).
+    auto mod = buildLoggerProgram(80);
+    compiler::compileForWsp(*mod, compiler::cwspOptions());
+    auto golden = core::collectIoStream(*mod, "main", {});
+
+    auto cfg = core::makeSystemConfig("cwsp");
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+
+    for (double frac : {0.1, 0.5, 0.9}) {
+        auto crash = static_cast<Tick>(full * frac);
+        auto out = sim.runWithCrash({core::ThreadSpec{}}, crash);
+        // ioStream = released prefix + re-issued suffix; the prefix
+        // property is implied by full-stream equality, but check the
+        // count monotonicity explicitly.
+        EXPECT_LE(out.ioStream.size(), golden.size() + 0u);
+    }
+}
+
+TEST(IoPersistence, MemoryAndIoConsistentTogether)
+{
+    auto mod = buildLoggerProgram(100);
+    compiler::compileForWsp(*mod, compiler::cwspOptions());
+    auto golden_io = core::collectIoStream(*mod, "main", {});
+    interp::SparseMemory golden_mem;
+    Word golden =
+        interp::runToCompletion(*mod, golden_mem, "main", {});
+
+    auto cfg = core::makeSystemConfig("cwsp");
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+    auto out = sim.runWithCrash({core::ThreadSpec{}}, full / 2);
+    EXPECT_EQ(out.result.returnValues[0], golden);
+    EXPECT_TRUE(
+        core::checkGlobals(*mod, golden_mem, sim.memory()).consistent);
+    ASSERT_EQ(out.ioStream.size(), golden_io.size());
+    for (std::size_t i = 0; i < golden_io.size(); ++i)
+        EXPECT_EQ(out.ioStream[i].payload, golden_io[i].payload);
+}
+
+TEST(IoPersistence, ParserRoundTripsIoWrite)
+{
+    auto mod = buildLoggerProgram(5);
+    std::ostringstream os;
+    ir::print(os, *mod);
+    EXPECT_NE(os.str().find("iowr"), std::string::npos);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the mini-IR: construction, printing, verification,
+ * and basic interpretation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "interp/interpreter.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+namespace cwsp {
+namespace {
+
+using namespace ir;
+
+/** sum of 0..n-1 via a loop. */
+std::unique_ptr<Module>
+makeSumModule()
+{
+    auto mod = std::make_unique<Module>();
+    mod->addGlobal("result", 64);
+    mod->layoutMemory();
+
+    auto &f = mod->addFunction("main", 1); // n in r0
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId header = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.setBlock(entry);
+    b.movImm(1, 0);  // i
+    b.movImm(2, 0);  // acc
+    b.br(header);
+
+    b.setBlock(header);
+    b.cmpUlt(3, 1, 0);
+    b.condBr(3, body, exit);
+
+    b.setBlock(body);
+    b.add(2, 2, 1);
+    b.addImm(1, 1, 1);
+    b.br(header);
+
+    b.setBlock(exit);
+    b.movImm(4, static_cast<std::int64_t>(
+                    mod->global("result").base));
+    b.store(2, 4);
+    b.ret(2);
+    return mod;
+}
+
+TEST(Ir, VerifyCleanModule)
+{
+    auto mod = makeSumModule();
+    EXPECT_TRUE(verify(*mod).empty());
+}
+
+TEST(Ir, VerifierCatchesMissingTerminator)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("broken", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(0, 1); // no terminator
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesBadBranchTarget)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("broken", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.br(57);
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("branch"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesArityMismatch)
+{
+    Module m;
+    m.layoutMemory();
+    auto &callee = m.addFunction("callee", 2);
+    {
+        IRBuilder b(callee);
+        b.setBlock(b.newBlock());
+        b.ret(0);
+    }
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(0, 1);
+    b.call(1, callee.id(), {0}); // needs 2 args
+    b.ret(1);
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("argument count"), std::string::npos);
+}
+
+TEST(Ir, TerminatorSuccessors)
+{
+    auto mod = makeSumModule();
+    const auto &f = mod->functionByName("main");
+    EXPECT_EQ(f.block(0).successors(), std::vector<BlockId>{1});
+    auto hdr = f.block(1).successors();
+    EXPECT_EQ(hdr.size(), 2u);
+    EXPECT_TRUE(f.block(3).successors().empty());
+}
+
+TEST(Ir, PrinterRoundsKeyOpcodes)
+{
+    auto mod = makeSumModule();
+    std::ostringstream os;
+    print(os, *mod);
+    std::string text = os.str();
+    EXPECT_NE(text.find("cmpult"), std::string::npos);
+    EXPECT_NE(text.find("condbr"), std::string::npos);
+    EXPECT_NE(text.find("st r2"), std::string::npos);
+    EXPECT_NE(text.find("global result"), std::string::npos);
+}
+
+TEST(Ir, GlobalLayoutIsLinePaddedAndDisjoint)
+{
+    Module m;
+    auto &a = m.addGlobal("a", 8);
+    auto &b = m.addGlobal("b", 100);
+    m.layoutMemory();
+    EXPECT_GE(a.base, Module::kGlobalBase);
+    EXPECT_EQ(a.base % kCachelineBytes, 0u);
+    EXPECT_GE(b.base, a.base + kCachelineBytes);
+    EXPECT_EQ(b.base % kCachelineBytes, 0u);
+}
+
+TEST(Ir, DefUseSetsPerOpcode)
+{
+    Instr st;
+    st.op = Opcode::Store;
+    st.a = 3;
+    st.b = 5;
+    EXPECT_EQ(st.defReg(), kNoReg);
+    std::vector<Reg> uses;
+    st.useRegs(uses);
+    EXPECT_EQ(uses, (std::vector<Reg>{3, 5}));
+
+    Instr addi;
+    addi.op = Opcode::Add;
+    addi.dst = 1;
+    addi.a = 2;
+    addi.bIsImm = true;
+    EXPECT_EQ(addi.defReg(), 1);
+    uses.clear();
+    addi.useRegs(uses);
+    EXPECT_EQ(uses, (std::vector<Reg>{2}));
+}
+
+TEST(Interp, SumLoopComputes)
+{
+    auto mod = makeSumModule();
+    interp::SparseMemory memory;
+    Word result =
+        interp::runToCompletion(*mod, memory, "main", {10});
+    EXPECT_EQ(result, 45u);
+    EXPECT_EQ(memory.read(mod->global("result").base), 45u);
+}
+
+TEST(Interp, CallAndReturn)
+{
+    Module m;
+    m.layoutMemory();
+    auto &sq = m.addFunction("square", 1);
+    {
+        IRBuilder b(sq);
+        b.setBlock(b.newBlock());
+        b.mul(1, 0, 0);
+        b.ret(1);
+    }
+    auto &f = m.addFunction("main", 0);
+    {
+        IRBuilder b(f);
+        b.setBlock(b.newBlock());
+        b.movImm(2, 7);
+        b.call(3, sq.id(), {2});
+        b.addImm(3, 3, 1);
+        b.ret(3);
+    }
+    interp::SparseMemory memory;
+    EXPECT_EQ(interp::runToCompletion(m, memory, "main", {}), 50u);
+}
+
+TEST(Interp, AtomicAddReturnsOldValue)
+{
+    Module m;
+    auto &g = m.addGlobal("cell", 64);
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(0, static_cast<std::int64_t>(g.base));
+    b.movImm(1, 5);
+    b.store(1, 0);
+    b.movImm(2, 3);
+    b.atomicAdd(3, 2, 0); // returns 5, cell becomes 8
+    b.ret(3);
+
+    interp::SparseMemory memory;
+    EXPECT_EQ(interp::runToCompletion(m, memory, "main", {}), 5u);
+    EXPECT_EQ(memory.read(g.base), 8u);
+}
+
+TEST(Interp, DivideByZeroIsTrapFree)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setBlock(b.newBlock());
+    b.movImm(0, 10);
+    b.movImm(1, 0);
+    b.binOp(Opcode::DivU, 2, 0, 1);
+    b.binOp(Opcode::RemU, 3, 0, 1);
+    b.add(2, 2, 3);
+    b.ret(2);
+    interp::SparseMemory memory;
+    // 10/0 == 0; 10%0 == 10.
+    EXPECT_EQ(interp::runToCompletion(m, memory, "main", {}), 10u);
+}
+
+TEST(Interp, InstructionBudgetGuards)
+{
+    Module m;
+    m.layoutMemory();
+    auto &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    BlockId blk = b.newBlock();
+    b.setBlock(blk);
+    b.br(blk); // infinite loop
+    interp::SparseMemory memory;
+    EXPECT_THROW(
+        interp::runToCompletion(m, memory, "main", {}, 1000),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, stats,
+ * and deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace cwsp {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMayScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(5, [&] { ++fired; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 15u);
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.step();
+    EXPECT_THROW(q.schedule(5, [] {}), std::logic_error);
+}
+
+TEST(Stats, CounterAndAverage)
+{
+    StatsRegistry reg;
+    reg.counter("a").inc();
+    reg.counter("a").inc(4);
+    EXPECT_EQ(reg.counterValue("a"), 5u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+
+    reg.average("b").sample(1.0);
+    reg.average("b").sample(3.0);
+    EXPECT_DOUBLE_EQ(reg.averageValue("b"), 2.0);
+}
+
+TEST(Stats, HistogramMeanAndPercentile)
+{
+    Histogram h(10, 16);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_NEAR(h.mean(), 49.5, 1e-9);
+    EXPECT_GE(h.percentile(0.99), 89u);
+    EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(Stats, HistogramOverflowBucket)
+{
+    Histogram h(1, 4);
+    h.sample(1000);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(17), 17u);
+        auto v = r.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng r(13);
+    std::uint64_t low = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (r.nextZipf(1024, 0.9) < 64)
+            ++low;
+    }
+    // With strong skew, far more than 6.25% of draws land in the
+    // lowest 1/16th of the range.
+    EXPECT_GT(low, static_cast<std::uint64_t>(n) / 4);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(cwsp_panic("boom"), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(cwsp_fatal("bad config"), std::runtime_error);
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end smoke tests: build a workload kernel, compile it with
+ * the cWSP pipeline, run it on the timing simulator under several
+ * schemes, then crash it mid-run and verify recovery restores a
+ * state identical to the golden (uninterrupted) execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/consistency_checker.hh"
+#include "core/whole_system_sim.hh"
+#include "interp/interpreter.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp {
+namespace {
+
+workloads::MixParams
+smallMix()
+{
+    workloads::MixParams p;
+    p.iterations = 300;
+    p.unroll = 4;
+    p.hotWords = 1 << 8;
+    p.warmWords = 1 << 10;
+    p.coldLines = 1 << 8;
+    p.hotPct = 40;
+    p.warmPct = 20;
+    p.coldPct = 15;
+    p.storePct = 50;
+    p.callEvery = 2;
+    p.prunableDerived = 2;
+    p.seed = 4242;
+    return p;
+}
+
+TEST(Smoke, CompiledKernelMatchesUninstrumentedResult)
+{
+    auto plain = workloads::buildMixKernel(smallMix());
+    interp::SparseMemory mem_plain;
+    Word golden =
+        interp::runToCompletion(*plain, mem_plain, "main", {});
+
+    auto inst = workloads::buildMixKernel(smallMix());
+    compiler::CompileStats stats =
+        compiler::compileForWsp(*inst, compiler::cwspOptions());
+    EXPECT_GT(stats.boundaries, 0u);
+    EXPECT_GT(stats.checkpointsInserted, 0u);
+
+    interp::SparseMemory mem_inst;
+    Word instrumented =
+        interp::runToCompletion(*inst, mem_inst, "main", {});
+    EXPECT_EQ(golden, instrumented);
+}
+
+TEST(Smoke, TimingRunProducesCycles)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    auto mod = workloads::buildMixKernel(smallMix());
+    compiler::compileForWsp(*mod, cfg.compiler);
+
+    core::WholeSystemSim sim(*mod, cfg);
+    auto result = sim.run("main");
+    EXPECT_GT(result.cycles, result.instructions / 4);
+    EXPECT_GT(result.instructions, 10'000u);
+    EXPECT_GT(result.meanRegionInstrs, 2.0);
+}
+
+TEST(Smoke, CwspSlowdownOverBaselineIsModest)
+{
+    auto base_cfg = core::makeSystemConfig("baseline");
+    auto base_mod = workloads::buildMixKernel(smallMix());
+    compiler::compileForWsp(*base_mod, base_cfg.compiler);
+    core::WholeSystemSim base_sim(*base_mod, base_cfg);
+    auto base = base_sim.run("main");
+
+    auto cw_cfg = core::makeSystemConfig("cwsp");
+    auto cw_mod = workloads::buildMixKernel(smallMix());
+    compiler::compileForWsp(*cw_mod, cw_cfg.compiler);
+    core::WholeSystemSim cw_sim(*cw_mod, cw_cfg);
+    auto cw = cw_sim.run("main");
+
+    double slowdown = static_cast<double>(cw.cycles) /
+                      static_cast<double>(base.cycles);
+    EXPECT_GT(slowdown, 1.0);
+    EXPECT_LT(slowdown, 2.0);
+    // Both runs compute the same program result.
+    EXPECT_EQ(base.returnValues[0], cw.returnValues[0]);
+}
+
+TEST(Smoke, CrashRecoveryRestoresGoldenState)
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+
+    auto golden_mod = workloads::buildMixKernel(smallMix());
+    compiler::compileForWsp(*golden_mod, cfg.compiler);
+    interp::SparseMemory golden_mem;
+    Word golden =
+        interp::runToCompletion(*golden_mod, golden_mem, "main", {});
+
+    auto mod = workloads::buildMixKernel(smallMix());
+    compiler::compileForWsp(*mod, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run("main").cycles;
+
+    for (double frac : {0.1, 0.33, 0.5, 0.77, 0.95}) {
+        auto crash_tick = static_cast<Tick>(full * frac);
+        auto out = sim.runWithCrash({core::ThreadSpec{}}, crash_tick);
+        EXPECT_TRUE(out.crashed) << "fraction " << frac;
+        EXPECT_EQ(out.result.returnValues[0], golden)
+            << "fraction " << frac;
+        auto check =
+            core::checkGlobals(*mod, golden_mem, sim.memory());
+        EXPECT_TRUE(check.consistent)
+            << "fraction " << frac << ": "
+            << (check.divergences.empty()
+                    ? ""
+                    : check.divergences[0].global)
+            << " diverged";
+    }
+}
+
+} // namespace
+} // namespace cwsp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Compiler introspection: print an application's IR annotated with
+ * its recoverable regions — boundary ids, per-region live-ins, the
+ * synthesized recovery slices, and checkpoint placement — plus the
+ * compile statistics. The cWSP counterpart of `-emit-llvm` +
+ * `-print-after-all`.
+ *
+ *   cwsp_regions --app fft
+ *   cwsp_regions --app tpcc --func main --profile ido
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compiler/baseline_lowering.hh"
+#include "compiler/pass_manager.hh"
+#include "ir/printer.hh"
+#include "workloads/workload.hh"
+
+using namespace cwsp;
+
+namespace {
+
+const char *
+rsOpText(const ir::RsOp &op, std::string &buf)
+{
+    buf.clear();
+    switch (op.kind) {
+      case ir::RsOp::Kind::LoadSlot:
+        buf = "r" + std::to_string(op.dst) + " = slot[r" +
+              std::to_string(op.slot) + "]";
+        break;
+      case ir::RsOp::Kind::SetImm:
+        buf = "r" + std::to_string(op.dst) + " = " +
+              std::to_string(op.imm);
+        break;
+      case ir::RsOp::Kind::Apply:
+        buf = "r" + std::to_string(op.dst) + " = " +
+              ir::opcodeName(op.op) + "(r" + std::to_string(op.srcA);
+        if (op.bIsImm)
+            buf += ", " + std::to_string(op.imm);
+        else
+            buf += ", r" + std::to_string(op.srcB);
+        buf += ")";
+        break;
+    }
+    return buf.c_str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name;
+    std::string func_filter;
+    std::string profile = "cwsp";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--app")
+            app_name = next();
+        else if (a == "--func")
+            func_filter = next();
+        else if (a == "--profile")
+            profile = next();
+        else {
+            std::fprintf(stderr,
+                         "usage: cwsp_regions --app NAME "
+                         "[--func NAME] [--profile cwsp|ido|capri]\n");
+            return 2;
+        }
+    }
+    if (app_name.empty()) {
+        std::fprintf(stderr, "missing --app\n");
+        return 2;
+    }
+
+    compiler::CompilerOptions opts = compiler::cwspOptions();
+    if (profile == "ido")
+        opts = compiler::idoOptions();
+    else if (profile == "capri")
+        opts = compiler::capriOptions();
+    else if (profile != "cwsp") {
+        std::fprintf(stderr, "unknown profile %s\n", profile.c_str());
+        return 2;
+    }
+
+    compiler::CompileStats stats;
+    auto mod = workloads::buildApp(workloads::appByName(app_name),
+                                   opts, &stats);
+
+    std::printf("== %s (%s profile): %llu regions, %llu mem cuts, "
+                "%llu ckpts inserted, %llu pruned, %llu slice ops\n\n",
+                app_name.c_str(), profile.c_str(),
+                (unsigned long long)stats.boundaries,
+                (unsigned long long)stats.memAntidepCuts,
+                (unsigned long long)stats.checkpointsInserted,
+                (unsigned long long)stats.checkpointsPruned,
+                (unsigned long long)stats.sliceOps);
+
+    for (std::size_t fi = 0; fi < mod->numFunctions(); ++fi) {
+        const auto &f = mod->function(static_cast<ir::FuncId>(fi));
+        if (!func_filter.empty() && f.name() != func_filter)
+            continue;
+        std::printf("func %s (%u params)\n", f.name().c_str(),
+                    f.numParams());
+        for (std::size_t bb = 0; bb < f.numBlocks(); ++bb) {
+            std::printf("bb%zu:\n", bb);
+            const auto &instrs =
+                f.block(static_cast<ir::BlockId>(bb)).instrs();
+            for (const auto &instr : instrs) {
+                if (instr.op == ir::Opcode::RegionBoundary) {
+                    auto rid =
+                        static_cast<ir::StaticRegionId>(instr.imm);
+                    std::printf(
+                        "  ---------------- region #%u ", rid);
+                    if (rid < f.recoverySlices().size()) {
+                        const auto &slice = f.recoverySlices()[rid];
+                        std::printf("(live-in:");
+                        for (ir::Reg r : slice.liveIns)
+                            std::printf(" r%u", r);
+                        std::printf(") RS{");
+                        std::string buf;
+                        for (std::size_t k = 0;
+                             k < slice.ops.size(); ++k) {
+                            std::printf("%s%s", k ? "; " : "",
+                                        rsOpText(slice.ops[k], buf));
+                        }
+                        std::printf("}");
+                    }
+                    std::printf("\n");
+                } else {
+                    std::printf("    %s\n",
+                                ir::toString(instr).c_str());
+                }
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
