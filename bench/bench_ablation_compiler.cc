@@ -77,8 +77,5 @@ main(int argc, char **argv)
             });
     }
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

@@ -4,7 +4,7 @@
  * applications at the default 4 GB/s persist path. The paper reports
  * a ~6 % geometric-mean overhead with SPLASH3 the worst suite.
  *
- * Run: build/bench/bench_fig13_runtime_overhead
+ * Run: build/bench/bench_fig13_runtime_overhead [--jobs N]
  * Each bar is one benchmark case; the `slowdown` counter is the bar
  * height; `gmean/...` cases reproduce the per-suite and overall
  * geometric-mean bars.
@@ -18,34 +18,9 @@ using namespace cwsp::bench;
 int
 main(int argc, char **argv)
 {
-    auto baseline = core::makeSystemConfig("baseline");
-    auto cwsp_cfg = core::makeSystemConfig("cwsp");
-
-    std::map<std::string, std::vector<double>> by_suite;
-    auto all = std::make_shared<std::vector<double>>();
-    auto suites = std::make_shared<decltype(by_suite)>();
-
-    for (const auto &app : workloads::appTable()) {
-        registerMetric(
-            "fig13/" + app.suite + "/" + app.name, "slowdown",
-            [app, cwsp_cfg, baseline, all, suites]() {
-                double s = slowdown(app, cwsp_cfg, baseline, "cwsp");
-                (*suites)[app.suite].push_back(s);
-                all->push_back(s);
-                return s;
-            });
-    }
-    for (const auto &suite : workloads::suiteNames()) {
-        registerMetric("fig13/gmean/" + suite, "slowdown",
-                       [suite, suites]() {
-                           return gmean((*suites)[suite]);
-                       });
-    }
-    registerMetric("fig13/gmean/all", "slowdown",
-                   [all]() { return gmean(*all); });
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    std::vector<SweepPoint> points = {
+        {"cwsp", core::makeSystemConfig("cwsp")},
+    };
+    registerSweep("fig13", points, core::makeSystemConfig("baseline"));
+    return benchMain(argc, argv);
 }

@@ -5,6 +5,8 @@
  * bandwidth. The paper reports ReplayCache at ~4.3x, Capri-4GB at
  * ~1.27x, and cWSP at ~1.06x; Capri only matches cWSP with the ideal
  * bandwidth because its 64-byte entries saturate the practical path.
+ *
+ * Run: build/bench/bench_fig14_wsp_comparison [--jobs N]
  */
 
 #include "bench_util.hh"
@@ -27,53 +29,13 @@ configFor(const std::string &scheme, double bw)
 int
 main(int argc, char **argv)
 {
-    auto baseline = core::makeSystemConfig("baseline");
-
-    struct Point
-    {
-        const char *label;
-        core::SystemConfig cfg;
-    };
-    std::vector<Point> points = {
+    std::vector<SweepPoint> points = {
         {"replaycache", configFor("replaycache", 4.0)},
         {"capri-4GB", configFor("capri", 4.0)},
         {"capri-32GB", configFor("capri", 32.0)},
         {"cwsp-4GB", configFor("cwsp", 4.0)},
         {"cwsp-32GB", configFor("cwsp", 32.0)},
     };
-
-    using Bucket = std::map<std::string, std::vector<double>>;
-    auto per_suite =
-        std::make_shared<std::map<std::string, Bucket>>();
-
-    for (const auto &point : points) {
-        for (const auto &app : workloads::appTable()) {
-            registerMetric(
-                "fig14/" + std::string(point.label) + "/" + app.suite +
-                    "/" + app.name,
-                "slowdown",
-                [app, point, baseline, per_suite]() {
-                    double s = slowdown(app, point.cfg, baseline,
-                                        point.label);
-                    (*per_suite)[point.label][app.suite].push_back(s);
-                    (*per_suite)[point.label]["all"].push_back(s);
-                    return s;
-                });
-        }
-        std::vector<std::string> groups = workloads::suiteNames();
-        groups.push_back("all");
-        for (const auto &suite : groups) {
-            registerMetric("fig14/" + std::string(point.label) +
-                               "/gmean/" + suite,
-                           "slowdown", [point, suite, per_suite]() {
-                               return gmean(
-                                   (*per_suite)[point.label][suite]);
-                           });
-        }
-    }
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    registerSweep("fig14", points, core::makeSystemConfig("baseline"));
+    return benchMain(argc, argv);
 }

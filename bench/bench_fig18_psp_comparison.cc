@@ -44,8 +44,5 @@ main(int argc, char **argv)
     registerMetric("fig18/psp/gmean", "slowdown",
                    [psp_all]() { return gmean(*psp_all); });
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

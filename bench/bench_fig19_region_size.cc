@@ -34,8 +34,5 @@ main(int argc, char **argv)
                             : sum / static_cast<double>(all->size());
     });
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

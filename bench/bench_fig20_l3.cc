@@ -39,8 +39,5 @@ main(int argc, char **argv)
     registerMetric("fig20/gmean", "slowdown",
                    [all]() { return gmean(*all); });
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

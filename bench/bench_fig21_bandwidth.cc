@@ -23,8 +23,5 @@ main(int argc, char **argv)
     }
     registerSweep("fig21", points, core::makeSystemConfig("baseline"));
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

@@ -26,8 +26,5 @@ main(int argc, char **argv)
     }
     registerSweep("fig22", points, core::makeSystemConfig("baseline"));
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

@@ -24,8 +24,5 @@ main(int argc, char **argv)
     }
     registerSweep("fig23", points, core::makeSystemConfig("baseline"));
 
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return benchMain(argc, argv);
 }

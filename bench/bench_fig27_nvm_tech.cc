@@ -4,7 +4,8 @@
  * STT-MRAM, ReRAM). The paper reports a steady ~8%, marginally
  * higher on the faster technologies because the baseline benefits
  * more from fast memory than cWSP does. Each technology's slowdown
- * is normalized to the baseline on the same technology.
+ * is normalized to the baseline on the same technology (a per-point
+ * baseline override).
  */
 
 #include "bench_util.hh"
@@ -17,41 +18,15 @@ using namespace cwsp::bench;
 int
 main(int argc, char **argv)
 {
-    const char *techs[] = {"pmem", "sttram", "reram"};
-    using Bucket = std::map<std::string, std::vector<double>>;
-    auto buckets = std::make_shared<std::map<std::string, Bucket>>();
-
-    for (const char *tech : techs) {
-        for (const auto &app : workloads::appTable()) {
-            registerMetric(
-                "fig27/" + std::string(tech) + "/" + app.suite + "/" +
-                    app.name,
-                "slowdown", [app, tech, buckets]() {
-                    auto base = core::makeSystemConfig("baseline");
-                    base.hierarchy.tech = mem::nvmTechByName(tech);
-                    auto cw = core::makeSystemConfig("cwsp");
-                    cw.hierarchy.tech = mem::nvmTechByName(tech);
-                    double s = slowdown(
-                        app, cw, base, std::string("cwsp-") + tech,
-                        nullptr, std::string("base-") + tech);
-                    (*buckets)[tech][app.suite].push_back(s);
-                    (*buckets)[tech]["all"].push_back(s);
-                    return s;
-                });
-        }
-        std::vector<std::string> groups = workloads::suiteNames();
-        groups.push_back("all");
-        for (const auto &suite : groups) {
-            registerMetric("fig27/" + std::string(tech) + "/gmean/" +
-                               suite,
-                           "slowdown", [tech, suite, buckets]() {
-                               return gmean((*buckets)[tech][suite]);
-                           });
-        }
+    std::vector<SweepPoint> points;
+    for (const char *tech : {"pmem", "sttram", "reram"}) {
+        auto cw = core::makeSystemConfig("cwsp");
+        cw.hierarchy.tech = mem::nvmTechByName(tech);
+        auto base = core::makeSystemConfig("baseline");
+        base.hierarchy.tech = mem::nvmTechByName(tech);
+        points.push_back(SweepPoint{tech, cw, base,
+                                    std::string("base-") + tech});
     }
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    registerSweep("fig27", points, core::makeSystemConfig("baseline"));
+    return benchMain(argc, argv);
 }

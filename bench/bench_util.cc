@@ -1,10 +1,71 @@
 #include "bench_util.hh"
 
 #include <cmath>
-#include <functional>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "sim/logging.hh"
 
 namespace cwsp::bench {
+
+namespace {
+
+/**
+ * Process-wide bench state. The old implementation memoized runs in
+ * a function-local `static std::map` with no locking — a latent data
+ * race the moment two threads bench; everything here is guarded and
+ * the simulations themselves run through the BatchRunner engine.
+ */
+struct BenchState
+{
+    std::mutex mu;
+    driver::BatchConfig runnerConfig;
+    std::unique_ptr<driver::BatchRunner> runner;
+    /** (app.name | key) -> result; references handed out are stable. */
+    std::map<std::string, core::RunResult> memo;
+    /** Design points queued for benchMain's parallel prefetch. */
+    std::vector<driver::DesignPoint> pending;
+    std::vector<std::string> pendingMemoKeys;
+    std::set<std::string> pendingSeen;
+};
+
+BenchState &
+state()
+{
+    static BenchState s;
+    return s;
+}
+
+/** The runner is created on first use with the configured options. */
+driver::BatchRunner &
+runnerLocked(BenchState &st)
+{
+    if (!st.runner)
+        st.runner =
+            std::make_unique<driver::BatchRunner>(st.runnerConfig);
+    return *st.runner;
+}
+
+std::string
+memoKey(const workloads::AppProfile &app, const std::string &key)
+{
+    return app.name + "|" + key;
+}
+
+} // namespace
+
+driver::BatchRunner &
+batchRunner()
+{
+    auto &st = state();
+    std::lock_guard<std::mutex> lk(st.mu);
+    return runnerLocked(st);
+}
 
 core::RunResult
 runApp(const workloads::AppProfile &app,
@@ -19,11 +80,15 @@ const core::RunResult &
 cachedRun(const workloads::AppProfile &app,
           const core::SystemConfig &config, const std::string &key)
 {
-    static std::map<std::string, core::RunResult> cache;
-    std::string full = app.name + "|" + key;
-    auto it = cache.find(full);
-    if (it == cache.end())
-        it = cache.emplace(full, runApp(app, config)).first;
+    auto &st = state();
+    std::lock_guard<std::mutex> lk(st.mu);
+    std::string full = memoKey(app, key);
+    auto it = st.memo.find(full);
+    if (it == st.memo.end()) {
+        auto r = runnerLocked(st).run(
+            driver::DesignPoint{app, config});
+        it = st.memo.emplace(full, std::move(r)).first;
+    }
     return it->second;
 }
 
@@ -45,8 +110,11 @@ slowdown(const workloads::AppProfile &app,
 double
 gmean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    if (values.empty()) {
+        cwsp_warn("gmean over an empty bucket — misconfigured sweep "
+                  "or bar cases filtered out; reporting NaN");
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     double log_sum = 0.0;
     for (double v : values)
         log_sum += std::log(v);
@@ -71,23 +139,49 @@ registerMetric(const std::string &bench_name,
 }
 
 void
+prefetchPoint(const workloads::AppProfile &app,
+              const core::SystemConfig &config, const std::string &key)
+{
+    auto &st = state();
+    std::lock_guard<std::mutex> lk(st.mu);
+    std::string full = memoKey(app, key);
+    if (!st.pendingSeen.insert(full).second)
+        return;
+    st.pending.push_back(driver::DesignPoint{app, config});
+    st.pendingMemoKeys.push_back(std::move(full));
+}
+
+void
 registerSweep(const std::string &fig,
               const std::vector<SweepPoint> &points,
               const core::SystemConfig &baseline)
 {
-    using Bucket = std::map<std::string, std::vector<double>>;
+    // suite -> (app name -> slowdown), per point label. Keyed by app
+    // so a re-run of a bar case (--benchmark_repetitions, repeated
+    // --benchmark_filter selections) overwrites its own slot instead
+    // of appending a duplicate bar that would skew the gmeans.
+    using AppMap = std::map<std::string, double>;
+    using Bucket = std::map<std::string, AppMap>;
     auto buckets = std::make_shared<std::map<std::string, Bucket>>();
 
     for (const auto &point : points) {
+        const core::SystemConfig &base =
+            point.baselineOverride ? *point.baselineOverride
+                                   : baseline;
+        const std::string base_key = point.baselineKey;
+        const std::string point_key = fig + "-" + point.label;
         for (const auto &app : workloads::appTable()) {
+            prefetchPoint(app, base, base_key);
+            prefetchPoint(app, point.config, point_key);
             registerMetric(
                 fig + "/" + point.label + "/" + app.suite + "/" +
                     app.name,
-                "slowdown", [app, point, baseline, fig, buckets]() {
-                    double s = slowdown(app, point.config, baseline,
-                                        fig + "-" + point.label);
-                    (*buckets)[point.label][app.suite].push_back(s);
-                    (*buckets)[point.label]["all"].push_back(s);
+                "slowdown",
+                [app, point, base, base_key, point_key, buckets]() {
+                    double s = slowdown(app, point.config, base,
+                                        point_key, nullptr, base_key);
+                    (*buckets)[point.label][app.suite][app.name] = s;
+                    (*buckets)[point.label]["all"][app.name] = s;
                     return s;
                 });
         }
@@ -96,11 +190,102 @@ registerSweep(const std::string &fig,
         for (const auto &suite : groups) {
             registerMetric(fig + "/" + point.label + "/gmean/" + suite,
                            "slowdown", [point, suite, buckets]() {
-                               return gmean(
-                                   (*buckets)[point.label][suite]);
+                               std::vector<double> values;
+                               for (const auto &[name, s] :
+                                    (*buckets)[point.label][suite])
+                                   values.push_back(s);
+                               return gmean(values);
                            });
         }
     }
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    bool use_disk = true;
+    std::string cache_dir;
+
+    // Strip our flags before google-benchmark parses argv.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            if (a.compare(0, n, flag) != 0)
+                return nullptr;
+            if (a.size() > n && a[n] == '=')
+                return argv[i] + n + 1;
+            if (a.size() == n && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (const char *v = value("--jobs")) {
+            jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (const char *v = value("--cache-dir")) {
+            cache_dir = v;
+        } else if (a == "--no-result-cache") {
+            use_disk = false;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+
+    {
+        auto &st = state();
+        std::lock_guard<std::mutex> lk(st.mu);
+        cwsp_assert(!st.runner,
+                    "benchMain must configure the runner before any "
+                    "cachedRun call");
+        st.runnerConfig.jobs = jobs;
+        st.runnerConfig.useDiskCache = use_disk;
+        st.runnerConfig.cacheDir = cache_dir;
+    }
+
+    benchmark::Initialize(&argc, argv);
+
+    // Parallel prefetch: evaluate every registered design point
+    // across the worker pool (sharing compiled modules and hitting
+    // the persistent cache) before the single-threaded cases run.
+    std::vector<driver::DesignPoint> points;
+    std::vector<std::string> keys;
+    {
+        auto &st = state();
+        std::lock_guard<std::mutex> lk(st.mu);
+        points.swap(st.pending);
+        keys.swap(st.pendingMemoKeys);
+        st.pendingSeen.clear();
+    }
+    if (!points.empty()) {
+        auto &runner = batchRunner();
+        auto results = runner.runAll(points);
+        auto &st = state();
+        std::lock_guard<std::mutex> lk(st.mu);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            st.memo.emplace(keys[i], std::move(results[i]));
+        auto s = runner.stats();
+        std::fprintf(stderr,
+                     "batch: %zu points (%llu simulated, %llu disk "
+                     "hits, %llu memory hits), %llu compiles (%llu "
+                     "module-cache hits), jobs=%u\n",
+                     points.size(),
+                     (unsigned long long)s.simulated,
+                     (unsigned long long)s.diskHits,
+                     (unsigned long long)s.memoryHits,
+                     (unsigned long long)s.modulesCompiled,
+                     (unsigned long long)s.moduleCacheHits,
+                     jobs != 0 ? jobs
+                               : std::max(
+                                     1u,
+                                     std::thread::
+                                         hardware_concurrency()));
+    }
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
 }
 
 } // namespace cwsp::bench

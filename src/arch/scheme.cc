@@ -35,11 +35,32 @@ Scheme::Scheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
 void
 Scheme::enableRecording(std::vector<StoreRecord> *stores,
                         std::vector<RegionEvent> *regions,
-                        std::vector<IoRecord> *io)
+                        std::vector<IoRecord> *io,
+                        std::uint64_t expected_instrs)
 {
     storeLog_ = stores;
     regionLog_ = regions;
     ioLog_ = io;
+    if (expected_instrs != 0) {
+        // Roughly a quarter of committed instructions are stores and
+        // regions average tens of instructions; cap the reservations
+        // so a generous instruction *budget* (the common case: the
+        // run finishes far earlier) cannot balloon into hundreds of
+        // megabytes of untouched log memory. Past the cap the vectors
+        // fall back to geometric growth.
+        constexpr std::uint64_t kMaxStoreReserve = 1u << 20;
+        constexpr std::uint64_t kMaxRegionReserve = 1u << 17;
+        constexpr std::uint64_t kMaxIoReserve = 1u << 14;
+        if (stores)
+            stores->reserve(static_cast<std::size_t>(
+                std::min(expected_instrs / 4, kMaxStoreReserve)));
+        if (regions)
+            regions->reserve(static_cast<std::size_t>(
+                std::min(expected_instrs / 16, kMaxRegionReserve)));
+        if (io)
+            io->reserve(static_cast<std::size_t>(
+                std::min(expected_instrs / 64, kMaxIoReserve)));
+    }
 }
 
 void

@@ -150,10 +150,18 @@ class Scheme : public interp::CommitSink
     /** Mean dynamic instructions per region across all cores. */
     double meanRegionInstrs() const;
 
-    /** Persisted stores recorded when recording is enabled. */
+    /**
+     * Persisted stores recorded when recording is enabled.
+     *
+     * @param expected_instrs instruction-budget estimate of the run;
+     * when nonzero the recording vectors are reserve()d up front
+     * (capped) so multi-million-store runs don't pay repeated
+     * reallocation+copy of the logs mid-recording.
+     */
     void enableRecording(std::vector<StoreRecord> *stores,
                          std::vector<RegionEvent> *regions,
-                         std::vector<IoRecord> *io = nullptr);
+                         std::vector<IoRecord> *io = nullptr,
+                         std::uint64_t expected_instrs = 0);
 
     std::uint64_t pbFullStalls() const;
     std::uint64_t rbtFullStalls() const;

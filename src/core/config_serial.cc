@@ -1,0 +1,108 @@
+#include "core/config_serial.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "sim/hash.hh"
+
+namespace cwsp::core {
+
+namespace {
+
+/** Exact, locale-independent rendering of a double. */
+void
+putDouble(std::ostream &os, double v)
+{
+    os << hex64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putCache(std::ostream &os, const mem::CacheConfig &c)
+{
+    os << c.name << ',' << c.sizeBytes << ',' << c.ways << ','
+       << c.hitLatency << ',' << c.sharedAcrossCores;
+}
+
+void
+putCompiler(std::ostream &os, const compiler::CompilerOptions &o)
+{
+    os << "compiler{" << o.instrument << ',' << o.cutMemoryAntideps
+       << ',' << o.cutRegisterAntideps << ','
+       << o.boundariesAtLoopHeaders << ',' << o.boundariesAtCalls
+       << ',' << o.boundariesAtSync << ',' << o.maxRegionInstrs << ','
+       << o.insertCheckpoints << ',' << o.pruneCheckpoints << ','
+       << o.buildRecoverySlices << '}';
+}
+
+void
+putHierarchy(std::ostream &os, const mem::HierarchyConfig &h)
+{
+    os << "hierarchy{sram[";
+    for (const auto &lvl : h.sramLevels) {
+        putCache(os, lvl);
+        os << ';';
+    }
+    os << "],dram$=" << h.hasDramCache << ':';
+    putCache(os, h.dramCache);
+    os << ",tech{" << h.tech.name << ',' << h.tech.readCycles << ','
+       << h.tech.writeCycles << ',';
+    putDouble(os, h.tech.writeBytesPerCycle);
+    os << ',' << h.tech.interconnectCycles << '}';
+    os << ",mcs=" << h.numMcs << ",wpq=" << h.wpqCapacity
+       << ",logsvc=";
+    putDouble(os, h.logServiceFactor);
+    os << ",wb=" << h.wbCapacity << '/' << h.wbDrainCycles
+       << ",l1one=" << h.chargeFirstLevelAsOne
+       << ",dropllc=" << h.dropLlcDirtyEvictions
+       << ",wpqdelay=" << h.wpqLoadDelay
+       << ",wbdelay=" << h.wbPersistDelay
+       << ",dramevict=" << h.dramEvictionDelay << '}';
+}
+
+void
+putScheme(std::ostream &os, const arch::SchemeConfig &s)
+{
+    os << "scheme{" << s.name << ",path{";
+    putDouble(os, s.path.bandwidthGBs);
+    os << ',' << s.path.oneWayLatency << ','
+       << s.path.numaExtraCycles << '}';
+    os << ",pb=" << s.pbCapacity << ",rbt=" << s.rbtCapacity
+       << ",feat{" << s.features.persistPath << ','
+       << s.features.mcSpeculation << ',' << s.features.wbDelay << ','
+       << s.features.wpqDelay << ',' << s.features.stallAtBoundaries
+       << '}' << ",llf=";
+    putDouble(os, s.loadLatencyFactor);
+    os << ",capri=" << s.capriRedoLines << ",replay=" << s.replayMlp
+       << '}';
+}
+
+} // namespace
+
+void
+serializeSystemConfig(std::ostream &os, const SystemConfig &config)
+{
+    putCompiler(os, config.compiler);
+    os << ';';
+    putHierarchy(os, config.hierarchy);
+    os << ';';
+    putScheme(os, config.scheme);
+    os << ";cores=" << config.numCores;
+}
+
+std::string
+systemConfigKey(const SystemConfig &config)
+{
+    std::ostringstream os;
+    serializeSystemConfig(os, config);
+    return os.str();
+}
+
+std::string
+compilerOptionsKey(const compiler::CompilerOptions &opts)
+{
+    std::ostringstream os;
+    putCompiler(os, opts);
+    return os.str();
+}
+
+} // namespace cwsp::core

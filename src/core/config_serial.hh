@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Canonical serialization of a SystemConfig: every field that can
+ * influence a simulation's outcome rendered into one deterministic,
+ * newline-free string. Two configs produce the same string iff they
+ * describe the same design point, so the string (content-hashed) is
+ * the cache identity used by the batch runner's compiled-module and
+ * persistent result caches.
+ *
+ * Doubles are rendered as their IEEE-754 bit patterns, not decimal,
+ * so round-tripping and cross-process identity are exact.
+ */
+
+#ifndef CWSP_CORE_CONFIG_SERIAL_HH
+#define CWSP_CORE_CONFIG_SERIAL_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/config.hh"
+
+namespace cwsp::core {
+
+/** Append the canonical form of @p config to @p os (no newlines). */
+void serializeSystemConfig(std::ostream &os,
+                           const SystemConfig &config);
+
+/** Canonical single-line key for @p config. */
+std::string systemConfigKey(const SystemConfig &config);
+
+/** Canonical single-line key for compiler options alone (module
+ *  cache: one compile is shared by every scheme config that uses the
+ *  same compiler profile). */
+std::string compilerOptionsKey(const compiler::CompilerOptions &opts);
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_CONFIG_SERIAL_HH

@@ -248,7 +248,7 @@ WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
 
     RecordingBundle bundle;
     scheme_->enableRecording(&bundle.stores, &bundle.regions,
-                             &bundle.io);
+                             &bundle.io, max_instrs);
 
     std::vector<std::unique_ptr<interp::Interpreter>> cores;
     cores.reserve(threads.size());

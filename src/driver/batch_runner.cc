@@ -1,0 +1,437 @@
+#include "driver/batch_runner.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "core/config_serial.hh"
+#include "sim/hash.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace cwsp::driver {
+
+namespace {
+
+/** Render a double exactly (IEEE-754 bit pattern). */
+std::string
+doubleBits(double v)
+{
+    return hex64(std::bit_cast<std::uint64_t>(v));
+}
+
+bool
+parseDoubleBits(const std::string &tok, double &out)
+{
+    if (tok.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : tok) {
+        bits <<= 4;
+        if (c >= '0' && c <= '9')
+            bits |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = std::bit_cast<double>(bits);
+    return true;
+}
+
+/**
+ * Cache-entry field order. Adding/removing RunResult fields changes
+ * the format; bump kResultCacheVersion when that happens.
+ */
+void
+writeResult(std::ostream &os, const core::RunResult &r)
+{
+    os << "cycles " << r.cycles << '\n'
+       << "instructions " << r.instructions << '\n';
+    os << "returnValues " << r.returnValues.size();
+    for (Word w : r.returnValues)
+        os << ' ' << w;
+    os << '\n';
+    os << "meanRegionInstrs " << doubleBits(r.meanRegionInstrs) << '\n'
+       << "meanWbOccupancy " << doubleBits(r.meanWbOccupancy) << '\n'
+       << "wpqHits " << r.wpqHits << '\n'
+       << "nvmReads " << r.nvmReads << '\n'
+       << "l1Accesses " << r.l1Accesses << '\n'
+       << "l1Misses " << r.l1Misses << '\n'
+       << "dramCacheHits " << r.dramCacheHits << '\n'
+       << "dramCacheMisses " << r.dramCacheMisses << '\n'
+       << "pbFullStalls " << r.pbFullStalls << '\n'
+       << "rbtFullStalls " << r.rbtFullStalls << '\n'
+       << "wbPersistDelays " << r.wbPersistDelays << '\n'
+       << "end\n";
+}
+
+template <typename T>
+bool
+readField(std::istream &is, const char *name, T &out)
+{
+    std::string tag;
+    return (is >> tag >> out) && tag == name;
+}
+
+bool
+readDoubleField(std::istream &is, const char *name, double &out)
+{
+    std::string tag, tok;
+    return (is >> tag >> tok) && tag == name &&
+           parseDoubleBits(tok, out);
+}
+
+bool
+readResult(std::istream &is, core::RunResult &r)
+{
+    if (!readField(is, "cycles", r.cycles) ||
+        !readField(is, "instructions", r.instructions))
+        return false;
+    std::string tag;
+    std::size_t n = 0;
+    if (!(is >> tag >> n) || tag != "returnValues" || n > 4096)
+        return false;
+    r.returnValues.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(is >> r.returnValues[i]))
+            return false;
+    }
+    if (!readDoubleField(is, "meanRegionInstrs", r.meanRegionInstrs) ||
+        !readDoubleField(is, "meanWbOccupancy", r.meanWbOccupancy) ||
+        !readField(is, "wpqHits", r.wpqHits) ||
+        !readField(is, "nvmReads", r.nvmReads) ||
+        !readField(is, "l1Accesses", r.l1Accesses) ||
+        !readField(is, "l1Misses", r.l1Misses) ||
+        !readField(is, "dramCacheHits", r.dramCacheHits) ||
+        !readField(is, "dramCacheMisses", r.dramCacheMisses) ||
+        !readField(is, "pbFullStalls", r.pbFullStalls) ||
+        !readField(is, "rbtFullStalls", r.rbtFullStalls) ||
+        !readField(is, "wbPersistDelays", r.wbPersistDelays))
+        return false;
+    return (is >> tag) && tag == "end";
+}
+
+std::string
+resolveCacheDir(const BatchConfig &config)
+{
+    if (!config.cacheDir.empty())
+        return config.cacheDir;
+    if (const char *env = std::getenv("CWSP_CACHE_DIR");
+        env && *env)
+        return env;
+    return ".cwsp-cache";
+}
+
+} // namespace
+
+struct BatchRunner::Impl
+{
+    std::mutex resultsMu;
+    std::map<std::string, core::RunResult> results;
+    std::map<std::string, std::shared_future<core::RunResult>>
+        inflight;
+
+    std::mutex modulesMu;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const ir::Module>>>
+        modules;
+
+    std::atomic<std::uint64_t> simulated{0};
+    std::atomic<std::uint64_t> memoryHits{0};
+    std::atomic<std::uint64_t> diskHits{0};
+    std::atomic<std::uint64_t> modulesCompiled{0};
+    std::atomic<std::uint64_t> moduleCacheHits{0};
+};
+
+BatchRunner::BatchRunner(BatchConfig config)
+    : impl_(std::make_unique<Impl>()), config_(std::move(config)),
+      cacheDir_(resolveCacheDir(config_))
+{
+}
+
+BatchRunner::~BatchRunner() = default;
+
+std::string
+BatchRunner::pointKey(const DesignPoint &point)
+{
+    std::ostringstream os;
+    workloads::serializeProfile(os, point.app);
+    os << '|';
+    core::serializeSystemConfig(os, point.config);
+    os << "|entry=" << point.entry << "|instrs=" << point.maxInstrs;
+    return os.str();
+}
+
+std::string
+BatchRunner::pathForKey(const std::string &key) const
+{
+    std::uint64_t h = fnv1a64(key);
+    h = fnv1a64(config_.versionStamp, h);
+    return (fs::path(cacheDir_) / (hex64(h) + ".result")).string();
+}
+
+std::string
+BatchRunner::cachePath(const DesignPoint &point) const
+{
+    return pathForKey(pointKey(point));
+}
+
+bool
+BatchRunner::loadFromDisk(const std::string &key,
+                          core::RunResult &out) const
+{
+    std::ifstream in(pathForKey(key));
+    if (!in)
+        return false;
+    std::string header, stamp;
+    if (!(in >> header >> stamp) || header != "cwsp-result-cache" ||
+        stamp != config_.versionStamp)
+        return false;
+    // The stored key is echoed verbatim (single line): a hash
+    // collision or truncated file reads back as a miss, never as a
+    // wrong result.
+    std::string tag;
+    if (!(in >> tag) || tag != "key")
+        return false;
+    in.ignore(1); // the separating space
+    std::string stored;
+    if (!std::getline(in, stored) || stored != key)
+        return false;
+    return readResult(in, out);
+}
+
+void
+BatchRunner::storeToDisk(const std::string &key,
+                         const core::RunResult &r) const
+{
+    std::error_code ec;
+    fs::create_directories(cacheDir_, ec);
+    if (ec) {
+        cwsp_warn("result cache: cannot create ", cacheDir_, ": ",
+                  ec.message());
+        return;
+    }
+    // Write-to-temp + rename so concurrent processes never observe a
+    // partially written entry.
+    std::string final_path = pathForKey(key);
+    std::ostringstream tmp_name;
+    tmp_name << final_path << ".tmp." << ::getpid() << '.'
+             << std::hash<std::thread::id>{}(
+                    std::this_thread::get_id());
+    {
+        std::ofstream out(tmp_name.str(),
+                          std::ios::trunc | std::ios::binary);
+        if (!out) {
+            cwsp_warn("result cache: cannot write ", tmp_name.str());
+            return;
+        }
+        out << "cwsp-result-cache " << config_.versionStamp << '\n';
+        out << "key " << key << '\n';
+        writeResult(out, r);
+        if (!out) {
+            cwsp_warn("result cache: short write to ",
+                      tmp_name.str());
+            return;
+        }
+    }
+    fs::rename(tmp_name.str(), final_path, ec);
+    if (ec) {
+        cwsp_warn("result cache: rename failed: ", ec.message());
+        fs::remove(tmp_name.str(), ec);
+    }
+}
+
+std::shared_ptr<const ir::Module>
+BatchRunner::moduleFor(const workloads::AppProfile &app,
+                       const compiler::CompilerOptions &options)
+{
+    std::string key = workloads::profileKey(app) + "|" +
+                      core::compilerOptionsKey(options);
+    std::promise<std::shared_ptr<const ir::Module>> promise;
+    std::shared_future<std::shared_ptr<const ir::Module>> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(impl_->modulesMu);
+        auto it = impl_->modules.find(key);
+        if (it != impl_->modules.end()) {
+            impl_->moduleCacheHits.fetch_add(
+                1, std::memory_order_relaxed);
+            fut = it->second;
+        } else {
+            owner = true;
+            fut = promise.get_future().share();
+            impl_->modules.emplace(key, fut);
+        }
+    }
+    if (!owner)
+        return fut.get();
+
+    impl_->modulesCompiled.fetch_add(1, std::memory_order_relaxed);
+    try {
+        std::shared_ptr<const ir::Module> mod =
+            workloads::buildApp(app, options);
+        promise.set_value(mod);
+        return mod;
+    } catch (...) {
+        // Un-cache the failed compile so a later retry is possible,
+        // then propagate to this caller and any waiters.
+        {
+            std::lock_guard<std::mutex> lk(impl_->modulesMu);
+            impl_->modules.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+core::RunResult
+BatchRunner::compute(const DesignPoint &point, const std::string &key)
+{
+    if (config_.useDiskCache) {
+        core::RunResult r;
+        if (loadFromDisk(key, r)) {
+            impl_->diskHits.fetch_add(1, std::memory_order_relaxed);
+            return r;
+        }
+    }
+    auto mod = moduleFor(point.app, point.config.compiler);
+    core::WholeSystemSim sim(*mod, point.config);
+    core::RunResult r = sim.run(point.entry, {}, point.maxInstrs);
+    impl_->simulated.fetch_add(1, std::memory_order_relaxed);
+    if (config_.useDiskCache)
+        storeToDisk(key, r);
+    return r;
+}
+
+core::RunResult
+BatchRunner::run(const DesignPoint &point)
+{
+    const std::string key = pointKey(point);
+    std::promise<core::RunResult> promise;
+    std::shared_future<core::RunResult> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(impl_->resultsMu);
+        auto done = impl_->results.find(key);
+        if (done != impl_->results.end()) {
+            impl_->memoryHits.fetch_add(1,
+                                        std::memory_order_relaxed);
+            return done->second;
+        }
+        auto inf = impl_->inflight.find(key);
+        if (inf != impl_->inflight.end()) {
+            // Another worker is computing this exact point; share it.
+            impl_->memoryHits.fetch_add(1,
+                                        std::memory_order_relaxed);
+            fut = inf->second;
+        } else {
+            owner = true;
+            fut = promise.get_future().share();
+            impl_->inflight.emplace(key, fut);
+        }
+    }
+    if (!owner)
+        return fut.get();
+
+    try {
+        core::RunResult r = compute(point, key);
+        {
+            std::lock_guard<std::mutex> lk(impl_->resultsMu);
+            impl_->results.emplace(key, r);
+            impl_->inflight.erase(key);
+        }
+        promise.set_value(r);
+        return r;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lk(impl_->resultsMu);
+            impl_->inflight.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+std::vector<core::RunResult>
+BatchRunner::runAll(const std::vector<DesignPoint> &points)
+{
+    std::vector<core::RunResult> out(points.size());
+    if (points.empty())
+        return out;
+
+    std::size_t jobs =
+        config_.jobs != 0
+            ? config_.jobs
+            : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, points.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            out[i] = run(points[i]);
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMu;
+    std::exception_ptr firstError;
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            try {
+                out[i] = run(points[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(errMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return out;
+}
+
+BatchStats
+BatchRunner::stats() const
+{
+    BatchStats s;
+    s.simulated = impl_->simulated.load();
+    s.memoryHits = impl_->memoryHits.load();
+    s.diskHits = impl_->diskHits.load();
+    s.modulesCompiled = impl_->modulesCompiled.load();
+    s.moduleCacheHits = impl_->moduleCacheHits.load();
+    return s;
+}
+
+void
+BatchRunner::clearMemoryCaches()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->resultsMu);
+        cwsp_assert(impl_->inflight.empty(),
+                    "clearMemoryCaches with runs in flight");
+        impl_->results.clear();
+    }
+    std::lock_guard<std::mutex> lk(impl_->modulesMu);
+    impl_->modules.clear();
+}
+
+} // namespace cwsp::driver

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * BatchRunner: the parallel batch simulation engine. Evaluates a
+ * list of (AppProfile, SystemConfig) design points across a worker
+ * thread pool with results bit-identical to a sequential run — each
+ * point's simulation is single-threaded and self-contained, the pool
+ * only schedules whole points — and layers two caches underneath:
+ *
+ *  1. a compiled-module cache keyed by (app parameters, compiler
+ *     options), so one workloads::buildApp compile is shared
+ *     read-only by every scheme config of a sweep instead of being
+ *     redone per design point (an ir::Module is immutable once laid
+ *     out; the interpreter only reads it), and
+ *
+ *  2. a persistent on-disk result cache keyed by a content hash over
+ *     the canonical app-profile + SystemConfig serialization plus a
+ *     code-version stamp, so e.g. the 38-app baseline sweep is
+ *     simulated once across *all* bench binaries and repeat
+ *     invocations rather than once per process.
+ *
+ * Identical design points submitted concurrently are de-duplicated
+ * in flight: the first caller computes, the rest wait on the same
+ * future. Everything here is thread-safe; the previous bench-local
+ * `static std::map` memoization it replaces was not.
+ *
+ * Cache invalidation: entries embed BatchConfig::versionStamp
+ * (default kResultCacheVersion). Bump kResultCacheVersion whenever a
+ * change to the simulator can alter any RunResult; stale entries are
+ * then ignored (and overwritten on the next store). Entries also
+ * echo their full canonical key, so a hash collision degrades to a
+ * cache miss, never a wrong result.
+ */
+
+#ifndef CWSP_DRIVER_BATCH_RUNNER_HH
+#define CWSP_DRIVER_BATCH_RUNNER_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/whole_system_sim.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp::driver {
+
+/**
+ * Code-version stamp baked into every persistent cache entry. Bump
+ * the suffix whenever simulator timing or semantics change in a way
+ * that can alter results.
+ */
+inline constexpr const char *kResultCacheVersion = "cwsp-results-v1";
+
+/** One unit of work: run @p app under @p config to completion. */
+struct DesignPoint
+{
+    workloads::AppProfile app;
+    core::SystemConfig config;
+    /** Entry point (part of the cache identity). */
+    std::string entry = "main";
+    /** Instruction budget (part of the cache identity). */
+    std::uint64_t maxInstrs = 2'000'000'000;
+};
+
+/** Runner configuration. */
+struct BatchConfig
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Consult/populate the persistent on-disk result cache. */
+    bool useDiskCache = true;
+    /**
+     * Result-cache directory. Empty = $CWSP_CACHE_DIR, falling back
+     * to ".cwsp-cache" in the working directory. Created on demand.
+     */
+    std::string cacheDir;
+    /** Version stamp for cache entries (tests override this). */
+    std::string versionStamp = kResultCacheVersion;
+};
+
+/** Where results came from (all counters are cumulative). */
+struct BatchStats
+{
+    std::uint64_t simulated = 0;      ///< actually ran the simulator
+    std::uint64_t memoryHits = 0;     ///< in-process result cache
+    std::uint64_t diskHits = 0;       ///< persistent result cache
+    std::uint64_t modulesCompiled = 0;
+    std::uint64_t moduleCacheHits = 0;
+};
+
+/** The parallel batch engine. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchConfig config = {});
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /**
+     * Evaluate one design point through the cache stack (thread-safe;
+     * concurrent identical points are computed once).
+     */
+    core::RunResult run(const DesignPoint &point);
+
+    /**
+     * Evaluate @p points across the worker pool. Results are returned
+     * in input order and are bit-identical to calling run() on each
+     * point sequentially, for any jobs count.
+     */
+    std::vector<core::RunResult>
+    runAll(const std::vector<DesignPoint> &points);
+
+    /**
+     * Compiled-module cache lookup: build-and-compile once per
+     * (app parameters, compiler options), then share read-only.
+     */
+    std::shared_ptr<const ir::Module>
+    moduleFor(const workloads::AppProfile &app,
+              const compiler::CompilerOptions &options);
+
+    /** Canonical cache identity of @p point (before hashing). */
+    static std::string pointKey(const DesignPoint &point);
+
+    /** On-disk path a point's result is stored at. */
+    std::string cachePath(const DesignPoint &point) const;
+
+    const BatchConfig &config() const { return config_; }
+    std::string cacheDir() const { return cacheDir_; }
+    BatchStats stats() const;
+
+    /** Drop the in-process caches (the disk cache is untouched). */
+    void clearMemoryCaches();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    BatchConfig config_;
+    std::string cacheDir_; ///< resolved from config/env
+
+    core::RunResult compute(const DesignPoint &point,
+                            const std::string &key);
+    bool loadFromDisk(const std::string &key,
+                      core::RunResult &out) const;
+    void storeToDisk(const std::string &key,
+                     const core::RunResult &r) const;
+    std::string pathForKey(const std::string &key) const;
+};
+
+} // namespace cwsp::driver
+
+#endif // CWSP_DRIVER_BATCH_RUNNER_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small non-cryptographic hashing helpers. FNV-1a is used for
+ * content-addressing cache entries (batch-runner result cache,
+ * module cache): stable across runs and platforms, unlike
+ * std::hash, so on-disk cache keys survive process restarts.
+ */
+
+#ifndef CWSP_SIM_HASH_HH
+#define CWSP_SIM_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cwsp {
+
+/** 64-bit FNV-1a over @p data, continuing from @p seed. */
+constexpr std::uint64_t
+fnv1a64(const char *data, std::size_t size,
+        std::uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a64(const std::string &s,
+        std::uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    return fnv1a64(s.data(), s.size(), seed);
+}
+
+/** Fixed-width lowercase-hex rendering of @p h (16 chars). */
+inline std::string
+hex64(std::uint64_t h)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace cwsp
+
+#endif // CWSP_SIM_HASH_HH

@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include <sstream>
+
 #include "compiler/pass_manager.hh"
 #include "sim/logging.hh"
 
@@ -44,6 +46,72 @@ suiteNames()
         "cpu2006", "cpu2017", "miniapps", "splash3", "whisper",
         "stamp"};
     return names;
+}
+
+void
+serializeProfile(std::ostream &os, const AppProfile &app)
+{
+    os << "app{" << app.name << ',' << app.suite << ','
+       << static_cast<unsigned>(app.kind) << ',';
+    switch (app.kind) {
+      case KernelKind::Mix: {
+        const auto &p = app.mix;
+        os << "mix{" << p.iterations << ',' << p.unroll << ','
+           << p.hotWords << ',' << p.warmWords << ',' << p.coldLines
+           << ',' << p.hotPct << ',' << p.warmPct << ',' << p.coldPct
+           << ',' << p.storePct << ',' << p.computeOps << ','
+           << p.coldWordStride << ',' << p.callEvery << ','
+           << p.prunableDerived << ',' << p.sharedReadWrite << ','
+           << p.seed << '}';
+        break;
+      }
+      case KernelKind::PChase: {
+        const auto &p = app.pchase;
+        os << "pchase{" << p.nodes << ',' << p.stride << ',' << p.hops
+           << ',' << p.storeEvery << ',' << p.nodeStrideBytes << '}';
+        break;
+      }
+      case KernelKind::Gups: {
+        const auto &p = app.gups;
+        os << "gups{" << p.tableWords << ',' << p.updates << ','
+           << p.readModifyWrite << ',' << p.seed << '}';
+        break;
+      }
+      case KernelKind::KvStore: {
+        const auto &p = app.kv;
+        os << "kv{" << p.buckets << ',' << p.logWords << ',' << p.ops
+           << ',' << p.readPct << ',' << p.seed << '}';
+        break;
+      }
+      case KernelKind::NBody: {
+        const auto &p = app.nbody;
+        os << "nbody{" << p.particles << ',' << p.neighbors << ','
+           << p.timesteps << ',' << p.prunableDerived << '}';
+        break;
+      }
+      case KernelKind::TreeSearch: {
+        const auto &p = app.tree;
+        os << "tree{" << p.nodes << ',' << p.depth << ',' << p.queries
+           << ',' << p.storeEvery << ',' << p.seed << ','
+           << p.callEvery << '}';
+        break;
+      }
+      case KernelKind::AtomicMix: {
+        const auto &p = app.atomic;
+        os << "atomic{" << p.tableWords << ',' << p.counters << ','
+           << p.txs << ',' << p.opsPerTx << ',' << p.seed << '}';
+        break;
+      }
+    }
+    os << '}';
+}
+
+std::string
+profileKey(const AppProfile &app)
+{
+    std::ostringstream os;
+    serializeProfile(os, app);
+    return os.str();
 }
 
 std::unique_ptr<ir::Module>

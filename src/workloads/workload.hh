@@ -10,6 +10,7 @@
 #define CWSP_WORKLOADS_WORKLOAD_HH
 
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,18 @@ const AppProfile &appByName(const std::string &name);
 
 /** Suite names in figure order. */
 const std::vector<std::string> &suiteNames();
+
+/**
+ * Append the canonical form of @p app to @p os: name, suite, kind,
+ * and the parameter struct selected by `kind` (inactive parameter
+ * structs are ignored — they cannot influence the built module).
+ * Deterministic and newline-free; the batch runner's module and
+ * result caches key on it.
+ */
+void serializeProfile(std::ostream &os, const AppProfile &app);
+
+/** Canonical single-line key for @p app. */
+std::string profileKey(const AppProfile &app);
 
 /** Build the app's module (uncompiled, laid out). */
 std::unique_ptr<ir::Module> buildKernel(const AppProfile &app);

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The parallel batch simulation engine: parallel-vs-sequential
+ * determinism, compiled-module sharing, in-flight de-duplication,
+ * the persistent on-disk result cache (hit/miss, version-stamp
+ * invalidation, collision safety), and the bench helpers layered on
+ * top (gmean edge cases).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_util.hh"
+#include "core/config.hh"
+#include "core/config_serial.hh"
+#include "driver/batch_runner.hh"
+#include "workloads/workload.hh"
+
+using namespace cwsp;
+
+namespace {
+
+/** A deliberately tiny roster app so every test runs in millis. */
+workloads::AppProfile
+tinyApp(const std::string &name, std::uint64_t iterations)
+{
+    workloads::AppProfile a;
+    a.name = name;
+    a.suite = "test";
+    a.kind = workloads::KernelKind::Mix;
+    a.mix.iterations = iterations;
+    a.mix.hotWords = 1 << 8;
+    a.mix.warmWords = 1 << 10;
+    a.mix.coldLines = 1 << 10;
+    a.mix.storePct = 50;
+    return a;
+}
+
+void
+expectSameResult(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.returnValues, b.returnValues);
+    EXPECT_EQ(a.meanRegionInstrs, b.meanRegionInstrs);
+    EXPECT_EQ(a.meanWbOccupancy, b.meanWbOccupancy);
+    EXPECT_EQ(a.wpqHits, b.wpqHits);
+    EXPECT_EQ(a.nvmReads, b.nvmReads);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.dramCacheHits, b.dramCacheHits);
+    EXPECT_EQ(a.dramCacheMisses, b.dramCacheMisses);
+    EXPECT_EQ(a.pbFullStalls, b.pbFullStalls);
+    EXPECT_EQ(a.rbtFullStalls, b.rbtFullStalls);
+    EXPECT_EQ(a.wbPersistDelays, b.wbPersistDelays);
+}
+
+driver::BatchConfig
+memOnly(unsigned jobs)
+{
+    driver::BatchConfig c;
+    c.jobs = jobs;
+    c.useDiskCache = false;
+    return c;
+}
+
+std::string
+freshCacheDir(const char *tag)
+{
+    auto dir = std::filesystem::path(::testing::TempDir()) /
+               (std::string("cwsp-cache-") + tag + "-XXXXXX");
+    std::string templ = dir.string();
+    char *made = ::mkdtemp(templ.data());
+    EXPECT_NE(made, nullptr);
+    return templ;
+}
+
+std::vector<driver::DesignPoint>
+crossProduct()
+{
+    std::vector<workloads::AppProfile> apps = {tinyApp("t-alpha", 60),
+                                               tinyApp("t-beta", 90)};
+    std::vector<driver::DesignPoint> points;
+    for (const auto &app : apps) {
+        for (const char *scheme :
+             {"baseline", "cwsp", "capri", "replaycache"}) {
+            points.push_back(driver::DesignPoint{
+                app, core::makeSystemConfig(scheme)});
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(BatchRunner, ParallelMatchesSequentialBitExactly)
+{
+    auto points = crossProduct();
+
+    driver::BatchRunner seq(memOnly(1));
+    driver::BatchRunner par(memOnly(8));
+    auto rs = seq.runAll(points);
+    auto rp = par.runAll(points);
+
+    ASSERT_EQ(rs.size(), points.size());
+    ASSERT_EQ(rp.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE(points[i].app.name + "/" +
+                     points[i].config.scheme.name);
+        expectSameResult(rs[i], rp[i]);
+    }
+}
+
+TEST(BatchRunner, MatchesDirectSimulation)
+{
+    auto app = tinyApp("t-direct", 80);
+    auto cfg = core::makeSystemConfig("cwsp");
+
+    auto direct = bench::runApp(app, cfg);
+
+    driver::BatchRunner runner(memOnly(4));
+    auto batched = runner.run(driver::DesignPoint{app, cfg});
+    expectSameResult(direct, batched);
+}
+
+TEST(BatchRunner, ModuleCompileSharedAcrossSchemeConfigs)
+{
+    auto app = tinyApp("t-modcache", 60);
+    // Three design points with identical compiler options but
+    // different hardware: one buildApp compile, shared read-only.
+    std::vector<driver::DesignPoint> points;
+    for (std::uint32_t pb : {50, 20, 10}) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.scheme.pbCapacity = pb;
+        points.push_back(driver::DesignPoint{app, cfg});
+    }
+
+    driver::BatchRunner runner(memOnly(1));
+    runner.runAll(points);
+    auto st = runner.stats();
+    EXPECT_EQ(st.simulated, 3u);
+    EXPECT_EQ(st.modulesCompiled, 1u);
+    EXPECT_EQ(st.moduleCacheHits, 2u);
+
+    // A different compiler profile does trigger a second compile.
+    runner.run(
+        driver::DesignPoint{app, core::makeSystemConfig("baseline")});
+    EXPECT_EQ(runner.stats().modulesCompiled, 2u);
+}
+
+TEST(BatchRunner, DuplicatePointsSimulateOnce)
+{
+    auto app = tinyApp("t-dup", 60);
+    auto cfg = core::makeSystemConfig("cwsp");
+    std::vector<driver::DesignPoint> points(
+        8, driver::DesignPoint{app, cfg});
+
+    driver::BatchRunner runner(memOnly(4));
+    auto results = runner.runAll(points);
+    EXPECT_EQ(runner.stats().simulated, 1u);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        expectSameResult(results[0], results[i]);
+}
+
+TEST(BatchRunner, DiskCacheHitAcrossRunnersAndMissOnVersionBump)
+{
+    std::string dir = freshCacheDir("version");
+    auto app = tinyApp("t-disk", 70);
+    driver::DesignPoint point{app, core::makeSystemConfig("cwsp")};
+
+    driver::BatchConfig cold;
+    cold.jobs = 1;
+    cold.cacheDir = dir;
+
+    core::RunResult first;
+    {
+        driver::BatchRunner runner(cold);
+        first = runner.run(point);
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().diskHits, 0u);
+        EXPECT_TRUE(
+            std::filesystem::exists(runner.cachePath(point)));
+    }
+
+    // A fresh runner (fresh process, conceptually) must not
+    // re-simulate: the result comes back from disk, bit-identical.
+    {
+        driver::BatchRunner runner(cold);
+        auto again = runner.run(point);
+        EXPECT_EQ(runner.stats().simulated, 0u);
+        EXPECT_EQ(runner.stats().diskHits, 1u);
+        expectSameResult(first, again);
+    }
+
+    // Bumping the code-version stamp invalidates every entry.
+    {
+        auto bumped = cold;
+        bumped.versionStamp = "cwsp-results-test-v2";
+        driver::BatchRunner runner(bumped);
+        auto again = runner.run(point);
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().diskHits, 0u);
+        expectSameResult(first, again);
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BatchRunner, CorruptOrMismatchedEntryIsAMissNotAWrongResult)
+{
+    std::string dir = freshCacheDir("corrupt");
+    auto app = tinyApp("t-corrupt", 70);
+    driver::DesignPoint point{app, core::makeSystemConfig("cwsp")};
+
+    driver::BatchConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir;
+
+    core::RunResult first;
+    {
+        driver::BatchRunner runner(cfg);
+        first = runner.run(point);
+    }
+    // Truncate the stored entry; the loader must reject it and
+    // re-simulate rather than return garbage.
+    {
+        driver::BatchRunner probe(cfg);
+        std::ofstream(probe.cachePath(point), std::ios::trunc)
+            << "cwsp-result-cache cwsp-results-v1\nkey bogus\n";
+    }
+    {
+        driver::BatchRunner runner(cfg);
+        auto again = runner.run(point);
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().diskHits, 0u);
+        expectSameResult(first, again);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BatchRunner, CacheKeyCoversAppConfigAndBudget)
+{
+    auto app = tinyApp("t-key", 50);
+    driver::DesignPoint a{app, core::makeSystemConfig("cwsp")};
+
+    auto b = a;
+    b.config.scheme.pbCapacity += 1;
+    auto c = a;
+    c.config.scheme.path.bandwidthGBs = 32.0;
+    auto d = a;
+    d.config.compiler.pruneCheckpoints = false;
+    auto e = a;
+    e.maxInstrs = 123;
+    auto f = a;
+    f.app.mix.iterations += 1;
+
+    auto key = driver::BatchRunner::pointKey(a);
+    EXPECT_NE(key, driver::BatchRunner::pointKey(b));
+    EXPECT_NE(key, driver::BatchRunner::pointKey(c));
+    EXPECT_NE(key, driver::BatchRunner::pointKey(d));
+    EXPECT_NE(key, driver::BatchRunner::pointKey(e));
+    EXPECT_NE(key, driver::BatchRunner::pointKey(f));
+    // Identical points agree, and keys are single-line (the on-disk
+    // format echoes them for collision safety).
+    EXPECT_EQ(key, driver::BatchRunner::pointKey(a));
+    EXPECT_EQ(key.find('\n'), std::string::npos);
+}
+
+TEST(ConfigSerial, CanonicalKeyIsDeterministic)
+{
+    auto cfg = core::makeSystemConfig("capri");
+    EXPECT_EQ(core::systemConfigKey(cfg),
+              core::systemConfigKey(cfg));
+    auto other = cfg;
+    other.hierarchy.tech.readCycles += 1;
+    EXPECT_NE(core::systemConfigKey(cfg),
+              core::systemConfigKey(other));
+}
+
+TEST(BenchUtil, GmeanOfEmptyBucketIsNaNNotZero)
+{
+    EXPECT_TRUE(std::isnan(bench::gmean({})));
+    EXPECT_DOUBLE_EQ(bench::gmean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::gmean({3.0}), 3.0);
+}

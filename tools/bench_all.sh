@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Run every figure-reproduction bench binary through the parallel
+# batch runner and aggregate their google-benchmark JSON reports into
+# one BENCH_summary.json, seeding the perf-trajectory tracking.
+#
+# Every case is registered with Iterations(1) (a bar is one full
+# simulation), so no --benchmark_min_time is needed; the heavy lifting
+# happens in each binary's parallel prefetch pass, which shares the
+# persistent result cache across all binaries — the 38-app baseline
+# is simulated exactly once for the whole suite, and a second
+# invocation of this script re-simulates nothing at all.
+#
+# Usage:
+#   tools/bench_all.sh [extra bench args...]
+# Environment:
+#   BUILD_DIR  build tree containing bench/ (default: build)
+#   JOBS       worker threads per binary (default: nproc)
+#   OUT        aggregate output file (default: BENCH_summary.json)
+#   CWSP_CACHE_DIR  persistent result cache location (default:
+#                   .cwsp-cache in the working directory)
+
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+OUT=${OUT:-BENCH_summary.json}
+
+if ! ls "$BUILD_DIR"/bench/bench_* >/dev/null 2>&1; then
+    echo "error: no bench binaries under $BUILD_DIR/bench" \
+         "(build first: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+start=$(date +%s)
+for b in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo ">> $name (jobs=$JOBS)" >&2
+    "$b" --jobs "$JOBS" \
+         --benchmark_out="$tmp/$name.json" \
+         --benchmark_out_format=json \
+         "$@" > /dev/null
+done
+elapsed=$(( $(date +%s) - start ))
+
+python3 - "$OUT" "$elapsed" "$tmp"/*.json <<'EOF'
+import json
+import os
+import sys
+
+out_path, elapsed = sys.argv[1], int(sys.argv[2])
+merged = {"context": None, "wall_clock_s": elapsed, "binaries": []}
+for path in sys.argv[3:]:
+    with open(path) as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = data.get("context", {})
+    merged["binaries"].append({
+        "binary": os.path.basename(path)[: -len(".json")],
+        "benchmarks": data.get("benchmarks", []),
+    })
+merged["total_cases"] = sum(
+    len(b["benchmarks"]) for b in merged["binaries"])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print("wrote {}: {} binaries, {} cases, {}s wall clock".format(
+    out_path, len(merged["binaries"]), merged["total_cases"],
+    elapsed))
+EOF

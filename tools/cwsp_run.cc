@@ -1,24 +1,34 @@
 /**
  * @file
- * Command-line driver: run any roster application under any
- * persistence scheme with optional hardware overrides, crash
- * injection, full statistics, and IR dumps.
+ * Command-line driver: run any roster application — or a whole suite
+ * in parallel — under any persistence scheme with optional hardware
+ * overrides, crash injection, full statistics, and IR dumps.
  *
  *   cwsp_run --list
  *   cwsp_run --app radix --scheme cwsp --stats
  *   cwsp_run --app tpcc --scheme capri --bw 32
  *   cwsp_run --app fft --scheme cwsp --crash 0.5
  *   cwsp_run --app lbm --dump-ir | less
+ *   cwsp_run --all --scheme cwsp --jobs 8        # parallel batch
+ *   cwsp_run --suite splash3 --scheme capri --jobs 4
+ *
+ * Batch runs go through the driver::BatchRunner engine: design
+ * points are evaluated across a worker pool and memoized in the
+ * persistent result cache (see --cache-dir / CWSP_CACHE_DIR), so a
+ * repeat invocation re-simulates nothing.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/consistency_checker.hh"
 #include "core/whole_system_sim.hh"
+#include "driver/batch_runner.hh"
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
 #include "mem/nvm_device.hh"
@@ -35,7 +45,8 @@ usage()
         stderr,
         "usage: cwsp_run [options]\n"
         "  --list                 list applications and exit\n"
-        "  --app NAME             application to run (required)\n"
+        "  --app NAME             application to run (or `all`)\n"
+        "  --suite NAME           run every app of one suite\n"
         "  --scheme NAME          baseline|cwsp|capri|ido|replaycache|psp"
         " (default cwsp)\n"
         "  --bw GB                persist-path bandwidth (default 4)\n"
@@ -44,9 +55,14 @@ usage()
         "  --wpq N                WPQ entries (default 24)\n"
         "  --nvm TECH             pmem|sttram|reram|cxl-a..d"
         " (default pmem)\n"
+        "  --jobs N               batch worker threads"
+        " (default: all cores)\n"
+        "  --cache-dir DIR        persistent result cache location\n"
+        "  --no-cache             skip the persistent result cache\n"
         "  --crash FRAC           inject a power failure at FRAC of the"
-        " run\n"
-        "  --stats                dump component statistics\n"
+        " run (single app)\n"
+        "  --stats                dump component statistics (single"
+        " app)\n"
         "  --dump-ir              print the compiled IR and exit\n");
 }
 
@@ -60,18 +76,77 @@ arg(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+/** Parallel suite/roster evaluation through the batch engine. */
+int
+runBatch(const std::vector<workloads::AppProfile> &apps,
+         const std::string &scheme, const std::string &nvm,
+         const core::SystemConfig &cfg,
+         const core::SystemConfig &base_cfg, unsigned jobs,
+         bool use_cache, const std::string &cache_dir)
+{
+    driver::BatchConfig bc;
+    bc.jobs = jobs;
+    bc.useDiskCache = use_cache;
+    bc.cacheDir = cache_dir;
+    driver::BatchRunner runner(bc);
+
+    // Interleave (baseline, scheme) per app; results come back in
+    // input order regardless of the worker count.
+    std::vector<driver::DesignPoint> points;
+    points.reserve(2 * apps.size());
+    for (const auto &app : apps) {
+        points.push_back(driver::DesignPoint{app, base_cfg});
+        points.push_back(driver::DesignPoint{app, cfg});
+    }
+    auto results = runner.runAll(points);
+
+    std::printf("%-12s %-8s %12s %12s %9s\n", "app", "suite",
+                "instrs", "cycles", "slowdown");
+    double log_sum = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &base = results[2 * i];
+        const auto &r = results[2 * i + 1];
+        double s = static_cast<double>(r.cycles) /
+                   static_cast<double>(base.cycles);
+        log_sum += std::log(s);
+        std::printf("%-12s %-8s %12llu %12llu %8.3fx\n",
+                    apps[i].name.c_str(), apps[i].suite.c_str(),
+                    (unsigned long long)r.instructions,
+                    (unsigned long long)r.cycles, s);
+    }
+    std::printf("gmean slowdown of %s/%s over baseline: %.3fx\n",
+                scheme.c_str(), nvm.c_str(),
+                std::exp(log_sum /
+                         static_cast<double>(apps.size())));
+
+    auto st = runner.stats();
+    std::fprintf(stderr,
+                 "batch: %zu points, %llu simulated, %llu disk hits, "
+                 "%llu memory hits, %llu compiles (%llu module-cache "
+                 "hits)\n",
+                 points.size(), (unsigned long long)st.simulated,
+                 (unsigned long long)st.diskHits,
+                 (unsigned long long)st.memoryHits,
+                 (unsigned long long)st.modulesCompiled,
+                 (unsigned long long)st.moduleCacheHits);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string app_name;
+    std::string suite;
     std::string scheme = "cwsp";
     std::string nvm = "pmem";
+    std::string cache_dir;
     double bw = 4.0;
     unsigned rbt = 16, pb = 50, wpq = 24;
+    unsigned jobs = 0;
     double crash_frac = -1.0;
-    bool stats = false, dump_ir = false;
+    bool stats = false, dump_ir = false, use_cache = true;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -85,6 +160,10 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--app") {
             app_name = arg(argc, argv, i);
+        } else if (a == "--all") {
+            app_name = "all";
+        } else if (a == "--suite") {
+            suite = arg(argc, argv, i);
         } else if (a == "--scheme") {
             scheme = arg(argc, argv, i);
         } else if (a == "--nvm") {
@@ -99,6 +178,13 @@ main(int argc, char **argv)
         } else if (a == "--wpq") {
             wpq = static_cast<unsigned>(
                 std::atoi(arg(argc, argv, i)));
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
+        } else if (a == "--cache-dir") {
+            cache_dir = arg(argc, argv, i);
+        } else if (a == "--no-cache") {
+            use_cache = false;
         } else if (a == "--crash") {
             crash_frac = std::atof(arg(argc, argv, i));
         } else if (a == "--stats") {
@@ -110,12 +196,11 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (app_name.empty()) {
+    if (app_name.empty() && suite.empty()) {
         usage();
         return 2;
     }
 
-    const auto &app = workloads::appByName(app_name);
     auto cfg = core::makeSystemConfig(scheme);
     cfg.scheme.path.bandwidthGBs = bw;
     cfg.scheme.rbtCapacity = rbt;
@@ -123,15 +208,60 @@ main(int argc, char **argv)
     cfg.hierarchy.wpqCapacity = wpq;
     cfg.hierarchy.tech = mem::nvmTechByName(nvm);
 
+    auto base_cfg = core::makeSystemConfig("baseline");
+    base_cfg.hierarchy.tech = cfg.hierarchy.tech;
+
+    // Batch mode: every roster app or one suite, in parallel.
+    if (app_name == "all" || !suite.empty()) {
+        std::vector<workloads::AppProfile> apps =
+            suite.empty() ? workloads::appTable()
+                          : workloads::appsBySuite(suite);
+        if (apps.empty()) {
+            std::fprintf(stderr, "no applications in suite '%s'\n",
+                         suite.c_str());
+            return 2;
+        }
+        return runBatch(apps, scheme, nvm, cfg, base_cfg, jobs,
+                        use_cache, cache_dir);
+    }
+
+    const auto &app = workloads::appByName(app_name);
     auto mod = workloads::buildApp(app, cfg.compiler);
     if (dump_ir) {
         ir::print(std::cout, *mod);
         return 0;
     }
 
+    // Single-app measurement runs also go through the batch engine
+    // (the baseline/scheme pair in parallel, both persistently
+    // cached); --stats and --crash need the live simulator state and
+    // take the direct path below.
+    if (!stats && crash_frac < 0.0) {
+        driver::BatchConfig bc;
+        bc.jobs = jobs;
+        bc.useDiskCache = use_cache;
+        bc.cacheDir = cache_dir;
+        driver::BatchRunner runner(bc);
+        auto results =
+            runner.runAll({driver::DesignPoint{app, base_cfg},
+                           driver::DesignPoint{app, cfg}});
+        const auto &base = results[0];
+        const auto &r = results[1];
+        std::printf("%s on %s/%s: %llu instrs, %llu cycles "
+                    "(slowdown %.3fx), region %.1f instrs, "
+                    "PB stalls %llu, RBT stalls %llu\n",
+                    app.name.c_str(), scheme.c_str(), nvm.c_str(),
+                    (unsigned long long)r.instructions,
+                    (unsigned long long)r.cycles,
+                    static_cast<double>(r.cycles) /
+                        static_cast<double>(base.cycles),
+                    r.meanRegionInstrs,
+                    (unsigned long long)r.pbFullStalls,
+                    (unsigned long long)r.rbtFullStalls);
+        return 0;
+    }
+
     // Baseline reference for the slowdown column.
-    auto base_cfg = core::makeSystemConfig("baseline");
-    base_cfg.hierarchy.tech = cfg.hierarchy.tech;
     auto base_mod = workloads::buildApp(app, base_cfg.compiler);
     core::WholeSystemSim base_sim(*base_mod, base_cfg);
     auto base = base_sim.run("main");
