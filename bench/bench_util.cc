@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -206,6 +207,7 @@ benchMain(int argc, char **argv)
     unsigned jobs = 0;
     bool use_disk = true;
     std::string cache_dir;
+    std::string stats_json;
 
     // Strip our flags before google-benchmark parses argv.
     int out = 1;
@@ -225,6 +227,8 @@ benchMain(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(v));
         } else if (const char *v = value("--cache-dir")) {
             cache_dir = v;
+        } else if (const char *v = value("--stats-json")) {
+            stats_json = v;
         } else if (a == "--no-result-cache") {
             use_disk = false;
         } else {
@@ -285,6 +289,19 @@ benchMain(int argc, char **argv)
 
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    // Component stats aggregated over every point this process
+    // actually simulated (cache hits contribute nothing — their
+    // stats were folded in when the point was first computed).
+    if (!stats_json.empty()) {
+        std::ofstream f(stats_json);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        batchRunner().exportAggregateJson(f);
+    }
     return 0;
 }
 

@@ -109,9 +109,11 @@ driver::BatchRunner &batchRunner();
 
 /**
  * Shared main body for every bench binary: parses and strips the
- * runner flags (`--jobs N`, `--cache-dir DIR`, `--no-result-cache`),
- * evaluates all queued design points across the worker pool, then
- * hands argv to google-benchmark and runs the registered cases.
+ * runner flags (`--jobs N`, `--cache-dir DIR`, `--no-result-cache`,
+ * `--stats-json FILE`), evaluates all queued design points across
+ * the worker pool, then hands argv to google-benchmark and runs the
+ * registered cases. With `--stats-json` the runner's aggregate
+ * component statistics are written as hierarchical JSON on exit.
  */
 int benchMain(int argc, char **argv);
 

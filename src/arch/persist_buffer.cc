@@ -23,8 +23,16 @@ PersistBuffer::reserve(Tick now)
         start = releaseTimes_.front();
         releaseTimes_.pop_front();
         ++fullStalls_;
+        if (trace_) {
+            trace_->record(sim::TraceEventKind::PbStall, lane_, now,
+                           start - now);
+        }
     }
     pendingReservation_ = true;
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::PbEnqueue, lane_, start,
+                       0, releaseTimes_.size() + 1);
+    }
     return start;
 }
 
@@ -38,6 +46,10 @@ PersistBuffer::complete(Tick ack_time)
         ack_time = releaseTimes_.back();
     releaseTimes_.push_back(ack_time);
     pendingReservation_ = false;
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::PbDrain, lane_, ack_time,
+                       0, releaseTimes_.size());
+    }
 }
 
 } // namespace cwsp::arch

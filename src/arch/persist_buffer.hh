@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cwsp::arch {
@@ -37,12 +38,22 @@ class PersistBuffer
     std::uint64_t reservations() const { return reservations_; }
     std::uint64_t fullStalls() const { return fullStalls_; }
 
+    /** Attach a trace sink; events are tagged with @p lane. */
+    void
+    setTrace(sim::TraceBuffer *trace, std::uint16_t lane)
+    {
+        trace_ = trace;
+        lane_ = lane;
+    }
+
   private:
     std::uint32_t capacity_;
     std::deque<Tick> releaseTimes_; ///< FIFO of slot release times
     std::uint64_t reservations_ = 0;
     std::uint64_t fullStalls_ = 0;
     bool pendingReservation_ = false;
+    sim::TraceBuffer *trace_ = nullptr;
+    std::uint16_t lane_ = 0;
 };
 
 } // namespace cwsp::arch

@@ -12,6 +12,19 @@ RegionBoundaryTable::RegionBoundaryTable(std::uint32_t capacity)
     cwsp_assert(capacity > 0, "RBT capacity must be positive");
 }
 
+void
+RegionBoundaryTable::retireEntry(const ClosedEntry &entry)
+{
+    if (!trace_)
+        return;
+    // Two views of the same instant: the RBT slot frees (rbt
+    // category) and the region is fully persisted (region category).
+    trace_->record(sim::TraceEventKind::RbtRetire, lane_,
+                   entry.freeTime, 0, entry.id);
+    trace_->record(sim::TraceEventKind::RegionPersist, lane_,
+                   entry.freeTime, 0, entry.id);
+}
+
 Tick
 RegionBoundaryTable::beginRegion(Tick now, RegionId id)
 {
@@ -20,28 +33,39 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
         // so its departure is the cascade max of its own persistence
         // and its predecessor's departure.
         Tick free_time = std::max(prevFreeTime_, currentPersistMax_);
-        freeTimes_.push_back(free_time);
+        closed_.push_back(ClosedEntry{free_time, currentId_});
         prevFreeTime_ = free_time;
     }
 
     // Retire departed entries.
-    while (!freeTimes_.empty() && freeTimes_.front() <= now)
-        freeTimes_.pop_front();
+    while (!closed_.empty() && closed_.front().freeTime <= now) {
+        retireEntry(closed_.front());
+        closed_.pop_front();
+    }
 
     Tick start = now;
-    if (freeTimes_.size() >= capacity_) {
+    if (closed_.size() >= capacity_) {
         // Wait until enough heads depart to make room.
-        std::size_t overflow = freeTimes_.size() - capacity_ + 1;
+        std::size_t overflow = closed_.size() - capacity_ + 1;
         for (std::size_t i = 0; i < overflow; ++i) {
-            start = freeTimes_.front();
-            freeTimes_.pop_front();
+            start = closed_.front().freeTime;
+            retireEntry(closed_.front());
+            closed_.pop_front();
         }
         ++fullStalls_;
+        if (trace_ && start > now) {
+            trace_->record(sim::TraceEventKind::RbtStall, lane_, now,
+                           start - now);
+        }
     }
 
     open_ = true;
     currentId_ = id;
     currentPersistMax_ = start;
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::RbtAlloc, lane_, start,
+                       0, id, closed_.size());
+    }
     return start;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cwsp::arch {
@@ -53,14 +54,33 @@ class RegionBoundaryTable
     std::uint64_t fullStalls() const { return fullStalls_; }
     std::uint32_t capacity() const { return capacity_; }
 
+    /** Attach a trace sink; events are tagged with @p lane. */
+    void
+    setTrace(sim::TraceBuffer *trace, std::uint16_t lane)
+    {
+        trace_ = trace;
+        lane_ = lane;
+    }
+
   private:
+    /** One closed-but-unpersisted region occupying an RBT slot. */
+    struct ClosedEntry
+    {
+        Tick freeTime = 0; ///< departure (fully persisted) time
+        RegionId id = 0;
+    };
+
     std::uint32_t capacity_;
-    std::deque<Tick> freeTimes_; ///< departure times of closed regions
+    std::deque<ClosedEntry> closed_; ///< closed regions, oldest first
     Tick prevFreeTime_ = 0;      ///< running cascade maximum
     Tick currentPersistMax_ = 0; ///< max store ack of the open region
     RegionId currentId_ = 0;
     bool open_ = false;
     std::uint64_t fullStalls_ = 0;
+    sim::TraceBuffer *trace_ = nullptr;
+    std::uint16_t lane_ = 0;
+
+    void retireEntry(const ClosedEntry &entry);
 };
 
 } // namespace cwsp::arch

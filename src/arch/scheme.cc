@@ -33,6 +33,18 @@ Scheme::Scheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
 }
 
 void
+Scheme::setTrace(sim::TraceBuffer *trace)
+{
+    trace_ = trace;
+    for (CoreId c = 0; c < static_cast<CoreId>(cores_.size()); ++c) {
+        auto lane = sim::coreLane(c);
+        cores_[c].pb.setTrace(trace, lane);
+        cores_[c].rbt.setTrace(trace, lane);
+        cores_[c].path.setTrace(trace, lane);
+    }
+}
+
+void
 Scheme::enableRecording(std::vector<StoreRecord> *stores,
                         std::vector<RegionEvent> *regions,
                         std::vector<IoRecord> *io,
@@ -127,6 +139,7 @@ Scheme::onCommit(const interp::CommitInfo &info)
       case interp::CommitKind::Boundary:
         ++cs.boundaries;
         cs.regionInstrSum += cs.instrs - cs.regionStartInstr;
+        regionInstrHist_.sample(cs.instrs - cs.regionStartInstr);
         cs.regionStartInstr = cs.instrs;
         cost = 1 + onBoundary(info.core, info, now + 1);
         cs.storesInRegion = 0;
@@ -149,6 +162,7 @@ Scheme::persistEntry(CoreId core, Addr addr, Tick now,
 
     Tick start = cs.pb.reserve(now);
     out.stall = start - now;
+    pbStallHist_.sample(out.stall);
 
     Tick arrival = cs.path.send(start, bytes, out.mc);
     // Speculative stores are undo-logged; checkpoint stores are
@@ -215,9 +229,20 @@ Scheme::beginRegion(CoreId core, const interp::CommitInfo &info,
                     Tick now, bool use_rbt_capacity)
 {
     CoreState &cs = cores_[core];
+    if (trace_ && trace_->wants(sim::kTraceRegion) &&
+        cs.rbt.hasOpenRegion()) {
+        trace_->record(sim::TraceEventKind::RegionEnd,
+                       sim::coreLane(core), now, 0,
+                       cs.rbt.currentRegion());
+    }
     RegionId id = nextRegionId_++;
     Tick start = cs.rbt.beginRegion(now, id);
     Tick stall = use_rbt_capacity ? start - now : 0;
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::RegionBegin,
+                       sim::coreLane(core), now + stall, 0, id,
+                       info.staticRegion);
+    }
     if (regionLog_) {
         regionLog_->push_back(RegionEvent{id, core, now + stall,
                                           cs.rbt.currentSpecEnd(),

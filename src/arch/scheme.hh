@@ -150,6 +150,14 @@ class Scheme : public interp::CommitSink
     /** Mean dynamic instructions per region across all cores. */
     double meanRegionInstrs() const;
 
+    /** Dynamic instructions per region, sampled at every boundary. */
+    const Histogram &regionInstrHistogram() const
+    {
+        return regionInstrHist_;
+    }
+    /** PB back-pressure stall per persist-path round (cycles). */
+    const Histogram &pbStallHistogram() const { return pbStallHist_; }
+
     /**
      * Persisted stores recorded when recording is enabled.
      *
@@ -166,7 +174,15 @@ class Scheme : public interp::CommitSink
     std::uint64_t pbFullStalls() const;
     std::uint64_t rbtFullStalls() const;
 
+    /**
+     * Attach a trace sink; propagates to every core's persist buffer,
+     * RBT, and persist path. Subclasses with private persist
+     * machinery (Capri's redo buffers) extend the propagation.
+     */
+    virtual void setTrace(sim::TraceBuffer *trace);
+
   protected:
+    sim::TraceBuffer *trace_ = nullptr;
     struct CoreState
     {
         Tick cycle = 0;
@@ -204,6 +220,8 @@ class Scheme : public interp::CommitSink
     std::vector<StoreRecord> *storeLog_ = nullptr;
     std::vector<RegionEvent> *regionLog_ = nullptr;
     std::vector<IoRecord> *ioLog_ = nullptr;
+    Histogram regionInstrHist_{8, 64};
+    Histogram pbStallHist_{4, 64};
     CoreId hookCore_ = ~CoreId{0}; ///< core whose access is in flight
 
     // ---- subclass hooks; each returns extra cycles to charge ------

@@ -29,6 +29,16 @@ class CapriScheme final : public Scheme
     {
     }
 
+    void
+    setTrace(sim::TraceBuffer *trace) override
+    {
+        Scheme::setTrace(trace);
+        for (std::size_t c = 0; c < redo_.size(); ++c) {
+            redo_[c].setTrace(
+                trace, sim::coreLane(static_cast<CoreId>(c)));
+        }
+    }
+
   protected:
     /** Run one 64-byte line through redo buffer → path → WPQ. */
     PersistOutcome
@@ -112,7 +122,13 @@ class CapriScheme final : public Scheme
     Tick
     onSync(CoreId core, Tick now) override
     {
-        return drainPersists(core, now);
+        Tick stall = drainPersists(core, now);
+        if (trace_ && stall > 0) {
+            trace_->record(sim::TraceEventKind::SchemeDrain,
+                           sim::coreLane(core), now, stall,
+                           cores_[core].storesInRegion);
+        }
+        return stall;
     }
 
   private:

@@ -82,6 +82,10 @@ class CwspScheme final : public Scheme
             // persist-path entry charged off the critical path.
             CoreState &cs = cores_[core];
             McId mc = cs.path.nearMc();
+            if (trace_) {
+                trace_->record(sim::TraceEventKind::RsPointerWrite,
+                               sim::coreLane(core), now + stall);
+            }
             Tick arrival = cs.path.send(now + stall, kWordBytes, mc);
             hierarchy_->mc(mc).admitStore(arrival, kWordBytes, false,
                                           ir::Module::kCkptBase - 8);
@@ -94,8 +98,15 @@ class CwspScheme final : public Scheme
     {
         // Stores before a synchronization primitive must be persisted
         // before it commits (Section VIII).
-        return config_.features.persistPath ? drainPersists(core, now)
-                                            : 0;
+        if (!config_.features.persistPath)
+            return 0;
+        Tick stall = drainPersists(core, now);
+        if (trace_ && stall > 0) {
+            trace_->record(sim::TraceEventKind::SchemeDrain,
+                           sim::coreLane(core), now, stall,
+                           cores_[core].storesInRegion);
+        }
+        return stall;
     }
 };
 

@@ -66,6 +66,11 @@ class IdoScheme final : public Scheme
         // Two persist barriers around the boundary (Section I): wait
         // for all prior flushes, pay both fence costs.
         Tick stall = drainPersists(core, now) + 2 * kBarrierCost;
+        if (trace_) {
+            trace_->record(sim::TraceEventKind::SchemeDrain,
+                           sim::coreLane(core), now, stall,
+                           cores_[core].storesInRegion);
+        }
         stall += beginRegion(core, info, now + stall, false);
         return stall;
     }

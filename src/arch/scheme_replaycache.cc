@@ -63,6 +63,11 @@ class ReplayCacheScheme final : public Scheme
             std::uint32_t mlp = std::max(1u, config_.replayMlp);
             // Trailing barrier plus MLP-overlapped replay writes.
             stall = wlat + (stores * wlat) / mlp;
+            if (trace_) {
+                trace_->record(sim::TraceEventKind::SchemeDrain,
+                               sim::coreLane(core), now, stall,
+                               stores);
+            }
         }
         if (storeLog_) {
             for (std::size_t idx : pendingRecords_[core]) {

@@ -16,10 +16,14 @@ computeCrashState(Tick crash_tick,
                   const std::vector<arch::RegionEvent> &regions,
                   std::uint32_t num_cores,
                   const std::vector<Tick> &program_finished_at,
-                  const std::vector<arch::IoRecord> &io)
+                  const std::vector<arch::IoRecord> &io,
+                  sim::TraceBuffer *trace)
 {
     CrashState state;
     state.resume.resize(num_cores);
+
+    if (trace)
+        trace->record(sim::TraceEventKind::CrashInject, 0, crash_tick);
 
     // Region metadata: begin events per core in program order (only
     // those that actually happened before the crash).
@@ -125,9 +129,18 @@ computeCrashState(Tick crash_tick,
     state.liveLogRegions = logs.liveRegions();
 
     // 2. Revert speculative updates, newest region first (Section VII).
-    logs.replayReverse([&state](RegionId, Addr addr, Word old_value) {
+    logs.replayReverse([&](RegionId region, Addr addr,
+                           Word old_value) {
         state.nvm.write(addr, old_value);
         ++state.revertedStores;
+        if (trace) {
+            auto it = byId.find(region);
+            std::uint16_t lane =
+                it == byId.end() ? 0
+                                 : sim::coreLane(it->second->core);
+            trace->record(sim::TraceEventKind::UndoRollback, lane,
+                          crash_tick, 0, addr, region);
+        }
     });
 
     if (std::getenv("CWSP_CRASH_DEBUG")) {

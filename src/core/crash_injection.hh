@@ -59,13 +59,15 @@ struct CrashState
  * @param num_cores core count.
  * @param program_finished_at per-core completion cycle (kTickNever if
  *        the core was still running when recording stopped).
+ * @param trace    optional sink for CrashInject/UndoRollback events.
  */
 CrashState computeCrashState(
     Tick crash_tick, const std::vector<arch::StoreRecord> &stores,
     const std::vector<arch::RegionEvent> &regions,
     std::uint32_t num_cores,
     const std::vector<Tick> &program_finished_at,
-    const std::vector<arch::IoRecord> &io = {});
+    const std::vector<arch::IoRecord> &io = {},
+    sim::TraceBuffer *trace = nullptr);
 
 } // namespace cwsp::core
 

@@ -59,7 +59,8 @@ runRecoverySlice(interp::Interpreter &interp,
 
 bool
 prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
-              const RecordingBundle &bundle, const ir::Module &module)
+              const RecordingBundle &bundle, const ir::Module &module,
+              sim::TraceBuffer *trace, Tick when)
 {
     cwsp_assert(rp.hasWork, "prepareResume on an idle core");
     if (rp.restart)
@@ -74,7 +75,16 @@ prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
     const ir::Function &func = module.function(rp.func);
     cwsp_assert(rp.staticRegion < func.recoverySlices().size(),
                 "resume region has no recovery slice");
-    runRecoverySlice(interp, func.recoverySlices()[rp.staticRegion]);
+    const ir::RecoverySlice &slice =
+        func.recoverySlices()[rp.staticRegion];
+    runRecoverySlice(interp, slice);
+    if (trace) {
+        auto lane = sim::coreLane(interp.core());
+        trace->record(sim::TraceEventKind::RecoverySlice, lane, when,
+                      0, slice.ops.size(), rp.staticRegion);
+        trace->record(sim::TraceEventKind::RecoveryResume, lane, when,
+                      0, rp.region, 0);
+    }
 
     if (rp.resumeAfterAtomic) {
         // The region's atomic persisted before the failure and must

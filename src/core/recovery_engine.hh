@@ -30,11 +30,15 @@ void runRecoverySlice(interp::Interpreter &interp,
  * at @p rp using @p bundle's control snapshots, then run the recovery
  * slice. For restart points the caller must call start() instead.
  *
+ * @param trace optional sink for RecoverySlice/RecoveryResume events,
+ *        stamped at @p when (the crash instant; recovery itself is
+ *        untimed).
  * @return false when the resume point needs a full restart.
  */
 bool prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
                    const RecordingBundle &bundle,
-                   const ir::Module &module);
+                   const ir::Module &module,
+                   sim::TraceBuffer *trace = nullptr, Tick when = 0);
 
 } // namespace cwsp::core
 

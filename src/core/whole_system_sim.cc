@@ -118,6 +118,16 @@ WholeSystemSim::reset()
                                                   config_.numCores);
     scheme_ = arch::makeScheme(config_.scheme, *hierarchy_,
                                config_.numCores);
+    hierarchy_->setTrace(trace_);
+    scheme_->setTrace(trace_);
+}
+
+void
+WholeSystemSim::attachTrace(sim::TraceBuffer *trace)
+{
+    trace_ = trace;
+    hierarchy_->setTrace(trace_);
+    scheme_->setTrace(trace_);
 }
 
 RunResult
@@ -194,11 +204,11 @@ WholeSystemSim::run(const std::vector<ThreadSpec> &threads,
 }
 
 void
-WholeSystemSim::dumpStats(std::ostream &os) const
+WholeSystemSim::fillStats(StatsRegistry &reg,
+                          const std::string &prefix) const
 {
-    StatsRegistry reg;
     for (std::uint32_t c = 0; c < config_.numCores; ++c) {
-        std::string p = "core" + std::to_string(c) + ".";
+        std::string p = prefix + "core" + std::to_string(c) + ".";
         reg.counter(p + "instrs").inc(scheme_->instrs(c));
         reg.counter(p + "cycles").inc(scheme_->cycles(c));
         const auto &wb = hierarchy_->writeBuffer(c);
@@ -206,26 +216,55 @@ WholeSystemSim::dumpStats(std::ostream &os) const
         reg.counter(p + "wb.fullStalls").inc(wb.fullStalls());
         reg.counter(p + "wb.persistDelays").inc(wb.persistDelays());
     }
-    reg.counter("scheme.pbFullStalls").inc(scheme_->pbFullStalls());
-    reg.counter("scheme.rbtFullStalls").inc(scheme_->rbtFullStalls());
-    reg.average("scheme.regionInstrs")
+    reg.counter(prefix + "scheme.pbFullStalls")
+        .inc(scheme_->pbFullStalls());
+    reg.counter(prefix + "scheme.rbtFullStalls")
+        .inc(scheme_->rbtFullStalls());
+    reg.average(prefix + "scheme.regionInstrs")
         .sample(scheme_->meanRegionInstrs());
-    reg.counter("mem.l1.accesses").inc(hierarchy_->l1Accesses());
-    reg.counter("mem.l1.misses").inc(hierarchy_->l1Misses());
-    reg.counter("mem.dram$.hits").inc(hierarchy_->dramCacheHits());
-    reg.counter("mem.dram$.misses")
+    const auto &rih = scheme_->regionInstrHistogram();
+    reg.histogram(prefix + "scheme.regionInstrHist",
+                  rih.bucketWidth(), rih.buckets().size())
+        .mergeFrom(rih);
+    const auto &pbh = scheme_->pbStallHistogram();
+    reg.histogram(prefix + "scheme.pbStallHist", pbh.bucketWidth(),
+                  pbh.buckets().size())
+        .mergeFrom(pbh);
+    reg.counter(prefix + "mem.l1.accesses")
+        .inc(hierarchy_->l1Accesses());
+    reg.counter(prefix + "mem.l1.misses").inc(hierarchy_->l1Misses());
+    reg.counter(prefix + "mem.dram$.hits")
+        .inc(hierarchy_->dramCacheHits());
+    reg.counter(prefix + "mem.dram$.misses")
         .inc(hierarchy_->dramCacheMisses());
-    reg.counter("mem.nvm.reads").inc(hierarchy_->nvmReads());
-    reg.counter("mem.wpq.loadHits").inc(hierarchy_->wpqHits());
+    reg.counter(prefix + "mem.nvm.reads").inc(hierarchy_->nvmReads());
+    reg.counter(prefix + "mem.wpq.loadHits")
+        .inc(hierarchy_->wpqHits());
     for (McId m = 0; m < hierarchy_->numMcs(); ++m) {
-        std::string p = "mc" + std::to_string(m) + ".";
+        std::string p = prefix + "mc" + std::to_string(m) + ".";
         const auto &mc = hierarchy_->mc(m);
         reg.counter(p + "wpq.admissions").inc(mc.admissions());
         reg.counter(p + "wpq.fullStalls").inc(mc.fullStalls());
         reg.counter(p + "loggedStores").inc(mc.loggedStores());
         reg.counter(p + "evictionWrites").inc(mc.evictionWrites());
     }
+}
+
+void
+WholeSystemSim::dumpStats(std::ostream &os) const
+{
+    StatsRegistry reg;
+    fillStats(reg);
     reg.dump(os);
+}
+
+void
+WholeSystemSim::exportStatsJson(std::ostream &os) const
+{
+    StatsRegistry reg;
+    fillStats(reg);
+    reg.exportJson(os);
+    os << "\n";
 }
 
 RunResult
@@ -300,7 +339,7 @@ WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
     CrashState cs = computeCrashState(
         crash_tick, bundle.stores, bundle.regions,
         static_cast<std::uint32_t>(threads.size()), finished_at,
-        bundle.io);
+        bundle.io, trace_);
     out.persistedStores = cs.persistedStores;
     out.revertedStores = cs.revertedStores;
     out.ioStream = cs.releasedIo;
@@ -344,7 +383,14 @@ WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
         }
         out.resumeRegions.push_back(rp.restart ? 0 : rp.region);
         if (rp.restart ||
-            !prepareResume(*post[c], rp, bundle, *module_)) {
+            !prepareResume(*post[c], rp, bundle, *module_, trace_,
+                           crash_tick)) {
+            if (trace_) {
+                trace_->record(
+                    sim::TraceEventKind::RecoveryResume,
+                    sim::coreLane(static_cast<CoreId>(c)),
+                    crash_tick, 0, 0, 1);
+            }
             post[c]->start(threads[c].entry, threads[c].args,
                            null_sink);
         }

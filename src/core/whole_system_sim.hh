@@ -20,6 +20,7 @@
 #include "core/config.hh"
 #include "interp/interpreter.hh"
 #include "ir/ir.hh"
+#include "sim/trace.hh"
 
 namespace cwsp::core {
 
@@ -150,12 +151,33 @@ class WholeSystemSim
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Fill @p reg with the last run's component statistics (the same
+     * set dumpStats() prints, plus the scheme's histograms), prefixed
+     * with @p prefix. Lets callers aggregate many runs into one
+     * registry before exporting.
+     */
+    void fillStats(StatsRegistry &reg,
+                   const std::string &prefix = "") const;
+
+    /** Export the last run's statistics as hierarchical JSON. */
+    void exportStatsJson(std::ostream &os) const;
+
+    /**
+     * Attach an externally-owned trace buffer. The attachment
+     * survives the per-run reset (each run() re-propagates it to the
+     * freshly built scheme and hierarchy); pass nullptr to detach.
+     */
+    void attachTrace(sim::TraceBuffer *trace);
+    sim::TraceBuffer *trace() const { return trace_; }
+
   private:
     const ir::Module *module_;
     SystemConfig config_;
     std::unique_ptr<interp::SparseMemory> memory_;
     std::unique_ptr<mem::Hierarchy> hierarchy_;
     std::unique_ptr<arch::Scheme> scheme_;
+    sim::TraceBuffer *trace_ = nullptr;
     Tick lastCycles_ = 0;
 
     /** Rebuild hierarchy/scheme state for a fresh run. */

@@ -305,9 +305,24 @@ BatchRunner::compute(const DesignPoint &point, const std::string &key)
     core::WholeSystemSim sim(*mod, point.config);
     core::RunResult r = sim.run(point.entry, {}, point.maxInstrs);
     impl_->simulated.fetch_add(1, std::memory_order_relaxed);
+
+    // Fold this sim's component stats into the shared aggregate
+    // (mergeFrom locks the destination; the local registry is ours).
+    StatsRegistry local;
+    sim.fillStats(local);
+    local.counter("batch.simulatedRuns").inc();
+    aggregate_.mergeFrom(local);
+
     if (config_.useDiskCache)
         storeToDisk(key, r);
     return r;
+}
+
+void
+BatchRunner::exportAggregateJson(std::ostream &os) const
+{
+    aggregate_.exportJson(os);
+    os << "\n";
 }
 
 core::RunResult

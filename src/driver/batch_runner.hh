@@ -133,6 +133,18 @@ class BatchRunner
     std::string cacheDir() const { return cacheDir_; }
     BatchStats stats() const;
 
+    /**
+     * Component statistics aggregated over every point this runner
+     * actually simulated (workers merge their per-sim registries in
+     * thread-safely). Cache hits contribute nothing: their component
+     * stats were aggregated when the point was first computed,
+     * possibly by another process.
+     */
+    const StatsRegistry &aggregateStats() const { return aggregate_; }
+
+    /** Export aggregateStats() as hierarchical JSON. */
+    void exportAggregateJson(std::ostream &os) const;
+
     /** Drop the in-process caches (the disk cache is untouched). */
     void clearMemoryCaches();
 
@@ -141,6 +153,7 @@ class BatchRunner
     std::unique_ptr<Impl> impl_;
     BatchConfig config_;
     std::string cacheDir_; ///< resolved from config/env
+    StatsRegistry aggregate_; ///< merged per-sim stats (mutex inside)
 
     core::RunResult compute(const DesignPoint &point,
                             const std::string &key);

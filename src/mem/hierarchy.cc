@@ -165,6 +165,11 @@ Hierarchy::handleEviction(std::size_t level, CoreId core, Addr line,
             static_cast<double>(wb.occupancyAt(now)));
         Tick proceed = wb.insert(now, line, ready);
         stall += static_cast<std::uint32_t>(proceed - now);
+        if (trace_ && proceed > now && ready > now) {
+            trace_->record(sim::TraceEventKind::WbPersistDelay,
+                           sim::coreLane(core), now, proceed - now,
+                           line);
+        }
     }
 
     // Install the dirty line into the next level down.
@@ -260,9 +265,22 @@ Hierarchy::access(CoreId core, Addr addr, bool is_write, Tick now)
         ++wpqHits_;
         if (config_.wpqLoadDelay)
             lat += static_cast<std::uint32_t>(drain - now);
+        if (trace_) {
+            trace_->record(sim::TraceEventKind::WpqHit,
+                           sim::coreLane(core), now, 0, word,
+                           config_.wpqLoadDelay ? drain - now : 0);
+        }
     }
     out.latency += lat;
     return out;
+}
+
+void
+Hierarchy::setTrace(sim::TraceBuffer *trace)
+{
+    trace_ = trace;
+    for (auto &m : mcs_)
+        m->setTrace(trace);
 }
 
 double

@@ -132,7 +132,11 @@ class Hierarchy
     std::uint64_t l1Accesses() const;
     std::uint64_t l1Misses() const;
 
+    /** Attach a trace sink; propagates to the memory controllers. */
+    void setTrace(sim::TraceBuffer *trace);
+
   private:
+    sim::TraceBuffer *trace_ = nullptr;
     HierarchyConfig config_;
     std::uint32_t numCores_;
     /// caches_[level][coreOr0]: private levels have one per core.

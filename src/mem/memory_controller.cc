@@ -31,6 +31,10 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
         admit = slotFree_.front(); // wait for the oldest drain
         slotFree_.pop_front();
         ++fullStalls_;
+        if (trace_ && admit > arrival) {
+            trace_->record(sim::TraceEventKind::WpqFull, lane_,
+                           arrival, admit - arrival);
+        }
     }
 
     // Media drain: serialized at the device write bandwidth. The undo
@@ -39,6 +43,15 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
     Tick drained = start + serviceCycles(bytes, logged);
     mediaFree_ = drained;
     slotFree_.push_back(drained);
+
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::WpqAdmit, lane_, admit,
+                       drained - admit, word_addr, bytes);
+        if (logged) {
+            trace_->record(sim::TraceEventKind::UndoAppend, lane_,
+                           admit, 0, word_addr);
+        }
+    }
 
     inflight_[word_addr] = drained;
     if (++sinceCleanup_ >= 4096) {

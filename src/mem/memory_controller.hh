@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "mem/nvm_device.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cwsp::mem {
@@ -80,7 +81,17 @@ class MemoryController
     std::uint64_t loggedStores() const { return loggedStores_; }
     std::uint64_t evictionWrites() const { return evictionWrites_; }
 
+    /** Attach a trace sink (events land on this MC's lane). */
+    void
+    setTrace(sim::TraceBuffer *trace)
+    {
+        trace_ = trace;
+        lane_ = sim::mcLane(config_.id);
+    }
+
   private:
+    sim::TraceBuffer *trace_ = nullptr;
+    std::uint16_t lane_ = 0;
     McConfig config_;
     std::deque<Tick> slotFree_;  ///< WPQ slot release times (FIFO)
     Tick mediaFree_ = 0;         ///< media next-free time

@@ -30,6 +30,11 @@ PersistPath::send(Tick ready, std::uint32_t bytes, McId mc)
     Tick start = std::max(ready, linkFree_);
     linkFree_ = start + transfer;
 
+    if (trace_) {
+        trace_->record(sim::TraceEventKind::PathSend, lane_, start,
+                       transfer, bytes, mc);
+    }
+
     Tick latency = config_.oneWayLatency;
     if (mc != nearMc_)
         latency += config_.numaExtraCycles;

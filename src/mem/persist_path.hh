@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cwsp::mem {
@@ -61,6 +62,14 @@ class PersistPath
     /** The controller closest to this core (no NUMA penalty). */
     McId nearMc() const { return nearMc_; }
 
+    /** Attach a trace sink; events are tagged with @p lane. */
+    void
+    setTrace(sim::TraceBuffer *trace, std::uint16_t lane)
+    {
+        trace_ = trace;
+        lane_ = lane;
+    }
+
   private:
     PersistPathConfig config_;
     double bytesPerCycle_;
@@ -68,6 +77,8 @@ class PersistPath
     Tick linkFree_ = 0;
     std::uint64_t sent_ = 0;
     std::uint64_t bytes_ = 0;
+    sim::TraceBuffer *trace_ = nullptr;
+    std::uint16_t lane_ = 0;
 };
 
 } // namespace cwsp::mem

@@ -1,27 +1,37 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace cwsp {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/**
+ * Serializes warn/inform emission: BatchRunner workers log
+ * concurrently, and while POSIX makes a single fprintf atomic, glibc
+ * only guarantees that per call — interleaved messages from separate
+ * calls would shred the output. One mutexed fprintf per message.
+ */
+std::mutex g_logMutex;
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -47,15 +57,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(g_logMutex);
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform) {
+        std::lock_guard<std::mutex> lock(g_logMutex);
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
 }
 
 } // namespace detail

@@ -1,6 +1,8 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -17,10 +19,13 @@ void
 Histogram::sample(std::uint64_t v)
 {
     std::size_t idx = static_cast<std::size_t>(v / bucketWidth_);
-    if (idx >= counts_.size())
+    if (idx >= counts_.size()) {
         idx = counts_.size() - 1;
+        ++overflow_;
+    }
     ++counts_[idx];
     ++count_;
+    max_ = std::max(max_, v);
     sum_ += static_cast<double>(v);
 }
 
@@ -37,15 +42,45 @@ Histogram::percentile(double fraction) const
                 "percentile fraction out of range");
     if (count_ == 0)
         return 0;
-    std::uint64_t target =
-        static_cast<std::uint64_t>(fraction * static_cast<double>(count_));
+    // Rank of the answering sample: at least ceil(fraction * count)
+    // samples must fall at or below the returned value. fraction = 0
+    // asks for zero samples — nothing is below the answer, so 0.
+    auto target = static_cast<std::uint64_t>(std::ceil(
+        fraction * static_cast<double>(count_)));
+    if (target == 0)
+        return 0;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
-        if (seen >= target)
-            return (i + 1) * bucketWidth_ - 1;
+        if (seen >= target) {
+            // The overflow bucket's nominal edge is fabricated by
+            // the clamp in sample(); its samples span up to the true
+            // maximum, so report that instead of inventing a finite
+            // upper bound.
+            if (i + 1 == counts_.size())
+                return max_;
+            // Bucket upper edge, clamped to the largest observed
+            // sample (a lone sample of 3 in a width-10 bucket is
+            // p100 = 3, not 9).
+            std::uint64_t edge = (i + 1) * bucketWidth_ - 1;
+            return std::min(edge, max_);
+        }
     }
-    return counts_.size() * bucketWidth_ - 1;
+    return max_;
+}
+
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    cwsp_assert(bucketWidth_ == other.bucketWidth_ &&
+                    counts_.size() == other.counts_.size(),
+                "histogram merge requires identical bucket shape");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    overflow_ += other.overflow_;
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
 }
 
 void
@@ -53,7 +88,33 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     count_ = 0;
+    max_ = 0;
+    overflow_ = 0;
     sum_ = 0.0;
+}
+
+StatsRegistry::StatsRegistry(const StatsRegistry &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    counters_ = other.counters_;
+    averages_ = other.averages_;
+    histograms_ = other.histograms_;
+}
+
+StatsRegistry &
+StatsRegistry::operator=(const StatsRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    // Consistent order: address order avoids deadlock if two
+    // registries assign to each other concurrently.
+    std::lock(mutex_, other.mutex_);
+    std::lock_guard<std::mutex> l1(mutex_, std::adopt_lock);
+    std::lock_guard<std::mutex> l2(other.mutex_, std::adopt_lock);
+    counters_ = other.counters_;
+    averages_ = other.averages_;
+    histograms_ = other.histograms_;
+    return *this;
 }
 
 Counter &
@@ -97,6 +158,7 @@ StatsRegistry::averageValue(const std::string &name) const
 void
 StatsRegistry::dump(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[name, c] : counters_)
         os << name << " " << c.value() << "\n";
     for (const auto &[name, a] : averages_)
@@ -107,9 +169,141 @@ StatsRegistry::dump(std::ostream &os) const
     }
 }
 
+namespace {
+
+/** Tree node of the hierarchical export: a leaf value or children. */
+struct JsonNode
+{
+    std::string value; ///< pre-rendered JSON; empty = no leaf value
+    std::map<std::string, JsonNode> children;
+};
+
+void
+insertNode(JsonNode &root, const std::string &name, std::string value)
+{
+    JsonNode *node = &root;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t dot = name.find('.', pos);
+        if (dot == std::string::npos) {
+            node = &node->children[name.substr(pos)];
+            break;
+        }
+        node = &node->children[name.substr(pos, dot - pos)];
+        pos = dot + 1;
+    }
+    if (!node->children.empty()) {
+        // "a.b" exists and now "a.b.c" made it an interior node (or
+        // vice versa): keep the scalar under "self".
+        node->children["self"].value = std::move(value);
+    } else {
+        node->value = std::move(value);
+    }
+}
+
+void
+renderNode(std::ostream &os, const JsonNode &node)
+{
+    if (node.children.empty()) {
+        os << (node.value.empty() ? "null" : node.value);
+        return;
+    }
+    os << "{";
+    bool first = true;
+    if (!node.value.empty()) {
+        os << "\"self\":" << node.value;
+        first = false;
+    }
+    for (const auto &[key, child] : node.children) {
+        os << (first ? "" : ",") << "\"" << key << "\":";
+        first = false;
+        renderNode(os, child);
+    }
+    os << "}";
+}
+
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    return ss.str();
+}
+
+std::string
+renderHistogram(const Histogram &h)
+{
+    std::ostringstream ss;
+    ss << "{\"count\":" << h.count()
+       << ",\"mean\":" << jsonDouble(h.mean())
+       << ",\"p50\":" << h.percentile(0.50)
+       << ",\"p95\":" << h.percentile(0.95)
+       << ",\"p99\":" << h.percentile(0.99)
+       << ",\"max\":" << h.maxSample()
+       << ",\"overflow\":" << h.overflow()
+       << ",\"bucket_width\":" << h.bucketWidth() << ",\"buckets\":[";
+    // Trailing zero buckets carry no information; trim them.
+    const auto &b = h.buckets();
+    std::size_t last = b.size();
+    while (last > 0 && b[last - 1] == 0)
+        --last;
+    for (std::size_t i = 0; i < last; ++i)
+        ss << (i == 0 ? "" : ",") << b[i];
+    ss << "]}";
+    return ss.str();
+}
+
+} // namespace
+
+void
+StatsRegistry::exportJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonNode root;
+    for (const auto &[name, c] : counters_)
+        insertNode(root, name, std::to_string(c.value()));
+    for (const auto &[name, a] : averages_) {
+        std::ostringstream ss;
+        ss << "{\"mean\":" << jsonDouble(a.mean())
+           << ",\"count\":" << a.count()
+           << ",\"sum\":" << jsonDouble(a.sum()) << "}";
+        insertNode(root, name, ss.str());
+    }
+    for (const auto &[name, h] : histograms_)
+        insertNode(root, name, renderHistogram(h));
+    if (root.children.empty()) {
+        os << "{}";
+        return;
+    }
+    renderNode(os, root);
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other)
+{
+    if (this == &other)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].mergeFrom(c);
+    for (const auto &[name, a] : other.averages_)
+        averages_[name].mergeFrom(a);
+    for (const auto &[name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, h); // adopt shape and contents
+        else
+            it->second.mergeFrom(h);
+    }
+}
+
 void
 StatsRegistry::resetAll()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, c] : counters_)
         c.reset();
     for (auto &[name, a] : averages_)

@@ -1,0 +1,258 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cwsp::sim {
+
+namespace {
+
+std::uint64_t
+roundUpPow2(std::uint64_t v)
+{
+    if (v < 2)
+        return 2;
+    --v;
+    for (unsigned s = 1; s < 64; s <<= 1)
+        v |= v >> s;
+    return v + 1;
+}
+
+struct CategoryName
+{
+    const char *name;
+    TraceCategory category;
+};
+
+constexpr CategoryName kCategoryNames[] = {
+    {"region", kTraceRegion}, {"pb", kTracePb},
+    {"rbt", kTraceRbt},       {"wpq", kTraceWpq},
+    {"mc", kTraceMc},         {"wb", kTraceWb},
+    {"path", kTracePath},     {"crash", kTraceCrash},
+};
+
+} // namespace
+
+std::uint32_t
+parseTraceMask(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::istringstream is(spec);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask |= kTraceAll;
+            continue;
+        }
+        if (tok == "none")
+            continue;
+        bool found = false;
+        for (const auto &cn : kCategoryNames) {
+            if (tok == cn.name) {
+                mask |= cn.category;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            cwsp_fatal("unknown trace category '", tok,
+                       "'; valid: region, pb, rbt, wpq, mc, wb, "
+                       "path, crash, all, none");
+        }
+    }
+    return mask;
+}
+
+const char *
+traceCategoryName(TraceCategory category)
+{
+    for (const auto &cn : kCategoryNames) {
+        if (cn.category == category)
+            return cn.name;
+    }
+    return "?";
+}
+
+const char *
+traceKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::RegionBegin: return "region_begin";
+      case TraceEventKind::RegionEnd: return "region_end";
+      case TraceEventKind::RegionPersist: return "region_persist";
+      case TraceEventKind::SchemeDrain: return "scheme_drain";
+      case TraceEventKind::RsPointerWrite: return "rs_pointer_write";
+      case TraceEventKind::PbEnqueue: return "pb_enqueue";
+      case TraceEventKind::PbDrain: return "pb_drain";
+      case TraceEventKind::PbStall: return "pb_stall";
+      case TraceEventKind::RbtAlloc: return "rbt_alloc";
+      case TraceEventKind::RbtRetire: return "rbt_retire";
+      case TraceEventKind::RbtStall: return "rbt_stall";
+      case TraceEventKind::WpqAdmit: return "wpq_admit";
+      case TraceEventKind::WpqHit: return "wpq_hit";
+      case TraceEventKind::WpqFull: return "wpq_full";
+      case TraceEventKind::UndoAppend: return "undo_append";
+      case TraceEventKind::UndoRollback: return "undo_rollback";
+      case TraceEventKind::WbPersistDelay:
+        return "wb_persist_delay";
+      case TraceEventKind::PathSend: return "path_send";
+      case TraceEventKind::CrashInject: return "crash_inject";
+      case TraceEventKind::RecoverySlice: return "recovery_slice";
+      case TraceEventKind::RecoveryResume: return "recovery_resume";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-kind names of arg0/arg1 in the exported JSON (args block). */
+void
+argNames(TraceEventKind kind, const char *&a0, const char *&a1)
+{
+    a0 = nullptr;
+    a1 = nullptr;
+    switch (kind) {
+      case TraceEventKind::RegionBegin:
+        a0 = "region";
+        a1 = "static_region";
+        break;
+      case TraceEventKind::RegionEnd:
+      case TraceEventKind::RegionPersist:
+      case TraceEventKind::RbtRetire:
+        a0 = "region";
+        break;
+      case TraceEventKind::RbtAlloc:
+        a0 = "region";
+        a1 = "occupancy";
+        break;
+      case TraceEventKind::SchemeDrain:
+        a0 = "stores";
+        break;
+      case TraceEventKind::PbEnqueue:
+      case TraceEventKind::PbDrain:
+        a0 = "occupancy";
+        break;
+      case TraceEventKind::WpqAdmit:
+        a0 = "addr";
+        a1 = "bytes";
+        break;
+      case TraceEventKind::WpqHit:
+        a0 = "addr";
+        a1 = "extra_cycles";
+        break;
+      case TraceEventKind::UndoAppend:
+        a0 = "addr";
+        break;
+      case TraceEventKind::UndoRollback:
+        a0 = "addr";
+        a1 = "region";
+        break;
+      case TraceEventKind::WbPersistDelay:
+        a0 = "line";
+        break;
+      case TraceEventKind::PathSend:
+        a0 = "bytes";
+        a1 = "mc";
+        break;
+      case TraceEventKind::RecoverySlice:
+        a0 = "ops";
+        a1 = "static_region";
+        break;
+      case TraceEventKind::RecoveryResume:
+        a0 = "region";
+        a1 = "restart";
+        break;
+      case TraceEventKind::RsPointerWrite:
+      case TraceEventKind::PbStall:
+      case TraceEventKind::RbtStall:
+      case TraceEventKind::WpqFull:
+      case TraceEventKind::CrashInject:
+        break;
+    }
+}
+
+} // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity, std::uint32_t mask)
+    : slots_(roundUpPow2(capacity)), capMask_(slots_.size() - 1),
+      mask_(mask)
+{
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = h - n; i < h; ++i)
+        out.push_back(slots_[i & capMask_]);
+    return out;
+}
+
+void
+TraceBuffer::exportChromeJson(std::ostream &os) const
+{
+    auto events = snapshot();
+    // Chrome/Perfetto tolerate unsorted events but sorting keeps the
+    // output diffable and the JSON stream friendlier to stream
+    // parsers.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tick < b.tick;
+                     });
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+
+    // Thread-name metadata for every lane that appears.
+    std::map<std::uint16_t, bool> lanes;
+    for (const auto &ev : events)
+        lanes[ev.lane] = true;
+    for (const auto &[lane, unused] : lanes) {
+        (void)unused;
+        os << (first ? "" : ",");
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":"
+           << lane << ",\"args\":{\"name\":\"";
+        if (lane >= kMcLaneBase)
+            os << "mc" << (lane - kMcLaneBase);
+        else
+            os << "core" << lane;
+        os << "\"}}";
+    }
+
+    for (const auto &ev : events) {
+        const char *a0 = nullptr;
+        const char *a1 = nullptr;
+        argNames(ev.kind, a0, a1);
+        os << (first ? "" : ",");
+        first = false;
+        os << "{\"name\":\"" << traceKindName(ev.kind)
+           << "\",\"cat\":\""
+           << traceCategoryName(traceKindCategory(ev.kind))
+           << "\",\"pid\":0,\"tid\":" << ev.lane
+           << ",\"ts\":" << ev.tick;
+        if (ev.duration > 0)
+            os << ",\"ph\":\"X\",\"dur\":" << ev.duration;
+        else
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+        os << ",\"args\":{";
+        if (a0)
+            os << "\"" << a0 << "\":" << ev.arg0;
+        if (a1)
+            os << (a0 ? "," : "") << "\"" << a1 << "\":" << ev.arg1;
+        os << "}}";
+    }
+    os << "],\"otherData\":{\"recorded\":" << recorded()
+       << ",\"dropped\":" << dropped() << "}}";
+}
+
+} // namespace cwsp::sim

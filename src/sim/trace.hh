@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Structured event tracing: typed, categorized trace events recorded
+ * into a per-simulation ring buffer and exported as Chrome
+ * trace-event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Design constraints:
+ *  - One TraceBuffer per simulation instance, written only by the
+ *    thread driving that simulation (BatchRunner workers each own
+ *    their sims), so recording is a single store + index bump — no
+ *    locks on the hot path. The head index is a relaxed atomic so a
+ *    concurrent reader polling recorded() is well-defined.
+ *  - Category masks are checked inline before any argument
+ *    marshalling; a disabled category costs one load + branch
+ *    (<1% on the fig13 bench; see tests/test_stats_trace.cc).
+ *  - The ring keeps the newest events on overflow: for timing
+ *    debugging the tail of the run is the interesting part, and the
+ *    drop count is reported so truncation is never silent.
+ */
+
+#ifndef CWSP_SIM_TRACE_HH
+#define CWSP_SIM_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::sim {
+
+/** Event categories, usable as a bitmask (TraceBuffer::mask). */
+enum TraceCategory : std::uint32_t {
+    kTraceRegion = 1u << 0, ///< region begin/end/persist
+    kTracePb = 1u << 1,     ///< persist-buffer enqueue/drain/stall
+    kTraceRbt = 1u << 2,    ///< RBT alloc/retire/stall
+    kTraceWpq = 1u << 3,    ///< WPQ admit/load-hit/full
+    kTraceMc = 1u << 4,     ///< MC undo-log append/rollback
+    kTraceWb = 1u << 5,     ///< write-buffer stale-read delay
+    kTracePath = 1u << 6,   ///< persist-path link transfers
+    kTraceCrash = 1u << 7,  ///< crash injection + recovery replay
+};
+
+inline constexpr std::uint32_t kTraceAll = 0xffffffffu;
+inline constexpr std::uint32_t kTraceNone = 0;
+
+/**
+ * Parse a comma-separated category list ("region,pb,rbt", "all",
+ * "none") into a mask. Unknown names raise cwsp_fatal listing the
+ * valid choices.
+ */
+std::uint32_t parseTraceMask(const std::string &spec);
+
+/** Typed event kinds (each belongs to exactly one category). */
+enum class TraceEventKind : std::uint16_t {
+    // kTraceRegion
+    RegionBegin,   ///< arg0 = region id, arg1 = static region
+    RegionEnd,     ///< arg0 = region id
+    RegionPersist, ///< arg0 = region id (RBT entry departed)
+    SchemeDrain,   ///< arg0 = stores drained; dur = stall cycles
+    RsPointerWrite, ///< cWSP: RS pointer persisted (Fig. 9 step 4)
+    // kTracePb
+    PbEnqueue, ///< arg0 = occupancy after reserve
+    PbDrain,   ///< tick = MC ack releasing the head slot
+    PbStall,   ///< dur = commit stall from a full PB
+    // kTraceRbt
+    RbtAlloc,  ///< arg0 = region id; dur = boundary stall
+    RbtRetire, ///< tick = departure of a closed region
+    RbtStall,  ///< dur = boundary stall from a full RBT
+    // kTraceWpq
+    WpqAdmit, ///< arg0 = word addr, arg1 = bytes; dur = queue wait
+    WpqHit,   ///< arg0 = word addr, arg1 = extra load cycles
+    WpqFull,  ///< dur = admission wait for a slot
+    // kTraceMc
+    UndoAppend,   ///< arg0 = word addr (speculative store logged)
+    UndoRollback, ///< arg0 = word addr, arg1 = region (recovery)
+    // kTraceWb
+    WbPersistDelay, ///< arg0 = line addr; dur = stale-read hold
+    // kTracePath
+    PathSend, ///< arg0 = bytes, arg1 = target MC; dur = transfer
+    // kTraceCrash
+    CrashInject,    ///< tick = crash instant
+    RecoverySlice,  ///< arg0 = slice ops, arg1 = static region
+    RecoveryResume, ///< arg0 = resume region, arg1 = 1 if restart
+};
+
+/** Category of @p kind (constexpr so the mask check inlines). */
+constexpr TraceCategory
+traceKindCategory(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::RegionBegin:
+      case TraceEventKind::RegionEnd:
+      case TraceEventKind::RegionPersist:
+      case TraceEventKind::SchemeDrain:
+      case TraceEventKind::RsPointerWrite:
+        return kTraceRegion;
+      case TraceEventKind::PbEnqueue:
+      case TraceEventKind::PbDrain:
+      case TraceEventKind::PbStall:
+        return kTracePb;
+      case TraceEventKind::RbtAlloc:
+      case TraceEventKind::RbtRetire:
+      case TraceEventKind::RbtStall:
+        return kTraceRbt;
+      case TraceEventKind::WpqAdmit:
+      case TraceEventKind::WpqHit:
+      case TraceEventKind::WpqFull:
+        return kTraceWpq;
+      case TraceEventKind::UndoAppend:
+      case TraceEventKind::UndoRollback:
+        return kTraceMc;
+      case TraceEventKind::WbPersistDelay:
+        return kTraceWb;
+      case TraceEventKind::PathSend:
+        return kTracePath;
+      case TraceEventKind::CrashInject:
+      case TraceEventKind::RecoverySlice:
+      case TraceEventKind::RecoveryResume:
+        return kTraceCrash;
+    }
+    return kTraceRegion;
+}
+
+/** Stable event-kind name ("pb_enqueue", "wpq_hit", ...). */
+const char *traceKindName(TraceEventKind kind);
+
+/** Stable category name ("region", "pb", ...). */
+const char *traceCategoryName(TraceCategory category);
+
+/**
+ * Track lanes: events are attributed to a core or a memory
+ * controller; MC lanes live above kMcLaneBase so both fit one field.
+ */
+inline constexpr std::uint16_t kMcLaneBase = 256;
+
+constexpr std::uint16_t
+coreLane(CoreId core)
+{
+    return static_cast<std::uint16_t>(core);
+}
+
+constexpr std::uint16_t
+mcLane(McId mc)
+{
+    return static_cast<std::uint16_t>(kMcLaneBase + mc);
+}
+
+/** One recorded event. */
+struct TraceEvent
+{
+    Tick tick = 0;     ///< start cycle
+    Tick duration = 0; ///< 0 = instant event
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    TraceEventKind kind = TraceEventKind::RegionBegin;
+    std::uint16_t lane = 0; ///< coreLane()/mcLane()
+};
+
+/**
+ * Fixed-capacity single-producer ring buffer of trace events. The
+ * capacity is rounded up to a power of two; when full, new events
+ * overwrite the oldest (dropped() reports how many).
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity = 1 << 16,
+                         std::uint32_t mask = kTraceAll);
+
+    /** Category mask; record() drops events of masked-off kinds. */
+    std::uint32_t mask() const { return mask_; }
+    void setMask(std::uint32_t mask) { mask_ = mask; }
+
+    bool
+    wants(TraceCategory category) const
+    {
+        return (mask_ & category) != 0;
+    }
+
+    /** Record one event (hot path: inline mask check first). */
+    void
+    record(TraceEventKind kind, std::uint16_t lane, Tick tick,
+           Tick duration = 0, std::uint64_t arg0 = 0,
+           std::uint64_t arg1 = 0)
+    {
+        if (!wants(traceKindCategory(kind)))
+            return;
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        slots_[h & capMask_] =
+            TraceEvent{tick, duration, arg0, arg1, kind, lane};
+        head_.store(h + 1, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Events recorded (accepted) since construction/clear. */
+    std::uint64_t
+    recorded() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        return h > slots_.size() ? h - slots_.size() : 0;
+    }
+
+    /** Surviving events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    void clear() { head_.store(0, std::memory_order_relaxed); }
+
+    /**
+     * Export as Chrome trace-event JSON (the {"traceEvents": [...]}
+     * object form). One simulated cycle maps to one microsecond of
+     * trace time; cores and MCs appear as named threads of pid 0.
+     */
+    void exportChromeJson(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> slots_;
+    std::uint64_t capMask_;
+    std::uint32_t mask_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace cwsp::sim
+
+#endif // CWSP_SIM_TRACE_HH

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for the observability layer: the trace ring buffer
+ * (wraparound, category masks, Chrome JSON export), the histogram
+ * percentile edge cases, and the StatsRegistry JSON export / merge
+ * machinery used by the batch engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace cwsp {
+namespace {
+
+// ---------------------------------------------------------------
+// Minimal recursive-descent JSON reader: the repo has no JSON
+// dependency, and "the export parses back" is exactly the property
+// these tests must establish, so parse it for real rather than
+// pattern-matching substrings.
+// ---------------------------------------------------------------
+
+struct JsonValue
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    double number = 0.0;
+    bool boolean = false;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing;
+        auto it = object.find(key);
+        return it == object.end() ? missing : it->second;
+    }
+    bool has(const std::string &key) const { return object.count(key) > 0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        pos_ = 0;
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::String;
+            return parseString(out.string);
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            out.type = JsonValue::Null;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out.type = JsonValue::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out.type = JsonValue::Bool;
+            out.boolean = false;
+            return true;
+        }
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            return false;
+        out.type = JsonValue::Number;
+        out.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                ++pos_;
+            out += text_[pos_++];
+        }
+        return consume('"');
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        if (!consume('{'))
+            return false;
+        out.type = JsonValue::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        do {
+            std::string key;
+            if (!parseString(key) || !consume(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace(std::move(key), std::move(v));
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        if (!consume('['))
+            return false;
+        out.type = JsonValue::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        do {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    JsonValue v;
+    EXPECT_TRUE(JsonParser(text).parse(v)) << "invalid JSON: " << text;
+    return v;
+}
+
+// ---------------------------------------------------------------
+// Trace ring buffer
+// ---------------------------------------------------------------
+
+TEST(TraceBuffer, RecordsAndSnapshotsInOrder)
+{
+    sim::TraceBuffer tb(16);
+    tb.record(sim::TraceEventKind::RegionBegin, 0, 100, 0, 7, 2);
+    tb.record(sim::TraceEventKind::PbEnqueue, 1, 110, 0, 3);
+    auto events = tb.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, sim::TraceEventKind::RegionBegin);
+    EXPECT_EQ(events[0].tick, 100u);
+    EXPECT_EQ(events[0].arg0, 7u);
+    EXPECT_EQ(events[1].lane, 1u);
+    EXPECT_EQ(tb.recorded(), 2u);
+    EXPECT_EQ(tb.dropped(), 0u);
+}
+
+TEST(TraceBuffer, WraparoundKeepsNewestAndCountsDrops)
+{
+    sim::TraceBuffer tb(8); // power of two already
+    ASSERT_EQ(tb.capacity(), 8u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        tb.record(sim::TraceEventKind::PbEnqueue, 0, i, 0, i);
+    EXPECT_EQ(tb.recorded(), 20u);
+    EXPECT_EQ(tb.dropped(), 12u);
+    auto events = tb.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    // Oldest-first, and only the newest 8 survive: args 12..19.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].arg0, 12 + i);
+}
+
+TEST(TraceBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    sim::TraceBuffer tb(10);
+    EXPECT_EQ(tb.capacity(), 16u);
+}
+
+TEST(TraceBuffer, CategoryMaskFiltersRecords)
+{
+    sim::TraceBuffer tb(16, sim::kTracePb);
+    tb.record(sim::TraceEventKind::RegionBegin, 0, 1); // masked off
+    tb.record(sim::TraceEventKind::PbEnqueue, 0, 2);
+    tb.record(sim::TraceEventKind::WpqAdmit, 0, 3); // masked off
+    auto events = tb.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, sim::TraceEventKind::PbEnqueue);
+    EXPECT_FALSE(tb.wants(sim::kTraceRegion));
+    EXPECT_TRUE(tb.wants(sim::kTracePb));
+
+    tb.setMask(sim::kTraceNone);
+    tb.record(sim::TraceEventKind::PbEnqueue, 0, 4);
+    EXPECT_EQ(tb.recorded(), 1u);
+}
+
+TEST(TraceBuffer, ClearResets)
+{
+    sim::TraceBuffer tb(8);
+    tb.record(sim::TraceEventKind::PbEnqueue, 0, 1);
+    tb.clear();
+    EXPECT_EQ(tb.recorded(), 0u);
+    EXPECT_TRUE(tb.snapshot().empty());
+}
+
+TEST(TraceBuffer, EveryKindMapsToItsCategory)
+{
+    // A kind whose category mask is cleared must never be recorded.
+    for (std::uint16_t k = 0;
+         k <= static_cast<std::uint16_t>(
+                  sim::TraceEventKind::RecoveryResume);
+         ++k) {
+        auto kind = static_cast<sim::TraceEventKind>(k);
+        auto cat = sim::traceKindCategory(kind);
+        sim::TraceBuffer tb(8, sim::kTraceAll & ~cat);
+        tb.record(kind, 0, 1);
+        EXPECT_EQ(tb.recorded(), 0u) << sim::traceKindName(kind);
+        tb.setMask(cat);
+        tb.record(kind, 0, 1);
+        EXPECT_EQ(tb.recorded(), 1u) << sim::traceKindName(kind);
+    }
+}
+
+TEST(TraceMask, ParsesListsAndAliases)
+{
+    EXPECT_EQ(sim::parseTraceMask("all"), sim::kTraceAll);
+    EXPECT_EQ(sim::parseTraceMask("none"), sim::kTraceNone);
+    EXPECT_EQ(sim::parseTraceMask("region,pb"),
+              sim::kTraceRegion | sim::kTracePb);
+    EXPECT_EQ(sim::parseTraceMask("crash"), sim::kTraceCrash);
+    EXPECT_THROW(sim::parseTraceMask("bogus"), std::runtime_error);
+}
+
+TEST(TraceBuffer, ChromeJsonExportParses)
+{
+    sim::TraceBuffer tb(64);
+    tb.record(sim::TraceEventKind::RegionBegin, 0, 10, 0, 1, 0);
+    tb.record(sim::TraceEventKind::PbStall, 0, 20, 5);
+    tb.record(sim::TraceEventKind::WpqAdmit, sim::mcLane(0), 30, 4,
+              0x40, 8);
+    std::ostringstream os;
+    tb.exportChromeJson(os);
+    JsonValue root = parseJson(os.str());
+    ASSERT_EQ(root.type, JsonValue::Object);
+    ASSERT_EQ(root.at("traceEvents").type, JsonValue::Array);
+    const auto &events = root.at("traceEvents").array;
+    // 3 recorded events + thread_name metadata per lane (2 lanes).
+    std::size_t named = 0, durations = 0, instants = 0;
+    for (const auto &e : events) {
+        ASSERT_EQ(e.type, JsonValue::Object);
+        const std::string &ph = e.at("ph").string;
+        if (ph == "M")
+            ++named;
+        else if (ph == "X")
+            ++durations;
+        else if (ph == "i")
+            ++instants;
+        else
+            FAIL() << "unexpected phase " << ph;
+    }
+    EXPECT_EQ(named, 2u);
+    EXPECT_EQ(durations + instants, 3u);
+    EXPECT_GE(durations, 2u); // PbStall and WpqAdmit carry durations
+}
+
+// ---------------------------------------------------------------
+// Histogram percentile edge cases
+// ---------------------------------------------------------------
+
+TEST(Histogram, PercentileZeroFractionReturnsZero)
+{
+    Histogram h(10, 8);
+    for (int i = 0; i < 50; ++i)
+        h.sample(25);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+}
+
+TEST(Histogram, PercentileEmptyReturnsZero)
+{
+    Histogram h(10, 8);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, PercentileClampsToMaxSample)
+{
+    // Bucket edges must never exceed the true maximum: a single
+    // sample of 3 in a width-10 bucket is p100 = 3, not 9.
+    Histogram h(10, 8);
+    h.sample(3);
+    EXPECT_EQ(h.percentile(1.0), 3u);
+    EXPECT_EQ(h.maxSample(), 3u);
+}
+
+TEST(Histogram, OverflowBucketDoesNotInventUpperEdge)
+{
+    Histogram h(1, 4); // tracks 0..3, overflow above
+    h.sample(2);
+    h.sample(1000);
+    EXPECT_EQ(h.overflow(), 1u);
+    // p100 lands in the overflow bucket: report the real max, not a
+    // fabricated finite bucket edge.
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+}
+
+TEST(Histogram, MergePreservesDistribution)
+{
+    Histogram a(10, 8), b(10, 8);
+    for (int i = 0; i < 50; ++i)
+        a.sample(5);
+    for (int i = 0; i < 50; ++i)
+        b.sample(75);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.count(), 100u);
+    // Percentiles report at bucket granularity: the 50 samples of 5
+    // fill bucket [0,10), whose upper edge is 9.
+    EXPECT_EQ(a.percentile(0.5), 9u);
+    EXPECT_EQ(a.percentile(1.0), 75u);
+    EXPECT_DOUBLE_EQ(a.mean(), 40.0);
+}
+
+// ---------------------------------------------------------------
+// StatsRegistry JSON export + merge
+// ---------------------------------------------------------------
+
+TEST(StatsRegistry, ExportJsonParsesAndNests)
+{
+    StatsRegistry reg;
+    reg.counter("core0.instrs").inc(1000);
+    reg.counter("core0.cycles").inc(1500);
+    reg.counter("mem.nvmWrites").inc(42);
+    reg.average("scheme.regionInstrs").sample(10);
+    reg.average("scheme.regionInstrs").sample(30);
+    auto &h = reg.histogram("scheme.pbStall", 4, 16);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<std::uint64_t>(i % 20));
+
+    std::ostringstream os;
+    reg.exportJson(os);
+    JsonValue root = parseJson(os.str());
+
+    EXPECT_EQ(root.at("core0").at("instrs").number, 1000.0);
+    EXPECT_EQ(root.at("core0").at("cycles").number, 1500.0);
+    EXPECT_EQ(root.at("mem").at("nvmWrites").number, 42.0);
+
+    const JsonValue &avg = root.at("scheme").at("regionInstrs");
+    EXPECT_DOUBLE_EQ(avg.at("mean").number, 20.0);
+    EXPECT_EQ(avg.at("count").number, 2.0);
+
+    const JsonValue &hist = root.at("scheme").at("pbStall");
+    EXPECT_EQ(hist.at("count").number, 100.0);
+    EXPECT_TRUE(hist.has("p50"));
+    EXPECT_TRUE(hist.has("p95"));
+    EXPECT_TRUE(hist.has("p99"));
+    EXPECT_EQ(hist.at("bucket_width").number, 4.0);
+    EXPECT_EQ(hist.at("max").number, 19.0);
+    ASSERT_EQ(hist.at("buckets").type, JsonValue::Array);
+    double total = 0;
+    for (const auto &b : hist.at("buckets").array)
+        total += b.number;
+    EXPECT_EQ(total, 100.0);
+}
+
+TEST(StatsRegistry, LeafAndPrefixConflictKeepsBoth)
+{
+    StatsRegistry reg;
+    reg.counter("mem").inc(7);
+    reg.counter("mem.reads").inc(3);
+    std::ostringstream os;
+    reg.exportJson(os);
+    JsonValue root = parseJson(os.str());
+    EXPECT_EQ(root.at("mem").at("self").number, 7.0);
+    EXPECT_EQ(root.at("mem").at("reads").number, 3.0);
+}
+
+TEST(StatsRegistry, EmptyRegistryExportsEmptyObject)
+{
+    StatsRegistry reg;
+    std::ostringstream os;
+    reg.exportJson(os);
+    JsonValue root = parseJson(os.str());
+    EXPECT_EQ(root.type, JsonValue::Object);
+    EXPECT_TRUE(root.object.empty());
+}
+
+StatsRegistry
+makeWorkerRegistry(unsigned seed)
+{
+    StatsRegistry r;
+    r.counter("runs").inc();
+    r.counter("core0.instrs").inc(100 * (seed + 1));
+    r.average("occupancy").sample(seed * 2.0);
+    auto &h = r.histogram("lat", 2, 8);
+    h.sample(seed);
+    h.sample(seed + 4);
+    return r;
+}
+
+TEST(StatsRegistry, MergeIsAssociative)
+{
+    // ((a + b) + c) and (a + (b + c)) must dump identically — the
+    // batch runner folds worker registries in nondeterministic order.
+    StatsRegistry left, bc, right;
+    left.mergeFrom(makeWorkerRegistry(0));
+    left.mergeFrom(makeWorkerRegistry(1));
+    left.mergeFrom(makeWorkerRegistry(2));
+    bc.mergeFrom(makeWorkerRegistry(1));
+    bc.mergeFrom(makeWorkerRegistry(2));
+    right.mergeFrom(makeWorkerRegistry(0));
+    right.mergeFrom(bc);
+
+    std::ostringstream a, b;
+    left.exportJson(a);
+    right.exportJson(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(left.counterValue("runs"), 3u);
+    EXPECT_EQ(left.counterValue("core0.instrs"), 600u);
+}
+
+TEST(StatsRegistry, MergeAdoptsHistogramShape)
+{
+    StatsRegistry dst;
+    StatsRegistry src;
+    src.histogram("h", 8, 32).sample(100);
+    dst.mergeFrom(src);
+    std::ostringstream os;
+    dst.exportJson(os);
+    JsonValue root = parseJson(os.str());
+    EXPECT_EQ(root.at("h").at("bucket_width").number, 8.0);
+    EXPECT_EQ(root.at("h").at("count").number, 1.0);
+}
+
+TEST(StatsRegistry, CopyIsIndependent)
+{
+    StatsRegistry a;
+    a.counter("x").inc(5);
+    StatsRegistry b(a);
+    b.counter("x").inc(1);
+    EXPECT_EQ(a.counterValue("x"), 5u);
+    EXPECT_EQ(b.counterValue("x"), 6u);
+}
+
+} // namespace
+} // namespace cwsp

@@ -42,6 +42,7 @@ for b in "$BUILD_DIR"/bench/bench_*; do
     "$b" --jobs "$JOBS" \
          --benchmark_out="$tmp/$name.json" \
          --benchmark_out_format=json \
+         --stats-json "$tmp/$name.stats.json" \
          "$@" > /dev/null
 done
 elapsed=$(( $(date +%s) - start ))
@@ -53,15 +54,26 @@ import sys
 
 out_path, elapsed = sys.argv[1], int(sys.argv[2])
 merged = {"context": None, "wall_clock_s": elapsed, "binaries": []}
+stats = {}
 for path in sys.argv[3:]:
     with open(path) as f:
         data = json.load(f)
+    name = os.path.basename(path)[: -len(".json")]
+    if name.endswith(".stats"):
+        # Per-binary component statistics (--stats-json): aggregated
+        # over the points that binary actually simulated. Cache hits
+        # contribute nothing, so an empty object on a warm cache is
+        # expected, not an error.
+        if data:
+            stats[name[: -len(".stats")]] = data
+        continue
     if merged["context"] is None:
         merged["context"] = data.get("context", {})
     merged["binaries"].append({
-        "binary": os.path.basename(path)[: -len(".json")],
+        "binary": name,
         "benchmarks": data.get("benchmarks", []),
     })
+merged["component_stats"] = stats
 merged["total_cases"] = sum(
     len(b["benchmarks"]) for b in merged["binaries"])
 with open(out_path, "w") as f:

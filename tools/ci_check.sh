@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Sanitizer CI pass: build the tree twice under Debug — once with
+# AddressSanitizer, once with UndefinedBehaviorSanitizer — and run
+# the full ctest suite under each. Catches the class of bug the
+# RelWithDebInfo tier-1 run can't: heap misuse in the ring buffers
+# and caches, UB in the timing arithmetic.
+#
+# Usage:
+#   tools/ci_check.sh [sanitizer...]     # default: address undefined
+# Environment:
+#   BUILD_ROOT  directory for the sanitizer build trees
+#               (default: build-san)
+#   JOBS        parallel build/test jobs (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_ROOT=${BUILD_ROOT:-build-san}
+JOBS=${JOBS:-$(nproc)}
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+    SANITIZERS=(address undefined)
+fi
+
+# Halt on the first UB report instead of printing and continuing, so
+# a UBSan failure fails the suite.
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1}
+
+for san in "${SANITIZERS[@]}"; do
+    dir=$BUILD_ROOT/$san
+    echo "== $san: configure ($dir) =="
+    cmake -B "$dir" -S . \
+          -DCMAKE_BUILD_TYPE=Debug \
+          -DCWSP_SANITIZE="$san"
+    echo "== $san: build =="
+    cmake --build "$dir" -j "$JOBS"
+    echo "== $san: ctest =="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+done
+
+echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"

@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,6 +34,7 @@
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
 #include "mem/nvm_device.hh"
+#include "sim/trace.hh"
 #include "workloads/workload.hh"
 
 using namespace cwsp;
@@ -63,6 +66,15 @@ usage()
         " run (single app)\n"
         "  --stats                dump component statistics (single"
         " app)\n"
+        "  --stats-json FILE      write statistics JSON (single app;"
+        " `-` = stdout);\n"
+        "                         in batch mode: aggregate over the"
+        " simulated points\n"
+        "  --trace-out FILE       write a Chrome trace-event JSON of"
+        " the run (single app)\n"
+        "  --trace-mask SPEC      trace categories: comma list of\n"
+        "                         region,pb,rbt,wpq,mc,wb,path,crash"
+        " or all|none (default all)\n"
         "  --dump-ir              print the compiled IR and exit\n");
 }
 
@@ -76,13 +88,32 @@ arg(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+/** Write @p json_path ("-" = stdout) via @p emit. */
+template <typename Emit>
+void
+writeJsonOutput(const std::string &json_path, Emit emit)
+{
+    if (json_path == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream f(json_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     json_path.c_str());
+        std::exit(1);
+    }
+    emit(f);
+}
+
 /** Parallel suite/roster evaluation through the batch engine. */
 int
 runBatch(const std::vector<workloads::AppProfile> &apps,
          const std::string &scheme, const std::string &nvm,
          const core::SystemConfig &cfg,
          const core::SystemConfig &base_cfg, unsigned jobs,
-         bool use_cache, const std::string &cache_dir)
+         bool use_cache, const std::string &cache_dir,
+         const std::string &stats_json)
 {
     driver::BatchConfig bc;
     bc.jobs = jobs;
@@ -100,8 +131,11 @@ runBatch(const std::vector<workloads::AppProfile> &apps,
     }
     auto results = runner.runAll(points);
 
-    std::printf("%-12s %-8s %12s %12s %9s\n", "app", "suite",
-                "instrs", "cycles", "slowdown");
+    // With `--stats-json -` the JSON owns stdout; the human-readable
+    // table moves to stderr so the stream stays parseable.
+    std::FILE *out = stats_json == "-" ? stderr : stdout;
+    std::fprintf(out, "%-12s %-8s %12s %12s %9s\n", "app", "suite",
+                 "instrs", "cycles", "slowdown");
     double log_sum = 0.0;
     for (std::size_t i = 0; i < apps.size(); ++i) {
         const auto &base = results[2 * i];
@@ -109,15 +143,15 @@ runBatch(const std::vector<workloads::AppProfile> &apps,
         double s = static_cast<double>(r.cycles) /
                    static_cast<double>(base.cycles);
         log_sum += std::log(s);
-        std::printf("%-12s %-8s %12llu %12llu %8.3fx\n",
-                    apps[i].name.c_str(), apps[i].suite.c_str(),
-                    (unsigned long long)r.instructions,
-                    (unsigned long long)r.cycles, s);
+        std::fprintf(out, "%-12s %-8s %12llu %12llu %8.3fx\n",
+                     apps[i].name.c_str(), apps[i].suite.c_str(),
+                     (unsigned long long)r.instructions,
+                     (unsigned long long)r.cycles, s);
     }
-    std::printf("gmean slowdown of %s/%s over baseline: %.3fx\n",
-                scheme.c_str(), nvm.c_str(),
-                std::exp(log_sum /
-                         static_cast<double>(apps.size())));
+    std::fprintf(out, "gmean slowdown of %s/%s over baseline: %.3fx\n",
+                 scheme.c_str(), nvm.c_str(),
+                 std::exp(log_sum /
+                          static_cast<double>(apps.size())));
 
     auto st = runner.stats();
     std::fprintf(stderr,
@@ -129,19 +163,30 @@ runBatch(const std::vector<workloads::AppProfile> &apps,
                  (unsigned long long)st.memoryHits,
                  (unsigned long long)st.modulesCompiled,
                  (unsigned long long)st.moduleCacheHits);
+
+    if (!stats_json.empty()) {
+        writeJsonOutput(stats_json, [&runner](std::ostream &os) {
+            runner.exportAggregateJson(os);
+        });
+    }
     return 0;
 }
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string app_name;
     std::string suite;
     std::string scheme = "cwsp";
     std::string nvm = "pmem";
     std::string cache_dir;
+    std::string stats_json;
+    std::string trace_out;
+    std::string trace_mask = "all";
     double bw = 4.0;
     unsigned rbt = 16, pb = 50, wpq = 24;
     unsigned jobs = 0;
@@ -189,6 +234,12 @@ main(int argc, char **argv)
             crash_frac = std::atof(arg(argc, argv, i));
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--stats-json") {
+            stats_json = arg(argc, argv, i);
+        } else if (a == "--trace-out") {
+            trace_out = arg(argc, argv, i);
+        } else if (a == "--trace-mask") {
+            trace_mask = arg(argc, argv, i);
         } else if (a == "--dump-ir") {
             dump_ir = true;
         } else {
@@ -222,7 +273,7 @@ main(int argc, char **argv)
             return 2;
         }
         return runBatch(apps, scheme, nvm, cfg, base_cfg, jobs,
-                        use_cache, cache_dir);
+                        use_cache, cache_dir, stats_json);
     }
 
     const auto &app = workloads::appByName(app_name);
@@ -234,9 +285,10 @@ main(int argc, char **argv)
 
     // Single-app measurement runs also go through the batch engine
     // (the baseline/scheme pair in parallel, both persistently
-    // cached); --stats and --crash need the live simulator state and
-    // take the direct path below.
-    if (!stats && crash_frac < 0.0) {
+    // cached); --stats, --stats-json, --trace-out and --crash need
+    // the live simulator state and take the direct path below.
+    if (!stats && crash_frac < 0.0 && stats_json.empty() &&
+        trace_out.empty()) {
         driver::BatchConfig bc;
         bc.jobs = jobs;
         bc.useDiskCache = use_cache;
@@ -267,22 +319,33 @@ main(int argc, char **argv)
     auto base = base_sim.run("main");
 
     core::WholeSystemSim sim(*mod, cfg);
+    sim::TraceBuffer trace(1 << 16,
+                           sim::parseTraceMask(trace_mask));
+    if (!trace_out.empty())
+        sim.attachTrace(&trace);
     auto r = sim.run("main");
 
-    std::printf("%s on %s/%s: %llu instrs, %llu cycles "
-                "(slowdown %.3fx), region %.1f instrs, "
-                "PB stalls %llu, RBT stalls %llu\n",
-                app.name.c_str(), scheme.c_str(), nvm.c_str(),
-                (unsigned long long)r.instructions,
-                (unsigned long long)r.cycles,
-                static_cast<double>(r.cycles) /
-                    static_cast<double>(base.cycles),
-                r.meanRegionInstrs,
-                (unsigned long long)r.pbFullStalls,
-                (unsigned long long)r.rbtFullStalls);
+    // With `--stats-json -` the JSON owns stdout (see runBatch).
+    std::fprintf(stats_json == "-" ? stderr : stdout,
+                 "%s on %s/%s: %llu instrs, %llu cycles "
+                 "(slowdown %.3fx), region %.1f instrs, "
+                 "PB stalls %llu, RBT stalls %llu\n",
+                 app.name.c_str(), scheme.c_str(), nvm.c_str(),
+                 (unsigned long long)r.instructions,
+                 (unsigned long long)r.cycles,
+                 static_cast<double>(r.cycles) /
+                     static_cast<double>(base.cycles),
+                 r.meanRegionInstrs,
+                 (unsigned long long)r.pbFullStalls,
+                 (unsigned long long)r.rbtFullStalls);
 
     if (stats)
         sim.dumpStats(std::cout);
+    if (!stats_json.empty()) {
+        writeJsonOutput(stats_json, [&sim](std::ostream &os) {
+            sim.exportStatsJson(os);
+        });
+    }
 
     if (crash_frac >= 0.0) {
         interp::SparseMemory golden_mem;
@@ -302,7 +365,38 @@ main(int argc, char **argv)
                     (unsigned long long)out.reexecutedInstrs,
                     (unsigned long long)out.resumeRegions[0],
                     ok ? "CONSISTENT" : "CORRUPT");
+        if (!trace_out.empty()) {
+            writeJsonOutput(trace_out, [&trace](std::ostream &os) {
+                trace.exportChromeJson(os);
+            });
+        }
         return ok ? 0 : 1;
     }
+
+    if (!trace_out.empty()) {
+        writeJsonOutput(trace_out, [&trace](std::ostream &os) {
+            trace.exportChromeJson(os);
+        });
+        std::fprintf(stderr,
+                     "trace: %llu events recorded (%llu dropped) -> "
+                     "%s\n",
+                     (unsigned long long)trace.recorded(),
+                     (unsigned long long)trace.dropped(),
+                     trace_out.c_str());
+    }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // cwsp_fatal throws; surface the message without a terminate().
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
 }

@@ -11,16 +11,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <string>
 
 #include "core/whole_system_sim.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "workloads/workload.hh"
 
 using namespace cwsp;
 
 namespace {
 
-const char *
+std::string
 kindName(interp::CommitKind k)
 {
     switch (k) {
@@ -35,7 +39,38 @@ kindName(interp::CommitKind k)
       case interp::CommitKind::CallRet: return "callret";
       case interp::CommitKind::Boundary: return "boundary";
     }
-    return "?";
+    // Unknown kinds keep the raw enum value visible instead of
+    // collapsing every future addition into an anonymous "?".
+    return "?(" + std::to_string(static_cast<int>(k)) + ")";
+}
+
+/** Fail with cwsp_fatal listing the valid scheme names. */
+void
+validateScheme(const std::string &scheme)
+{
+    static const char *const kSchemes[] = {
+        "baseline", "cwsp", "capri", "ido", "replaycache", "psp",
+    };
+    for (const char *s : kSchemes) {
+        if (scheme == s)
+            return;
+    }
+    cwsp_fatal("unknown scheme '", scheme,
+               "'; valid: baseline, cwsp, capri, ido, replaycache, "
+               "psp");
+}
+
+/** Fail with cwsp_fatal listing the roster applications. */
+void
+validateApp(const std::string &app)
+{
+    std::string names;
+    for (const auto &a : workloads::appTable()) {
+        if (a.name == app)
+            return;
+        names += names.empty() ? a.name : ", " + a.name;
+    }
+    cwsp_fatal("unknown app '", app, "'; valid: ", names);
 }
 
 /** Wraps the scheme, printing each commit with its cycle cost. */
@@ -60,7 +95,7 @@ class TracingSink final : public interp::CommitSink
             return;
         ++printed_;
         std::printf("%10llu  c%u %-9s", (unsigned long long)before,
-                    info.core, kindName(info.kind));
+                    info.core, kindName(info.kind).c_str());
         switch (info.kind) {
           case interp::CommitKind::Load:
             std::printf(" [0x%llx]", (unsigned long long)info.addr);
@@ -100,13 +135,13 @@ class TracingSink final : public interp::CommitSink
     std::uint64_t printed_ = 0;
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string app_name;
     std::string scheme = "cwsp";
+    std::string trace_out;
+    std::string trace_mask = "all";
     std::uint64_t from = 0, limit = 100;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -121,10 +156,15 @@ main(int argc, char **argv)
             from = std::strtoull(next(), nullptr, 0);
         else if (a == "--limit")
             limit = std::strtoull(next(), nullptr, 0);
+        else if (a == "--trace-out")
+            trace_out = next();
+        else if (a == "--trace-mask")
+            trace_mask = next();
         else {
             std::fprintf(stderr,
                          "usage: cwsp_trace --app NAME "
-                         "[--scheme S] [--from N] [--limit N]\n");
+                         "[--scheme S] [--from N] [--limit N] "
+                         "[--trace-out FILE] [--trace-mask SPEC]\n");
             return 2;
         }
     }
@@ -132,21 +172,55 @@ main(int argc, char **argv)
         std::fprintf(stderr, "missing --app\n");
         return 2;
     }
+    validateScheme(scheme);
+    validateApp(app_name);
 
     auto cfg = core::makeSystemConfig(scheme);
     auto mod = workloads::buildApp(workloads::appByName(app_name),
                                    cfg.compiler);
-    core::WholeSystemSim sim(*mod, cfg);
 
     // Drive the interpreter manually through the tracing sink.
     interp::SparseMemory memory;
     mem::Hierarchy hierarchy(cfg.hierarchy, 1);
     auto sch = arch::makeScheme(cfg.scheme, hierarchy, 1);
+    sim::TraceBuffer trace(1 << 16,
+                           sim::parseTraceMask(trace_mask));
+    if (!trace_out.empty()) {
+        hierarchy.setTrace(&trace);
+        sch->setTrace(&trace);
+    }
     TracingSink sink(*sch, from, limit);
     interp::Interpreter it(*mod, memory, 0);
     it.start("main", {}, sink);
     std::printf("%10s  %s\n", "cycle", "commit");
     while (!it.finished() && !sink.done())
         it.step(sink);
+
+    if (!trace_out.empty()) {
+        std::ofstream f(trace_out);
+        if (!f)
+            cwsp_fatal("cannot open ", trace_out, " for writing");
+        trace.exportChromeJson(f);
+        std::fprintf(stderr,
+                     "trace: %llu events recorded (%llu dropped) -> "
+                     "%s\n",
+                     (unsigned long long)trace.recorded(),
+                     (unsigned long long)trace.dropped(),
+                     trace_out.c_str());
+    }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // cwsp_fatal throws; surface the message without a terminate().
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
 }
