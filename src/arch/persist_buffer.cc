@@ -16,39 +16,41 @@ PersistBuffer::reserve(Tick now)
     cwsp_assert(!pendingReservation_,
                 "PB reserve() without matching complete()");
     ++reservations_;
-    while (!releaseTimes_.empty() && releaseTimes_.front() <= now)
-        releaseTimes_.pop_front();
+    while (!slots_.empty() && slots_.front().release <= now)
+        slots_.pop_front();
     Tick start = now;
-    if (releaseTimes_.size() >= capacity_) {
-        start = releaseTimes_.front();
-        releaseTimes_.pop_front();
+    if (slots_.size() >= capacity_) {
+        start = slots_.front().release;
+        sim::StallCause cause = slots_.front().cause;
+        slots_.pop_front();
         ++fullStalls_;
         if (trace_) {
             trace_->record(sim::TraceEventKind::PbStall, lane_, now,
-                           start - now);
+                           start - now,
+                           static_cast<std::uint64_t>(cause));
         }
     }
     pendingReservation_ = true;
     if (trace_) {
         trace_->record(sim::TraceEventKind::PbEnqueue, lane_, start,
-                       0, releaseTimes_.size() + 1);
+                       0, slots_.size() + 1);
     }
     return start;
 }
 
 void
-PersistBuffer::complete(Tick ack_time)
+PersistBuffer::complete(Tick ack_time, sim::StallCause cause)
 {
     cwsp_assert(pendingReservation_, "PB complete() without reserve()");
     // FIFO deallocation (Section V-B1): an entry only leaves at the
     // PB head, so a slot cannot free before its predecessors.
-    if (!releaseTimes_.empty() && ack_time < releaseTimes_.back())
-        ack_time = releaseTimes_.back();
-    releaseTimes_.push_back(ack_time);
+    if (!slots_.empty() && ack_time < slots_.back().release)
+        ack_time = slots_.back().release;
+    slots_.push_back({ack_time, cause});
     pendingReservation_ = false;
     if (trace_) {
         trace_->record(sim::TraceEventKind::PbDrain, lane_, ack_time,
-                       0, releaseTimes_.size());
+                       0, slots_.size());
     }
 }
 

@@ -31,8 +31,14 @@ class PersistBuffer
      */
     Tick reserve(Tick now);
 
-    /** Provide the reserved entry's release (MC ack) time. */
-    void complete(Tick ack_time);
+    /**
+     * Provide the reserved entry's release (MC ack) time, tagged
+     * with why that ack is as late as it is; a later PbStall blocked
+     * on this entry reports @p cause so stalled cycles are charged
+     * to the root bottleneck, not blindly to "PB full".
+     */
+    void complete(Tick ack_time,
+                  sim::StallCause cause = sim::StallCause::PbFull);
 
     std::uint32_t capacity() const { return capacity_; }
     std::uint64_t reservations() const { return reservations_; }
@@ -47,8 +53,14 @@ class PersistBuffer
     }
 
   private:
+    struct Slot
+    {
+        Tick release;          ///< MC ack freeing the slot
+        sim::StallCause cause; ///< why the ack is late
+    };
+
     std::uint32_t capacity_;
-    std::deque<Tick> releaseTimes_; ///< FIFO of slot release times
+    std::deque<Slot> slots_; ///< FIFO of in-flight entries
     std::uint64_t reservations_ = 0;
     std::uint64_t fullStalls_ = 0;
     bool pendingReservation_ = false;

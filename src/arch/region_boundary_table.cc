@@ -19,10 +19,13 @@ RegionBoundaryTable::retireEntry(const ClosedEntry &entry)
         return;
     // Two views of the same instant: the RBT slot frees (rbt
     // category) and the region is fully persisted (region category).
+    // arg1 carries the region's own-store persist max so span
+    // analysis can split drain (own stores) from order wait
+    // (predecessor cascade).
     trace_->record(sim::TraceEventKind::RbtRetire, lane_,
                    entry.freeTime, 0, entry.id);
     trace_->record(sim::TraceEventKind::RegionPersist, lane_,
-                   entry.freeTime, 0, entry.id);
+                   entry.freeTime, 0, entry.id, entry.persistMax);
 }
 
 Tick
@@ -33,7 +36,8 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
         // so its departure is the cascade max of its own persistence
         // and its predecessor's departure.
         Tick free_time = std::max(prevFreeTime_, currentPersistMax_);
-        closed_.push_back(ClosedEntry{free_time, currentId_});
+        closed_.push_back(
+            ClosedEntry{free_time, currentPersistMax_, currentId_});
         prevFreeTime_ = free_time;
     }
 
@@ -54,8 +58,10 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
         }
         ++fullStalls_;
         if (trace_ && start > now) {
-            trace_->record(sim::TraceEventKind::RbtStall, lane_, now,
-                           start - now);
+            trace_->record(
+                sim::TraceEventKind::RbtStall, lane_, now,
+                start - now,
+                static_cast<std::uint64_t>(sim::StallCause::RbtFull));
         }
     }
 

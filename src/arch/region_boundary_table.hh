@@ -66,7 +66,8 @@ class RegionBoundaryTable
     /** One closed-but-unpersisted region occupying an RBT slot. */
     struct ClosedEntry
     {
-        Tick freeTime = 0; ///< departure (fully persisted) time
+        Tick freeTime = 0;   ///< departure (fully persisted) time
+        Tick persistMax = 0; ///< max ack of the region's own stores
         RegionId id = 0;
     };
 

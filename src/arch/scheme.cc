@@ -176,14 +176,20 @@ Scheme::persistEntry(CoreId core, Addr addr, Tick now,
 
     out.admit = adm.admitted;
     out.ack = adm.admitted + config_.path.oneWayLatency;
+    out.cause = classifyPersistCause(cs.path.lastQueueDelay(),
+                                     adm.admitted - arrival,
+                                     out.logged);
     // WPQ backpressure propagates up the FIFO path: while this entry
     // waits for a slot it occupies the link head.
     if (adm.admitted > arrival)
         cs.path.stallLink(adm.admitted);
-    cs.pb.complete(out.ack);
+    cs.pb.complete(out.ack, out.cause);
     if (cs.rbt.hasOpenRegion())
         cs.rbt.recordStoreAck(out.ack);
-    cs.lastAckMax = std::max(cs.lastAckMax, out.ack);
+    if (out.ack >= cs.lastAckMax) {
+        cs.lastAckMax = out.ack;
+        cs.lastAckCause = out.cause;
+    }
 
     auto &lp = cs.linePersist[line];
     lp = std::max(lp, out.admit);
@@ -251,6 +257,23 @@ Scheme::beginRegion(CoreId core, const interp::CommitInfo &info,
                                           cs.instrs});
     }
     return stall;
+}
+
+void
+Scheme::traceDrain(CoreId core, Tick now, Tick stall)
+{
+    if (!trace_ || stall == 0)
+        return;
+    const CoreState &cs = cores_[core];
+    // A drain never waits on PB capacity — if the last ack was
+    // latency-bound (classified PbFull), the wait is persist-path
+    // delivery time.
+    auto cause = cs.lastAckCause == sim::StallCause::PbFull
+                     ? sim::StallCause::PathBandwidth
+                     : cs.lastAckCause;
+    trace_->record(sim::TraceEventKind::SchemeDrain,
+                   sim::coreLane(core), now, stall, cs.storesInRegion,
+                   static_cast<std::uint64_t>(cause));
 }
 
 Tick

@@ -193,6 +193,8 @@ class Scheme : public interp::CommitSink
         std::uint64_t regionStartInstr = 0;
         std::uint64_t storesInRegion = 0;
         Tick lastAckMax = 0; ///< max MC ack over all persists issued
+        /** Cause classification of the persist that set lastAckMax. */
+        sim::StallCause lastAckCause = sim::StallCause::PbFull;
 
         /** Timing computed at AtomicPrepare, consumed at Atomic. */
         struct PendingAtomic
@@ -262,7 +264,27 @@ class Scheme : public interp::CommitSink
         Tick ack = 0;   ///< MC acknowledgement
         bool logged = false;
         McId mc = 0;
+        /** Dominant reason the entry's ack is as late as it is. */
+        sim::StallCause cause = sim::StallCause::PbFull;
     };
+
+    /**
+     * Charge one persist round's lateness to a single cause: WPQ
+     * admission wait dominates (undo-log amplified when @p logged),
+     * else persist-path link queueing, else only PB capacity itself
+     * could have been binding.
+     */
+    static sim::StallCause
+    classifyPersistCause(Tick path_wait, Tick wpq_wait, bool logged)
+    {
+        if (wpq_wait > 0 && wpq_wait >= path_wait) {
+            return logged ? sim::StallCause::McUndoLog
+                          : sim::StallCause::WpqFull;
+        }
+        if (path_wait > 0)
+            return sim::StallCause::PathBandwidth;
+        return sim::StallCause::PbFull;
+    }
 
     /**
      * Run one @p bytes-sized entry for @p addr through PB → persist
@@ -290,6 +312,14 @@ class Scheme : public interp::CommitSink
     /** Begin a new dynamic region on @p core; returns stall cycles. */
     Tick beginRegion(CoreId core, const interp::CommitInfo &info,
                      Tick now, bool use_rbt_capacity);
+
+    /**
+     * Record a SchemeDrain stall event of @p stall cycles on @p core,
+     * attributed to the cause of the last acknowledged persist (a
+     * drain waits on outstanding acks, so a latency-bound last ack is
+     * charged to the persist path, never to PB capacity).
+     */
+    void traceDrain(CoreId core, Tick now, Tick stall);
 
     /** Persist-time hook for the write-buffer stale-read delay. */
     Tick linePersistReady(CoreId core, Addr line) const;

@@ -60,12 +60,20 @@ class CapriScheme final : public Scheme
         out.admit = adm.admitted;
         out.ack = adm.admitted + config_.path.oneWayLatency;
         out.logged = true;
+        // Classification uses logged=false: the redo buffer is the
+        // log, the WPQ write itself pays no undo-log media work.
+        out.cause = classifyPersistCause(cs.path.lastQueueDelay(),
+                                         adm.admitted - arrival,
+                                         false);
         if (adm.admitted > arrival)
             cs.path.stallLink(adm.admitted);
-        rb.complete(out.ack);
+        rb.complete(out.ack, out.cause);
         if (cs.rbt.hasOpenRegion())
             cs.rbt.recordStoreAck(out.ack);
-        cs.lastAckMax = std::max(cs.lastAckMax, out.ack);
+        if (out.ack >= cs.lastAckMax) {
+            cs.lastAckMax = out.ack;
+            cs.lastAckCause = out.cause;
+        }
         return out;
     }
 
@@ -107,7 +115,9 @@ class CapriScheme final : public Scheme
         pa.logged = po.logged;
         pa.mc = po.mc;
         Tick after = now + po.stall;
-        return po.stall + drainPersists(core, after);
+        Tick drain = drainPersists(core, after);
+        traceDrain(core, after, drain);
+        return po.stall + drain;
     }
 
     Tick
@@ -123,11 +133,7 @@ class CapriScheme final : public Scheme
     onSync(CoreId core, Tick now) override
     {
         Tick stall = drainPersists(core, now);
-        if (trace_ && stall > 0) {
-            trace_->record(sim::TraceEventKind::SchemeDrain,
-                           sim::coreLane(core), now, stall,
-                           cores_[core].storesInRegion);
-        }
+        traceDrain(core, now, stall);
         return stall;
     }
 

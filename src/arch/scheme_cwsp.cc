@@ -60,7 +60,9 @@ class CwspScheme final : public Scheme
         pa.logged = po.logged;
         pa.mc = po.mc;
         Tick after = now + po.stall;
-        return po.stall + drainPersists(core, after);
+        Tick drain = drainPersists(core, after);
+        traceDrain(core, after, drain);
+        return po.stall + drain;
     }
 
     Tick
@@ -68,8 +70,10 @@ class CwspScheme final : public Scheme
                Tick now) override
     {
         Tick stall = 0;
-        if (config_.features.stallAtBoundaries)
+        if (config_.features.stallAtBoundaries) {
             stall += drainPersists(core, now);
+            traceDrain(core, now, stall);
+        }
         // The RBT bounds speculation depth only when MC speculation
         // is enabled; otherwise regions retire without tracking.
         bool use_rbt = config_.features.persistPath &&
@@ -101,11 +105,7 @@ class CwspScheme final : public Scheme
         if (!config_.features.persistPath)
             return 0;
         Tick stall = drainPersists(core, now);
-        if (trace_ && stall > 0) {
-            trace_->record(sim::TraceEventKind::SchemeDrain,
-                           sim::coreLane(core), now, stall,
-                           cores_[core].storesInRegion);
-        }
+        traceDrain(core, now, stall);
         return stall;
     }
 };

@@ -56,7 +56,9 @@ class IdoScheme final : public Scheme
         pa.logged = po.logged;
         pa.mc = po.mc;
         Tick after = now + po.stall;
-        return po.stall + drainPersists(core, after) + kBarrierCost;
+        Tick drain = drainPersists(core, after) + kBarrierCost;
+        traceDrain(core, after, drain);
+        return po.stall + drain;
     }
 
     Tick
@@ -66,11 +68,7 @@ class IdoScheme final : public Scheme
         // Two persist barriers around the boundary (Section I): wait
         // for all prior flushes, pay both fence costs.
         Tick stall = drainPersists(core, now) + 2 * kBarrierCost;
-        if (trace_) {
-            trace_->record(sim::TraceEventKind::SchemeDrain,
-                           sim::coreLane(core), now, stall,
-                           cores_[core].storesInRegion);
-        }
+        traceDrain(core, now, stall);
         stall += beginRegion(core, info, now + stall, false);
         return stall;
     }
@@ -78,7 +76,9 @@ class IdoScheme final : public Scheme
     Tick
     onSync(CoreId core, Tick now) override
     {
-        return drainPersists(core, now) + kBarrierCost;
+        Tick stall = drainPersists(core, now) + kBarrierCost;
+        traceDrain(core, now, stall);
+        return stall;
     }
 };
 

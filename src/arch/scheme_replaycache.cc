@@ -64,9 +64,12 @@ class ReplayCacheScheme final : public Scheme
             // Trailing barrier plus MLP-overlapped replay writes.
             stall = wlat + (stores * wlat) / mlp;
             if (trace_) {
-                trace_->record(sim::TraceEventKind::SchemeDrain,
-                               sim::coreLane(core), now, stall,
-                               stores);
+                // The replay serializes on media write bandwidth.
+                trace_->record(
+                    sim::TraceEventKind::SchemeDrain,
+                    sim::coreLane(core), now, stall, stores,
+                    static_cast<std::uint64_t>(
+                        sim::StallCause::PathBandwidth));
             }
         }
         if (storeLog_) {
@@ -76,7 +79,10 @@ class ReplayCacheScheme final : public Scheme
             }
             pendingRecords_[core].clear();
         }
-        cs.lastAckMax = std::max(cs.lastAckMax, now + stall);
+        if (now + stall >= cs.lastAckMax) {
+            cs.lastAckMax = now + stall;
+            cs.lastAckCause = sim::StallCause::PathBandwidth;
+        }
         stall += beginRegion(core, info, now + stall, false);
         return stall;
     }
@@ -84,7 +90,9 @@ class ReplayCacheScheme final : public Scheme
     Tick
     onSync(CoreId core, Tick now) override
     {
-        return drainPersists(core, now);
+        Tick stall = drainPersists(core, now);
+        traceDrain(core, now, stall);
+        return stall;
     }
 
     Tick
@@ -93,7 +101,9 @@ class ReplayCacheScheme final : public Scheme
     {
         // The software scheme replays and waits before the atomic
         // becomes visible.
-        return drainPersists(core, now);
+        Tick stall = drainPersists(core, now);
+        traceDrain(core, now, stall);
+        return stall;
     }
 
   private:

@@ -125,9 +125,44 @@ WholeSystemSim::reset()
 void
 WholeSystemSim::attachTrace(sim::TraceBuffer *trace)
 {
+    if (ownTrace_ && trace != ownTrace_.get())
+        ownTrace_.reset();
     trace_ = trace;
+    if (!trace_ && sink_) {
+        // Detaching the buffer must not silently detach the
+        // observer: keep it fed through an internal buffer.
+        ownTrace_ = std::make_unique<sim::TraceBuffer>(
+            2, sim::kTraceAll);
+        trace_ = ownTrace_.get();
+    }
+    if (trace_)
+        trace_->setSink(sink_);
     hierarchy_->setTrace(trace_);
     scheme_->setTrace(trace_);
+}
+
+void
+WholeSystemSim::attachTraceSink(sim::TraceSink *sink)
+{
+    sink_ = sink;
+    if (sink_ && !trace_) {
+        // The sink observes the full stream regardless of ring
+        // capacity, so the internal buffer stays minimal.
+        ownTrace_ = std::make_unique<sim::TraceBuffer>(
+            2, sim::kTraceAll);
+        trace_ = ownTrace_.get();
+        hierarchy_->setTrace(trace_);
+        scheme_->setTrace(trace_);
+    }
+    if (!sink_ && ownTrace_) {
+        ownTrace_.reset();
+        trace_ = nullptr;
+        hierarchy_->setTrace(nullptr);
+        scheme_->setTrace(nullptr);
+        return;
+    }
+    if (trace_)
+        trace_->setSink(sink_);
 }
 
 RunResult

@@ -171,6 +171,17 @@ class WholeSystemSim
     void attachTrace(sim::TraceBuffer *trace);
     sim::TraceBuffer *trace() const { return trace_; }
 
+    /**
+     * Attach an online trace observer (e.g. obs::InvariantMonitor);
+     * pass nullptr to detach. The sink sees every event the
+     * simulation emits, ring drops included. If no trace buffer is
+     * attached yet, a minimal all-category internal buffer is created
+     * to drive the sink; an externally attached buffer keeps the sink
+     * across attachTrace() calls and per-run resets.
+     */
+    void attachTraceSink(sim::TraceSink *sink);
+    sim::TraceSink *traceSink() const { return sink_; }
+
   private:
     const ir::Module *module_;
     SystemConfig config_;
@@ -178,6 +189,9 @@ class WholeSystemSim
     std::unique_ptr<mem::Hierarchy> hierarchy_;
     std::unique_ptr<arch::Scheme> scheme_;
     sim::TraceBuffer *trace_ = nullptr;
+    sim::TraceSink *sink_ = nullptr;
+    /** Internal buffer driving a sink when none is attached. */
+    std::unique_ptr<sim::TraceBuffer> ownTrace_;
     Tick lastCycles_ = 0;
 
     /** Rebuild hierarchy/scheme state for a fresh run. */

@@ -148,6 +148,12 @@ struct BatchRunner::Impl
     std::atomic<std::uint64_t> diskHits{0};
     std::atomic<std::uint64_t> modulesCompiled{0};
     std::atomic<std::uint64_t> moduleCacheHits{0};
+
+    std::mutex violationsMu;
+    std::vector<obs::InvariantViolation> violations;
+    std::atomic<std::uint64_t> violationCount{0};
+    std::atomic<std::uint64_t> invariantEvents{0};
+    static constexpr std::size_t kMaxKeptViolations = 256;
 };
 
 BatchRunner::BatchRunner(BatchConfig config)
@@ -294,7 +300,10 @@ BatchRunner::moduleFor(const workloads::AppProfile &app,
 core::RunResult
 BatchRunner::compute(const DesignPoint &point, const std::string &key)
 {
-    if (config_.useDiskCache) {
+    // An invariant-checking batch must observe the event stream, so
+    // a disk-cached result (which skips the simulation) is useless
+    // for it; loads are bypassed, stores below still happen.
+    if (config_.useDiskCache && !config_.checkInvariants) {
         core::RunResult r;
         if (loadFromDisk(key, r)) {
             impl_->diskHits.fetch_add(1, std::memory_order_relaxed);
@@ -303,6 +312,10 @@ BatchRunner::compute(const DesignPoint &point, const std::string &key)
     }
     auto mod = moduleFor(point.app, point.config.compiler);
     core::WholeSystemSim sim(*mod, point.config);
+    obs::InvariantMonitor monitor(obs::InvariantMonitorConfig{
+        point.config.hierarchy.wpqCapacity, 8, 16});
+    if (config_.checkInvariants)
+        sim.attachTraceSink(&monitor);
     core::RunResult r = sim.run(point.entry, {}, point.maxInstrs);
     impl_->simulated.fetch_add(1, std::memory_order_relaxed);
 
@@ -311,6 +324,29 @@ BatchRunner::compute(const DesignPoint &point, const std::string &key)
     StatsRegistry local;
     sim.fillStats(local);
     local.counter("batch.simulatedRuns").inc();
+    if (config_.checkInvariants) {
+        monitor.finish();
+        impl_->invariantEvents.fetch_add(
+            monitor.eventsChecked(), std::memory_order_relaxed);
+        impl_->violationCount.fetch_add(
+            monitor.violationCount(), std::memory_order_relaxed);
+        local.counter("obs.invariantEventsChecked")
+            .inc(monitor.eventsChecked());
+        local.counter("obs.invariantViolations")
+            .inc(monitor.violationCount());
+        if (!monitor.violations().empty()) {
+            std::lock_guard<std::mutex> lk(impl_->violationsMu);
+            for (const auto &v : monitor.violations()) {
+                if (impl_->violations.size() >=
+                    Impl::kMaxKeptViolations) {
+                    break;
+                }
+                auto tagged = v;
+                tagged.detail = key + ": " + tagged.detail;
+                impl_->violations.push_back(std::move(tagged));
+            }
+        }
+    }
     aggregate_.mergeFrom(local);
 
     if (config_.useDiskCache)
@@ -433,7 +469,16 @@ BatchRunner::stats() const
     s.diskHits = impl_->diskHits.load();
     s.modulesCompiled = impl_->modulesCompiled.load();
     s.moduleCacheHits = impl_->moduleCacheHits.load();
+    s.invariantEventsChecked = impl_->invariantEvents.load();
+    s.invariantViolations = impl_->violationCount.load();
     return s;
+}
+
+std::vector<obs::InvariantViolation>
+BatchRunner::invariantViolations() const
+{
+    std::lock_guard<std::mutex> lk(impl_->violationsMu);
+    return impl_->violations;
 }
 
 void

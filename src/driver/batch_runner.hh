@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/whole_system_sim.hh"
+#include "obs/invariant_monitor.hh"
 #include "workloads/workload.hh"
 
 namespace cwsp::driver {
@@ -79,6 +80,14 @@ struct BatchConfig
     std::string cacheDir;
     /** Version stamp for cache entries (tests override this). */
     std::string versionStamp = kResultCacheVersion;
+    /**
+     * Attach an obs::InvariantMonitor to every simulation this
+     * runner performs and collect protocol violations
+     * (invariantViolations()). Implies bypassing disk-cache *loads*
+     * for the batch — a cached result would skip the simulation and
+     * leave its event stream unchecked — while stores still happen.
+     */
+    bool checkInvariants = false;
 };
 
 /** Where results came from (all counters are cumulative). */
@@ -89,6 +98,8 @@ struct BatchStats
     std::uint64_t diskHits = 0;       ///< persistent result cache
     std::uint64_t modulesCompiled = 0;
     std::uint64_t moduleCacheHits = 0;
+    std::uint64_t invariantEventsChecked = 0;
+    std::uint64_t invariantViolations = 0;
 };
 
 /** The parallel batch engine. */
@@ -144,6 +155,15 @@ class BatchRunner
 
     /** Export aggregateStats() as hierarchical JSON. */
     void exportAggregateJson(std::ostream &os) const;
+
+    /**
+     * Protocol violations collected across all simulated points when
+     * BatchConfig::checkInvariants is set; each violation's detail is
+     * prefixed with the offending design point's cache key. Capped at
+     * a few hundred entries; BatchStats::invariantViolations has the
+     * uncapped count.
+     */
+    std::vector<obs::InvariantViolation> invariantViolations() const;
 
     /** Drop the in-process caches (the disk cache is untouched). */
     void clearMemoryCaches();

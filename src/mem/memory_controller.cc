@@ -32,8 +32,11 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
         slotFree_.pop_front();
         ++fullStalls_;
         if (trace_ && admit > arrival) {
+            auto cause = logged ? sim::StallCause::McUndoLog
+                                : sim::StallCause::WpqFull;
             trace_->record(sim::TraceEventKind::WpqFull, lane_,
-                           arrival, admit - arrival);
+                           arrival, admit - arrival,
+                           static_cast<std::uint64_t>(cause));
         }
     }
 
@@ -45,12 +48,17 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
     slotFree_.push_back(drained);
 
     if (trace_) {
-        trace_->record(sim::TraceEventKind::WpqAdmit, lane_, admit,
-                       drained - admit, word_addr, bytes);
+        // Log-before-accept: a speculative store's undo record lands
+        // before the WPQ accepts the store itself, and WpqAdmit's
+        // arg1 carries the logged flag so an online checker can pair
+        // the two (obs::InvariantMonitor relies on this order).
         if (logged) {
             trace_->record(sim::TraceEventKind::UndoAppend, lane_,
                            admit, 0, word_addr);
         }
+        trace_->record(sim::TraceEventKind::WpqAdmit, lane_, admit,
+                       drained - admit, word_addr,
+                       sim::wpqAdmitArg1(bytes, logged));
     }
 
     inflight_[word_addr] = drained;

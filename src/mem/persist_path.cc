@@ -28,6 +28,7 @@ PersistPath::send(Tick ready, std::uint32_t bytes, McId mc)
         transfer = 1;
 
     Tick start = std::max(ready, linkFree_);
+    lastQueueDelay_ = start - ready;
     linkFree_ = start + transfer;
 
     if (trace_) {

@@ -44,6 +44,12 @@ class PersistPath
     Tick linkFree() const { return linkFree_; }
 
     /**
+     * Cycles the last send() waited for the link (start - ready);
+     * nonzero means the entry was bandwidth-bound, not latency-bound.
+     */
+    Tick lastQueueDelay() const { return lastQueueDelay_; }
+
+    /**
      * Backpressure: a full WPQ holds the head entry on the link, so
      * nothing behind it can transfer before @p until.
      */
@@ -75,6 +81,7 @@ class PersistPath
     double bytesPerCycle_;
     McId nearMc_;
     Tick linkFree_ = 0;
+    Tick lastQueueDelay_ = 0;
     std::uint64_t sent_ = 0;
     std::uint64_t bytes_ = 0;
     sim::TraceBuffer *trace_ = nullptr;

@@ -1,0 +1,487 @@
+#include "obs/baseline_diff.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cwsp::obs {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON walker. Instead of building a value
+ * tree it flattens numeric leaves straight into the metric map —
+ * stats files are wide but shallow, and this keeps the differ free
+ * of a DOM it would only traverse once.
+ */
+class MetricFlattener
+{
+  public:
+    MetricFlattener(const std::string &text,
+                    std::map<std::string, double> &out)
+        : text_(text), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        skipWs();
+        parseValue("");
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+    }
+
+  private:
+    const std::string &text_;
+    std::map<std::string, double> &out_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return s;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'n': s += '\n'; break;
+              case 't': s += '\t'; break;
+              case 'r': s += '\r'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'u':
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                // Metric names are ASCII; a non-ASCII code point
+                // only needs to round-trip as *some* stable byte.
+                pos_ += 4;
+                s += '?';
+                break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("expected number");
+        return std::strtod(text_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    }
+
+    void
+    skipLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("expected literal ") + lit);
+            ++pos_;
+        }
+    }
+
+    /**
+     * Peek an object element's "name" member without consuming it,
+     * so array entries can be keyed the google-benchmark way.
+     */
+    std::string
+    peekObjectName()
+    {
+        std::size_t saved = pos_;
+        std::string name;
+        expect('{');
+        skipWs();
+        while (peek() != '}') {
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            if (key == "name" && peek() == '"') {
+                name = parseString();
+                break;
+            }
+            skipValueOnly();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+            }
+        }
+        pos_ = saved;
+        return name;
+    }
+
+    /** Consume a value without emitting metrics (for peeking). */
+    void
+    skipValueOnly()
+    {
+        char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                parseString();
+                skipWs();
+                expect(':');
+                skipWs();
+                skipValueOnly();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipWs();
+                    continue;
+                }
+                expect('}');
+                return;
+            }
+        } else if (c == '[') {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                skipValueOnly();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipWs();
+                    continue;
+                }
+                expect(']');
+                return;
+            }
+        } else if (c == 't') {
+            skipLiteral("true");
+        } else if (c == 'f') {
+            skipLiteral("false");
+        } else if (c == 'n') {
+            skipLiteral("null");
+        } else {
+            parseNumber();
+        }
+    }
+
+    static std::string
+    join(const std::string &prefix, const std::string &key)
+    {
+        return prefix.empty() ? key : prefix + "." + key;
+    }
+
+    void
+    parseValue(const std::string &path)
+    {
+        char c = peek();
+        if (c == '{') {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                skipWs();
+                parseValue(join(path, key));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipWs();
+                    continue;
+                }
+                expect('}');
+                return;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            std::size_t index = 0;
+            while (true) {
+                std::string key;
+                skipWs();
+                if (peek() == '{') {
+                    std::string name = peekObjectName();
+                    if (!name.empty())
+                        key = "[" + name + "]";
+                }
+                if (key.empty())
+                    key = "[" + std::to_string(index) + "]";
+                parseValue(path + key);
+                ++index;
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipWs();
+                    continue;
+                }
+                expect(']');
+                return;
+            }
+        }
+        if (c == '"') {
+            parseString();
+            return;
+        }
+        if (c == 't') {
+            skipLiteral("true");
+            return;
+        }
+        if (c == 'f') {
+            skipLiteral("false");
+            return;
+        }
+        if (c == 'n') {
+            skipLiteral("null");
+            return;
+        }
+        out_[path] = parseNumber();
+    }
+};
+
+bool
+ignored(const std::string &metric, const DiffOptions &options)
+{
+    for (const auto &sub : options.ignoreSubstrings) {
+        if (!sub.empty() && metric.find(sub) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Magnitude of relative change, for sorting reports. */
+double
+changeMagnitude(const MetricDelta &d)
+{
+    if (d.before == 0.0 || d.after == 0.0 ||
+        !std::isfinite(d.ratio)) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return std::fabs(std::log(d.ratio));
+}
+
+} // namespace
+
+std::map<std::string, double>
+flattenMetricsJson(const std::string &json)
+{
+    std::map<std::string, double> out;
+    MetricFlattener(json, out).run();
+    return out;
+}
+
+DiffResult
+diffMetrics(const std::string &before_json,
+            const std::string &after_json, const DiffOptions &options)
+{
+    auto before = flattenMetricsJson(before_json);
+    auto after = flattenMetricsJson(after_json);
+
+    DiffResult result;
+    for (const auto &[metric, old_value] : before) {
+        auto it = after.find(metric);
+        if (it == after.end()) {
+            if (!ignored(metric, options))
+                result.onlyBefore.push_back(metric);
+            continue;
+        }
+        if (ignored(metric, options)) {
+            ++result.ignored;
+            continue;
+        }
+        ++result.compared;
+        double new_value = it->second;
+        MetricDelta delta{metric, old_value, new_value, 1.0};
+        if (old_value == new_value)
+            continue;
+        if (old_value == 0.0) {
+            delta.ratio =
+                std::numeric_limits<double>::infinity();
+            result.regressions.push_back(delta);
+            continue;
+        }
+        delta.ratio = new_value / old_value;
+        if (delta.ratio > 1.0 + options.threshold)
+            result.regressions.push_back(delta);
+        else if (delta.ratio < 1.0 - options.threshold)
+            result.improvements.push_back(delta);
+    }
+    for (const auto &[metric, value] : after) {
+        (void)value;
+        if (!before.count(metric) && !ignored(metric, options))
+            result.onlyAfter.push_back(metric);
+    }
+
+    auto by_magnitude = [](const MetricDelta &a,
+                           const MetricDelta &b) {
+        double ma = changeMagnitude(a);
+        double mb = changeMagnitude(b);
+        if (ma != mb)
+            return ma > mb;
+        return a.metric < b.metric;
+    };
+    std::sort(result.regressions.begin(), result.regressions.end(),
+              by_magnitude);
+    std::sort(result.improvements.begin(),
+              result.improvements.end(), by_magnitude);
+    return result;
+}
+
+bool
+diffMetricFiles(const std::string &before_path,
+                const std::string &after_path,
+                const DiffOptions &options, DiffResult &result,
+                std::string &error)
+{
+    auto slurp = [&error](const std::string &path,
+                          std::string &out) {
+        std::ifstream is(path);
+        if (!is) {
+            error = "cannot open " + path;
+            return false;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        out = ss.str();
+        return true;
+    };
+    std::string before_json;
+    std::string after_json;
+    if (!slurp(before_path, before_json) ||
+        !slurp(after_path, after_json)) {
+        return false;
+    }
+    try {
+        result = diffMetrics(before_json, after_json, options);
+    } catch (const std::exception &ex) {
+        error = ex.what();
+        return false;
+    }
+    return true;
+}
+
+void
+printDiffReport(std::ostream &os, const DiffResult &result,
+                const DiffOptions &options)
+{
+    constexpr std::size_t kMaxListed = 20;
+    os << "compared " << result.compared << " metrics (threshold "
+       << options.threshold * 100.0 << "%, ignored "
+       << result.ignored << ")\n";
+
+    auto print_list = [&os, kMaxListed](const char *label,
+                            const std::vector<MetricDelta> &list) {
+        os << label << ": " << list.size() << "\n";
+        std::size_t shown = std::min(list.size(), kMaxListed);
+        for (std::size_t i = 0; i < shown; ++i) {
+            const auto &d = list[i];
+            os << "  " << d.metric << ": " << d.before << " -> "
+               << d.after;
+            if (std::isfinite(d.ratio)) {
+                auto prec = os.precision();
+                os << " (" << std::showpos << std::fixed
+                   << std::setprecision(1) << (d.ratio - 1.0) * 100.0
+                   << "%)" << std::noshowpos << std::defaultfloat
+                   << std::setprecision(prec);
+            } else {
+                os << " (was zero)";
+            }
+            os << "\n";
+        }
+        if (list.size() > shown) {
+            os << "  ... " << list.size() - shown << " more\n";
+        }
+    };
+    print_list("regressions", result.regressions);
+    print_list("improvements", result.improvements);
+    if (!result.onlyBefore.empty()) {
+        os << "metrics only in baseline: " << result.onlyBefore.size()
+           << "\n";
+    }
+    if (!result.onlyAfter.empty()) {
+        os << "metrics only in current: " << result.onlyAfter.size()
+           << "\n";
+    }
+}
+
+} // namespace cwsp::obs

@@ -1,0 +1,224 @@
+#include "obs/invariant_monitor.hh"
+
+namespace cwsp::obs {
+
+namespace {
+
+/** Persist-side activity that must pause between crash and replay. */
+bool
+isPersistActivity(sim::TraceEventKind kind)
+{
+    using sim::TraceEventKind;
+    switch (kind) {
+      case TraceEventKind::PbEnqueue:
+      case TraceEventKind::PbDrain:
+      case TraceEventKind::PbStall:
+      case TraceEventKind::PathSend:
+      case TraceEventKind::WpqAdmit:
+      case TraceEventKind::WpqFull:
+      case TraceEventKind::UndoAppend:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+printEvent(std::ostream &os, const sim::TraceEvent &ev)
+{
+    os << "tick=" << ev.tick << " lane=" << ev.lane << " "
+       << sim::traceKindName(ev.kind);
+    if (ev.duration > 0)
+        os << " dur=" << ev.duration;
+    os << " arg0=" << ev.arg0 << " arg1=" << ev.arg1;
+}
+
+} // namespace
+
+InvariantMonitor::InvariantMonitor(
+    const InvariantMonitorConfig &config)
+    : config_(config)
+{
+}
+
+void
+InvariantMonitor::reset()
+{
+    mcs_.clear();
+    lanes_.clear();
+    hasBegunRegion_ = false;
+    lastBegunRegion_ = 0;
+    crashed_ = false;
+    recovered_ = false;
+    eventsChecked_ = 0;
+    violationCount_ = 0;
+    violations_.clear();
+    window_.clear();
+}
+
+void
+InvariantMonitor::report(const std::string &invariant,
+                         std::string detail)
+{
+    ++violationCount_;
+    if (violations_.size() >= config_.maxViolations)
+        return;
+    InvariantViolation v;
+    v.invariant = invariant;
+    v.detail = std::move(detail);
+    v.eventIndex = eventsChecked_ - 1;
+    v.window.assign(window_.begin(), window_.end());
+    violations_.push_back(std::move(v));
+}
+
+void
+InvariantMonitor::onTraceEvent(const sim::TraceEvent &event)
+{
+    using sim::TraceEventKind;
+    ++eventsChecked_;
+    window_.push_back(event);
+    while (window_.size() > config_.windowSize)
+        window_.pop_front();
+
+    if (crashed_ && !recovered_ && isPersistActivity(event.kind)) {
+        report("crash-quiescence",
+               "persist activity at tick " +
+                   std::to_string(event.tick) +
+                   " after crash, before recovery-slice replay");
+    }
+
+    switch (event.kind) {
+      case TraceEventKind::RegionBegin: {
+        auto region = static_cast<RegionId>(event.arg0);
+        if (hasBegunRegion_ && region <= lastBegunRegion_) {
+            report("region-order",
+                   "region " + std::to_string(region) +
+                       " begun after region " +
+                       std::to_string(lastBegunRegion_) +
+                       " (shared counter must increase)");
+        }
+        hasBegunRegion_ = true;
+        lastBegunRegion_ = region;
+        break;
+      }
+      case TraceEventKind::RbtRetire: {
+        auto region = static_cast<RegionId>(event.arg0);
+        LaneState &lane = lanes_[event.lane];
+        if (lane.hasRetired && region <= lane.lastRetired) {
+            report("retire-order",
+                   "lane " + std::to_string(event.lane) +
+                       " retired region " + std::to_string(region) +
+                       " after region " +
+                       std::to_string(lane.lastRetired));
+        }
+        lane.hasRetired = true;
+        lane.lastRetired = region;
+        break;
+      }
+      case TraceEventKind::UndoAppend: {
+        McState &mc = mcs_[event.lane];
+        if (mc.pendingUndo) {
+            report("undo-coverage",
+                   "undo append for addr " +
+                       std::to_string(event.arg0) +
+                       " while the append for addr " +
+                       std::to_string(mc.pendingUndoAddr) +
+                       " has no matching logged admission yet");
+        }
+        mc.pendingUndo = true;
+        mc.pendingUndoTick = event.tick;
+        mc.pendingUndoAddr = event.arg0;
+        break;
+      }
+      case TraceEventKind::WpqAdmit: {
+        McState &mc = mcs_[event.lane];
+        bool logged = sim::wpqAdmitLogged(event.arg1);
+        if (logged) {
+            if (!mc.pendingUndo || mc.pendingUndoAddr != event.arg0 ||
+                mc.pendingUndoTick != event.tick) {
+                report("undo-coverage",
+                       "speculative store to addr " +
+                           std::to_string(event.arg0) +
+                           " admitted at tick " +
+                           std::to_string(event.tick) +
+                           " without a matching undo-log append");
+            }
+            mc.pendingUndo = false;
+        } else if (mc.pendingUndo) {
+            report("undo-coverage",
+                   "undo append for addr " +
+                       std::to_string(mc.pendingUndoAddr) +
+                       " followed by a non-logged admission");
+            mc.pendingUndo = false;
+        }
+
+        // Occupancy replica: pop entries drained by admission time,
+        // then admit. The real WPQ pops no later than this, so a
+        // capacity excess here is an excess in the model too.
+        while (!mc.drains.empty() && mc.drains.front() <= event.tick)
+            mc.drains.pop_front();
+        mc.drains.push_back(event.tick + event.duration);
+        if (mc.drains.size() > config_.wpqCapacity) {
+            report("wpq-capacity",
+                   "lane " + std::to_string(event.lane) + " holds " +
+                       std::to_string(mc.drains.size()) +
+                       " entries, ADR capacity is " +
+                       std::to_string(config_.wpqCapacity));
+        }
+        break;
+      }
+      case TraceEventKind::CrashInject:
+        crashed_ = true;
+        recovered_ = false;
+        break;
+      case TraceEventKind::RecoverySlice:
+      case TraceEventKind::RecoveryResume:
+        recovered_ = true;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+InvariantMonitor::finish()
+{
+    for (auto &[lane, mc] : mcs_) {
+        if (mc.pendingUndo) {
+            report("undo-coverage",
+                   "stream ended with an unmatched undo append for "
+                   "addr " +
+                       std::to_string(mc.pendingUndoAddr) +
+                       " on lane " + std::to_string(lane));
+            mc.pendingUndo = false;
+        }
+    }
+}
+
+void
+printViolations(std::ostream &os,
+                const std::vector<InvariantViolation> &violations)
+{
+    for (const auto &v : violations) {
+        os << "VIOLATION [" << v.invariant << "] at event #"
+           << v.eventIndex << ": " << v.detail << "\n";
+        for (const auto &ev : v.window) {
+            os << "    ";
+            printEvent(os, ev);
+            os << "\n";
+        }
+    }
+}
+
+std::vector<InvariantViolation>
+checkInvariants(const std::vector<sim::TraceEvent> &events,
+                const InvariantMonitorConfig &config)
+{
+    InvariantMonitor monitor(config);
+    for (const auto &ev : events)
+        monitor.onTraceEvent(ev);
+    monitor.finish();
+    return monitor.violations();
+}
+
+} // namespace cwsp::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Online protocol checking: a TraceSink that validates persistence
+ * invariants as events arrive, so violations surface the moment a
+ * simulation (or a hand-corrupted stream) breaks protocol, with the
+ * event window that led up to it. Checks:
+ *
+ *  1. in-order region lifecycle: RegionBegin ids increase globally
+ *     (shared hardware counter, Fig. 9) and RbtRetire ids increase
+ *     per lane (FIFO RBT);
+ *  2. undo-log coverage: every WPQ admission flagged as speculative
+ *     is immediately preceded on its MC lane by the matching
+ *     UndoAppend (log-before-accept), and no append is orphaned;
+ *  3. WPQ occupancy never exceeds the ADR-backed capacity;
+ *  4. after a crash, no persist-side activity (PB/path/WPQ/undo
+ *     append) until the recovery slice replays (UndoRollback is the
+ *     recovery log replay itself and is allowed).
+ *
+ * Attach with WholeSystemSim::attachTraceSink (or feed a snapshot
+ * offline). The producing buffer must trace with mask kTraceAll:
+ * the undo-coverage check pairs events across the wpq and mc
+ * categories, so masking either off would fabricate violations.
+ */
+
+#ifndef CWSP_OBS_INVARIANT_MONITOR_HH
+#define CWSP_OBS_INVARIANT_MONITOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace cwsp::obs {
+
+/** One detected protocol violation plus its trailing event window. */
+struct InvariantViolation
+{
+    std::string invariant; ///< short id, e.g. "undo-coverage"
+    std::string detail;
+    std::uint64_t eventIndex = 0; ///< offending event's stream index
+    std::vector<sim::TraceEvent> window; ///< events up to and
+                                         ///< including the offender
+};
+
+/** Tuning knobs for one monitor instance. */
+struct InvariantMonitorConfig
+{
+    std::uint32_t wpqCapacity = 24; ///< ADR domain size per MC
+    std::size_t windowSize = 8;     ///< events kept per violation
+    std::size_t maxViolations = 64; ///< reporting cap (counting
+                                    ///< continues past it)
+};
+
+class InvariantMonitor final : public sim::TraceSink
+{
+  public:
+    explicit InvariantMonitor(const InvariantMonitorConfig &config =
+                                  InvariantMonitorConfig{});
+
+    void onTraceEvent(const sim::TraceEvent &event) override;
+
+    /**
+     * End-of-stream checks (an UndoAppend with no admission is only
+     * detectable once the stream ends). Idempotent.
+     */
+    void finish();
+
+    std::uint64_t eventsChecked() const { return eventsChecked_; }
+    std::uint64_t violationCount() const { return violationCount_; }
+    bool clean() const { return violationCount_ == 0; }
+    const std::vector<InvariantViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Reset all stream state for a fresh run. */
+    void reset();
+
+  private:
+    struct McState
+    {
+        std::deque<Tick> drains; ///< in-flight WPQ entry drain times
+        bool pendingUndo = false;
+        Tick pendingUndoTick = 0;
+        std::uint64_t pendingUndoAddr = 0;
+    };
+
+    struct LaneState
+    {
+        bool hasRetired = false;
+        RegionId lastRetired = 0;
+    };
+
+    InvariantMonitorConfig config_;
+    std::map<std::uint16_t, McState> mcs_;
+    std::map<std::uint16_t, LaneState> lanes_;
+    bool hasBegunRegion_ = false;
+    RegionId lastBegunRegion_ = 0;
+    bool crashed_ = false;
+    bool recovered_ = false;
+    std::uint64_t eventsChecked_ = 0;
+    std::uint64_t violationCount_ = 0;
+    std::vector<InvariantViolation> violations_;
+    std::deque<sim::TraceEvent> window_;
+
+    void report(const std::string &invariant, std::string detail);
+};
+
+/** Human-readable violation report (event windows included). */
+void printViolations(std::ostream &os,
+                     const std::vector<InvariantViolation> &violations);
+
+/** Offline convenience: run a snapshot through a fresh monitor. */
+std::vector<InvariantViolation>
+checkInvariants(const std::vector<sim::TraceEvent> &events,
+                const InvariantMonitorConfig &config =
+                    InvariantMonitorConfig{});
+
+} // namespace cwsp::obs
+
+#endif // CWSP_OBS_INVARIANT_MONITOR_HH

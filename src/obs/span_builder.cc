@@ -1,0 +1,121 @@
+#include "obs/span_builder.hh"
+
+#include <algorithm>
+
+namespace cwsp::obs {
+
+void
+SpanBuilder::onTraceEvent(const sim::TraceEvent &event)
+{
+    using sim::TraceEventKind;
+    switch (event.kind) {
+      case TraceEventKind::RegionBegin: {
+        RegionSpan span;
+        span.region = static_cast<RegionId>(event.arg0);
+        span.staticRegion = event.arg1;
+        span.lane = event.lane;
+        span.begin = event.tick;
+        spans_.push_back(span);
+        break;
+      }
+      case TraceEventKind::RegionEnd: {
+        auto *span =
+            findOpen(static_cast<RegionId>(event.arg0), event.lane);
+        if (span && !span->closed) {
+            span->closed = true;
+            span->end = event.tick;
+        }
+        break;
+      }
+      case TraceEventKind::RegionPersist: {
+        auto *span =
+            findOpen(static_cast<RegionId>(event.arg0), event.lane);
+        if (span) {
+            span->retired = true;
+            span->retire = event.tick;
+            span->persistMax = event.arg1;
+            // A retired region is necessarily closed; a masked or
+            // ring-dropped RegionEnd leaves end at the best bound we
+            // have (retirement can't precede the boundary).
+            if (!span->closed) {
+                span->closed = true;
+                span->end = std::min(event.tick, span->persistMax);
+                if (span->end < span->begin)
+                    span->end = span->begin;
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+RegionSpan *
+SpanBuilder::findOpen(RegionId region, std::uint16_t lane)
+{
+    // Walk from the newest span: RegionEnd always targets the lane's
+    // most recent region and RegionPersist the oldest unretired one,
+    // both within RBT depth (tens) of the tail in practice.
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+        if (it->region == region && it->lane == lane)
+            return &*it;
+    }
+    return nullptr;
+}
+
+std::vector<RegionSpan>
+SpanBuilder::spans() const
+{
+    auto out = spans_;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const RegionSpan &a, const RegionSpan &b) {
+                         if (a.begin != b.begin)
+                             return a.begin < b.begin;
+                         return a.region < b.region;
+                     });
+    return out;
+}
+
+std::vector<RegionSpan>
+buildSpans(const std::vector<sim::TraceEvent> &events)
+{
+    SpanBuilder builder;
+    for (const auto &ev : events)
+        builder.onTraceEvent(ev);
+    return builder.spans();
+}
+
+SpanSummary
+summarizeSpans(const std::vector<RegionSpan> &spans)
+{
+    SpanSummary s;
+    s.begun = spans.size();
+    for (const auto &span : spans) {
+        if (span.closed)
+            ++s.closed;
+        if (span.retired)
+            ++s.retired;
+        s.executeCycles += span.executeCycles();
+        s.drainCycles += span.drainCycles();
+        s.orderWaitCycles += span.orderWaitCycles();
+        s.maxDrain = std::max(s.maxDrain, span.drainCycles());
+        s.maxOrderWait =
+            std::max(s.maxOrderWait, span.orderWaitCycles());
+    }
+    return s;
+}
+
+void
+printSpanSummary(std::ostream &os, const SpanSummary &summary)
+{
+    os << "regions: begun " << summary.begun << ", closed "
+       << summary.closed << ", retired " << summary.retired << "\n";
+    os << "phase cycles: execute " << summary.executeCycles
+       << ", drain " << summary.drainCycles << " (max "
+       << summary.maxDrain << "), order-wait "
+       << summary.orderWaitCycles << " (max " << summary.maxOrderWait
+       << ")\n";
+}
+
+} // namespace cwsp::obs

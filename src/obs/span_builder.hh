@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Region lifecycle reconstruction: folds the point events the RBT and
+ * scheme layers emit (RegionBegin/RegionEnd/RegionPersist) back into
+ * per-region spans with phase timings —
+ *
+ *   begin --execute--> end --drain--> own-persist --order--> retire
+ *
+ * execute is the region's committed work, drain is the tail of its
+ * own stores still in flight past the closing boundary, and order
+ * wait is the extra time the in-order RBT cascade holds the entry for
+ * its predecessors (Fig. 9's PendingWrs discipline).
+ */
+
+#ifndef CWSP_OBS_SPAN_BUILDER_HH
+#define CWSP_OBS_SPAN_BUILDER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace cwsp::obs {
+
+/** One reconstructed region lifecycle. */
+struct RegionSpan
+{
+    RegionId region = 0;
+    std::uint64_t staticRegion = 0;
+    std::uint16_t lane = 0;
+    Tick begin = 0;
+    Tick end = 0;        ///< closing boundary (valid if closed)
+    Tick persistMax = 0; ///< last own-store ack (valid if retired)
+    Tick retire = 0;     ///< RBT departure (valid if retired)
+    bool closed = false;
+    bool retired = false;
+
+    Tick executeCycles() const { return closed ? end - begin : 0; }
+
+    /** Own stores still draining past the closing boundary. */
+    Tick
+    drainCycles() const
+    {
+        return retired && persistMax > end ? persistMax - end : 0;
+    }
+
+    /** Extra hold for predecessors in the in-order cascade. */
+    Tick
+    orderWaitCycles() const
+    {
+        if (!retired)
+            return 0;
+        Tick drained = persistMax > end ? persistMax : end;
+        return retire > drained ? retire - drained : 0;
+    }
+};
+
+/** Aggregate over a span set (printed by cwsp_analyze --spans). */
+struct SpanSummary
+{
+    std::uint64_t begun = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t executeCycles = 0;
+    std::uint64_t drainCycles = 0;
+    std::uint64_t orderWaitCycles = 0;
+    Tick maxDrain = 0;
+    Tick maxOrderWait = 0;
+};
+
+/**
+ * TraceSink that assembles spans online; also usable offline by
+ * feeding it a TraceBuffer snapshot. Requires the region category in
+ * the producing buffer's mask.
+ */
+class SpanBuilder final : public sim::TraceSink
+{
+  public:
+    void onTraceEvent(const sim::TraceEvent &event) override;
+
+    /** Spans seen so far, ordered by begin tick (then region id). */
+    std::vector<RegionSpan> spans() const;
+
+    void clear() { spans_.clear(); }
+
+  private:
+    std::vector<RegionSpan> spans_; ///< in RegionBegin order
+
+    RegionSpan *findOpen(RegionId region, std::uint16_t lane);
+};
+
+/** Offline convenience: build spans from a snapshot. */
+std::vector<RegionSpan>
+buildSpans(const std::vector<sim::TraceEvent> &events);
+
+SpanSummary summarizeSpans(const std::vector<RegionSpan> &spans);
+
+/** Human-readable summary block. */
+void printSpanSummary(std::ostream &os, const SpanSummary &summary);
+
+} // namespace cwsp::obs
+
+#endif // CWSP_OBS_SPAN_BUILDER_HH

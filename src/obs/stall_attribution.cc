@@ -1,0 +1,80 @@
+#include "obs/stall_attribution.hh"
+
+#include <iomanip>
+
+namespace cwsp::obs {
+
+namespace {
+
+std::size_t
+clampCause(std::uint64_t raw)
+{
+    return raw < sim::kNumStallCauses ? static_cast<std::size_t>(raw)
+                                      : 0;
+}
+
+} // namespace
+
+StallAttribution
+attributeStalls(const std::vector<sim::TraceEvent> &events)
+{
+    StallAttribution a;
+    for (const auto &ev : events) {
+        switch (ev.kind) {
+          case sim::TraceEventKind::PbStall:
+          case sim::TraceEventKind::RbtStall:
+            a.cycles[clampCause(ev.arg0)] += ev.duration;
+            ++a.events[clampCause(ev.arg0)];
+            a.totalStallCycles += ev.duration;
+            ++a.totalStallEvents;
+            break;
+          case sim::TraceEventKind::SchemeDrain:
+            a.cycles[clampCause(ev.arg1)] += ev.duration;
+            ++a.events[clampCause(ev.arg1)];
+            a.totalStallCycles += ev.duration;
+            ++a.totalStallEvents;
+            break;
+          case sim::TraceEventKind::WpqFull:
+            a.mcQueueWaitCycles += ev.duration;
+            break;
+          default:
+            break;
+        }
+    }
+    return a;
+}
+
+void
+printAttributionTable(std::ostream &os,
+                      const std::vector<AttributionRow> &rows)
+{
+    os << std::left << std::setw(12) << "scheme" << std::setw(12)
+       << "app" << std::right << std::setw(12) << "stall_cyc"
+       << std::setw(8) << "stall%";
+    for (std::size_t c = 0; c < sim::kNumStallCauses; ++c) {
+        os << std::setw(12)
+           << sim::stallCauseName(static_cast<sim::StallCause>(c));
+    }
+    os << std::setw(12) << "mc_wait" << std::setw(7) << "check"
+       << "\n";
+
+    for (const auto &row : rows) {
+        const auto &a = row.attribution;
+        os << std::left << std::setw(12) << row.scheme
+           << std::setw(12) << row.app << std::right << std::setw(12)
+           << a.totalStallCycles;
+        double pct =
+            row.runCycles == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(a.totalStallCycles) /
+                      static_cast<double>(row.runCycles);
+        os << std::setw(7) << std::fixed << std::setprecision(1)
+           << pct << "%";
+        for (auto cyc : a.cycles)
+            os << std::setw(12) << cyc;
+        os << std::setw(12) << a.mcQueueWaitCycles << std::setw(7)
+           << (a.sumsMatch() ? "ok" : "FAIL") << "\n";
+    }
+}
+
+} // namespace cwsp::obs

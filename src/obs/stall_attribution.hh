@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Stall attribution: charge every stalled core cycle to exactly one
+ * cause. Total stall cycles are *defined* as the summed durations of
+ * the core-lane stall events (PbStall, RbtStall, SchemeDrain), and
+ * each of those events carries a StallCause, so the per-cause
+ * decomposition sums to the total exactly — both numbers come from
+ * the same trace. WpqFull waits live on the MC lanes and are already
+ * folded into the core-side classification; they are reported
+ * separately as an informative queue-pressure figure, not added to
+ * the core total (that would double count).
+ */
+
+#ifndef CWSP_OBS_STALL_ATTRIBUTION_HH
+#define CWSP_OBS_STALL_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace cwsp::obs {
+
+/** Per-cause stall totals for one (scheme, app) run. */
+struct StallAttribution
+{
+    std::array<std::uint64_t, sim::kNumStallCauses> cycles{};
+    std::array<std::uint64_t, sim::kNumStallCauses> events{};
+    std::uint64_t totalStallCycles = 0; ///< sum of stall-event durs
+    std::uint64_t totalStallEvents = 0;
+    std::uint64_t mcQueueWaitCycles = 0; ///< WpqFull (informative)
+
+    /** Exact-sum self check; holds for any event stream. */
+    bool
+    sumsMatch() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : cycles)
+            sum += c;
+        return sum == totalStallCycles;
+    }
+};
+
+/**
+ * Attribute the stalls in @p events. Causes outside the enum range
+ * (a corrupted stream) are clamped to PbFull so the exact-sum
+ * property still holds; the invariant monitor is the place that
+ * flags such streams.
+ */
+StallAttribution
+attributeStalls(const std::vector<sim::TraceEvent> &events);
+
+/** One row of the attribution table. */
+struct AttributionRow
+{
+    std::string scheme;
+    std::string app;
+    StallAttribution attribution;
+    std::uint64_t runCycles = 0; ///< run length, for stall fraction
+};
+
+/**
+ * Print a per-scheme, per-app table: total stall cycles, one column
+ * per cause, the MC queue-wait figure, and the exact-sum check.
+ */
+void printAttributionTable(std::ostream &os,
+                           const std::vector<AttributionRow> &rows);
+
+} // namespace cwsp::obs
+
+#endif // CWSP_OBS_STALL_ATTRIBUTION_HH

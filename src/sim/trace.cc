@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
-
-#include "sim/logging.hh"
 
 namespace cwsp::sim {
 
@@ -36,36 +33,17 @@ constexpr CategoryName kCategoryNames[] = {
 
 } // namespace
 
-std::uint32_t
-parseTraceMask(const std::string &spec)
+const char *
+stallCauseName(StallCause cause)
 {
-    std::uint32_t mask = 0;
-    std::istringstream is(spec);
-    std::string tok;
-    while (std::getline(is, tok, ',')) {
-        if (tok.empty())
-            continue;
-        if (tok == "all") {
-            mask |= kTraceAll;
-            continue;
-        }
-        if (tok == "none")
-            continue;
-        bool found = false;
-        for (const auto &cn : kCategoryNames) {
-            if (tok == cn.name) {
-                mask |= cn.category;
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
-            cwsp_fatal("unknown trace category '", tok,
-                       "'; valid: region, pb, rbt, wpq, mc, wb, "
-                       "path, crash, all, none");
-        }
+    switch (cause) {
+      case StallCause::PbFull: return "pb_full";
+      case StallCause::WpqFull: return "wpq_full";
+      case StallCause::PathBandwidth: return "path_bw";
+      case StallCause::RbtFull: return "rbt_full";
+      case StallCause::McUndoLog: return "mc_undo_log";
     }
-    return mask;
+    return "?";
 }
 
 const char *
@@ -130,16 +108,9 @@ argNames(TraceEventKind kind, const char *&a0, const char *&a1)
         a0 = "region";
         a1 = "occupancy";
         break;
-      case TraceEventKind::SchemeDrain:
-        a0 = "stores";
-        break;
       case TraceEventKind::PbEnqueue:
       case TraceEventKind::PbDrain:
         a0 = "occupancy";
-        break;
-      case TraceEventKind::WpqAdmit:
-        a0 = "addr";
-        a1 = "bytes";
         break;
       case TraceEventKind::WpqHit:
         a0 = "addr";
@@ -168,11 +139,42 @@ argNames(TraceEventKind kind, const char *&a0, const char *&a1)
         a1 = "restart";
         break;
       case TraceEventKind::RsPointerWrite:
+      case TraceEventKind::CrashInject:
+        break;
+      case TraceEventKind::WpqAdmit:
+      case TraceEventKind::SchemeDrain:
       case TraceEventKind::PbStall:
       case TraceEventKind::RbtStall:
       case TraceEventKind::WpqFull:
-      case TraceEventKind::CrashInject:
+        // Decoded args; writeEventArgs() handles these.
         break;
+    }
+}
+
+/** Args block for kinds whose raw arg slots need decoding. */
+bool
+writeEventArgs(std::ostream &os, const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case TraceEventKind::WpqAdmit:
+        os << "\"addr\":" << ev.arg0
+           << ",\"bytes\":" << wpqAdmitBytes(ev.arg1)
+           << ",\"logged\":" << (wpqAdmitLogged(ev.arg1) ? 1 : 0);
+        return true;
+      case TraceEventKind::SchemeDrain:
+        os << "\"stores\":" << ev.arg0 << ",\"cause\":\""
+           << stallCauseName(static_cast<StallCause>(ev.arg1))
+           << "\"";
+        return true;
+      case TraceEventKind::PbStall:
+      case TraceEventKind::RbtStall:
+      case TraceEventKind::WpqFull:
+        os << "\"cause\":\""
+           << stallCauseName(static_cast<StallCause>(ev.arg0))
+           << "\"";
+        return true;
+      default:
+        return false;
     }
 }
 
@@ -211,28 +213,35 @@ TraceBuffer::exportChromeJson(std::ostream &os) const
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
 
-    // Thread-name metadata for every lane that appears.
+    // Process + per-lane metadata. thread_sort_index mirrors the
+    // lane number, so Perfetto shows cores (0..) above MCs (256..)
+    // instead of in first-event order.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"cwsp sim\"}},"
+          "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"sort_index\":0}}";
+    first = false;
     std::map<std::uint16_t, bool> lanes;
     for (const auto &ev : events)
         lanes[ev.lane] = true;
     for (const auto &[lane, unused] : lanes) {
         (void)unused;
-        os << (first ? "" : ",");
-        first = false;
-        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+        os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
               "\"tid\":"
            << lane << ",\"args\":{\"name\":\"";
         if (lane >= kMcLaneBase)
             os << "mc" << (lane - kMcLaneBase);
         else
             os << "core" << lane;
-        os << "\"}}";
+        os << "\"}},"
+              "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
+              "\"pid\":0,\"tid\":"
+           << lane << ",\"args\":{\"sort_index\":" << lane << "}}";
     }
 
+    Tick last_tick = 0;
     for (const auto &ev : events) {
-        const char *a0 = nullptr;
-        const char *a1 = nullptr;
-        argNames(ev.kind, a0, a1);
+        last_tick = std::max(last_tick, ev.tick);
         os << (first ? "" : ",");
         first = false;
         os << "{\"name\":\"" << traceKindName(ev.kind)
@@ -245,12 +254,26 @@ TraceBuffer::exportChromeJson(std::ostream &os) const
         else
             os << ",\"ph\":\"i\",\"s\":\"t\"";
         os << ",\"args\":{";
-        if (a0)
-            os << "\"" << a0 << "\":" << ev.arg0;
-        if (a1)
-            os << (a0 ? "," : "") << "\"" << a1 << "\":" << ev.arg1;
+        if (!writeEventArgs(os, ev)) {
+            const char *a0 = nullptr;
+            const char *a1 = nullptr;
+            argNames(ev.kind, a0, a1);
+            if (a0)
+                os << "\"" << a0 << "\":" << ev.arg0;
+            if (a1)
+                os << (a0 ? "," : "") << "\"" << a1
+                   << "\":" << ev.arg1;
+        }
         os << "}}";
     }
+
+    // Trailing counter track makes ring truncation visible in the
+    // Perfetto UI itself, not just in otherData/stderr.
+    os << (first ? "" : ",");
+    os << "{\"name\":\"trace_drops\",\"ph\":\"C\",\"pid\":0,"
+          "\"tid\":0,\"ts\":"
+       << last_tick << ",\"args\":{\"dropped\":" << dropped()
+       << "}}";
     os << "],\"otherData\":{\"recorded\":" << recorded()
        << ",\"dropped\":" << dropped() << "}}";
 }

@@ -46,33 +46,52 @@ enum TraceCategory : std::uint32_t {
 inline constexpr std::uint32_t kTraceAll = 0xffffffffu;
 inline constexpr std::uint32_t kTraceNone = 0;
 
+// parseTraceMask() lives in sim/trace_mask.hh (shared by the CLI
+// tools so their --trace-mask handling cannot drift).
+
 /**
- * Parse a comma-separated category list ("region,pb,rbt", "all",
- * "none") into a mask. Unknown names raise cwsp_fatal listing the
- * valid choices.
+ * Why a stalled cycle was lost. Stall-carrying events (PbStall,
+ * RbtStall, SchemeDrain, WpqFull) carry one of these in an arg slot
+ * so the obs-layer attributor can charge every stalled cycle to
+ * exactly one cause.
  */
-std::uint32_t parseTraceMask(const std::string &spec);
+enum class StallCause : std::uint8_t {
+    PbFull = 0,    ///< PB capacity is the binding resource (the
+                   ///< blocking entry saw no downstream queueing)
+    WpqFull,       ///< WPQ admission wait dominated (plain store)
+    PathBandwidth, ///< persist-path link serialization dominated
+    RbtFull,       ///< RBT exhaustion at a region boundary
+    McUndoLog,     ///< WPQ admission wait on undo-log media work
+};
+
+inline constexpr std::size_t kNumStallCauses = 5;
+
+/** Stable cause name ("pb_full", "path_bw", ...). */
+const char *stallCauseName(StallCause cause);
 
 /** Typed event kinds (each belongs to exactly one category). */
 enum class TraceEventKind : std::uint16_t {
     // kTraceRegion
     RegionBegin,   ///< arg0 = region id, arg1 = static region
     RegionEnd,     ///< arg0 = region id
-    RegionPersist, ///< arg0 = region id (RBT entry departed)
-    SchemeDrain,   ///< arg0 = stores drained; dur = stall cycles
+    RegionPersist, ///< arg0 = region id, arg1 = own-store persist max
+    SchemeDrain,   ///< arg0 = stores drained, arg1 = StallCause;
+                   ///< dur = stall cycles
     RsPointerWrite, ///< cWSP: RS pointer persisted (Fig. 9 step 4)
     // kTracePb
     PbEnqueue, ///< arg0 = occupancy after reserve
     PbDrain,   ///< tick = MC ack releasing the head slot
-    PbStall,   ///< dur = commit stall from a full PB
+    PbStall,   ///< arg0 = StallCause of the blocking entry;
+               ///< dur = commit stall from a full PB
     // kTraceRbt
     RbtAlloc,  ///< arg0 = region id; dur = boundary stall
     RbtRetire, ///< tick = departure of a closed region
-    RbtStall,  ///< dur = boundary stall from a full RBT
+    RbtStall,  ///< arg0 = StallCause (RbtFull); dur = boundary stall
     // kTraceWpq
-    WpqAdmit, ///< arg0 = word addr, arg1 = bytes; dur = queue wait
+    WpqAdmit, ///< arg0 = word addr, arg1 = wpqAdmitArg1(bytes,
+              ///< logged); dur = queue wait
     WpqHit,   ///< arg0 = word addr, arg1 = extra load cycles
-    WpqFull,  ///< dur = admission wait for a slot
+    WpqFull,  ///< arg0 = StallCause; dur = admission wait for a slot
     // kTraceMc
     UndoAppend,   ///< arg0 = word addr (speculative store logged)
     UndoRollback, ///< arg0 = word addr, arg1 = region (recovery)
@@ -159,6 +178,60 @@ struct TraceEvent
     std::uint16_t lane = 0; ///< coreLane()/mcLane()
 };
 
+constexpr bool
+operator==(const TraceEvent &a, const TraceEvent &b)
+{
+    return a.tick == b.tick && a.duration == b.duration &&
+           a.arg0 == b.arg0 && a.arg1 == b.arg1 && a.kind == b.kind &&
+           a.lane == b.lane;
+}
+
+constexpr bool
+operator!=(const TraceEvent &a, const TraceEvent &b)
+{
+    return !(a == b);
+}
+
+/**
+ * WpqAdmit packs the store size and its undo-logged flag into arg1 so
+ * online checkers can pair each logged admission with the UndoAppend
+ * the MC emits immediately before it.
+ */
+inline constexpr std::uint64_t kWpqAdmitLoggedFlag = 1ull << 32;
+
+constexpr std::uint64_t
+wpqAdmitArg1(std::uint32_t bytes, bool logged)
+{
+    return bytes | (logged ? kWpqAdmitLoggedFlag : 0);
+}
+
+constexpr std::uint32_t
+wpqAdmitBytes(std::uint64_t arg1)
+{
+    return static_cast<std::uint32_t>(arg1 & 0xffffffffu);
+}
+
+constexpr bool
+wpqAdmitLogged(std::uint64_t arg1)
+{
+    return (arg1 & kWpqAdmitLoggedFlag) != 0;
+}
+
+/**
+ * Observer of accepted trace events. A sink attached to a TraceBuffer
+ * sees every event that passes the category mask, in record order,
+ * *before* it lands in the ring — so online consumers (invariant
+ * monitors, span builders) observe the full stream even when the ring
+ * later overwrites old entries. Sinks run on the simulation thread;
+ * they must not call back into the buffer.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void onTraceEvent(const TraceEvent &event) = 0;
+};
+
 /**
  * Fixed-capacity single-producer ring buffer of trace events. The
  * capacity is rounded up to a power of two; when full, new events
@@ -174,6 +247,13 @@ class TraceBuffer
     std::uint32_t mask() const { return mask_; }
     void setMask(std::uint32_t mask) { mask_ = mask; }
 
+    /**
+     * Attach an observer (nullptr detaches). The sink sees every
+     * mask-accepted event, including ones the ring later drops.
+     */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+    TraceSink *sink() const { return sink_; }
+
     bool
     wants(TraceCategory category) const
     {
@@ -188,9 +268,11 @@ class TraceBuffer
     {
         if (!wants(traceKindCategory(kind)))
             return;
+        TraceEvent event{tick, duration, arg0, arg1, kind, lane};
+        if (sink_)
+            sink_->onTraceEvent(event);
         std::uint64_t h = head_.load(std::memory_order_relaxed);
-        slots_[h & capMask_] =
-            TraceEvent{tick, duration, arg0, arg1, kind, lane};
+        slots_[h & capMask_] = event;
         head_.store(h + 1, std::memory_order_relaxed);
     }
 
@@ -227,6 +309,7 @@ class TraceBuffer
     std::vector<TraceEvent> slots_;
     std::uint64_t capMask_;
     std::uint32_t mask_;
+    TraceSink *sink_ = nullptr;
     std::atomic<std::uint64_t> head_{0};
 };
 

@@ -1,0 +1,87 @@
+#include "sim/trace_mask.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace cwsp::sim {
+
+namespace {
+
+constexpr TraceCategory kAllCategories[] = {
+    kTraceRegion, kTracePb, kTraceRbt,  kTraceWpq,
+    kTraceMc,     kTraceWb, kTracePath, kTraceCrash,
+};
+
+bool
+parseHexMask(const std::string &tok, std::uint32_t &mask)
+{
+    if (tok.size() <= 2 || tok[0] != '0' ||
+        (tok[1] != 'x' && tok[1] != 'X')) {
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+        char c = tok[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            cwsp_fatal("bad hex digit in trace mask '", tok, "'");
+        value = (value << 4) | digit;
+        if (value > 0xffffffffull)
+            cwsp_fatal("trace mask '", tok, "' exceeds 32 bits");
+    }
+    mask |= static_cast<std::uint32_t>(value);
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+parseTraceMask(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::istringstream is(spec);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask |= kTraceAll;
+            continue;
+        }
+        if (tok == "none")
+            continue;
+        if (parseHexMask(tok, mask))
+            continue;
+        bool found = false;
+        for (TraceCategory cat : kAllCategories) {
+            if (tok == traceCategoryName(cat)) {
+                mask |= cat;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            cwsp_fatal("unknown trace category '", tok,
+                       "'; valid: region, pb, rbt, wpq, mc, wb, "
+                       "path, crash, all, none, or hex (0x..)");
+        }
+    }
+    return mask;
+}
+
+const char *
+traceMaskHelp()
+{
+    return "comma list of region,pb,rbt,wpq,mc,wb,path,crash, "
+           "the aliases all/none, or a hex mask (0x..)";
+}
+
+} // namespace cwsp::sim

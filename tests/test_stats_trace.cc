@@ -18,6 +18,7 @@
 
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "sim/trace_mask.hh"
 
 namespace cwsp {
 namespace {
@@ -289,6 +290,20 @@ TEST(TraceMask, ParsesListsAndAliases)
     EXPECT_THROW(sim::parseTraceMask("bogus"), std::runtime_error);
 }
 
+TEST(TraceMask, ParsesHexAndMixedSpecs)
+{
+    EXPECT_EQ(sim::parseTraceMask("0x3"),
+              sim::kTraceRegion | sim::kTracePb);
+    EXPECT_EQ(sim::parseTraceMask("0xffffffff"), sim::kTraceAll);
+    EXPECT_EQ(sim::parseTraceMask("0X80"), sim::kTraceCrash);
+    // Symbolic names and hex terms combine in one comma list.
+    EXPECT_EQ(sim::parseTraceMask("region,0x2"),
+              sim::kTraceRegion | sim::kTracePb);
+    EXPECT_THROW(sim::parseTraceMask("0xzz"), std::runtime_error);
+    EXPECT_THROW(sim::parseTraceMask("0x100000000"),
+                 std::runtime_error);
+}
+
 TEST(TraceBuffer, ChromeJsonExportParses)
 {
     sim::TraceBuffer tb(64);
@@ -302,8 +317,10 @@ TEST(TraceBuffer, ChromeJsonExportParses)
     ASSERT_EQ(root.type, JsonValue::Object);
     ASSERT_EQ(root.at("traceEvents").type, JsonValue::Array);
     const auto &events = root.at("traceEvents").array;
-    // 3 recorded events + thread_name metadata per lane (2 lanes).
-    std::size_t named = 0, durations = 0, instants = 0;
+    // 3 recorded events + process_name/process_sort_index + per-lane
+    // thread_name/thread_sort_index metadata (2 lanes) + trailing
+    // drop counter.
+    std::size_t named = 0, durations = 0, instants = 0, counters = 0;
     for (const auto &e : events) {
         ASSERT_EQ(e.type, JsonValue::Object);
         const std::string &ph = e.at("ph").string;
@@ -313,10 +330,13 @@ TEST(TraceBuffer, ChromeJsonExportParses)
             ++durations;
         else if (ph == "i")
             ++instants;
+        else if (ph == "C")
+            ++counters;
         else
             FAIL() << "unexpected phase " << ph;
     }
-    EXPECT_EQ(named, 2u);
+    EXPECT_EQ(named, 6u);
+    EXPECT_EQ(counters, 1u);
     EXPECT_EQ(durations + instants, 3u);
     EXPECT_GE(durations, 2u); // PbStall and WpqAdmit carry durations
 }

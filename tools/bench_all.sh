@@ -34,6 +34,14 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# Keep the previous summary so the baseline differ can flag metric
+# regressions after the new one is written.
+prev=
+if [ -f "$OUT" ]; then
+    prev=$tmp/previous_summary.json
+    cp "$OUT" "$prev"
+fi
+
 start=$(date +%s)
 for b in "$BUILD_DIR"/bench/bench_*; do
     [ -x "$b" ] || continue
@@ -82,3 +90,13 @@ print("wrote {}: {} binaries, {} cases, {}s wall clock".format(
     out_path, len(merged["binaries"]), merged["total_cases"],
     elapsed))
 EOF
+
+# Warn-only regression gate: compare against the previous summary
+# when one existed. Wall-clock metrics are ignored by default; a
+# nonzero exit (simulated-metric regressions) is reported but does
+# not fail the sweep — perf tracking, not a hard gate.
+if [ -n "$prev" ] && [ -x "$BUILD_DIR/tools/cwsp_analyze" ]; then
+    echo "== baseline diff vs previous $OUT (warn-only) =="
+    "$BUILD_DIR"/tools/cwsp_analyze --diff "$prev" "$OUT" ||
+        echo "bench_all: metrics moved vs previous $OUT (see above)" >&2
+fi

@@ -37,6 +37,13 @@ for san in "${SANITIZERS[@]}"; do
     cmake --build "$dir" -j "$JOBS"
     echo "== $san: ctest =="
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+    echo "== $san: invariant smoke (every scheme) =="
+    # Online protocol checking over a small batch: attaches the
+    # obs::InvariantMonitor to each simulation and fails on any
+    # violation (region ordering, undo-log coverage, WPQ capacity,
+    # crash quiescence).
+    "$dir"/tools/cwsp_analyze --check-invariants \
+          --scheme all --app fft --jobs "$JOBS"
 done
 
 echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Persistence analyzer: consume the simulator's trace streams and
+ * stats JSON and produce the observability reports —
+ *
+ *   cwsp_analyze --attribution --scheme cwsp --app all
+ *       per-cause stall attribution table (exact-sum checked)
+ *   cwsp_analyze --spans --scheme cwsp --app fft
+ *       region lifecycle phase summary (execute/drain/order-wait)
+ *   cwsp_analyze --check-invariants [--scheme all --suite splash3]
+ *       batch smoke with the online invariant monitor attached;
+ *       exit 1 on any protocol violation
+ *   cwsp_analyze --diff OLD.json NEW.json [--threshold 0.05]
+ *       baseline differ over two stats/BENCH_summary JSON files;
+ *       exit 1 when a metric regressed beyond the threshold
+ *
+ * Span/attribution modes run each (scheme, app) point directly with
+ * a full-mask TraceBuffer attached; --crash FRAC additionally
+ * replays the point with a power failure at FRAC of its run length
+ * and checks the crash/recovery invariants on that stream too.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/whole_system_sim.hh"
+#include "driver/batch_runner.hh"
+#include "obs/baseline_diff.hh"
+#include "obs/invariant_monitor.hh"
+#include "obs/span_builder.hh"
+#include "obs/stall_attribution.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "workloads/workload.hh"
+
+using namespace cwsp;
+
+namespace {
+
+const char *const kSchemes[] = {
+    "baseline", "cwsp", "capri", "ido", "replaycache", "psp",
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cwsp_analyze [mode] [selection]\n"
+        "modes (default --attribution):\n"
+        "  --attribution          per-cause stall attribution table\n"
+        "  --spans                region lifecycle phase summary\n"
+        "  --check-invariants     online invariant monitor; exit 1 on"
+        " violations\n"
+        "  --diff OLD NEW         compare two stats-JSON files; exit 1"
+        " on regressions\n"
+        "selection (run modes):\n"
+        "  --scheme NAME|all      scheme(s) to run (default cwsp)\n"
+        "  --app NAME|all         app(s) to run (default fft)\n"
+        "  --suite NAME           all apps of one suite\n"
+        "  --crash FRAC           also crash at FRAC of run length and"
+        " check recovery\n"
+        "  --trace-cap N          trace ring capacity (default 2^20)\n"
+        "  --jobs N               worker threads for batch"
+        " --check-invariants\n"
+        "diff options:\n"
+        "  --threshold F          relative change flagged (default"
+        " 0.05)\n"
+        "  --ignore SUBSTR        skip metrics containing SUBSTR"
+        " (repeatable)\n");
+}
+
+std::vector<std::string>
+resolveSchemes(const std::string &spec)
+{
+    if (spec == "all")
+        return {std::begin(kSchemes), std::end(kSchemes)};
+    for (const char *s : kSchemes)
+        if (spec == s)
+            return {spec};
+    cwsp_fatal("unknown scheme '", spec,
+               "'; valid: baseline, cwsp, capri, ido, replaycache, "
+               "psp, all");
+    return {};
+}
+
+std::vector<workloads::AppProfile>
+resolveApps(const std::string &app_spec, const std::string &suite)
+{
+    if (!suite.empty()) {
+        auto apps = workloads::appsBySuite(suite);
+        if (apps.empty()) {
+            std::string names;
+            for (const auto &s : workloads::suiteNames())
+                names += names.empty() ? s : ", " + s;
+            cwsp_fatal("unknown suite '", suite, "'; valid: ", names);
+        }
+        return apps;
+    }
+    if (app_spec == "all")
+        return workloads::appTable();
+    return {workloads::appByName(app_spec)};
+}
+
+struct RunOptions
+{
+    bool spans = false;
+    bool attribution = false;
+    bool checkInvariants = false;
+    double crashFrac = -1.0;
+    std::uint64_t traceCap = 1u << 20;
+};
+
+/**
+ * Run one (scheme, app) point with a full-mask trace attached and
+ * feed the requested analyses. Returns the number of invariant
+ * violations observed (0 when not checking).
+ */
+std::uint64_t
+analyzePoint(const std::string &scheme,
+             const workloads::AppProfile &app, const RunOptions &opt,
+             std::vector<obs::AttributionRow> &rows)
+{
+    auto cfg = core::makeSystemConfig(scheme);
+    auto mod = workloads::buildApp(app, cfg.compiler);
+    core::WholeSystemSim sim(*mod, cfg);
+    sim::TraceBuffer trace(opt.traceCap, sim::kTraceAll);
+    sim.attachTrace(&trace);
+
+    obs::InvariantMonitor monitor(obs::InvariantMonitorConfig{
+        cfg.hierarchy.wpqCapacity, 8, 16});
+    if (opt.checkInvariants)
+        sim.attachTraceSink(&monitor);
+
+    auto result = sim.run("main");
+    monitor.finish();
+    std::uint64_t violations = monitor.violationCount();
+    auto events = trace.snapshot();
+
+    if (opt.attribution) {
+        auto attr = obs::attributeStalls(events);
+        rows.push_back({scheme, app.name, attr, result.cycles});
+    }
+    if (opt.spans) {
+        auto spans = obs::buildSpans(events);
+        std::cout << "== spans: " << scheme << " / " << app.name
+                  << " (" << result.cycles << " cycles) ==\n";
+        obs::printSpanSummary(std::cout,
+                              obs::summarizeSpans(spans));
+    }
+    if (opt.checkInvariants && !monitor.clean())
+        obs::printViolations(std::cerr, monitor.violations());
+
+    if (opt.crashFrac >= 0.0) {
+        Tick crash = static_cast<Tick>(
+            static_cast<double>(result.cycles) * opt.crashFrac);
+        if (crash == 0)
+            crash = 1;
+        monitor.reset();
+        trace.clear();
+        auto out = sim.runWithCrash(
+            std::vector<core::ThreadSpec>(cfg.numCores), crash);
+        monitor.finish();
+        violations += monitor.violationCount();
+        std::printf("crash %s/%s @%llu: crashed=%d reverted=%llu "
+                    "reexec=%llu\n",
+                    scheme.c_str(), app.name.c_str(),
+                    (unsigned long long)crash, out.crashed ? 1 : 0,
+                    (unsigned long long)out.revertedStores,
+                    (unsigned long long)out.reexecutedInstrs);
+        if (opt.checkInvariants && !monitor.clean())
+            obs::printViolations(std::cerr, monitor.violations());
+    }
+    return violations;
+}
+
+/** Batch invariant smoke across the selection via BatchRunner. */
+int
+runBatchInvariants(const std::vector<std::string> &schemes,
+                   const std::vector<workloads::AppProfile> &apps,
+                   unsigned jobs)
+{
+    driver::BatchConfig bc;
+    bc.jobs = jobs;
+    bc.checkInvariants = true;
+    driver::BatchRunner runner(bc);
+    std::vector<driver::DesignPoint> points;
+    for (const auto &scheme : schemes)
+        for (const auto &app : apps)
+            points.push_back(driver::DesignPoint{
+                app, core::makeSystemConfig(scheme)});
+    runner.runAll(points);
+    auto stats = runner.stats();
+    std::printf("checked %zu points, %llu events: %llu violations\n",
+                points.size(),
+                (unsigned long long)stats.invariantEventsChecked,
+                (unsigned long long)stats.invariantViolations);
+    if (stats.invariantViolations != 0) {
+        obs::printViolations(std::cerr, runner.invariantViolations());
+        return 1;
+    }
+    return 0;
+}
+
+int
+runDiff(const std::string &before, const std::string &after,
+        const obs::DiffOptions &options)
+{
+    obs::DiffResult result;
+    std::string error;
+    if (!obs::diffMetricFiles(before, after, options, result,
+                              error)) {
+        std::fprintf(stderr, "cwsp_analyze --diff: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    obs::printDiffReport(std::cout, result, options);
+    return result.hasRegressions() ? 1 : 0;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    RunOptions opt;
+    std::string scheme_spec = "cwsp";
+    std::string app_spec = "fft";
+    std::string suite;
+    std::string diff_before, diff_after;
+    bool diff = false;
+    unsigned jobs = 0;
+    obs::DiffOptions diff_options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--attribution")
+            opt.attribution = true;
+        else if (a == "--spans")
+            opt.spans = true;
+        else if (a == "--check-invariants")
+            opt.checkInvariants = true;
+        else if (a == "--diff") {
+            diff = true;
+            diff_before = next();
+            diff_after = next();
+        } else if (a == "--scheme")
+            scheme_spec = next();
+        else if (a == "--app")
+            app_spec = next();
+        else if (a == "--suite")
+            suite = next();
+        else if (a == "--crash")
+            opt.crashFrac = std::strtod(next(), nullptr);
+        else if (a == "--trace-cap")
+            opt.traceCap = std::strtoull(next(), nullptr, 0);
+        else if (a == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        else if (a == "--threshold")
+            diff_options.threshold = std::strtod(next(), nullptr);
+        else if (a == "--ignore")
+            diff_options.ignoreSubstrings.push_back(next());
+        else {
+            usage();
+            return 2;
+        }
+    }
+
+    if (diff)
+        return runDiff(diff_before, diff_after, diff_options);
+
+    auto schemes = resolveSchemes(scheme_spec);
+    auto apps = resolveApps(app_spec, suite);
+
+    // Invariant-only smoke goes through the batch engine (parallel,
+    // monitor attached per simulation by the runner itself).
+    if (opt.checkInvariants && !opt.spans && !opt.attribution &&
+        opt.crashFrac < 0.0)
+        return runBatchInvariants(schemes, apps, jobs);
+
+    if (!opt.spans && !opt.attribution)
+        opt.attribution = true;
+
+    std::uint64_t violations = 0;
+    std::vector<obs::AttributionRow> rows;
+    for (const auto &scheme : schemes)
+        for (const auto &app : apps)
+            violations += analyzePoint(scheme, app, opt, rows);
+    if (opt.attribution)
+        obs::printAttributionTable(std::cout, rows);
+    if (opt.checkInvariants) {
+        std::printf("invariants: %llu violation%s\n",
+                    (unsigned long long)violations,
+                    violations == 1 ? "" : "s");
+        if (violations != 0)
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // cwsp_fatal throws; surface the message without a terminate().
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -35,6 +35,7 @@
 #include "ir/printer.hh"
 #include "mem/nvm_device.hh"
 #include "sim/trace.hh"
+#include "sim/trace_mask.hh"
 #include "workloads/workload.hh"
 
 using namespace cwsp;
@@ -73,8 +74,9 @@ usage()
         "  --trace-out FILE       write a Chrome trace-event JSON of"
         " the run (single app)\n"
         "  --trace-mask SPEC      trace categories: comma list of\n"
-        "                         region,pb,rbt,wpq,mc,wb,path,crash"
-        " or all|none (default all)\n"
+        "                         region,pb,rbt,wpq,mc,wb,path,crash,\n"
+        "                         all|none, or a hex mask (0x..);"
+        " default all\n"
         "  --dump-ir              print the compiled IR and exit\n");
 }
 

@@ -18,6 +18,7 @@
 #include "core/whole_system_sim.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/trace_mask.hh"
 #include "workloads/workload.hh"
 
 using namespace cwsp;
