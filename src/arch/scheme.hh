@@ -57,6 +57,15 @@ struct SchemeConfig
      */
     double loadLatencyFactor = 0.5;
 
+    /**
+     * The scheme's persist structures are battery-backed (Capri,
+     * Section II-C): on power failure the residual energy flushes
+     * every committed store and the execution context, so a crash
+     * loses nothing — recovery is an exact continuation after reboot,
+     * never an undo replay or a region re-execution.
+     */
+    bool batteryBacked = false;
+
     /** Capri: redo-buffer capacity in cachelines (18 KB / 64 B). */
     std::uint32_t capriRedoLines = 288;
     /** ReplayCache: memory-level parallelism of the replay writes. */

@@ -34,6 +34,7 @@ makeSystemConfig(const std::string &scheme_name)
         // evictions and must wait the worst-case delivery latency
         // (Section II-D).
         cfg.hierarchy.dramEvictionDelay = 40;
+        cfg.scheme.batteryBacked = true;
         cfg.scheme.features.wbDelay = false;
         cfg.scheme.features.wpqDelay = false;
     } else if (scheme_name == "ido") {

@@ -72,7 +72,8 @@ putScheme(std::ostream &os, const arch::SchemeConfig &s)
        << s.features.wpqDelay << ',' << s.features.stallAtBoundaries
        << '}' << ",llf=";
     putDouble(os, s.loadLatencyFactor);
-    os << ",capri=" << s.capriRedoLines << ",replay=" << s.replayMlp
+    os << ",battery=" << s.batteryBacked
+       << ",capri=" << s.capriRedoLines << ",replay=" << s.replayMlp
        << '}';
 }
 

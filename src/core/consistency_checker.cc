@@ -15,6 +15,7 @@ checkGlobals(const ir::Module &module,
             Word v = actual.read(a);
             if (e != v) {
                 result.consistent = false;
+                ++result.totalDivergences;
                 if (result.divergences.size() < 16) {
                     result.divergences.push_back(
                         Divergence{a, e, v, g.name});

@@ -8,6 +8,7 @@
 #ifndef CWSP_CORE_CONSISTENCY_CHECKER_HH
 #define CWSP_CORE_CONSISTENCY_CHECKER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ struct CheckResult
 {
     bool consistent = true;
     std::vector<Divergence> divergences; ///< capped at 16 entries
+    /**
+     * Every divergent word, including the ones the sample above
+     * dropped — a 16-word and a 4096-word divergence are different
+     * failures and campaign reports must tell them apart.
+     */
+    std::uint64_t totalDivergences = 0;
 };
 
 /**

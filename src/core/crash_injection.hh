@@ -4,6 +4,23 @@
  * crash instant, compute the durable NVM state (persisted prefix,
  * then undo-log reversal of speculative updates) and each core's
  * recovery point — the oldest unpersisted region (Section III-D).
+ *
+ * The extended entry point additionally seeds NVM media faults
+ * (fault::FaultPlan) into the reconstructed undo-log area and runs
+ * the hardened recovery scan, which validates every record's CRC and
+ * degrades gracefully instead of replaying garbage:
+ *
+ *   1. torn tail dropped  — the area's globally newest record fails
+ *      validation: log-before-accept means its guarded store never
+ *      admitted, so the tail is skipped and recovery stays exact;
+ *   2. region restart     — a corrupt record confined to a resume
+ *      region's *data* log is skipped; the region re-executes and,
+ *      being antidependence-free, rewrites the address before any
+ *      read of it;
+ *   3. full restart       — corruption anywhere else (checkpoint-slot
+ *      records, non-resume regions) poisons state recovery cannot
+ *      reconstruct: the durable image is discarded and every core
+ *      restarts from program entry on pristine memory.
  */
 
 #ifndef CWSP_CORE_CRASH_INJECTION_HH
@@ -13,6 +30,7 @@
 #include <vector>
 
 #include "arch/scheme.hh"
+#include "fault/fault_model.hh"
 #include "interp/machine_state.hh"
 #include "sim/types.hh"
 
@@ -35,6 +53,26 @@ struct ResumePoint
     ir::StaticRegionId staticRegion = ir::kNoStaticRegion;
 };
 
+/** One applied undo-replay write, in replay (newest-first) order. */
+struct ReplayStep
+{
+    RegionId region = 0;
+    Addr addr = 0;
+    Word before = 0; ///< durable value the replay overwrote
+    Word after = 0;  ///< the record's logged old value
+};
+
+/**
+ * Last stamped write to one checkpoint slot: the MC stamps 16-byte
+ * slot writes so recovery can tell a slot the media silently dropped
+ * (memory still holds `prev`) from the durable value (`value`).
+ */
+struct SlotImageEntry
+{
+    Word value = 0;
+    Word prev = 0;
+};
+
 /** Durable state after the failure plus recovery metadata. */
 struct CrashState
 {
@@ -49,6 +87,55 @@ struct CrashState
      * are discarded and re-issued by the recovery re-execution.
      */
     std::vector<arch::IoRecord> releasedIo;
+    /**
+     * Degradation step 3: undetectably-reconstructable corruption was
+     * found. `nvm` is pristine (zeroed) and every core's resume point
+     * is a program restart — including cores that had already
+     * finished, whose outputs lived in the discarded image.
+     */
+    bool fullRestart = false;
+    /**
+     * The undo-replay writes in applied order. Lets the caller
+     * reconstruct the durable image mid-replay (a nested failure
+     * landing inside the replay window) and re-verify that a second
+     * full replay pass converges to the same image (idempotence).
+     */
+    std::vector<ReplayStep> replaySteps;
+    /** Stamped checkpoint-slot writes persisted before the crash. */
+    std::map<Addr, SlotImageEntry> ckptSlotImage;
+};
+
+/** Extended inputs for epoch-based / fault-seeded crash analysis. */
+struct CrashComputeOptions
+{
+    /**
+     * Durable memory at the start of the recorded run (nullptr =
+     * pristine). Nested-crash epochs pass the previous epoch's
+     * recovered image so the persisted prefix applies on top of it.
+     */
+    const interp::SparseMemory *baseNvm = nullptr;
+    /** Media faults to seed into the reconstructed log area. */
+    const fault::FaultPlan *faults = nullptr;
+    /** Ordinal of this failure within its schedule. */
+    std::uint32_t crashIndex = 0;
+    /** Detection/degradation counters to fill (may be nullptr). */
+    fault::FaultStats *stats = nullptr;
+    /**
+     * Cores that finished in an earlier epoch and did not run in this
+     * recording: they get no resume work (unless a full restart
+     * discards their outputs along with the rest of the image).
+     */
+    std::vector<bool> coreDone;
+    /**
+     * Cores that entered this recording by *resuming* a region of an
+     * earlier epoch. For such a core the recording's first dynamic
+     * region is not the program's entry region: its live-in
+     * checkpoint slots were spilled (and possibly already reclaimed)
+     * inside this recording, so it resumes like any later region —
+     * provided every pre-boundary store has been acknowledged.
+     */
+    std::vector<bool> coreResumed;
+    sim::TraceBuffer *trace = nullptr;
 };
 
 /**
@@ -68,6 +155,15 @@ CrashState computeCrashState(
     const std::vector<Tick> &program_finished_at,
     const std::vector<arch::IoRecord> &io = {},
     sim::TraceBuffer *trace = nullptr);
+
+/** Extended form: epoch base image, media faults, hardened scan. */
+CrashState computeCrashState(
+    Tick crash_tick, const std::vector<arch::StoreRecord> &stores,
+    const std::vector<arch::RegionEvent> &regions,
+    std::uint32_t num_cores,
+    const std::vector<Tick> &program_finished_at,
+    const std::vector<arch::IoRecord> &io,
+    const CrashComputeOptions &opts);
 
 } // namespace cwsp::core
 

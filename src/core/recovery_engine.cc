@@ -6,21 +6,31 @@ namespace cwsp::core {
 
 namespace {
 
-Word
+/**
+ * Apply one slice op. Returns false only for a LoadSlot whose memory
+ * value disagrees with the stamped slot image (stale slot).
+ */
+bool
 applyRsOp(interp::Interpreter &interp, const ir::RsOp &op,
-          std::size_t frame_depth)
+          std::size_t frame_depth,
+          const std::map<Addr, SlotImageEntry> *slot_image)
 {
     switch (op.kind) {
       case ir::RsOp::Kind::LoadSlot: {
         Addr slot = interp::ckptSlotAddr(interp.core(), frame_depth,
                                          op.slot);
         Word v = interp.memory().read(slot);
+        if (slot_image) {
+            auto it = slot_image->find(slot);
+            if (it != slot_image->end() && it->second.value != v)
+                return false;
+        }
         interp.setReg(op.dst, v);
-        return v;
+        return true;
       }
       case ir::RsOp::Kind::SetImm:
         interp.setReg(op.dst, static_cast<Word>(op.imm));
-        return static_cast<Word>(op.imm);
+        return true;
       case ir::RsOp::Kind::Apply: {
         Word a = interp.reg(op.srcA);
         Word b = op.bIsImm ? static_cast<Word>(op.imm)
@@ -40,7 +50,7 @@ applyRsOp(interp::Interpreter &interp, const ir::RsOp &op,
             cwsp_panic("unsupported opcode in recovery slice");
         }
         interp.setReg(op.dst, r);
-        return r;
+        return true;
       }
     }
     cwsp_panic("unreachable recovery-slice op kind");
@@ -48,23 +58,29 @@ applyRsOp(interp::Interpreter &interp, const ir::RsOp &op,
 
 } // namespace
 
-void
+bool
 runRecoverySlice(interp::Interpreter &interp,
-                 const ir::RecoverySlice &slice)
+                 const ir::RecoverySlice &slice,
+                 const std::map<Addr, SlotImageEntry> *slot_image)
 {
     std::size_t depth = interp.depth() - 1;
-    for (const auto &op : slice.ops)
-        applyRsOp(interp, op, depth);
+    for (const auto &op : slice.ops) {
+        if (!applyRsOp(interp, op, depth, slot_image))
+            return false;
+    }
+    return true;
 }
 
-bool
+ResumeStatus
 prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
               const RecordingBundle &bundle, const ir::Module &module,
-              sim::TraceBuffer *trace, Tick when)
+              sim::TraceBuffer *trace, Tick when,
+              interp::CommitSink *boundary_sink,
+              const std::map<Addr, SlotImageEntry> *slot_image)
 {
     cwsp_assert(rp.hasWork, "prepareResume on an idle core");
     if (rp.restart)
-        return false;
+        return ResumeStatus::NeedRestart;
 
     auto it = bundle.snapshots.find(rp.region);
     cwsp_assert(it != bundle.snapshots.end(),
@@ -77,7 +93,8 @@ prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
                 "resume region has no recovery slice");
     const ir::RecoverySlice &slice =
         func.recoverySlices()[rp.staticRegion];
-    runRecoverySlice(interp, slice);
+    if (!runRecoverySlice(interp, slice, slot_image))
+        return ResumeStatus::SlotFault;
     if (trace) {
         auto lane = sim::coreLane(interp.core());
         trace->record(sim::TraceEventKind::RecoverySlice, lane, when,
@@ -91,7 +108,11 @@ prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
         // not re-execute. Step over the boundary, then install the
         // atomic's result from its post-atomic checkpoint slot
         // (persisted failure-atomically with the atomic itself).
-        interp::NullCommitSink sink;
+        interp::NullCommitSink null_sink;
+        interp::CommitSink &sink =
+            boundary_sink ? *boundary_sink
+                          : static_cast<interp::CommitSink &>(
+                                null_sink);
         cwsp_assert(interp.currentInstr().op ==
                         ir::Opcode::RegionBoundary,
                     "atomic resume must sit at the region boundary");
@@ -103,7 +124,7 @@ prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
             interp.core(), interp.depth() - 1, atomic.dst);
         interp.skipAtomic(interp.memory().read(slot));
     }
-    return true;
+    return ResumeStatus::Resumed;
 }
 
 } // namespace cwsp::core

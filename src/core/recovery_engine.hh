@@ -5,6 +5,11 @@
  * to the resume region's recovery slice to rebuild its live-in
  * registers from checkpoint slots/immediates, then (2) resumes
  * execution from the beginning of that region.
+ *
+ * Hardened path: every LoadSlot is validated against the stamped
+ * checkpoint-slot image (CrashState::ckptSlotImage) so a slot write
+ * the media silently dropped is detected instead of resuming on stale
+ * live-ins; the caller degrades such a failure to a full restart.
  */
 
 #ifndef CWSP_CORE_RECOVERY_ENGINE_HH
@@ -16,14 +21,24 @@
 
 namespace cwsp::core {
 
+/** Outcome of preparing one core's resume. */
+enum class ResumeStatus {
+    Resumed,     ///< slice ran, core sits at the resume boundary
+    NeedRestart, ///< restart-class resume point: caller runs start()
+    SlotFault,   ///< a LoadSlot read a stale checkpoint slot
+};
+
 /**
  * Execute the recovery slice of @p slice on @p interp's top frame:
  * LoadSlot ops read the frame's checkpoint slots from @p nvm (which
  * is also the interpreter's memory after recovery), SetImm/Apply ops
- * rebuild derived values.
+ * rebuild derived values. When @p slot_image is given, every LoadSlot
+ * is validated against the stamped slot image; a mismatch aborts the
+ * slice and returns false (stale checkpoint slot detected).
  */
-void runRecoverySlice(interp::Interpreter &interp,
-                      const ir::RecoverySlice &slice);
+bool runRecoverySlice(
+    interp::Interpreter &interp, const ir::RecoverySlice &slice,
+    const std::map<Addr, SlotImageEntry> *slot_image = nullptr);
 
 /**
  * Prepare @p interp (already bound to the recovered memory) to resume
@@ -33,12 +48,20 @@ void runRecoverySlice(interp::Interpreter &interp,
  * @param trace optional sink for RecoverySlice/RecoveryResume events,
  *        stamped at @p when (the crash instant; recovery itself is
  *        untimed).
- * @return false when the resume point needs a full restart.
+ * @param boundary_sink commit sink for the step over the region
+ *        boundary on the resumeAfterAtomic path. Timed nested-crash
+ *        epochs pass their recording sink so the re-entered region is
+ *        opened in the scheme; the default (nullptr) steps silently,
+ *        which is what the untimed completion phase wants.
+ * @param slot_image stamped checkpoint-slot image for stale-slot
+ *        detection (nullptr skips validation).
  */
-bool prepareResume(interp::Interpreter &interp, const ResumePoint &rp,
-                   const RecordingBundle &bundle,
-                   const ir::Module &module,
-                   sim::TraceBuffer *trace = nullptr, Tick when = 0);
+ResumeStatus prepareResume(
+    interp::Interpreter &interp, const ResumePoint &rp,
+    const RecordingBundle &bundle, const ir::Module &module,
+    sim::TraceBuffer *trace = nullptr, Tick when = 0,
+    interp::CommitSink *boundary_sink = nullptr,
+    const std::map<Addr, SlotImageEntry> *slot_image = nullptr);
 
 } // namespace cwsp::core
 

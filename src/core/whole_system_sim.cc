@@ -313,121 +313,517 @@ CrashRunResult
 WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
                              Tick crash_tick, std::uint64_t max_instrs)
 {
+    return runWithCrashes(threads, fault::CrashSchedule{crash_tick},
+                          fault::FaultPlan{}, max_instrs);
+}
+
+namespace {
+
+/** What one core does when a nested-crash epoch begins. */
+struct EpochEntry
+{
+    enum class Kind { Fresh, Resume, Continue, Done } kind =
+        Kind::Fresh;
+    ResumePoint rp{};
+    /** Bundle owning rp's control snapshot (Resume only). */
+    std::shared_ptr<RecordingBundle> bundle;
+    /** Exact crash-instant control state (Continue only): battery-
+     *  backed schemes persist the execution context on failure. */
+    interp::ControlSnapshot exact;
+    Word returnValue = 0; ///< Done only
+};
+
+} // namespace
+
+CrashRunResult
+WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
+                               const fault::CrashSchedule &schedule,
+                               const fault::FaultPlan &faults,
+                               std::uint64_t max_instrs)
+{
+    using recovery_timing::kBootCycles;
+    using recovery_timing::kCyclesPerReplayRecord;
+    using recovery_timing::kCyclesPerSliceOp;
+
     cwsp_assert(threads.size() >= 1 &&
                     threads.size() <= config_.numCores,
                 "thread count must be in [1, numCores]");
+    cwsp_assert(!schedule.empty(),
+                "crash schedule must hold at least one failure");
+    const std::size_t n = threads.size();
     CrashRunResult out;
-    out.crashTick = crash_tick;
-    reset();
+    out.crashTick = schedule.ticks[0];
 
-    RecordingBundle bundle;
-    scheme_->enableRecording(&bundle.stores, &bundle.regions,
-                             &bundle.io, max_instrs);
-
-    std::vector<std::unique_ptr<interp::Interpreter>> cores;
-    cores.reserve(threads.size());
+    // Epoch state: the durable NVM image, the stamped checkpoint-slot
+    // image of the latest failure, and each core's entry action.
+    interp::SparseMemory durable;
+    std::map<Addr, SlotImageEntry> slotImage;
+    std::vector<EpochEntry> entries(n);
+    std::size_t scheduleIdx = 0;
+    bool havePending = true;
+    Tick pendingDt = schedule.ticks[0];
+    bool firstEpoch = true;
     std::size_t keep = 4 * config_.scheme.rbtCapacity + 16;
-    RecordingSink sink(*scheme_, bundle, cores, keep);
-    for (std::size_t c = 0; c < threads.size(); ++c) {
-        cores.push_back(std::make_unique<interp::Interpreter>(
-            *module_, *memory_, static_cast<CoreId>(c)));
-        cores[c]->start(threads[c].entry, threads[c].args, sink);
-    }
 
-    // Phase 1: execute until every core has either finished or its
-    // clock passed the crash instant.
-    std::vector<Tick> finished_at(threads.size(), kTickNever);
-    std::uint64_t total = 0;
-    while (true) {
-        interp::Interpreter *next = nullptr;
-        CoreId next_core = 0;
-        Tick best = kTickNever;
-        for (std::size_t c = 0; c < cores.size(); ++c) {
-            auto cid = static_cast<CoreId>(c);
-            if (cores[c]->finished()) {
-                if (finished_at[c] == kTickNever)
-                    finished_at[c] = scheme_->cycles(cid);
+    while (havePending) {
+        // ---- Timed execution epoch, failure at epoch tick
+        // pendingDt. Each epoch runs on fresh hardware state (power
+        // loss empties every volatile structure) over the recovered
+        // durable image.
+        reset();
+        memory_ = std::make_unique<interp::SparseMemory>(durable);
+        auto bundle = std::make_shared<RecordingBundle>();
+        scheme_->enableRecording(&bundle->stores, &bundle->regions,
+                                 &bundle->io, max_instrs);
+
+        std::vector<std::unique_ptr<interp::Interpreter>> cores;
+        cores.reserve(n);
+        RecordingSink sink(*scheme_, *bundle, cores, keep);
+        bool slotFault = false;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (entries[c].kind == EpochEntry::Kind::Done) {
+                cores.push_back(nullptr);
                 continue;
             }
-            Tick t = scheme_->cycles(cid);
-            if (t > crash_tick)
-                continue; // this core has reached the crash
-            if (t < best) {
-                best = t;
-                next = cores[c].get();
-                next_core = cid;
+            cores.push_back(std::make_unique<interp::Interpreter>(
+                *module_, *memory_, static_cast<CoreId>(c)));
+            if (entries[c].kind == EpochEntry::Kind::Fresh) {
+                if (!firstEpoch && trace_) {
+                    trace_->record(
+                        sim::TraceEventKind::RecoveryResume,
+                        sim::coreLane(static_cast<CoreId>(c)), 0, 0,
+                        0, 1);
+                }
+                cores[c]->start(threads[c].entry, threads[c].args,
+                                sink);
+                continue;
             }
+            if (entries[c].kind == EpochEntry::Kind::Continue) {
+                cores[c]->restoreExact(entries[c].exact);
+                if (trace_) {
+                    trace_->record(
+                        sim::TraceEventKind::RecoveryResume,
+                        sim::coreLane(static_cast<CoreId>(c)), 0, 0,
+                        0, 0);
+                }
+                continue;
+            }
+            ResumeStatus st = prepareResume(
+                *cores[c], entries[c].rp, *entries[c].bundle,
+                *module_, trace_, 0, &sink,
+                slotImage.empty() ? nullptr : &slotImage);
+            if (st == ResumeStatus::SlotFault) {
+                slotFault = true;
+                break;
+            }
+            cwsp_assert(st == ResumeStatus::Resumed,
+                        "resume entry cannot need a restart");
+            if (entries[c].rp.resumeAfterAtomic)
+                ++out.faults.atomicResumes;
         }
-        (void)next_core;
-        if (!next)
-            break;
-        next->step(sink);
-        if (++total > max_instrs)
-            cwsp_fatal("instruction budget exceeded before crash");
-    }
-    for (std::size_t c = 0; c < cores.size(); ++c) {
-        if (cores[c]->finished() && finished_at[c] == kTickNever)
-            finished_at[c] = scheme_->cycles(static_cast<CoreId>(c));
-    }
-
-    // Compute the durable state at the crash.
-    CrashState cs = computeCrashState(
-        crash_tick, bundle.stores, bundle.regions,
-        static_cast<std::uint32_t>(threads.size()), finished_at,
-        bundle.io, trace_);
-    out.persistedStores = cs.persistedStores;
-    out.revertedStores = cs.revertedStores;
-    out.ioStream = cs.releasedIo;
-
-    bool any_work = false;
-    for (const auto &rp : cs.resume)
-        any_work |= rp.hasWork;
-    out.crashed = any_work;
-
-    // Lost work: instructions committed past each core's resume point.
-    for (std::size_t c = 0; c < threads.size(); ++c) {
-        const ResumePoint &rp = cs.resume[c];
-        if (!rp.hasWork)
+        if (slotFault) {
+            // A checkpoint slot the media dropped: the recovery slice
+            // caught the stale value. Degrade to a full restart on
+            // pristine memory and retry this epoch.
+            ++out.faults.staleSlotsDetected;
+            ++out.faults.fullRestarts;
+            durable.clear();
+            slotImage.clear();
+            for (auto &e : entries)
+                e = EpochEntry{};
             continue;
-        std::uint64_t committed =
-            scheme_->instrs(static_cast<CoreId>(c));
-        std::uint64_t at_resume = 0;
-        if (!rp.restart) {
-            for (const auto &ev : bundle.regions) {
-                if (ev.region == rp.region) {
-                    at_resume = ev.instrsAtBegin;
-                    break;
+        }
+
+        std::vector<Tick> finished_at(n, kTickNever);
+        for (std::size_t c = 0; c < n; ++c) {
+            if (entries[c].kind == EpochEntry::Kind::Done)
+                finished_at[c] = 0;
+        }
+        std::uint64_t total = 0;
+        while (true) {
+            interp::Interpreter *next = nullptr;
+            Tick best = kTickNever;
+            for (std::size_t c = 0; c < n; ++c) {
+                if (!cores[c])
+                    continue;
+                auto cid = static_cast<CoreId>(c);
+                if (cores[c]->finished()) {
+                    if (finished_at[c] == kTickNever)
+                        finished_at[c] = scheme_->cycles(cid);
+                    continue;
+                }
+                Tick t = scheme_->cycles(cid);
+                if (t > pendingDt)
+                    continue; // this core has reached the crash
+                if (t < best) {
+                    best = t;
+                    next = cores[c].get();
                 }
             }
+            if (!next)
+                break;
+            next->step(sink);
+            if (++total > max_instrs)
+                cwsp_fatal("instruction budget exceeded before crash");
         }
-        out.lostWork += committed - at_resume;
-    }
+        for (std::size_t c = 0; c < n; ++c) {
+            if (cores[c] && cores[c]->finished() &&
+                finished_at[c] == kTickNever) {
+                finished_at[c] =
+                    scheme_->cycles(static_cast<CoreId>(c));
+            }
+        }
+        if (!firstEpoch)
+            out.reexecutedInstrs += total;
 
-    // Phase 2: recovery + functional completion on the durable state.
-    auto recovered =
-        std::make_unique<interp::SparseMemory>(std::move(cs.nvm));
-    IoCollectingSink null_sink(out.ioStream);
-    std::vector<std::unique_ptr<interp::Interpreter>> post;
-    for (std::size_t c = 0; c < threads.size(); ++c) {
-        post.push_back(std::make_unique<interp::Interpreter>(
-            *module_, *recovered, static_cast<CoreId>(c)));
-        const ResumePoint &rp = cs.resume[c];
-        if (!rp.hasWork) {
-            out.resumeRegions.push_back(0);
+        if (config_.scheme.batteryBacked) {
+            // Battery flush (Section II-C): the residual energy
+            // drains the redo buffer and persists the execution
+            // context, so every committed store, buffered device op,
+            // and live register survives the failure. Recovery is an
+            // exact continuation after reboot — no undo replay, no
+            // region re-execution, no lost work.
+            ++out.faults.crashesInjected;
+            if (!firstEpoch)
+                ++out.faults.nestedCrashes;
+            if (trace_) {
+                trace_->record(sim::TraceEventKind::CrashInject, 0,
+                               pendingDt);
+            }
+            durable = *memory_;
+            out.persistedStores += bundle->stores.size();
+            for (const auto &op : bundle->io)
+                out.ioStream.push_back(op);
+            if (firstEpoch) {
+                bool any_work = false;
+                for (std::size_t c = 0; c < n; ++c) {
+                    bool running = cores[c] && !cores[c]->finished();
+                    any_work |= running;
+                    out.resumeRegions.push_back(
+                        running ? scheme_->currentRegion(
+                                      static_cast<CoreId>(c))
+                                : 0);
+                }
+                out.crashed = any_work;
+                out.result = collectStats(cores);
+            }
+            for (std::size_t c = 0; c < n; ++c) {
+                EpochEntry &e = entries[c];
+                if (e.kind == EpochEntry::Kind::Done)
+                    continue;
+                if (cores[c]->finished()) {
+                    Word rv = cores[c]->returnValue();
+                    e = EpochEntry{};
+                    e.kind = EpochEntry::Kind::Done;
+                    e.returnValue = rv;
+                } else {
+                    auto snap = cores[c]->exactSnapshot();
+                    e = EpochEntry{};
+                    e.kind = EpochEntry::Kind::Continue;
+                    e.exact = std::move(snap);
+                }
+            }
+            ++scheduleIdx;
+            havePending = scheduleIdx < schedule.ticks.size();
+            pendingDt = havePending ? schedule.ticks[scheduleIdx] : 0;
+            Tick window = kBootCycles;
+            while (havePending && pendingDt < window) {
+                // A nested failure inside the boot window: nothing
+                // volatile has been rebuilt yet, so the re-entry is a
+                // pure reboot.
+                ++out.faults.crashesInjected;
+                ++out.faults.nestedCrashes;
+                ++out.faults.recoveryCrashes;
+                if (trace_) {
+                    trace_->record(
+                        sim::TraceEventKind::RecoveryReentry, 0,
+                        pendingDt, 0, scheduleIdx, 0);
+                }
+                ++scheduleIdx;
+                havePending = scheduleIdx < schedule.ticks.size();
+                pendingDt =
+                    havePending ? schedule.ticks[scheduleIdx] : 0;
+            }
+            out.recoveryWindows.push_back(window);
+            if (havePending)
+                pendingDt -= window;
+            firstEpoch = false;
             continue;
         }
-        out.resumeRegions.push_back(rp.restart ? 0 : rp.region);
-        if (rp.restart ||
-            !prepareResume(*post[c], rp, bundle, *module_, trace_,
-                           crash_tick)) {
-            if (trace_) {
-                trace_->record(
-                    sim::TraceEventKind::RecoveryResume,
-                    sim::coreLane(static_cast<CoreId>(c)),
-                    crash_tick, 0, 0, 1);
+
+        // Compute the durable state at this failure, seeding any
+        // media faults bound to it.
+        CrashComputeOptions copts;
+        copts.baseNvm = &durable;
+        copts.faults = &faults;
+        copts.crashIndex = static_cast<std::uint32_t>(scheduleIdx);
+        copts.stats = &out.faults;
+        copts.coreDone.resize(n);
+        copts.coreResumed.resize(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            copts.coreDone[c] =
+                entries[c].kind == EpochEntry::Kind::Done;
+            copts.coreResumed[c] =
+                entries[c].kind == EpochEntry::Kind::Resume;
+        }
+        copts.trace = trace_;
+        CrashState cs = computeCrashState(
+            pendingDt, bundle->stores, bundle->regions,
+            static_cast<std::uint32_t>(n), finished_at, bundle->io,
+            copts);
+        ++out.faults.crashesInjected;
+        if (!firstEpoch)
+            ++out.faults.nestedCrashes;
+
+        if (firstEpoch) {
+            bool any_work = false;
+            for (const auto &rp : cs.resume)
+                any_work |= rp.hasWork;
+            out.crashed = any_work;
+            // Lost work: instructions committed past each core's
+            // resume point.
+            for (std::size_t c = 0; c < n; ++c) {
+                const ResumePoint &rp = cs.resume[c];
+                if (!rp.hasWork) {
+                    out.resumeRegions.push_back(0);
+                    continue;
+                }
+                out.resumeRegions.push_back(rp.restart ? 0
+                                                       : rp.region);
+                std::uint64_t committed =
+                    scheme_->instrs(static_cast<CoreId>(c));
+                std::uint64_t at_resume = 0;
+                if (!rp.restart) {
+                    for (const auto &ev : bundle->regions) {
+                        if (ev.region == rp.region) {
+                            at_resume = ev.instrsAtBegin;
+                            break;
+                        }
+                    }
+                }
+                out.lostWork += committed - at_resume;
             }
-            post[c]->start(threads[c].entry, threads[c].args,
-                           null_sink);
+            out.result = collectStats(cores);
+        }
+
+        out.persistedStores += cs.persistedStores;
+        out.revertedStores += cs.revertedStores;
+        for (const auto &op : cs.releasedIo)
+            out.ioStream.push_back(op);
+
+        // Stale-checkpoint-slot injection: drop the newest stamped
+        // write to a slot the resume slice will actually load, so the
+        // validation path is genuinely exercised.
+        if (!cs.fullRestart) {
+            for (const auto &f : faults.faultsFor(
+                     static_cast<std::uint32_t>(scheduleIdx))) {
+                if (f.kind != fault::FaultKind::StaleCheckpointSlot)
+                    continue;
+                ++out.faults.faultsRequested;
+                bool applied = false;
+                for (std::size_t c = 0; c < n && !applied; ++c) {
+                    const ResumePoint &rp = cs.resume[c];
+                    if (!rp.hasWork || rp.restart)
+                        continue;
+                    auto snap = bundle->snapshots.find(rp.region);
+                    if (snap == bundle->snapshots.end())
+                        continue;
+                    std::size_t depth =
+                        snap->second.frames.size() - 1;
+                    const ir::Function &fn =
+                        module_->function(rp.func);
+                    if (rp.staticRegion >=
+                        fn.recoverySlices().size()) {
+                        continue;
+                    }
+                    const auto &ops =
+                        fn.recoverySlices()[rp.staticRegion].ops;
+                    for (const auto &op : ops) {
+                        if (op.kind != ir::RsOp::Kind::LoadSlot)
+                            continue;
+                        Addr slot = interp::ckptSlotAddr(
+                            static_cast<CoreId>(c), depth, op.slot);
+                        auto img = cs.ckptSlotImage.find(slot);
+                        if (img == cs.ckptSlotImage.end() ||
+                            img->second.value == img->second.prev) {
+                            continue;
+                        }
+                        cs.nvm.write(slot, img->second.prev);
+                        applied = true;
+                        break;
+                    }
+                }
+                if (applied)
+                    ++out.faults.faultsApplied;
+            }
+        }
+
+        // Carry the recovered image and each core's next entry.
+        if (cs.fullRestart) {
+            durable.clear();
+            slotImage.clear();
+            for (auto &e : entries)
+                e = EpochEntry{};
+        } else {
+            durable = std::move(cs.nvm);
+            slotImage = std::move(cs.ckptSlotImage);
+            std::vector<EpochEntry> nextEntries(n);
+            for (std::size_t c = 0; c < n; ++c) {
+                const ResumePoint &rp = cs.resume[c];
+                EpochEntry &e = nextEntries[c];
+                if (!rp.hasWork) {
+                    e.kind = EpochEntry::Kind::Done;
+                    e.returnValue =
+                        entries[c].kind == EpochEntry::Kind::Done
+                            ? entries[c].returnValue
+                            : cores[c]->returnValue();
+                } else if (rp.restart &&
+                           entries[c].kind ==
+                               EpochEntry::Kind::Resume) {
+                    // No boundary committed in this epoch: re-resume
+                    // at the previous epoch's point, with its bundle.
+                    e = entries[c];
+                } else if (rp.restart) {
+                    e.kind = EpochEntry::Kind::Fresh;
+                } else {
+                    e.kind = EpochEntry::Kind::Resume;
+                    e.rp = rp;
+                    e.bundle = bundle;
+                }
+            }
+            entries = std::move(nextEntries);
+        }
+
+        // Recovery is a timed window: boot + undo replay + slices.
+        Tick window = kBootCycles;
+        if (!cs.fullRestart) {
+            window += static_cast<Tick>(cs.replaySteps.size()) *
+                      kCyclesPerReplayRecord;
+            for (std::size_t c = 0; c < n; ++c) {
+                if (entries[c].kind != EpochEntry::Kind::Resume)
+                    continue;
+                const ir::Function &fn =
+                    module_->function(entries[c].rp.func);
+                window +=
+                    static_cast<Tick>(
+                        fn.recoverySlices()[entries[c].rp.staticRegion]
+                            .ops.size()) *
+                    kCyclesPerSliceOp;
+            }
+        }
+
+        ++scheduleIdx;
+        havePending = scheduleIdx < schedule.ticks.size();
+        pendingDt = havePending ? schedule.ticks[scheduleIdx] : 0;
+
+        bool replayRan =
+            !cs.fullRestart && !cs.replaySteps.empty();
+        if (replayRan)
+            ++out.faults.undoReplayPasses;
+
+        // Nested failures landing inside the recovery window:
+        // recovery re-enters from scratch. Reconstruct the durable
+        // image exactly as the interrupted replay pass left it, run a
+        // full second pass over it, and verify it converges to the
+        // same image (the protocol's idempotence obligation).
+        while (havePending && pendingDt < window) {
+            ++out.faults.crashesInjected;
+            ++out.faults.nestedCrashes;
+            ++out.faults.recoveryCrashes;
+            std::size_t k = 0;
+            if (replayRan && pendingDt > kBootCycles) {
+                k = std::min(
+                    cs.replaySteps.size(),
+                    static_cast<std::size_t>(
+                        (pendingDt - kBootCycles) /
+                        kCyclesPerReplayRecord));
+            }
+            out.faults.partialReplayRecords += k;
+            if (trace_) {
+                trace_->record(sim::TraceEventKind::RecoveryReentry,
+                               0, pendingDt, 0, scheduleIdx, k);
+            }
+            if (replayRan) {
+                interp::SparseMemory partial = durable;
+                for (std::size_t i = cs.replaySteps.size();
+                     i-- > k;) {
+                    partial.write(cs.replaySteps[i].addr,
+                                  cs.replaySteps[i].before);
+                }
+                for (const auto &st : cs.replaySteps)
+                    partial.write(st.addr, st.after);
+                cwsp_assert(partial.equals(durable),
+                            "undo replay is not idempotent across a "
+                            "nested failure");
+                ++out.faults.undoReplayPasses;
+            }
+            ++scheduleIdx;
+            havePending = scheduleIdx < schedule.ticks.size();
+            pendingDt =
+                havePending ? schedule.ticks[scheduleIdx] : 0;
+        }
+        out.recoveryWindows.push_back(window);
+        if (havePending)
+            pendingDt -= window; // epoch-relative crash instant
+        firstEpoch = false;
+    }
+
+    // ---- Final epoch: recovery + functional completion on the last
+    // recovered image (no further failures scheduled).
+    auto recovered =
+        std::make_unique<interp::SparseMemory>(std::move(durable));
+    IoCollectingSink null_sink(out.ioStream);
+    std::vector<std::unique_ptr<interp::Interpreter>> post(n);
+    bool retry = true;
+    while (retry) {
+        retry = false;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (entries[c].kind == EpochEntry::Kind::Done) {
+                post[c].reset();
+                continue;
+            }
+            post[c] = std::make_unique<interp::Interpreter>(
+                *module_, *recovered, static_cast<CoreId>(c));
+            if (entries[c].kind == EpochEntry::Kind::Fresh) {
+                if (trace_) {
+                    trace_->record(
+                        sim::TraceEventKind::RecoveryResume,
+                        sim::coreLane(static_cast<CoreId>(c)),
+                        out.crashTick, 0, 0, 1);
+                }
+                post[c]->start(threads[c].entry, threads[c].args,
+                               null_sink);
+                continue;
+            }
+            if (entries[c].kind == EpochEntry::Kind::Continue) {
+                post[c]->restoreExact(entries[c].exact);
+                if (trace_) {
+                    trace_->record(
+                        sim::TraceEventKind::RecoveryResume,
+                        sim::coreLane(static_cast<CoreId>(c)),
+                        out.crashTick, 0, 0, 0);
+                }
+                continue;
+            }
+            ResumeStatus st = prepareResume(
+                *post[c], entries[c].rp, *entries[c].bundle,
+                *module_, trace_, out.crashTick, nullptr,
+                slotImage.empty() ? nullptr : &slotImage);
+            if (st == ResumeStatus::SlotFault) {
+                ++out.faults.staleSlotsDetected;
+                ++out.faults.fullRestarts;
+                recovered =
+                    std::make_unique<interp::SparseMemory>();
+                slotImage.clear();
+                for (auto &e : entries)
+                    e = EpochEntry{};
+                retry = true;
+                break;
+            }
+            cwsp_assert(st == ResumeStatus::Resumed,
+                        "resume entry cannot need a restart");
+            if (entries[c].rp.resumeAfterAtomic)
+                ++out.faults.atomicResumes;
         }
     }
 
@@ -436,8 +832,8 @@ WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
         interp::Interpreter *next = nullptr;
         // Round-robin on instruction counts for fairness.
         std::uint64_t best = ~std::uint64_t{0};
-        for (std::size_t c = 0; c < post.size(); ++c) {
-            if (!cs.resume[c].hasWork || post[c]->finished())
+        for (std::size_t c = 0; c < n; ++c) {
+            if (!post[c] || post[c]->finished())
                 continue;
             if (post[c]->committed() < best) {
                 best = post[c]->committed();
@@ -450,14 +846,15 @@ WholeSystemSim::runWithCrash(const std::vector<ThreadSpec> &threads,
         if (++re_instrs > max_instrs)
             cwsp_fatal("instruction budget exceeded during recovery");
     }
-    out.reexecutedInstrs = re_instrs;
+    out.reexecutedInstrs += re_instrs;
 
-    // Result assembly: timing from phase 1, return values preferring
-    // the re-executed cores.
-    out.result = collectStats(cores);
-    for (std::size_t c = 0; c < post.size(); ++c) {
-        if (cs.resume[c].hasWork)
-            out.result.returnValues[c] = post[c]->returnValue();
+    // Result assembly: timing from the original (first) epoch, return
+    // values from wherever each core finally finished.
+    for (std::size_t c = 0; c < n; ++c) {
+        out.result.returnValues[c] =
+            entries[c].kind == EpochEntry::Kind::Done
+                ? entries[c].returnValue
+                : post[c]->returnValue();
     }
     memory_ = std::move(recovered);
     return out;

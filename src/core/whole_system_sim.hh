@@ -18,11 +18,29 @@
 
 #include "arch/scheme.hh"
 #include "core/config.hh"
+#include "fault/fault_model.hh"
 #include "interp/interpreter.hh"
 #include "ir/ir.hh"
 #include "sim/trace.hh"
 
 namespace cwsp::core {
+
+/**
+ * Recovery is a timed phase (unlike execution it is not simulated
+ * instruction-by-instruction): a nested power failure can land inside
+ * it. The window of one recovery pass is
+ *   boot + replayedRecords * perRecord + sliceOps * perOp
+ * cycles; a failure before the window closes re-enters recovery from
+ * scratch (Section VII's protocol is idempotent).
+ */
+namespace recovery_timing {
+/** Power-restore and log-scan overhead before the replay starts. */
+constexpr Tick kBootCycles = 64;
+/** Undo-record replay: one log read plus one data write. */
+constexpr Tick kCyclesPerReplayRecord = 4;
+/** One recovery-slice op (slot load or ALU apply). */
+constexpr Tick kCyclesPerSliceOp = 2;
+} // namespace recovery_timing
 
 /** What one core should execute. */
 struct ThreadSpec
@@ -95,6 +113,18 @@ struct CrashRunResult
      * in order (verified by test_io_persistence).
      */
     std::vector<arch::IoRecord> ioStream;
+    /**
+     * Fault-campaign accounting: crashes injected (nested ones
+     * included), media faults detected, and how far down the
+     * degradation ladder recovery had to go.
+     */
+    fault::FaultStats faults;
+    /**
+     * Cycles each recovery pass occupied (one entry per crash that
+     * led to a recovery phase, re-entries folded into their crash).
+     * Lets callers aim a nested failure inside a specific window.
+     */
+    std::vector<Tick> recoveryWindows;
 };
 
 /**
@@ -133,6 +163,22 @@ class WholeSystemSim
     CrashRunResult runWithCrash(const std::vector<ThreadSpec> &threads,
                                 Tick crash_tick,
                                 std::uint64_t max_instrs = 200'000'000);
+
+    /**
+     * Generalized crash run: inject every power failure of
+     * @p schedule (ticks[0] absolute, later entries relative to the
+     * previous failure — they may land inside the timed recovery
+     * window, re-entering recovery mid-undo-replay or mid-slice),
+     * seed @p faults into the reconstructed undo logs, run the
+     * hardened recovery protocol after each failure, and complete the
+     * program functionally after the last one. runWithCrash() is the
+     * single-entry special case.
+     */
+    CrashRunResult runWithCrashes(
+        const std::vector<ThreadSpec> &threads,
+        const fault::CrashSchedule &schedule,
+        const fault::FaultPlan &faults = {},
+        std::uint64_t max_instrs = 200'000'000);
 
     /** Cycle count of a plain (no-crash) run, for picking crash points. */
     Tick lastRunCycles() const { return lastCycles_; }

@@ -460,6 +460,54 @@ BatchRunner::runAll(const std::vector<DesignPoint> &points)
     return out;
 }
 
+void
+BatchRunner::runTasks(const std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+
+    std::size_t jobs =
+        config_.jobs != 0
+            ? config_.jobs
+            : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, tasks.size());
+
+    if (jobs <= 1) {
+        for (const auto &task : tasks)
+            task();
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMu;
+    std::exception_ptr firstError;
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            try {
+                tasks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(errMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
 BatchStats
 BatchRunner::stats() const
 {

@@ -35,6 +35,7 @@
 #define CWSP_DRIVER_BATCH_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -125,6 +126,17 @@ class BatchRunner
      */
     std::vector<core::RunResult>
     runAll(const std::vector<DesignPoint> &points);
+
+    /**
+     * Run arbitrary independent @p tasks across the same worker-pool
+     * discipline runAll() uses (BatchConfig::jobs, first exception
+     * rethrown after the pool drains). Tasks must be self-contained:
+     * they may call back into this runner (run()/moduleFor() are
+     * thread-safe) but must synchronize any other shared state
+     * themselves. Used by the fault-campaign engine, whose unit of
+     * work (a differential crash run) is not a cacheable DesignPoint.
+     */
+    void runTasks(const std::vector<std::function<void()>> &tasks);
 
     /**
      * Compiled-module cache lookup: build-and-compile once per

@@ -1,0 +1,474 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "core/consistency_checker.hh"
+#include "core/whole_system_sim.hh"
+#include "driver/batch_runner.hh"
+#include "interp/interpreter.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp::fault {
+
+namespace {
+
+using core::recovery_timing::kBootCycles;
+
+/**
+ * Schemes with NVM undo-log media a fault can target. Battery-backed
+ * Capri keeps no log (its redo buffer flushes on failure), and
+ * baseline/psp record nothing, so torn/bit-flip/stale-slot cases
+ * would be vacuous there.
+ */
+bool
+schemeHasLogMedia(const std::string &scheme)
+{
+    return scheme == "cwsp" || scheme == "ido" ||
+           scheme == "replaycache";
+}
+
+std::string
+faultBrief(const MediaFault &f)
+{
+    std::ostringstream os;
+    os << faultKindName(f.kind) << "@" << f.crashIndex;
+    return os.str();
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                os << ' ';
+            else
+                os << ch;
+        }
+    }
+    os << '"';
+}
+
+void
+writeFaultStatsJson(std::ostream &os, const FaultStats &s)
+{
+    os << "{\"crashes_injected\": " << s.crashesInjected
+       << ", \"nested_crashes\": " << s.nestedCrashes
+       << ", \"recovery_crashes\": " << s.recoveryCrashes
+       << ", \"undo_replay_passes\": " << s.undoReplayPasses
+       << ", \"partial_replay_records\": " << s.partialReplayRecords
+       << ", \"faults_requested\": " << s.faultsRequested
+       << ", \"faults_applied\": " << s.faultsApplied
+       << ", \"corrupt_records_detected\": "
+       << s.corruptRecordsDetected
+       << ", \"torn_tails_dropped\": " << s.tornTailsDropped
+       << ", \"region_restarts\": " << s.regionRestarts
+       << ", \"full_restarts\": " << s.fullRestarts
+       << ", \"stale_slots_detected\": " << s.staleSlotsDetected
+       << ", \"atomic_resumes\": " << s.atomicResumes << "}";
+}
+
+void
+writeCaseJson(std::ostream &os, const CaseResult &r)
+{
+    os << "{\"app\": ";
+    jsonEscape(os, r.c.app);
+    os << ", \"scheme\": ";
+    jsonEscape(os, r.c.scheme);
+    os << ", \"schedule\": ";
+    jsonEscape(os, r.c.schedule.describe());
+    os << ", \"point_kind\": ";
+    jsonEscape(os, crashPointKindName(r.c.pointKind));
+    os << ", \"faults\": [";
+    for (std::size_t i = 0; i < r.c.plan.faults.size(); ++i) {
+        if (i)
+            os << ", ";
+        jsonEscape(os, faultBrief(r.c.plan.faults[i]));
+    }
+    os << "], \"pass\": " << (r.pass ? "true" : "false")
+       << ", \"ran\": " << (r.ran ? "true" : "false")
+       << ", \"crashed\": " << (r.crashed ? "true" : "false")
+       << ", \"consistent\": " << (r.consistent ? "true" : "false")
+       << ", \"result_match\": "
+       << (r.resultMatch ? "true" : "false")
+       << ", \"io_checked\": " << (r.ioChecked ? "true" : "false")
+       << ", \"io_match\": " << (r.ioMatch ? "true" : "false")
+       << ", \"faults_detected\": "
+       << (r.faultsDetected ? "true" : "false")
+       << ", \"divergences\": " << r.divergences << ", \"stats\": ";
+    writeFaultStatsJson(os, r.faults);
+    if (!r.detail.empty()) {
+        os << ", \"detail\": ";
+        jsonEscape(os, r.detail);
+    }
+    os << "}";
+}
+
+/** Per-(app, scheme) golden context shared read-only by its cases. */
+struct Context
+{
+    std::string app;
+    std::string scheme;
+    core::SystemConfig config;
+    std::shared_ptr<const ir::Module> module;
+    Word goldenResult = 0;
+    interp::SparseMemory goldenMemory;
+    std::vector<arch::IoRecord> goldenIo;
+    CrashPointSet points;
+};
+
+GoldenRef
+refOf(const Context &ctx)
+{
+    GoldenRef g;
+    g.module = ctx.module.get();
+    g.config = &ctx.config;
+    g.result = ctx.goldenResult;
+    g.memory = &ctx.goldenMemory;
+    g.ioStream = &ctx.goldenIo;
+    return g;
+}
+
+/**
+ * Build this context's case list. Deterministic: depends only on the
+ * enumerated points and the options.
+ */
+std::vector<CampaignCase>
+casesFor(const Context &ctx, const CampaignOptions &opt)
+{
+    std::vector<CampaignCase> cases;
+    const auto &pts = ctx.points.points;
+    if (pts.empty())
+        return cases;
+
+    auto base = [&](const CrashPoint &p) {
+        CampaignCase c;
+        c.app = ctx.app;
+        c.scheme = ctx.scheme;
+        c.pointKind = p.kind;
+        return c;
+    };
+
+    for (const auto &p : pts) {
+        CampaignCase c = base(p);
+        c.schedule = CrashSchedule{p.tick};
+        cases.push_back(std::move(c));
+    }
+
+    // Pivot for nested/media cases: a mid-run point, preferring an
+    // undo-append edge (live log records guaranteed at the crash).
+    CrashPoint pivot = pts[pts.size() / 2];
+    for (const auto &p : pts)
+        if (p.kind == CrashPointKind::UndoAppend)
+            pivot = p;
+
+    if (opt.nested) {
+        // Mid-boot: the second failure lands before log scan ends.
+        CampaignCase c1 = base(pivot);
+        c1.pointKind = CrashPointKind::MidRecovery;
+        c1.schedule = CrashSchedule{pivot.tick, 1};
+        cases.push_back(std::move(c1));
+        // Mid-replay: just past boot, inside undo-record replay
+        // whenever the first crash left live records.
+        CampaignCase c2 = base(pivot);
+        c2.pointKind = CrashPointKind::MidRecovery;
+        c2.schedule = CrashSchedule{pivot.tick, kBootCycles + 2};
+        cases.push_back(std::move(c2));
+        // Post-recovery: a second failure during re-execution.
+        CampaignCase c3 = base(pivot);
+        c3.schedule = CrashSchedule{pivot.tick, 4096};
+        cases.push_back(std::move(c3));
+    }
+
+    if (opt.mediaFaults && schemeHasLogMedia(ctx.scheme)) {
+        CampaignCase torn = base(pivot);
+        torn.schedule = CrashSchedule{pivot.tick};
+        torn.plan.faults.push_back(
+            MediaFault{FaultKind::TornAppend, 0, 0, 0, 0});
+        cases.push_back(std::move(torn));
+
+        CampaignCase flip = base(pivot);
+        flip.schedule = CrashSchedule{pivot.tick};
+        flip.plan.faults.push_back(
+            MediaFault{FaultKind::BitFlip, 0, 0, 0, 17});
+        cases.push_back(std::move(flip));
+
+        CampaignCase stale = base(pivot);
+        stale.schedule = CrashSchedule{pivot.tick};
+        stale.plan.faults.push_back(
+            MediaFault{FaultKind::StaleCheckpointSlot, 0, 0, 0, 0});
+        cases.push_back(std::move(stale));
+
+        // Torn append *and* a nested mid-replay failure: the hardened
+        // scan must hold up across a recovery re-entry.
+        CampaignCase both = base(pivot);
+        both.pointKind = CrashPointKind::MidRecovery;
+        both.schedule = CrashSchedule{pivot.tick, kBootCycles + 2};
+        both.plan.faults.push_back(
+            MediaFault{FaultKind::TornAppend, 0, 0, 0, 0});
+        cases.push_back(std::move(both));
+    }
+    return cases;
+}
+
+/**
+ * Greedy auto-shrink: drop trailing schedule entries and individual
+ * faults while the case still fails. Returns the minimal repro.
+ */
+CaseResult
+shrinkCase(const CaseResult &failing, const GoldenRef &golden,
+           std::uint64_t max_instrs, std::size_t &runs)
+{
+    CaseResult best = failing;
+    bool improved = true;
+    while (improved && runs < 32) {
+        improved = false;
+        std::vector<CampaignCase> candidates;
+        if (best.c.schedule.size() > 1) {
+            CampaignCase c = best.c;
+            c.schedule.ticks.pop_back();
+            candidates.push_back(std::move(c));
+        }
+        for (std::size_t i = 0; i < best.c.plan.faults.size(); ++i) {
+            CampaignCase c = best.c;
+            c.plan.faults.erase(c.plan.faults.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            candidates.push_back(std::move(c));
+        }
+        for (const auto &cand : candidates) {
+            ++runs;
+            CaseResult r = runCase(cand, golden, max_instrs);
+            if (!r.pass) {
+                best = std::move(r);
+                improved = true;
+                break;
+            }
+            if (runs >= 32)
+                break;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allSchemeNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "cwsp", "capri", "ido", "replaycache", "psp"};
+    return names;
+}
+
+std::string
+CampaignCase::label() const
+{
+    std::ostringstream os;
+    os << app << "/" << scheme << " @" << schedule.describe();
+    for (const auto &f : plan.faults)
+        os << " " << faultBrief(f);
+    return os.str();
+}
+
+CaseResult
+runCase(const CampaignCase &c, const GoldenRef &golden,
+        std::uint64_t max_instrs)
+{
+    cwsp_assert(golden.module && golden.config && golden.memory &&
+                    golden.ioStream,
+                "runCase needs a complete golden reference");
+    CaseResult r;
+    r.c = c;
+    try {
+        core::WholeSystemSim sim(*golden.module, *golden.config);
+        auto out = sim.runWithCrashes({core::ThreadSpec{}},
+                                      c.schedule, c.plan, max_instrs);
+        r.ran = true;
+        r.crashed = out.crashed;
+        r.faults = out.faults;
+
+        auto check = core::checkGlobals(*golden.module,
+                                        *golden.memory, sim.memory());
+        r.consistent = check.consistent;
+        r.divergences = check.totalDivergences;
+        r.resultMatch = !out.result.returnValues.empty() &&
+                        out.result.returnValues[0] == golden.result;
+
+        // Exactly-once device output — except across a full restart,
+        // where re-execution from entry necessarily re-issues output
+        // (the documented cost of degradation step 3).
+        if (out.faults.fullRestarts == 0) {
+            r.ioChecked = true;
+            r.ioMatch =
+                out.ioStream.size() == golden.ioStream->size();
+            for (std::size_t i = 0; r.ioMatch &&
+                                    i < out.ioStream.size();
+                 ++i) {
+                const auto &a = out.ioStream[i];
+                const auto &b = (*golden.ioStream)[i];
+                r.ioMatch = a.device == b.device &&
+                            a.payload == b.payload &&
+                            a.core == b.core;
+            }
+        }
+
+        // Every media fault that was actually injected must have been
+        // detected somewhere (silent corruption fails the case even
+        // when the state happens to converge).
+        r.faultsDetected =
+            out.faults.faultsApplied == 0 ||
+            out.faults.corruptRecordsDetected +
+                    out.faults.staleSlotsDetected >=
+                out.faults.faultsApplied;
+
+        r.pass = r.consistent && r.resultMatch &&
+                 (!r.ioChecked || r.ioMatch) && r.faultsDetected;
+        if (!r.pass) {
+            std::ostringstream os;
+            if (!r.consistent)
+                os << "globals diverge (" << r.divergences
+                   << " words, first in "
+                   << (check.divergences.empty()
+                           ? std::string("?")
+                           : check.divergences[0].global)
+                   << "); ";
+            if (!r.resultMatch)
+                os << "return value differs; ";
+            if (r.ioChecked && !r.ioMatch)
+                os << "device output not exactly-once; ";
+            if (!r.faultsDetected)
+                os << "seeded media fault went undetected; ";
+            r.detail = os.str();
+        }
+    } catch (const std::exception &e) {
+        r.ran = false;
+        r.pass = false;
+        r.detail = std::string("exception: ") + e.what();
+    }
+    return r;
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &options)
+{
+    cwsp_assert(!options.apps.empty(),
+                "fault campaign needs at least one app");
+    const std::vector<std::string> &schemes =
+        options.schemes.empty() ? allSchemeNames() : options.schemes;
+
+    driver::BatchConfig bc;
+    bc.jobs = options.jobs;
+    bc.useDiskCache = false;
+    driver::BatchRunner pool(bc);
+
+    // Phase 1: golden runs + crash-point enumeration, one context per
+    // (app, scheme) — parallel, each context self-contained.
+    std::vector<Context> contexts(options.apps.size() *
+                                  schemes.size());
+    {
+        std::vector<std::function<void()>> prep;
+        for (std::size_t a = 0; a < options.apps.size(); ++a) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                Context &ctx = contexts[a * schemes.size() + s];
+                ctx.app = options.apps[a];
+                ctx.scheme = schemes[s];
+                prep.push_back([&ctx, &options]() {
+                    ctx.config = core::makeSystemConfig(ctx.scheme);
+                    const auto &profile =
+                        workloads::appByName(ctx.app);
+                    ctx.module = workloads::buildApp(
+                        profile, ctx.config.compiler);
+                    ctx.goldenResult = interp::runToCompletion(
+                        *ctx.module, ctx.goldenMemory, "main", {});
+                    ctx.goldenIo = core::collectIoStream(
+                        *ctx.module, "main", {});
+                    ctx.points = enumerateCrashPoints(
+                        *ctx.module, ctx.config, {core::ThreadSpec{}},
+                        options.pointsPerKind);
+                });
+            }
+        }
+        pool.runTasks(prep);
+    }
+
+    // Phase 2: build the deterministic case list and run it across
+    // the pool; results land by index, so the report's order is
+    // independent of the jobs count.
+    CampaignReport report;
+    std::vector<const Context *> caseCtx;
+    for (const auto &ctx : contexts) {
+        auto cs = casesFor(ctx, options);
+        for (auto &c : cs) {
+            report.cases.push_back(CaseResult{});
+            report.cases.back().c = std::move(c);
+            caseCtx.push_back(&ctx);
+        }
+    }
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(report.cases.size());
+        for (std::size_t i = 0; i < report.cases.size(); ++i) {
+            tasks.push_back([i, &report, &caseCtx, &options]() {
+                report.cases[i] =
+                    runCase(report.cases[i].c, refOf(*caseCtx[i]),
+                            options.maxInstrs);
+            });
+        }
+        pool.runTasks(tasks);
+    }
+
+    // Phase 3: aggregate; auto-shrink failures to minimal repros.
+    for (std::size_t i = 0; i < report.cases.size(); ++i) {
+        const CaseResult &r = report.cases[i];
+        ++report.casesRun;
+        report.totals.mergeFrom(r.faults);
+        if (r.pass) {
+            ++report.casesPassed;
+            continue;
+        }
+        if (options.shrink && r.ran) {
+            report.failures.push_back(shrinkCase(
+                r, refOf(*caseCtx[i]), options.maxInstrs,
+                report.shrinkRuns));
+        } else {
+            report.failures.push_back(r);
+        }
+    }
+    return report;
+}
+
+void
+CampaignReport::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"cases_run\": " << casesRun
+       << ",\n  \"cases_passed\": " << casesPassed
+       << ",\n  \"failure_count\": " << failures.size()
+       << ",\n  \"shrink_runs\": " << shrinkRuns
+       << ",\n  \"totals\": ";
+    writeFaultStatsJson(os, totals);
+    os << ",\n  \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        writeCaseJson(os, failures[i]);
+    }
+    os << (failures.empty() ? "]" : "\n  ]");
+    os << ",\n  \"cases\": [";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        writeCaseJson(os, cases[i]);
+    }
+    os << (cases.empty() ? "]" : "\n  ]");
+    os << "\n}\n";
+}
+
+} // namespace cwsp::fault

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The fault-injection campaign engine. For a set of apps and schemes
+ * it enumerates semantically interesting crash points from a traced
+ * run (fault/crash_points.hh), decorates them into single, nested,
+ * and media-faulted crash schedules, runs every case differentially
+ * against a golden uninterrupted run, auto-shrinks failing cases to a
+ * minimal (app, scheme, schedule, faults) repro, and emits a
+ * machine-readable report (tools/cwsp_faultcampaign front-end).
+ *
+ * Pass criteria per case:
+ *  - recovered globals bit-identical to the golden run,
+ *  - the program's return value matches,
+ *  - the device-output stream is exactly-once (skipped when recovery
+ *    degraded to a full restart: re-execution from entry necessarily
+ *    re-issues output — the documented cost of degradation step 3),
+ *  - every media fault that was actually injected was *detected*
+ *    (silent corruption is a failure even when the final state
+ *    happens to converge).
+ */
+
+#ifndef CWSP_FAULT_CAMPAIGN_HH
+#define CWSP_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/crash_points.hh"
+#include "fault/fault_model.hh"
+
+namespace cwsp::fault {
+
+/** What to sweep. */
+struct CampaignOptions
+{
+    /** Workload names (workloads::appByName); required, non-empty. */
+    std::vector<std::string> apps;
+    /** Scheme presets; empty = all six. */
+    std::vector<std::string> schemes;
+    /** Crash points kept per kind per (app, scheme). */
+    std::size_t pointsPerKind = 3;
+    /** Add nested-crash schedules (mid-boot / mid-replay / later). */
+    bool nested = true;
+    /** Add torn-append / bit-flip / stale-slot cases. */
+    bool mediaFaults = true;
+    /** Auto-shrink failing cases to a minimal repro. */
+    bool shrink = true;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    std::uint64_t maxInstrs = 200'000'000;
+};
+
+/** One differential crash run. */
+struct CampaignCase
+{
+    std::string app;
+    std::string scheme;
+    CrashSchedule schedule;
+    FaultPlan plan;
+    /** Kind of the point the initial crash tick came from. */
+    CrashPointKind pointKind = CrashPointKind::RegionBegin;
+
+    /** "bzip2/cwsp @1042+65 torn_append@0" (for logs and reports). */
+    std::string label() const;
+};
+
+/** Outcome of one case. */
+struct CaseResult
+{
+    CampaignCase c;
+    bool ran = false;        ///< false: exception (detail says what)
+    bool crashed = false;    ///< the first crash fired in-run
+    bool consistent = false; ///< globals match golden
+    bool resultMatch = false;
+    bool ioChecked = false; ///< exactly-once comparison performed
+    bool ioMatch = true;
+    /** Injected media faults were all detected (vacuous when none). */
+    bool faultsDetected = true;
+    bool pass = false;
+    std::uint64_t divergences = 0; ///< total divergent words
+    FaultStats faults;
+    std::string detail; ///< human-readable failure explanation
+};
+
+/** Aggregate outcome. */
+struct CampaignReport
+{
+    std::vector<CaseResult> cases; ///< deterministic order
+    /** Minimal repros of every failing case (post-shrink). */
+    std::vector<CaseResult> failures;
+    FaultStats totals;
+    std::size_t casesRun = 0;
+    std::size_t casesPassed = 0;
+    std::size_t shrinkRuns = 0; ///< extra runs the shrinker spent
+
+    bool allPassed() const { return failures.empty(); }
+
+    /** Machine-readable report (stable schema, see internals.md). */
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * Build and run the campaign described by @p options. Cases run
+ * across a BatchRunner worker pool; results are deterministic and
+ * independent of the jobs count.
+ */
+CampaignReport runCampaign(const CampaignOptions &options);
+
+/**
+ * Run one case differentially and fill a CaseResult (exposed for the
+ * shrinker, tests, and the --crash-at-event CLI path). @p golden_*
+ * describe the uninterrupted run of the same module.
+ */
+struct GoldenRef
+{
+    const ir::Module *module = nullptr;
+    const core::SystemConfig *config = nullptr;
+    Word result = 0;
+    const interp::SparseMemory *memory = nullptr;
+    const std::vector<arch::IoRecord> *ioStream = nullptr;
+};
+
+CaseResult runCase(const CampaignCase &c, const GoldenRef &golden,
+                   std::uint64_t max_instrs = 200'000'000);
+
+/** The six scheme presets, figure order. */
+const std::vector<std::string> &allSchemeNames();
+
+} // namespace cwsp::fault
+
+#endif // CWSP_FAULT_CAMPAIGN_HH

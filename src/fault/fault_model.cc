@@ -1,0 +1,64 @@
+#include "fault/fault_model.hh"
+
+namespace cwsp::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TornAppend: return "torn_append";
+      case FaultKind::BitFlip: return "bit_flip";
+      case FaultKind::StaleCheckpointSlot: return "stale_ckpt_slot";
+    }
+    return "?";
+}
+
+bool
+parseFaultKind(const std::string &name, FaultKind &out)
+{
+    if (name == "torn_append") {
+        out = FaultKind::TornAppend;
+        return true;
+    }
+    if (name == "bit_flip") {
+        out = FaultKind::BitFlip;
+        return true;
+    }
+    if (name == "stale_ckpt_slot") {
+        out = FaultKind::StaleCheckpointSlot;
+        return true;
+    }
+    return false;
+}
+
+std::string
+CrashSchedule::describe() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        if (i)
+            out += "+";
+        out += std::to_string(ticks[i]);
+    }
+    return out;
+}
+
+void
+FaultStats::mergeFrom(const FaultStats &other)
+{
+    crashesInjected += other.crashesInjected;
+    nestedCrashes += other.nestedCrashes;
+    recoveryCrashes += other.recoveryCrashes;
+    undoReplayPasses += other.undoReplayPasses;
+    partialReplayRecords += other.partialReplayRecords;
+    faultsRequested += other.faultsRequested;
+    faultsApplied += other.faultsApplied;
+    corruptRecordsDetected += other.corruptRecordsDetected;
+    tornTailsDropped += other.tornTailsDropped;
+    regionRestarts += other.regionRestarts;
+    fullRestarts += other.fullRestarts;
+    staleSlotsDetected += other.staleSlotsDetected;
+    atomicResumes += other.atomicResumes;
+}
+
+} // namespace cwsp::fault

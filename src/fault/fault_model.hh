@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fault-campaign model types: crash schedules (nested power
+ * failures), NVM media faults injected at the undo-log layer, and the
+ * detection/degradation counters the hardened recovery path fills.
+ *
+ * The media model follows the hardware's trust boundaries:
+ *
+ *  - A *torn append* is a multi-word undo record cut between words by
+ *    the failure. Log-before-accept ordering (the record is durable
+ *    before its store may admit to the WPQ) implies the guarded store
+ *    never reached NVM, so a CRC failure on the area's newest record
+ *    is attributed to a torn in-flight append and the tail is safe to
+ *    drop (degradation step 1).
+ *  - A *bit flip* models media retention failure of an older, fully
+ *    written record. Its guarded store did persist, so the record
+ *    cannot simply be dropped: if the corrupt record sits in the
+ *    resume region's data log, the region is restarted (the record is
+ *    skipped; re-execution of the antidependence-free region rewrites
+ *    the address before any read — degradation step 2); any other
+ *    corruption (checkpoint-slot records, non-resume regions) forces
+ *    a full restart on pristine memory (degradation step 3).
+ *  - A *stale checkpoint slot* is a slot write the media dropped. The
+ *    MC stamps slot writes (modeled by CrashState::ckptSlotImage);
+ *    the recovery slice validates every LoadSlot against the stamp
+ *    and degrades to a full restart on mismatch.
+ */
+
+#ifndef CWSP_FAULT_FAULT_MODEL_HH
+#define CWSP_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cwsp::fault {
+
+/** Kinds of NVM media faults the campaign can seed. */
+enum class FaultKind : std::uint8_t {
+    TornAppend,          ///< newest in-flight append cut between words
+    BitFlip,             ///< one bit of a live undo record flipped
+    StaleCheckpointSlot, ///< a checkpoint-slot write the media lost
+};
+
+/** Stable name ("torn_append", "bit_flip", "stale_ckpt_slot"). */
+const char *faultKindName(FaultKind kind);
+
+/** Parse a stable name back; false when unknown. */
+bool parseFaultKind(const std::string &name, FaultKind &out);
+
+/** One seeded media fault, bound to one failure of the schedule. */
+struct MediaFault
+{
+    FaultKind kind = FaultKind::TornAppend;
+    /**
+     * Which failure of the CrashSchedule this fault decorates
+     * (0-based ordinal over schedule entries). Entries consumed while
+     * recovery itself is re-crashed do not evaluate media faults.
+     */
+    std::uint32_t crashIndex = 0;
+    /**
+     * BitFlip target region; 0 picks automatically: the resume
+     * region's data log when one exists (exercises degradation step
+     * 2), else the area's newest region.
+     */
+    RegionId region = 0;
+    /**
+     * BitFlip target record, counted from the newest record of the
+     * target region. The injector refuses to flip the area's globally
+     * newest record (that presents as a torn tail, a different
+     * degradation class) and probes older records instead.
+     */
+    std::size_t recordIndex = 0;
+    unsigned bit = 0; ///< BitFlip: 0..63 old value, 64..127 address
+};
+
+/** The set of media faults seeded into one crash run. */
+struct FaultPlan
+{
+    std::vector<MediaFault> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /** Faults bound to failure ordinal @p crash_index. */
+    std::vector<MediaFault>
+    faultsFor(std::uint32_t crash_index) const
+    {
+        std::vector<MediaFault> out;
+        for (const auto &f : faults)
+            if (f.crashIndex == crash_index)
+                out.push_back(f);
+        return out;
+    }
+};
+
+/**
+ * A sequence of power failures. ticks[0] is an absolute cycle of the
+ * initial run; every later entry is relative to the previous failure
+ * (i.e. cycles after power restore) and may land inside the timed
+ * recovery window — mid-undo-replay or mid-recovery-slice — which
+ * re-enters recovery from scratch (the protocol is idempotent).
+ */
+struct CrashSchedule
+{
+    std::vector<Tick> ticks;
+
+    CrashSchedule() = default;
+    CrashSchedule(std::initializer_list<Tick> t) : ticks(t) {}
+    explicit CrashSchedule(std::vector<Tick> t) : ticks(std::move(t)) {}
+
+    bool empty() const { return ticks.empty(); }
+    std::size_t size() const { return ticks.size(); }
+
+    /** "1000" or "1000+40+200" (later entries restore-relative). */
+    std::string describe() const;
+};
+
+/** Detection / degradation counters of one crash-and-recover run. */
+struct FaultStats
+{
+    std::uint64_t crashesInjected = 0;
+    std::uint64_t nestedCrashes = 0;   ///< failures after the first
+    std::uint64_t recoveryCrashes = 0; ///< failures inside recovery
+    /** Complete undo-replay passes (re-entries count again). */
+    std::uint64_t undoReplayPasses = 0;
+    /** Records a re-crashed replay pass had applied before dying. */
+    std::uint64_t partialReplayRecords = 0;
+
+    std::uint64_t faultsRequested = 0; ///< media faults evaluated
+    std::uint64_t faultsApplied = 0;   ///< actually injectable
+
+    std::uint64_t corruptRecordsDetected = 0;
+    std::uint64_t tornTailsDropped = 0;   ///< degradation step 1
+    std::uint64_t regionRestarts = 0;     ///< degradation step 2
+    std::uint64_t fullRestarts = 0;       ///< degradation step 3
+    std::uint64_t staleSlotsDetected = 0;
+
+    std::uint64_t atomicResumes = 0; ///< resumeAfterAtomic recoveries
+
+    /** Any degradation beyond dropping a torn tail. */
+    bool
+    degraded() const
+    {
+        return regionRestarts != 0 || fullRestarts != 0;
+    }
+
+    void mergeFrom(const FaultStats &other);
+};
+
+} // namespace cwsp::fault
+
+#endif // CWSP_FAULT_FAULT_MODEL_HH

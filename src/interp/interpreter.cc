@@ -298,6 +298,14 @@ Interpreter::snapshot() const
     return snap;
 }
 
+ControlSnapshot
+Interpreter::exactSnapshot() const
+{
+    ControlSnapshot snap;
+    snap.frames = frames_;
+    return snap;
+}
+
 void
 Interpreter::restoreForRecovery(const ControlSnapshot &snap)
 {

@@ -62,6 +62,14 @@ class Interpreter
     ControlSnapshot snapshot() const;
 
     /**
+     * Snapshot the control state between steps, with no index rewind:
+     * resumption continues at the next unexecuted instruction. Used
+     * for battery-backed schemes whose residual energy persists the
+     * execution context, making recovery an exact continuation.
+     */
+    ControlSnapshot exactSnapshot() const;
+
+    /**
      * Replace the control state with @p snap and poison the top
      * frame's registers (except the frame pointer); the recovery
      * slice must rebuild every live-in. Used by the recovery engine.

@@ -1,11 +1,20 @@
 #include "mem/undo_log.hh"
 
+#include "sim/hash.hh"
+
 namespace cwsp::mem {
 
 void
-UndoLogArea::append(RegionId region, Addr addr, Word old_value)
+UndoLogArea::append(RegionId region, Addr addr, Word old_value,
+                    bool is_ckpt)
 {
-    logs_[region].push_back(UndoRecord{addr, old_value});
+    UndoRecord r;
+    r.addr = addr;
+    r.oldValue = old_value;
+    r.seq = nextSeq_++;
+    r.isCkpt = is_ckpt;
+    r.crc = recordCrc(region, r);
+    logs_[region].push_back(r);
     ++live_;
     if (live_ > maxLive_)
         maxLive_ = live_;
@@ -28,6 +37,102 @@ UndoLogArea::liveRecords() const
     for (const auto &[region, records] : logs_)
         n += records.size();
     return n;
+}
+
+std::uint32_t
+UndoLogArea::recordCrc(RegionId region, const UndoRecord &record)
+{
+    std::uint32_t c = crc32u64(region);
+    c = crc32u64(record.addr, c);
+    c = crc32u64(record.oldValue, c);
+    c = crc32u64(record.seq, c);
+    return crc32u64(record.isCkpt ? 1 : 0, c);
+}
+
+bool
+UndoLogArea::recordValid(RegionId region, const UndoRecord &record)
+{
+    return !record.torn && record.crc == recordCrc(region, record);
+}
+
+std::vector<CorruptRecord>
+UndoLogArea::scanCorrupt() const
+{
+    std::uint64_t newest = newestSeq();
+    std::vector<CorruptRecord> out;
+    for (const auto &[region, records] : logs_) {
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const UndoRecord &r = records[i];
+            if (recordValid(region, r))
+                continue;
+            out.push_back(CorruptRecord{region, i, r.isCkpt,
+                                        r.seq == newest, r.seq});
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+UndoLogArea::newestSeq() const
+{
+    std::uint64_t newest = 0;
+    for (const auto &[region, records] : logs_) {
+        for (const auto &r : records)
+            if (r.seq > newest)
+                newest = r.seq;
+    }
+    return newest;
+}
+
+RegionId
+UndoLogArea::newestRegion() const
+{
+    std::uint64_t newest = 0;
+    RegionId owner = 0;
+    for (const auto &[region, records] : logs_) {
+        for (const auto &r : records) {
+            if (r.seq >= newest) {
+                newest = r.seq;
+                owner = region;
+            }
+        }
+    }
+    return owner;
+}
+
+bool
+UndoLogArea::tearNewestRecord()
+{
+    std::uint64_t newest = newestSeq();
+    if (newest == 0)
+        return false;
+    for (auto &[region, records] : logs_) {
+        for (auto &r : records) {
+            if (r.seq == newest) {
+                r.torn = true;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+UndoLogArea::flipBit(RegionId region, std::size_t newest_index,
+                     unsigned bit)
+{
+    auto it = logs_.find(region);
+    if (it == logs_.end() || it->second.empty() ||
+        newest_index >= it->second.size()) {
+        return false;
+    }
+    UndoRecord &r =
+        it->second[it->second.size() - 1 - newest_index];
+    if (bit < 64)
+        r.oldValue ^= Word{1} << bit;
+    else
+        r.addr ^= Addr{1} << (bit - 64);
+    return true;
 }
 
 } // namespace cwsp::mem

@@ -5,6 +5,19 @@
  * has stores directed at it; a region's array is reclaimed when the
  * region becomes non-speculative. On power failure the recovery
  * runtime replays every surviving log in reverse region-id order.
+ *
+ * Hardening (fault campaign): every record carries an area-wide
+ * sequence stamp and a CRC-32 over its payload, modeling the
+ * integrity code a real MC would co-locate with each 16-byte log
+ * entry. A multi-word append cut by a power failure ("torn" append)
+ * or an NVM media bit flip therefore fails validation instead of
+ * silently replaying garbage. Checkpoint-slot records are kept in a
+ * logically separate per-region array (modeled by the record's
+ * `isCkpt` membership flag, which is array metadata — like the
+ * region id it stays trustworthy even when the record payload is
+ * corrupt), because the recovery degradation ladder treats data-log
+ * and checkpoint-log corruption differently (see
+ * core/crash_injection.cc).
  */
 
 #ifndef CWSP_MEM_UNDO_LOG_HH
@@ -23,6 +36,28 @@ struct UndoRecord
 {
     Addr addr = 0;
     Word oldValue = 0;
+    /** Area-wide append order; identifies the newest (tearable) record. */
+    std::uint64_t seq = 0;
+    /** CRC-32 over (region, addr, oldValue, seq, isCkpt). */
+    std::uint32_t crc = 0;
+    /**
+     * Record membership in the region's checkpoint-slot log array
+     * rather than its data log array (durable array metadata, not
+     * payload — trusted even when `crc` fails).
+     */
+    bool isCkpt = false;
+    /** Media model: the append was cut between words by the failure. */
+    bool torn = false;
+};
+
+/** One record that failed validation during a checked scan. */
+struct CorruptRecord
+{
+    RegionId region = 0;
+    std::size_t index = 0; ///< position in the region's array
+    bool isCkpt = false;   ///< which of the region's arrays it sits in
+    bool newestOverall = false; ///< the area's newest record (torn tail)
+    std::uint64_t seq = 0;
 };
 
 /** The undo-log area of one memory controller. */
@@ -30,7 +65,8 @@ class UndoLogArea
 {
   public:
     /** Append a record for @p region (allocates its array lazily). */
-    void append(RegionId region, Addr addr, Word old_value);
+    void append(RegionId region, Addr addr, Word old_value,
+                bool is_ckpt = false);
 
     /** Region became non-speculative: drop its array (Section V-B2). */
     void reclaim(RegionId region);
@@ -38,7 +74,9 @@ class UndoLogArea
     /**
      * Replay all surviving records in reverse chronological region
      * order, newest region first, each region's records newest first
-     * (Section VII).
+     * (Section VII). Unchecked: every record is replayed whether or
+     * not its CRC validates — the hardened path filters through
+     * scanCorrupt() first.
      */
     template <typename Fn>
     void
@@ -51,6 +89,18 @@ class UndoLogArea
         }
     }
 
+    /** Checked variant: also passes the record and its validity. */
+    template <typename Fn>
+    void
+    replayReverseChecked(Fn &&fn) const
+    {
+        for (auto it = logs_.rbegin(); it != logs_.rend(); ++it) {
+            const auto &records = it->second;
+            for (auto r = records.rbegin(); r != records.rend(); ++r)
+                fn(it->first, *r, recordValid(it->first, *r));
+        }
+    }
+
     /** Drop every log (end of recovery, Section VII step 1). */
     void clear() { logs_.clear(); }
 
@@ -60,10 +110,54 @@ class UndoLogArea
     /** High-water mark of simultaneously live records. */
     std::size_t maxLiveRecords() const { return maxLive_; }
 
+    // ---- integrity layer ------------------------------------------
+
+    /** The CRC a valid record of @p region must carry. */
+    static std::uint32_t recordCrc(RegionId region,
+                                   const UndoRecord &record);
+
+    /** CRC matches and the append was not torn. */
+    static bool recordValid(RegionId region, const UndoRecord &record);
+
+    /** Every record that fails validation, oldest region first. */
+    std::vector<CorruptRecord> scanCorrupt() const;
+
+    /** Sequence stamp of the newest live record (0 when empty). */
+    std::uint64_t newestSeq() const;
+
+    /** Region owning the newest live record (0 when empty). */
+    RegionId newestRegion() const;
+
+    // ---- media-fault injection (campaign engine) ------------------
+
+    /**
+     * Model a power failure cutting the newest in-flight multi-word
+     * append between words: the record's CRC can no longer validate.
+     * @return false when the area is empty.
+     */
+    bool tearNewestRecord();
+
+    /**
+     * Flip one bit of a live record of @p region without updating its
+     * CRC (NVM media fault). @p newest_index counts from the newest
+     * record of that region (0 = newest); bits 0..63 hit the old
+     * value, 64..127 the address. @return false when no such record.
+     */
+    bool flipBit(RegionId region, std::size_t newest_index,
+                 unsigned bit);
+
+    /** Read-only view of the per-region arrays (tests, reporting). */
+    const std::map<RegionId, std::vector<UndoRecord>> &
+    logs() const
+    {
+        return logs_;
+    }
+
   private:
     std::map<RegionId, std::vector<UndoRecord>> logs_;
     std::size_t live_ = 0;
     std::size_t maxLive_ = 0;
+    std::uint64_t nextSeq_ = 1;
 };
 
 } // namespace cwsp::mem

@@ -34,6 +34,34 @@ fnv1a64(const std::string &s,
     return fnv1a64(s.data(), s.size(), seed);
 }
 
+/**
+ * CRC-32 (reflected, poly 0xEDB88320) over @p data, continuing from
+ * @p seed. Used by the hardened undo log to model per-record media
+ * integrity codes: unlike FNV, single-bit flips and truncated
+ * (torn) writes are guaranteed to change the checksum.
+ */
+constexpr std::uint32_t
+crc32(const char *data, std::size_t size, std::uint32_t seed = 0)
+{
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        c ^= static_cast<unsigned char>(data[i]);
+        for (int k = 0; k < 8; ++k)
+            c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+    }
+    return ~c;
+}
+
+/** CRC-32 of a little-endian encoded 64-bit word. */
+constexpr std::uint32_t
+crc32u64(std::uint64_t v, std::uint32_t seed = 0)
+{
+    char b[8] = {};
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    return crc32(b, 8, seed);
+}
+
 /** Fixed-width lowercase-hex rendering of @p h (16 chars). */
 inline std::string
 hex64(std::uint64_t h)

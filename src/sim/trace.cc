@@ -82,6 +82,9 @@ traceKindName(TraceEventKind kind)
       case TraceEventKind::CrashInject: return "crash_inject";
       case TraceEventKind::RecoverySlice: return "recovery_slice";
       case TraceEventKind::RecoveryResume: return "recovery_resume";
+      case TraceEventKind::LogFault: return "log_fault";
+      case TraceEventKind::RecoveryReentry:
+        return "recovery_reentry";
     }
     return "?";
 }
@@ -137,6 +140,14 @@ argNames(TraceEventKind kind, const char *&a0, const char *&a1)
       case TraceEventKind::RecoveryResume:
         a0 = "region";
         a1 = "restart";
+        break;
+      case TraceEventKind::LogFault:
+        a0 = "seq";
+        a1 = "action";
+        break;
+      case TraceEventKind::RecoveryReentry:
+        a0 = "crash";
+        a1 = "replayed";
         break;
       case TraceEventKind::RsPointerWrite:
       case TraceEventKind::CrashInject:

@@ -103,6 +103,10 @@ enum class TraceEventKind : std::uint16_t {
     CrashInject,    ///< tick = crash instant
     RecoverySlice,  ///< arg0 = slice ops, arg1 = static region
     RecoveryResume, ///< arg0 = resume region, arg1 = 1 if restart
+    LogFault,        ///< arg0 = record seq, arg1 = ladder action
+                     ///< (0 tail drop, 1 region restart, 2 full)
+    RecoveryReentry, ///< arg0 = crash ordinal, arg1 = records the
+                     ///< interrupted replay pass had applied
 };
 
 /** Category of @p kind (constexpr so the mask check inlines). */
@@ -138,6 +142,8 @@ traceKindCategory(TraceEventKind kind)
       case TraceEventKind::CrashInject:
       case TraceEventKind::RecoverySlice:
       case TraceEventKind::RecoveryResume:
+      case TraceEventKind::LogFault:
+      case TraceEventKind::RecoveryReentry:
         return kTraceCrash;
     }
     return kTraceRegion;

@@ -55,12 +55,32 @@ for b in "$BUILD_DIR"/bench/bench_*; do
 done
 elapsed=$(( $(date +%s) - start ))
 
-python3 - "$OUT" "$elapsed" "$tmp"/*.json <<'EOF'
+# Robustness counters ride along with the perf numbers: a bounded
+# fault campaign (trace-derived crash points, nested crashes, media
+# faults) whose detection/degradation totals are folded into the
+# summary, so the perf-trajectory diff also flags a recovery path
+# that silently starts degrading harder. The report lives in a
+# subdirectory so the aggregation glob below doesn't scoop it up as
+# a bench binary.
+campaign=
+if [ -x "$BUILD_DIR/tools/cwsp_faultcampaign" ]; then
+    mkdir -p "$tmp/campaign"
+    campaign=$tmp/campaign/report.json
+    echo ">> cwsp_faultcampaign (jobs=$JOBS)" >&2
+    "$BUILD_DIR"/tools/cwsp_faultcampaign --apps fft,bzip2 \
+        --points 1 --jobs "$JOBS" --json "$campaign" --quiet ||
+        echo "bench_all: fault campaign reported failures" \
+             "(folded into $OUT)" >&2
+fi
+
+python3 - "$OUT" "$elapsed" "${campaign:-none}" "$tmp"/*.json <<'EOF'
 import json
 import os
 import sys
 
 out_path, elapsed = sys.argv[1], int(sys.argv[2])
+campaign_path = sys.argv[3]
+del sys.argv[3]
 merged = {"context": None, "wall_clock_s": elapsed, "binaries": []}
 stats = {}
 for path in sys.argv[3:]:
@@ -84,6 +104,18 @@ for path in sys.argv[3:]:
 merged["component_stats"] = stats
 merged["total_cases"] = sum(
     len(b["benchmarks"]) for b in merged["binaries"])
+if campaign_path != "none" and os.path.exists(campaign_path):
+    with open(campaign_path) as f:
+        report = json.load(f)
+    # Keep the scalar health counters (cases run/passed plus the
+    # FaultStats detection/degradation ledger); the per-case detail
+    # stays in the campaign's own report.
+    merged["fault_campaign"] = {
+        "cases_run": report.get("cases_run", 0),
+        "cases_passed": report.get("cases_passed", 0),
+        "failure_count": report.get("failure_count", 0),
+        "totals": report.get("totals", {}),
+    }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 print("wrote {}: {} binaries, {} cases, {}s wall clock".format(

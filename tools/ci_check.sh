@@ -44,6 +44,15 @@ for san in "${SANITIZERS[@]}"; do
     # crash quiescence).
     "$dir"/tools/cwsp_analyze --check-invariants \
           --scheme all --app fft --jobs "$JOBS"
+    echo "== $san: fault-campaign smoke (every scheme) =="
+    # Bounded robustness pass: trace-derived crash points on two
+    # apps across all schemes, with nested-crash schedules and
+    # torn-log/bit-flip/stale-slot media faults, run differentially
+    # against golden. Exits nonzero on any divergence, lost output,
+    # or undetected media fault — and the sanitizers watch the
+    # hardened recovery path itself while it degrades.
+    "$dir"/tools/cwsp_faultcampaign --apps fft,bzip2 \
+          --points 1 --jobs "$JOBS" --quiet
 done
 
 echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"

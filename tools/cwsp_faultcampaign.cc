@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Fault-injection campaign front-end. Enumerates trace-derived crash
+ * points for every (app, scheme) pair, decorates them into single,
+ * nested, and media-faulted crash schedules, runs each case
+ * differentially against a golden run across a worker pool, shrinks
+ * failures to minimal repros, and writes a machine-readable report.
+ *
+ *   cwsp_faultcampaign --apps bzip2,radix
+ *   cwsp_faultcampaign --apps tpcc --schemes cwsp,ido --points 4
+ *   cwsp_faultcampaign --apps bzip2 --json report.json
+ *
+ * Exit status is 0 iff every case passed (zero unexplained
+ * divergences and no silently-corrupting media fault).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+
+using namespace cwsp;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cwsp_faultcampaign [options]\n"
+        "  --apps A,B,...      workloads to campaign over (required)\n"
+        "  --schemes X,Y,...   scheme presets (default: all six)\n"
+        "  --points N          crash points kept per kind per\n"
+        "                      (app, scheme) pair (default 3)\n"
+        "  --no-nested         skip nested-crash schedules\n"
+        "  --no-media          skip torn/bit-flip/stale-slot faults\n"
+        "  --no-shrink         report failures unshrunk\n"
+        "  --jobs N            worker threads (default: all cores)\n"
+        "  --json FILE         write the JSON report (`-` = stdout)\n"
+        "  --quiet             suppress the per-case table\n");
+}
+
+const char *
+arg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    fault::CampaignOptions opt;
+    std::string json_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--apps") {
+            opt.apps = splitList(arg(argc, argv, i));
+        } else if (a == "--schemes") {
+            opt.schemes = splitList(arg(argc, argv, i));
+        } else if (a == "--points") {
+            int n = std::atoi(arg(argc, argv, i));
+            if (n <= 0) {
+                std::fprintf(stderr,
+                             "--points expects a positive count\n");
+                return 2;
+            }
+            opt.pointsPerKind = static_cast<std::size_t>(n);
+        } else if (a == "--no-nested") {
+            opt.nested = false;
+        } else if (a == "--no-media") {
+            opt.mediaFaults = false;
+        } else if (a == "--no-shrink") {
+            opt.shrink = false;
+        } else if (a == "--jobs") {
+            opt.jobs =
+                static_cast<unsigned>(std::atoi(arg(argc, argv, i)));
+        } else if (a == "--json") {
+            json_path = arg(argc, argv, i);
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (opt.apps.empty()) {
+        usage();
+        return 2;
+    }
+
+    auto report = fault::runCampaign(opt);
+
+    // With `--json -` the JSON owns stdout; move tables to stderr.
+    std::FILE *out = json_path == "-" ? stderr : stdout;
+    if (!quiet) {
+        for (const auto &r : report.cases) {
+            std::fprintf(out, "%-52s %s\n", r.c.label().c_str(),
+                         r.pass ? "pass"
+                                : (r.ran ? "FAIL" : "ERROR"));
+        }
+    }
+    const auto &t = report.totals;
+    std::fprintf(
+        out,
+        "campaign: %zu cases, %zu passed, %zu failed "
+        "(%zu shrink runs)\n"
+        "  crashes %llu (nested %llu, in-recovery %llu), "
+        "replay passes %llu (partial records %llu)\n"
+        "  media faults %llu/%llu applied; detected: %llu corrupt "
+        "records, %llu stale slots\n"
+        "  degradation: %llu torn tails dropped, %llu region "
+        "restarts, %llu full restarts; %llu atomic resumes\n",
+        report.casesRun, report.casesPassed, report.failures.size(),
+        report.shrinkRuns, (unsigned long long)t.crashesInjected,
+        (unsigned long long)t.nestedCrashes,
+        (unsigned long long)t.recoveryCrashes,
+        (unsigned long long)t.undoReplayPasses,
+        (unsigned long long)t.partialReplayRecords,
+        (unsigned long long)t.faultsApplied,
+        (unsigned long long)t.faultsRequested,
+        (unsigned long long)t.corruptRecordsDetected,
+        (unsigned long long)t.staleSlotsDetected,
+        (unsigned long long)t.tornTailsDropped,
+        (unsigned long long)t.regionRestarts,
+        (unsigned long long)t.fullRestarts,
+        (unsigned long long)t.atomicResumes);
+    for (const auto &f : report.failures) {
+        std::fprintf(out, "minimal repro: %s\n  %s\n",
+                     f.c.label().c_str(), f.detail.c_str());
+    }
+
+    if (!json_path.empty()) {
+        if (json_path == "-") {
+            report.writeJson(std::cout);
+        } else {
+            std::ofstream f(json_path);
+            if (!f) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             json_path.c_str());
+                return 1;
+            }
+            report.writeJson(f);
+        }
+    }
+    return report.allPassed() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

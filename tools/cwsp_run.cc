@@ -31,6 +31,8 @@
 #include "core/consistency_checker.hh"
 #include "core/whole_system_sim.hh"
 #include "driver/batch_runner.hh"
+#include "fault/campaign.hh"
+#include "fault/crash_points.hh"
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
 #include "mem/nvm_device.hh"
@@ -65,6 +67,13 @@ usage()
         "  --no-cache             skip the persistent result cache\n"
         "  --crash FRAC           inject a power failure at FRAC of the"
         " run (single app)\n"
+        "  --crash-sweep N        crash at N trace-derived interesting"
+        " points (single app)\n"
+        "  --crash-at-event KIND[:N]\n"
+        "                         crash at the N-th (default 0) point"
+        " of KIND:\n"
+        "                         region_begin|region_persist|"
+        "mid_drain|undo_append\n"
         "  --stats                dump component statistics (single"
         " app)\n"
         "  --stats-json FILE      write statistics JSON (single app;"
@@ -193,6 +202,8 @@ runMain(int argc, char **argv)
     unsigned rbt = 16, pb = 50, wpq = 24;
     unsigned jobs = 0;
     double crash_frac = -1.0;
+    int crash_sweep = 0;
+    std::string crash_at_event;
     bool stats = false, dump_ir = false, use_cache = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -233,7 +244,30 @@ runMain(int argc, char **argv)
         } else if (a == "--no-cache") {
             use_cache = false;
         } else if (a == "--crash") {
-            crash_frac = std::atof(arg(argc, argv, i));
+            const char *v = arg(argc, argv, i);
+            char *end = nullptr;
+            crash_frac = std::strtod(v, &end);
+            if (end == v || *end != '\0' ||
+                !std::isfinite(crash_frac) || crash_frac < 0.0 ||
+                crash_frac > 1.0) {
+                std::fprintf(stderr,
+                             "--crash expects a fraction in [0, 1], "
+                             "got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (a == "--crash-sweep") {
+            const char *v = arg(argc, argv, i);
+            crash_sweep = std::atoi(v);
+            if (crash_sweep <= 0) {
+                std::fprintf(stderr,
+                             "--crash-sweep expects a positive point "
+                             "count, got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (a == "--crash-at-event") {
+            crash_at_event = arg(argc, argv, i);
         } else if (a == "--stats") {
             stats = true;
         } else if (a == "--stats-json") {
@@ -289,7 +323,8 @@ runMain(int argc, char **argv)
     // (the baseline/scheme pair in parallel, both persistently
     // cached); --stats, --stats-json, --trace-out and --crash need
     // the live simulator state and take the direct path below.
-    if (!stats && crash_frac < 0.0 && stats_json.empty() &&
+    if (!stats && crash_frac < 0.0 && crash_sweep == 0 &&
+        crash_at_event.empty() && stats_json.empty() &&
         trace_out.empty()) {
         driver::BatchConfig bc;
         bc.jobs = jobs;
@@ -347,6 +382,94 @@ runMain(int argc, char **argv)
         writeJsonOutput(stats_json, [&sim](std::ostream &os) {
             sim.exportStatsJson(os);
         });
+    }
+
+    if (crash_sweep > 0 || !crash_at_event.empty()) {
+        interp::SparseMemory golden_mem;
+        Word golden =
+            interp::runToCompletion(*mod, golden_mem, "main", {});
+        auto golden_io = core::collectIoStream(*mod, "main", {});
+        auto set = fault::enumerateCrashPoints(
+            *mod, cfg, {core::ThreadSpec{}},
+            crash_sweep > 0 ? static_cast<std::size_t>(crash_sweep)
+                            : 0);
+
+        std::vector<fault::CrashPoint> chosen;
+        if (!crash_at_event.empty()) {
+            std::string kind_name = crash_at_event;
+            std::size_t idx = 0;
+            auto colon = kind_name.find(':');
+            if (colon != std::string::npos) {
+                idx = static_cast<std::size_t>(
+                    std::atoi(kind_name.c_str() + colon + 1));
+                kind_name = kind_name.substr(0, colon);
+            }
+            fault::CrashPointKind kind;
+            if (!fault::parseCrashPointKind(kind_name, kind)) {
+                std::fprintf(stderr,
+                             "unknown crash-point kind '%s'\n",
+                             kind_name.c_str());
+                return 2;
+            }
+            std::vector<fault::CrashPoint> of_kind;
+            for (const auto &p : set.points)
+                if (p.kind == kind)
+                    of_kind.push_back(p);
+            if (idx >= of_kind.size()) {
+                std::fprintf(stderr,
+                             "only %zu %s point(s) in this run\n",
+                             of_kind.size(), kind_name.c_str());
+                return 2;
+            }
+            chosen.push_back(of_kind[idx]);
+        } else {
+            chosen = set.points;
+            // Evenly subsample the merged list down to N points.
+            auto want = static_cast<std::size_t>(crash_sweep);
+            if (chosen.size() > want) {
+                std::vector<fault::CrashPoint> picked;
+                for (std::size_t i = 0; i < want; ++i) {
+                    picked.push_back(
+                        chosen[i * (chosen.size() - 1) /
+                               (want - 1 ? want - 1 : 1)]);
+                }
+                chosen = std::move(picked);
+            }
+        }
+        if (chosen.empty()) {
+            std::fprintf(stderr,
+                         "no interesting crash points found\n");
+            return 2;
+        }
+
+        fault::GoldenRef g;
+        g.module = mod.get();
+        g.config = &cfg;
+        g.result = golden;
+        g.memory = &golden_mem;
+        g.ioStream = &golden_io;
+        int failures = 0;
+        for (const auto &p : chosen) {
+            fault::CampaignCase c;
+            c.app = app.name;
+            c.scheme = scheme;
+            c.pointKind = p.kind;
+            c.schedule = fault::CrashSchedule{p.tick};
+            auto res = fault::runCase(c, g);
+            if (!res.pass)
+                ++failures;
+            std::printf(
+                "crash @%-8llu %-14s replay passes %llu -> %s%s%s\n",
+                (unsigned long long)p.tick,
+                fault::crashPointKindName(p.kind),
+                (unsigned long long)res.faults.undoReplayPasses,
+                res.pass ? "CONSISTENT" : "CORRUPT",
+                res.detail.empty() ? "" : ": ",
+                res.detail.c_str());
+        }
+        std::printf("%zu crash point(s), %d failure(s)\n",
+                    chosen.size(), failures);
+        return failures == 0 ? 0 : 1;
     }
 
     if (crash_frac >= 0.0) {
