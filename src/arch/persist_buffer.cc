@@ -8,6 +8,16 @@ PersistBuffer::PersistBuffer(std::uint32_t capacity)
     : capacity_(capacity)
 {
     cwsp_assert(capacity > 0, "PB capacity must be positive");
+    // capacity_ live entries at most (+1 transient headroom),
+    // rounded up to a power of two for mask indexing.
+    std::size_t ring = 1;
+    while (ring < capacity_ + 1u)
+        ring <<= 1;
+    releaseOwn_.resize(ring);
+    causeOwn_.resize(ring);
+    release_ = releaseOwn_.data();
+    cause_ = causeOwn_.data();
+    ringMask_ = ring - 1;
 }
 
 Tick
@@ -16,13 +26,14 @@ PersistBuffer::reserve(Tick now)
     cwsp_assert(!pendingReservation_,
                 "PB reserve() without matching complete()");
     ++reservations_;
-    while (!slots_.empty() && slots_.front().release <= now)
-        slots_.pop_front();
+    while (head_ != tail_ && release_[head_ & ringMask_] <= now)
+        ++head_;
     Tick start = now;
-    if (slots_.size() >= capacity_) {
-        start = slots_.front().release;
-        sim::StallCause cause = slots_.front().cause;
-        slots_.pop_front();
+    if (size() >= capacity_) {
+        start = release_[head_ & ringMask_];
+        auto cause = static_cast<sim::StallCause>(
+            cause_[head_ & ringMask_]);
+        ++head_;
         ++fullStalls_;
         if (trace_) {
             trace_->record(sim::TraceEventKind::PbStall, lane_, now,
@@ -33,7 +44,7 @@ PersistBuffer::reserve(Tick now)
     pendingReservation_ = true;
     if (trace_) {
         trace_->record(sim::TraceEventKind::PbEnqueue, lane_, start,
-                       0, slots_.size() + 1);
+                       0, size() + 1);
     }
     return start;
 }
@@ -44,13 +55,15 @@ PersistBuffer::complete(Tick ack_time, sim::StallCause cause)
     cwsp_assert(pendingReservation_, "PB complete() without reserve()");
     // FIFO deallocation (Section V-B1): an entry only leaves at the
     // PB head, so a slot cannot free before its predecessors.
-    if (!slots_.empty() && ack_time < slots_.back().release)
-        ack_time = slots_.back().release;
-    slots_.push_back({ack_time, cause});
+    if (head_ != tail_ && ack_time < release_[(tail_ - 1) & ringMask_])
+        ack_time = release_[(tail_ - 1) & ringMask_];
+    release_[tail_ & ringMask_] = ack_time;
+    cause_[tail_ & ringMask_] = static_cast<std::uint8_t>(cause);
+    ++tail_;
     pendingReservation_ = false;
     if (trace_) {
         trace_->record(sim::TraceEventKind::PbDrain, lane_, ack_time,
-                       0, slots_.size());
+                       0, size());
     }
 }
 

@@ -11,14 +11,21 @@
 #define CWSP_ARCH_PERSIST_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "sim/arena.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cwsp::arch {
 
-/** Timestamp-based occupancy model of one core's persist buffer. */
+/**
+ * Timestamp-based occupancy model of one core's persist buffer.
+ *
+ * The in-flight FIFO is a fixed power-of-two ring in
+ * structure-of-arrays layout (release times and stall causes in
+ * separate parallel arrays, storage from the simulation arena): the
+ * hot reserve() path touches only the release array.
+ */
 class PersistBuffer
 {
   public:
@@ -53,14 +60,17 @@ class PersistBuffer
     }
 
   private:
-    struct Slot
-    {
-        Tick release;          ///< MC ack freeing the slot
-        sim::StallCause cause; ///< why the ack is late
-    };
+    std::size_t size() const { return tail_ - head_; }
 
     std::uint32_t capacity_;
-    std::deque<Slot> slots_; ///< FIFO of in-flight entries
+    /** SoA ring of in-flight entries (parallel arrays). */
+    Tick *release_ = nullptr;          ///< MC ack freeing each slot
+    std::uint8_t *cause_ = nullptr;    ///< why that ack is late
+    sim::ArenaVector<Tick> releaseOwn_;
+    sim::ArenaVector<std::uint8_t> causeOwn_;
+    std::size_t ringMask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
     std::uint64_t reservations_ = 0;
     std::uint64_t fullStalls_ = 0;
     bool pendingReservation_ = false;

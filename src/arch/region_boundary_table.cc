@@ -10,22 +10,33 @@ RegionBoundaryTable::RegionBoundaryTable(std::uint32_t capacity)
     : capacity_(capacity)
 {
     cwsp_assert(capacity > 0, "RBT capacity must be positive");
+    // At most capacity_ closed entries live at once (+1 transient
+    // between the close-push and the overflow drain).
+    std::size_t ring = 1;
+    while (ring < capacity_ + 1u)
+        ring <<= 1;
+    freeTime_.resize(ring);
+    persistMax_.resize(ring);
+    ids_.resize(ring);
+    ringMask_ = ring - 1;
 }
 
 void
-RegionBoundaryTable::retireEntry(const ClosedEntry &entry)
+RegionBoundaryTable::retireFront()
 {
-    if (!trace_)
-        return;
-    // Two views of the same instant: the RBT slot frees (rbt
-    // category) and the region is fully persisted (region category).
-    // arg1 carries the region's own-store persist max so span
-    // analysis can split drain (own stores) from order wait
-    // (predecessor cascade).
-    trace_->record(sim::TraceEventKind::RbtRetire, lane_,
-                   entry.freeTime, 0, entry.id);
-    trace_->record(sim::TraceEventKind::RegionPersist, lane_,
-                   entry.freeTime, 0, entry.id, entry.persistMax);
+    if (trace_) {
+        std::size_t i = head_ & ringMask_;
+        // Two views of the same instant: the RBT slot frees (rbt
+        // category) and the region is fully persisted (region
+        // category). arg1 carries the region's own-store persist max
+        // so span analysis can split drain (own stores) from order
+        // wait (predecessor cascade).
+        trace_->record(sim::TraceEventKind::RbtRetire, lane_,
+                       freeTime_[i], 0, ids_[i]);
+        trace_->record(sim::TraceEventKind::RegionPersist, lane_,
+                       freeTime_[i], 0, ids_[i], persistMax_[i]);
+    }
+    ++head_;
 }
 
 Tick
@@ -36,25 +47,25 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
         // so its departure is the cascade max of its own persistence
         // and its predecessor's departure.
         Tick free_time = std::max(prevFreeTime_, currentPersistMax_);
-        closed_.push_back(
-            ClosedEntry{free_time, currentPersistMax_, currentId_});
+        std::size_t i = tail_ & ringMask_;
+        freeTime_[i] = free_time;
+        persistMax_[i] = currentPersistMax_;
+        ids_[i] = currentId_;
+        ++tail_;
         prevFreeTime_ = free_time;
     }
 
     // Retire departed entries.
-    while (!closed_.empty() && closed_.front().freeTime <= now) {
-        retireEntry(closed_.front());
-        closed_.pop_front();
-    }
+    while (head_ != tail_ && freeTime_[head_ & ringMask_] <= now)
+        retireFront();
 
     Tick start = now;
-    if (closed_.size() >= capacity_) {
+    if (closedCount() >= capacity_) {
         // Wait until enough heads depart to make room.
-        std::size_t overflow = closed_.size() - capacity_ + 1;
+        std::size_t overflow = closedCount() - capacity_ + 1;
         for (std::size_t i = 0; i < overflow; ++i) {
-            start = closed_.front().freeTime;
-            retireEntry(closed_.front());
-            closed_.pop_front();
+            start = freeTime_[head_ & ringMask_];
+            retireFront();
         }
         ++fullStalls_;
         if (trace_ && start > now) {
@@ -70,7 +81,7 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
     currentPersistMax_ = start;
     if (trace_) {
         trace_->record(sim::TraceEventKind::RbtAlloc, lane_, start,
-                       0, id, closed_.size());
+                       0, id, closedCount());
     }
     return start;
 }

@@ -12,8 +12,8 @@
 #define CWSP_ARCH_REGION_BOUNDARY_TABLE_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "sim/arena.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -63,16 +63,19 @@ class RegionBoundaryTable
     }
 
   private:
-    /** One closed-but-unpersisted region occupying an RBT slot. */
-    struct ClosedEntry
-    {
-        Tick freeTime = 0;   ///< departure (fully persisted) time
-        Tick persistMax = 0; ///< max ack of the region's own stores
-        RegionId id = 0;
-    };
-
     std::uint32_t capacity_;
-    std::deque<ClosedEntry> closed_; ///< closed regions, oldest first
+    /**
+     * Closed-but-unpersisted regions, oldest first: a fixed SoA ring
+     * (parallel arrays for departure time, own-store persist max,
+     * and region id; arena-backed). The hot retire scan touches only
+     * the freeTime array.
+     */
+    sim::ArenaVector<Tick> freeTime_;
+    sim::ArenaVector<Tick> persistMax_;
+    sim::ArenaVector<RegionId> ids_;
+    std::size_t ringMask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
     Tick prevFreeTime_ = 0;      ///< running cascade maximum
     Tick currentPersistMax_ = 0; ///< max store ack of the open region
     RegionId currentId_ = 0;
@@ -81,7 +84,8 @@ class RegionBoundaryTable
     sim::TraceBuffer *trace_ = nullptr;
     std::uint16_t lane_ = 0;
 
-    void retireEntry(const ClosedEntry &entry);
+    std::size_t closedCount() const { return tail_ - head_; }
+    void retireFront();
 };
 
 } // namespace cwsp::arch

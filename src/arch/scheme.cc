@@ -19,6 +19,7 @@ Scheme::Scheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
                std::uint32_t num_cores)
     : config_(config), hierarchy_(&hierarchy)
 {
+    cores_.reserve(num_cores);
     for (CoreId c = 0; c < num_cores; ++c)
         cores_.emplace_back(config_, c, hierarchy.numMcs());
 
@@ -191,17 +192,11 @@ Scheme::persistEntry(CoreId core, Addr addr, Tick now,
         cs.lastAckCause = out.cause;
     }
 
-    auto &lp = cs.linePersist[line];
-    lp = std::max(lp, out.admit);
+    auto &lp = cs.linePersist.refInsert(line);
+    lp = std::max<Tick>(lp, out.admit);
     if (++cs.linePersistOps >= 8192) {
         cs.linePersistOps = 0;
-        for (auto it = cs.linePersist.begin();
-             it != cs.linePersist.end();) {
-            if (it->second <= now)
-                it = cs.linePersist.erase(it);
-            else
-                ++it;
-        }
+        cs.linePersist.eraseIf([now](Tick t) { return t <= now; });
     }
     return out;
 }
@@ -279,9 +274,8 @@ Scheme::traceDrain(CoreId core, Tick now, Tick stall)
 Tick
 Scheme::linePersistReady(CoreId core, Addr line) const
 {
-    const auto &lp = cores_[core].linePersist;
-    auto it = lp.find(line);
-    return it == lp.end() ? 0 : it->second;
+    const Tick *t = cores_[core].linePersist.find(line);
+    return t ? *t : 0;
 }
 
 double

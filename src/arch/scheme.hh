@@ -21,6 +21,7 @@
 #include "interp/commit.hh"
 #include "mem/hierarchy.hh"
 #include "mem/persist_path.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -156,6 +157,22 @@ class Scheme : public interp::CommitSink
         return cores_[core].rbt.currentRegion();
     }
 
+    /**
+     * Retire @p count constant-cost commits (Alu/Branch/bare CallRet)
+     * on @p core in one arithmetic step: these kinds touch no scheme
+     * state beyond the instruction counter and the core clock, so a
+     * commit-stream replay batches them instead of dispatching each
+     * through onCommit(). @p cycle_sum must be the exact total cost
+     * (1 per Alu/Branch, 2 per CallRet).
+     */
+    void
+    retireBatch(CoreId core, std::uint64_t count, Tick cycle_sum)
+    {
+        CoreState &cs = cores_[core];
+        cs.instrs += count;
+        cs.cycle += cycle_sum;
+    }
+
     /** Mean dynamic instructions per region across all cores. */
     double meanRegionInstrs() const;
 
@@ -217,7 +234,8 @@ class Scheme : public interp::CommitSink
         PersistBuffer pb;
         RegionBoundaryTable rbt;
         mem::PersistPath path;
-        std::unordered_map<Addr, Tick> linePersist;
+        /** line addr -> latest persist (admit) time of its stores. */
+        sim::FlatMap64 linePersist;
         std::uint64_t linePersistOps = 0;
 
         CoreState(const SchemeConfig &cfg, CoreId core,

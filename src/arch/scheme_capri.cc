@@ -24,9 +24,11 @@ class CapriScheme final : public Scheme
   public:
     CapriScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
                 std::uint32_t num_cores)
-        : Scheme(config, hierarchy, num_cores),
-          redo_(num_cores, PersistBuffer(config.capriRedoLines))
+        : Scheme(config, hierarchy, num_cores)
     {
+        redo_.reserve(num_cores);
+        for (std::uint32_t c = 0; c < num_cores; ++c)
+            redo_.emplace_back(config.capriRedoLines);
     }
 
     void

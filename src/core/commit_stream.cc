@@ -1,0 +1,154 @@
+#include "core/commit_stream.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cwsp::core {
+
+namespace {
+
+using interp::CommitKind;
+
+/** Records every commit, flattening boundary snapshots. */
+class StreamRecordSink final : public interp::CommitSink
+{
+  public:
+    StreamRecordSink(CommitStream &stream) : stream_(stream) {}
+
+    void
+    onCommit(const interp::CommitInfo &info) override
+    {
+        CommitStream::Op op;
+        op.addr = info.addr;
+        op.value = info.storeValue;
+        op.func = info.func;
+        op.kind = static_cast<std::uint8_t>(info.kind);
+        if (newStep_) {
+            op.flags |= CommitStream::kFlagNewStep;
+            newStep_ = false;
+        }
+        if (info.isCheckpoint)
+            op.flags |= CommitStream::kFlagCkpt;
+        if (info.kind == CommitKind::Boundary) {
+            op.aux = info.staticRegion;
+            // Same snapshot RecordingSink takes: rewound to re-commit
+            // the boundary instruction on resume.
+            interp::ControlSnapshot snap = interp_->snapshot();
+            CommitStream::SnapRef ref;
+            ref.begin = static_cast<std::uint32_t>(
+                stream_.frames.size());
+            ref.count = static_cast<std::uint32_t>(snap.frames.size());
+            stream_.frames.insert(stream_.frames.end(),
+                                  snap.frames.begin(),
+                                  snap.frames.end());
+            stream_.snapRefs.push_back(ref);
+        }
+        stream_.ops.push_back(op);
+        ++stream_.commits;
+    }
+
+    void setInterpreter(interp::Interpreter *interp) { interp_ = interp; }
+    void markNewStep() { newStep_ = true; }
+
+  private:
+    CommitStream &stream_;
+    interp::Interpreter *interp_ = nullptr;
+    bool newStep_ = false;
+};
+
+/** True when @p op is a whole one-commit step of fixed cost 1 or 2. */
+bool
+batchClass(const CommitStream::Op &op, bool single_commit_step,
+           std::uint8_t &kind_out)
+{
+    if (!(op.flags & CommitStream::kFlagNewStep))
+        return false;
+    auto k = static_cast<CommitKind>(op.kind);
+    if (k == CommitKind::Alu || k == CommitKind::Branch) {
+        kind_out = CommitStream::kBatch1;
+        return true;
+    }
+    // A Call followed by argument spills shares its step with them
+    // and cannot batch; a bare CallRet (Ret / spill-free Call) can.
+    if (k == CommitKind::CallRet && single_commit_step) {
+        kind_out = CommitStream::kBatch2;
+        return true;
+    }
+    return false;
+}
+
+/** Collapse runs of constant-cost single-commit steps into batches. */
+void
+compact(CommitStream &stream)
+{
+    std::vector<CommitStream::Op> out;
+    out.reserve(stream.ops.size() / 2 + 16);
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        const CommitStream::Op &op = stream.ops[i];
+        bool single =
+            i + 1 == stream.ops.size() ||
+            (stream.ops[i + 1].flags & CommitStream::kFlagNewStep);
+        std::uint8_t bk;
+        if (batchClass(op, single, bk)) {
+            if (!out.empty() && out.back().kind == bk) {
+                ++out.back().aux;
+            } else {
+                CommitStream::Op b;
+                b.kind = bk;
+                b.flags = CommitStream::kFlagNewStep;
+                b.aux = 1;
+                out.push_back(b);
+            }
+            continue;
+        }
+        out.push_back(op);
+    }
+    stream.ops = std::move(out);
+    stream.ops.shrink_to_fit();
+    stream.frames.shrink_to_fit();
+    stream.snapRefs.shrink_to_fit();
+}
+
+} // namespace
+
+CommitStream
+recordCommitStream(const ir::Module &module, const std::string &entry,
+                   const std::vector<Word> &args,
+                   std::uint64_t max_instrs,
+                   std::uint64_t expected_instrs)
+{
+    CommitStream stream;
+    stream.module = &module;
+    stream.entry = entry;
+    stream.args = args;
+    if (expected_instrs != 0) {
+        // Commits run slightly above steps (spills, fused boundary
+        // commits); cap so an inflated hint cannot balloon memory.
+        constexpr std::uint64_t kMaxOpReserve = std::uint64_t{1} << 22;
+        stream.ops.reserve(static_cast<std::size_t>(std::min(
+            expected_instrs + expected_instrs / 2, kMaxOpReserve)));
+    }
+
+    interp::SparseMemory memory;
+    interp::Interpreter interp(module, memory, 0);
+    StreamRecordSink sink(stream);
+    sink.setInterpreter(&interp);
+    // start()'s argument-spill stores run before the step loop, so
+    // they carry no new-step flag: replay applies them before the
+    // first crash check, exactly as the interpreted path does.
+    interp.start(entry, args, sink);
+    while (!interp.finished()) {
+        sink.markNewStep();
+        interp.step(sink);
+        if (++stream.steps > max_instrs)
+            cwsp_fatal("instruction budget exceeded (", max_instrs,
+                       ") while recording ", entry);
+    }
+    stream.returnValue = interp.returnValue();
+
+    compact(stream);
+    return stream;
+}
+
+} // namespace cwsp::core

@@ -101,23 +101,50 @@ collectIoStream(const ir::Module &module, const std::string &entry,
 }
 
 WholeSystemSim::WholeSystemSim(const ir::Module &module,
-                               const SystemConfig &config)
+                               const SystemConfig &config,
+                               sim::SimArena *arena)
     : module_(&module), config_(config)
 {
     cwsp_assert(module.laidOut(), "module must be laid out");
+    if (arena) {
+        arena_ = arena;
+    } else {
+        ownArena_ = std::make_unique<sim::SimArena>();
+        arena_ = ownArena_.get();
+    }
     reset();
 }
 
-WholeSystemSim::~WholeSystemSim() = default;
+WholeSystemSim::~WholeSystemSim()
+{
+    // Arena-backed containers inside the scheme/hierarchy abandon
+    // their storage to the arena; drop the objects before the arena
+    // (or its chunks, for an external arena the caller rewinds) goes.
+    scheme_.reset();
+    hierarchy_.reset();
+}
 
 void
 WholeSystemSim::reset()
 {
+    // Rewind, don't free: the per-run hot state (cache tag arrays,
+    // ring buffers, flat maps) is bump-allocated, so consecutive runs
+    // — in particular batch workers sweeping many design points —
+    // reuse warm chunks. Destruction order matters: the old scheme
+    // and hierarchy must drop their arena-backed containers before
+    // the storage is rewound. The functional memory stays heap-backed
+    // (durable images outlive resets in crash runs).
+    scheme_.reset();
+    hierarchy_.reset();
+    arena_->reset();
     memory_ = std::make_unique<interp::SparseMemory>();
-    hierarchy_ = std::make_unique<mem::Hierarchy>(config_.hierarchy,
-                                                  config_.numCores);
-    scheme_ = arch::makeScheme(config_.scheme, *hierarchy_,
-                               config_.numCores);
+    {
+        sim::ArenaScope scope(arena_);
+        hierarchy_ = std::make_unique<mem::Hierarchy>(
+            config_.hierarchy, config_.numCores);
+        scheme_ = arch::makeScheme(config_.scheme, *hierarchy_,
+                                   config_.numCores);
+    }
     hierarchy_->setTrace(trace_);
     scheme_->setTrace(trace_);
 }
@@ -169,12 +196,22 @@ RunResult
 WholeSystemSim::collectStats(
     const std::vector<std::unique_ptr<interp::Interpreter>> &cores)
 {
+    std::vector<Word> rvs;
+    rvs.reserve(cores.size());
+    for (const auto &core : cores)
+        rvs.push_back(core->returnValue());
+    return collectStats(rvs);
+}
+
+RunResult
+WholeSystemSim::collectStats(const std::vector<Word> &return_values)
+{
     RunResult r;
-    for (std::size_t c = 0; c < cores.size(); ++c) {
+    for (std::size_t c = 0; c < return_values.size(); ++c) {
         r.cycles = std::max(r.cycles,
                             scheme_->cycles(static_cast<CoreId>(c)));
         r.instructions += scheme_->instrs(static_cast<CoreId>(c));
-        r.returnValues.push_back(cores[c]->returnValue());
+        r.returnValues.push_back(return_values[c]);
     }
     lastCycles_ = r.cycles;
     r.meanRegionInstrs = scheme_->meanRegionInstrs();
@@ -211,6 +248,19 @@ WholeSystemSim::run(const std::vector<ThreadSpec> &threads,
     }
 
     std::uint64_t total = 0;
+    if (cores.size() == 1) {
+        // Single-core fast path: the min-clock scan below always
+        // selects the only core, so skip it (it is measurable at this
+        // loop's trip count).
+        interp::Interpreter &core = *cores[0];
+        while (!core.finished()) {
+            core.step(*scheme_);
+            if (++total > max_instrs)
+                cwsp_fatal("instruction budget exceeded (", max_instrs,
+                           ")");
+        }
+        return collectStats(cores);
+    }
     while (true) {
         // Run the core with the smallest clock next (deterministic
         // interleaving for shared-memory workloads).
@@ -236,6 +286,105 @@ WholeSystemSim::run(const std::vector<ThreadSpec> &threads,
                        ")");
     }
     return collectStats(cores);
+}
+
+RunResult
+WholeSystemSim::runReplay(const CommitStream &stream,
+                          std::uint64_t max_instrs)
+{
+    cwsp_assert(stream.module == module_,
+                "commit stream recorded for a different module");
+    reset();
+    ReplayOutcome ro =
+        replaySegment(stream, kTickNever, nullptr, 0, max_instrs);
+    cwsp_assert(ro.finished, "uncut replay must reach stream end");
+    return collectStats(std::vector<Word>{stream.returnValue});
+}
+
+WholeSystemSim::ReplayOutcome
+WholeSystemSim::replaySegment(const CommitStream &stream, Tick crash_dt,
+                              RecordingBundle *bundle, std::size_t keep,
+                              std::uint64_t max_instrs)
+{
+    const bool cut = crash_dt != kTickNever;
+    arch::Scheme &sch = *scheme_;
+    constexpr CoreId core = 0;
+    ReplayOutcome ro;
+    std::size_t boundary_idx = 0;
+    std::vector<RegionId> ring; // snapshot prune window (FIFO)
+
+    for (const CommitStream::Op &op : stream.ops) {
+        if (op.kind == CommitStream::kBatch1 ||
+            op.kind == CommitStream::kBatch2) {
+            const Tick per =
+                op.kind == CommitStream::kBatch1 ? 1 : 2;
+            std::uint64_t run = op.aux;
+            if (cut) {
+                // Same cut rule as the interpreted epoch loop: a step
+                // executes iff its start cycle has not passed the
+                // crash instant; every batched step costs `per`.
+                Tick c = sch.cycles(core);
+                run = c > crash_dt
+                          ? 0
+                          : std::min<std::uint64_t>(
+                                op.aux, (crash_dt - c) / per + 1);
+            }
+            ro.steps += run;
+            if (ro.steps > max_instrs)
+                cwsp_fatal("instruction budget exceeded (",
+                           max_instrs, ")");
+            sch.retireBatch(core, run, static_cast<Tick>(run) * per);
+            if (run < op.aux)
+                return ro; // crash inside the batch
+            continue;
+        }
+
+        if (op.flags & CommitStream::kFlagNewStep) {
+            if (cut && sch.cycles(core) > crash_dt)
+                return ro;
+            if (++ro.steps > max_instrs)
+                cwsp_fatal("instruction budget exceeded (",
+                           max_instrs, ")");
+        }
+
+        interp::CommitInfo info;
+        info.kind = static_cast<interp::CommitKind>(op.kind);
+        info.core = core;
+        info.addr = op.addr;
+        info.storeValue = op.value;
+        info.isCheckpoint = (op.flags & CommitStream::kFlagCkpt) != 0;
+        info.func = op.func;
+        if (info.kind == interp::CommitKind::Boundary)
+            info.staticRegion = op.aux;
+        // The interpreter writes memory before the sink callback.
+        if (info.kind == interp::CommitKind::Store ||
+            info.kind == interp::CommitKind::Atomic) {
+            memory_->write(op.addr, op.value);
+        }
+        sch.onCommit(info);
+        if (info.kind == interp::CommitKind::Boundary) {
+            if (bundle) {
+                // Mirror RecordingSink's snapshot window from the
+                // stream's flattened frames.
+                RegionId id = sch.currentRegion(core);
+                const CommitStream::SnapRef &ref =
+                    stream.snapRefs[boundary_idx];
+                auto &snap = bundle->snapshots[id];
+                snap.frames.assign(
+                    stream.frames.begin() + ref.begin,
+                    stream.frames.begin() + ref.begin + ref.count);
+                ring.push_back(id);
+                if (ring.size() > keep) {
+                    bundle->snapshots.erase(ring.front());
+                    ring.erase(ring.begin());
+                }
+            }
+            ++boundary_idx;
+        }
+    }
+    ro.finished = true;
+    ro.finishedAt = sch.cycles(core);
+    return ro;
 }
 
 void
@@ -339,7 +488,8 @@ CrashRunResult
 WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                                const fault::CrashSchedule &schedule,
                                const fault::FaultPlan &faults,
-                               std::uint64_t max_instrs)
+                               std::uint64_t max_instrs,
+                               const CommitStream *replay)
 {
     using recovery_timing::kBootCycles;
     using recovery_timing::kCyclesPerReplayRecord;
@@ -357,6 +507,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
     // Epoch state: the durable NVM image, the stamped checkpoint-slot
     // image of the latest failure, and each core's entry action.
     interp::SparseMemory durable;
+    bool durableEmpty = true;
     std::map<Addr, SlotImageEntry> slotImage;
     std::vector<EpochEntry> entries(n);
     std::size_t scheduleIdx = 0;
@@ -373,12 +524,53 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
         reset();
         memory_ = std::make_unique<interp::SparseMemory>(durable);
         auto bundle = std::make_shared<RecordingBundle>();
-        scheme_->enableRecording(&bundle->stores, &bundle->regions,
-                                 &bundle->io, max_instrs);
+        // Tightest available instruction estimate for log reserves:
+        // caller hint, else the stream's exact count, else the budget.
+        std::uint64_t expected = expectedInstrs_;
+        if (expected == 0 && replay)
+            expected = replay->steps;
+        scheme_->enableRecording(
+            &bundle->stores, &bundle->regions, &bundle->io,
+            expected != 0 ? std::min(max_instrs, 2 * expected)
+                          : max_instrs);
+
+        // A pristine-start epoch on one core (the first epoch, and
+        // every full-restart retry) commits exactly the recorded
+        // stream until the crash, so the timing models can be driven
+        // from the stream directly — identical commit sequence,
+        // identical bundle/stats/trace — with no interpretation.
+        // Battery-backed schemes are excluded: their crash handling
+        // snapshots live interpreter state.
+        const bool replayEpoch =
+            replay && n == 1 && !config_.scheme.batteryBacked &&
+            entries[0].kind == EpochEntry::Kind::Fresh &&
+            durableEmpty && slotImage.empty() &&
+            replay->matches(*module_, threads[0].entry,
+                            threads[0].args);
 
         std::vector<std::unique_ptr<interp::Interpreter>> cores;
         cores.reserve(n);
         RecordingSink sink(*scheme_, *bundle, cores, keep);
+        std::vector<Tick> finished_at(n, kTickNever);
+        std::vector<Word> coreReturns(n, 0);
+        std::uint64_t total = 0;
+
+        if (replayEpoch) {
+            if (!firstEpoch && trace_) {
+                trace_->record(sim::TraceEventKind::RecoveryResume,
+                               sim::coreLane(0), 0, 0, 0, 1);
+            }
+            ReplayOutcome ro = replaySegment(*replay, pendingDt,
+                                             bundle.get(), keep,
+                                             max_instrs);
+            total = ro.steps;
+            if (ro.finished) {
+                finished_at[0] = ro.finishedAt;
+                coreReturns[0] = replay->returnValue;
+            }
+            if (!firstEpoch)
+                out.reexecutedInstrs += total;
+        } else {
         bool slotFault = false;
         for (std::size_t c = 0; c < n; ++c) {
             if (entries[c].kind == EpochEntry::Kind::Done) {
@@ -428,18 +620,17 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
             ++out.faults.staleSlotsDetected;
             ++out.faults.fullRestarts;
             durable.clear();
+            durableEmpty = true;
             slotImage.clear();
             for (auto &e : entries)
                 e = EpochEntry{};
             continue;
         }
 
-        std::vector<Tick> finished_at(n, kTickNever);
         for (std::size_t c = 0; c < n; ++c) {
             if (entries[c].kind == EpochEntry::Kind::Done)
                 finished_at[c] = 0;
         }
-        std::uint64_t total = 0;
         while (true) {
             interp::Interpreter *next = nullptr;
             Tick best = kTickNever;
@@ -472,9 +663,12 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 finished_at[c] =
                     scheme_->cycles(static_cast<CoreId>(c));
             }
+            if (cores[c])
+                coreReturns[c] = cores[c]->returnValue();
         }
         if (!firstEpoch)
             out.reexecutedInstrs += total;
+        } // interpreted epoch
 
         if (config_.scheme.batteryBacked) {
             // Battery flush (Section II-C): the residual energy
@@ -491,6 +685,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                                pendingDt);
             }
             durable = *memory_;
+            durableEmpty = false;
             out.persistedStores += bundle->stores.size();
             for (const auto &op : bundle->io)
                 out.ioStream.push_back(op);
@@ -603,7 +798,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 }
                 out.lostWork += committed - at_resume;
             }
-            out.result = collectStats(cores);
+            out.result = collectStats(coreReturns);
         }
 
         out.persistedStores += cs.persistedStores;
@@ -661,11 +856,13 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
         // Carry the recovered image and each core's next entry.
         if (cs.fullRestart) {
             durable.clear();
+            durableEmpty = true;
             slotImage.clear();
             for (auto &e : entries)
                 e = EpochEntry{};
         } else {
             durable = std::move(cs.nvm);
+            durableEmpty = false;
             slotImage = std::move(cs.ckptSlotImage);
             std::vector<EpochEntry> nextEntries(n);
             for (std::size_t c = 0; c < n; ++c) {
@@ -676,7 +873,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                     e.returnValue =
                         entries[c].kind == EpochEntry::Kind::Done
                             ? entries[c].returnValue
-                            : cores[c]->returnValue();
+                            : coreReturns[c];
                 } else if (rp.restart &&
                            entries[c].kind ==
                                EpochEntry::Kind::Resume) {

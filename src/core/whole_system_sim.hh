@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "arch/scheme.hh"
+#include "core/commit_stream.hh"
 #include "core/config.hh"
 #include "fault/fault_model.hh"
 #include "interp/interpreter.hh"
 #include "ir/ir.hh"
+#include "sim/arena.hh"
 #include "sim/trace.hh"
 
 namespace cwsp::core {
@@ -143,8 +145,16 @@ class WholeSystemSim
      * @param module  program already compiled with config.compiler
      *                (use compileForWsp / the workload builders).
      * @param config  design point; numCores bounds ThreadSpec count.
+     * @param arena   optional externally owned allocation arena for
+     *                the hierarchy/scheme state. Each reset() rewinds
+     *                (never frees) it, so a caller running many
+     *                simulations back-to-back — one live sim per
+     *                arena at a time — reuses warm chunks instead of
+     *                hitting the heap per construction. Null: the sim
+     *                owns a private arena with the same lifecycle.
      */
-    WholeSystemSim(const ir::Module &module, const SystemConfig &config);
+    WholeSystemSim(const ir::Module &module, const SystemConfig &config,
+                   sim::SimArena *arena = nullptr);
     ~WholeSystemSim();
 
     /** Run @p threads (one per core) to completion with timing. */
@@ -154,6 +164,18 @@ class WholeSystemSim
     /** Single-core convenience. */
     RunResult run(const std::string &entry, std::vector<Word> args = {},
                   std::uint64_t max_instrs = 2'000'000'000);
+
+    /**
+     * Timed run driven from a compiled commit stream instead of the
+     * interpreter: the scheme and hierarchy see the identical commit
+     * sequence, so the RunResult, component statistics, and trace
+     * output are bit-identical to run() with the stream's (entry,
+     * args) — at a fraction of the cost (no interpretation; runs of
+     * constant-cost commits retire arithmetically).
+     * Single-threaded programs only (the stream pins core 0).
+     */
+    RunResult runReplay(const CommitStream &stream,
+                        std::uint64_t max_instrs = 2'000'000'000);
 
     /**
      * Run with persistence recording, inject a power failure at
@@ -174,14 +196,36 @@ class WholeSystemSim
      * program functionally after the last one. runWithCrash() is the
      * single-entry special case.
      */
+    /**
+     * @param replay optional compiled commit stream of (entry, args).
+     * Epochs that start from a pristine image on one core (the first
+     * epoch of every crash run, and full-restart retries) are then
+     * driven from the stream instead of the interpreter — the scheme
+     * sees the identical commit sequence, so the crash state, the
+     * recording bundle, and every statistic are bit-identical while
+     * the sweep skips re-interpretation. Recovery and post-crash
+     * epochs always interpret. Ignored (full interpretation) for
+     * multi-core runs, battery-backed schemes, or a stream recorded
+     * for a different (module, entry, args).
+     */
     CrashRunResult runWithCrashes(
         const std::vector<ThreadSpec> &threads,
         const fault::CrashSchedule &schedule,
         const fault::FaultPlan &faults = {},
-        std::uint64_t max_instrs = 200'000'000);
+        std::uint64_t max_instrs = 200'000'000,
+        const CommitStream *replay = nullptr);
 
     /** Cycle count of a plain (no-crash) run, for picking crash points. */
     Tick lastRunCycles() const { return lastCycles_; }
+
+    /**
+     * Hint the expected committed-instruction count of upcoming runs
+     * (workloads::estimatedInstrs). Only tightens reserve() sizing of
+     * the crash-recording logs, which are otherwise sized from the
+     * instruction *budget* — a far looser bound. Never affects
+     * budgets or results; 0 clears the hint.
+     */
+    void setExpectedInstrs(std::uint64_t n) { expectedInstrs_ = n; }
 
     mem::Hierarchy &hierarchy() { return *hierarchy_; }
     arch::Scheme &scheme() { return *scheme_; }
@@ -231,6 +275,9 @@ class WholeSystemSim
   private:
     const ir::Module *module_;
     SystemConfig config_;
+    /** Private arena used when the caller does not supply one. */
+    std::unique_ptr<sim::SimArena> ownArena_;
+    sim::SimArena *arena_;
     std::unique_ptr<interp::SparseMemory> memory_;
     std::unique_ptr<mem::Hierarchy> hierarchy_;
     std::unique_ptr<arch::Scheme> scheme_;
@@ -239,12 +286,34 @@ class WholeSystemSim
     /** Internal buffer driving a sink when none is attached. */
     std::unique_ptr<sim::TraceBuffer> ownTrace_;
     Tick lastCycles_ = 0;
+    std::uint64_t expectedInstrs_ = 0;
 
     /** Rebuild hierarchy/scheme state for a fresh run. */
     void reset();
 
+    RunResult collectStats(const std::vector<Word> &return_values);
     RunResult collectStats(
         const std::vector<std::unique_ptr<interp::Interpreter>> &cores);
+
+    /** Outcome of one replayed execution segment. */
+    struct ReplayOutcome
+    {
+        bool finished = false;   ///< all stream ops applied
+        Tick finishedAt = kTickNever;
+        std::uint64_t steps = 0; ///< top-level steps retired
+    };
+
+    /**
+     * Drive scheme_/hierarchy_/memory_ from @p stream on core 0,
+     * stopping before the first step whose start cycle exceeds
+     * @p crash_dt (kTickNever: run to stream end). When @p bundle is
+     * set, rebuilds its boundary-snapshot window (last @p keep
+     * regions) from the stream's flattened snapshots.
+     */
+    ReplayOutcome replaySegment(const CommitStream &stream,
+                                Tick crash_dt, RecordingBundle *bundle,
+                                std::size_t keep,
+                                std::uint64_t max_instrs);
 };
 
 } // namespace cwsp::core

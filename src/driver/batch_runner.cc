@@ -129,6 +129,36 @@ resolveCacheDir(const BatchConfig &config)
     return ".cwsp-cache";
 }
 
+std::size_t
+resolveStreamCacheBytes(const BatchConfig &config)
+{
+    std::size_t mb = config.streamCacheMb;
+    if (mb == 0) {
+        if (const char *env = std::getenv("CWSP_STREAM_CACHE_MB");
+            env && *env) {
+            long v = std::atol(env);
+            if (v > 0)
+                mb = static_cast<std::size_t>(v);
+        }
+    }
+    if (mb == 0)
+        mb = 256;
+    return mb * std::size_t{1024} * 1024;
+}
+
+/**
+ * Per-worker allocation arena for the simulator's hierarchy/scheme
+ * state. compute() runs one simulation at a time per thread, so the
+ * arena always holds exactly one live sim and each construction
+ * reuses the previous run's warm chunks.
+ */
+sim::SimArena *
+workerArena()
+{
+    static thread_local sim::SimArena arena;
+    return &arena;
+}
+
 } // namespace
 
 struct BatchRunner::Impl
@@ -143,11 +173,24 @@ struct BatchRunner::Impl
              std::shared_future<std::shared_ptr<const ir::Module>>>
         modules;
 
+    std::mutex streamsMu;
+    std::map<std::string,
+             std::shared_future<
+                 std::shared_ptr<const core::CommitStream>>>
+        streams;
+    /** Insertion order for eviction (oldest first). */
+    std::vector<std::string> streamOrder;
+    std::size_t streamBytes = 0;
+    std::size_t streamBytesCap = 0;
+
     std::atomic<std::uint64_t> simulated{0};
     std::atomic<std::uint64_t> memoryHits{0};
     std::atomic<std::uint64_t> diskHits{0};
     std::atomic<std::uint64_t> modulesCompiled{0};
     std::atomic<std::uint64_t> moduleCacheHits{0};
+    std::atomic<std::uint64_t> streamsRecorded{0};
+    std::atomic<std::uint64_t> streamCacheHits{0};
+    std::atomic<std::uint64_t> replayedRuns{0};
 
     std::mutex violationsMu;
     std::vector<obs::InvariantViolation> violations;
@@ -160,6 +203,7 @@ BatchRunner::BatchRunner(BatchConfig config)
     : impl_(std::make_unique<Impl>()), config_(std::move(config)),
       cacheDir_(resolveCacheDir(config_))
 {
+    impl_->streamBytesCap = resolveStreamCacheBytes(config_);
 }
 
 BatchRunner::~BatchRunner() = default;
@@ -297,6 +341,75 @@ BatchRunner::moduleFor(const workloads::AppProfile &app,
     }
 }
 
+std::shared_ptr<const core::CommitStream>
+BatchRunner::streamFor(const workloads::AppProfile &app,
+                       const compiler::CompilerOptions &options,
+                       const std::string &entry,
+                       std::uint64_t max_instrs,
+                       std::shared_ptr<const ir::Module> mod)
+{
+    std::string key = workloads::profileKey(app) + "|" +
+                      core::compilerOptionsKey(options) +
+                      "|entry=" + entry;
+    std::promise<std::shared_ptr<const core::CommitStream>> promise;
+    std::shared_future<std::shared_ptr<const core::CommitStream>> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(impl_->streamsMu);
+        auto it = impl_->streams.find(key);
+        if (it != impl_->streams.end()) {
+            impl_->streamCacheHits.fetch_add(
+                1, std::memory_order_relaxed);
+            fut = it->second;
+        } else {
+            owner = true;
+            fut = promise.get_future().share();
+            impl_->streams.emplace(key, fut);
+        }
+    }
+    if (!owner)
+        return fut.get();
+
+    impl_->streamsRecorded.fetch_add(1, std::memory_order_relaxed);
+    try {
+        if (!mod)
+            mod = moduleFor(app, options);
+        auto stream = std::make_shared<core::CommitStream>(
+            core::recordCommitStream(*mod, entry, {}, max_instrs,
+                                     workloads::estimatedInstrs(app)));
+        promise.set_value(stream);
+        {
+            // Account and evict oldest-first. Evicted streams stay
+            // alive for whoever already shares the pointer; the next
+            // requester simply re-records.
+            std::lock_guard<std::mutex> lk(impl_->streamsMu);
+            impl_->streamOrder.push_back(key);
+            impl_->streamBytes += stream->memoryBytes();
+            while (impl_->streamBytes > impl_->streamBytesCap &&
+                   !impl_->streamOrder.empty()) {
+                const std::string &victim = impl_->streamOrder.front();
+                auto vit = impl_->streams.find(victim);
+                if (vit != impl_->streams.end()) {
+                    auto held = vit->second.get();
+                    impl_->streamBytes -=
+                        std::min(impl_->streamBytes,
+                                 held->memoryBytes());
+                    impl_->streams.erase(vit);
+                }
+                impl_->streamOrder.erase(impl_->streamOrder.begin());
+            }
+        }
+        return stream;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lk(impl_->streamsMu);
+            impl_->streams.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
 core::RunResult
 BatchRunner::compute(const DesignPoint &point, const std::string &key)
 {
@@ -311,12 +424,23 @@ BatchRunner::compute(const DesignPoint &point, const std::string &key)
         }
     }
     auto mod = moduleFor(point.app, point.config.compiler);
-    core::WholeSystemSim sim(*mod, point.config);
+    core::WholeSystemSim sim(*mod, point.config, workerArena());
     obs::InvariantMonitor monitor(obs::InvariantMonitorConfig{
         point.config.hierarchy.wpqCapacity, 8, 16});
     if (config_.checkInvariants)
         sim.attachTraceSink(&monitor);
-    core::RunResult r = sim.run(point.entry, {}, point.maxInstrs);
+    core::RunResult r;
+    std::shared_ptr<const core::CommitStream> stream;
+    if (config_.useStreamReplay) {
+        stream = streamFor(point.app, point.config.compiler,
+                           point.entry, point.maxInstrs, mod);
+    }
+    if (stream) {
+        r = sim.runReplay(*stream, point.maxInstrs);
+        impl_->replayedRuns.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        r = sim.run(point.entry, {}, point.maxInstrs);
+    }
     impl_->simulated.fetch_add(1, std::memory_order_relaxed);
 
     // Fold this sim's component stats into the shared aggregate
@@ -517,6 +641,9 @@ BatchRunner::stats() const
     s.diskHits = impl_->diskHits.load();
     s.modulesCompiled = impl_->modulesCompiled.load();
     s.moduleCacheHits = impl_->moduleCacheHits.load();
+    s.streamsRecorded = impl_->streamsRecorded.load();
+    s.streamCacheHits = impl_->streamCacheHits.load();
+    s.replayedRuns = impl_->replayedRuns.load();
     s.invariantEventsChecked = impl_->invariantEvents.load();
     s.invariantViolations = impl_->violationCount.load();
     return s;
@@ -538,8 +665,14 @@ BatchRunner::clearMemoryCaches()
                     "clearMemoryCaches with runs in flight");
         impl_->results.clear();
     }
-    std::lock_guard<std::mutex> lk(impl_->modulesMu);
-    impl_->modules.clear();
+    {
+        std::lock_guard<std::mutex> lk(impl_->modulesMu);
+        impl_->modules.clear();
+    }
+    std::lock_guard<std::mutex> lk(impl_->streamsMu);
+    impl_->streams.clear();
+    impl_->streamOrder.clear();
+    impl_->streamBytes = 0;
 }
 
 } // namespace cwsp::driver

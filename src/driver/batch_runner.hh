@@ -89,6 +89,21 @@ struct BatchConfig
      * leave its event stream unchecked — while stores still happen.
      */
     bool checkInvariants = false;
+    /**
+     * Record each (module, entry) commit stream once and drive every
+     * simulation of it from the stream instead of the interpreter
+     * (results, stats, and traces are bit-identical — the disk cache
+     * stays valid either way). Costs one functional run per distinct
+     * program; pays off as soon as a program is simulated under a
+     * second design point, which every sweep does.
+     */
+    bool useStreamReplay = true;
+    /**
+     * In-memory commit-stream cache bound in MiB; 0 = the
+     * CWSP_STREAM_CACHE_MB environment variable, falling back to 256.
+     * Oldest streams are evicted first (in-flight users keep theirs).
+     */
+    std::size_t streamCacheMb = 0;
 };
 
 /** Where results came from (all counters are cumulative). */
@@ -99,6 +114,9 @@ struct BatchStats
     std::uint64_t diskHits = 0;       ///< persistent result cache
     std::uint64_t modulesCompiled = 0;
     std::uint64_t moduleCacheHits = 0;
+    std::uint64_t streamsRecorded = 0;  ///< commit streams compiled
+    std::uint64_t streamCacheHits = 0;
+    std::uint64_t replayedRuns = 0;     ///< sims driven from a stream
     std::uint64_t invariantEventsChecked = 0;
     std::uint64_t invariantViolations = 0;
 };
@@ -145,6 +163,22 @@ class BatchRunner
     std::shared_ptr<const ir::Module>
     moduleFor(const workloads::AppProfile &app,
               const compiler::CompilerOptions &options);
+
+    /**
+     * Commit-stream cache lookup: record the (module, entry) commit
+     * stream once, then share it read-only across every design point
+     * that simulates the same program (thread-safe, in-flight
+     * de-duplicated, LRU-bounded by BatchConfig::streamCacheMb).
+     */
+    /**
+     * @param mod the already-resolved module for (app, options), if
+     * the caller holds one; null falls back to moduleFor().
+     */
+    std::shared_ptr<const core::CommitStream>
+    streamFor(const workloads::AppProfile &app,
+              const compiler::CompilerOptions &options,
+              const std::string &entry, std::uint64_t max_instrs,
+              std::shared_ptr<const ir::Module> mod = nullptr);
 
     /** Canonical cache identity of @p point (before hashing). */
     static std::string pointKey(const DesignPoint &point);

@@ -124,6 +124,9 @@ struct Context
     Word goldenResult = 0;
     interp::SparseMemory goldenMemory;
     std::vector<arch::IoRecord> goldenIo;
+    /** Compiled commit stream replayed by this context's cases. */
+    core::CommitStream stream;
+    bool hasStream = false;
     CrashPointSet points;
 };
 
@@ -136,6 +139,7 @@ refOf(const Context &ctx)
     g.result = ctx.goldenResult;
     g.memory = &ctx.goldenMemory;
     g.ioStream = &ctx.goldenIo;
+    g.stream = ctx.hasStream ? &ctx.stream : nullptr;
     return g;
 }
 
@@ -291,8 +295,9 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
     r.c = c;
     try {
         core::WholeSystemSim sim(*golden.module, *golden.config);
-        auto out = sim.runWithCrashes({core::ThreadSpec{}},
-                                      c.schedule, c.plan, max_instrs);
+        auto out =
+            sim.runWithCrashes({core::ThreadSpec{}}, c.schedule,
+                               c.plan, max_instrs, golden.stream);
         r.ran = true;
         r.crashed = out.crashed;
         r.faults = out.faults;
@@ -392,6 +397,18 @@ runCampaign(const CampaignOptions &options)
                         *ctx.module, ctx.goldenMemory, "main", {});
                     ctx.goldenIo = core::collectIoStream(
                         *ctx.module, "main", {});
+                    // Record the commit stream once; every case of
+                    // this context then replays its pristine epochs
+                    // instead of re-interpreting them. Battery-backed
+                    // schemes never replay (they need a live snapshot
+                    // at the crash instant), so skip the recording.
+                    if (!ctx.config.scheme.batteryBacked) {
+                        ctx.stream = core::recordCommitStream(
+                            *ctx.module, "main", {},
+                            options.maxInstrs,
+                            workloads::estimatedInstrs(profile));
+                        ctx.hasStream = true;
+                    }
                     ctx.points = enumerateCrashPoints(
                         *ctx.module, ctx.config, {core::ThreadSpec{}},
                         options.pointsPerKind);

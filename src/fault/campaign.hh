@@ -120,6 +120,12 @@ struct GoldenRef
     Word result = 0;
     const interp::SparseMemory *memory = nullptr;
     const std::vector<arch::IoRecord> *ioStream = nullptr;
+    /**
+     * Optional compiled commit stream of the golden run. When set,
+     * replay-eligible epochs of every case skip re-interpretation
+     * (bit-identical results, see WholeSystemSim::runWithCrashes).
+     */
+    const core::CommitStream *stream = nullptr;
 };
 
 CaseResult runCase(const CampaignCase &c, const GoldenRef &golden,

@@ -8,7 +8,7 @@
 #define CWSP_INTERP_MACHINE_STATE_HH
 
 #include <array>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "ir/ir.hh"
@@ -19,6 +19,18 @@ namespace cwsp::interp {
 /**
  * Sparse 64-bit-word memory. Unwritten words read as zero (zero-filled
  * pages). Addresses must be 8-byte aligned.
+ *
+ * Storage is paged: 512-word (4 KiB) pages indexed through an
+ * open-addressed page directory, with a present-bitmap per page so
+ * "distinct words ever written" semantics survive (a written zero is
+ * distinct from an untouched word). The interpreter's accesses
+ * cluster heavily (stack, checkpoint slots, kernel working set), so
+ * nearly every access hits the one-entry last-page cache and costs a
+ * bitmap test plus an array index — no hashing, no node chasing.
+ *
+ * Deliberately heap-backed (not arena-backed): crash runs copy the
+ * durable image across simulator resets, so the memory must outlive
+ * any simulation arena.
  */
 class SparseMemory
 {
@@ -27,18 +39,24 @@ class SparseMemory
     void write(Addr addr, Word value);
 
     /** Number of distinct words ever written. */
-    std::size_t footprintWords() const { return words_.size(); }
+    std::size_t footprintWords() const;
 
-    /** Iterate all (addr, value) pairs (unordered). */
+    /** Iterate all (addr, value) pairs in ascending address order. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[a, v] : words_)
-            fn(a, v);
+        for (std::uint32_t idx : sortedPageIndexes()) {
+            const Page &p = pages_[idx];
+            Addr base = p.id << kPageShift;
+            for (unsigned w = 0; w < kPageWords; ++w)
+                if (p.present[w >> 6] & (1ull << (w & 63)))
+                    fn(base + w * kWordBytes, p.words[w]);
+        }
     }
 
-    void clear() { words_.clear(); }
+    /** Drop all contents, keeping page/directory capacity warm. */
+    void clear();
 
     /**
      * Value equality under zero-default semantics: words absent from
@@ -47,7 +65,29 @@ class SparseMemory
     bool equals(const SparseMemory &other) const;
 
   private:
-    std::unordered_map<Addr, Word> words_;
+    static constexpr unsigned kPageWords = 512; ///< 4 KiB pages
+    static constexpr unsigned kPageShift = 12;  ///< addr -> page id
+    static constexpr std::uint64_t kNoPage = ~0ull;
+
+    struct Page
+    {
+        std::array<Word, kPageWords> words;
+        std::array<std::uint64_t, kPageWords / 64> present;
+        std::uint64_t id = kNoPage;
+    };
+
+    const Page *findPage(std::uint64_t page_id) const;
+    Page &getPage(std::uint64_t page_id);
+    void growDirectory();
+    std::size_t dirSlot(std::uint64_t page_id) const;
+    std::vector<std::uint32_t> sortedPageIndexes() const;
+
+    std::vector<Page> pages_;
+    /** Open-addressed pageId -> pages_ index (+1; 0 = empty). */
+    std::vector<std::uint64_t> dirKeys_;
+    std::vector<std::uint32_t> dirVals_;
+    /** One-entry MRU cache (index into pages_, or ~0u). */
+    mutable std::uint32_t lastIdx_ = ~0u;
 };
 
 /** Poison pattern for registers recovery does not restore. */

@@ -13,16 +13,24 @@ Cache::Cache(const CacheConfig &config) : config_(config)
                 "cache size not divisible into sets: ", config.name);
     numSets_ = config.sizeBytes / (config.ways * kCachelineBytes);
     cwsp_assert(numSets_ > 0, "cache has no sets: ", config.name);
+
+    std::uint64_t slots = numSets_ * config.ways;
+    dense_ = slots <= kDenseSlotLimit;
+    if (dense_) {
+        lines_.resize(slots);
+        lastUse_.resize(slots);
+        meta_.resize(slots);
+    }
 }
 
 bool
 Cache::probe(Addr line) const
 {
-    auto it = sets_.find(setIndex(line));
-    if (it == sets_.end())
+    std::uint64_t base = setBase(setIndex(line));
+    if (base == ~0ull)
         return false;
-    for (const auto &w : it->second) {
-        if (w.valid && w.line == line)
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if ((meta_[base + w] & kValid) && lines_[base + w] == line)
             return true;
     }
     return false;
@@ -33,15 +41,32 @@ Cache::access(Addr line, bool is_write)
 {
     cwsp_assert(line == lineAlign(line), "unaligned line address");
     CacheAccessResult result;
-    auto &ways = sets_[setIndex(line)];
-    if (ways.empty())
-        ways.resize(config_.ways);
+    std::uint64_t base;
+    if (dense_) {
+        base = setIndex(line) * config_.ways;
+    } else {
+        std::uint64_t &slot = setDir_.refInsert(setIndex(line));
+        if (slot == 0) {
+            // Slab bases are stored +1 so the refInsert() zero
+            // default can mean "absent".
+            std::uint64_t begin = lines_.size();
+            for (std::uint32_t w = 0; w < config_.ways; ++w) {
+                lines_.push_back(0);
+                lastUse_.push_back(0);
+                meta_.push_back(0);
+            }
+            slot = begin + 1;
+        }
+        base = slot - 1;
+    }
 
     ++useClock_;
-    for (auto &w : ways) {
-        if (w.valid && w.line == line) {
-            w.lastUse = useClock_;
-            w.dirty = w.dirty || is_write;
+    const std::uint32_t ways = config_.ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if ((meta_[base + w] & kValid) && lines_[base + w] == line) {
+            lastUse_[base + w] = useClock_;
+            if (is_write)
+                meta_[base + w] |= kDirty;
             result.hit = true;
             ++hits_;
             return result;
@@ -50,40 +75,39 @@ Cache::access(Addr line, bool is_write)
 
     ++misses_;
     // Choose victim: an invalid way, else the LRU way.
-    Way *victim = &ways[0];
-    for (auto &w : ways) {
-        if (!w.valid) {
-            victim = &w;
+    std::uint64_t victim = base;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!(meta_[base + w] & kValid)) {
+            victim = base + w;
             break;
         }
-        if (w.lastUse < victim->lastUse)
-            victim = &w;
+        if (lastUse_[base + w] < lastUse_[victim])
+            victim = base + w;
     }
-    if (victim->valid) {
+    if (meta_[victim] & kValid) {
         result.evictedValid = true;
-        result.evictedDirty = victim->dirty;
-        result.evictedLine = victim->line;
-        if (victim->dirty)
+        result.evictedDirty = (meta_[victim] & kDirty) != 0;
+        result.evictedLine = lines_[victim];
+        if (result.evictedDirty)
             ++dirtyEvictions_;
     }
-    victim->valid = true;
-    victim->dirty = is_write;
-    victim->line = line;
-    victim->lastUse = useClock_;
+    meta_[victim] = static_cast<std::uint8_t>(
+        kValid | (is_write ? kDirty : 0));
+    lines_[victim] = line;
+    lastUse_[victim] = useClock_;
     return result;
 }
 
 bool
 Cache::invalidate(Addr line)
 {
-    auto it = sets_.find(setIndex(line));
-    if (it == sets_.end())
+    std::uint64_t base = setBase(setIndex(line));
+    if (base == ~0ull)
         return false;
-    for (auto &w : it->second) {
-        if (w.valid && w.line == line) {
-            bool dirty = w.dirty;
-            w.valid = false;
-            w.dirty = false;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if ((meta_[base + w] & kValid) && lines_[base + w] == line) {
+            bool dirty = (meta_[base + w] & kDirty) != 0;
+            meta_[base + w] = 0;
             return dirty;
         }
     }

@@ -1,9 +1,15 @@
 /**
  * @file
  * A set-associative writeback cache model (tags + LRU only; data
- * values live in the functional memory). Sets are allocated lazily so
- * multi-gigabyte DRAM caches cost memory proportional to the touched
- * footprint, not the configured capacity.
+ * values live in the functional memory).
+ *
+ * Tag state is structure-of-arrays: per-slot tag, LRU stamp, and
+ * valid/dirty meta live in three parallel arrays (arena-backed), so
+ * the hit scan over a set's ways reads one contiguous 64-byte run of
+ * tags. SRAM-sized caches (up to kDenseSlotLimit slots) preallocate
+ * the full geometry; larger ones (the multi-gigabyte DRAM cache)
+ * allocate set slabs lazily through a flat directory so memory cost
+ * is proportional to the touched footprint, not configured capacity.
  */
 
 #ifndef CWSP_MEM_CACHE_HH
@@ -11,9 +17,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace cwsp::mem {
@@ -74,17 +81,23 @@ class Cache
     }
 
   private:
-    struct Way
-    {
-        Addr line = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    /** Preallocate fully up to this many slots (sets x ways). */
+    static constexpr std::uint64_t kDenseSlotLimit = 1ull << 20;
+
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
 
     CacheConfig config_;
     std::uint64_t numSets_;
-    std::unordered_map<std::uint64_t, std::vector<Way>> sets_;
+    bool dense_;
+
+    /** SoA slot arrays; slot = setBase + way. */
+    sim::ArenaVector<Addr> lines_;
+    sim::ArenaVector<std::uint64_t> lastUse_;
+    sim::ArenaVector<std::uint8_t> meta_;
+    /** Sparse mode: setIndex -> slab base in the slot arrays. */
+    sim::FlatMap64 setDir_;
+
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
@@ -94,6 +107,20 @@ class Cache
     setIndex(Addr line) const
     {
         return (line / kCachelineBytes) % numSets_;
+    }
+
+    /**
+     * Slab base of @p set, or ~0ull when not yet allocated. Sparse
+     * directory values are stored base+1 so the flat map's zero
+     * default means "absent".
+     */
+    std::uint64_t
+    setBase(std::uint64_t set) const
+    {
+        if (dense_)
+            return set * config_.ways;
+        const std::uint64_t *b = setDir_.find(set);
+        return (b && *b) ? *b - 1 : ~0ull;
     }
 };
 

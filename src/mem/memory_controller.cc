@@ -7,7 +7,8 @@
 namespace cwsp::mem {
 
 MemoryController::MemoryController(const McConfig &config)
-    : config_(config)
+    : config_(config), slotFree_(config.wpqCapacity + 1u),
+      inflight_(4096)
 {
     cwsp_assert(config.wpqCapacity > 0, "WPQ capacity must be positive");
     cwsp_assert(config.tech.writeBytesPerCycle > 0,
@@ -61,15 +62,10 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
                        sim::wpqAdmitArg1(bytes, logged));
     }
 
-    inflight_[word_addr] = drained;
+    inflight_.insertOrAssign(word_addr, drained);
     if (++sinceCleanup_ >= 4096) {
         sinceCleanup_ = 0;
-        for (auto it = inflight_.begin(); it != inflight_.end();) {
-            if (it->second <= arrival)
-                it = inflight_.erase(it);
-            else
-                ++it;
-        }
+        inflight_.eraseIf([arrival](Tick t) { return t <= arrival; });
     }
     return WpqAdmitResult{admit, drained};
 }
@@ -85,10 +81,10 @@ MemoryController::chargeEviction(Tick now, std::uint32_t bytes)
 Tick
 MemoryController::inflightDrainTime(Addr word_addr, Tick now) const
 {
-    auto it = inflight_.find(word_addr);
-    if (it == inflight_.end() || it->second <= now)
+    const std::uint64_t *t = inflight_.find(word_addr);
+    if (!t || *t <= now)
         return 0;
-    return it->second;
+    return *t;
 }
 
 } // namespace cwsp::mem

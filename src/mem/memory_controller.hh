@@ -11,10 +11,10 @@
 #define CWSP_MEM_MEMORY_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "mem/nvm_device.hh"
+#include "sim/flat_map.hh"
+#include "sim/ring.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -93,9 +93,9 @@ class MemoryController
     sim::TraceBuffer *trace_ = nullptr;
     std::uint16_t lane_ = 0;
     McConfig config_;
-    std::deque<Tick> slotFree_;  ///< WPQ slot release times (FIFO)
-    Tick mediaFree_ = 0;         ///< media next-free time
-    std::unordered_map<Addr, Tick> inflight_; ///< word -> drain time
+    sim::Ring<Tick> slotFree_; ///< WPQ slot release times (FIFO)
+    Tick mediaFree_ = 0;       ///< media next-free time
+    sim::FlatMap64 inflight_;  ///< word -> drain time
     std::uint64_t admissions_ = 0;
     std::uint64_t fullStalls_ = 0;
     std::uint64_t loggedStores_ = 0;

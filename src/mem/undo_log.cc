@@ -14,7 +14,12 @@ UndoLogArea::append(RegionId region, Addr addr, Word old_value,
     r.seq = nextSeq_++;
     r.isCkpt = is_ckpt;
     r.crc = recordCrc(region, r);
-    logs_[region].push_back(r);
+    auto [it, fresh] = logs_.try_emplace(region);
+    if (fresh && !spares_.empty()) {
+        it->second = std::move(spares_.back());
+        spares_.pop_back();
+    }
+    it->second.push_back(r);
     ++live_;
     if (live_ > maxLive_)
         maxLive_ = live_;
@@ -27,7 +32,27 @@ UndoLogArea::reclaim(RegionId region)
     if (it == logs_.end())
         return;
     live_ -= it->second.size();
+    retire(std::move(it->second));
     logs_.erase(it);
+}
+
+void
+UndoLogArea::clear()
+{
+    for (auto &[region, records] : logs_)
+        retire(std::move(records));
+    logs_.clear();
+    live_ = 0;
+}
+
+void
+UndoLogArea::retire(std::vector<UndoRecord> &&records)
+{
+    constexpr std::size_t kMaxSpares = 64;
+    if (records.capacity() == 0 || spares_.size() >= kMaxSpares)
+        return;
+    records.clear();
+    spares_.push_back(std::move(records));
 }
 
 std::size_t

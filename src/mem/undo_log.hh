@@ -102,7 +102,7 @@ class UndoLogArea
     }
 
     /** Drop every log (end of recovery, Section VII step 1). */
-    void clear() { logs_.clear(); }
+    void clear();
 
     std::size_t liveRegions() const { return logs_.size(); }
     std::size_t liveRecords() const;
@@ -154,7 +154,17 @@ class UndoLogArea
     }
 
   private:
+    /** Retire @p records into the spare pool instead of freeing. */
+    void retire(std::vector<UndoRecord> &&records);
+
     std::map<RegionId, std::vector<UndoRecord>> logs_;
+    /**
+     * Capacity pool: reclaimed region arrays land here (cleared, not
+     * freed) and the next lazily allocated region reuses one. Region
+     * reclaim runs once per committed region — without the pool every
+     * region pays a fresh allocation ramp for its log array.
+     */
+    std::vector<std::vector<UndoRecord>> spares_;
     std::size_t live_ = 0;
     std::size_t maxLive_ = 0;
     std::uint64_t nextSeq_ = 1;

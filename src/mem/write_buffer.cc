@@ -8,7 +8,8 @@ namespace cwsp::mem {
 
 WriteBuffer::WriteBuffer(std::uint32_t capacity,
                          std::uint32_t drain_cycles)
-    : capacity_(capacity), drainCycles_(drain_cycles)
+    : capacity_(capacity), drainCycles_(drain_cycles),
+      drainTimes_(capacity + 1u)
 {
     cwsp_assert(capacity > 0, "WB capacity must be positive");
 }
@@ -46,8 +47,8 @@ std::uint32_t
 WriteBuffer::occupancyAt(Tick now) const
 {
     std::uint32_t n = 0;
-    for (Tick t : drainTimes_) {
-        if (t > now)
+    for (std::size_t i = 0; i < drainTimes_.size(); ++i) {
+        if (drainTimes_[i] > now)
             ++n;
     }
     return n;

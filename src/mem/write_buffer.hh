@@ -16,8 +16,8 @@
 #define CWSP_MEM_WRITE_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace cwsp::mem {
@@ -57,7 +57,8 @@ class WriteBuffer
   private:
     std::uint32_t capacity_;
     std::uint32_t drainCycles_;
-    std::deque<Tick> drainTimes_; ///< completion time per entry (FIFO)
+    /** Completion time per entry (FIFO); fixed arena-backed ring. */
+    sim::Ring<Tick> drainTimes_;
     Tick lastDrain_ = 0;
     std::uint64_t inserts_ = 0;
     std::uint64_t fullStalls_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -435,6 +436,132 @@ diffMetricFiles(const std::string &before_path,
         result = diffMetrics(before_json, after_json, options);
     } catch (const std::exception &ex) {
         error = ex.what();
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Escape a string for embedding in a JSON document. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable decimal for a metric value. */
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+appendTrajectory(const std::string &trajectory_path,
+                 const std::string &summary_path,
+                 const TrajectoryOptions &options, std::string &error)
+{
+    std::string summary;
+    {
+        std::ifstream is(summary_path);
+        if (!is) {
+            error = "cannot open " + summary_path;
+            return false;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        summary = ss.str();
+    }
+    std::map<std::string, double> metrics;
+    try {
+        metrics = flattenMetricsJson(summary);
+    } catch (const std::exception &ex) {
+        error = summary_path + ": " + ex.what();
+        return false;
+    }
+
+    std::ostringstream entry;
+    // The label is serialized as "name" so flattenMetricsJson (and
+    // therefore --diff over two trajectory files) keys each entry by
+    // its label instead of its array position.
+    entry << " {\n  \"name\": \"" << jsonEscape(options.label)
+          << "\",\n";
+    if (!options.date.empty())
+        entry << "  \"date\": \"" << jsonEscape(options.date)
+              << "\",\n";
+    entry << "  \"metrics\": {";
+    bool first = true;
+    for (const auto &[metric, value] : metrics) {
+        bool keep = false;
+        for (const auto &sub : options.keepSubstrings) {
+            if (!sub.empty() &&
+                metric.find(sub) != std::string::npos) {
+                keep = true;
+                break;
+            }
+        }
+        if (!keep)
+            continue;
+        entry << (first ? "" : ",") << "\n   \""
+              << jsonEscape(metric) << "\": " << formatNumber(value);
+        first = false;
+    }
+    entry << (first ? "}" : "\n  }") << "\n }";
+
+    // Splice into the existing array without a full parse: the file
+    // is only ever written by this function, so the closing ']' as
+    // the last non-whitespace byte is a structural invariant.
+    std::string existing;
+    {
+        std::ifstream is(trajectory_path);
+        if (is) {
+            std::ostringstream ss;
+            ss << is.rdbuf();
+            existing = ss.str();
+        }
+    }
+    std::string body;
+    std::size_t end = existing.find_last_not_of(" \t\r\n");
+    if (end == std::string::npos) {
+        body = "[\n" + entry.str() + "\n]\n";
+    } else {
+        if (existing[end] != ']') {
+            error = trajectory_path +
+                    ": not a JSON array (refusing to append)";
+            return false;
+        }
+        std::string head = existing.substr(0, end);
+        // Empty array vs one with entries: comma only for the latter.
+        std::size_t last = head.find_last_not_of(" \t\r\n");
+        bool empty =
+            last == std::string::npos || head[last] == '[';
+        body = head + (empty ? "\n" : ",\n") + entry.str() + "\n]\n";
+    }
+    std::ofstream os(trajectory_path, std::ios::trunc);
+    if (!os) {
+        error = "cannot write " + trajectory_path;
+        return false;
+    }
+    os << body;
+    if (!os) {
+        error = "write to " + trajectory_path + " failed";
         return false;
     }
     return true;

@@ -80,6 +80,39 @@ bool diffMetricFiles(const std::string &before_path,
 void printDiffReport(std::ostream &os, const DiffResult &result,
                      const DiffOptions &options);
 
+/** Labeling and metric selection for one trajectory append. */
+struct TrajectoryOptions
+{
+    /** Entry label (short commit hash, PR tag, ...). */
+    std::string label = "unlabeled";
+    /** ISO date string; empty omits the field. */
+    std::string date;
+    /**
+     * Only metrics containing one of these substrings are copied
+     * into the trajectory entry. The defaults keep the simulator
+     * throughput headline (bench_simspeed counters), the suite size,
+     * and the fault-campaign health counters — a per-PR snapshot
+     * small enough to commit, not the full summary.
+     */
+    std::vector<std::string> keepSubstrings = {
+        "sims_per_sec", "ns_per_instr", "wall_clock_s",
+        "total_cases",  "fault_campaign"};
+};
+
+/**
+ * Append one entry — {label, date, metrics} with the metrics
+ * selected from @p summary_path by @p options — to the JSON array in
+ * @p trajectory_path, creating the file when absent. This is how
+ * BENCH_trajectory.json accumulates one headline snapshot per PR
+ * (bench_all.sh calls it after writing BENCH_summary.json). Returns
+ * false and sets @p error on read/parse/write failure, leaving an
+ * existing trajectory file untouched.
+ */
+bool appendTrajectory(const std::string &trajectory_path,
+                      const std::string &summary_path,
+                      const TrajectoryOptions &options,
+                      std::string &error);
+
 } // namespace cwsp::obs
 
 #endif // CWSP_OBS_BASELINE_DIFF_HH

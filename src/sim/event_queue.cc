@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -11,7 +12,17 @@ EventQueue::schedule(Tick when, Callback cb)
 {
     cwsp_assert(when >= now_, "scheduling event in the past: ", when,
                 " < ", now_);
-    events_.push(PendingEvent{when, nextSeq_++, std::move(cb)});
+    if (head_ == fifo_.size() && head_ != 0) {
+        // FIFO fully drained: rewind so the slab is reused in place.
+        fifo_.clear();
+        head_ = 0;
+    }
+    if (fifo_.empty() || when >= fifo_.back().when) {
+        fifo_.push_back(PendingEvent{when, nextSeq_++, std::move(cb)});
+        return;
+    }
+    heap_.push_back(PendingEvent{when, nextSeq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -20,30 +31,66 @@ EventQueue::scheduleAfter(Tick delta, Callback cb)
     schedule(now_ + delta, std::move(cb));
 }
 
+void
+EventQueue::reserve(std::size_t n)
+{
+    fifo_.reserve(n);
+}
+
 Tick
 EventQueue::nextEventTick() const
 {
-    return events_.empty() ? kTickNever : events_.top().when;
+    Tick next = kTickNever;
+    if (head_ != fifo_.size())
+        next = fifo_[head_].when;
+    if (!heap_.empty() && heap_.front().when < next)
+        next = heap_.front().when;
+    return next;
+}
+
+void
+EventQueue::fireNext()
+{
+    // Pick the earlier (tick, seq) of the two lanes. Seq breaks the
+    // tie so same-tick events fire in insertion order even when they
+    // straddle lanes.
+    bool fromFifo = head_ != fifo_.size();
+    if (fromFifo && !heap_.empty()) {
+        const PendingEvent &f = fifo_[head_];
+        const PendingEvent &h = heap_.front();
+        if (h.when < f.when || (h.when == f.when && h.seq < f.seq))
+            fromFifo = false;
+    }
+    if (fromFifo) {
+        // Move out before advancing head_: the callback may schedule
+        // more events and reallocate (or rewind) the FIFO slab.
+        PendingEvent ev = std::move(fifo_[head_]);
+        ++head_;
+        now_ = ev.when;
+        ev.cb();
+        return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    PendingEvent ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.when;
+    ev.cb();
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (empty())
         return false;
-    // Copy out before pop: the callback may schedule more events.
-    PendingEvent ev = events_.top();
-    events_.pop();
-    now_ = ev.when;
-    ev.cb();
+    fireNext();
     return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!events_.empty() && events_.top().when <= limit)
-        step();
+    while (!empty() && nextEventTick() <= limit)
+        fireNext();
     if (now_ < limit)
         now_ = limit;
 }
@@ -51,8 +98,8 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::runAll()
 {
-    while (step()) {
-    }
+    while (!empty())
+        fireNext();
 }
 
 void

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -21,6 +20,13 @@ namespace cwsp {
  * Deterministic event queue ordered by (tick, insertion sequence).
  * Events scheduled for the same tick fire in insertion order, which
  * keeps multi-device simulations reproducible.
+ *
+ * Storage is split by insertion pattern: device models almost always
+ * schedule monotonically (each event at or after the last one they
+ * scheduled), so those land in a flat FIFO — append and pop are O(1)
+ * with no re-sorting and no per-event heap churn. Only genuinely
+ * out-of-order inserts fall back to a binary heap; the dispatch loop
+ * merges the two by (tick, seq).
  */
 class EventQueue
 {
@@ -33,14 +39,29 @@ class EventQueue
     /** Schedule @p cb to fire @p delta ticks after the current time. */
     void scheduleAfter(Tick delta, Callback cb);
 
+    /**
+     * Pre-size the FIFO lane for @p n pending events (derived from
+     * config bounds, e.g. queue depths x drain fan-out) so steady
+     * state never reallocates.
+     */
+    void reserve(std::size_t n);
+
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool
+    empty() const
+    {
+        return head_ == fifo_.size() && heap_.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t size() const { return events_.size(); }
+    std::size_t
+    size() const
+    {
+        return (fifo_.size() - head_) + heap_.size();
+    }
 
     /** Tick of the earliest pending event; kTickNever when empty. */
     Tick nextEventTick() const;
@@ -79,8 +100,14 @@ class EventQueue
         }
     };
 
-    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
-        events_;
+    /** Pop the earliest of the two lanes and fire it. */
+    void fireNext();
+
+    /** Monotone inserts: already sorted, consumed front to back. */
+    std::vector<PendingEvent> fifo_;
+    std::size_t head_ = 0;
+    /** Out-of-order inserts (std::push_heap / std::pop_heap). */
+    std::vector<PendingEvent> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
 };

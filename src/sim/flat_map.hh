@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Open-addressed linear-probe hash map from word-aligned addresses
+ * (or any u64 key never equal to ~0) to a u64 value. Replaces the
+ * std::unordered_map hot paths in the scheme's per-line persist
+ * tracking and the memory controller's in-flight table: probe
+ * sequences stay within one or two cache lines and the table's
+ * storage comes from the simulation arena.
+ */
+
+#ifndef CWSP_SIM_FLAT_MAP_HH
+#define CWSP_SIM_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/arena.hh"
+
+namespace cwsp::sim {
+
+/**
+ * u64 -> u64 map; the key ~0ull is reserved as the empty sentinel
+ * (never a valid word/line address — those are 8-aligned).
+ */
+class FlatMap64
+{
+  public:
+    static constexpr std::uint64_t kEmpty = ~0ull;
+
+    explicit FlatMap64(std::size_t expected = 64)
+        : arena_(SimArena::current())
+    {
+        std::size_t cap = 16;
+        while (cap * 7 < expected * 10) // target <= 0.7 load
+            cap <<= 1;
+        allocate(cap);
+    }
+
+    FlatMap64(const FlatMap64 &) = delete;
+    FlatMap64 &operator=(const FlatMap64 &) = delete;
+
+    FlatMap64(FlatMap64 &&other) noexcept { moveFrom(other); }
+
+    FlatMap64 &
+    operator=(FlatMap64 &&other) noexcept
+    {
+        if (this != &other) {
+            freeTable(keys_, vals_);
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the value of @p key, or nullptr when absent. */
+    std::uint64_t *
+    find(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        return keys_[i] == key ? &vals_[i] : nullptr;
+    }
+
+    const std::uint64_t *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = slotOf(key);
+        return keys_[i] == key ? &vals_[i] : nullptr;
+    }
+
+    /**
+     * Value reference for @p key, inserting 0 when absent — the
+     * `map[k] = max(map[k], v)` update pattern.
+     */
+    std::uint64_t &
+    refInsert(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        if (keys_[i] != key) {
+            if ((size_ + 1) * 10 > cap_ * 7) {
+                grow();
+                i = slotOf(key);
+            }
+            keys_[i] = key;
+            vals_[i] = 0;
+            ++size_;
+        }
+        return vals_[i];
+    }
+
+    void insertOrAssign(std::uint64_t key, std::uint64_t value)
+    {
+        refInsert(key) = value;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < cap_; ++i)
+            keys_[i] = kEmpty;
+        size_ = 0;
+    }
+
+    /**
+     * Drop every entry whose value satisfies @p pred by rebuilding
+     * into a fresh table (open addressing cannot tombstone-free
+     * erase in place). Used by the periodic stale-entry cleanups.
+     */
+    template <typename Pred>
+    void
+    eraseIf(Pred pred)
+    {
+        std::uint64_t *old_keys = keys_;
+        std::uint64_t *old_vals = vals_;
+        std::size_t old_cap = cap_;
+        allocate(cap_);
+        size_ = 0;
+        for (std::size_t i = 0; i < old_cap; ++i)
+            if (old_keys[i] != kEmpty && !pred(old_vals[i]))
+                refInsert(old_keys[i]) = old_vals[i];
+        freeTable(old_keys, old_vals);
+    }
+
+  private:
+    std::size_t
+    slotOf(std::uint64_t key) const
+    {
+        // splitmix64-style finalizer: word addresses differ only in
+        // low bits, so mix before masking.
+        std::uint64_t h = key;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        std::size_t i = static_cast<std::size_t>(h) & mask_;
+        while (keys_[i] != kEmpty && keys_[i] != key)
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    allocate(std::size_t cap)
+    {
+        cap_ = cap;
+        mask_ = cap - 1;
+        if (arena_) {
+            keys_ = arena_->allocArray<std::uint64_t>(cap);
+            vals_ = arena_->allocArray<std::uint64_t>(cap);
+        } else {
+            keys_ = new std::uint64_t[cap];
+            vals_ = new std::uint64_t[cap];
+        }
+        for (std::size_t i = 0; i < cap; ++i)
+            keys_[i] = kEmpty;
+    }
+
+    void
+    grow()
+    {
+        std::uint64_t *old_keys = keys_;
+        std::uint64_t *old_vals = vals_;
+        std::size_t old_cap = cap_;
+        allocate(cap_ * 2);
+        size_ = 0;
+        for (std::size_t i = 0; i < old_cap; ++i)
+            if (old_keys[i] != kEmpty)
+                refInsert(old_keys[i]) = old_vals[i];
+        freeTable(old_keys, old_vals);
+    }
+
+    void
+    freeTable(std::uint64_t *keys, std::uint64_t *vals)
+    {
+        if (!arena_) {
+            delete[] keys;
+            delete[] vals;
+        }
+    }
+
+    void
+    moveFrom(FlatMap64 &other)
+    {
+        arena_ = other.arena_;
+        keys_ = other.keys_;
+        vals_ = other.vals_;
+        cap_ = other.cap_;
+        mask_ = other.mask_;
+        size_ = other.size_;
+        other.keys_ = other.vals_ = nullptr;
+        other.cap_ = other.mask_ = other.size_ = 0;
+    }
+
+  public:
+    ~FlatMap64()
+    {
+        freeTable(keys_, vals_);
+        keys_ = vals_ = nullptr;
+    }
+
+  private:
+    SimArena *arena_ = nullptr;
+    std::uint64_t *keys_ = nullptr;
+    std::uint64_t *vals_ = nullptr;
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace cwsp::sim
+
+#endif // CWSP_SIM_FLAT_MAP_HH

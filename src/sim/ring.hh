@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fixed-capacity power-of-two ring of trivially-destructible
+ * elements, storage drawn from the current SimArena (heap fallback).
+ * Replaces the std::deque queues in the persist buffer, RBT, write
+ * buffer and memory controller: every one of those queues is bounded
+ * by a config capacity, so a fixed contiguous ring removes all
+ * steady-state allocation and keeps scans cache-linear.
+ */
+
+#ifndef CWSP_SIM_RING_HH
+#define CWSP_SIM_RING_HH
+
+#include <cstddef>
+#include <type_traits>
+
+#include "sim/arena.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::sim {
+
+/**
+ * Bounded FIFO ring. Capacity is fixed at construction (rounded up
+ * to a power of two); exceeding it is a simulator invariant
+ * violation, asserted in debug builds.
+ */
+template <typename T>
+class Ring
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ring storage may live in an arena");
+
+  public:
+    explicit Ring(std::size_t capacity)
+    {
+        cap_ = 1;
+        while (cap_ < capacity)
+            cap_ <<= 1;
+        mask_ = cap_ - 1;
+        if (SimArena *a = SimArena::current()) {
+            slots_ = a->allocArray<T>(cap_);
+        } else {
+            own_.reset(new T[cap_]);
+            slots_ = own_.get();
+        }
+    }
+
+    Ring(const Ring &) = delete;
+    Ring &operator=(const Ring &) = delete;
+    Ring(Ring &&) = default;
+    Ring &operator=(Ring &&) = default;
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    std::size_t capacity() const { return cap_; }
+
+    void
+    push_back(const T &v)
+    {
+        cwsp_assert(size() < cap_, "ring overflow");
+        slots_[tail_++ & mask_] = v;
+    }
+
+    void
+    pop_front()
+    {
+        cwsp_assert(!empty(), "pop from empty ring");
+        ++head_;
+    }
+
+    T &front() { return slots_[head_ & mask_]; }
+    const T &front() const { return slots_[head_ & mask_]; }
+    T &back() { return slots_[(tail_ - 1) & mask_]; }
+    const T &back() const { return slots_[(tail_ - 1) & mask_]; }
+
+    /** Element @p i positions behind the front (0 = front). */
+    T &operator[](std::size_t i) { return slots_[(head_ + i) & mask_]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots_[(head_ + i) & mask_];
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    T *slots_ = nullptr;
+    std::unique_ptr<T[]> own_; ///< heap fallback owner
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+};
+
+} // namespace cwsp::sim
+
+#endif // CWSP_SIM_RING_HH

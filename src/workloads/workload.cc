@@ -114,6 +114,49 @@ profileKey(const AppProfile &app)
     return os.str();
 }
 
+std::uint64_t
+estimatedInstrs(const AppProfile &app)
+{
+    // Per-kind cost models: main-loop trip count x rough per-group
+    // instruction cost (address arithmetic, LCG advance, memory op,
+    // loop overhead) plus the init sweep over the footprint. The
+    // constants mirror the emitted IR shape, good to ~2x.
+    switch (app.kind) {
+      case KernelKind::Mix: {
+        const auto &p = app.mix;
+        return p.iterations * p.unroll * (p.computeOps + 8) +
+               p.hotWords + p.warmWords;
+      }
+      case KernelKind::PChase: {
+        const auto &p = app.pchase;
+        return p.nodes + p.hops * 12;
+      }
+      case KernelKind::Gups: {
+        const auto &p = app.gups;
+        return p.tableWords + p.updates * 15;
+      }
+      case KernelKind::KvStore: {
+        const auto &p = app.kv;
+        return p.buckets + p.logWords + p.ops * 20;
+      }
+      case KernelKind::NBody: {
+        const auto &p = app.nbody;
+        return p.particles *
+               (p.timesteps * (p.neighbors + 2) * 10 + 2);
+      }
+      case KernelKind::TreeSearch: {
+        const auto &p = app.tree;
+        return p.nodes + p.queries * p.depth * 20;
+      }
+      case KernelKind::AtomicMix: {
+        const auto &p = app.atomic;
+        return p.tableWords + p.counters +
+               p.txs * p.opsPerTx * 10;
+      }
+    }
+    cwsp_panic("unreachable kernel kind");
+}
+
 std::unique_ptr<ir::Module>
 buildKernel(const AppProfile &app)
 {

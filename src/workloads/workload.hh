@@ -75,6 +75,15 @@ void serializeProfile(std::ostream &os, const AppProfile &app);
 /** Canonical single-line key for @p app. */
 std::string profileKey(const AppProfile &app);
 
+/**
+ * Order-of-magnitude estimate of the app's committed top-level
+ * instruction count, derived from its kernel parameters (main loop
+ * trip counts x per-group cost, plus the init sweep). Used to size
+ * reserve() calls — recording logs, commit-stream slabs, trace
+ * rings — ahead of the run; not a budget and never exact.
+ */
+std::uint64_t estimatedInstrs(const AppProfile &app);
+
 /** Build the app's module (uncompiled, laid out). */
 std::unique_ptr<ir::Module> buildKernel(const AppProfile &app);
 

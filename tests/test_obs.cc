@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -497,6 +499,87 @@ TEST(BaselineDiff, TracksAppearingAndDisappearingMetrics)
     ASSERT_EQ(result.onlyAfter.size(), 1u);
     EXPECT_EQ(result.onlyAfter[0], "new_only");
     EXPECT_EQ(result.compared, 1u);
+}
+
+/** Temp file that deletes itself; empty until written. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    void
+    write(const std::string &text)
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << text;
+    }
+    std::string
+    read() const
+    {
+        std::ifstream is(path);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        return ss.str();
+    }
+};
+
+TEST(Trajectory, AppendCreatesThenGrowsValidJsonArray)
+{
+    TempFile summary("traj_summary.json");
+    TempFile traj("traj_out.json");
+    summary.write(
+        R"({"binaries":[{"binary":"bench_simspeed","benchmarks":)"
+        R"([{"name":"simspeed/aggregate","sims_per_sec":140.0,)"
+        R"("real_time":7.1}]}],"wall_clock_s":12,"total_cases":1,)"
+        R"("fault_campaign":{"cases_run":24,"cases_passed":24}})");
+
+    obs::TrajectoryOptions options;
+    options.label = "pr6";
+    options.date = "2026-08-08";
+    std::string error;
+    ASSERT_TRUE(obs::appendTrajectory(traj.path, summary.path,
+                                      options, error))
+        << error;
+    options.label = "pr7";
+    ASSERT_TRUE(obs::appendTrajectory(traj.path, summary.path,
+                                      options, error))
+        << error;
+
+    // Both entries present, keep-filtered: sims_per_sec and the
+    // campaign counters survive, real_time does not.
+    auto metrics = obs::flattenMetricsJson(traj.read());
+    EXPECT_EQ(metrics.count("[pr6].metrics.binaries[0].benchmarks"
+                            "[simspeed/aggregate].sims_per_sec"),
+              1u);
+    EXPECT_EQ(metrics.count("[pr7].metrics.binaries[0].benchmarks"
+                            "[simspeed/aggregate].sims_per_sec"),
+              1u);
+    EXPECT_EQ(
+        metrics.count("[pr6].metrics.fault_campaign.cases_passed"),
+        1u);
+    for (const auto &[name, value] : metrics) {
+        (void)value;
+        EXPECT_EQ(name.find("real_time"), std::string::npos) << name;
+    }
+}
+
+TEST(Trajectory, RefusesToAppendToNonArrayFile)
+{
+    TempFile summary("traj_summary2.json");
+    TempFile traj("traj_out2.json");
+    summary.write(R"({"total_cases":3})");
+    traj.write(R"({"not":"an array"})");
+    std::string error;
+    obs::TrajectoryOptions options;
+    EXPECT_FALSE(obs::appendTrajectory(traj.path, summary.path,
+                                       options, error));
+    EXPECT_NE(error.find("not a JSON array"), std::string::npos);
+    // The existing file is untouched.
+    EXPECT_EQ(traj.read(), R"({"not":"an array"})");
 }
 
 } // namespace

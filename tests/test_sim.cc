@@ -70,6 +70,38 @@ TEST(EventQueue, SchedulingInThePastPanics)
     EXPECT_THROW(q.schedule(5, [] {}), std::logic_error);
 }
 
+TEST(EventQueue, MixedOrderInsertsFireInGlobalOrder)
+{
+    // Exercises both storage lanes: monotone inserts (FIFO) mixed
+    // with out-of-order ones (heap), same-tick collisions included.
+    EventQueue q;
+    q.reserve(64);
+    std::vector<std::pair<Tick, int>> fired;
+    Rng rng(42);
+    Tick monotone = 0;
+    int id = 0;
+    for (int i = 0; i < 200; ++i) {
+        Tick when;
+        if (rng.nextBelow(4) != 0) {
+            monotone += rng.nextBelow(3); // repeats ticks frequently
+            when = monotone;
+        } else {
+            when = q.now() + rng.nextBelow(monotone - q.now() + 2);
+        }
+        int n = id++;
+        q.schedule(when, [&fired, when, n] {
+            fired.push_back({when, n});
+        });
+    }
+    q.runAll();
+    ASSERT_EQ(fired.size(), 200u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        EXPECT_LE(fired[i - 1].first, fired[i].first);
+        if (fired[i - 1].first == fired[i].first)
+            EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+}
+
 TEST(Stats, CounterAndAverage)
 {
     StatsRegistry reg;

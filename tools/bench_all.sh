@@ -16,6 +16,10 @@
 #   BUILD_DIR  build tree containing bench/ (default: build)
 #   JOBS       worker threads per binary (default: nproc)
 #   OUT        aggregate output file (default: BENCH_summary.json)
+#   TRAJ       perf-trajectory file a headline snapshot of OUT is
+#              appended to (default: BENCH_trajectory.json; empty
+#              disables the append)
+#   TRAJ_LABEL trajectory entry label (default: short git hash)
 #   CWSP_CACHE_DIR  persistent result cache location (default:
 #                   .cwsp-cache in the working directory)
 
@@ -24,6 +28,7 @@ set -euo pipefail
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 OUT=${OUT:-BENCH_summary.json}
+TRAJ=${TRAJ-BENCH_trajectory.json}
 
 if ! ls "$BUILD_DIR"/bench/bench_* >/dev/null 2>&1; then
     echo "error: no bench binaries under $BUILD_DIR/bench" \
@@ -97,7 +102,11 @@ for path in sys.argv[3:]:
         continue
     if merged["context"] is None:
         merged["context"] = data.get("context", {})
+    # "name" keys the entry in flattened metric paths (the baseline
+    # differ and trajectory snapshots key array entries by it), so
+    # paths stay stable when binaries are added or reordered.
     merged["binaries"].append({
+        "name": name,
         "binary": name,
         "benchmarks": data.get("benchmarks", []),
     })
@@ -131,4 +140,15 @@ if [ -n "$prev" ] && [ -x "$BUILD_DIR/tools/cwsp_analyze" ]; then
     echo "== baseline diff vs previous $OUT (warn-only) =="
     "$BUILD_DIR"/tools/cwsp_analyze --diff "$prev" "$OUT" ||
         echo "bench_all: metrics moved vs previous $OUT (see above)" >&2
+fi
+
+# Append the per-PR headline snapshot (simspeed counters, suite size,
+# fault-campaign health) to the committed trajectory file; failure is
+# reported but does not fail the sweep.
+if [ -n "$TRAJ" ] && [ -x "$BUILD_DIR/tools/cwsp_analyze" ]; then
+    label=${TRAJ_LABEL:-$(git rev-parse --short HEAD 2>/dev/null ||
+                          echo local)}
+    "$BUILD_DIR"/tools/cwsp_analyze --trajectory-append "$TRAJ" "$OUT" \
+        --label "$label" --date "$(date -u +%Y-%m-%d)" ||
+        echo "bench_all: trajectory append to $TRAJ failed" >&2
 fi

@@ -5,12 +5,18 @@
 # RelWithDebInfo tier-1 run can't: heap misuse in the ring buffers
 # and caches, UB in the timing arithmetic.
 #
+# A Release simulator-throughput smoke rides along at the end: it
+# runs the bench_simspeed aggregate case and warns (never fails) when
+# sims_per_sec drops more than 20% below the last committed
+# BENCH_trajectory.json entry.
+#
 # Usage:
 #   tools/ci_check.sh [sanitizer...]     # default: address undefined
 # Environment:
 #   BUILD_ROOT  directory for the sanitizer build trees
 #               (default: build-san)
 #   JOBS        parallel build/test jobs (default: nproc)
+#   BENCH_SMOKE 0 skips the Release bench_simspeed smoke (default: 1)
 
 set -euo pipefail
 
@@ -37,6 +43,13 @@ for san in "${SANITIZERS[@]}"; do
     cmake --build "$dir" -j "$JOBS"
     echo "== $san: ctest =="
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+    echo "== $san: replay-equivalence smoke =="
+    # The full ctest pass above already runs test_replay_equiv; this
+    # re-runs the trace/crash bit-identity cases standalone so a
+    # replay divergence under the sanitizer fails with its own banner
+    # instead of disappearing into the suite summary.
+    "$dir"/tests/test_replay_equiv --gtest_filter=\
+'ReplayEquiv.TraceStreamsIdentical:ReplayEquiv.CrashSweepIdentical'
     echo "== $san: invariant smoke (every scheme) =="
     # Online protocol checking over a small batch: attaches the
     # obs::InvariantMonitor to each simulation and fails on any
@@ -56,3 +69,69 @@ for san in "${SANITIZERS[@]}"; do
 done
 
 echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"
+
+# Release simulator-throughput smoke (warn-only). Sanitizer builds
+# cannot carry a perf floor, so this uses its own Release tree. The
+# floor is the last BENCH_trajectory.json entry's aggregate
+# sims_per_sec minus 20% — generous enough to ride out box noise; a
+# real overhaul regression (the hot path is ~1.4x the trajectory
+# baseline) still trips it. Advisory only: wall-clock throughput on a
+# shared box is not a gate.
+BENCH_SMOKE=${BENCH_SMOKE:-1}
+if [ "$BENCH_SMOKE" = 1 ]; then
+    dir=$BUILD_ROOT/release
+    echo "== release: configure ($dir) =="
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+    echo "== release: build bench_simspeed =="
+    cmake --build "$dir" -j "$JOBS" --target bench_simspeed
+    echo "== release: bench_simspeed smoke (warn-only floor) =="
+    smoke=$dir/simspeed_smoke.json
+    "$dir"/bench/bench_simspeed \
+        --benchmark_filter='simspeed/aggregate' \
+        --benchmark_out="$smoke" --benchmark_out_format=json \
+        > /dev/null
+    python3 - "$smoke" BENCH_trajectory.json <<'EOF'
+import json
+import os
+import sys
+
+smoke_path, traj_path = sys.argv[1], sys.argv[2]
+with open(smoke_path) as f:
+    smoke = json.load(f)
+current = None
+for b in smoke.get("benchmarks", []):
+    # Prefer the median when the run used repetitions.
+    if b.get("name") == "simspeed/aggregate_median":
+        current = b.get("sims_per_sec")
+        break
+    if b.get("name") == "simspeed/aggregate":
+        current = b.get("sims_per_sec")
+if current is None:
+    print("bench smoke: no simspeed/aggregate case found (skipped)")
+    sys.exit(0)
+if not os.path.exists(traj_path):
+    print("bench smoke: {:.1f} sims/s (no {} yet; no floor)".format(
+        current, traj_path))
+    sys.exit(0)
+with open(traj_path) as f:
+    trajectory = json.load(f)
+floor_value, floor_label = None, None
+for entry in reversed(trajectory):
+    for metric, value in entry.get("metrics", {}).items():
+        if metric.endswith("[simspeed/aggregate].sims_per_sec"):
+            floor_value, floor_label = value, entry.get("name")
+            break
+    if floor_value is not None:
+        break
+if floor_value is None:
+    print("bench smoke: {:.1f} sims/s (no trajectory floor)".format(
+        current))
+    sys.exit(0)
+floor = 0.8 * floor_value
+verdict = "ok" if current >= floor else "WARNING: below floor"
+print("bench smoke: {:.1f} sims/s vs trajectory '{}' {:.1f} "
+      "(floor {:.1f}, -20%): {}".format(
+          current, floor_label, floor_value, floor, verdict))
+# Warn-only by design: exit clean either way.
+EOF
+fi

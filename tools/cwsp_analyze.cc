@@ -58,6 +58,11 @@ usage()
         " violations\n"
         "  --diff OLD NEW         compare two stats-JSON files; exit 1"
         " on regressions\n"
+        "  --trajectory-append TRAJ SUMMARY\n"
+        "                         append a labeled headline-metric"
+        " snapshot of\n"
+        "                         SUMMARY to the TRAJ JSON array"
+        " (creates it)\n"
         "selection (run modes):\n"
         "  --scheme NAME|all      scheme(s) to run (default cwsp)\n"
         "  --app NAME|all         app(s) to run (default fft)\n"
@@ -71,7 +76,12 @@ usage()
         "  --threshold F          relative change flagged (default"
         " 0.05)\n"
         "  --ignore SUBSTR        skip metrics containing SUBSTR"
-        " (repeatable)\n");
+        " (repeatable)\n"
+        "trajectory options:\n"
+        "  --label NAME           entry label (default: unlabeled)\n"
+        "  --date DATE            entry date string (optional)\n"
+        "  --keep SUBSTR          replace the kept-metric filter with"
+        " SUBSTR (repeatable)\n");
 }
 
 std::vector<std::string>
@@ -223,6 +233,24 @@ runDiff(const std::string &before, const std::string &after,
 }
 
 int
+runTrajectoryAppend(const std::string &traj,
+                    const std::string &summary,
+                    const obs::TrajectoryOptions &options)
+{
+    std::string error;
+    if (!obs::appendTrajectory(traj, summary, options, error)) {
+        std::fprintf(stderr,
+                     "cwsp_analyze --trajectory-append: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    std::printf("appended '%s' snapshot of %s to %s\n",
+                options.label.c_str(), summary.c_str(),
+                traj.c_str());
+    return 0;
+}
+
+int
 runMain(int argc, char **argv)
 {
     RunOptions opt;
@@ -230,9 +258,13 @@ runMain(int argc, char **argv)
     std::string app_spec = "fft";
     std::string suite;
     std::string diff_before, diff_after;
+    std::string traj_path, traj_summary;
     bool diff = false;
+    bool traj = false;
+    bool traj_keep_cleared = false;
     unsigned jobs = 0;
     obs::DiffOptions diff_options;
+    obs::TrajectoryOptions traj_options;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -253,6 +285,20 @@ runMain(int argc, char **argv)
             diff = true;
             diff_before = next();
             diff_after = next();
+        } else if (a == "--trajectory-append") {
+            traj = true;
+            traj_path = next();
+            traj_summary = next();
+        } else if (a == "--label")
+            traj_options.label = next();
+        else if (a == "--date")
+            traj_options.date = next();
+        else if (a == "--keep") {
+            if (!traj_keep_cleared) {
+                traj_options.keepSubstrings.clear();
+                traj_keep_cleared = true;
+            }
+            traj_options.keepSubstrings.push_back(next());
         } else if (a == "--scheme")
             scheme_spec = next();
         else if (a == "--app")
@@ -278,6 +324,9 @@ runMain(int argc, char **argv)
 
     if (diff)
         return runDiff(diff_before, diff_after, diff_options);
+    if (traj)
+        return runTrajectoryAppend(traj_path, traj_summary,
+                                   traj_options);
 
     auto schemes = resolveSchemes(scheme_spec);
     auto apps = resolveApps(app_spec, suite);

@@ -18,6 +18,8 @@
  * repeat invocation re-simulates nothing.
  */
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -356,8 +358,16 @@ runMain(int argc, char **argv)
     auto base = base_sim.run("main");
 
     core::WholeSystemSim sim(*mod, cfg);
-    sim::TraceBuffer trace(1 << 16,
-                           sim::parseTraceMask(trace_mask));
+    sim.setExpectedInstrs(workloads::estimatedInstrs(app));
+    // Size the trace ring for the run: a few events per instruction,
+    // clamped to a sane window (the ring keeps the newest events).
+    sim::TraceBuffer trace(
+        std::min<std::size_t>(
+            std::max<std::size_t>(
+                std::bit_ceil(workloads::estimatedInstrs(app) / 4),
+                1 << 12),
+            1 << 20),
+        sim::parseTraceMask(trace_mask));
     if (!trace_out.empty())
         sim.attachTrace(&trace);
     auto r = sim.run("main");
@@ -448,6 +458,13 @@ runMain(int argc, char **argv)
         g.result = golden;
         g.memory = &golden_mem;
         g.ioStream = &golden_io;
+        // Record the commit stream once so every sweep point replays
+        // its pristine epochs instead of re-interpreting the prefix.
+        core::CommitStream stream;
+        if (!cfg.scheme.batteryBacked) {
+            stream = core::recordCommitStream(*mod, "main", {});
+            g.stream = &stream;
+        }
         int failures = 0;
         for (const auto &p : chosen) {
             fault::CampaignCase c;

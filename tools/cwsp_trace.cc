@@ -9,6 +9,8 @@
  *   cwsp_trace --app radix --scheme capri --from 5000 --limit 50
  */
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -184,8 +186,15 @@ runMain(int argc, char **argv)
     interp::SparseMemory memory;
     mem::Hierarchy hierarchy(cfg.hierarchy, 1);
     auto sch = arch::makeScheme(cfg.scheme, hierarchy, 1);
-    sim::TraceBuffer trace(1 << 16,
-                           sim::parseTraceMask(trace_mask));
+    sim::TraceBuffer trace(
+        std::min<std::size_t>(
+            std::max<std::size_t>(
+                std::bit_ceil(workloads::estimatedInstrs(
+                                  workloads::appByName(app_name)) /
+                              4),
+                1 << 12),
+            1 << 20),
+        sim::parseTraceMask(trace_mask));
     if (!trace_out.empty()) {
         hierarchy.setTrace(&trace);
         sch->setTrace(&trace);
