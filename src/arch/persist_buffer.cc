@@ -67,4 +67,34 @@ PersistBuffer::complete(Tick ack_time, sim::StallCause cause)
     }
 }
 
+void
+PersistBuffer::captureState(sim::StateWriter &w) const
+{
+    w.pod<std::uint64_t>(head_);
+    w.pod<std::uint64_t>(tail_);
+    for (std::size_t i = head_; i != tail_; ++i) {
+        w.pod(release_[i & ringMask_]);
+        w.pod(cause_[i & ringMask_]);
+    }
+    w.pod(reservations_);
+    w.pod(fullStalls_);
+    w.pod(pendingReservation_);
+}
+
+void
+PersistBuffer::restoreState(sim::StateReader &r)
+{
+    head_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    tail_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cwsp_assert(tail_ - head_ <= ringMask_ + 1,
+                "PB restore exceeds ring capacity");
+    for (std::size_t i = head_; i != tail_; ++i) {
+        release_[i & ringMask_] = r.pod<Tick>();
+        cause_[i & ringMask_] = r.pod<std::uint8_t>();
+    }
+    reservations_ = r.pod<std::uint64_t>();
+    fullStalls_ = r.pod<std::uint64_t>();
+    pendingReservation_ = r.pod<bool>();
+}
+
 } // namespace cwsp::arch

@@ -59,6 +59,14 @@ class PersistBuffer
         lane_ = lane;
     }
 
+    /**
+     * Checkpointing: ring cursors, in-flight window, and the
+     * aggregate counters. Restore requires a PB built with the same
+     * capacity (trace attachment is re-established by the caller).
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   private:
     std::size_t size() const { return tail_ - head_; }
 

@@ -93,4 +93,40 @@ RegionBoundaryTable::recordStoreAck(Tick ack)
     currentPersistMax_ = std::max(currentPersistMax_, ack);
 }
 
+void
+RegionBoundaryTable::captureState(sim::StateWriter &w) const
+{
+    w.pod<std::uint64_t>(head_);
+    w.pod<std::uint64_t>(tail_);
+    for (std::size_t i = head_; i != tail_; ++i) {
+        w.pod(freeTime_[i & ringMask_]);
+        w.pod(persistMax_[i & ringMask_]);
+        w.pod(ids_[i & ringMask_]);
+    }
+    w.pod(prevFreeTime_);
+    w.pod(currentPersistMax_);
+    w.pod(currentId_);
+    w.pod(open_);
+    w.pod(fullStalls_);
+}
+
+void
+RegionBoundaryTable::restoreState(sim::StateReader &r)
+{
+    head_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    tail_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cwsp_assert(tail_ - head_ <= ringMask_ + 1,
+                "RBT restore exceeds ring capacity");
+    for (std::size_t i = head_; i != tail_; ++i) {
+        freeTime_[i & ringMask_] = r.pod<Tick>();
+        persistMax_[i & ringMask_] = r.pod<Tick>();
+        ids_[i & ringMask_] = r.pod<RegionId>();
+    }
+    prevFreeTime_ = r.pod<Tick>();
+    currentPersistMax_ = r.pod<Tick>();
+    currentId_ = r.pod<RegionId>();
+    open_ = r.pod<bool>();
+    fullStalls_ = r.pod<std::uint64_t>();
+}
+
 } // namespace cwsp::arch

@@ -62,6 +62,14 @@ class RegionBoundaryTable
         lane_ = lane;
     }
 
+    /**
+     * Checkpointing: ring cursors, the closed-region window, the open
+     * region, and the counters. Restore requires an RBT built with
+     * the same capacity.
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   private:
     std::uint32_t capacity_;
     /**

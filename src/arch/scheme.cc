@@ -310,6 +310,58 @@ Scheme::rbtFullStalls() const
     return n;
 }
 
+void
+Scheme::captureState(sim::StateWriter &w) const
+{
+    for (const CoreState &cs : cores_) {
+        w.pod(cs.cycle);
+        w.pod(cs.instrs);
+        w.pod(cs.stores);
+        w.pod(cs.boundaries);
+        w.pod(cs.regionInstrSum);
+        w.pod(cs.regionStartInstr);
+        w.pod(cs.storesInRegion);
+        w.pod(cs.lastAckMax);
+        w.pod(cs.lastAckCause);
+        w.pod(cs.pendingAtomic);
+        cs.pb.captureState(w);
+        cs.rbt.captureState(w);
+        cs.path.captureState(w);
+        cs.linePersist.captureState(w);
+        w.pod(cs.linePersistOps);
+    }
+    w.pod(nextRegionId_);
+    regionInstrHist_.captureState(w);
+    pbStallHist_.captureState(w);
+    captureExtraState(w);
+}
+
+void
+Scheme::restoreState(sim::StateReader &r)
+{
+    for (CoreState &cs : cores_) {
+        cs.cycle = r.pod<Tick>();
+        cs.instrs = r.pod<std::uint64_t>();
+        cs.stores = r.pod<std::uint64_t>();
+        cs.boundaries = r.pod<std::uint64_t>();
+        cs.regionInstrSum = r.pod<std::uint64_t>();
+        cs.regionStartInstr = r.pod<std::uint64_t>();
+        cs.storesInRegion = r.pod<std::uint64_t>();
+        cs.lastAckMax = r.pod<Tick>();
+        cs.lastAckCause = r.pod<sim::StallCause>();
+        cs.pendingAtomic = r.pod<CoreState::PendingAtomic>();
+        cs.pb.restoreState(r);
+        cs.rbt.restoreState(r);
+        cs.path.restoreState(r);
+        cs.linePersist.restoreState(r);
+        cs.linePersistOps = r.pod<std::uint64_t>();
+    }
+    nextRegionId_ = r.pod<RegionId>();
+    regionInstrHist_.restoreState(r);
+    pbStallHist_.restoreState(r);
+    restoreExtraState(r);
+}
+
 std::unique_ptr<Scheme>
 makeScheme(const SchemeConfig &config, mem::Hierarchy &hierarchy,
            std::uint32_t num_cores)

@@ -207,7 +207,27 @@ class Scheme : public interp::CommitSink
      */
     virtual void setTrace(sim::TraceBuffer *trace);
 
+    /**
+     * Checkpointing: every core's clocks, counters, and persist
+     * machinery (PB, RBT, persist path, line-persist map), the shared
+     * region-id counter, and the region/PB-stall histograms.
+     * Subclasses append their private persist state through
+     * captureExtraState(). The recording-log pointers and the trace
+     * sink are deliberately NOT part of the state — the forking
+     * caller re-attaches its own. Restore requires a scheme built
+     * with the same config and core count.
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   protected:
+    /** Subclass-private persist state (Capri redo, ReplayCache). */
+    virtual void captureExtraState(sim::StateWriter &w) const
+    {
+        (void)w;
+    }
+    virtual void restoreExtraState(sim::StateReader &r) { (void)r; }
+
     sim::TraceBuffer *trace_ = nullptr;
     struct CoreState
     {

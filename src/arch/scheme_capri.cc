@@ -42,6 +42,20 @@ class CapriScheme final : public Scheme
     }
 
   protected:
+    void
+    captureExtraState(sim::StateWriter &w) const override
+    {
+        for (const PersistBuffer &rb : redo_)
+            rb.captureState(w);
+    }
+
+    void
+    restoreExtraState(sim::StateReader &r) override
+    {
+        for (PersistBuffer &rb : redo_)
+            rb.restoreState(r);
+    }
+
     /** Run one 64-byte line through redo buffer → path → WPQ. */
     PersistOutcome
     capriPersist(CoreId core, Addr addr, Tick now)

@@ -30,6 +30,30 @@ class ReplayCacheScheme final : public Scheme
     }
 
   protected:
+    void
+    captureExtraState(sim::StateWriter &w) const override
+    {
+        // Indexes into the recording bundle's store vector; the fork
+        // restores them against the checkpoint's bundle copy, whose
+        // prefix they were built over.
+        for (const auto &pending : pendingRecords_) {
+            w.pod<std::uint64_t>(pending.size());
+            for (std::size_t idx : pending)
+                w.pod<std::uint64_t>(idx);
+        }
+    }
+
+    void
+    restoreExtraState(sim::StateReader &r) override
+    {
+        for (auto &pending : pendingRecords_) {
+            pending.resize(
+                static_cast<std::size_t>(r.pod<std::uint64_t>()));
+            for (std::size_t &idx : pending)
+                idx = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        }
+    }
+
     Tick
     onStore(CoreId core, const interp::CommitInfo &info,
             Tick) override

@@ -50,9 +50,28 @@ computeCrashState(Tick crash_tick,
     if (trace)
         trace->record(sim::TraceEventKind::CrashInject, 0, crash_tick);
 
+    // Dynamic region ids are assigned from a per-epoch sequential
+    // counter, so the id space of one recording is dense: flat
+    // vectors replace tree maps on every per-store path (this
+    // function runs once per crash case over the whole persist log).
+    RegionId maxRegion = 0;
+    std::uint32_t maxCore = num_cores;
+    for (const auto &ev : regions)
+        maxRegion = std::max(maxRegion, ev.region);
+    bool anyAtomic = false;
+    for (const auto &s : stores) {
+        maxRegion = std::max(maxRegion, s.region);
+        maxCore = std::max(maxCore,
+                           static_cast<std::uint32_t>(s.core) + 1);
+        anyAtomic |= s.isAtomic && s.persistTime <= crash_tick;
+    }
+    cwsp_assert(maxRegion <= regions.size() + stores.size() + 1024,
+                "region id space is not dense");
+    const std::size_t nR = static_cast<std::size_t>(maxRegion) + 1;
+
     // Region metadata: begin events per core in program order (only
     // those that actually happened before the crash).
-    std::map<RegionId, const arch::RegionEvent *> byId;
+    std::vector<const arch::RegionEvent *> byId(nR, nullptr);
     std::vector<std::vector<const arch::RegionEvent *>> perCore(
         num_cores);
     for (const auto &ev : regions) {
@@ -67,26 +86,47 @@ computeCrashState(Tick crash_tick,
     // complete; it is never re-executed. Realize this by clamping the
     // region's record timestamps to the atomic's admission and
     // remembering the region as force-complete.
-    std::vector<arch::StoreRecord> adjusted(stores);
-    std::set<std::pair<CoreId, RegionId>> atomicDone;
-    {
-        std::map<std::pair<CoreId, RegionId>, Tick> atomicAdmit;
-        for (const auto &s : adjusted) {
-            if (s.isAtomic && s.persistTime <= crash_tick)
-                atomicAdmit[{s.core, s.region}] = s.persistTime;
-        }
-        for (auto &s : adjusted) {
-            auto it = atomicAdmit.find({s.core, s.region});
-            if (it == atomicAdmit.end())
-                continue;
-            s.persistTime = std::min(s.persistTime, it->second);
-            s.ackTime = std::min(s.ackTime, it->second);
-        }
-        for (const auto &[key, when] : atomicAdmit) {
-            (void)when;
-            atomicDone.insert(key);
+    //
+    // The records are only materialized (copied) when an adjustment
+    // can actually happen — an admitted atomic, or a torn-append
+    // fault bound to this failure; the common case reads `stores`
+    // in place.
+    bool tornRequested = false;
+    if (opts.faults) {
+        for (const auto &f :
+             opts.faults->faultsFor(opts.crashIndex)) {
+            tornRequested |= f.kind == fault::FaultKind::TornAppend;
         }
     }
+    std::vector<arch::StoreRecord> adjustedStorage;
+    if (anyAtomic || tornRequested)
+        adjustedStorage = stores;
+    std::vector<arch::StoreRecord> &adjusted = adjustedStorage;
+    const std::vector<arch::StoreRecord> &stores_adj =
+        adjustedStorage.empty() ? stores : adjustedStorage;
+    std::vector<std::uint8_t> atomicDone;
+    if (anyAtomic) {
+        atomicDone.assign(maxCore * nR, 0);
+        std::vector<Tick> atomicAdmit(maxCore * nR, kTickNever);
+        for (const auto &s : adjusted) {
+            if (s.isAtomic && s.persistTime <= crash_tick)
+                atomicAdmit[s.core * nR + s.region] = s.persistTime;
+        }
+        for (auto &s : adjusted) {
+            Tick at = atomicAdmit[s.core * nR + s.region];
+            if (at == kTickNever)
+                continue;
+            s.persistTime = std::min(s.persistTime, at);
+            s.ackTime = std::min(s.ackTime, at);
+        }
+        for (std::size_t i = 0; i < atomicAdmit.size(); ++i) {
+            if (atomicAdmit[i] != kTickNever)
+                atomicDone[i] = 1;
+        }
+    }
+    auto atomic_done = [&](std::uint32_t c, RegionId r) {
+        return !atomicDone.empty() && atomicDone[c * nR + r] != 0;
+    };
 
     // Per-(core, region) max *acknowledgement* time: the protocol's
     // notion of region persistence (RBT PendingWrs) follows MC acks,
@@ -99,25 +139,24 @@ computeCrashState(Tick crash_tick,
     // instant (see StoreRecord::isCkpt). Recomputable because a torn
     // in-flight append retroactively removes its store from the
     // admitted prefix.
-    std::map<std::pair<CoreId, RegionId>, Tick> maxAck;
-    std::map<RegionId, Tick> freeTime;
+    std::vector<Tick> maxAck(maxCore * nR, 0);
+    std::vector<Tick> freeTime(nR, kTickNever);
     std::vector<Tick> freeTime0(num_cores, kTickNever);
-    auto max_ack_of = [&maxAck](CoreId c, RegionId r) {
-        auto it = maxAck.find({c, r});
-        return it == maxAck.end() ? Tick{0} : it->second;
+    auto max_ack_of = [&](std::uint32_t c, RegionId r) {
+        return maxAck[c * nR + r];
     };
     auto recompute_timing = [&]() {
-        maxAck.clear();
-        freeTime.clear();
+        maxAck.assign(maxCore * nR, 0);
+        freeTime.assign(nR, kTickNever);
         freeTime0.assign(num_cores, kTickNever);
-        for (const auto &s : adjusted) {
+        for (const auto &s : stores_adj) {
             // A record that never reached the WPQ — a torn in-flight
             // append, or a replay-at-boundary store whose replay
             // never ran (ReplayCache) — pins its region unpersisted:
             // ack = kTickNever dominates the max, so the region
             // re-executes even when the core already finished and the
             // region otherwise looks complete.
-            auto &mp = maxAck[{s.core, s.region}];
+            Tick &mp = maxAck[s.core * nR + s.region];
             mp = std::max(mp, s.ackTime);
         }
         for (std::uint32_t c = 0; c < num_cores; ++c) {
@@ -130,7 +169,7 @@ computeCrashState(Tick crash_tick,
                 bool complete =
                     (i + 1 < evs.size()) ||
                     program_finished_at[c] <= crash_tick ||
-                    atomicDone.count({c, ev->region}) > 0;
+                    atomic_done(c, ev->region);
                 cascade = std::max(cascade,
                                    max_ack_of(c, ev->region));
                 freeTime[ev->region] =
@@ -150,11 +189,10 @@ computeCrashState(Tick crash_tick,
                 return s.core >= num_cores ||
                        freeTime0[s.core] > crash_tick;
             }
-            auto it = freeTime.find(s.region);
-            return it == freeTime.end() || it->second > crash_tick;
+            return freeTime[s.region] > crash_tick;
         }
-        auto it = byId.find(s.region);
-        return it != byId.end() && it->second->specEnd > crash_tick;
+        const arch::RegionEvent *ev = byId[s.region];
+        return ev != nullptr && ev->specEnd > crash_tick;
     };
 
     // Torn-append fault: the failure cut the newest in-flight
@@ -165,7 +203,7 @@ computeCrashState(Tick crash_tick,
     // stays in the log area with a garbled payload.
     constexpr std::size_t kNoTorn = ~std::size_t{0};
     std::size_t tornIdx = kNoTorn;
-    if (opts.faults) {
+    if (tornRequested) {
         for (const auto &f :
              opts.faults->faultsFor(opts.crashIndex)) {
             if (f.kind != fault::FaultKind::TornAppend)
@@ -191,7 +229,6 @@ computeCrashState(Tick crash_tick,
             }
         }
     }
-    const std::vector<arch::StoreRecord> &stores_adj = adjusted;
 
     // 1. Apply the persisted prefix, building surviving undo logs and
     // the stamped checkpoint-slot image.
@@ -241,12 +278,15 @@ computeCrashState(Tick crash_tick,
                          (unsigned long long)s.ackTime, s.logged,
                          s.isCkpt, s.isAtomic);
         }
-        for (const auto &[key, t] : maxAck) {
-            std::fprintf(stderr, "  maxAck core%u rgn%llu = %llu\n",
-                         key.first, (unsigned long long)key.second,
-                         (unsigned long long)t);
-            if (key.second > 6)
-                break;
+        for (std::uint32_t c = 0; c < maxCore; ++c) {
+            for (RegionId r = 0; r <= maxRegion && r <= 6; ++r) {
+                if (maxAck[c * nR + r] == 0)
+                    continue;
+                std::fprintf(
+                    stderr, "  maxAck core%u rgn%llu = %llu\n", c,
+                    (unsigned long long)r,
+                    (unsigned long long)maxAck[c * nR + r]);
+            }
         }
     }
 
@@ -271,7 +311,7 @@ computeCrashState(Tick crash_tick,
             const auto *ev = evs[i];
             bool complete = (i + 1 < evs.size()) ||
                             program_finished_at[c] <= crash_tick ||
-                            atomicDone.count({c, ev->region}) > 0;
+                            atomic_done(c, ev->region);
             if (!complete ||
                 max_ack_of(c, ev->region) > crash_tick) {
                 rp.hasWork = true;
@@ -425,11 +465,10 @@ computeCrashState(Tick crash_tick,
                 action = 2;
             }
             if (trace) {
-                auto it = byId.find(cr.region);
+                const arch::RegionEvent *ev =
+                    cr.region < nR ? byId[cr.region] : nullptr;
                 std::uint16_t lane =
-                    it == byId.end()
-                        ? 0
-                        : sim::coreLane(it->second->core);
+                    ev == nullptr ? 0 : sim::coreLane(ev->core);
                 trace->record(sim::TraceEventKind::LogFault, lane,
                               crash_tick, 0, cr.seq, action);
             }
@@ -471,11 +510,10 @@ computeCrashState(Tick crash_tick,
                            recs[i].oldValue});
             ++state.revertedStores;
             if (trace) {
-                auto bit = byId.find(it->first);
+                const arch::RegionEvent *ev =
+                    it->first < nR ? byId[it->first] : nullptr;
                 std::uint16_t lane =
-                    bit == byId.end()
-                        ? 0
-                        : sim::coreLane(bit->second->core);
+                    ev == nullptr ? 0 : sim::coreLane(ev->core);
                 trace->record(sim::TraceEventKind::UndoRollback,
                               lane, crash_tick, 0, addr, it->first);
             }
@@ -493,8 +531,7 @@ computeCrashState(Tick crash_tick,
     // Release device operations of persisted regions, in issue order
     // (Section VIII: the I/O redo buffers flush region-by-region).
     for (const auto &op : io) {
-        auto it = freeTime.find(op.region);
-        if (it != freeTime.end() && it->second <= crash_tick)
+        if (op.region < nR && freeTime[op.region] <= crash_tick)
             state.releasedIo.push_back(op);
     }
     return state;

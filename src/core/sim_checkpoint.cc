@@ -1,0 +1,159 @@
+#include "core/sim_checkpoint.hh"
+
+#include <cstdlib>
+
+#include "sim/stats.hh"
+
+namespace cwsp::core {
+
+namespace {
+
+std::size_t
+snapshotBytes(const interp::ControlSnapshot &snap)
+{
+    return snap.frames.capacity() * sizeof(interp::Frame) +
+           sizeof(snap);
+}
+
+} // namespace
+
+std::size_t
+SimCheckpoint::bytes() const
+{
+    std::size_t b = sizeof(*this);
+    b += componentBytes.capacity() + traceBytes.capacity();
+    b += finishedAt.capacity() * sizeof(Tick) +
+         coreReturns.capacity() * sizeof(Word) +
+         coreFinished.capacity();
+    for (const auto &t : threads)
+        b += sizeof(t) + t.entry.size() +
+             t.args.capacity() * sizeof(Word);
+    if (bundle) {
+        b += bundle->stores.capacity() * sizeof(arch::StoreRecord);
+        b += bundle->regions.capacity() * sizeof(arch::RegionEvent);
+        b += bundle->io.capacity() * sizeof(arch::IoRecord);
+        for (const auto &kv : bundle->snapshots)
+            b += snapshotBytes(kv.second) + 64; // map node overhead
+    }
+    for (const auto &snap : exactSnaps)
+        b += snapshotBytes(snap);
+    if (memory)
+        b += memory->residentBytes();
+    return b;
+}
+
+CheckpointCache::CheckpointCache(std::size_t max_bytes)
+    : capBytes_(max_bytes != 0 ? max_bytes : defaultCapBytes())
+{
+}
+
+std::size_t
+CheckpointCache::defaultCapBytes()
+{
+    if (const char *env = std::getenv("CWSP_CKPT_CACHE_MB")) {
+        char *end = nullptr;
+        unsigned long long mb = std::strtoull(env, &end, 10);
+        if (end != env)
+            return static_cast<std::size_t>(mb) * 1024 * 1024;
+    }
+    return 256ull * 1024 * 1024;
+}
+
+void
+CheckpointCache::insert(const std::string &key,
+                        std::shared_ptr<const SimCheckpoint> ckpt)
+{
+    if (!ckpt)
+        return;
+    std::size_t sz = ckpt->bytes();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.captures;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        residentBytes_ -= it->second.bytes;
+        lru_.erase(it->second.lruIt);
+        entries_.erase(it);
+    }
+    if (sz > capBytes_) {
+        // Larger than the whole cache: never resident. The sweep
+        // falls back to from-scratch for this crash point.
+        ++stats_.evictions;
+        return;
+    }
+    lru_.push_front(key);
+    entries_[key] = Entry{std::move(ckpt), sz, lru_.begin()};
+    residentBytes_ += sz;
+    evictToFitLocked();
+}
+
+std::shared_ptr<const SimCheckpoint>
+CheckpointCache::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    it->second.lruIt = lru_.begin();
+    return it->second.ckpt;
+}
+
+void
+CheckpointCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    lru_.clear();
+    residentBytes_ = 0;
+}
+
+void
+CheckpointCache::noteFork()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.forks;
+}
+
+void
+CheckpointCache::noteFallback()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fallbacks;
+}
+
+void
+CheckpointCache::evictToFitLocked()
+{
+    while (residentBytes_ > capBytes_ && !lru_.empty()) {
+        const std::string &victim = lru_.back();
+        auto it = entries_.find(victim);
+        residentBytes_ -= it->second.bytes;
+        entries_.erase(it);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+CheckpointCache::Stats
+CheckpointCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s = stats_;
+    s.bytesResident = residentBytes_;
+    s.entries = entries_.size();
+    return s;
+}
+
+void
+CheckpointCache::fillStats(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    Stats s = stats();
+    reg.counter(prefix + "ckpt.captures").inc(s.captures);
+    reg.counter(prefix + "ckpt.forks").inc(s.forks);
+    reg.counter(prefix + "ckpt.evictions").inc(s.evictions);
+    reg.counter(prefix + "ckpt.fallbacks").inc(s.fallbacks);
+    reg.counter(prefix + "ckpt.bytesResident").inc(s.bytesResident);
+}
+
+} // namespace cwsp::core

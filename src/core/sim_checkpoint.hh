@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Simulator checkpoints for checkpoint-fork crash sweeps. A
+ * SimCheckpoint captures the complete hot state of a WholeSystemSim
+ * at one crash instant of the golden (uninterrupted) run: machine
+ * identity, the recorded persistence bundle prefix, the scheme and
+ * hierarchy component state as one flat byte blob, the trace-ring
+ * window, and — for battery-backed schemes — the exact memory image
+ * and per-core control snapshots. A crash case *forks* from its
+ * checkpoint: runWithCrashes() restores the capture-instant state
+ * onto a freshly reset component tree and simulates only the crash,
+ * the recovery, and the post-resume tail, instead of re-executing the
+ * whole pre-crash prefix. Results are bit-identical to from-scratch
+ * execution (pinned by tests/test_ckpt_equiv.cc).
+ *
+ * CheckpointCache is the sharing layer: a thread-safe, byte-capped
+ * LRU map from sweep keys to immutable checkpoints, shared read-only
+ * across BatchRunner workers. When the CWSP_CKPT_CACHE_MB cap evicts
+ * an entry, the affected case falls back to from-scratch execution —
+ * slower, never wrong.
+ */
+
+#ifndef CWSP_CORE_SIM_CHECKPOINT_HH
+#define CWSP_CORE_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/whole_system_sim.hh"
+#include "interp/machine_state.hh"
+
+namespace cwsp::core {
+
+/** Full hot state of a simulation at one pre-crash instant. */
+struct SimCheckpoint
+{
+    // ---- Identity: a fork is only legal onto a sim with the same
+    // program, scheme, thread set, and crash tick; runWithCrashes()
+    // falls back to from-scratch execution on any mismatch.
+    const ir::Module *module = nullptr;
+    std::string schemeName;
+    std::vector<ThreadSpec> threads;
+    Tick crashTick = 0;
+
+    // ---- Execution position at the capture instant.
+    std::uint64_t steps = 0; ///< instruction budget consumed
+    std::vector<Tick> finishedAt;
+    std::vector<Word> coreReturns;
+    std::vector<std::uint8_t> coreFinished;
+
+    /**
+     * Copy of the recording bundle prefix (stores, regions, device
+     * ops, boundary-snapshot window) at the capture instant. Shared
+     * read-only by every fork of this checkpoint; resume points built
+     * by the fork's crash handling index into it.
+     */
+    std::shared_ptr<const RecordingBundle> bundle;
+
+    /**
+     * Scheme + hierarchy component state (positional protocol of
+     * sim/state_capture.hh): scheme core clocks, PB/RBT rings,
+     * persist paths, line-persist maps, scheme extras (Capri redo
+     * buffers, ReplayCache pending records), cache SoA slabs, write
+     * buffers, MC slot/media rings and WPQ occupancy, and every
+     * component statistic.
+     */
+    std::vector<std::uint8_t> componentBytes;
+
+    // ---- Trace ring window (captured only when a trace buffer was
+    // attached during the golden run). A fork with an attached trace
+    // requires matching geometry, else it falls back.
+    bool hasTrace = false;
+    std::uint64_t traceCapacity = 0;
+    std::uint32_t traceMask = 0;
+    std::vector<std::uint8_t> traceBytes;
+
+    // ---- Battery-backed schemes (Capri): the crash handler reads
+    // the live memory image and snapshots the execution context, so
+    // both are part of the checkpoint. Null/empty otherwise (the
+    // non-battery crash path reconstructs durable state from the
+    // bundle alone).
+    std::unique_ptr<interp::SparseMemory> memory;
+    std::vector<interp::ControlSnapshot> exactSnaps;
+
+    /** Resident size estimate, for the cache byte cap. */
+    std::size_t bytes() const;
+};
+
+/**
+ * Thread-safe byte-capped LRU cache of immutable checkpoints, keyed
+ * by a caller-composed sweep key (app|scheme|config|tick). Eviction
+ * is least-recently-used; a miss after eviction is reported as a
+ * fallback by the caller (noteFallback) so sweeps surface when the
+ * byte cap degrades them.
+ */
+class CheckpointCache
+{
+  public:
+    /** @param max_bytes 0 = CWSP_CKPT_CACHE_MB env or 256 MB. */
+    explicit CheckpointCache(std::size_t max_bytes = 0);
+
+    /** Byte cap from CWSP_CKPT_CACHE_MB (256 MB default). */
+    static std::size_t defaultCapBytes();
+
+    std::size_t capBytes() const { return capBytes_; }
+
+    /**
+     * Insert (or replace) @p ckpt under @p key, then evict LRU
+     * entries until the resident bytes fit the cap. A checkpoint
+     * larger than the whole cap is never resident (counts as an
+     * immediate eviction).
+     */
+    void insert(const std::string &key,
+                std::shared_ptr<const SimCheckpoint> ckpt);
+
+    /**
+     * Fetch @p key, refreshing its LRU position. Null on miss — the
+     * caller falls back to from-scratch execution and should call
+     * noteFallback().
+     */
+    std::shared_ptr<const SimCheckpoint> get(const std::string &key);
+
+    /** Drop everything (stats survive). */
+    void clear();
+
+    /** One successful fork from a cached checkpoint. */
+    void noteFork();
+    /** One case that ran from scratch because its checkpoint was
+     *  missing, evicted, or incompatible. */
+    void noteFallback();
+
+    struct Stats
+    {
+        std::uint64_t captures = 0;  ///< checkpoints inserted
+        std::uint64_t forks = 0;     ///< cases forked from a hit
+        std::uint64_t evictions = 0; ///< entries dropped by the cap
+        std::uint64_t fallbacks = 0; ///< cases run from scratch
+        std::size_t bytesResident = 0;
+        std::size_t entries = 0;
+    };
+    Stats stats() const;
+
+    /**
+     * Report cache behaviour into @p reg as counters under
+     * @p prefix (ckpt.captures, ckpt.forks, ckpt.evictions,
+     * ckpt.fallbacks, ckpt.bytesResident).
+     */
+    void fillStats(StatsRegistry &reg,
+                   const std::string &prefix = "") const;
+
+  private:
+    void evictToFitLocked();
+
+    mutable std::mutex mu_;
+    std::size_t capBytes_;
+    std::size_t residentBytes_ = 0;
+    /** MRU-first recency list; entries point into it. */
+    std::list<std::string> lru_;
+    struct Entry
+    {
+        std::shared_ptr<const SimCheckpoint> ckpt;
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lruIt;
+    };
+    std::map<std::string, Entry> entries_;
+    Stats stats_;
+};
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_SIM_CHECKPOINT_HH

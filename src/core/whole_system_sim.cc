@@ -4,6 +4,8 @@
 
 #include "core/crash_injection.hh"
 #include "core/recovery_engine.hh"
+#include "core/sim_checkpoint.hh"
+#include "sim/state_capture.hh"
 #include "sim/stats.hh"
 #include "sim/logging.hh"
 
@@ -474,8 +476,9 @@ struct EpochEntry
     enum class Kind { Fresh, Resume, Continue, Done } kind =
         Kind::Fresh;
     ResumePoint rp{};
-    /** Bundle owning rp's control snapshot (Resume only). */
-    std::shared_ptr<RecordingBundle> bundle;
+    /** Bundle owning rp's control snapshot (Resume only). It may be
+     *  a checkpoint's immutable prefix copy, hence const. */
+    std::shared_ptr<const RecordingBundle> bundle;
     /** Exact crash-instant control state (Continue only): battery-
      *  backed schemes persist the execution context on failure. */
     interp::ControlSnapshot exact;
@@ -489,7 +492,8 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                                const fault::CrashSchedule &schedule,
                                const fault::FaultPlan &faults,
                                std::uint64_t max_instrs,
-                               const CommitStream *replay)
+                               const CommitStream *replay,
+                               const SimCheckpoint *fork)
 {
     using recovery_timing::kBootCycles;
     using recovery_timing::kCyclesPerReplayRecord;
@@ -501,6 +505,31 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
     cwsp_assert(!schedule.empty(),
                 "crash schedule must hold at least one failure");
     const std::size_t n = threads.size();
+
+    // A fork is only sound when the checkpoint describes exactly this
+    // run: same program, scheme, thread set, and first crash tick. An
+    // external trace sink must observe the prefix events (which a
+    // fork skips), and an attached trace ring must match the captured
+    // geometry; any mismatch falls back to from-scratch execution.
+    if (fork) {
+        bool usable = fork->module == module_ &&
+                      fork->schemeName == config_.scheme.name &&
+                      fork->threads.size() == n &&
+                      fork->crashTick == schedule.ticks[0] && !sink_;
+        for (std::size_t c = 0; usable && c < n; ++c) {
+            usable = fork->threads[c].entry == threads[c].entry &&
+                     fork->threads[c].args == threads[c].args;
+        }
+        if (trace_ &&
+            (!fork->hasTrace ||
+             fork->traceCapacity != trace_->capacity() ||
+             fork->traceMask != trace_->mask())) {
+            usable = false;
+        }
+        if (!usable)
+            fork = nullptr;
+    }
+
     CrashRunResult out;
     out.crashTick = schedule.ticks[0];
 
@@ -522,17 +551,37 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
         // loss empties every volatile structure) over the recovered
         // durable image.
         reset();
-        memory_ = std::make_unique<interp::SparseMemory>(durable);
-        auto bundle = std::make_shared<RecordingBundle>();
-        // Tightest available instruction estimate for log reserves:
-        // caller hint, else the stream's exact count, else the budget.
-        std::uint64_t expected = expectedInstrs_;
-        if (expected == 0 && replay)
-            expected = replay->steps;
-        scheme_->enableRecording(
-            &bundle->stores, &bundle->regions, &bundle->io,
-            expected != 0 ? std::min(max_instrs, 2 * expected)
-                          : max_instrs);
+        // The first epoch of a forked sweep restores the checkpoint
+        // instead of executing the pre-crash prefix. Later epochs
+        // (nested crashes) always execute normally.
+        const bool forkEpoch = fork != nullptr && firstEpoch;
+        std::shared_ptr<RecordingBundle> rec; // mutable; !forkEpoch
+        std::shared_ptr<const RecordingBundle> bundle;
+        if (forkEpoch) {
+            // The checkpoint's bundle copy stands in for this epoch's
+            // recording; battery-backed schemes also need the exact
+            // capture-instant memory image (the non-battery crash
+            // path reconstructs durable state from the bundle alone).
+            bundle = fork->bundle;
+            memory_ = fork->memory
+                          ? std::make_unique<interp::SparseMemory>(
+                                *fork->memory)
+                          : std::make_unique<interp::SparseMemory>();
+        } else {
+            memory_ = std::make_unique<interp::SparseMemory>(durable);
+            rec = std::make_shared<RecordingBundle>();
+            bundle = rec;
+            // Tightest available instruction estimate for log
+            // reserves: caller hint, else the stream's exact count,
+            // else the budget.
+            std::uint64_t expected = expectedInstrs_;
+            if (expected == 0 && replay)
+                expected = replay->steps;
+            scheme_->enableRecording(
+                &rec->stores, &rec->regions, &rec->io,
+                expected != 0 ? std::min(max_instrs, 2 * expected)
+                              : max_instrs);
+        }
 
         // A pristine-start epoch on one core (the first epoch, and
         // every full-restart retry) commits exactly the recorded
@@ -542,7 +591,8 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
         // Battery-backed schemes are excluded: their crash handling
         // snapshots live interpreter state.
         const bool replayEpoch =
-            replay && n == 1 && !config_.scheme.batteryBacked &&
+            !forkEpoch && replay && n == 1 &&
+            !config_.scheme.batteryBacked &&
             entries[0].kind == EpochEntry::Kind::Fresh &&
             durableEmpty && slotImage.empty() &&
             replay->matches(*module_, threads[0].entry,
@@ -550,18 +600,36 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
 
         std::vector<std::unique_ptr<interp::Interpreter>> cores;
         cores.reserve(n);
-        RecordingSink sink(*scheme_, *bundle, cores, keep);
         std::vector<Tick> finished_at(n, kTickNever);
         std::vector<Word> coreReturns(n, 0);
         std::uint64_t total = 0;
 
-        if (replayEpoch) {
+        if (forkEpoch) {
+            // Restore the capture-instant component state onto the
+            // freshly reset tree (reset() rebuilt it with identical
+            // configuration, so the positional protocol lines up).
+            sim::StateReader r(fork->componentBytes);
+            scheme_->restoreState(r);
+            hierarchy_->restoreState(r);
+            cwsp_assert(r.exhausted(),
+                        "checkpoint component bytes mismatch");
+            if (trace_ && fork->hasTrace) {
+                sim::StateReader tr(fork->traceBytes);
+                bool ok = trace_->restoreState(tr);
+                cwsp_assert(ok,
+                            "trace geometry was gated before fork");
+                (void)ok;
+            }
+            finished_at = fork->finishedAt;
+            coreReturns = fork->coreReturns;
+            total = fork->steps;
+        } else if (replayEpoch) {
             if (!firstEpoch && trace_) {
                 trace_->record(sim::TraceEventKind::RecoveryResume,
                                sim::coreLane(0), 0, 0, 0, 1);
             }
             ReplayOutcome ro = replaySegment(*replay, pendingDt,
-                                             bundle.get(), keep,
+                                             rec.get(), keep,
                                              max_instrs);
             total = ro.steps;
             if (ro.finished) {
@@ -571,6 +639,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
             if (!firstEpoch)
                 out.reexecutedInstrs += total;
         } else {
+        RecordingSink sink(*scheme_, *rec, cores, keep);
         bool slotFault = false;
         for (std::size_t c = 0; c < n; ++c) {
             if (entries[c].kind == EpochEntry::Kind::Done) {
@@ -692,7 +761,10 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
             if (firstEpoch) {
                 bool any_work = false;
                 for (std::size_t c = 0; c < n; ++c) {
-                    bool running = cores[c] && !cores[c]->finished();
+                    bool running =
+                        forkEpoch
+                            ? fork->coreFinished[c] == 0
+                            : (cores[c] && !cores[c]->finished());
                     any_work |= running;
                     out.resumeRegions.push_back(
                         running ? scheme_->currentRegion(
@@ -700,19 +772,27 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                                 : 0);
                 }
                 out.crashed = any_work;
-                out.result = collectStats(cores);
+                // coreReturns mirrors each core's returnValue() at
+                // the crash instant (restored from the checkpoint on
+                // a forked epoch), so this equals collectStats(cores).
+                out.result = collectStats(coreReturns);
             }
             for (std::size_t c = 0; c < n; ++c) {
                 EpochEntry &e = entries[c];
                 if (e.kind == EpochEntry::Kind::Done)
                     continue;
-                if (cores[c]->finished()) {
-                    Word rv = cores[c]->returnValue();
+                bool fin = forkEpoch ? fork->coreFinished[c] != 0
+                                     : cores[c]->finished();
+                if (fin) {
+                    Word rv = forkEpoch ? fork->coreReturns[c]
+                                        : cores[c]->returnValue();
                     e = EpochEntry{};
                     e.kind = EpochEntry::Kind::Done;
                     e.returnValue = rv;
                 } else {
-                    auto snap = cores[c]->exactSnapshot();
+                    auto snap = forkEpoch
+                                    ? fork->exactSnaps[c]
+                                    : cores[c]->exactSnapshot();
                     e = EpochEntry{};
                     e.kind = EpochEntry::Kind::Continue;
                     e.exact = std::move(snap);
@@ -1024,6 +1104,74 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
         }
     }
 
+    // Stream-driven completion: after a single healthy (fault-free)
+    // failure on one core, the resumed region re-executes over
+    // exactly the memory it saw in the recorded run — every earlier
+    // region is fully persisted, and the undo replay reverted every
+    // speculative store — so the re-execution's commit sequence is
+    // precisely the recorded stream from the resume region's begin.
+    // Apply that suffix directly (stores, device ops, step count)
+    // instead of re-interpreting it. prepareResume above already ran
+    // the recovery slices, so the timed recovery accounting and trace
+    // events are identical to the interpreted path.
+    const bool fastTail =
+        replay && n == 1 && schedule.ticks.size() == 1 &&
+        faults.faults.empty() && !config_.scheme.batteryBacked &&
+        replay->matches(*module_, threads[0].entry,
+                        threads[0].args) &&
+        entries[0].kind == EpochEntry::Kind::Resume &&
+        !entries[0].rp.restart && !entries[0].rp.resumeAfterAtomic;
+    if (fastTail) {
+        // Commit-unit index of the resume region's begin.
+        // instrsAtBegin includes the boundary commit itself, and the
+        // restored control snapshot sits AT the boundary, which
+        // therefore re-executes as the first resumed step: the replay
+        // cut starts one commit earlier.
+        std::uint64_t at_resume = 0;
+        for (const auto &ev : entries[0].bundle->regions) {
+            if (ev.region == entries[0].rp.region) {
+                at_resume = ev.instrsAtBegin;
+                break;
+            }
+        }
+        cwsp_assert(at_resume > 0,
+                    "resume region has no recorded begin");
+        const std::uint64_t cut = at_resume - 1;
+        std::uint64_t commits = 0;
+        std::uint64_t tailSteps = 0;
+        for (const CommitStream::Op &op : replay->ops) {
+            if (op.kind == CommitStream::kBatch1 ||
+                op.kind == CommitStream::kBatch2) {
+                // Each batched step is exactly one counted commit.
+                if (commits + op.aux > cut) {
+                    tailSteps += commits >= cut
+                                     ? op.aux
+                                     : commits + op.aux - cut;
+                }
+                commits += op.aux;
+                continue;
+            }
+            auto kind = static_cast<interp::CommitKind>(op.kind);
+            if (commits >= cut) {
+                if (op.flags & CommitStream::kFlagNewStep)
+                    ++tailSteps;
+                if (kind == interp::CommitKind::Store ||
+                    kind == interp::CommitKind::Atomic) {
+                    recovered->write(op.addr, op.value);
+                } else if (kind == interp::CommitKind::Io) {
+                    out.ioStream.push_back(
+                        arch::IoRecord{op.addr, op.value, 0, 0});
+                }
+            }
+            if (kind != interp::CommitKind::AtomicPrepare)
+                ++commits;
+        }
+        out.reexecutedInstrs += tailSteps;
+        out.result.returnValues[0] = replay->returnValue;
+        memory_ = std::move(recovered);
+        return out;
+    }
+
     std::uint64_t re_instrs = 0;
     while (true) {
         interp::Interpreter *next = nullptr;
@@ -1054,6 +1202,251 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 : post[c]->returnValue();
     }
     memory_ = std::move(recovered);
+    return out;
+}
+
+CheckpointRun
+WholeSystemSim::captureCheckpoints(
+    const std::vector<ThreadSpec> &threads,
+    const std::vector<Tick> &ticks, std::uint64_t max_instrs,
+    const CommitStream *replay)
+{
+    cwsp_assert(threads.size() >= 1 &&
+                    threads.size() <= config_.numCores,
+                "thread count must be in [1, numCores]");
+    cwsp_assert(std::is_sorted(ticks.begin(), ticks.end()),
+                "crash ticks must be sorted ascending");
+    const std::size_t n = threads.size();
+    const std::size_t keep = 4 * config_.scheme.rbtCapacity + 16;
+    CheckpointRun out;
+    out.checkpoints.reserve(ticks.size());
+
+    reset();
+    RecordingBundle bundle;
+    // Same reserve sizing as a crash epoch, so the recorded prefix is
+    // identical byte-for-byte to what epoch 1 would have recorded.
+    std::uint64_t expected = expectedInstrs_;
+    if (expected == 0 && replay)
+        expected = replay->steps;
+    scheme_->enableRecording(
+        &bundle.stores, &bundle.regions, &bundle.io,
+        expected != 0 ? std::min(max_instrs, 2 * expected)
+                      : max_instrs);
+
+    // Identity + bundle + component/trace state shared by both
+    // capture modes; per-core execution position is filled by the
+    // mode-specific capture closures.
+    auto baseCheckpoint = [&](Tick tick, std::uint64_t steps) {
+        auto ck = std::make_shared<SimCheckpoint>();
+        ck->module = module_;
+        ck->schemeName = config_.scheme.name;
+        ck->threads = threads;
+        ck->crashTick = tick;
+        ck->steps = steps;
+        ck->bundle = std::make_shared<RecordingBundle>(bundle);
+        sim::StateWriter w(ck->componentBytes);
+        scheme_->captureState(w);
+        hierarchy_->captureState(w);
+        if (trace_) {
+            ck->hasTrace = true;
+            ck->traceCapacity = trace_->capacity();
+            ck->traceMask = trace_->mask();
+            sim::StateWriter tw(ck->traceBytes);
+            trace_->captureState(tw);
+        }
+        ck->finishedAt.assign(n, kTickNever);
+        ck->coreReturns.assign(n, 0);
+        ck->coreFinished.assign(n, 0);
+        return ck;
+    };
+
+    const bool replayRun =
+        replay && n == 1 && !config_.scheme.batteryBacked &&
+        replay->matches(*module_, threads[0].entry, threads[0].args);
+
+    if (replayRun) {
+        // Stream-driven capture: replaySegment's cut rule, applied
+        // incrementally at every tick. Batches split exactly because
+        // retireBatch is purely additive: retiring (t-c)/per+1 steps,
+        // capturing, and retiring the rest lands every later tick on
+        // the same cycles as one uncut retirement.
+        arch::Scheme &sch = *scheme_;
+        constexpr CoreId core = 0;
+        std::size_t tickIdx = 0;
+        std::uint64_t total = 0;
+        std::size_t boundary_idx = 0;
+        std::vector<RegionId> ring;
+
+        auto capture = [&](Tick tick, bool finished) {
+            auto ck = baseCheckpoint(tick, total);
+            if (finished) {
+                ck->coreFinished[0] = 1;
+                ck->finishedAt[0] = sch.cycles(core);
+                ck->coreReturns[0] = replay->returnValue;
+            }
+            out.checkpoints.push_back(std::move(ck));
+        };
+
+        for (const CommitStream::Op &op : replay->ops) {
+            if (op.kind == CommitStream::kBatch1 ||
+                op.kind == CommitStream::kBatch2) {
+                const Tick per =
+                    op.kind == CommitStream::kBatch1 ? 1 : 2;
+                std::uint64_t done = 0;
+                while (done < op.aux) {
+                    std::uint64_t run = op.aux - done;
+                    while (tickIdx < ticks.size()) {
+                        Tick c = sch.cycles(core);
+                        if (c > ticks[tickIdx]) {
+                            // The cut rule stops exactly here for
+                            // this tick.
+                            capture(ticks[tickIdx], false);
+                            ++tickIdx;
+                            continue;
+                        }
+                        // Retire only the steps the cut rule admits
+                        // for the nearest tick, then capture.
+                        std::uint64_t fit =
+                            (ticks[tickIdx] - c) / per + 1;
+                        if (fit < run)
+                            run = fit;
+                        break;
+                    }
+                    total += run;
+                    if (total > max_instrs)
+                        cwsp_fatal("instruction budget exceeded (",
+                                   max_instrs, ")");
+                    sch.retireBatch(core, run,
+                                    static_cast<Tick>(run) * per);
+                    done += run;
+                }
+                continue;
+            }
+
+            if (op.flags & CommitStream::kFlagNewStep) {
+                while (tickIdx < ticks.size() &&
+                       sch.cycles(core) > ticks[tickIdx]) {
+                    capture(ticks[tickIdx], false);
+                    ++tickIdx;
+                }
+                if (++total > max_instrs)
+                    cwsp_fatal("instruction budget exceeded (",
+                               max_instrs, ")");
+            }
+
+            interp::CommitInfo info;
+            info.kind = static_cast<interp::CommitKind>(op.kind);
+            info.core = core;
+            info.addr = op.addr;
+            info.storeValue = op.value;
+            info.isCheckpoint =
+                (op.flags & CommitStream::kFlagCkpt) != 0;
+            info.func = op.func;
+            if (info.kind == interp::CommitKind::Boundary)
+                info.staticRegion = op.aux;
+            if (info.kind == interp::CommitKind::Store ||
+                info.kind == interp::CommitKind::Atomic) {
+                memory_->write(op.addr, op.value);
+            }
+            sch.onCommit(info);
+            if (info.kind == interp::CommitKind::Boundary) {
+                RegionId id = sch.currentRegion(core);
+                const CommitStream::SnapRef &ref =
+                    replay->snapRefs[boundary_idx];
+                auto &snap = bundle.snapshots[id];
+                snap.frames.assign(
+                    replay->frames.begin() + ref.begin,
+                    replay->frames.begin() + ref.begin + ref.count);
+                ring.push_back(id);
+                if (ring.size() > keep) {
+                    bundle.snapshots.erase(ring.front());
+                    ring.erase(ring.begin());
+                }
+                ++boundary_idx;
+            }
+        }
+        // Ticks at or past completion: a crash there finds the
+        // finished state.
+        while (tickIdx < ticks.size()) {
+            capture(ticks[tickIdx], true);
+            ++tickIdx;
+        }
+        out.result =
+            collectStats(std::vector<Word>{replay->returnValue});
+        return out;
+    }
+
+    // Interpreted capture (any scheme, any core count).
+    std::vector<std::unique_ptr<interp::Interpreter>> cores;
+    cores.reserve(n);
+    RecordingSink sink(*scheme_, bundle, cores, keep);
+    for (std::size_t c = 0; c < n; ++c) {
+        cores.push_back(std::make_unique<interp::Interpreter>(
+            *module_, *memory_, static_cast<CoreId>(c)));
+        cores[c]->start(threads[c].entry, threads[c].args, sink);
+    }
+    std::vector<Tick> finished_at(n, kTickNever);
+    std::uint64_t total = 0;
+    std::size_t tickIdx = 0;
+
+    auto capture = [&](Tick tick) {
+        auto ck = baseCheckpoint(tick, total);
+        ck->finishedAt = finished_at;
+        for (std::size_t c = 0; c < n; ++c) {
+            bool fin = cores[c]->finished();
+            ck->coreFinished[c] = fin ? 1 : 0;
+            if (fin && ck->finishedAt[c] == kTickNever) {
+                ck->finishedAt[c] =
+                    scheme_->cycles(static_cast<CoreId>(c));
+            }
+            ck->coreReturns[c] = cores[c]->returnValue();
+        }
+        if (config_.scheme.batteryBacked) {
+            // The battery crash handler reads the live memory and
+            // snapshots the execution context of running cores.
+            ck->memory =
+                std::make_unique<interp::SparseMemory>(*memory_);
+            ck->exactSnaps.resize(n);
+            for (std::size_t c = 0; c < n; ++c)
+                if (!cores[c]->finished())
+                    ck->exactSnaps[c] = cores[c]->exactSnapshot();
+        }
+        out.checkpoints.push_back(std::move(ck));
+    };
+
+    while (true) {
+        interp::Interpreter *next = nullptr;
+        Tick best = kTickNever;
+        for (std::size_t c = 0; c < n; ++c) {
+            auto cid = static_cast<CoreId>(c);
+            if (cores[c]->finished()) {
+                if (finished_at[c] == kTickNever)
+                    finished_at[c] = scheme_->cycles(cid);
+                continue;
+            }
+            Tick t = scheme_->cycles(cid);
+            if (t < best) {
+                best = t;
+                next = cores[c].get();
+            }
+        }
+        // The crash-epoch schedule (skip cores past the crash tick)
+        // is a prefix of this free-run schedule: the moment the
+        // minimum clock passes a tick — or every core finishes — the
+        // state equals the crash epoch's stopped state at that tick.
+        while (tickIdx < ticks.size() &&
+               (!next || best > ticks[tickIdx])) {
+            capture(ticks[tickIdx]);
+            ++tickIdx;
+        }
+        if (!next)
+            break;
+        next->step(sink);
+        if (++total > max_instrs)
+            cwsp_fatal("instruction budget exceeded (", max_instrs,
+                       ")");
+    }
+    out.result = collectStats(cores);
     return out;
 }
 

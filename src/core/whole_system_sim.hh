@@ -137,6 +137,17 @@ std::vector<arch::IoRecord>
 collectIoStream(const ir::Module &module, const std::string &entry,
                 const std::vector<Word> &args);
 
+struct SimCheckpoint; // core/sim_checkpoint.hh
+
+/** Outcome of a checkpoint-capture run. */
+struct CheckpointRun
+{
+    /** One checkpoint per requested tick, in tick order. */
+    std::vector<std::shared_ptr<const SimCheckpoint>> checkpoints;
+    /** The run always completes, so it doubles as the golden run. */
+    RunResult result;
+};
+
 /** The assembled system. */
 class WholeSystemSim
 {
@@ -208,10 +219,43 @@ class WholeSystemSim
      * multi-core runs, battery-backed schemes, or a stream recorded
      * for a different (module, entry, args).
      */
+    /**
+     * @param fork optional checkpoint captured at ticks[0] of the
+     * same (module, scheme, threads) by captureCheckpoints(). The
+     * first crash epoch then restores the capture-instant state
+     * instead of re-executing the pre-crash prefix — every result,
+     * statistic, and trace byte stays identical while the sweep cost
+     * drops from O(prefix + tail) to O(tail). Ignored (from-scratch
+     * execution) on any identity/tick mismatch, when an external
+     * trace sink is attached, or when an attached trace buffer's
+     * geometry differs from the captured one.
+     */
     CrashRunResult runWithCrashes(
         const std::vector<ThreadSpec> &threads,
         const fault::CrashSchedule &schedule,
         const fault::FaultPlan &faults = {},
+        std::uint64_t max_instrs = 200'000'000,
+        const CommitStream *replay = nullptr,
+        const SimCheckpoint *fork = nullptr);
+
+    /**
+     * Run @p threads to completion with crash recording enabled,
+     * capturing a full-fidelity SimCheckpoint at each tick of the
+     * sorted @p ticks — each at exactly the instant runWithCrashes()
+     * would stop its first epoch for a failure at that tick (the
+     * crash-epoch schedule is a prefix of the free-run schedule, so
+     * one pass serves every crash point). Ticks at or past program
+     * completion capture the final state. The returned RunResult is
+     * identical to run()'s, so the capture pass doubles as the golden
+     * run of a crash sweep.
+     *
+     * @param replay optional commit stream of (threads[0].entry,
+     * args): single-core, non-battery capture runs are then driven
+     * from the stream (same rules as runWithCrashes' replay).
+     */
+    CheckpointRun captureCheckpoints(
+        const std::vector<ThreadSpec> &threads,
+        const std::vector<Tick> &ticks,
         std::uint64_t max_instrs = 200'000'000,
         const CommitStream *replay = nullptr);
 

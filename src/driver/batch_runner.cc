@@ -197,6 +197,9 @@ struct BatchRunner::Impl
     std::atomic<std::uint64_t> violationCount{0};
     std::atomic<std::uint64_t> invariantEvents{0};
     static constexpr std::size_t kMaxKeptViolations = 256;
+
+    /** Shared checkpoint cache (created in the ctor, cap applied). */
+    std::unique_ptr<core::CheckpointCache> ckptCache;
 };
 
 BatchRunner::BatchRunner(BatchConfig config)
@@ -204,6 +207,16 @@ BatchRunner::BatchRunner(BatchConfig config)
       cacheDir_(resolveCacheDir(config_))
 {
     impl_->streamBytesCap = resolveStreamCacheBytes(config_);
+    impl_->ckptCache = std::make_unique<core::CheckpointCache>(
+        config_.ckptCacheMb != 0
+            ? config_.ckptCacheMb * std::size_t{1024} * 1024
+            : 0);
+}
+
+core::CheckpointCache &
+BatchRunner::checkpointCache()
+{
+    return *impl_->ckptCache;
 }
 
 BatchRunner::~BatchRunner() = default;
@@ -481,7 +494,18 @@ BatchRunner::compute(const DesignPoint &point, const std::string &key)
 void
 BatchRunner::exportAggregateJson(std::ostream &os) const
 {
-    aggregate_.exportJson(os);
+    // Fold the checkpoint cache's ledger in when a sweep used it, so
+    // the exported stats show when the byte cap is degrading forked
+    // sweeps to from-scratch runs. Quiet caches stay out of the JSON
+    // (plain batches shouldn't grow ckpt.* zeros).
+    auto cs = impl_->ckptCache->stats();
+    if (cs.captures || cs.forks || cs.fallbacks) {
+        StatsRegistry merged(aggregate_);
+        impl_->ckptCache->fillStats(merged);
+        merged.exportJson(os);
+    } else {
+        aggregate_.exportJson(os);
+    }
     os << "\n";
 }
 
@@ -646,6 +670,11 @@ BatchRunner::stats() const
     s.replayedRuns = impl_->replayedRuns.load();
     s.invariantEventsChecked = impl_->invariantEvents.load();
     s.invariantViolations = impl_->violationCount.load();
+    auto ck = impl_->ckptCache->stats();
+    s.ckptCaptures = ck.captures;
+    s.ckptForks = ck.forks;
+    s.ckptEvictions = ck.evictions;
+    s.ckptFallbacks = ck.fallbacks;
     return s;
 }
 
@@ -673,6 +702,7 @@ BatchRunner::clearMemoryCaches()
     impl_->streams.clear();
     impl_->streamOrder.clear();
     impl_->streamBytes = 0;
+    impl_->ckptCache->clear();
 }
 
 } // namespace cwsp::driver

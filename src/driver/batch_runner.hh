@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sim_checkpoint.hh"
 #include "core/whole_system_sim.hh"
 #include "obs/invariant_monitor.hh"
 #include "workloads/workload.hh"
@@ -104,6 +105,13 @@ struct BatchConfig
      * Oldest streams are evicted first (in-flight users keep theirs).
      */
     std::size_t streamCacheMb = 0;
+    /**
+     * Simulator-checkpoint cache bound in MiB (checkpoint-fork crash
+     * sweeps, core/sim_checkpoint.hh); 0 = the CWSP_CKPT_CACHE_MB
+     * environment variable, falling back to 256. LRU checkpoints are
+     * evicted first; an evicted case re-executes from scratch.
+     */
+    std::size_t ckptCacheMb = 0;
 };
 
 /** Where results came from (all counters are cumulative). */
@@ -119,6 +127,10 @@ struct BatchStats
     std::uint64_t replayedRuns = 0;     ///< sims driven from a stream
     std::uint64_t invariantEventsChecked = 0;
     std::uint64_t invariantViolations = 0;
+    std::uint64_t ckptCaptures = 0;  ///< simulator checkpoints taken
+    std::uint64_t ckptForks = 0;     ///< crash cases forked from one
+    std::uint64_t ckptEvictions = 0; ///< dropped by the byte cap
+    std::uint64_t ckptFallbacks = 0; ///< cases re-run from scratch
 };
 
 /** The parallel batch engine. */
@@ -179,6 +191,14 @@ class BatchRunner
               const compiler::CompilerOptions &options,
               const std::string &entry, std::uint64_t max_instrs,
               std::shared_ptr<const ir::Module> mod = nullptr);
+
+    /**
+     * Shared simulator-checkpoint cache (checkpoint-fork crash
+     * sweeps). Thread-safe; the fault campaign's golden pass
+     * populates it and every worker's cases fork from it, bounded by
+     * BatchConfig::ckptCacheMb.
+     */
+    core::CheckpointCache &checkpointCache();
 
     /** Canonical cache identity of @p point (before hashing). */
     static std::string pointKey(const DesignPoint &point);

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/consistency_checker.hh"
+#include "core/sim_checkpoint.hh"
 #include "core/whole_system_sim.hh"
 #include "driver/batch_runner.hh"
 #include "interp/interpreter.hh"
@@ -128,7 +129,16 @@ struct Context
     core::CommitStream stream;
     bool hasStream = false;
     CrashPointSet points;
+    /** Campaign-wide checkpoint cache (null = forking disabled). */
+    core::CheckpointCache *ckptCache = nullptr;
 };
+
+/** Cache key prefix of @p ctx's checkpoints ("<app>|<scheme>"). */
+std::string
+ckptKeyBaseOf(const Context &ctx)
+{
+    return ctx.app + "|" + ctx.scheme;
+}
 
 GoldenRef
 refOf(const Context &ctx)
@@ -140,6 +150,9 @@ refOf(const Context &ctx)
     g.memory = &ctx.goldenMemory;
     g.ioStream = &ctx.goldenIo;
     g.stream = ctx.hasStream ? &ctx.stream : nullptr;
+    g.ckptCache = ctx.ckptCache;
+    if (ctx.ckptCache)
+        g.ckptKeyBase = ckptKeyBaseOf(ctx);
     return g;
 }
 
@@ -295,9 +308,24 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
     r.c = c;
     try {
         core::WholeSystemSim sim(*golden.module, *golden.config);
+        // Forked mode: restore the pre-crash prefix from the golden
+        // pass's checkpoint instead of re-executing it. A miss
+        // (evicted under the byte cap, or never captured) degrades to
+        // from-scratch execution — identical verdict, more cycles.
+        std::shared_ptr<const core::SimCheckpoint> fork;
+        if (golden.ckptCache && !c.schedule.empty()) {
+            fork = golden.ckptCache->get(
+                golden.ckptKeyBase + ":" +
+                std::to_string(c.schedule.ticks[0]));
+            if (fork)
+                golden.ckptCache->noteFork();
+            else
+                golden.ckptCache->noteFallback();
+        }
         auto out =
             sim.runWithCrashes({core::ThreadSpec{}}, c.schedule,
-                               c.plan, max_instrs, golden.stream);
+                               c.plan, max_instrs, golden.stream,
+                               fork.get());
         r.ran = true;
         r.crashed = out.crashed;
         r.faults = out.faults;
@@ -376,6 +404,13 @@ runCampaign(const CampaignOptions &options)
     bc.useDiskCache = false;
     driver::BatchRunner pool(bc);
 
+    // One campaign-wide checkpoint cache (the pool's, shared
+    // read-only across its workers); every context's golden pass
+    // populates it, every case forks from it. Byte-capped by
+    // CWSP_CKPT_CACHE_MB; evictions surface as fallbacks.
+    core::CheckpointCache *ckptCache =
+        options.forkCheckpoints ? &pool.checkpointCache() : nullptr;
+
     // Phase 1: golden runs + crash-point enumeration, one context per
     // (app, scheme) — parallel, each context self-contained.
     std::vector<Context> contexts(options.apps.size() *
@@ -387,7 +422,8 @@ runCampaign(const CampaignOptions &options)
                 Context &ctx = contexts[a * schemes.size() + s];
                 ctx.app = options.apps[a];
                 ctx.scheme = schemes[s];
-                prep.push_back([&ctx, &options]() {
+                prep.push_back([&ctx, &options,
+                                cache = ckptCache]() {
                     ctx.config = core::makeSystemConfig(ctx.scheme);
                     const auto &profile =
                         workloads::appByName(ctx.app);
@@ -412,6 +448,35 @@ runCampaign(const CampaignOptions &options)
                     ctx.points = enumerateCrashPoints(
                         *ctx.module, ctx.config, {core::ThreadSpec{}},
                         options.pointsPerKind);
+                    // Forked mode: one more pass over the golden
+                    // schedule captures a checkpoint at every first
+                    // crash tick any of this context's cases will
+                    // use (nested/media cases all pivot on an
+                    // enumerated point, so the point ticks cover
+                    // them). Cost: one run per context, amortized
+                    // over its ~dozen cases.
+                    if (cache && !ctx.points.points.empty()) {
+                        std::vector<Tick> ticks;
+                        for (const auto &p : ctx.points.points)
+                            ticks.push_back(p.tick);
+                        std::sort(ticks.begin(), ticks.end());
+                        ticks.erase(
+                            std::unique(ticks.begin(), ticks.end()),
+                            ticks.end());
+                        core::WholeSystemSim sim(*ctx.module,
+                                                 ctx.config);
+                        auto cr = sim.captureCheckpoints(
+                            {core::ThreadSpec{}}, ticks,
+                            options.maxInstrs,
+                            ctx.hasStream ? &ctx.stream : nullptr);
+                        std::string base = ckptKeyBaseOf(ctx);
+                        for (auto &ck : cr.checkpoints)
+                            cache->insert(
+                                base + ":" +
+                                    std::to_string(ck->crashTick),
+                                ck);
+                        ctx.ckptCache = cache;
+                    }
                 });
             }
         }
@@ -461,6 +526,16 @@ runCampaign(const CampaignOptions &options)
             report.failures.push_back(r);
         }
     }
+    if (ckptCache) {
+        auto cs = ckptCache->stats();
+        report.ckptCache.enabled = true;
+        report.ckptCache.captures = cs.captures;
+        report.ckptCache.forks = cs.forks;
+        report.ckptCache.evictions = cs.evictions;
+        report.ckptCache.fallbacks = cs.fallbacks;
+        report.ckptCache.bytesResident = cs.bytesResident;
+        report.ckptCache.entries = cs.entries;
+    }
     return report;
 }
 
@@ -473,6 +548,14 @@ CampaignReport::writeJson(std::ostream &os) const
        << ",\n  \"shrink_runs\": " << shrinkRuns
        << ",\n  \"totals\": ";
     writeFaultStatsJson(os, totals);
+    os << ",\n  \"checkpoint_cache\": {\"enabled\": "
+       << (ckptCache.enabled ? "true" : "false")
+       << ", \"captures\": " << ckptCache.captures
+       << ", \"forks\": " << ckptCache.forks
+       << ", \"evictions\": " << ckptCache.evictions
+       << ", \"fallbacks\": " << ckptCache.fallbacks
+       << ", \"bytes_resident\": " << ckptCache.bytesResident
+       << ", \"entries\": " << ckptCache.entries << "}";
     os << ",\n  \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         os << (i ? ",\n    " : "\n    ");

@@ -30,6 +30,10 @@
 #include "fault/crash_points.hh"
 #include "fault/fault_model.hh"
 
+namespace cwsp::core {
+class CheckpointCache; // core/sim_checkpoint.hh
+}
+
 namespace cwsp::fault {
 
 /** What to sweep. */
@@ -47,6 +51,13 @@ struct CampaignOptions
     bool mediaFaults = true;
     /** Auto-shrink failing cases to a minimal repro. */
     bool shrink = true;
+    /**
+     * Fork every case from a SimCheckpoint captured during the golden
+     * pass instead of re-executing its pre-crash prefix. Verdicts are
+     * bit-identical either way (tests/test_ckpt_equiv.cc); disable to
+     * cross-check or to bound memory below CWSP_CKPT_CACHE_MB.
+     */
+    bool forkCheckpoints = true;
     /** Worker threads; 0 = hardware concurrency. */
     unsigned jobs = 0;
     std::uint64_t maxInstrs = 200'000'000;
@@ -84,6 +95,23 @@ struct CaseResult
     std::string detail; ///< human-readable failure explanation
 };
 
+/**
+ * Checkpoint-cache behaviour over a forked campaign. Fallbacks > 0
+ * means the CWSP_CKPT_CACHE_MB byte cap (or an identity mismatch)
+ * degraded part of the sweep to from-scratch execution — slower,
+ * never wrong.
+ */
+struct CkptCacheReport
+{
+    bool enabled = false;
+    std::uint64_t captures = 0;
+    std::uint64_t forks = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t bytesResident = 0;
+    std::uint64_t entries = 0;
+};
+
 /** Aggregate outcome. */
 struct CampaignReport
 {
@@ -94,6 +122,7 @@ struct CampaignReport
     std::size_t casesRun = 0;
     std::size_t casesPassed = 0;
     std::size_t shrinkRuns = 0; ///< extra runs the shrinker spent
+    CkptCacheReport ckptCache;  ///< forked-mode cache behaviour
 
     bool allPassed() const { return failures.empty(); }
 
@@ -126,6 +155,14 @@ struct GoldenRef
      * (bit-identical results, see WholeSystemSim::runWithCrashes).
      */
     const core::CommitStream *stream = nullptr;
+    /**
+     * Optional checkpoint cache populated during the golden pass.
+     * runCase() then looks up "<ckptKeyBase>:<first crash tick>" and
+     * forks the case from the checkpoint; a miss (evicted or never
+     * captured) falls back to from-scratch execution and is counted.
+     */
+    core::CheckpointCache *ckptCache = nullptr;
+    std::string ckptKeyBase;
 };
 
 CaseResult runCase(const CampaignCase &c, const GoldenRef &golden,

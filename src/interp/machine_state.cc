@@ -121,6 +121,14 @@ SparseMemory::footprintWords() const
     return n;
 }
 
+std::size_t
+SparseMemory::residentBytes() const
+{
+    return pages_.capacity() * sizeof(Page) +
+           dirKeys_.capacity() * sizeof(std::uint64_t) +
+           dirVals_.capacity() * sizeof(std::uint32_t);
+}
+
 void
 SparseMemory::clear()
 {

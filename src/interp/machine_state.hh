@@ -41,6 +41,9 @@ class SparseMemory
     /** Number of distinct words ever written. */
     std::size_t footprintWords() const;
 
+    /** Heap bytes held (page pool + directory), for cache caps. */
+    std::size_t residentBytes() const;
+
     /** Iterate all (addr, value) pairs in ascending address order. */
     template <typename Fn>
     void

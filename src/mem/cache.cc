@@ -114,4 +114,41 @@ Cache::invalidate(Addr line)
     return false;
 }
 
+void
+Cache::captureState(sim::StateWriter &w) const
+{
+    // Dense caches have a fixed slot count; sparse ones capture the
+    // slabs allocated so far plus the directory mapping sets to them
+    // (slab order is allocation order, which the capture preserves,
+    // so restored future allocations extend identically).
+    w.sizedArray(lines_.data(), lines_.size());
+    w.array(lastUse_.data(), lastUse_.size());
+    w.array(meta_.data(), meta_.size());
+    setDir_.captureState(w);
+    w.pod(useClock_);
+    w.pod(hits_);
+    w.pod(misses_);
+    w.pod(dirtyEvictions_);
+}
+
+void
+Cache::restoreState(sim::StateReader &r)
+{
+    auto slots = static_cast<std::size_t>(r.count());
+    cwsp_assert(dense_ ? slots == lines_.size() : true,
+                "dense cache restore with mismatched geometry: ",
+                config_.name);
+    lines_.resize(slots);
+    lastUse_.resize(slots);
+    meta_.resize(slots);
+    r.array(lines_.data(), slots);
+    r.array(lastUse_.data(), slots);
+    r.array(meta_.data(), slots);
+    setDir_.restoreState(r);
+    useClock_ = r.pod<std::uint64_t>();
+    hits_ = r.pod<std::uint64_t>();
+    misses_ = r.pod<std::uint64_t>();
+    dirtyEvictions_ = r.pod<std::uint64_t>();
+}
+
 } // namespace cwsp::mem

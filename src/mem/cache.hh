@@ -80,6 +80,15 @@ class Cache
         hits_ = misses_ = dirtyEvictions_ = 0;
     }
 
+    /**
+     * Checkpointing: the full SoA slot arrays (sparse caches capture
+     * only the lazily-allocated slabs plus the set directory), the
+     * LRU clock, and the counters. Restore requires a cache built
+     * with the same geometry.
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   private:
     /** Preallocate fully up to this many slots (sets x ways). */
     static constexpr std::uint64_t kDenseSlotLimit = 1ull << 20;

@@ -301,4 +301,46 @@ Hierarchy::l1Misses() const
     return l1DemandMisses_;
 }
 
+void
+Hierarchy::captureState(sim::StateWriter &w) const
+{
+    for (const auto &level : caches_)
+        for (const auto &cache : level)
+            cache->captureState(w);
+    if (dram_)
+        dram_->captureState(w);
+    for (const auto &wb : wbs_)
+        wb->captureState(w);
+    for (const auto &m : mcs_)
+        m->captureState(w);
+    wbOccupancy_.captureState(w);
+    w.pod(wpqHits_);
+    w.pod(nvmReads_);
+    w.pod(dramHits_);
+    w.pod(dramMisses_);
+    w.pod(l1DemandAccesses_);
+    w.pod(l1DemandMisses_);
+}
+
+void
+Hierarchy::restoreState(sim::StateReader &r)
+{
+    for (auto &level : caches_)
+        for (auto &cache : level)
+            cache->restoreState(r);
+    if (dram_)
+        dram_->restoreState(r);
+    for (auto &wb : wbs_)
+        wb->restoreState(r);
+    for (auto &m : mcs_)
+        m->restoreState(r);
+    wbOccupancy_.restoreState(r);
+    wpqHits_ = r.pod<std::uint64_t>();
+    nvmReads_ = r.pod<std::uint64_t>();
+    dramHits_ = r.pod<std::uint64_t>();
+    dramMisses_ = r.pod<std::uint64_t>();
+    l1DemandAccesses_ = r.pod<std::uint64_t>();
+    l1DemandMisses_ = r.pod<std::uint64_t>();
+}
+
 } // namespace cwsp::mem

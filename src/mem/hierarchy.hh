@@ -135,6 +135,16 @@ class Hierarchy
     /** Attach a trace sink; propagates to the memory controllers. */
     void setTrace(sim::TraceBuffer *trace);
 
+    /**
+     * Checkpointing: every cache instance, the DRAM cache, the write
+     * buffers, the MCs, the WB occupancy average, and the aggregate
+     * counters. Restore requires a hierarchy built with the same
+     * config and core count (enforced structurally: the component
+     * walk is identical on both sides).
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   private:
     sim::TraceBuffer *trace_ = nullptr;
     HierarchyConfig config_;

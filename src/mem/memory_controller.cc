@@ -87,4 +87,30 @@ MemoryController::inflightDrainTime(Addr word_addr, Tick now) const
     return *t;
 }
 
+void
+MemoryController::captureState(sim::StateWriter &w) const
+{
+    slotFree_.captureState(w);
+    w.pod(mediaFree_);
+    inflight_.captureState(w);
+    w.pod(admissions_);
+    w.pod(fullStalls_);
+    w.pod(loggedStores_);
+    w.pod(evictionWrites_);
+    w.pod(sinceCleanup_);
+}
+
+void
+MemoryController::restoreState(sim::StateReader &r)
+{
+    slotFree_.restoreState(r);
+    mediaFree_ = r.pod<Tick>();
+    inflight_.restoreState(r);
+    admissions_ = r.pod<std::uint64_t>();
+    fullStalls_ = r.pod<std::uint64_t>();
+    loggedStores_ = r.pod<std::uint64_t>();
+    evictionWrites_ = r.pod<std::uint64_t>();
+    sinceCleanup_ = r.pod<std::uint64_t>();
+}
+
 } // namespace cwsp::mem

@@ -89,6 +89,15 @@ class MemoryController
         lane_ = sim::mcLane(config_.id);
     }
 
+    /**
+     * Checkpointing: WPQ slot ring, media clock, in-flight table, and
+     * the counters (including the cleanup cadence, which gates the
+     * periodic in-flight-table sweeps and so affects future probe
+     * behaviour). Restore requires an MC built with the same config.
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
+
   private:
     sim::TraceBuffer *trace_ = nullptr;
     std::uint16_t lane_ = 0;

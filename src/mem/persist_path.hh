@@ -76,6 +76,25 @@ class PersistPath
         lane_ = lane;
     }
 
+    /** Checkpointing: link clock and traffic counters. */
+    void
+    captureState(sim::StateWriter &w) const
+    {
+        w.pod(linkFree_);
+        w.pod(lastQueueDelay_);
+        w.pod(sent_);
+        w.pod(bytes_);
+    }
+
+    void
+    restoreState(sim::StateReader &r)
+    {
+        linkFree_ = r.pod<Tick>();
+        lastQueueDelay_ = r.pod<Tick>();
+        sent_ = r.pod<std::uint64_t>();
+        bytes_ = r.pod<std::uint64_t>();
+    }
+
   private:
     PersistPathConfig config_;
     double bytesPerCycle_;

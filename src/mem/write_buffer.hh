@@ -54,6 +54,27 @@ class WriteBuffer
     /** Inserts whose drain was extended by a pending persist. */
     std::uint64_t persistDelays() const { return persistDelays_; }
 
+    /** Checkpointing: the drain FIFO plus the counters. */
+    void
+    captureState(sim::StateWriter &w) const
+    {
+        drainTimes_.captureState(w);
+        w.pod(lastDrain_);
+        w.pod(inserts_);
+        w.pod(fullStalls_);
+        w.pod(persistDelays_);
+    }
+
+    void
+    restoreState(sim::StateReader &r)
+    {
+        drainTimes_.restoreState(r);
+        lastDrain_ = r.pod<Tick>();
+        inserts_ = r.pod<std::uint64_t>();
+        fullStalls_ = r.pod<std::uint64_t>();
+        persistDelays_ = r.pod<std::uint64_t>();
+    }
+
   private:
     std::uint32_t capacity_;
     std::uint32_t drainCycles_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -471,6 +472,26 @@ formatNumber(double v)
     return buf;
 }
 
+/**
+ * Canonical trajectory key: strip a leading "binaries[<name>]."
+ * container prefix. Summaries nest each bench binary's report under
+ * binaries[] while older (and single-binary) summaries are flat;
+ * normalizing on append keeps one metric one key across PRs, so the
+ * ci_check floor and --diff over trajectory files line up entries
+ * regardless of which summary shape produced them.
+ */
+std::string
+normalizeTrajectoryKey(const std::string &metric)
+{
+    constexpr const char *kPrefix = "binaries[";
+    if (metric.compare(0, std::strlen(kPrefix), kPrefix) != 0)
+        return metric;
+    std::size_t close = metric.find("].");
+    if (close == std::string::npos)
+        return metric;
+    return metric.substr(close + 2);
+}
+
 } // namespace
 
 bool
@@ -507,7 +528,10 @@ appendTrajectory(const std::string &trajectory_path,
         entry << "  \"date\": \"" << jsonEscape(options.date)
               << "\",\n";
     entry << "  \"metrics\": {";
-    bool first = true;
+    // Select, then normalize: the normalized keys re-sort (and would
+    // collide if two binaries exported the same benchmark — first
+    // one wins, deterministically by source key order).
+    std::map<std::string, double> kept;
     for (const auto &[metric, value] : metrics) {
         bool keep = false;
         for (const auto &sub : options.keepSubstrings) {
@@ -517,8 +541,11 @@ appendTrajectory(const std::string &trajectory_path,
                 break;
             }
         }
-        if (!keep)
-            continue;
+        if (keep)
+            kept.emplace(normalizeTrajectoryKey(metric), value);
+    }
+    bool first = true;
+    for (const auto &[metric, value] : kept) {
         entry << (first ? "" : ",") << "\n   \""
               << jsonEscape(metric) << "\": " << formatNumber(value);
         first = false;

@@ -103,6 +103,51 @@ EventQueue::runAll()
 }
 
 void
+EventQueue::captureState(sim::StateWriter &w) const
+{
+    w.pod(now_);
+    w.pod(nextSeq_);
+    w.pod<std::uint64_t>(fifo_.size() - head_);
+    for (std::size_t i = head_; i < fifo_.size(); ++i) {
+        w.pod(fifo_[i].when);
+        w.pod(fifo_[i].seq);
+    }
+    // Heap lane in array order: the captured layout is a valid binary
+    // heap, so restoring it verbatim reproduces the exact pop/push
+    // behaviour of the original queue.
+    w.pod<std::uint64_t>(heap_.size());
+    for (const PendingEvent &ev : heap_) {
+        w.pod(ev.when);
+        w.pod(ev.seq);
+    }
+}
+
+void
+EventQueue::restoreState(
+    sim::StateReader &r,
+    const std::function<Callback(std::size_t index, Tick when)> &rebind)
+{
+    now_ = r.pod<Tick>();
+    nextSeq_ = r.pod<std::uint64_t>();
+    fifo_.clear();
+    head_ = 0;
+    heap_.clear();
+    std::size_t index = 0;
+    auto nfifo = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    for (std::size_t i = 0; i < nfifo; ++i, ++index) {
+        Tick when = r.pod<Tick>();
+        auto seq = r.pod<std::uint64_t>();
+        fifo_.push_back(PendingEvent{when, seq, rebind(index, when)});
+    }
+    auto nheap = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    for (std::size_t i = 0; i < nheap; ++i, ++index) {
+        Tick when = r.pod<Tick>();
+        auto seq = r.pod<std::uint64_t>();
+        heap_.push_back(PendingEvent{when, seq, rebind(index, when)});
+    }
+}
+
+void
 EventQueue::advanceTo(Tick when)
 {
     cwsp_assert(when >= now_, "time cannot move backwards");

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/state_capture.hh"
 #include "sim/types.hh"
 
 namespace cwsp {
@@ -80,6 +81,22 @@ class EventQueue
 
     /** Advance time with no event execution (for lock-step models). */
     void advanceTo(Tick when);
+
+    /**
+     * Checkpointing: clock, sequence counter, and both lanes' (when,
+     * seq) pairs. Callbacks are std::function and cannot be captured
+     * as bytes — restoreState() takes a factory that rebuilds the
+     * callback of the i-th captured event (events are numbered in
+     * capture order: FIFO lane front-to-back, then heap lane). The
+     * caller must therefore know, from its own restored state, what
+     * each pending event does — true for the device models here,
+     * whose pending events are fully determined by component state.
+     */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(
+        sim::StateReader &r,
+        const std::function<Callback(std::size_t index, Tick when)>
+            &rebind);
 
   private:
     struct PendingEvent

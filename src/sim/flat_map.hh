@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "sim/arena.hh"
+#include "sim/state_capture.hh"
 
 namespace cwsp::sim {
 
@@ -120,6 +121,41 @@ class FlatMap64
             if (old_keys[i] != kEmpty && !pred(old_vals[i]))
                 refInsert(old_keys[i]) = old_vals[i];
         freeTable(old_keys, old_vals);
+    }
+
+    /**
+     * Checkpointing: capacity (growth thresholds depend on it), then
+     * the live (key, value) pairs in slot order.
+     */
+    void
+    captureState(StateWriter &w) const
+    {
+        w.pod<std::uint64_t>(cap_);
+        w.pod<std::uint64_t>(size_);
+        for (std::size_t i = 0; i < cap_; ++i) {
+            if (keys_[i] != kEmpty) {
+                w.pod(keys_[i]);
+                w.pod(vals_[i]);
+            }
+        }
+    }
+
+    void
+    restoreState(StateReader &r)
+    {
+        auto cap = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        if (cap_ != cap) {
+            freeTable(keys_, vals_);
+            allocate(cap);
+        } else {
+            clear();
+        }
+        size_ = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t key = r.pod<std::uint64_t>();
+            refInsert(key) = r.pod<std::uint64_t>();
+        }
     }
 
   private:

@@ -16,6 +16,7 @@
 
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "sim/state_capture.hh"
 
 namespace cwsp::sim {
 
@@ -82,6 +83,28 @@ class Ring
     }
 
     void clear() { head_ = tail_ = 0; }
+
+    /** Checkpointing: monotone cursors plus the live window. */
+    void
+    captureState(StateWriter &w) const
+    {
+        w.pod<std::uint64_t>(head_);
+        w.pod<std::uint64_t>(tail_);
+        for (std::size_t i = head_; i != tail_; ++i)
+            w.pod(slots_[i & mask_]);
+    }
+
+    /** Restore onto a ring built with the same capacity. */
+    void
+    restoreState(StateReader &r)
+    {
+        head_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        tail_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        cwsp_assert(tail_ - head_ <= cap_,
+                    "ring restore exceeds capacity");
+        for (std::size_t i = head_; i != tail_; ++i)
+            slots_[i & mask_] = r.pod<T>();
+    }
 
   private:
     T *slots_ = nullptr;

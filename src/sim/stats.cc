@@ -93,6 +93,29 @@ Histogram::reset()
     sum_ = 0.0;
 }
 
+void
+Histogram::captureState(sim::StateWriter &w) const
+{
+    w.pod(bucketWidth_);
+    w.sizedArray(counts_.data(), counts_.size());
+    w.pod(count_);
+    w.pod(max_);
+    w.pod(overflow_);
+    w.pod(sum_);
+}
+
+void
+Histogram::restoreState(sim::StateReader &r)
+{
+    bucketWidth_ = r.pod<std::uint64_t>();
+    counts_.resize(static_cast<std::size_t>(r.count()));
+    r.array(counts_.data(), counts_.size());
+    count_ = r.pod<std::uint64_t>();
+    max_ = r.pod<std::uint64_t>();
+    overflow_ = r.pod<std::uint64_t>();
+    sum_ = r.pod<double>();
+}
+
 StatsRegistry::StatsRegistry(const StatsRegistry &other)
 {
     std::lock_guard<std::mutex> lock(other.mutex_);

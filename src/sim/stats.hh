@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/state_capture.hh"
+
 namespace cwsp {
 
 /** A monotonically increasing scalar statistic. */
@@ -64,6 +66,20 @@ class Average
         count_ = 0;
     }
 
+    void
+    captureState(sim::StateWriter &w) const
+    {
+        w.pod(sum_);
+        w.pod(count_);
+    }
+
+    void
+    restoreState(sim::StateReader &r)
+    {
+        sum_ = r.pod<double>();
+        count_ = r.pod<std::uint64_t>();
+    }
+
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
@@ -101,6 +117,10 @@ class Histogram
     void mergeFrom(const Histogram &other);
 
     void reset();
+
+    /** Checkpointing: full bucket array plus the scalar moments. */
+    void captureState(sim::StateWriter &w) const;
+    void restoreState(sim::StateReader &r);
 
   private:
     std::uint64_t bucketWidth_;

@@ -197,6 +197,39 @@ TraceBuffer::TraceBuffer(std::size_t capacity, std::uint32_t mask)
 {
 }
 
+void
+TraceBuffer::captureState(StateWriter &w) const
+{
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+    w.pod<std::uint64_t>(slots_.size());
+    w.pod(mask_);
+    w.pod(h);
+    w.pod(n);
+    for (std::uint64_t i = h - n; i < h; ++i)
+        w.pod(slots_[i & capMask_]);
+}
+
+bool
+TraceBuffer::restoreState(StateReader &r)
+{
+    auto cap = r.pod<std::uint64_t>();
+    auto mask = r.pod<std::uint32_t>();
+    auto h = r.pod<std::uint64_t>();
+    auto n = r.pod<std::uint64_t>();
+    if (cap != slots_.size() || mask != mask_) {
+        // Incompatible ring: skip past the window so the reader stays
+        // positionally consistent for any state that follows.
+        for (std::uint64_t i = 0; i < n; ++i)
+            (void)r.pod<TraceEvent>();
+        return false;
+    }
+    for (std::uint64_t i = h - n; i < h; ++i)
+        slots_[i & capMask_] = r.pod<TraceEvent>();
+    head_.store(h, std::memory_order_relaxed);
+    return true;
+}
+
 std::vector<TraceEvent>
 TraceBuffer::snapshot() const
 {

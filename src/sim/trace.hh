@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/state_capture.hh"
 #include "sim/types.hh"
 
 namespace cwsp::sim {
@@ -310,6 +311,21 @@ class TraceBuffer
      * trace time; cores and MCs appear as named threads of pid 0.
      */
     void exportChromeJson(std::ostream &os) const;
+
+    /**
+     * Checkpointing: capacity, category mask, head cursor, and the
+     * surviving window (oldest first). The attached sink is NOT part
+     * of the state — an external observer cannot be rewound.
+     */
+    void captureState(StateWriter &w) const;
+
+    /**
+     * Restore a captured cursor + window. Returns false (leaving the
+     * buffer untouched) when the captured capacity or mask differs
+     * from this buffer's — the caller falls back to from-scratch
+     * execution rather than replaying into an incompatible ring.
+     */
+    bool restoreState(StateReader &r);
 
   private:
     std::vector<TraceEvent> slots_;

@@ -550,12 +550,14 @@ TEST(Trajectory, AppendCreatesThenGrowsValidJsonArray)
         << error;
 
     // Both entries present, keep-filtered: sims_per_sec and the
-    // campaign counters survive, real_time does not.
+    // campaign counters survive, real_time does not. Keys are
+    // normalized on append: the binaries[<name>] container prefix is
+    // dropped so the same metric keys the same entry across PRs.
     auto metrics = obs::flattenMetricsJson(traj.read());
-    EXPECT_EQ(metrics.count("[pr6].metrics.binaries[0].benchmarks"
+    EXPECT_EQ(metrics.count("[pr6].metrics.benchmarks"
                             "[simspeed/aggregate].sims_per_sec"),
               1u);
-    EXPECT_EQ(metrics.count("[pr7].metrics.binaries[0].benchmarks"
+    EXPECT_EQ(metrics.count("[pr7].metrics.benchmarks"
                             "[simspeed/aggregate].sims_per_sec"),
               1u);
     EXPECT_EQ(

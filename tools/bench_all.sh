@@ -2,6 +2,11 @@
 # Run every figure-reproduction bench binary through the parallel
 # batch runner and aggregate their google-benchmark JSON reports into
 # one BENCH_summary.json, seeding the perf-trajectory tracking.
+# bench_simspeed's cases include the checkpoint-forked crash sweeps
+# (simspeed/crash_sweep/cwsp and simspeed/crash_sweep_forked/*); their
+# sims_per_sec counters land in the trajectory append below, keyed
+# without the binaries[<name>] container prefix so entries line up
+# across PRs.
 #
 # Every case is registered with Iterations(1) (a bar is one full
 # simulation), so no --benchmark_min_time is needed; the heavy lifting

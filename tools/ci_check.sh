@@ -57,15 +57,18 @@ for san in "${SANITIZERS[@]}"; do
     # crash quiescence).
     "$dir"/tools/cwsp_analyze --check-invariants \
           --scheme all --app fft --jobs "$JOBS"
-    echo "== $san: fault-campaign smoke (every scheme) =="
+    echo "== $san: fault-campaign smoke (every scheme, forked) =="
     # Bounded robustness pass: trace-derived crash points on two
     # apps across all schemes, with nested-crash schedules and
     # torn-log/bit-flip/stale-slot media faults, run differentially
     # against golden. Exits nonzero on any divergence, lost output,
     # or undetected media fault — and the sanitizers watch the
-    # hardened recovery path itself while it degrades.
+    # hardened recovery path itself while it degrades. Runs in
+    # forked mode (--fork) so the checkpoint capture/restore path —
+    # the byte-blob component protocol and the bundle hand-off — is
+    # itself exercised under ASan and UBSan.
     "$dir"/tools/cwsp_faultcampaign --apps fft,bzip2 \
-          --points 1 --jobs "$JOBS" --quiet
+          --points 1 --fork --jobs "$JOBS" --quiet
 done
 
 echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"
@@ -87,7 +90,7 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     echo "== release: bench_simspeed smoke (warn-only floor) =="
     smoke=$dir/simspeed_smoke.json
     "$dir"/bench/bench_simspeed \
-        --benchmark_filter='simspeed/aggregate' \
+        --benchmark_filter='simspeed/aggregate|simspeed/crash_sweep/cwsp' \
         --benchmark_out="$smoke" --benchmark_out_format=json \
         > /dev/null
     python3 - "$smoke" BENCH_trajectory.json <<'EOF'
@@ -98,40 +101,50 @@ import sys
 smoke_path, traj_path = sys.argv[1], sys.argv[2]
 with open(smoke_path) as f:
     smoke = json.load(f)
-current = None
+
+# The floored cases: the pinned cross-PR aggregate plus the forked
+# crash-sweep path (checkpoint-fork sweeps are a perf feature; a
+# fidelity-preserving change that quietly re-executes every prefix
+# should trip this, not pass silently).
+cases = ["simspeed/aggregate", "simspeed/crash_sweep/cwsp"]
+current = {}
 for b in smoke.get("benchmarks", []):
-    # Prefer the median when the run used repetitions.
-    if b.get("name") == "simspeed/aggregate_median":
-        current = b.get("sims_per_sec")
-        break
-    if b.get("name") == "simspeed/aggregate":
-        current = b.get("sims_per_sec")
-if current is None:
-    print("bench smoke: no simspeed/aggregate case found (skipped)")
+    name = b.get("name", "")
+    for case in cases:
+        # Prefer the median when the run used repetitions.
+        if name == case + "_median":
+            current[case] = b.get("sims_per_sec")
+        elif name == case and case not in current:
+            current[case] = b.get("sims_per_sec")
+if not current:
+    print("bench smoke: no floored case found (skipped)")
     sys.exit(0)
-if not os.path.exists(traj_path):
-    print("bench smoke: {:.1f} sims/s (no {} yet; no floor)".format(
-        current, traj_path))
-    sys.exit(0)
-with open(traj_path) as f:
-    trajectory = json.load(f)
-floor_value, floor_label = None, None
-for entry in reversed(trajectory):
-    for metric, value in entry.get("metrics", {}).items():
-        if metric.endswith("[simspeed/aggregate].sims_per_sec"):
-            floor_value, floor_label = value, entry.get("name")
+trajectory = []
+if os.path.exists(traj_path):
+    with open(traj_path) as f:
+        trajectory = json.load(f)
+for case, value in sorted(current.items()):
+    floor_value, floor_label = None, None
+    suffix = "[{}].sims_per_sec".format(case)
+    for entry in reversed(trajectory):
+        for metric, mv in entry.get("metrics", {}).items():
+            if metric.endswith(suffix):
+                floor_value, floor_label = mv, entry.get("name")
+                break
+        if floor_value is not None:
             break
-    if floor_value is not None:
-        break
-if floor_value is None:
-    print("bench smoke: {:.1f} sims/s (no trajectory floor)".format(
-        current))
-    sys.exit(0)
-floor = 0.8 * floor_value
-verdict = "ok" if current >= floor else "WARNING: below floor"
-print("bench smoke: {:.1f} sims/s vs trajectory '{}' {:.1f} "
-      "(floor {:.1f}, -20%): {}".format(
-          current, floor_label, floor_value, floor, verdict))
+    if value is None:
+        print("bench smoke: {}: no sims_per_sec counter".format(case))
+        continue
+    if floor_value is None:
+        print("bench smoke: {}: {:.1f} sims/s (no trajectory "
+          "floor)".format(case, value))
+        continue
+    floor = 0.8 * floor_value
+    verdict = "ok" if value >= floor else "WARNING: below floor"
+    print("bench smoke: {}: {:.1f} sims/s vs trajectory '{}' {:.1f} "
+          "(floor {:.1f}, -20%): {}".format(
+              case, value, floor_label, floor_value, floor, verdict))
 # Warn-only by design: exit clean either way.
 EOF
 fi

@@ -43,6 +43,9 @@ usage()
         "  --no-nested         skip nested-crash schedules\n"
         "  --no-media          skip torn/bit-flip/stale-slot faults\n"
         "  --no-shrink         report failures unshrunk\n"
+        "  --fork              fork cases from golden-run checkpoints\n"
+        "                      (default; O(tail) per case)\n"
+        "  --no-fork           re-execute every pre-crash prefix\n"
         "  --jobs N            worker threads (default: all cores)\n"
         "  --json FILE         write the JSON report (`-` = stdout)\n"
         "  --quiet             suppress the per-case table\n");
@@ -97,6 +100,10 @@ runMain(int argc, char **argv)
             opt.mediaFaults = false;
         } else if (a == "--no-shrink") {
             opt.shrink = false;
+        } else if (a == "--fork") {
+            opt.forkCheckpoints = true;
+        } else if (a == "--no-fork") {
+            opt.forkCheckpoints = false;
         } else if (a == "--jobs") {
             opt.jobs =
                 static_cast<unsigned>(std::atoi(arg(argc, argv, i)));
@@ -150,6 +157,18 @@ runMain(int argc, char **argv)
         (unsigned long long)t.regionRestarts,
         (unsigned long long)t.fullRestarts,
         (unsigned long long)t.atomicResumes);
+    if (report.ckptCache.enabled) {
+        const auto &ck = report.ckptCache;
+        std::fprintf(
+            out,
+            "  checkpoint cache: %llu captured, %llu forks, "
+            "%llu fallbacks, %llu evictions, %.1f MB resident\n",
+            (unsigned long long)ck.captures,
+            (unsigned long long)ck.forks,
+            (unsigned long long)ck.fallbacks,
+            (unsigned long long)ck.evictions,
+            (double)ck.bytesResident / (1024.0 * 1024.0));
+    }
     for (const auto &f : report.failures) {
         std::fprintf(out, "minimal repro: %s\n  %s\n",
                      f.c.label().c_str(), f.detail.c_str());

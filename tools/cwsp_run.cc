@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/consistency_checker.hh"
+#include "core/sim_checkpoint.hh"
 #include "core/whole_system_sim.hh"
 #include "driver/batch_runner.hh"
 #include "fault/campaign.hh"
@@ -70,7 +71,11 @@ usage()
         "  --crash FRAC           inject a power failure at FRAC of the"
         " run (single app)\n"
         "  --crash-sweep N        crash at N trace-derived interesting"
-        " points (single app)\n"
+        " points (single app);\n"
+        "                         each point forks from a golden-run"
+        " checkpoint\n"
+        "  --no-fork              sweep without checkpoint forking"
+        " (re-execute prefixes)\n"
         "  --crash-at-event KIND[:N]\n"
         "                         crash at the N-th (default 0) point"
         " of KIND:\n"
@@ -205,6 +210,7 @@ runMain(int argc, char **argv)
     unsigned jobs = 0;
     double crash_frac = -1.0;
     int crash_sweep = 0;
+    bool fork_sweep = true;
     std::string crash_at_event;
     bool stats = false, dump_ir = false, use_cache = true;
 
@@ -270,6 +276,8 @@ runMain(int argc, char **argv)
             }
         } else if (a == "--crash-at-event") {
             crash_at_event = arg(argc, argv, i);
+        } else if (a == "--no-fork") {
+            fork_sweep = false;
         } else if (a == "--stats") {
             stats = true;
         } else if (a == "--stats-json") {
@@ -465,6 +473,28 @@ runMain(int argc, char **argv)
             stream = core::recordCommitStream(*mod, "main", {});
             g.stream = &stream;
         }
+        // Capture a checkpoint at every sweep tick in one pass; each
+        // point then forks from its checkpoint and simulates only
+        // crash + recovery + tail (identical verdicts either way).
+        core::CheckpointCache ckpts;
+        if (fork_sweep) {
+            std::vector<Tick> ticks;
+            for (const auto &p : chosen)
+                ticks.push_back(p.tick);
+            std::sort(ticks.begin(), ticks.end());
+            ticks.erase(std::unique(ticks.begin(), ticks.end()),
+                        ticks.end());
+            core::WholeSystemSim capture_sim(*mod, cfg);
+            auto cr = capture_sim.captureCheckpoints(
+                {core::ThreadSpec{}}, ticks, 200'000'000,
+                g.stream);
+            for (auto &ck : cr.checkpoints)
+                ckpts.insert(app.name + "|" + scheme + ":" +
+                                 std::to_string(ck->crashTick),
+                             ck);
+            g.ckptCache = &ckpts;
+            g.ckptKeyBase = app.name + "|" + scheme;
+        }
         int failures = 0;
         for (const auto &p : chosen) {
             fault::CampaignCase c;
@@ -486,6 +516,15 @@ runMain(int argc, char **argv)
         }
         std::printf("%zu crash point(s), %d failure(s)\n",
                     chosen.size(), failures);
+        if (fork_sweep) {
+            auto cs = ckpts.stats();
+            std::printf("checkpoint cache: %llu captured, %llu "
+                        "forks, %llu fallbacks, %.1f MB resident\n",
+                        (unsigned long long)cs.captures,
+                        (unsigned long long)cs.forks,
+                        (unsigned long long)cs.fallbacks,
+                        (double)cs.bytesResident / (1024.0 * 1024.0));
+        }
         return failures == 0 ? 0 : 1;
     }
 
