@@ -51,6 +51,22 @@ class PersistBuffer
     std::uint64_t reservations() const { return reservations_; }
     std::uint64_t fullStalls() const { return fullStalls_; }
 
+    /**
+     * Occupancy gauge: in-flight entries whose MC ack lands after
+     * @p at. Pure predicate over the ring window, so the answer for a
+     * boundary tick is independent of when the caller noticed the
+     * boundary was crossed (telemetry determinism contract).
+     */
+    std::uint32_t
+    occupancyAt(Tick at) const
+    {
+        std::uint32_t n = 0;
+        for (std::size_t i = head_; i != tail_; ++i)
+            if (release_[i & ringMask_] > at)
+                ++n;
+        return n;
+    }
+
     /** Attach a trace sink; events are tagged with @p lane. */
     void
     setTrace(sim::TraceBuffer *trace, std::uint16_t lane)

@@ -54,6 +54,15 @@ class RegionBoundaryTable
     std::uint64_t fullStalls() const { return fullStalls_; }
     std::uint32_t capacity() const { return capacity_; }
 
+    /** Occupancy gauge: closed-but-unpersisted entries + the open
+     *  region, i.e. everything holding an RBT slot right now. */
+    std::uint32_t
+    liveEntries() const
+    {
+        return static_cast<std::uint32_t>(closedCount()) +
+               (open_ ? 1u : 0u);
+    }
+
     /** Attach a trace sink; events are tagged with @p lane. */
     void
     setTrace(sim::TraceBuffer *trace, std::uint16_t lane)

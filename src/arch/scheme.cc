@@ -148,6 +148,8 @@ Scheme::onCommit(const interp::CommitInfo &info)
     }
     hookCore_ = ~CoreId{0};
     cs.cycle = now + cost;
+    if (sampler_)
+        sampler_->maybeSample(cs.cycle);
 }
 
 Scheme::PersistOutcome

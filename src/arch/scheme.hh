@@ -23,6 +23,7 @@
 #include "mem/persist_path.hh"
 #include "sim/flat_map.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace cwsp::arch {
@@ -171,6 +172,11 @@ class Scheme : public interp::CommitSink
         CoreState &cs = cores_[core];
         cs.instrs += count;
         cs.cycle += cycle_sum;
+        // Batched kinds never change gauge state, so noticing a
+        // crossed sample boundary here records the same values a
+        // per-commit dispatch would have.
+        if (sampler_)
+            sampler_->maybeSample(cs.cycle);
     }
 
     /** Mean dynamic instructions per region across all cores. */
@@ -208,6 +214,30 @@ class Scheme : public interp::CommitSink
     virtual void setTrace(sim::TraceBuffer *trace);
 
     /**
+     * Attach a counter sampler to the commit hot path (null
+     * detaches). Probe binding stays with the caller — the scheme
+     * only drives the cadence from its core clocks.
+     */
+    void setSampler(sim::CounterSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    // Read-only component access for telemetry gauge probes.
+    const PersistBuffer &pb(CoreId core) const
+    {
+        return cores_[core].pb;
+    }
+    const RegionBoundaryTable &rbt(CoreId core) const
+    {
+        return cores_[core].rbt;
+    }
+    const mem::PersistPath &path(CoreId core) const
+    {
+        return cores_[core].path;
+    }
+
+    /**
      * Checkpointing: every core's clocks, counters, and persist
      * machinery (PB, RBT, persist path, line-persist map), the shared
      * region-id counter, and the region/PB-stall histograms.
@@ -229,6 +259,7 @@ class Scheme : public interp::CommitSink
     virtual void restoreExtraState(sim::StateReader &r) { (void)r; }
 
     sim::TraceBuffer *trace_ = nullptr;
+    sim::CounterSampler *sampler_ = nullptr;
     struct CoreState
     {
         Tick cycle = 0;

@@ -21,7 +21,8 @@ std::size_t
 SimCheckpoint::bytes() const
 {
     std::size_t b = sizeof(*this);
-    b += componentBytes.capacity() + traceBytes.capacity();
+    b += componentBytes.capacity() + traceBytes.capacity() +
+         samplerBytes.capacity();
     b += finishedAt.capacity() * sizeof(Tick) +
          coreReturns.capacity() * sizeof(Word) +
          coreFinished.capacity();

@@ -80,6 +80,15 @@ struct SimCheckpoint
     std::uint32_t traceMask = 0;
     std::vector<std::uint8_t> traceBytes;
 
+    // ---- Counter-sampler series (captured only when a sampler was
+    // attached during the golden run). A fork with an attached
+    // sampler requires matching geometry (period, track count), else
+    // it falls back.
+    bool hasSampler = false;
+    Tick samplerPeriod = 0;
+    std::uint64_t samplerTracks = 0;
+    std::vector<std::uint8_t> samplerBytes;
+
     // ---- Battery-backed schemes (Capri): the crash handler reads
     // the live memory image and snapshots the execution context, so
     // both are part of the checkpoint. Null/empty otherwise (the

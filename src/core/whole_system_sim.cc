@@ -1,6 +1,7 @@
 #include "core/whole_system_sim.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/crash_injection.hh"
 #include "core/recovery_engine.hh"
@@ -84,6 +85,109 @@ class IoCollectingSink final : public interp::CommitSink
 
 } // namespace
 
+const char *
+recoveryPhaseName(RecoveryPhase p)
+{
+    switch (p) {
+      case RecoveryPhase::Detect: return "detect";
+      case RecoveryPhase::Scan: return "scan";
+      case RecoveryPhase::UndoReplay: return "undo_replay";
+      case RecoveryPhase::SliceReexec: return "slice_reexec";
+      case RecoveryPhase::Resume: return "resume";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Detect portion of the boot constant; the rest is the log scan. */
+constexpr Tick kDetectCycles = 16;
+static_assert(kDetectCycles < recovery_timing::kBootCycles,
+              "detect phase must leave room for the scan phase");
+
+/**
+ * Tile one recovery window into its phases. The phase durations sum
+ * to @p window exactly: boot splits into detect + scan, then the
+ * undo-replay and slice terms reproduce the window formula
+ * (boot + records * perRecord + ops * perOp). Battery-backed windows
+ * are boot-only, so zero records/ops degenerate correctly.
+ */
+RecoveryBreakdown
+tileRecoveryWindow(Tick window, std::uint64_t replay_records,
+                   std::uint64_t slice_ops)
+{
+    RecoveryBreakdown b;
+    b.window = window;
+    b.replayRecords = replay_records;
+    b.sliceOps = slice_ops;
+    Tick undo = replay_records * recovery_timing::kCyclesPerReplayRecord;
+    Tick slice = slice_ops * recovery_timing::kCyclesPerSliceOp;
+    b.phase[static_cast<std::size_t>(RecoveryPhase::Detect)] =
+        std::min<Tick>(kDetectCycles, window);
+    Tick rest =
+        window -
+        b.phase[static_cast<std::size_t>(RecoveryPhase::Detect)];
+    // Scan absorbs whatever the undo/slice terms don't account for,
+    // so truncated windows (a nested crash cutting recovery short)
+    // still tile exactly.
+    Tick scan = 0;
+    if (undo + slice > rest) {
+        // Window shorter than the work terms (re-entered recovery):
+        // charge in phase order until the window runs out.
+        undo = std::min(undo, rest);
+        slice = rest - undo;
+    } else {
+        scan = rest - undo - slice;
+    }
+    b.phase[static_cast<std::size_t>(RecoveryPhase::Scan)] = scan;
+    b.phase[static_cast<std::size_t>(RecoveryPhase::UndoReplay)] =
+        undo;
+    b.phase[static_cast<std::size_t>(RecoveryPhase::SliceReexec)] =
+        slice;
+    b.phase[static_cast<std::size_t>(RecoveryPhase::Resume)] = 0;
+    return b;
+}
+
+/** Emit one RecoveryPhase span per non-empty phase, tiling
+ *  [crash_at, crash_at + window) in phase order. */
+void
+traceRecoveryPhases(sim::TraceBuffer *trace, Tick crash_at,
+                    const RecoveryBreakdown &b)
+{
+    if (!trace)
+        return;
+    Tick at = crash_at;
+    for (std::size_t p = 0; p < kNumRecoveryPhases; ++p) {
+        std::uint64_t items = 0;
+        if (p == static_cast<std::size_t>(RecoveryPhase::UndoReplay))
+            items = b.replayRecords;
+        else if (p ==
+                 static_cast<std::size_t>(RecoveryPhase::SliceReexec))
+            items = b.sliceOps;
+        if (b.phase[p] == 0 &&
+            p != static_cast<std::size_t>(RecoveryPhase::Resume))
+            continue;
+        trace->record(sim::TraceEventKind::RecoveryPhase,
+                      sim::coreLane(0), at, b.phase[p], p, items);
+        at += b.phase[p];
+    }
+}
+
+} // namespace
+
+Tick
+defaultSamplePeriod(const SystemConfig &config)
+{
+    // A few persist round trips per sample: fine enough to watch
+    // occupancy evolve, coarse enough that a multi-million-cycle run
+    // stays in the low thousands of samples.
+    const auto &p = config.scheme.path;
+    Tick round_trip =
+        2 * (Tick{p.oneWayLatency} + Tick{p.numaExtraCycles});
+    Tick period = 32 * round_trip;
+    return period ? period : 1024;
+}
+
 std::vector<arch::IoRecord>
 collectIoStream(const ir::Module &module, const std::string &entry,
                 const std::vector<Word> &args)
@@ -149,6 +253,72 @@ WholeSystemSim::reset()
     }
     hierarchy_->setTrace(trace_);
     scheme_->setTrace(trace_);
+    wireSampler();
+}
+
+void
+WholeSystemSim::attachSampler(sim::CounterSampler *sampler)
+{
+    sampler_ = sampler;
+    wireSampler();
+}
+
+void
+WholeSystemSim::wireSampler()
+{
+    scheme_->setSampler(sampler_);
+    if (!sampler_)
+        return;
+    // Fixed registration order (cores, then MCs) keeps track indices
+    // and capture geometry stable across resets and design points of
+    // the same shape. Probes bind against the *current* components;
+    // every reset re-binds them here.
+    arch::Scheme *s = scheme_.get();
+    mem::Hierarchy *h = hierarchy_.get();
+    auto track = [&](const std::string &name, std::uint16_t lane,
+                     sim::CounterSampler::Probe probe) {
+        sampler_->bindProbe(sampler_->ensureTrack(name, lane),
+                            std::move(probe));
+    };
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        std::string p = "core" + std::to_string(c) + ".";
+        std::uint16_t lane = sim::coreLane(c);
+        track(p + "pb_occupancy", lane, [s, c](Tick at) {
+            return std::uint64_t{s->pb(c).occupancyAt(at)};
+        });
+        track(p + "rbt_entries", lane, [s, c](Tick) {
+            return std::uint64_t{s->rbt(c).liveEntries()};
+        });
+        track(p + "open_region", lane, [s, c](Tick) {
+            return std::uint64_t{s->rbt(c).hasOpenRegion() ? 1u : 0u};
+        });
+        track(p + "wb_occupancy", lane, [h, c](Tick at) {
+            return std::uint64_t{h->writeBuffer(c).occupancyAt(at)};
+        });
+        track(p + "path_queue_delay", lane, [s, c](Tick) {
+            return std::uint64_t{s->path(c).lastQueueDelay()};
+        });
+        track(p + "path_bytes", lane, [s, c](Tick) {
+            return s->path(c).bytesSent();
+        });
+        track(p + "stall_events", lane, [s, c](Tick) {
+            return s->pb(c).fullStalls() + s->rbt(c).fullStalls();
+        });
+    }
+    for (McId m = 0; m < hierarchy_->numMcs(); ++m) {
+        std::string p = "mc" + std::to_string(m) + ".";
+        std::uint16_t lane = sim::mcLane(m);
+        track(p + "wpq_depth", lane, [h, m](Tick at) {
+            return std::uint64_t{h->mc(m).wpqDepthAt(at)};
+        });
+        track(p + "undo_log_bytes", lane, [h, m](Tick) {
+            // One undo record = 8B address + 8B old value.
+            return h->mc(m).loggedStores() * 16;
+        });
+        track(p + "wpq_full_stalls", lane, [h, m](Tick) {
+            return h->mc(m).fullStalls();
+        });
+    }
 }
 
 void
@@ -393,6 +563,15 @@ void
 WholeSystemSim::fillStats(StatsRegistry &reg,
                           const std::string &prefix) const
 {
+    // Trace-ring health rides with the component stats so batch
+    // aggregates and stats-JSON diffs surface truncation
+    // (cwsp_analyze warns on a nonzero trace_drops).
+    if (trace_) {
+        reg.counter(prefix + "trace.recorded")
+            .inc(trace_->recorded());
+        reg.counter(prefix + "trace.trace_drops")
+            .inc(trace_->dropped());
+    }
     for (std::uint32_t c = 0; c < config_.numCores; ++c) {
         std::string p = prefix + "core" + std::to_string(c) + ".";
         reg.counter(p + "instrs").inc(scheme_->instrs(c));
@@ -449,8 +628,24 @@ WholeSystemSim::exportStatsJson(std::ostream &os) const
 {
     StatsRegistry reg;
     fillStats(reg);
-    reg.exportJson(os);
-    os << "\n";
+    if (!sampler_) {
+        reg.exportJson(os);
+        os << "\n";
+        return;
+    }
+    // Splice the sampled series in as a `time_series` section: the
+    // registry's export is a single JSON object, so drop its closing
+    // brace and append the extra member.
+    std::ostringstream body;
+    reg.exportJson(body);
+    std::string text = body.str();
+    std::size_t close = text.find_last_of('}');
+    cwsp_assert(close != std::string::npos,
+                "stats export is not a JSON object");
+    os << text.substr(0, close);
+    os << (close > 1 ? ", " : "") << "\"time_series\": ";
+    sampler_->exportJson(os);
+    os << "}\n";
 }
 
 RunResult
@@ -524,6 +719,12 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
             (!fork->hasTrace ||
              fork->traceCapacity != trace_->capacity() ||
              fork->traceMask != trace_->mask())) {
+            usable = false;
+        }
+        if (sampler_ &&
+            (!fork->hasSampler ||
+             fork->samplerPeriod != sampler_->period() ||
+             fork->samplerTracks != sampler_->trackCount())) {
             usable = false;
         }
         if (!usable)
@@ -618,6 +819,13 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 bool ok = trace_->restoreState(tr);
                 cwsp_assert(ok,
                             "trace geometry was gated before fork");
+                (void)ok;
+            }
+            if (sampler_ && fork->hasSampler) {
+                sim::StateReader sr(fork->samplerBytes);
+                bool ok = sampler_->restoreState(sr);
+                cwsp_assert(ok,
+                            "sampler geometry was gated before fork");
                 (void)ok;
             }
             finished_at = fork->finishedAt;
@@ -798,6 +1006,7 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                     e.exact = std::move(snap);
                 }
             }
+            const Tick crashAt = pendingDt;
             ++scheduleIdx;
             havePending = scheduleIdx < schedule.ticks.size();
             pendingDt = havePending ? schedule.ticks[scheduleIdx] : 0;
@@ -820,6 +1029,12 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                     havePending ? schedule.ticks[scheduleIdx] : 0;
             }
             out.recoveryWindows.push_back(window);
+            {
+                RecoveryBreakdown rb =
+                    tileRecoveryWindow(window, 0, 0);
+                traceRecoveryPhases(trace_, crashAt, rb);
+                out.recoveryBreakdowns.push_back(rb);
+            }
             if (havePending)
                 pendingDt -= window;
             firstEpoch = false;
@@ -973,22 +1188,26 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
 
         // Recovery is a timed window: boot + undo replay + slices.
         Tick window = kBootCycles;
+        std::uint64_t replayRecords = 0;
+        std::uint64_t sliceOpsTotal = 0;
         if (!cs.fullRestart) {
-            window += static_cast<Tick>(cs.replaySteps.size()) *
+            replayRecords = cs.replaySteps.size();
+            window += static_cast<Tick>(replayRecords) *
                       kCyclesPerReplayRecord;
             for (std::size_t c = 0; c < n; ++c) {
                 if (entries[c].kind != EpochEntry::Kind::Resume)
                     continue;
                 const ir::Function &fn =
                     module_->function(entries[c].rp.func);
-                window +=
-                    static_cast<Tick>(
-                        fn.recoverySlices()[entries[c].rp.staticRegion]
-                            .ops.size()) *
-                    kCyclesPerSliceOp;
+                std::uint64_t ops =
+                    fn.recoverySlices()[entries[c].rp.staticRegion]
+                        .ops.size();
+                sliceOpsTotal += ops;
+                window += static_cast<Tick>(ops) * kCyclesPerSliceOp;
             }
         }
 
+        const Tick crashAt = pendingDt;
         ++scheduleIdx;
         havePending = scheduleIdx < schedule.ticks.size();
         pendingDt = havePending ? schedule.ticks[scheduleIdx] : 0;
@@ -1040,6 +1259,12 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 havePending ? schedule.ticks[scheduleIdx] : 0;
         }
         out.recoveryWindows.push_back(window);
+        {
+            RecoveryBreakdown rb = tileRecoveryWindow(
+                window, replayRecords, sliceOpsTotal);
+            traceRecoveryPhases(trace_, crashAt, rb);
+            out.recoveryBreakdowns.push_back(rb);
+        }
         if (havePending)
             pendingDt -= window; // epoch-relative crash instant
         firstEpoch = false;
@@ -1253,6 +1478,13 @@ WholeSystemSim::captureCheckpoints(
             ck->traceMask = trace_->mask();
             sim::StateWriter tw(ck->traceBytes);
             trace_->captureState(tw);
+        }
+        if (sampler_) {
+            ck->hasSampler = true;
+            ck->samplerPeriod = sampler_->period();
+            ck->samplerTracks = sampler_->trackCount();
+            sim::StateWriter sw(ck->samplerBytes);
+            sampler_->captureState(sw);
         }
         ck->finishedAt.assign(n, kTickNever);
         ck->coreReturns.assign(n, 0);

@@ -44,6 +44,36 @@ constexpr Tick kCyclesPerReplayRecord = 4;
 constexpr Tick kCyclesPerSliceOp = 2;
 } // namespace recovery_timing
 
+/**
+ * Phases of one recovery pass, in order. Their durations tile the
+ * recovery window exactly (same discipline as the span builder's
+ * execute/drain/order-wait tiling): detect + scan + undo replay +
+ * slice re-execution == the window, with resume a zero-duration end
+ * marker. Battery-backed schemes only detect and scan (their window
+ * is the boot constant); undo/slice phases are zero there.
+ */
+enum class RecoveryPhase : std::uint8_t
+{
+    Detect = 0,     ///< power-restore + failure detection
+    Scan = 1,       ///< log scan + record classification
+    UndoReplay = 2, ///< undo-record replay (revert speculation)
+    SliceReexec = 3, ///< recovery-slice re-execution
+    Resume = 4,     ///< end marker (zero duration)
+};
+
+constexpr std::size_t kNumRecoveryPhases = 5;
+
+const char *recoveryPhaseName(RecoveryPhase p);
+
+/** Phase decomposition of one recovery window. */
+struct RecoveryBreakdown
+{
+    Tick window = 0;   ///< == sum of phase durations
+    Tick phase[kNumRecoveryPhases] = {0, 0, 0, 0, 0};
+    std::uint64_t replayRecords = 0; ///< undo records replayed
+    std::uint64_t sliceOps = 0;      ///< recovery-slice operations
+};
+
 /** What one core should execute. */
 struct ThreadSpec
 {
@@ -127,6 +157,12 @@ struct CrashRunResult
      * Lets callers aim a nested failure inside a specific window.
      */
     std::vector<Tick> recoveryWindows;
+    /**
+     * Phase tiling of each window, parallel to recoveryWindows
+     * (breakdown[i].window == recoveryWindows[i] and its phases sum
+     * to it exactly).
+     */
+    std::vector<RecoveryBreakdown> recoveryBreakdowns;
 };
 
 /**
@@ -136,6 +172,13 @@ struct CrashRunResult
 std::vector<arch::IoRecord>
 collectIoStream(const ir::Module &module, const std::string &entry,
                 const std::vector<Word> &args);
+
+/**
+ * Config-derived default sampling cadence: a few persist-path round
+ * trips, so consecutive samples of the occupancy gauges can actually
+ * differ without drowning the run in samples.
+ */
+Tick defaultSamplePeriod(const SystemConfig &config);
 
 struct SimCheckpoint; // core/sim_checkpoint.hh
 
@@ -316,6 +359,17 @@ class WholeSystemSim
     void attachTraceSink(sim::TraceSink *sink);
     sim::TraceSink *traceSink() const { return sink_; }
 
+    /**
+     * Attach an externally-owned counter sampler. Like attachTrace,
+     * the attachment survives per-run resets: each reset re-registers
+     * the gauge tracks (fixed names and order) and re-binds their
+     * probes against the freshly built scheme and hierarchy, keeping
+     * accumulated samples. Pass nullptr to detach. Callers wanting a
+     * fresh series per run call sampler->clearSamples() themselves.
+     */
+    void attachSampler(sim::CounterSampler *sampler);
+    sim::CounterSampler *sampler() const { return sampler_; }
+
   private:
     const ir::Module *module_;
     SystemConfig config_;
@@ -329,11 +383,15 @@ class WholeSystemSim
     sim::TraceSink *sink_ = nullptr;
     /** Internal buffer driving a sink when none is attached. */
     std::unique_ptr<sim::TraceBuffer> ownTrace_;
+    sim::CounterSampler *sampler_ = nullptr;
     Tick lastCycles_ = 0;
     std::uint64_t expectedInstrs_ = 0;
 
     /** Rebuild hierarchy/scheme state for a fresh run. */
     void reset();
+
+    /** (Re-)register sampler tracks and bind probes to components. */
+    void wireSampler();
 
     RunResult collectStats(const std::vector<Word> &return_values);
     RunResult collectStats(

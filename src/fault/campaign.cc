@@ -1,7 +1,10 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <sstream>
 
@@ -11,6 +14,7 @@
 #include "driver/batch_runner.hh"
 #include "interp/interpreter.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace cwsp::fault {
@@ -18,6 +22,13 @@ namespace cwsp::fault {
 namespace {
 
 using core::recovery_timing::kBootCycles;
+
+static_assert(kRecoveryPhases == core::kNumRecoveryPhases,
+              "campaign phase accounting mirrors core::RecoveryPhase");
+
+/** JSON keys of the per-phase cycle totals, RecoveryPhase order. */
+constexpr const char *kPhaseJsonKeys[kRecoveryPhases] = {
+    "detect", "scan", "undo_replay", "slice_reexec", "resume"};
 
 /**
  * Schemes with NVM undo-log media a fault can target. Battery-backed
@@ -106,13 +117,77 @@ writeCaseJson(std::ostream &os, const CaseResult &r)
        << ", \"io_match\": " << (r.ioMatch ? "true" : "false")
        << ", \"faults_detected\": "
        << (r.faultsDetected ? "true" : "false")
-       << ", \"divergences\": " << r.divergences << ", \"stats\": ";
+       << ", \"divergences\": " << r.divergences
+       << ", \"lost_work\": " << r.lostWork
+       << ", \"recovery_windows\": [";
+    for (std::size_t i = 0; i < r.recoveryWindows.size(); ++i)
+        os << (i ? ", " : "") << r.recoveryWindows[i];
+    os << "], \"recovery_phases\": {";
+    for (std::size_t p = 0; p < kRecoveryPhases; ++p) {
+        os << (p ? ", " : "") << "\"" << kPhaseJsonKeys[p]
+           << "\": " << r.recoveryPhaseCycles[p];
+    }
+    os << "}, \"stats\": ";
     writeFaultStatsJson(os, r.faults);
     if (!r.detail.empty()) {
         os << ", \"detail\": ";
         jsonEscape(os, r.detail);
     }
     os << "}";
+}
+
+/** Shortest round-trippable decimal for a JSON number. */
+void
+writeDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    os << buf;
+}
+
+void
+writeHistogramJson(std::ostream &os, const RecoveryHistogram &h)
+{
+    os << "{\"samples\": " << h.samples << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"total\": " << h.total
+       << ", \"mean\": ";
+    writeDouble(os, h.mean());
+    os << ", \"bucket_width\": " << h.bucketWidth
+       << ", \"counts\": [";
+    // Trim trailing empty buckets: the width is fixed, so readers
+    // rebuild the tail as zeros.
+    std::size_t last = h.counts.size();
+    while (last > 0 && h.counts[last - 1] == 0)
+        --last;
+    for (std::size_t i = 0; i < last; ++i)
+        os << (i ? ", " : "") << h.counts[i];
+    os << "]}";
+}
+
+void
+writeSchemeRecoveryJson(std::ostream &os,
+                        const SchemeRecoveryStats &st)
+{
+    os << "{\"name\": ";
+    jsonEscape(os, st.scheme);
+    os << ", \"crashes\": " << st.crashes << ", \"latency\": ";
+    writeHistogramJson(os, st.latency);
+    os << ", \"lost_work\": ";
+    writeHistogramJson(os, st.lostWork);
+    os << ", \"phases\": {";
+    for (std::size_t p = 0; p < kRecoveryPhases; ++p) {
+        os << (p ? ", " : "") << "\"" << kPhaseJsonKeys[p]
+           << "\": " << st.phaseCycles[p];
+    }
+    os << "}, \"runtime_overhead\": ";
+    writeDouble(os, st.runtimeOverhead);
+    os << ", \"golden_cycles\": [";
+    for (std::size_t i = 0; i < st.goldenCycles.size(); ++i) {
+        os << (i ? ", " : "") << "{\"name\": ";
+        jsonEscape(os, st.goldenCycles[i].first);
+        os << ", \"cycles\": " << st.goldenCycles[i].second << "}";
+    }
+    os << "]}";
 }
 
 /** Per-(app, scheme) golden context shared read-only by its cases. */
@@ -125,6 +200,8 @@ struct Context
     Word goldenResult = 0;
     interp::SparseMemory goldenMemory;
     std::vector<arch::IoRecord> goldenIo;
+    /** Fault-free timed cycles (overhead axis of the Pareto report). */
+    Tick goldenCycles = 0;
     /** Compiled commit stream replayed by this context's cases. */
     core::CommitStream stream;
     bool hasStream = false;
@@ -279,6 +356,24 @@ shrinkCase(const CaseResult &failing, const GoldenRef &golden,
 
 } // namespace
 
+void
+RecoveryHistogram::add(std::uint64_t v)
+{
+    if (counts.empty())
+        counts.assign(kRecoveryHistBuckets, 0);
+    std::size_t b = static_cast<std::size_t>(
+        v / (bucketWidth ? bucketWidth : 1));
+    if (b >= counts.size())
+        b = counts.size() - 1; // overflow bucket
+    ++counts[b];
+    if (samples == 0 || v < min)
+        min = v;
+    if (v > max)
+        max = v;
+    total += v;
+    ++samples;
+}
+
 const std::vector<std::string> &
 allSchemeNames()
 {
@@ -329,6 +424,13 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
         r.ran = true;
         r.crashed = out.crashed;
         r.faults = out.faults;
+        r.lostWork = out.lostWork;
+        r.recoveryWindows.assign(out.recoveryWindows.begin(),
+                                 out.recoveryWindows.end());
+        for (const auto &b : out.recoveryBreakdowns) {
+            for (std::size_t p = 0; p < kRecoveryPhases; ++p)
+                r.recoveryPhaseCycles[p] += b.phase[p];
+        }
 
         auto check = core::checkGlobals(*golden.module,
                                         *golden.memory, sim.memory());
@@ -469,6 +571,7 @@ runCampaign(const CampaignOptions &options)
                             {core::ThreadSpec{}}, ticks,
                             options.maxInstrs,
                             ctx.hasStream ? &ctx.stream : nullptr);
+                        ctx.goldenCycles = cr.result.cycles;
                         std::string base = ckptKeyBaseOf(ctx);
                         for (auto &ck : cr.checkpoints)
                             cache->insert(
@@ -476,6 +579,22 @@ runCampaign(const CampaignOptions &options)
                                     std::to_string(ck->crashTick),
                                 ck);
                         ctx.ckptCache = cache;
+                    } else {
+                        // No capture pass doubling as the timed
+                        // golden run: run one for the Pareto
+                        // report's overhead axis (stream-driven when
+                        // available, so it costs a fraction of an
+                        // interpreted run).
+                        core::WholeSystemSim sim(*ctx.module,
+                                                 ctx.config);
+                        ctx.goldenCycles =
+                            ctx.hasStream
+                                ? sim.runReplay(ctx.stream,
+                                                options.maxInstrs)
+                                      .cycles
+                                : sim.run("main", {},
+                                          options.maxInstrs)
+                                      .cycles;
                     }
                 });
             }
@@ -526,6 +645,70 @@ runCampaign(const CampaignOptions &options)
             report.failures.push_back(r);
         }
     }
+    // Per-scheme recovery aggregation (latency / lost-work
+    // histograms, phase totals, runtime overhead): the raw material
+    // of the --recovery-report Pareto table. Campaign scheme order.
+    {
+        report.recovery.resize(schemes.size());
+        std::map<std::string, std::size_t> idxOf;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            SchemeRecoveryStats &st = report.recovery[s];
+            st.scheme = schemes[s];
+            st.latency.bucketWidth = 64;
+            st.latency.counts.assign(kRecoveryHistBuckets, 0);
+            st.lostWork.bucketWidth = 1024;
+            st.lostWork.counts.assign(kRecoveryHistBuckets, 0);
+            idxOf[schemes[s]] = s;
+        }
+        for (const CaseResult &r : report.cases) {
+            if (!r.ran)
+                continue;
+            SchemeRecoveryStats &st =
+                report.recovery[idxOf.at(r.c.scheme)];
+            for (std::uint64_t w : r.recoveryWindows) {
+                ++st.crashes;
+                st.latency.add(w);
+            }
+            for (std::size_t p = 0; p < kRecoveryPhases; ++p)
+                st.phaseCycles[p] += r.recoveryPhaseCycles[p];
+            if (r.crashed)
+                st.lostWork.add(r.lostWork);
+        }
+        for (const Context &ctx : contexts) {
+            report.recovery[idxOf.at(ctx.scheme)]
+                .goldenCycles.emplace_back(ctx.app,
+                                           ctx.goldenCycles);
+        }
+        // Runtime overhead: gmean over apps of this scheme's
+        // fault-free cycles vs. the baseline scheme's. Unavailable
+        // (0) unless baseline was swept.
+        auto bl = idxOf.find("baseline");
+        if (bl != idxOf.end()) {
+            std::map<std::string, std::uint64_t> base;
+            for (const auto &[app, cyc] :
+                 report.recovery[bl->second].goldenCycles)
+                base[app] = cyc;
+            for (SchemeRecoveryStats &st : report.recovery) {
+                double logSum = 0.0;
+                std::size_t apps = 0;
+                for (const auto &[app, cyc] : st.goldenCycles) {
+                    auto it = base.find(app);
+                    if (it == base.end() || it->second == 0 ||
+                        cyc == 0) {
+                        continue;
+                    }
+                    logSum +=
+                        std::log(static_cast<double>(cyc) /
+                                 static_cast<double>(it->second));
+                    ++apps;
+                }
+                if (apps)
+                    st.runtimeOverhead =
+                        std::exp(logSum /
+                                 static_cast<double>(apps));
+            }
+        }
+    }
     if (ckptCache) {
         auto cs = ckptCache->stats();
         report.ckptCache.enabled = true;
@@ -556,6 +739,12 @@ CampaignReport::writeJson(std::ostream &os) const
        << ", \"fallbacks\": " << ckptCache.fallbacks
        << ", \"bytes_resident\": " << ckptCache.bytesResident
        << ", \"entries\": " << ckptCache.entries << "}";
+    os << ",\n  \"recovery\": [";
+    for (std::size_t i = 0; i < recovery.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        writeSchemeRecoveryJson(os, recovery[i]);
+    }
+    os << (recovery.empty() ? "]" : "\n  ]");
     os << ",\n  \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         os << (i ? ",\n    " : "\n    ");
@@ -569,6 +758,86 @@ CampaignReport::writeJson(std::ostream &os) const
     }
     os << (cases.empty() ? "]" : "\n  ]");
     os << "\n}\n";
+}
+
+void
+CampaignReport::fillStats(StatsRegistry &reg) const
+{
+    reg.counter("fault_campaign.cases_run").inc(casesRun);
+    reg.counter("fault_campaign.cases_passed").inc(casesPassed);
+    reg.counter("fault_campaign.failures").inc(failures.size());
+    reg.counter("fault_campaign.shrink_runs").inc(shrinkRuns);
+    reg.counter("fault_campaign.crashes_injected")
+        .inc(totals.crashesInjected);
+    reg.counter("fault_campaign.nested_crashes")
+        .inc(totals.nestedCrashes);
+    reg.counter("fault_campaign.recovery_crashes")
+        .inc(totals.recoveryCrashes);
+    reg.counter("fault_campaign.undo_replay_passes")
+        .inc(totals.undoReplayPasses);
+    reg.counter("fault_campaign.partial_replay_records")
+        .inc(totals.partialReplayRecords);
+    reg.counter("fault_campaign.faults_requested")
+        .inc(totals.faultsRequested);
+    reg.counter("fault_campaign.faults_applied")
+        .inc(totals.faultsApplied);
+    reg.counter("fault_campaign.corrupt_records_detected")
+        .inc(totals.corruptRecordsDetected);
+    reg.counter("fault_campaign.torn_tails_dropped")
+        .inc(totals.tornTailsDropped);
+    reg.counter("fault_campaign.region_restarts")
+        .inc(totals.regionRestarts);
+    reg.counter("fault_campaign.full_restarts")
+        .inc(totals.fullRestarts);
+    reg.counter("fault_campaign.stale_slots_detected")
+        .inc(totals.staleSlotsDetected);
+    reg.counter("fault_campaign.atomic_resumes")
+        .inc(totals.atomicResumes);
+    if (ckptCache.enabled) {
+        reg.counter("ckpt.captures").inc(ckptCache.captures);
+        reg.counter("ckpt.forks").inc(ckptCache.forks);
+        reg.counter("ckpt.evictions").inc(ckptCache.evictions);
+        reg.counter("ckpt.fallbacks").inc(ckptCache.fallbacks);
+        reg.counter("ckpt.bytes_resident")
+            .inc(ckptCache.bytesResident);
+        reg.counter("ckpt.entries").inc(ckptCache.entries);
+    }
+    for (const SchemeRecoveryStats &st : recovery) {
+        const std::string p = "recovery." + st.scheme + ".";
+        reg.counter(p + "crashes").inc(st.crashes);
+        for (std::size_t i = 0; i < kRecoveryPhases; ++i) {
+            reg.counter(p + "phases." + kPhaseJsonKeys[i])
+                .inc(st.phaseCycles[i]);
+        }
+        if (st.runtimeOverhead > 0.0) {
+            reg.average(p + "runtime_overhead")
+                .sample(st.runtimeOverhead);
+        }
+        for (const auto &[app, cycles] : st.goldenCycles)
+            reg.counter(p + "golden_cycles." + app).inc(cycles);
+        // Touch the histograms so zero-crash schemes still export an
+        // (empty) series with the canonical shape.
+        reg.histogram(p + "latency", st.latency.bucketWidth,
+                      kRecoveryHistBuckets);
+        reg.histogram(p + "lost_work", st.lostWork.bucketWidth,
+                      kRecoveryHistBuckets);
+    }
+    // Refill the histograms from the raw per-case windows: exact
+    // moments (mean/max/percentiles), not bucket-quantized ones.
+    for (const CaseResult &r : cases) {
+        if (!r.ran)
+            continue;
+        const std::string p = "recovery." + r.c.scheme + ".";
+        for (std::uint64_t w : r.recoveryWindows) {
+            reg.histogram(p + "latency", 64, kRecoveryHistBuckets)
+                .sample(w);
+        }
+        if (r.crashed) {
+            reg.histogram(p + "lost_work", 1024,
+                          kRecoveryHistBuckets)
+                .sample(r.lostWork);
+        }
+    }
 }
 
 } // namespace cwsp::fault

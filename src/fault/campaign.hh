@@ -30,6 +30,10 @@
 #include "fault/crash_points.hh"
 #include "fault/fault_model.hh"
 
+namespace cwsp {
+class StatsRegistry; // sim/stats.hh
+}
+
 namespace cwsp::core {
 class CheckpointCache; // core/sim_checkpoint.hh
 }
@@ -77,6 +81,9 @@ struct CampaignCase
     std::string label() const;
 };
 
+/** Phase count of core::RecoveryPhase (campaign.cc pins the match). */
+constexpr std::size_t kRecoveryPhases = 5;
+
 /** Outcome of one case. */
 struct CaseResult
 {
@@ -92,6 +99,19 @@ struct CaseResult
     bool pass = false;
     std::uint64_t divergences = 0; ///< total divergent words
     FaultStats faults;
+    /** Timed recovery window of every injected failure, cycles, in
+     *  schedule order (nested failures absorbed by a window do not
+     *  open one of their own). */
+    std::vector<std::uint64_t> recoveryWindows;
+    /** Cycles per recovery phase summed over this case's windows,
+     *  core::RecoveryPhase order (detect, scan, undo replay, slice
+     *  re-execution, resume). The five always tile the windows
+     *  exactly: their sum equals the sum of recoveryWindows. */
+    std::uint64_t recoveryPhaseCycles[kRecoveryPhases] = {0, 0, 0, 0,
+                                                          0};
+    /** Instructions committed past the resume point at the first
+     *  failure — work the crash destroyed. */
+    std::uint64_t lostWork = 0;
     std::string detail; ///< human-readable failure explanation
 };
 
@@ -112,6 +132,60 @@ struct CkptCacheReport
     std::uint64_t entries = 0;
 };
 
+/**
+ * Fixed-width bucket histogram: bucket i counts samples in
+ * [i*bucketWidth, (i+1)*bucketWidth); the last bucket absorbs
+ * overflow. Filled from the deterministic case order, so it is
+ * independent of the jobs count.
+ */
+struct RecoveryHistogram
+{
+    std::uint64_t bucketWidth = 64;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t samples = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t total = 0;
+
+    void add(std::uint64_t v);
+    double
+    mean() const
+    {
+        return samples ? static_cast<double>(total) /
+                             static_cast<double>(samples)
+                       : 0.0;
+    }
+};
+
+/** Histogram resolution (buckets per histogram). */
+constexpr std::size_t kRecoveryHistBuckets = 64;
+
+/**
+ * Per-scheme recovery observability aggregated over a campaign: the
+ * raw material of the recovery-latency vs. runtime-overhead Pareto
+ * report (cwsp_analyze --recovery-report).
+ */
+struct SchemeRecoveryStats
+{
+    std::string scheme;
+    std::uint64_t crashes = 0; ///< recovery windows observed
+    /** Recovery-window length, cycles (bucket width 64). */
+    RecoveryHistogram latency;
+    /** Lost work per crashed case, instructions (bucket width 1024). */
+    RecoveryHistogram lostWork;
+    /** Cycles per phase summed over every window, core::RecoveryPhase
+     *  order; the five sum to latency.total. */
+    std::uint64_t phaseCycles[kRecoveryPhases] = {0, 0, 0, 0, 0};
+    /**
+     * Geometric-mean fault-free runtime of this scheme over the
+     * campaign's apps, relative to the baseline scheme's. 0 when the
+     * campaign did not sweep baseline (overhead unavailable).
+     */
+    double runtimeOverhead = 0.0;
+    /** Fault-free timed cycles per app (campaign app order). */
+    std::vector<std::pair<std::string, std::uint64_t>> goldenCycles;
+};
+
 /** Aggregate outcome. */
 struct CampaignReport
 {
@@ -123,11 +197,23 @@ struct CampaignReport
     std::size_t casesPassed = 0;
     std::size_t shrinkRuns = 0; ///< extra runs the shrinker spent
     CkptCacheReport ckptCache;  ///< forked-mode cache behaviour
+    /** Per-scheme recovery aggregates, campaign scheme order. */
+    std::vector<SchemeRecoveryStats> recovery;
 
     bool allPassed() const { return failures.empty(); }
 
     /** Machine-readable report (stable schema, see internals.md). */
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Register the campaign outcome in @p reg — counters under
+     * "fault_campaign." and "ckpt.", per-scheme recovery histograms
+     * and phase totals under "recovery.<scheme>." — so the
+     * cwsp_faultcampaign --stats-json export nests hierarchically
+     * exactly like cwsp_run's. Histograms are refilled from the raw
+     * per-case windows (exact moments, not bucket-quantized).
+     */
+    void fillStats(StatsRegistry &reg) const;
 };
 
 /**

@@ -81,6 +81,22 @@ class MemoryController
     std::uint64_t loggedStores() const { return loggedStores_; }
     std::uint64_t evictionWrites() const { return evictionWrites_; }
 
+    /**
+     * WPQ occupancy gauge: admitted entries not yet drained to media
+     * as of @p at. Pure predicate over the slot-release ring, so the
+     * answer for a boundary tick does not depend on when the sampler
+     * noticed the boundary (telemetry determinism contract).
+     */
+    std::uint32_t
+    wpqDepthAt(Tick at) const
+    {
+        std::uint32_t n = 0;
+        for (std::size_t i = 0; i < slotFree_.size(); ++i)
+            if (slotFree_[i] > at)
+                ++n;
+        return n;
+    }
+
     /** Attach a trace sink (events land on this MC's lane). */
     void
     setTrace(sim::TraceBuffer *trace)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/telemetry.hh"
+
 namespace cwsp::sim {
 
 namespace {
@@ -85,6 +87,7 @@ traceKindName(TraceEventKind kind)
       case TraceEventKind::LogFault: return "log_fault";
       case TraceEventKind::RecoveryReentry:
         return "recovery_reentry";
+      case TraceEventKind::RecoveryPhase: return "recovery_phase";
     }
     return "?";
 }
@@ -148,6 +151,10 @@ argNames(TraceEventKind kind, const char *&a0, const char *&a1)
       case TraceEventKind::RecoveryReentry:
         a0 = "crash";
         a1 = "replayed";
+        break;
+      case TraceEventKind::RecoveryPhase:
+        a0 = "phase";
+        a1 = "items";
         break;
       case TraceEventKind::RsPointerWrite:
       case TraceEventKind::CrashInject:
@@ -243,7 +250,8 @@ TraceBuffer::snapshot() const
 }
 
 void
-TraceBuffer::exportChromeJson(std::ostream &os) const
+TraceBuffer::exportChromeJson(std::ostream &os,
+                              const CounterSampler *sampler) const
 {
     auto events = snapshot();
     // Chrome/Perfetto tolerate unsorted events but sorting keeps the
@@ -268,6 +276,10 @@ TraceBuffer::exportChromeJson(std::ostream &os) const
     std::map<std::uint16_t, bool> lanes;
     for (const auto &ev : events)
         lanes[ev.lane] = true;
+    if (sampler) {
+        for (std::size_t t = 0; t < sampler->trackCount(); ++t)
+            lanes[sampler->track(t).lane] = true;
+    }
     for (const auto &[lane, unused] : lanes) {
         (void)unused;
         os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
@@ -309,6 +321,28 @@ TraceBuffer::exportChromeJson(std::ostream &os) const
                    << "\":" << ev.arg1;
         }
         os << "}}";
+    }
+
+    // Sampled time series as Perfetto counter tracks: one "ph":"C"
+    // series per track, in sample order (monotone ts per counter
+    // name by construction).
+    if (sampler) {
+        const auto &ticks = sampler->sampleTicks();
+        if (!ticks.empty())
+            last_tick = std::max(last_tick, ticks.back());
+        for (std::size_t t = 0; t < sampler->trackCount(); ++t) {
+            const auto &track = sampler->track(t);
+            for (std::size_t i = 0; i < ticks.size(); ++i) {
+                os << (first ? "" : ",");
+                first = false;
+                os << "{\"name\":\"" << track.name
+                   << "\",\"cat\":\"telemetry\",\"ph\":\"C\","
+                      "\"pid\":0,\"tid\":"
+                   << track.lane << ",\"ts\":" << ticks[i]
+                   << ",\"args\":{\"value\":" << track.values[i]
+                   << "}}";
+            }
+        }
     }
 
     // Trailing counter track makes ring truncation visible in the

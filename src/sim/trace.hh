@@ -32,6 +32,8 @@
 
 namespace cwsp::sim {
 
+class CounterSampler; // sim/telemetry.hh
+
 /** Event categories, usable as a bitmask (TraceBuffer::mask). */
 enum TraceCategory : std::uint32_t {
     kTraceRegion = 1u << 0, ///< region begin/end/persist
@@ -108,6 +110,8 @@ enum class TraceEventKind : std::uint16_t {
                      ///< (0 tail drop, 1 region restart, 2 full)
     RecoveryReentry, ///< arg0 = crash ordinal, arg1 = records the
                      ///< interrupted replay pass had applied
+    RecoveryPhase,   ///< arg0 = core::RecoveryPhase id, arg1 = item
+                     ///< count (records/slice ops); dur = phase len
 };
 
 /** Category of @p kind (constexpr so the mask check inlines). */
@@ -145,6 +149,7 @@ traceKindCategory(TraceEventKind kind)
       case TraceEventKind::RecoveryResume:
       case TraceEventKind::LogFault:
       case TraceEventKind::RecoveryReentry:
+      case TraceEventKind::RecoveryPhase:
         return kTraceCrash;
     }
     return kTraceRegion;
@@ -309,8 +314,12 @@ class TraceBuffer
      * Export as Chrome trace-event JSON (the {"traceEvents": [...]}
      * object form). One simulated cycle maps to one microsecond of
      * trace time; cores and MCs appear as named threads of pid 0.
+     * When @p sampler is given, its time series are merged into the
+     * stream as Perfetto counter tracks ("ph":"C", one per track).
      */
-    void exportChromeJson(std::ostream &os) const;
+    void exportChromeJson(std::ostream &os,
+                          const CounterSampler *sampler = nullptr)
+        const;
 
     /**
      * Checkpointing: capacity, category mask, head cursor, and the

@@ -130,6 +130,22 @@ if campaign_path != "none" and os.path.exists(campaign_path):
         "failure_count": report.get("failure_count", 0),
         "totals": report.get("totals", {}),
     }
+    # Per-scheme recovery scalars (not the bucket arrays): entries
+    # stay keyed by "name" so flattened trajectory paths look like
+    # fault_campaign.recovery[cwsp].latency_mean — a recovery-latency
+    # regression shows up in the same diff as a throughput one.
+    merged["fault_campaign"]["recovery"] = [
+        {
+            "name": r.get("name", ""),
+            "crashes": r.get("crashes", 0),
+            "latency_mean": r.get("latency", {}).get("mean", 0),
+            "latency_max": r.get("latency", {}).get("max", 0),
+            "lost_work_mean": r.get("lost_work", {}).get("mean", 0),
+            "runtime_overhead": r.get("runtime_overhead", 0),
+            "phases": r.get("phases", {}),
+        }
+        for r in report.get("recovery", [])
+    ]
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 print("wrote {}: {} binaries, {} cases, {}s wall clock".format(

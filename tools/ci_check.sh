@@ -69,6 +69,21 @@ for san in "${SANITIZERS[@]}"; do
     # itself exercised under ASan and UBSan.
     "$dir"/tools/cwsp_faultcampaign --apps fft,bzip2 \
           --points 1 --fork --jobs "$JOBS" --quiet
+    echo "== $san: telemetry smoke (every scheme) =="
+    # One sampled + traced run per scheme: attaches the counter
+    # sampler at the config-derived cadence, exports the Chrome
+    # trace with the Perfetto counter tracks merged in, and
+    # re-parses it — the validator fails on malformed JSON or a
+    # counter track that goes backwards in time (plain runs only;
+    # crash runs restart the epoch clock by design). The sampler's
+    # probe lambdas and the export path run under the sanitizer.
+    for scheme in baseline cwsp capri ido replaycache psp; do
+        trace=$dir/telemetry_$scheme.trace.json
+        "$dir"/tools/cwsp_run --app fft --scheme "$scheme" \
+              --sample-period 0 --trace-out "$trace" > /dev/null
+        "$dir"/tools/cwsp_analyze --validate-trace "$trace"
+        rm -f "$trace"
+    done
 done
 
 echo "ci_check: all sanitizer passes clean (${SANITIZERS[*]})"

@@ -23,7 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +34,7 @@
 #include "driver/batch_runner.hh"
 #include "obs/baseline_diff.hh"
 #include "obs/invariant_monitor.hh"
+#include "obs/recovery_report.hh"
 #include "obs/span_builder.hh"
 #include "obs/stall_attribution.hh"
 #include "sim/logging.hh"
@@ -58,6 +62,16 @@ usage()
         " violations\n"
         "  --diff OLD NEW         compare two stats-JSON files; exit 1"
         " on regressions\n"
+        "  --recovery-report FILE per-scheme recovery-latency vs."
+        " runtime-overhead\n"
+        "                         Pareto table from a fault-campaign"
+        " JSON (markdown\n"
+        "                         to stdout; --report-json FILE for"
+        " the JSON form)\n"
+        "  --validate-trace FILE  validate a Chrome/Perfetto trace:"
+        " parse + counter\n"
+        "                         tracks monotone in time; exit 1 on"
+        " findings\n"
         "  --trajectory-append TRAJ SUMMARY\n"
         "                         append a labeled headline-metric"
         " snapshot of\n"
@@ -216,6 +230,40 @@ runBatchInvariants(const std::vector<std::string> &schemes,
     return 0;
 }
 
+/** Slurp a whole file; false + message on failure. */
+bool
+slurpFile(const std::string &path, std::string &out,
+          std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/**
+ * Print telemetry health warnings (trace-ring drops, checkpoint-
+ * cache fallbacks) found in @p json to stderr. Best-effort: parse
+ * failures are silent (the caller already validated the document).
+ */
+void
+printTelemetryWarnings(const std::string &json)
+{
+    std::map<std::string, double> metrics;
+    try {
+        metrics = obs::flattenMetricsJson(json);
+    } catch (const std::exception &) {
+        return;
+    }
+    for (const auto &w : obs::telemetryWarnings(metrics))
+        std::fprintf(stderr, "warning: %s\n", w.c_str());
+}
+
 int
 runDiff(const std::string &before, const std::string &after,
         const obs::DiffOptions &options)
@@ -229,7 +277,92 @@ runDiff(const std::string &before, const std::string &after,
         return 2;
     }
     obs::printDiffReport(std::cout, result, options);
+    // Telemetry health of the *current* file: truncated traces or a
+    // degraded checkpoint cache make the comparison itself suspect.
+    std::string after_json;
+    if (slurpFile(after, after_json, error))
+        printTelemetryWarnings(after_json);
     return result.hasRegressions() ? 1 : 0;
+}
+
+int
+runRecoveryReport(const std::string &campaign_path,
+                  const std::string &report_json_path)
+{
+    std::string json;
+    std::string error;
+    if (!slurpFile(campaign_path, json, error)) {
+        std::fprintf(stderr, "cwsp_analyze --recovery-report: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    obs::RecoveryReport report;
+    if (!obs::buildRecoveryReport(json, report, error)) {
+        std::fprintf(stderr,
+                     "cwsp_analyze --recovery-report: %s: %s\n",
+                     campaign_path.c_str(), error.c_str());
+        return 2;
+    }
+    obs::writeRecoveryReportMarkdown(std::cout, report);
+    if (!report_json_path.empty()) {
+        if (report_json_path == "-") {
+            obs::writeRecoveryReportJson(std::cout, report);
+        } else {
+            std::ofstream os(report_json_path);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             report_json_path.c_str());
+                return 2;
+            }
+            obs::writeRecoveryReportJson(os, report);
+        }
+    }
+    printTelemetryWarnings(json);
+    return 0;
+}
+
+int
+runValidateTrace(const std::string &path)
+{
+    std::string json;
+    std::string error;
+    if (!slurpFile(path, json, error)) {
+        std::fprintf(stderr, "cwsp_analyze --validate-trace: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    obs::TraceValidation v;
+    if (!obs::validateChromeTrace(json, v, error)) {
+        std::fprintf(stderr,
+                     "cwsp_analyze --validate-trace: %s: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    std::printf("%s: %zu events, %zu counter samples across %zu "
+                "tracks\n",
+                path.c_str(), v.events, v.counterEvents,
+                v.counterTracks);
+    // The export's otherData block carries the ring's drop ledger;
+    // a nonzero count means the trace window is truncated and the
+    // counter series may start mid-run.
+    std::size_t od = json.find("\"otherData\"");
+    if (od != std::string::npos) {
+        std::size_t d = json.find("\"dropped\":", od);
+        if (d != std::string::npos) {
+            long long drops =
+                std::atoll(json.c_str() + d + 10);
+            if (drops > 0)
+                std::fprintf(
+                    stderr,
+                    "warning: trace ring truncated: trace_drops = "
+                    "%lld (events lost; raise the trace capacity "
+                    "or narrow the category mask)\n",
+                    drops);
+        }
+    }
+    for (const auto &e : v.errors)
+        std::fprintf(stderr, "error: %s\n", e.c_str());
+    return v.ok() ? 0 : 1;
 }
 
 int
@@ -259,6 +392,8 @@ runMain(int argc, char **argv)
     std::string suite;
     std::string diff_before, diff_after;
     std::string traj_path, traj_summary;
+    std::string recovery_path, report_json_path;
+    std::string validate_path;
     bool diff = false;
     bool traj = false;
     bool traj_keep_cleared = false;
@@ -285,6 +420,12 @@ runMain(int argc, char **argv)
             diff = true;
             diff_before = next();
             diff_after = next();
+        } else if (a == "--recovery-report") {
+            recovery_path = next();
+        } else if (a == "--report-json") {
+            report_json_path = next();
+        } else if (a == "--validate-trace") {
+            validate_path = next();
         } else if (a == "--trajectory-append") {
             traj = true;
             traj_path = next();
@@ -324,6 +465,10 @@ runMain(int argc, char **argv)
 
     if (diff)
         return runDiff(diff_before, diff_after, diff_options);
+    if (!recovery_path.empty())
+        return runRecoveryReport(recovery_path, report_json_path);
+    if (!validate_path.empty())
+        return runValidateTrace(validate_path);
     if (traj)
         return runTrajectoryAppend(traj_path, traj_summary,
                                    traj_options);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fault/campaign.hh"
+#include "sim/stats.hh"
 
 using namespace cwsp;
 
@@ -48,6 +49,10 @@ usage()
         "  --no-fork           re-execute every pre-crash prefix\n"
         "  --jobs N            worker threads (default: all cores)\n"
         "  --json FILE         write the JSON report (`-` = stdout)\n"
+        "  --stats-json FILE   write hierarchical stats JSON (like\n"
+        "                      cwsp_run's): campaign counters plus\n"
+        "                      per-scheme recovery-latency and\n"
+        "                      lost-work histograms (`-` = stdout)\n"
         "  --quiet             suppress the per-case table\n");
 }
 
@@ -78,6 +83,7 @@ runMain(int argc, char **argv)
 {
     fault::CampaignOptions opt;
     std::string json_path;
+    std::string stats_json_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -109,6 +115,8 @@ runMain(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(arg(argc, argv, i)));
         } else if (a == "--json") {
             json_path = arg(argc, argv, i);
+        } else if (a == "--stats-json") {
+            stats_json_path = arg(argc, argv, i);
         } else if (a == "--quiet") {
             quiet = true;
         } else {
@@ -185,6 +193,21 @@ runMain(int argc, char **argv)
                 return 1;
             }
             report.writeJson(f);
+        }
+    }
+    if (!stats_json_path.empty()) {
+        StatsRegistry reg;
+        report.fillStats(reg);
+        if (stats_json_path == "-") {
+            reg.exportJson(std::cout);
+        } else {
+            std::ofstream f(stats_json_path);
+            if (!f) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             stats_json_path.c_str());
+                return 1;
+            }
+            reg.exportJson(f);
         }
     }
     return report.allPassed() ? 0 : 1;

@@ -39,6 +39,7 @@
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
 #include "mem/nvm_device.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 #include "sim/trace_mask.hh"
 #include "workloads/workload.hh"
@@ -93,6 +94,13 @@ usage()
         "                         region,pb,rbt,wpq,mc,wb,path,crash,\n"
         "                         all|none, or a hex mask (0x..);"
         " default all\n"
+        "  --sample-period N      sample occupancy/throughput gauges"
+        " every N simulated\n"
+        "                         cycles (single app; 0 = config-"
+        "derived default).\n"
+        "                         Series land in --stats-json"
+        " (time_series) and as\n"
+        "                         counter tracks in --trace-out\n"
         "  --dump-ir              print the compiled IR and exit\n");
 }
 
@@ -212,6 +220,7 @@ runMain(int argc, char **argv)
     int crash_sweep = 0;
     bool fork_sweep = true;
     std::string crash_at_event;
+    long sample_period = -1; ///< -1 = sampling off; 0 = default
     bool stats = false, dump_ir = false, use_cache = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -286,6 +295,16 @@ runMain(int argc, char **argv)
             trace_out = arg(argc, argv, i);
         } else if (a == "--trace-mask") {
             trace_mask = arg(argc, argv, i);
+        } else if (a == "--sample-period") {
+            const char *v = arg(argc, argv, i);
+            sample_period = std::atol(v);
+            if (sample_period < 0) {
+                std::fprintf(stderr,
+                             "--sample-period expects a non-negative "
+                             "cycle count, got '%s'\n",
+                             v);
+                return 2;
+            }
         } else if (a == "--dump-ir") {
             dump_ir = true;
         } else {
@@ -335,7 +354,7 @@ runMain(int argc, char **argv)
     // the live simulator state and take the direct path below.
     if (!stats && crash_frac < 0.0 && crash_sweep == 0 &&
         crash_at_event.empty() && stats_json.empty() &&
-        trace_out.empty()) {
+        trace_out.empty() && sample_period < 0) {
         driver::BatchConfig bc;
         bc.jobs = jobs;
         bc.useDiskCache = use_cache;
@@ -378,6 +397,15 @@ runMain(int argc, char **argv)
         sim::parseTraceMask(trace_mask));
     if (!trace_out.empty())
         sim.attachTrace(&trace);
+    // Periodic gauge sampling: every track probes component state at
+    // scheduled tick boundaries, so the series is identical however
+    // the run is driven (interpreted, replayed, or forked).
+    sim::CounterSampler sampler(
+        sample_period > 0 ? static_cast<Tick>(sample_period)
+                          : core::defaultSamplePeriod(cfg));
+    const bool sampling = sample_period >= 0;
+    if (sampling)
+        sim.attachSampler(&sampler);
     auto r = sim.run("main");
 
     // With `--stats-json -` the JSON owns stdout (see runBatch).
@@ -547,17 +575,23 @@ runMain(int argc, char **argv)
                     (unsigned long long)out.resumeRegions[0],
                     ok ? "CONSISTENT" : "CORRUPT");
         if (!trace_out.empty()) {
-            writeJsonOutput(trace_out, [&trace](std::ostream &os) {
-                trace.exportChromeJson(os);
-            });
+            writeJsonOutput(
+                trace_out,
+                [&trace, &sampler, sampling](std::ostream &os) {
+                    trace.exportChromeJson(
+                        os, sampling ? &sampler : nullptr);
+                });
         }
         return ok ? 0 : 1;
     }
 
     if (!trace_out.empty()) {
-        writeJsonOutput(trace_out, [&trace](std::ostream &os) {
-            trace.exportChromeJson(os);
-        });
+        writeJsonOutput(
+            trace_out,
+            [&trace, &sampler, sampling](std::ostream &os) {
+                trace.exportChromeJson(os,
+                                       sampling ? &sampler : nullptr);
+            });
         std::fprintf(stderr,
                      "trace: %llu events recorded (%llu dropped) -> "
                      "%s\n",
