@@ -4,14 +4,21 @@
 
 namespace cwsp::arch {
 
-PersistBuffer::PersistBuffer(std::uint32_t capacity)
-    : capacity_(capacity)
+PersistBuffer::PersistBuffer(std::uint32_t capacity, bool unbounded)
+    : capacity_(capacity), unbounded_(unbounded)
 {
     cwsp_assert(capacity > 0, "PB capacity must be positive");
     // capacity_ live entries at most (+1 transient headroom),
-    // rounded up to a power of two for mask indexing.
+    // rounded up to a power of two for mask indexing. Unbounded mode
+    // never stalls, so in-flight entries can outgrow any fixed ring
+    // when the media backlogs; give the gauge a generous window and
+    // let reserve() drop the oldest entry past it.
     std::size_t ring = 1;
-    while (ring < capacity_ + 1u)
+    std::size_t want = unbounded_
+                           ? std::max<std::size_t>(capacity_ + 1u,
+                                                   1024)
+                           : capacity_ + 1u;
+    while (ring < want)
         ring <<= 1;
     releaseOwn_.resize(ring);
     causeOwn_.resize(ring);
@@ -29,7 +36,14 @@ PersistBuffer::reserve(Tick now)
     while (head_ != tail_ && release_[head_ & ringMask_] <= now)
         ++head_;
     Tick start = now;
-    if (size() >= capacity_) {
+    if (unbounded_) {
+        // Counterfactual infinite PB: never wait. Keep the gauge
+        // window bounded by dropping the oldest in-flight entry once
+        // the tracking ring fills (no timing effect — nothing waits
+        // on the head in this mode).
+        if (size() > ringMask_)
+            ++head_;
+    } else if (size() >= capacity_) {
         start = release_[head_ & ringMask_];
         auto cause = static_cast<sim::StallCause>(
             cause_[head_ & ringMask_]);

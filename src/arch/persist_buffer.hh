@@ -29,7 +29,15 @@ namespace cwsp::arch {
 class PersistBuffer
 {
   public:
-    explicit PersistBuffer(std::uint32_t capacity);
+    /**
+     * @param unbounded counterfactual mode (IdealizeConfig::
+     * infinitePb): reserve() never waits for a slot. In-flight
+     * entries are still tracked for the occupancy gauge, but only up
+     * to a fixed ring window — beyond it the oldest entry is dropped
+     * (timing is unaffected; the gauge saturates).
+     */
+    explicit PersistBuffer(std::uint32_t capacity,
+                           bool unbounded = false);
 
     /**
      * Reserve a slot for a store committing at @p now.
@@ -97,6 +105,7 @@ class PersistBuffer
     std::size_t tail_ = 0;
     std::uint64_t reservations_ = 0;
     std::uint64_t fullStalls_ = 0;
+    bool unbounded_ = false;
     bool pendingReservation_ = false;
     sim::TraceBuffer *trace_ = nullptr;
     std::uint16_t lane_ = 0;

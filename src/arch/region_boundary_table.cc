@@ -6,14 +6,22 @@
 
 namespace cwsp::arch {
 
-RegionBoundaryTable::RegionBoundaryTable(std::uint32_t capacity)
-    : capacity_(capacity)
+RegionBoundaryTable::RegionBoundaryTable(std::uint32_t capacity,
+                                         bool unbounded)
+    : capacity_(capacity), unbounded_(unbounded)
 {
     cwsp_assert(capacity > 0, "RBT capacity must be positive");
     // At most capacity_ closed entries live at once (+1 transient
-    // between the close-push and the overflow drain).
+    // between the close-push and the overflow drain). Unbounded mode
+    // never waits, so closed-but-unpersisted regions can outgrow any
+    // fixed ring; give it a generous window and let beginRegion()
+    // retire the oldest entry early past it.
     std::size_t ring = 1;
-    while (ring < capacity_ + 1u)
+    std::size_t want = unbounded_
+                           ? std::max<std::size_t>(capacity_ + 1u,
+                                                   1024)
+                           : capacity_ + 1u;
+    while (ring < want)
         ring <<= 1;
     freeTime_.resize(ring);
     persistMax_.resize(ring);
@@ -60,7 +68,15 @@ RegionBoundaryTable::beginRegion(Tick now, RegionId id)
         retireFront();
 
     Tick start = now;
-    if (closedCount() >= capacity_) {
+    if (unbounded_) {
+        // Counterfactual unbounded RBT: never wait. Keep the
+        // tracking ring bounded by retiring the oldest closed entry
+        // early — its RbtRetire/RegionPersist events still carry the
+        // correct (future) departure timestamp, only the entry stops
+        // occupying a gauge slot.
+        while (closedCount() > ringMask_)
+            retireFront();
+    } else if (closedCount() >= capacity_) {
         // Wait until enough heads depart to make room.
         std::size_t overflow = closedCount() - capacity_ + 1;
         for (std::size_t i = 0; i < overflow; ++i) {

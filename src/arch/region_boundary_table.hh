@@ -23,7 +23,15 @@ namespace cwsp::arch {
 class RegionBoundaryTable
 {
   public:
-    explicit RegionBoundaryTable(std::uint32_t capacity);
+    /**
+     * @param unbounded counterfactual mode (IdealizeConfig::
+     * unboundedRbt): beginRegion() never waits for a slot. Closed
+     * regions are still tracked for retirement/tracing up to a fixed
+     * ring window — past it the oldest entry retires early at its
+     * (future) departure time, which affects gauges only.
+     */
+    explicit RegionBoundaryTable(std::uint32_t capacity,
+                                 bool unbounded = false);
 
     /**
      * Commit a region boundary at @p now: closes the current region
@@ -97,6 +105,7 @@ class RegionBoundaryTable
     Tick currentPersistMax_ = 0; ///< max store ack of the open region
     RegionId currentId_ = 0;
     bool open_ = false;
+    bool unbounded_ = false;
     std::uint64_t fullStalls_ = 0;
     sim::TraceBuffer *trace_ = nullptr;
     std::uint16_t lane_ = 0;

@@ -10,7 +10,8 @@ namespace cwsp::arch {
 
 Scheme::CoreState::CoreState(const SchemeConfig &cfg, CoreId core,
                              std::uint32_t num_mcs)
-    : pb(cfg.pbCapacity), rbt(cfg.rbtCapacity),
+    : pb(cfg.pbCapacity, cfg.ideal.infinitePb),
+      rbt(cfg.rbtCapacity, cfg.ideal.unboundedRbt),
       path(cfg.path, core, num_mcs)
 {
 }
@@ -137,14 +138,21 @@ Scheme::onCommit(const interp::CommitInfo &info)
                                        info.core});
         }
         break;
-      case interp::CommitKind::Boundary:
+      case interp::CommitKind::Boundary: {
         ++cs.boundaries;
         cs.regionInstrSum += cs.instrs - cs.regionStartInstr;
         regionInstrHist_.sample(cs.instrs - cs.regionStartInstr);
         cs.regionStartInstr = cs.instrs;
-        cost = 1 + onBoundary(info.core, info, now + 1);
+        // Counterfactual free boundaries: the subclass hook still
+        // runs (region tracking, RS-pointer traffic, trace events)
+        // but neither the boundary instruction nor its stall charges
+        // the core — the baseline binary has no boundaries at all,
+        // so "zero boundary cost" removes the whole commit.
+        Tick bstall = onBoundary(info.core, info, now + 1);
+        cost = config_.ideal.freeBoundary ? 0 : 1 + bstall;
         cs.storesInRegion = 0;
         break;
+      }
     }
     hookCore_ = ~CoreId{0};
     cs.cycle = now + cost;
@@ -178,7 +186,9 @@ Scheme::persistEntry(CoreId core, Addr addr, Tick now,
                                                  out.logged, word);
 
     out.admit = adm.admitted;
-    out.ack = adm.admitted + config_.path.oneWayLatency;
+    // Ideal persist path: the ack return leg is as free as delivery.
+    out.ack = adm.admitted +
+              (config_.path.ideal ? 0 : config_.path.oneWayLatency);
     out.cause = classifyPersistCause(cs.path.lastQueueDelay(),
                                      adm.admitted - arrival,
                                      out.logged);

@@ -43,6 +43,40 @@ struct CwspFeatures
     bool stallAtBoundaries = false;
 };
 
+/**
+ * Counterfactual idealization overrides (the what-if profiler,
+ * src/obs/whatif_profiler.hh). Each flag makes one hardware resource
+ * "ideal" — its capacity or cost can never bind — while everything
+ * else stays real, so the cycle delta against the un-idealized run
+ * is the overhead that resource is responsible for. All flags
+ * participate in the canonical config serialization: an idealized
+ * design point memoizes under its own result-cache key.
+ */
+struct IdealizeConfig
+{
+    /**
+     * The persist buffer (and Capri's redo buffer) never
+     * backpressures store commit; occupancy gauges saturate at the
+     * tracking-ring size in this mode.
+     */
+    bool infinitePb = false;
+    /** The RBT never stalls a region boundary on capacity. */
+    bool unboundedRbt = false;
+    /**
+     * Region-boundary commits cost zero cycles: the boundary
+     * instruction itself and every scheme-side boundary stall
+     * (drains, barriers, RBT waits) vanish. Checkpoint stores and
+     * other compiler instrumentation still pay their way.
+     */
+    bool freeBoundary = false;
+
+    bool
+    any() const
+    {
+        return infinitePb || unboundedRbt || freeBoundary;
+    }
+};
+
 /** Configuration shared by all schemes. */
 struct SchemeConfig
 {
@@ -51,6 +85,7 @@ struct SchemeConfig
     std::uint32_t pbCapacity = 50;
     std::uint32_t rbtCapacity = 16;
     CwspFeatures features;
+    IdealizeConfig ideal;
 
     /**
      * Fraction of beyond-L1 load latency the out-of-order core fails

@@ -27,8 +27,12 @@ class CapriScheme final : public Scheme
         : Scheme(config, hierarchy, num_cores)
     {
         redo_.reserve(num_cores);
-        for (std::uint32_t c = 0; c < num_cores; ++c)
-            redo_.emplace_back(config.capriRedoLines);
+        for (std::uint32_t c = 0; c < num_cores; ++c) {
+            // The redo buffer is Capri's persist-buffer analog, so
+            // the infinite-PB idealization covers it too.
+            redo_.emplace_back(config.capriRedoLines,
+                               config.ideal.infinitePb);
+        }
     }
 
     void
@@ -74,7 +78,9 @@ class CapriScheme final : public Scheme
         auto adm = hierarchy_->mc(out.mc).admitStore(
             arrival, kCachelineBytes, false, wordAlign(addr));
         out.admit = adm.admitted;
-        out.ack = adm.admitted + config_.path.oneWayLatency;
+        out.ack = adm.admitted + (config_.path.ideal
+                                      ? 0
+                                      : config_.path.oneWayLatency);
         out.logged = true;
         // Classification uses logged=false: the redo buffer is the
         // log, the WPQ write itself pays no undo-log media work.

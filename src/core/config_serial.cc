@@ -49,6 +49,7 @@ putHierarchy(std::ostream &os, const mem::HierarchyConfig &h)
     putDouble(os, h.tech.writeBytesPerCycle);
     os << ',' << h.tech.interconnectCycles << '}';
     os << ",mcs=" << h.numMcs << ",wpq=" << h.wpqCapacity
+       << ",iwpq=" << h.idealWpq << ",freelog=" << h.freeUndoLog
        << ",logsvc=";
     putDouble(os, h.logServiceFactor);
     os << ",wb=" << h.wbCapacity << '/' << h.wbDrainCycles
@@ -65,8 +66,10 @@ putScheme(std::ostream &os, const arch::SchemeConfig &s)
     os << "scheme{" << s.name << ",path{";
     putDouble(os, s.path.bandwidthGBs);
     os << ',' << s.path.oneWayLatency << ','
-       << s.path.numaExtraCycles << '}';
+       << s.path.numaExtraCycles << ',' << s.path.ideal << '}';
     os << ",pb=" << s.pbCapacity << ",rbt=" << s.rbtCapacity
+       << ",ideal{" << s.ideal.infinitePb << ','
+       << s.ideal.unboundedRbt << ',' << s.ideal.freeBoundary << '}'
        << ",feat{" << s.features.persistPath << ','
        << s.features.mcSpeculation << ',' << s.features.wbDelay << ','
        << s.features.wpqDelay << ',' << s.features.stallAtBoundaries

@@ -136,6 +136,8 @@ Hierarchy::Hierarchy(const HierarchyConfig &config,
         mc.tech = config.tech;
         mc.wpqCapacity = config.wpqCapacity;
         mc.logServiceFactor = config.logServiceFactor;
+        mc.idealWpq = config.idealWpq;
+        mc.freeUndoLog = config.freeUndoLog;
         mcs_.push_back(std::make_unique<MemoryController>(mc));
     }
 }

@@ -37,6 +37,14 @@ struct HierarchyConfig
     std::uint32_t wpqCapacity = 24;
     double logServiceFactor = 3.0;
 
+    /**
+     * Counterfactual idealizations (what-if profiler; see
+     * McConfig::idealWpq / McConfig::freeUndoLog). Both participate
+     * in the canonical config serialization.
+     */
+    bool idealWpq = false;
+    bool freeUndoLog = false;
+
     std::uint32_t wbCapacity = 32;
     std::uint32_t wbDrainCycles = 14;
 

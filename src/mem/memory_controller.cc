@@ -7,7 +7,11 @@
 namespace cwsp::mem {
 
 MemoryController::MemoryController(const McConfig &config)
-    : config_(config), slotFree_(config.wpqCapacity + 1u),
+    : config_(config),
+      slotFree_(config.idealWpq
+                    ? std::max<std::size_t>(config.wpqCapacity + 1u,
+                                            1024)
+                    : config.wpqCapacity + 1u),
       inflight_(4096)
 {
     cwsp_assert(config.wpqCapacity > 0, "WPQ capacity must be positive");
@@ -28,7 +32,13 @@ MemoryController::admitStore(Tick arrival, std::uint32_t bytes,
         slotFree_.pop_front();
 
     Tick admit = arrival;
-    if (slotFree_.size() >= config_.wpqCapacity) {
+    if (config_.idealWpq) {
+        // Counterfactual infinite WPQ: admit immediately. Bound the
+        // depth-gauge ring by dropping the oldest release time once
+        // it fills (nothing waits on it in this mode).
+        if (slotFree_.size() >= slotFree_.capacity())
+            slotFree_.pop_front();
+    } else if (slotFree_.size() >= config_.wpqCapacity) {
         admit = slotFree_.front(); // wait for the oldest drain
         slotFree_.pop_front();
         ++fullStalls_;

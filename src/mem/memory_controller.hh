@@ -32,6 +32,19 @@ struct McConfig
      * media work relative to a plain in-place write (Fig. 10 b).
      */
     double logServiceFactor = 3.0;
+    /**
+     * Counterfactual infinite WPQ (arch::IdealizeConfig family):
+     * admission never waits for a slot. The media still serializes at
+     * its bandwidth; only queue capacity stops binding. The depth
+     * gauge saturates at the slot-ring window in this mode.
+     */
+    bool idealWpq = false;
+    /**
+     * Counterfactual free undo logging: logged stores still log (the
+     * records exist for recovery and tracing) but the old-value fetch
+     * and log write cost no media work — service as a plain write.
+     */
+    bool freeUndoLog = false;
 };
 
 /** Outcome of admitting one store into the WPQ. */
@@ -130,7 +143,9 @@ class MemoryController
     std::uint32_t
     serviceCycles(std::uint32_t bytes, bool logged) const
     {
-        double factor = logged ? config_.logServiceFactor : 1.0;
+        double factor = (logged && !config_.freeUndoLog)
+                            ? config_.logServiceFactor
+                            : 1.0;
         double cycles =
             static_cast<double>(bytes) * factor /
             config_.tech.writeBytesPerCycle;

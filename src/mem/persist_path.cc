@@ -22,6 +22,16 @@ PersistPath::send(Tick ready, std::uint32_t bytes, McId mc)
     ++sent_;
     bytes_ += bytes;
 
+    if (config_.ideal) {
+        // Counterfactual ideal link: instant delivery, no occupancy.
+        lastQueueDelay_ = 0;
+        if (trace_) {
+            trace_->record(sim::TraceEventKind::PathSend, lane_,
+                           ready, 0, bytes, mc);
+        }
+        return ready;
+    }
+
     auto transfer = static_cast<Tick>(
         static_cast<double>(bytes) / bytesPerCycle_);
     if (transfer == 0)

@@ -24,6 +24,13 @@ struct PersistPathConfig
     double bandwidthGBs = 4.0;       ///< link bandwidth
     std::uint32_t oneWayLatency = 20; ///< cycles (20 ns round trip / 2)
     std::uint32_t numaExtraCycles = 12; ///< far-MC penalty (6 ns)
+    /**
+     * Counterfactual ideal link (arch::IdealizeConfig family): zero
+     * delivery latency, infinite bandwidth, no NUMA penalty, no
+     * queueing. Entries arrive at the MC the instant they are ready;
+     * schemes also treat the ack return leg as free.
+     */
+    bool ideal = false;
 };
 
 /** Per-core bandwidth/latency model of the persist path. */

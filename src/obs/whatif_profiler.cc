@@ -1,0 +1,467 @@
+#include "obs/whatif_profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/config.hh"
+#include "core/whole_system_sim.hh"
+#include "obs/stall_attribution.hh"
+
+namespace cwsp::obs {
+
+namespace {
+
+constexpr const char *kResourceNames[kNumIdealResources] = {
+    "persist_buffer", "wpq", "rbt", "persist_path", "undo_log",
+    "region_boundary",
+};
+
+constexpr const char *kResourceShort[kNumIdealResources] = {
+    "pb", "wpq", "rbt", "path", "log", "bnd",
+};
+
+/** Disagreements below this floor are noise, never warned about. */
+constexpr std::int64_t kAgreementFloor = 1000;
+
+/** Order-of-magnitude agreement window for the cross-check. */
+constexpr std::int64_t kAgreementFactor = 8;
+
+double
+gmeanRatio(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return 1.0;
+    double logsum = 0.0;
+    for (double r : ratios)
+        logsum += std::log(r);
+    return std::exp(logsum / static_cast<double>(ratios.size()));
+}
+
+} // namespace
+
+const char *
+idealResourceName(IdealResource r)
+{
+    return kResourceNames[static_cast<std::size_t>(r)];
+}
+
+int
+idealResourceStallCause(IdealResource r)
+{
+    switch (r) {
+      case IdealResource::PersistBuffer:
+        return static_cast<int>(sim::StallCause::PbFull);
+      case IdealResource::Wpq:
+        return static_cast<int>(sim::StallCause::WpqFull);
+      case IdealResource::Rbt:
+        return static_cast<int>(sim::StallCause::RbtFull);
+      case IdealResource::PersistPath:
+        return static_cast<int>(sim::StallCause::PathBandwidth);
+      case IdealResource::UndoLog:
+        return static_cast<int>(sim::StallCause::McUndoLog);
+      case IdealResource::RegionBoundary:
+        return -1;
+    }
+    return -1;
+}
+
+core::SystemConfig
+idealizedConfig(const core::SystemConfig &cfg, IdealResource r)
+{
+    core::SystemConfig out = cfg;
+    switch (r) {
+      case IdealResource::PersistBuffer:
+        out.scheme.ideal.infinitePb = true;
+        break;
+      case IdealResource::Wpq:
+        out.hierarchy.idealWpq = true;
+        break;
+      case IdealResource::Rbt:
+        out.scheme.ideal.unboundedRbt = true;
+        break;
+      case IdealResource::PersistPath:
+        // An ideal path also removes Capri's worst-case delivery
+        // wait on DRAM-cache evictions: that delay *is* path
+        // latency charged to the stale-read scan.
+        out.scheme.path.ideal = true;
+        out.hierarchy.dramEvictionDelay = 0;
+        break;
+      case IdealResource::UndoLog:
+        out.hierarchy.freeUndoLog = true;
+        break;
+      case IdealResource::RegionBoundary:
+        out.scheme.ideal.freeBoundary = true;
+        break;
+    }
+    return out;
+}
+
+WhatIfReport
+runWhatIf(driver::BatchRunner &runner,
+          const std::vector<std::string> &schemes,
+          const std::vector<workloads::AppProfile> &apps,
+          const WhatIfOptions &options)
+{
+    const core::SystemConfig baseCfg =
+        core::makeSystemConfig("baseline");
+    constexpr std::size_t kInvalid = ~static_cast<std::size_t>(0);
+
+    // One flat batch: baseline + real + one point per resource for
+    // every non-baseline (scheme, app). Identical points (the shared
+    // baseline) dedupe inside the runner.
+    std::vector<driver::DesignPoint> points;
+    auto add = [&](const core::SystemConfig &cfg,
+                   const workloads::AppProfile &app) {
+        driver::DesignPoint p;
+        p.app = app;
+        p.config = cfg;
+        p.maxInstrs = options.maxInstrs;
+        points.push_back(p);
+        return points.size() - 1;
+    };
+
+    struct Slot
+    {
+        std::size_t base = 0;
+        std::size_t real = 0;
+        std::size_t ideal[kNumIdealResources] = {};
+    };
+    std::vector<Slot> slots;
+    std::vector<std::pair<std::string, const workloads::AppProfile *>>
+        pairs;
+    for (const std::string &scheme : schemes) {
+        const core::SystemConfig realCfg =
+            core::makeSystemConfig(scheme);
+        for (const auto &app : apps) {
+            Slot s;
+            s.base = add(baseCfg, app);
+            if (scheme == "baseline") {
+                s.real = s.base;
+                for (auto &i : s.ideal)
+                    i = kInvalid;
+            } else {
+                s.real = add(realCfg, app);
+                for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+                    s.ideal[r] =
+                        add(idealizedConfig(
+                                realCfg,
+                                static_cast<IdealResource>(r)),
+                            app);
+                }
+            }
+            slots.push_back(s);
+            pairs.emplace_back(scheme, &app);
+        }
+    }
+
+    const std::vector<core::RunResult> results = runner.runAll(points);
+
+    WhatIfReport report;
+    report.entries.resize(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &s = slots[i];
+        WhatIfEntry &e = report.entries[i];
+        e.scheme = pairs[i].first;
+        e.app = pairs[i].second->name;
+        e.baselineCycles = results[s.base].cycles;
+        e.realCycles = results[s.real].cycles;
+        e.overhead = static_cast<std::int64_t>(e.realCycles) -
+                     static_cast<std::int64_t>(e.baselineCycles);
+        std::int64_t sum = 0;
+        for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+            if (s.ideal[r] == kInvalid) {
+                e.idealCycles[r] = e.realCycles;
+                e.saved[r] = 0;
+            } else {
+                e.idealCycles[r] = results[s.ideal[r]].cycles;
+                e.saved[r] =
+                    static_cast<std::int64_t>(e.realCycles) -
+                    static_cast<std::int64_t>(e.idealCycles[r]);
+            }
+            sum += e.saved[r];
+            if (e.saved[r] > e.topSaved ||
+                (r == 0 && e.topSaved == 0)) {
+                e.topSaved = e.saved[r];
+                e.topBottleneck = static_cast<IdealResource>(r);
+            }
+        }
+        e.residual = e.overhead - sum;
+    }
+
+    // Cross-check: re-run each non-baseline real point with a trace
+    // attached and compare the waterfall against stall attribution.
+    if (options.crossCheck) {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < report.entries.size(); ++i) {
+            if (report.entries[i].scheme == "baseline")
+                continue;
+            tasks.push_back([&, i] {
+                WhatIfEntry &e = report.entries[i];
+                const core::SystemConfig cfg =
+                    core::makeSystemConfig(e.scheme);
+                auto mod =
+                    runner.moduleFor(*pairs[i].second, cfg.compiler);
+                core::WholeSystemSim sim(*mod, cfg);
+                sim::TraceBuffer trace(options.traceCap,
+                                       sim::kTraceAll);
+                sim.attachTrace(&trace);
+                auto traced =
+                    sim.run("main", {}, options.maxInstrs);
+                StallAttribution attr =
+                    attributeStalls(trace.snapshot());
+                e.crossChecked = true;
+                e.totalStallCycles = attr.totalStallCycles;
+                for (std::size_t c = 0; c < sim::kNumStallCauses;
+                     ++c)
+                    e.stallCycles[c] = attr.cycles[c];
+
+                char buf[256];
+                if (traced.cycles != e.realCycles) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "traced cross-check run took %llu cycles "
+                        "but the batch result is %llu",
+                        (unsigned long long)traced.cycles,
+                        (unsigned long long)e.realCycles);
+                    e.warnings.push_back(buf);
+                }
+                if (e.overhead <= 0)
+                    return;
+                std::int64_t floor = std::max(
+                    e.overhead / 20, kAgreementFloor);
+                for (std::size_t r = 0; r < kNumIdealResources;
+                     ++r) {
+                    int cause = idealResourceStallCause(
+                        static_cast<IdealResource>(r));
+                    if (cause < 0)
+                        continue;
+                    std::int64_t rec = std::max(
+                        e.saved[r], static_cast<std::int64_t>(0));
+                    std::int64_t stall =
+                        static_cast<std::int64_t>(
+                            attr.cycles[static_cast<std::size_t>(
+                                cause)]);
+                    if (rec > floor &&
+                        stall * kAgreementFactor < rec) {
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "idealizing %s recovers %lld cycles "
+                            "but stall attribution charges only "
+                            "%lld to %s",
+                            kResourceNames[r], (long long)rec,
+                            (long long)stall,
+                            sim::stallCauseName(
+                                static_cast<sim::StallCause>(
+                                    cause)));
+                        e.warnings.push_back(buf);
+                    } else if (stall > floor &&
+                               rec * kAgreementFactor < stall) {
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "stall attribution charges %lld "
+                            "cycles to %s but idealizing %s "
+                            "recovers only %lld (overlapped or "
+                            "secondary bottleneck)",
+                            (long long)stall,
+                            sim::stallCauseName(
+                                static_cast<sim::StallCause>(
+                                    cause)),
+                            kResourceNames[r], (long long)rec);
+                        e.warnings.push_back(buf);
+                    }
+                }
+            });
+        }
+        runner.runTasks(tasks);
+    }
+
+    // Per-scheme aggregates.
+    for (const std::string &scheme : schemes) {
+        WhatIfSchemeSummary sum;
+        sum.scheme = scheme;
+        std::vector<double> ratios;
+        for (const WhatIfEntry &e : report.entries) {
+            if (e.scheme != scheme)
+                continue;
+            sum.overheadTotal += e.overhead;
+            sum.residualTotal += e.residual;
+            for (std::size_t r = 0; r < kNumIdealResources; ++r)
+                sum.savedTotal[r] += e.saved[r];
+            sum.warningCount += e.warnings.size();
+            if (e.baselineCycles > 0) {
+                ratios.push_back(
+                    static_cast<double>(e.realCycles) /
+                    static_cast<double>(e.baselineCycles));
+            }
+        }
+        sum.overheadGmean = gmeanRatio(ratios);
+        for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+            if (sum.savedTotal[r] > sum.topSaved) {
+                sum.topSaved = sum.savedTotal[r];
+                sum.topBottleneck = static_cast<IdealResource>(r);
+            }
+        }
+        report.schemes.push_back(std::move(sum));
+    }
+
+    report.batch = runner.stats();
+    return report;
+}
+
+void
+writeWhatIfMarkdown(std::ostream &os, const WhatIfReport &report,
+                    const std::vector<SensitivityReport> *sensitivity)
+{
+    os << "# What-if counterfactual profile\n\n"
+       << "Per-resource overhead waterfalls: each column is the "
+          "cycles recovered by\nidealizing that one resource "
+          "(infinite PB, never-full WPQ, unbounded RBT,\nzero-"
+          "latency/infinite-bandwidth persist path, free undo "
+          "logging, free region\nboundaries). `residual` is the "
+          "interaction term; columns + residual equal the\nmeasured "
+          "overhead vs. the unpersisted baseline exactly, in "
+          "ticks.\n";
+
+    std::vector<std::string> schemeOrder;
+    for (const auto &s : report.schemes)
+        schemeOrder.push_back(s.scheme);
+
+    for (const std::string &scheme : schemeOrder) {
+        os << "\n## " << scheme << "\n\n| app | baseline | real | "
+           << "overhead |";
+        for (std::size_t r = 0; r < kNumIdealResources; ++r)
+            os << ' ' << kResourceShort[r] << " |";
+        os << " residual | top |\n|-----|---------:|-----:|"
+           << "---------:|";
+        for (std::size_t r = 0; r < kNumIdealResources; ++r)
+            os << "----:|";
+        os << "---------:|-----|\n";
+        for (const WhatIfEntry &e : report.entries) {
+            if (e.scheme != scheme)
+                continue;
+            os << "| " << e.app << " | " << e.baselineCycles
+               << " | " << e.realCycles << " | " << e.overhead
+               << " |";
+            for (std::size_t r = 0; r < kNumIdealResources; ++r)
+                os << ' ' << e.saved[r] << " |";
+            os << ' ' << e.residual << " | "
+               << (e.topSaved > 0
+                       ? kResourceShort[static_cast<std::size_t>(
+                             e.topBottleneck)]
+                       : "-")
+               << " |\n";
+        }
+    }
+
+    os << "\n## Scheme summary\n\n"
+       << "| scheme | overhead gmean | overhead total | top "
+          "bottleneck | saved @ top | residual total | warnings |\n"
+       << "|--------|---------------:|---------------:|------------"
+          "----|------------:|---------------:|---------:|\n";
+    for (const WhatIfSchemeSummary &s : report.schemes) {
+        char gm[32];
+        std::snprintf(gm, sizeof(gm), "%.4f", s.overheadGmean);
+        os << "| " << s.scheme << " | " << gm << " | "
+           << s.overheadTotal << " | "
+           << (s.topSaved > 0
+                   ? idealResourceName(s.topBottleneck)
+                   : "-")
+           << " | " << s.topSaved << " | " << s.residualTotal
+           << " | " << s.warningCount << " |\n";
+    }
+
+    bool anyWarnings = false;
+    for (const WhatIfEntry &e : report.entries)
+        anyWarnings = anyWarnings || !e.warnings.empty();
+    if (anyWarnings) {
+        os << "\n## Cross-check warnings\n\n";
+        for (const WhatIfEntry &e : report.entries)
+            for (const std::string &w : e.warnings)
+                os << "- `" << e.scheme << "/" << e.app << "`: " << w
+                   << "\n";
+    }
+
+    if (sensitivity && !sensitivity->empty()) {
+        os << "\n";
+        writeSensitivityMarkdown(os, *sensitivity);
+    }
+}
+
+void
+writeWhatIfJson(std::ostream &os, const WhatIfReport &report,
+                const std::vector<SensitivityReport> *sensitivity)
+{
+    os << "{\n  \"whatif\": {\n    \"points\": [";
+    for (std::size_t i = 0; i < report.entries.size(); ++i) {
+        const WhatIfEntry &e = report.entries[i];
+        os << (i ? ",\n      " : "\n      ");
+        os << "{\"scheme\": \"" << e.scheme << "\", \"app\": \""
+           << e.app << "\", \"baseline_cycles\": " << e.baselineCycles
+           << ", \"real_cycles\": " << e.realCycles
+           << ", \"overhead_cycles\": " << e.overhead
+           << ", \"saved\": {";
+        for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+            os << (r ? ", " : "") << "\"" << kResourceNames[r]
+               << "\": " << e.saved[r];
+        }
+        os << "}, \"ideal_cycles\": {";
+        for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+            os << (r ? ", " : "") << "\"" << kResourceNames[r]
+               << "\": " << e.idealCycles[r];
+        }
+        os << "}, \"residual_cycles\": " << e.residual
+           << ", \"top_bottleneck\": \""
+           << (e.topSaved > 0 ? idealResourceName(e.topBottleneck)
+                              : "none")
+           << "\", \"top_saved_cycles\": " << e.topSaved;
+        if (e.crossChecked) {
+            os << ", \"stalls\": {";
+            for (std::size_t c = 0; c < sim::kNumStallCauses; ++c) {
+                os << (c ? ", " : "") << "\""
+                   << sim::stallCauseName(
+                          static_cast<sim::StallCause>(c))
+                   << "\": " << e.stallCycles[c];
+            }
+            os << ", \"total\": " << e.totalStallCycles << "}";
+        }
+        os << ", \"warnings\": [";
+        for (std::size_t w = 0; w < e.warnings.size(); ++w)
+            os << (w ? ", " : "") << "\"" << e.warnings[w] << "\"";
+        os << "]}";
+    }
+    os << (report.entries.empty() ? "]" : "\n    ]")
+       << ",\n    \"scheme_summary\": [";
+    for (std::size_t i = 0; i < report.schemes.size(); ++i) {
+        const WhatIfSchemeSummary &s = report.schemes[i];
+        char gm[32];
+        std::snprintf(gm, sizeof(gm), "%.6g", s.overheadGmean);
+        os << (i ? ",\n      " : "\n      ");
+        os << "{\"name\": \"" << s.scheme
+           << "\", \"overhead_total\": " << s.overheadTotal
+           << ", \"overhead_gmean\": " << gm << ", \"saved_total\": {";
+        for (std::size_t r = 0; r < kNumIdealResources; ++r) {
+            os << (r ? ", " : "") << "\"" << kResourceNames[r]
+               << "\": " << s.savedTotal[r];
+        }
+        os << "}, \"residual_total\": " << s.residualTotal
+           << ", \"top_bottleneck\": \""
+           << (s.topSaved > 0 ? idealResourceName(s.topBottleneck)
+                              : "none")
+           << "\", \"top_saved_cycles\": " << s.topSaved
+           << ", \"warning_count\": " << s.warningCount << "}";
+    }
+    os << (report.schemes.empty() ? "]" : "\n    ]")
+       << ",\n    \"batch\": {\"simulated\": " << report.batch.simulated
+       << ", \"memory_hits\": " << report.batch.memoryHits
+       << ", \"disk_hits\": " << report.batch.diskHits
+       << ", \"replayed_runs\": " << report.batch.replayedRuns
+       << "}\n  }";
+    if (sensitivity) {
+        os << ",\n  \"sensitivity\": ";
+        writeSensitivityJson(os, *sensitivity, "  ");
+    }
+    os << "\n}\n";
+}
+
+} // namespace cwsp::obs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Counterfactual what-if profiler. For each (scheme, app) design
+ * point, re-simulate the point with exactly one resource idealized
+ * (infinite persist buffer, infinite WPQ, unbounded RBT, ideal
+ * persist path, free undo logging, free region boundaries) and
+ * decompose the measured overhead versus the unpersisted baseline
+ * into a per-resource waterfall:
+ *
+ *     overhead   = cycles(real)  - cycles(baseline)
+ *     saved[R]   = cycles(real)  - cycles(ideal R)      (signed)
+ *     residual   = overhead - sum(saved[R])
+ *
+ * The residual is the interaction term — cycles that only disappear
+ * when several resources are relaxed together (or appear twice when
+ * two idealizations each recover the same overlapped wait). By
+ * construction components + residual reconcile with the measured
+ * overhead bit-exactly, in ticks.
+ *
+ * Every idealization is a flag in SystemConfig that participates in
+ * the canonical config serialization, so idealized runs memoize in
+ * the persistent result cache under their own keys. An optional
+ * cross-check runs a traced simulation of the real point and compares
+ * the waterfall against the stall-attribution decomposition (PR 3);
+ * order-of-magnitude disagreements become report warnings, never
+ * errors — an idealization can legitimately recover more than the
+ * attributed stall (queueing shifted downstream) or less (overlap).
+ */
+
+#ifndef CWSP_OBS_WHATIF_PROFILER_HH
+#define CWSP_OBS_WHATIF_PROFILER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/batch_runner.hh"
+#include "obs/sensitivity.hh"
+#include "sim/trace.hh"
+#include "workloads/workload.hh"
+
+namespace cwsp::obs {
+
+/** The resources the profiler can idealize, one at a time. */
+enum class IdealResource : std::uint8_t {
+    PersistBuffer = 0, ///< never-full PB (Capri: redo buffers too)
+    Wpq,               ///< never-full WPQ at every MC
+    Rbt,               ///< unbounded region boundary table
+    PersistPath,       ///< zero-latency, infinite-bandwidth path
+    UndoLog,           ///< undo-log media work at service cost 1x
+    RegionBoundary,    ///< region-boundary commits cost zero
+};
+
+inline constexpr std::size_t kNumIdealResources = 6;
+
+/** Stable snake_case name ("persist_buffer", ...). */
+const char *idealResourceName(IdealResource r);
+
+/**
+ * StallCause this resource maps onto for the attribution cross-check
+ * (sim::StallCause as an int), or -1 when none exists (region
+ * boundaries are compiler-inserted work, not a stall cause).
+ */
+int idealResourceStallCause(IdealResource r);
+
+/**
+ * Copy of @p cfg with exactly resource @p r idealized. Every flag
+ * this sets participates in core::serializeSystemConfig, so the
+ * result never aliases the real point in the result cache.
+ */
+core::SystemConfig idealizedConfig(const core::SystemConfig &cfg,
+                                   IdealResource r);
+
+/** One (scheme, app) waterfall. */
+struct WhatIfEntry
+{
+    std::string scheme;
+    std::string app;
+    Tick baselineCycles = 0; ///< unpersisted baseline scheme
+    Tick realCycles = 0;     ///< the scheme, nothing idealized
+    Tick idealCycles[kNumIdealResources] = {};
+    /** realCycles - baselineCycles (>= 0 in practice, kept signed). */
+    std::int64_t overhead = 0;
+    /** realCycles - idealCycles[r]; negative = idealizing hurt. */
+    std::int64_t saved[kNumIdealResources] = {};
+    /** overhead - sum(saved); the interaction term. */
+    std::int64_t residual = 0;
+    /** argmax saved (ties: lowest enum); meaningful if topSaved > 0. */
+    IdealResource topBottleneck = IdealResource::PersistBuffer;
+    std::int64_t topSaved = 0;
+
+    // Cross-check against stall attribution (when enabled).
+    bool crossChecked = false;
+    std::uint64_t stallCycles[sim::kNumStallCauses] = {};
+    std::uint64_t totalStallCycles = 0;
+    std::vector<std::string> warnings;
+
+    /** The reconciliation invariant the report relies on. */
+    bool
+    reconciles() const
+    {
+        std::int64_t sum = 0;
+        for (auto s : saved)
+            sum += s;
+        return sum + residual == overhead &&
+               overhead ==
+                   static_cast<std::int64_t>(realCycles) -
+                       static_cast<std::int64_t>(baselineCycles);
+    }
+};
+
+/** Per-scheme aggregate across the profiled apps. */
+struct WhatIfSchemeSummary
+{
+    std::string scheme;
+    std::int64_t overheadTotal = 0;
+    std::int64_t savedTotal[kNumIdealResources] = {};
+    std::int64_t residualTotal = 0;
+    /** Gmean of real/baseline cycles over apps (1.0 = no overhead). */
+    double overheadGmean = 1.0;
+    IdealResource topBottleneck = IdealResource::PersistBuffer;
+    std::int64_t topSaved = 0;
+    std::size_t warningCount = 0;
+};
+
+struct WhatIfOptions
+{
+    /** Cross-validate against stall attribution (one traced sim per
+     *  non-baseline point, run outside the result cache). */
+    bool crossCheck = true;
+    /** Trace ring capacity for the cross-check sims. */
+    std::size_t traceCap = 1u << 20;
+    std::uint64_t maxInstrs = 2'000'000'000;
+};
+
+/** The assembled report. */
+struct WhatIfReport
+{
+    std::vector<WhatIfEntry> entries;        ///< scheme-major order
+    std::vector<WhatIfSchemeSummary> schemes;
+    driver::BatchStats batch{}; ///< runner stats after the batch
+};
+
+/**
+ * Profile @p schemes x @p apps through @p runner (one batch: real +
+ * baseline + one point per idealizable resource, all cache-eligible).
+ * The baseline scheme, if listed, gets a trivial all-zero waterfall
+ * and no idealized runs.
+ */
+WhatIfReport runWhatIf(driver::BatchRunner &runner,
+                       const std::vector<std::string> &schemes,
+                       const std::vector<workloads::AppProfile> &apps,
+                       const WhatIfOptions &options = {});
+
+/**
+ * Markdown / JSON writers. @p sensitivity, when non-null, appends the
+ * knob-sensitivity ranking section to the same document.
+ */
+void writeWhatIfMarkdown(
+    std::ostream &os, const WhatIfReport &report,
+    const std::vector<SensitivityReport> *sensitivity = nullptr);
+void writeWhatIfJson(
+    std::ostream &os, const WhatIfReport &report,
+    const std::vector<SensitivityReport> *sensitivity = nullptr);
+
+} // namespace cwsp::obs
+
+#endif // CWSP_OBS_WHATIF_PROFILER_HH

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Counterfactual what-if profiler: idealization flags reach the
+ * machine (no stalls on the idealized resource), every idealized
+ * config gets its own canonical cache key (never aliasing the real
+ * point, in the key space and through the disk cache), waterfalls
+ * reconcile bit-exactly (components + residual == measured
+ * overhead), and the knob-sensitivity ranking is deterministic
+ * across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "core/config.hh"
+#include "core/config_serial.hh"
+#include "driver/batch_runner.hh"
+#include "obs/sensitivity.hh"
+#include "obs/whatif_profiler.hh"
+#include "workloads/workload.hh"
+
+using namespace cwsp;
+
+namespace {
+
+workloads::AppProfile
+tinyApp(const std::string &name, std::uint64_t iterations)
+{
+    workloads::AppProfile a;
+    a.name = name;
+    a.suite = "test";
+    a.kind = workloads::KernelKind::Mix;
+    a.mix.iterations = iterations;
+    a.mix.hotWords = 1 << 8;
+    a.mix.warmWords = 1 << 10;
+    a.mix.coldLines = 1 << 10;
+    a.mix.storePct = 50;
+    return a;
+}
+
+driver::BatchConfig
+memOnly(unsigned jobs)
+{
+    driver::BatchConfig c;
+    c.jobs = jobs;
+    c.useDiskCache = false;
+    return c;
+}
+
+std::string
+freshCacheDir(const char *tag)
+{
+    auto dir = std::filesystem::path(::testing::TempDir()) /
+               (std::string("cwsp-whatif-") + tag + "-XXXXXX");
+    std::string templ = dir.string();
+    char *made = ::mkdtemp(templ.data());
+    EXPECT_NE(made, nullptr);
+    return templ;
+}
+
+/** A cwsp point whose tiny PB and slow path make the PB bind. */
+core::SystemConfig
+stressedCwsp()
+{
+    auto cfg = core::makeSystemConfig("cwsp");
+    cfg.scheme.pbCapacity = 2;
+    cfg.scheme.rbtCapacity = 1;
+    cfg.scheme.path.bandwidthGBs = 0.25;
+    return cfg;
+}
+
+} // namespace
+
+// Every idealization override must participate in the canonical
+// serialization: each single-flag variant gets a distinct key, and
+// none aliases the un-idealized config.
+TEST(WhatIfKeys, EveryIdealizationFlagChangesTheKey)
+{
+    const auto base = core::makeSystemConfig("cwsp");
+    std::vector<core::SystemConfig> variants = {base};
+
+    for (std::size_t r = 0; r < obs::kNumIdealResources; ++r) {
+        variants.push_back(obs::idealizedConfig(
+            base, static_cast<obs::IdealResource>(r)));
+    }
+    // The raw flags too, independently of the resource mapping.
+    auto v = base;
+    v.scheme.ideal.infinitePb = true;
+    v.scheme.ideal.unboundedRbt = true;
+    variants.push_back(v);
+    v = base;
+    v.hierarchy.idealWpq = true;
+    v.hierarchy.freeUndoLog = true;
+    variants.push_back(v);
+
+    std::set<std::string> keys;
+    for (const auto &cfg : variants)
+        keys.insert(core::systemConfigKey(cfg));
+    EXPECT_EQ(keys.size(), variants.size());
+}
+
+// The non-aliasing guarantee end to end: a cached real result must
+// not satisfy an idealized request, and vice versa.
+TEST(WhatIfKeys, IdealizedPointNeverHitsTheRealCacheEntry)
+{
+    auto cacheDir = freshCacheDir("alias");
+    auto app = tinyApp("t-alias", 60);
+    driver::DesignPoint real{app, core::makeSystemConfig("cwsp")};
+    driver::DesignPoint ideal{
+        app, obs::idealizedConfig(real.config,
+                                  obs::IdealResource::PersistBuffer)};
+
+    driver::BatchConfig bc;
+    bc.jobs = 1;
+    bc.cacheDir = cacheDir;
+    {
+        driver::BatchRunner warmup(bc);
+        warmup.run(real);
+        EXPECT_EQ(warmup.stats().simulated, 1u);
+    }
+    driver::BatchRunner runner(bc);
+    runner.run(ideal);
+    auto stats = runner.stats();
+    EXPECT_EQ(stats.diskHits, 0u) << "idealized point aliased the "
+                                     "cached un-idealized entry";
+    EXPECT_EQ(stats.simulated, 1u);
+    runner.run(real); // the real entry is still a hit
+    EXPECT_EQ(runner.stats().diskHits, 1u);
+}
+
+// Idealizing a resource actually removes its stalls.
+TEST(WhatIf, IdealizationsRemoveTheirStalls)
+{
+    driver::BatchRunner runner(memOnly(2));
+    auto app = tinyApp("t-stress", 120);
+    const auto cfg = stressedCwsp();
+
+    auto real = runner.run({app, cfg});
+    EXPECT_GT(real.pbFullStalls, 0u);
+    EXPECT_GT(real.rbtFullStalls, 0u);
+
+    auto noPb = runner.run(
+        {app, obs::idealizedConfig(
+                  cfg, obs::IdealResource::PersistBuffer)});
+    EXPECT_EQ(noPb.pbFullStalls, 0u);
+    EXPECT_LE(noPb.cycles, real.cycles);
+
+    auto noRbt = runner.run(
+        {app,
+         obs::idealizedConfig(cfg, obs::IdealResource::Rbt)});
+    EXPECT_EQ(noRbt.rbtFullStalls, 0u);
+    EXPECT_LE(noRbt.cycles, real.cycles);
+
+    auto noPath = runner.run(
+        {app, obs::idealizedConfig(
+                  cfg, obs::IdealResource::PersistPath)});
+    EXPECT_LT(noPath.cycles, real.cycles);
+}
+
+// The reconciliation invariant, bit-exact in ticks, for every
+// (scheme, app) — including the trivial baseline rows and a roster
+// app alongside the synthetic ones.
+TEST(WhatIf, WaterfallReconcilesForEverySchemeAndApp)
+{
+    driver::BatchRunner runner(memOnly(0));
+    std::vector<std::string> schemes = {
+        "baseline", "cwsp", "capri", "ido", "replaycache", "psp"};
+    std::vector<workloads::AppProfile> apps = {
+        tinyApp("t-wf-a", 60), tinyApp("t-wf-b", 90),
+        workloads::appByName("fft")};
+
+    obs::WhatIfOptions opt;
+    opt.crossCheck = true;
+    auto report = obs::runWhatIf(runner, schemes, apps, opt);
+    ASSERT_EQ(report.entries.size(), schemes.size() * apps.size());
+    for (const auto &e : report.entries) {
+        std::int64_t sum = 0;
+        for (auto s : e.saved)
+            sum += s;
+        EXPECT_EQ(sum + e.residual, e.overhead)
+            << e.scheme << "/" << e.app;
+        EXPECT_EQ(e.overhead,
+                  static_cast<std::int64_t>(e.realCycles) -
+                      static_cast<std::int64_t>(e.baselineCycles))
+            << e.scheme << "/" << e.app;
+        EXPECT_TRUE(e.reconciles()) << e.scheme << "/" << e.app;
+        if (e.scheme == "baseline") {
+            EXPECT_EQ(e.overhead, 0);
+            EXPECT_EQ(e.residual, 0);
+        } else {
+            EXPECT_TRUE(e.crossChecked);
+        }
+    }
+    ASSERT_EQ(report.schemes.size(), schemes.size());
+    for (const auto &s : report.schemes) {
+        std::int64_t sum = 0;
+        for (auto v : s.savedTotal)
+            sum += v;
+        EXPECT_EQ(sum + s.residualTotal, s.overheadTotal) << s.scheme;
+    }
+}
+
+// The sensitivity ranking must not depend on the worker count: the
+// batch engine is bit-deterministic, and the tie-break is total.
+TEST(Sensitivity, RankingIsDeterministicAcrossJobs)
+{
+    std::vector<std::string> schemes = {"cwsp", "capri"};
+    std::vector<workloads::AppProfile> apps = {
+        tinyApp("t-sens-a", 60), tinyApp("t-sens-b", 90)};
+
+    driver::BatchRunner serial(memOnly(1));
+    driver::BatchRunner parallel(memOnly(4));
+    auto a = obs::runSensitivity(serial, schemes, apps, {});
+    auto b = obs::runSensitivity(parallel, schemes, apps, {});
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a[s].scheme, b[s].scheme);
+        ASSERT_EQ(a[s].knobs.size(), b[s].knobs.size());
+        for (std::size_t k = 0; k < a[s].knobs.size(); ++k) {
+            EXPECT_EQ(a[s].knobs[k].knob, b[s].knobs[k].knob);
+            EXPECT_EQ(a[s].knobs[k].rank, b[s].knobs[k].rank);
+            EXPECT_EQ(a[s].knobs[k].score, b[s].knobs[k].score);
+            EXPECT_EQ(a[s].knobs[k].loSlowdown,
+                      b[s].knobs[k].loSlowdown);
+            EXPECT_EQ(a[s].knobs[k].hiSlowdown,
+                      b[s].knobs[k].hiSlowdown);
+        }
+    }
+    // capri gets its scheme-specific knob; cwsp must not.
+    for (const auto &rep : a) {
+        bool hasRedo = false;
+        for (const auto &k : rep.knobs)
+            hasRedo = hasRedo || k.knob == "capri_redo_lines";
+        EXPECT_EQ(hasRedo, rep.scheme == "capri");
+    }
+}
+
+// Scheme-major entry order and resource naming are part of the
+// report contract (bench_all.sh parses the JSON by these names).
+TEST(WhatIf, ResourceNamesAreStable)
+{
+    EXPECT_STREQ(
+        obs::idealResourceName(obs::IdealResource::PersistBuffer),
+        "persist_buffer");
+    EXPECT_STREQ(obs::idealResourceName(obs::IdealResource::Wpq),
+                 "wpq");
+    EXPECT_STREQ(obs::idealResourceName(obs::IdealResource::Rbt),
+                 "rbt");
+    EXPECT_STREQ(
+        obs::idealResourceName(obs::IdealResource::PersistPath),
+        "persist_path");
+    EXPECT_STREQ(obs::idealResourceName(obs::IdealResource::UndoLog),
+                 "undo_log");
+    EXPECT_STREQ(
+        obs::idealResourceName(obs::IdealResource::RegionBoundary),
+        "region_boundary");
+    EXPECT_EQ(idealResourceStallCause(obs::IdealResource::PersistPath),
+              static_cast<int>(sim::StallCause::PathBandwidth));
+    EXPECT_EQ(
+        idealResourceStallCause(obs::IdealResource::RegionBoundary),
+        -1);
+}

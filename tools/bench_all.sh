@@ -83,14 +83,33 @@ if [ -x "$BUILD_DIR/tools/cwsp_faultcampaign" ]; then
              "(folded into $OUT)" >&2
 fi
 
-python3 - "$OUT" "$elapsed" "${campaign:-none}" "$tmp"/*.json <<'EOF'
+# Counterfactual what-if profile: idealize one resource at a time on
+# a small fixed app set and record each scheme's top bottleneck plus
+# its most sensitive sizing knob. Folded into the summary (below) so
+# the trajectory diff also flags a bottleneck that silently shifts —
+# e.g. a path tweak that moves cwsp from path-bound to log-bound.
+# Lives in a subdirectory so the aggregation glob doesn't scoop it
+# up as a bench binary.
+whatif=
+if [ -x "$BUILD_DIR/tools/cwsp_whatif" ]; then
+    mkdir -p "$tmp/whatif"
+    whatif=$tmp/whatif/report.json
+    echo ">> cwsp_whatif (jobs=$JOBS)" >&2
+    "$BUILD_DIR"/tools/cwsp_whatif --scheme all --app fft,bzip2 \
+        --jobs "$JOBS" --json "$whatif" > /dev/null ||
+        { echo "bench_all: what-if profile failed" >&2; whatif=; }
+fi
+
+python3 - "$OUT" "$elapsed" "${campaign:-none}" "${whatif:-none}" \
+    "$tmp"/*.json <<'EOF'
 import json
 import os
 import sys
 
 out_path, elapsed = sys.argv[1], int(sys.argv[2])
 campaign_path = sys.argv[3]
-del sys.argv[3]
+whatif_path = sys.argv[4]
+del sys.argv[3:5]
 merged = {"context": None, "wall_clock_s": elapsed, "binaries": []}
 stats = {}
 for path in sys.argv[3:]:
@@ -145,6 +164,33 @@ if campaign_path != "none" and os.path.exists(campaign_path):
             "phases": r.get("phases", {}),
         }
         for r in report.get("recovery", [])
+    ]
+if whatif_path != "none" and os.path.exists(whatif_path):
+    with open(whatif_path) as f:
+        wa = json.load(f)
+    # One row per scheme, keyed by "name" so flattened paths look
+    # like whatif[cwsp].overhead_gmean. Numeric leaves feed the
+    # baseline differ; the bottleneck/knob names are carried for
+    # human readers of the summary.
+    sens = {s.get("scheme"): s.get("knobs", [])
+            for s in wa.get("sensitivity", [])}
+    merged["whatif"] = [
+        {
+            "name": s.get("name", ""),
+            "overhead_gmean": s.get("overhead_gmean", 0),
+            "overhead_total": s.get("overhead_total", 0),
+            "top_bottleneck": s.get("top_bottleneck", "none"),
+            "top_saved_cycles": s.get("top_saved_cycles", 0),
+            "residual_total": s.get("residual_total", 0),
+            "warning_count": s.get("warning_count", 0),
+            "top_knob":
+                (sens.get(s.get("name")) or [{}])[0].get(
+                    "name", "none"),
+            "top_knob_score":
+                (sens.get(s.get("name")) or [{}])[0].get(
+                    "score", 0),
+        }
+        for s in wa.get("whatif", {}).get("scheme_summary", [])
     ]
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)

@@ -69,6 +69,27 @@ for san in "${SANITIZERS[@]}"; do
     # itself exercised under ASan and UBSan.
     "$dir"/tools/cwsp_faultcampaign --apps fft,bzip2 \
           --points 1 --fork --jobs "$JOBS" --quiet
+    echo "== $san: what-if smoke (every scheme, cross-checked) =="
+    # Counterfactual waterfalls for one app across all schemes with
+    # the stall-attribution cross-check enabled, bypassing the result
+    # cache so the idealized configurations (infinite PB, ideal path,
+    # free undo logging, ...) actually execute under the sanitizer
+    # rather than replaying cached numbers. The tool exits nonzero if
+    # any waterfall fails to reconcile bit-exactly; cross-check
+    # disagreements are report warnings, not failures.
+    "$dir"/tools/cwsp_whatif --scheme all --app fft \
+          --no-sensitivity --no-result-cache --jobs "$JOBS" \
+          > /dev/null
+    echo "== $san: analyze --diff rejects junk input =="
+    # The differ must fail loudly (exit 2) on a metrics-free document
+    # instead of printing an empty report and exiting 0.
+    echo '{}' > "$dir"/empty_metrics.json
+    if "$dir"/tools/cwsp_analyze --diff "$dir"/empty_metrics.json \
+          "$dir"/empty_metrics.json > /dev/null 2>&1; then
+        echo "ci_check: --diff accepted a metrics-free document" >&2
+        exit 1
+    fi
+    rm -f "$dir"/empty_metrics.json
     echo "== $san: telemetry smoke (every scheme) =="
     # One sampled + traced run per scheme: attaches the counter
     # sampler at the config-derived cadence, exports the Chrome

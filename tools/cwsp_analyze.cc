@@ -13,6 +13,9 @@
  *   cwsp_analyze --diff OLD.json NEW.json [--threshold 0.05]
  *       baseline differ over two stats/BENCH_summary JSON files;
  *       exit 1 when a metric regressed beyond the threshold
+ *   cwsp_analyze --whatif [--scheme all --app fft]
+ *       counterfactual per-resource overhead waterfalls with the
+ *       stall-attribution cross-check (obs/whatif_profiler.hh)
  *
  * Span/attribution modes run each (scheme, app) point directly with
  * a full-mask TraceBuffer attached; --crash FRAC additionally
@@ -37,6 +40,7 @@
 #include "obs/recovery_report.hh"
 #include "obs/span_builder.hh"
 #include "obs/stall_attribution.hh"
+#include "obs/whatif_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "workloads/workload.hh"
@@ -62,6 +66,10 @@ usage()
         " violations\n"
         "  --diff OLD NEW         compare two stats-JSON files; exit 1"
         " on regressions\n"
+        "  --whatif               per-resource what-if waterfalls +"
+        " knob sensitivity\n"
+        "                         (markdown to stdout; --report-json"
+        " FILE for JSON)\n"
         "  --recovery-report FILE per-scheme recovery-latency vs."
         " runtime-overhead\n"
         "                         Pareto table from a fault-campaign"
@@ -268,6 +276,39 @@ int
 runDiff(const std::string &before, const std::string &after,
         const obs::DiffOptions &options)
 {
+    // Validate each input up front: a missing file, malformed JSON,
+    // or a document with no numeric metrics at all (the wrong file,
+    // or a truncated write) must fail loudly with the offending path
+    // named — not print an empty "compared 0 metrics" report and
+    // exit 0.
+    for (const std::string &path : {before, after}) {
+        std::string json;
+        std::string error;
+        if (!slurpFile(path, json, error)) {
+            std::fprintf(stderr, "cwsp_analyze --diff: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        std::map<std::string, double> metrics;
+        try {
+            metrics = obs::flattenMetricsJson(json);
+        } catch (const std::exception &ex) {
+            std::fprintf(stderr,
+                         "cwsp_analyze --diff: %s: not a valid "
+                         "stats JSON document: %s\n",
+                         path.c_str(), ex.what());
+            return 2;
+        }
+        if (metrics.empty()) {
+            std::fprintf(stderr,
+                         "cwsp_analyze --diff: %s: no numeric "
+                         "metrics found (is this a stats/"
+                         "BENCH_summary JSON file?)\n",
+                         path.c_str());
+            return 2;
+        }
+    }
+
     obs::DiffResult result;
     std::string error;
     if (!obs::diffMetricFiles(before, after, options, result,
@@ -365,6 +406,51 @@ runValidateTrace(const std::string &path)
     return v.ok() ? 0 : 1;
 }
 
+/** Counterfactual what-if waterfalls over the selection. */
+int
+runWhatIfMode(const std::vector<std::string> &schemes,
+              const std::vector<workloads::AppProfile> &apps,
+              unsigned jobs, std::uint64_t trace_cap,
+              const std::string &report_json_path)
+{
+    driver::BatchConfig bc;
+    bc.jobs = jobs;
+    driver::BatchRunner runner(bc);
+    obs::WhatIfOptions opt;
+    opt.traceCap = trace_cap;
+    obs::WhatIfReport report =
+        obs::runWhatIf(runner, schemes, apps, opt);
+    obs::SensitivityOptions so;
+    auto sens = obs::runSensitivity(runner, schemes, apps, so);
+    report.batch = runner.stats();
+
+    for (const auto &e : report.entries) {
+        if (!e.reconciles()) {
+            std::fprintf(stderr,
+                         "whatif waterfall does not reconcile for "
+                         "%s/%s\n",
+                         e.scheme.c_str(), e.app.c_str());
+            return 1;
+        }
+    }
+
+    obs::writeWhatIfMarkdown(std::cout, report, &sens);
+    if (!report_json_path.empty()) {
+        if (report_json_path == "-") {
+            obs::writeWhatIfJson(std::cout, report, &sens);
+        } else {
+            std::ofstream os(report_json_path);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             report_json_path.c_str());
+                return 2;
+            }
+            obs::writeWhatIfJson(os, report, &sens);
+        }
+    }
+    return 0;
+}
+
 int
 runTrajectoryAppend(const std::string &traj,
                     const std::string &summary,
@@ -395,6 +481,7 @@ runMain(int argc, char **argv)
     std::string recovery_path, report_json_path;
     std::string validate_path;
     bool diff = false;
+    bool whatif = false;
     bool traj = false;
     bool traj_keep_cleared = false;
     unsigned jobs = 0;
@@ -420,6 +507,8 @@ runMain(int argc, char **argv)
             diff = true;
             diff_before = next();
             diff_after = next();
+        } else if (a == "--whatif") {
+            whatif = true;
         } else if (a == "--recovery-report") {
             recovery_path = next();
         } else if (a == "--report-json") {
@@ -475,6 +564,10 @@ runMain(int argc, char **argv)
 
     auto schemes = resolveSchemes(scheme_spec);
     auto apps = resolveApps(app_spec, suite);
+
+    if (whatif)
+        return runWhatIfMode(schemes, apps, jobs, opt.traceCap,
+                             report_json_path);
 
     // Invariant-only smoke goes through the batch engine (parallel,
     // monitor attached per simulation by the runner itself).
