@@ -181,6 +181,7 @@ AliasAnalysis::transfer(const ir::Instr &i, RegState &state) const
       case Op::Call:
       case Op::AtomicAdd:
       case Op::AtomicXchg:
+      case Op::AtomicCas:
         // Values from memory or callees: could be pointers anywhere.
         if (i.dst != ir::kNoReg)
             state[i.dst] = topVal();

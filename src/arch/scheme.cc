@@ -8,6 +8,20 @@
 
 namespace cwsp::arch {
 
+namespace {
+
+/** splitmix64 finalizer: the interleave jitter's mixing function. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
 Scheme::CoreState::CoreState(const SchemeConfig &cfg, CoreId core,
                              std::uint32_t num_mcs)
     : pb(cfg.pbCapacity, cfg.ideal.infinitePb),
@@ -114,7 +128,12 @@ Scheme::onCommit(const interp::CommitInfo &info)
         break;
       }
       case interp::CommitKind::AtomicPrepare:
-        cost = onAtomicPrepare(info.core, info, now);
+        // Seeded ordering bug (checker validation only): the CAS
+        // skips its prepare-phase persist, so it never reaches the
+        // WPQ — visible without ever being durable.
+        cost = config_.bugCasSkipPersist && info.isCas
+                   ? 0
+                   : onAtomicPrepare(info.core, info, now);
         break;
       case interp::CommitKind::Atomic: {
         auto out = hierarchy_->access(info.core, info.addr, true, now);
@@ -124,6 +143,25 @@ Scheme::onCommit(const interp::CommitInfo &info)
         ++cs.stores;
         ++cs.storesInRegion;
         cost += onStore(info.core, info, now + cost);
+        ++cs.atomicSeq;
+        // Deterministic interleave jitter: delay every N-th atomic
+        // commit by a (seed, core, sequence)-keyed amount, perturbing
+        // which core wins the next cross-core race. Atomics always
+        // dispatch through onCommit (never batched), so the jitter is
+        // identical under interpretation and commit-stream replay.
+        if (config_.interleave.seed != 0 &&
+            cs.atomicSeq % config_.interleave.every == 0) {
+            std::uint64_t h = mix64(config_.interleave.seed ^
+                                    mix64((std::uint64_t{info.core}
+                                           << 48) ^
+                                          cs.atomicSeq));
+            cost += h % (config_.interleave.maxDelay + 1);
+        }
+        if (trace_ && trace_->wants(sim::kTraceRegion)) {
+            trace_->record(sim::TraceEventKind::AtomicCommit,
+                           sim::coreLane(info.core), now + cost, 0,
+                           info.addr, cs.rbt.currentRegion());
+        }
         break;
       }
       case interp::CommitKind::Fence:
@@ -335,6 +373,7 @@ Scheme::captureState(sim::StateWriter &w) const
         w.pod(cs.storesInRegion);
         w.pod(cs.lastAckMax);
         w.pod(cs.lastAckCause);
+        w.pod(cs.atomicSeq);
         w.pod(cs.pendingAtomic);
         cs.pb.captureState(w);
         cs.rbt.captureState(w);
@@ -361,6 +400,7 @@ Scheme::restoreState(sim::StateReader &r)
         cs.storesInRegion = r.pod<std::uint64_t>();
         cs.lastAckMax = r.pod<Tick>();
         cs.lastAckCause = r.pod<sim::StallCause>();
+        cs.atomicSeq = r.pod<std::uint64_t>();
         cs.pendingAtomic = r.pod<CoreState::PendingAtomic>();
         cs.pb.restoreState(r);
         cs.rbt.restoreState(r);

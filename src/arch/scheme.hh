@@ -77,6 +77,25 @@ struct IdealizeConfig
     }
 };
 
+/**
+ * Deterministic interleaving-schedule knobs (the concurrent fault
+ * campaign's scheduler, src/core/interleave.hh). When `seed` is
+ * nonzero, every `every`-th Atomic commit on a core receives a
+ * seed/core/sequence-keyed extra delay of up to `maxDelay` cycles,
+ * perturbing which core wins each cross-core CAS race. Because the
+ * delay is a pure function of (seed, core, atomic sequence number) it
+ * replays bit-identically for any `--jobs`, and the knobs serialize
+ * into the canonical config key so each schedule memoizes as its own
+ * design point. Zero seed disables the jitter entirely (the legacy
+ * bit-identical timing model).
+ */
+struct InterleaveConfig
+{
+    std::uint64_t seed = 0;    ///< 0 = disabled
+    std::uint32_t every = 1;   ///< jitter every N-th atomic commit
+    std::uint32_t maxDelay = 64; ///< max extra cycles per jitter
+};
+
 /** Configuration shared by all schemes. */
 struct SchemeConfig
 {
@@ -107,6 +126,19 @@ struct SchemeConfig
     std::uint32_t capriRedoLines = 288;
     /** ReplayCache: memory-level parallelism of the replay writes. */
     std::uint32_t replayMlp = 8;
+
+    /** Deterministic cross-core interleaving jitter (0 = off). */
+    InterleaveConfig interleave;
+
+    /**
+     * Seeded ordering bug for checker validation: CAS commits skip
+     * the AtomicPrepare persist entirely (no WPQ admission, no undo
+     * log, no durability record), so a CAS becomes architecturally
+     * visible without ever being durable — the exact
+     * visible-implies-durable violation the durable-linearizability
+     * checker exists to catch. Never set outside tests.
+     */
+    bool bugCasSkipPersist = false;
 };
 
 /** One durable store, for the crash/recovery machinery. */
@@ -307,6 +339,8 @@ class Scheme : public interp::CommitSink
         Tick lastAckMax = 0; ///< max MC ack over all persists issued
         /** Cause classification of the persist that set lastAckMax. */
         sim::StallCause lastAckCause = sim::StallCause::PbFull;
+        /** Atomic commits retired (drives interleave jitter). */
+        std::uint64_t atomicSeq = 0;
 
         /** Timing computed at AtomicPrepare, consumed at Atomic. */
         struct PendingAtomic

@@ -77,7 +77,9 @@ putScheme(std::ostream &os, const arch::SchemeConfig &s)
     putDouble(os, s.loadLatencyFactor);
     os << ",battery=" << s.batteryBacked
        << ",capri=" << s.capriRedoLines << ",replay=" << s.replayMlp
-       << '}';
+       << ",ilv{" << s.interleave.seed << ',' << s.interleave.every
+       << ',' << s.interleave.maxDelay << '}'
+       << ",bugcas=" << s.bugCasSkipPersist << '}';
 }
 
 } // namespace

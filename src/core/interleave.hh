@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic interleaving schedules for the concurrent fault
+ * campaign.
+ *
+ * The simulator steps cores in min-clock order, so which core wins a
+ * cross-core CAS race is a pure function of the per-core clocks. A
+ * "schedule" therefore perturbs *timing*, never step order: it maps
+ * (baseSeed, scheduleIndex) to an arch::InterleaveConfig whose
+ * seed-keyed jitter delays every N-th atomic commit by a bounded,
+ * deterministic amount. Schedule 0 is always the unjittered legacy
+ * timing (seed 0), so a single-schedule campaign is bit-identical to
+ * the pre-concurrent engine. The resulting config serializes into the
+ * canonical result-cache key, so every (app, scheme, schedule) point
+ * memoizes and replays identically for any --jobs value.
+ */
+
+#ifndef CWSP_CORE_INTERLEAVE_HH
+#define CWSP_CORE_INTERLEAVE_HH
+
+#include <cstdint>
+
+#include "arch/scheme.hh"
+
+namespace cwsp::core {
+
+/** Default per-jitter delay bound (cycles): wide enough to flip CAS
+ * winners across schedules, narrow enough not to dwarf runtimes. */
+constexpr std::uint32_t kInterleaveMaxDelay = 64;
+
+/**
+ * The campaign's schedule mapping. Index 0 disables jitter entirely;
+ * index k >= 1 derives a distinct nonzero seed from @p base_seed so
+ * different campaign seeds explore disjoint schedule families.
+ */
+inline arch::InterleaveConfig
+interleaveSchedule(std::uint64_t base_seed, std::uint32_t index)
+{
+    arch::InterleaveConfig cfg;
+    if (index == 0)
+        return cfg; // seed 0: legacy bit-identical timing
+    // Distinct odd multiplier per index keeps seeds unique even for
+    // base_seed values that differ only in low bits.
+    cfg.seed = base_seed * 0x9e3779b97f4a7c15ull + index;
+    if (cfg.seed == 0)
+        cfg.seed = index;
+    cfg.every = 1;
+    cfg.maxDelay = kInterleaveMaxDelay;
+    return cfg;
+}
+
+} // namespace cwsp::core
+
+#endif // CWSP_CORE_INTERLEAVE_HH

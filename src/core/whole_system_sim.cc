@@ -963,6 +963,12 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
             }
             durable = *memory_;
             durableEmpty = false;
+            if (firstEpoch && captureFirstCrash_) {
+                out.hasFirstCrash = true;
+                out.firstFullRestart = false;
+                out.firstDurableImage = durable;
+                out.firstStores = bundle->stores;
+            }
             out.persistedStores += bundle->stores.size();
             for (const auto &op : bundle->io)
                 out.ioStream.push_back(op);
@@ -1094,6 +1100,16 @@ WholeSystemSim::runWithCrashes(const std::vector<ThreadSpec> &threads,
                 out.lostWork += committed - at_resume;
             }
             out.result = collectStats(coreReturns);
+            if (captureFirstCrash_) {
+                // Snapshot before the fault plan mutates cs.nvm
+                // (stale-slot injection below): the checker wants the
+                // image recovery actually reconstructed.
+                out.hasFirstCrash = true;
+                out.firstFullRestart = cs.fullRestart;
+                if (!cs.fullRestart)
+                    out.firstDurableImage = cs.nvm;
+                out.firstStores = bundle->stores;
+            }
         }
 
         out.persistedStores += cs.persistedStores;

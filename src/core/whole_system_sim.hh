@@ -163,6 +163,17 @@ struct CrashRunResult
      * to it exactly).
      */
     std::vector<RecoveryBreakdown> recoveryBreakdowns;
+    /**
+     * First-failure forensics for the durable-linearizability checker
+     * (populated only when setCaptureFirstCrash(true)): the NVM image
+     * recovery reconstructed at the first failure — captured before
+     * any fault-plan mutation — plus the pre-crash store log and
+     * whether recovery degraded to a full restart (image empty then).
+     */
+    bool hasFirstCrash = false;
+    bool firstFullRestart = false;
+    interp::SparseMemory firstDurableImage;
+    std::vector<arch::StoreRecord> firstStores;
 };
 
 /**
@@ -314,6 +325,14 @@ class WholeSystemSim
      */
     void setExpectedInstrs(std::uint64_t n) { expectedInstrs_ = n; }
 
+    /**
+     * Ask the next runWithCrashes() to keep the first failure's
+     * durable image and pre-crash store log in the result (see
+     * CrashRunResult::hasFirstCrash). Off by default: the image copy
+     * is pure overhead for sweeps that don't check linearizability.
+     */
+    void setCaptureFirstCrash(bool on) { captureFirstCrash_ = on; }
+
     mem::Hierarchy &hierarchy() { return *hierarchy_; }
     arch::Scheme &scheme() { return *scheme_; }
     const SystemConfig &config() const { return config_; }
@@ -386,6 +405,7 @@ class WholeSystemSim
     sim::CounterSampler *sampler_ = nullptr;
     Tick lastCycles_ = 0;
     std::uint64_t expectedInstrs_ = 0;
+    bool captureFirstCrash_ = false;
 
     /** Rebuild hierarchy/scheme state for a fresh run. */
     void reset();

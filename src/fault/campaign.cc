@@ -11,10 +11,13 @@
 #include "core/consistency_checker.hh"
 #include "core/sim_checkpoint.hh"
 #include "core/whole_system_sim.hh"
+#include "core/interleave.hh"
 #include "driver/batch_runner.hh"
 #include "interp/interpreter.hh"
+#include "obs/durable_lin.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "workloads/concurrent.hh"
 #include "workloads/workload.hh"
 
 namespace cwsp::fault {
@@ -101,6 +104,13 @@ writeCaseJson(std::ostream &os, const CaseResult &r)
     jsonEscape(os, r.c.schedule.describe());
     os << ", \"point_kind\": ";
     jsonEscape(os, crashPointKindName(r.c.pointKind));
+    os << ", \"ilv\": " << r.c.ilvIndex;
+    if (!r.dlVerdict.empty()) {
+        os << ", \"dl_verdict\": ";
+        jsonEscape(os, r.dlVerdict);
+        os << ", \"dl_invoked\": " << r.dlInvokedOps
+           << ", \"dl_completed\": " << r.dlCompletedOps;
+    }
     os << ", \"faults\": [";
     for (std::size_t i = 0; i < r.c.plan.faults.size(); ++i) {
         if (i)
@@ -181,6 +191,10 @@ writeSchemeRecoveryJson(std::ostream &os,
     }
     os << "}, \"runtime_overhead\": ";
     writeDouble(os, st.runtimeOverhead);
+    os << ", \"durable_lin\": {\"checked\": " << st.dlChecked
+       << ", \"pass\": " << st.dlPass
+       << ", \"violation\": " << st.dlViolation
+       << ", \"vacuous\": " << st.dlVacuous << "}";
     os << ", \"golden_cycles\": [";
     for (std::size_t i = 0; i < st.goldenCycles.size(); ++i) {
         os << (i ? ", " : "") << "{\"name\": ";
@@ -208,6 +222,17 @@ struct Context
     CrashPointSet points;
     /** Campaign-wide checkpoint cache (null = forking disabled). */
     core::CheckpointCache *ckptCache = nullptr;
+    /**
+     * Concurrent contexts (one per interleaving schedule): thread
+     * roster, structure spec, and per-worker op sequences for the
+     * durable-linearizability verdict. Checkpoint forking and stream
+     * replay stay off — both are single-core machineries.
+     */
+    bool concurrent = false;
+    std::uint32_t ilvIndex = 0;
+    std::vector<core::ThreadSpec> threads{core::ThreadSpec{}};
+    workloads::ConcurrentSpec cspec;
+    std::vector<std::vector<workloads::ConcurrentOp>> cops;
 };
 
 /** Cache key prefix of @p ctx's checkpoints ("<app>|<scheme>"). */
@@ -230,6 +255,11 @@ refOf(const Context &ctx)
     g.ckptCache = ctx.ckptCache;
     if (ctx.ckptCache)
         g.ckptKeyBase = ckptKeyBaseOf(ctx);
+    g.threads = &ctx.threads;
+    if (ctx.concurrent) {
+        g.dlSpec = &ctx.cspec;
+        g.dlOps = &ctx.cops;
+    }
     return g;
 }
 
@@ -250,6 +280,8 @@ casesFor(const Context &ctx, const CampaignOptions &opt)
         c.app = ctx.app;
         c.scheme = ctx.scheme;
         c.pointKind = p.kind;
+        c.ilvIndex = ctx.ilvIndex;
+        c.interleave = ctx.config.scheme.interleave;
         return c;
     };
 
@@ -333,6 +365,15 @@ shrinkCase(const CaseResult &failing, const GoldenRef &golden,
             c.schedule.ticks.pop_back();
             candidates.push_back(std::move(c));
         }
+        if (best.c.interleave.seed != 0) {
+            // Is the interleaving schedule part of the minimal
+            // repro, or does the failure reproduce under the
+            // unjittered legacy timing too?
+            CampaignCase c = best.c;
+            c.ilvIndex = 0;
+            c.interleave = arch::InterleaveConfig{};
+            candidates.push_back(std::move(c));
+        }
         for (std::size_t i = 0; i < best.c.plan.faults.size(); ++i) {
             CampaignCase c = best.c;
             c.plan.faults.erase(c.plan.faults.begin() +
@@ -387,6 +428,8 @@ CampaignCase::label() const
 {
     std::ostringstream os;
     os << app << "/" << scheme << " @" << schedule.describe();
+    if (ilvIndex != 0)
+        os << " ilv" << ilvIndex;
     for (const auto &f : plan.faults)
         os << " " << faultBrief(f);
     return os.str();
@@ -402,7 +445,18 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
     CaseResult r;
     r.c = c;
     try {
-        core::WholeSystemSim sim(*golden.module, *golden.config);
+        // The case carries its own interleave config (the shrinker
+        // may have zeroed it); everything else follows the golden
+        // context's config exactly.
+        core::SystemConfig cfg = *golden.config;
+        cfg.scheme.interleave = c.interleave;
+        core::WholeSystemSim sim(*golden.module, cfg);
+        static const std::vector<core::ThreadSpec> kMainThread{
+            core::ThreadSpec{}};
+        const auto &threads =
+            golden.threads ? *golden.threads : kMainThread;
+        if (golden.dlSpec)
+            sim.setCaptureFirstCrash(true);
         // Forked mode: restore the pre-crash prefix from the golden
         // pass's checkpoint instead of re-executing it. A miss
         // (evicted under the byte cap, or never captured) degrades to
@@ -418,9 +472,8 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
                 golden.ckptCache->noteFallback();
         }
         auto out =
-            sim.runWithCrashes({core::ThreadSpec{}}, c.schedule,
-                               c.plan, max_instrs, golden.stream,
-                               fork.get());
+            sim.runWithCrashes(threads, c.schedule, c.plan,
+                               max_instrs, golden.stream, fork.get());
         r.ran = true;
         r.crashed = out.crashed;
         r.faults = out.faults;
@@ -430,6 +483,56 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
         for (const auto &b : out.recoveryBreakdowns) {
             for (std::size_t p = 0; p < kRecoveryPhases; ++p)
                 r.recoveryPhaseCycles[p] += b.phase[p];
+        }
+
+        // Every media fault that was actually injected must have been
+        // detected somewhere (silent corruption fails the case even
+        // when the state happens to converge).
+        r.faultsDetected =
+            out.faults.faultsApplied == 0 ||
+            out.faults.corruptRecordsDetected +
+                    out.faults.staleSlotsDetected >=
+                out.faults.faultsApplied;
+
+        if (golden.dlSpec) {
+            // Concurrent verdict: the crash may legally change which
+            // worker wins each post-recovery race, so the golden
+            // final state is not a reference — durable
+            // linearizability of the pre-crash history against the
+            // recovered image is.
+            obs::DlResult dl;
+            if (out.hasFirstCrash) {
+                dl = obs::checkDurableLinearizability(
+                    *golden.dlSpec, *golden.dlOps, out.firstStores,
+                    out.firstDurableImage, out.firstFullRestart);
+            } else {
+                dl.outcome = obs::DlOutcome::Vacuous;
+                dl.reason = "program finished before the crash";
+            }
+            r.dlVerdict = obs::dlOutcomeName(dl.outcome);
+            r.dlInvokedOps = dl.invokedOps;
+            r.dlCompletedOps = dl.completedOps;
+            r.consistent = true; // differential check not applicable
+            r.resultMatch = true;
+            for (std::uint32_t t = 0;
+                 t < out.result.returnValues.size(); ++t) {
+                r.resultMatch &=
+                    out.result.returnValues[t] == golden.result;
+            }
+            r.pass = r.resultMatch && r.faultsDetected &&
+                     dl.outcome != obs::DlOutcome::Violation;
+            if (!r.pass) {
+                std::ostringstream os;
+                if (dl.outcome == obs::DlOutcome::Violation)
+                    os << "durable linearizability: " << dl.reason
+                       << "; ";
+                if (!r.resultMatch)
+                    os << "post-recovery worker result differs; ";
+                if (!r.faultsDetected)
+                    os << "seeded media fault went undetected; ";
+                r.detail = os.str();
+            }
+            return r;
         }
 
         auto check = core::checkGlobals(*golden.module,
@@ -456,15 +559,6 @@ runCase(const CampaignCase &c, const GoldenRef &golden,
                             a.core == b.core;
             }
         }
-
-        // Every media fault that was actually injected must have been
-        // detected somewhere (silent corruption fails the case even
-        // when the state happens to converge).
-        r.faultsDetected =
-            out.faults.faultsApplied == 0 ||
-            out.faults.corruptRecordsDetected +
-                    out.faults.staleSlotsDetected >=
-                out.faults.faultsApplied;
 
         r.pass = r.consistent && r.resultMatch &&
                  (!r.ioChecked || r.ioMatch) && r.faultsDetected;
@@ -514,19 +608,73 @@ runCampaign(const CampaignOptions &options)
         options.forkCheckpoints ? &pool.checkpointCache() : nullptr;
 
     // Phase 1: golden runs + crash-point enumeration, one context per
-    // (app, scheme) — parallel, each context self-contained.
-    std::vector<Context> contexts(options.apps.size() *
-                                  schemes.size());
-    {
-        std::vector<std::function<void()>> prep;
-        for (std::size_t a = 0; a < options.apps.size(); ++a) {
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
-                Context &ctx = contexts[a * schemes.size() + s];
+    // (app, scheme) slot — concurrent apps get one slot per
+    // interleaving schedule — parallel, each self-contained.
+    std::vector<Context> contexts;
+    for (std::size_t a = 0; a < options.apps.size(); ++a) {
+        const bool conc =
+            workloads::findConcurrentApp(options.apps[a]) != nullptr;
+        const std::uint32_t slots =
+            conc ? std::max<std::uint32_t>(1, options.numSchedules)
+                 : 1;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            for (std::uint32_t k = 0; k < slots; ++k) {
+                Context ctx;
                 ctx.app = options.apps[a];
                 ctx.scheme = schemes[s];
+                ctx.concurrent = conc;
+                ctx.ilvIndex = k;
+                contexts.push_back(std::move(ctx));
+            }
+        }
+    }
+    {
+        std::vector<std::function<void()>> prep;
+        for (Context &ctxSlot : contexts) {
+            {
+                Context &ctx = ctxSlot;
                 prep.push_back([&ctx, &options,
                                 cache = ckptCache]() {
                     ctx.config = core::makeSystemConfig(ctx.scheme);
+                    if (ctx.concurrent) {
+                        // Multicore golden run: fault-free timing
+                        // plus the reference worker return value
+                        // (each worker deterministically finishes
+                        // opsPerWorker ops). Commit-stream replay and
+                        // checkpoint forking are single-core
+                        // machineries and stay off; the durable-lin
+                        // verdict replaces the differential checks.
+                        const auto *cp =
+                            workloads::findConcurrentApp(ctx.app);
+                        ctx.config.numCores = cp->params.numWorkers;
+                        ctx.config.scheme.interleave =
+                            core::interleaveSchedule(
+                                options.interleaveSeed, ctx.ilvIndex);
+                        ctx.config.scheme.bugCasSkipPersist =
+                            options.seedCasBug;
+                        ctx.module = workloads::buildConcurrentApp(
+                            *cp, ctx.config.compiler);
+                        ctx.cspec = workloads::concurrentSpec(
+                            *ctx.module, *cp);
+                        ctx.threads.clear();
+                        for (std::uint32_t t = 0;
+                             t < cp->params.numWorkers; ++t) {
+                            ctx.cops.push_back(
+                                workloads::concurrentOps(*cp, t));
+                            ctx.threads.push_back(core::ThreadSpec{
+                                "worker", {Word{t}}});
+                        }
+                        core::WholeSystemSim sim(*ctx.module,
+                                                 ctx.config);
+                        ctx.goldenCycles =
+                            sim.run(ctx.threads, options.maxInstrs)
+                                .cycles;
+                        ctx.goldenResult = cp->params.opsPerWorker;
+                        ctx.points = enumerateCrashPoints(
+                            *ctx.module, ctx.config, ctx.threads,
+                            options.pointsPerKind);
+                        return;
+                    }
                     const auto &profile =
                         workloads::appByName(ctx.app);
                     ctx.module = workloads::buildApp(
@@ -673,8 +821,22 @@ runCampaign(const CampaignOptions &options)
                 st.phaseCycles[p] += r.recoveryPhaseCycles[p];
             if (r.crashed)
                 st.lostWork.add(r.lostWork);
+            if (!r.dlVerdict.empty()) {
+                ++st.dlChecked;
+                if (r.dlVerdict == "pass")
+                    ++st.dlPass;
+                else if (r.dlVerdict == "violation")
+                    ++st.dlViolation;
+                else
+                    ++st.dlVacuous;
+            }
         }
         for (const Context &ctx : contexts) {
+            // Jittered schedules measure the same binary under
+            // perturbed timing; only schedule 0 (legacy, unjittered)
+            // feeds the fault-free overhead axis.
+            if (ctx.ilvIndex != 0)
+                continue;
             report.recovery[idxOf.at(ctx.scheme)]
                 .goldenCycles.emplace_back(ctx.app,
                                            ctx.goldenCycles);
@@ -815,6 +977,13 @@ CampaignReport::fillStats(StatsRegistry &reg) const
         }
         for (const auto &[app, cycles] : st.goldenCycles)
             reg.counter(p + "golden_cycles." + app).inc(cycles);
+        if (st.dlChecked) {
+            reg.counter(p + "durable_lin.checked").inc(st.dlChecked);
+            reg.counter(p + "durable_lin.pass").inc(st.dlPass);
+            reg.counter(p + "durable_lin.violation")
+                .inc(st.dlViolation);
+            reg.counter(p + "durable_lin.vacuous").inc(st.dlVacuous);
+        }
         // Touch the histograms so zero-crash schemes still export an
         // (empty) series with the canonical shape.
         reg.histogram(p + "latency", st.latency.bucketWidth,

@@ -17,6 +17,15 @@
  *  - every media fault that was actually injected was *detected*
  *    (silent corruption is a failure even when the final state
  *    happens to converge).
+ *
+ * Concurrent apps (workloads::concurrentAppTable) swap the first
+ * three criteria for a durable-linearizability verdict
+ * (obs/durable_lin.hh) plus per-worker return validation: post-crash
+ * interleavings legitimately diverge from the golden final state, so
+ * the recovered image is judged against the pre-crash history
+ * instead. Each (app, scheme) sweeps one context per deterministic
+ * interleaving schedule, and the shrinker additionally tries
+ * dropping the schedule from a failing case's repro.
  */
 
 #ifndef CWSP_FAULT_CAMPAIGN_HH
@@ -29,6 +38,7 @@
 
 #include "fault/crash_points.hh"
 #include "fault/fault_model.hh"
+#include "workloads/concurrent.hh"
 
 namespace cwsp {
 class StatsRegistry; // sim/stats.hh
@@ -65,6 +75,24 @@ struct CampaignOptions
     /** Worker threads; 0 = hardware concurrency. */
     unsigned jobs = 0;
     std::uint64_t maxInstrs = 200'000'000;
+    /**
+     * Concurrent apps (workloads::concurrentAppTable) only: base seed
+     * of the deterministic interleaving schedules (--seed) and how
+     * many schedules to sweep per (app, scheme) (--schedules).
+     * Schedule 0 is always the unjittered legacy timing; schedule
+     * k >= 1 derives a distinct jitter seed (core/interleave.hh).
+     * Single-threaded apps ignore both.
+     */
+    std::uint64_t interleaveSeed = 1;
+    std::uint32_t numSchedules = 2;
+    /**
+     * Inject the seeded CAS-ordering bug (arch::SchemeConfig::
+     * bugCasSkipPersist: the CAS becomes visible but never durable)
+     * into every concurrent context. The checker's self-test target:
+     * the campaign must catch it as a durable-linearizability
+     * violation and shrink a minimal repro (--seed-cas-bug).
+     */
+    bool seedCasBug = false;
 };
 
 /** One differential crash run. */
@@ -76,6 +104,14 @@ struct CampaignCase
     FaultPlan plan;
     /** Kind of the point the initial crash tick came from. */
     CrashPointKind pointKind = CrashPointKind::RegionBegin;
+    /**
+     * Concurrent campaign: interleaving schedule index and its
+     * resolved jitter config. The config rides in the case so the
+     * shrinker can retry a failing case with jitter disabled (is the
+     * schedule part of the minimal repro?) without a context rebuild.
+     */
+    std::uint32_t ilvIndex = 0;
+    arch::InterleaveConfig interleave;
 
     /** "bzip2/cwsp @1042+65 torn_append@0" (for logs and reports). */
     std::string label() const;
@@ -112,6 +148,14 @@ struct CaseResult
     /** Instructions committed past the resume point at the first
      *  failure — work the crash destroyed. */
     std::uint64_t lostWork = 0;
+    /**
+     * Durable-linearizability verdict of a concurrent case ("pass",
+     * "violation", "vacuous"; empty for single-threaded cases, whose
+     * verdict is the differential check instead).
+     */
+    std::string dlVerdict;
+    std::uint32_t dlInvokedOps = 0;   ///< ops with committed inv
+    std::uint32_t dlCompletedOps = 0; ///< ops durably acknowledged
     std::string detail; ///< human-readable failure explanation
 };
 
@@ -184,6 +228,12 @@ struct SchemeRecoveryStats
     double runtimeOverhead = 0.0;
     /** Fault-free timed cycles per app (campaign app order). */
     std::vector<std::pair<std::string, std::uint64_t>> goldenCycles;
+    /** Durable-linearizability verdict totals over this scheme's
+     *  concurrent cases (all zero for single-threaded campaigns). */
+    std::uint64_t dlChecked = 0;
+    std::uint64_t dlPass = 0;
+    std::uint64_t dlViolation = 0;
+    std::uint64_t dlVacuous = 0;
 };
 
 /** Aggregate outcome. */
@@ -249,6 +299,18 @@ struct GoldenRef
      */
     core::CheckpointCache *ckptCache = nullptr;
     std::string ckptKeyBase;
+    /**
+     * Concurrent campaign: thread roster (null = the single-threaded
+     * {ThreadSpec{}} default) plus the structure spec and per-worker
+     * op sequences driving the durable-linearizability verdict. When
+     * dlSpec is set, runCase() swaps the differential globals/IO
+     * checks for the checker's verdict (post-crash interleavings
+     * legitimately diverge from the golden run's final state).
+     */
+    const std::vector<core::ThreadSpec> *threads = nullptr;
+    const workloads::ConcurrentSpec *dlSpec = nullptr;
+    const std::vector<std::vector<workloads::ConcurrentOp>> *dlOps =
+        nullptr;
 };
 
 CaseResult runCase(const CampaignCase &c, const GoldenRef &golden,

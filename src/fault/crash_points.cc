@@ -18,6 +18,7 @@ crashPointKindName(CrashPointKind kind)
       case CrashPointKind::MidDrain: return "mid_drain";
       case CrashPointKind::UndoAppend: return "undo_append";
       case CrashPointKind::MidRecovery: return "mid_recovery";
+      case CrashPointKind::AtomicCommit: return "atomic_commit";
     }
     return "?";
 }
@@ -30,7 +31,8 @@ parseCrashPointKind(const std::string &name, CrashPointKind &out)
                  CrashPointKind::RegionPersist,
                  CrashPointKind::MidDrain,
                  CrashPointKind::UndoAppend,
-                 CrashPointKind::MidRecovery};
+                 CrashPointKind::MidRecovery,
+                 CrashPointKind::AtomicCommit};
     for (CrashPointKind k : kinds) {
         if (name == crashPointKindName(k)) {
             out = k;
@@ -64,6 +66,13 @@ CrashPointCollector::onTraceEvent(const sim::TraceEvent &event)
         // One tick after the append: the record is durable, the
         // guarded store is (at best) just admitted.
         raw_.push_back({event.tick + 1, CrashPointKind::UndoAppend,
+                        event.arg0});
+        break;
+      case sim::TraceEventKind::AtomicCommit:
+        // One tick after an atomic RMW commits: the interleaving
+        // boundary where a cross-core winner just became visible —
+        // the durable-linearizability checker's prime suspects.
+        raw_.push_back({event.tick + 1, CrashPointKind::AtomicCommit,
                         event.arg0});
         break;
       default:

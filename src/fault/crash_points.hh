@@ -38,9 +38,11 @@ enum class CrashPointKind : std::uint8_t {
     MidDrain,      ///< midway through a scheme drain stall
     UndoAppend,    ///< right after an undo record lands
     MidRecovery,   ///< inside a recovery window (nested schedules)
+    AtomicCommit,  ///< right after an atomic RMW commits (the
+                   ///< concurrent campaign's interleaving boundaries)
 };
 
-inline constexpr std::size_t kNumCrashPointKinds = 5;
+inline constexpr std::size_t kNumCrashPointKinds = 6;
 
 /** Stable name ("region_begin", "mid_drain", ...). */
 const char *crashPointKindName(CrashPointKind kind);

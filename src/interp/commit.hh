@@ -46,6 +46,7 @@ struct CommitInfo
     Addr addr = 0;       ///< word-aligned effective address
     Word storeValue = 0; ///< value written (Store/Atomic)
     bool isCheckpoint = false; ///< checkpoint or argument-spill store
+    bool isCas = false;  ///< AtomicPrepare/Atomic from an AtomicCas
 
     // Boundary information.
     ir::FuncId func = ir::kNoFunc;

@@ -198,7 +198,8 @@ Interpreter::step(CommitSink &sink)
         break;
       }
       case Op::AtomicAdd:
-      case Op::AtomicXchg: {
+      case Op::AtomicXchg:
+      case Op::AtomicCas: {
         Addr addr = wordAlign(f.regs[i.b] + static_cast<Word>(i.imm));
         if (!atomicPrepared_) {
             // Phase 1: announce the atomic so the timing model can
@@ -208,16 +209,28 @@ Interpreter::step(CommitSink &sink)
             --committed_; // not an instruction retire
             info.kind = CommitKind::AtomicPrepare;
             info.addr = addr;
+            info.isCas = i.op == Op::AtomicCas;
             sink.onCommit(info);
             break;
         }
         atomicPrepared_ = false;
         Word old = memory_->read(addr);
-        Word next = i.op == Op::AtomicAdd ? old + f.regs[i.a]
-                                          : f.regs[i.a];
+        Word next;
+        switch (i.op) {
+          case Op::AtomicAdd:
+            next = old + f.regs[i.a];
+            break;
+          case Op::AtomicXchg:
+            next = f.regs[i.a];
+            break;
+          default: // AtomicCas: dst holds the expected value
+            next = old == f.regs[i.dst] ? f.regs[i.a] : old;
+            break;
+        }
         f.regs[i.dst] = old;
         ++f.index;
         info.kind = CommitKind::Atomic;
+        info.isCas = i.op == Op::AtomicCas;
         doStore(addr, next, false, sink, info);
         // Fuse the atomic's transition checkpoints and the post-
         // atomic boundary into this step: the MC persists the whole

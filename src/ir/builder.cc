@@ -165,6 +165,20 @@ IRBuilder::atomicXchg(Reg dst, Reg operand, Reg base, std::int64_t offset)
     return dst;
 }
 
+Reg
+IRBuilder::atomicCas(Reg dstExpected, Reg newVal, Reg base,
+                     std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::AtomicCas;
+    i.dst = dstExpected;
+    i.a = newVal;
+    i.b = base;
+    i.imm = offset;
+    ops().push_back(i);
+    return dstExpected;
+}
+
 void
 IRBuilder::fence()
 {

@@ -92,6 +92,13 @@ class IRBuilder
     // -- Synchronization ---------------------------------------------------
     Reg atomicAdd(Reg dst, Reg operand, Reg base, std::int64_t offset = 0);
     Reg atomicXchg(Reg dst, Reg operand, Reg base, std::int64_t offset = 0);
+    /**
+     * Compare-and-swap: @p dstExpected holds the expected value on
+     * entry and receives the old memory value; on success
+     * mem[base+offset] = newVal. Success test: old == dstExpected.
+     */
+    Reg atomicCas(Reg dstExpected, Reg newVal, Reg base,
+                  std::int64_t offset = 0);
     void fence();
 
     /** Irrevocable device output: write r[value] to device @p dev. */

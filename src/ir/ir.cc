@@ -32,6 +32,7 @@ opcodeName(Opcode op)
       case Opcode::Call: return "call";
       case Opcode::AtomicAdd: return "atomadd";
       case Opcode::AtomicXchg: return "atomxchg";
+      case Opcode::AtomicCas: return "atomcas";
       case Opcode::Fence: return "fence";
       case Opcode::RegionBoundary: return "rgnbound";
       case Opcode::Checkpoint: return "ckpt";
@@ -55,6 +56,7 @@ accessesMemory(Opcode op)
       case Opcode::Store:
       case Opcode::AtomicAdd:
       case Opcode::AtomicXchg:
+      case Opcode::AtomicCas:
       case Opcode::Checkpoint:
         return true;
       default:
@@ -65,7 +67,8 @@ accessesMemory(Opcode op)
 bool
 isAtomic(Opcode op)
 {
-    return op == Opcode::AtomicAdd || op == Opcode::AtomicXchg;
+    return op == Opcode::AtomicAdd || op == Opcode::AtomicXchg ||
+           op == Opcode::AtomicCas;
 }
 
 bool
@@ -102,6 +105,7 @@ Instr::defReg() const
       case Opcode::Call:
       case Opcode::AtomicAdd:
       case Opcode::AtomicXchg:
+      case Opcode::AtomicCas:
         return dst;
       default:
         return isBinaryAlu(op) ? dst : kNoReg;
@@ -145,6 +149,11 @@ Instr::useRegs(std::vector<Reg> &out) const
         push(a); // operand value
         push(b); // base
         break;
+      case Opcode::AtomicCas:
+        push(dst); // expected value (read before being overwritten)
+        push(a);   // new value
+        push(b);   // base
+        break;
       case Opcode::Fence:
       case Opcode::RegionBoundary:
       case Opcode::Nop:
@@ -167,14 +176,15 @@ bool
 Instr::writesMemory() const
 {
     return op == Opcode::Store || op == Opcode::AtomicAdd ||
-           op == Opcode::AtomicXchg || op == Opcode::Checkpoint;
+           op == Opcode::AtomicXchg || op == Opcode::AtomicCas ||
+           op == Opcode::Checkpoint;
 }
 
 bool
 Instr::readsMemory() const
 {
     return op == Opcode::Load || op == Opcode::AtomicAdd ||
-           op == Opcode::AtomicXchg;
+           op == Opcode::AtomicXchg || op == Opcode::AtomicCas;
 }
 
 const Instr &

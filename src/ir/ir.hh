@@ -93,6 +93,14 @@ enum class Opcode : std::uint8_t {
     // Synchronization.
     AtomicAdd,  ///< dst = mem[rb+imm]; mem[rb+imm] += ra  (sequentially consistent)
     AtomicXchg, ///< dst = mem[rb+imm]; mem[rb+imm] = ra
+    /**
+     * Compare-and-swap, x86 cmpxchg-style: dst holds the expected
+     * value on input and receives the old memory value; on success
+     * (old == expected) mem[rb+imm] = ra. A failed CAS still commits
+     * an Atomic event writing back the old value, keeping the timing
+     * and crash-injection plumbing uniform across both outcomes.
+     */
+    AtomicCas,
     Fence,      ///< full memory fence
 
     // Persistence instrumentation (inserted by the cWSP compiler).
@@ -115,10 +123,10 @@ const char *opcodeName(Opcode op);
 /** @return true when @p op ends a basic block. */
 bool isTerminator(Opcode op);
 
-/** @return true for Load/Store/AtomicAdd/AtomicXchg/Checkpoint. */
+/** @return true for Load/Store/atomics/Checkpoint. */
 bool accessesMemory(Opcode op);
 
-/** @return true for AtomicAdd/AtomicXchg. */
+/** @return true for AtomicAdd/AtomicXchg/AtomicCas. */
 bool isAtomic(Opcode op);
 
 /** @return true for the two-source ALU opcodes (Add..CmpSlt). */

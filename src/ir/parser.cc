@@ -145,6 +145,7 @@ opcodeFromName(const std::string &name)
         {"ret", Opcode::Ret},       {"call", Opcode::Call},
         {"atomadd", Opcode::AtomicAdd},
         {"atomxchg", Opcode::AtomicXchg},
+        {"atomcas", Opcode::AtomicCas},
         {"fence", Opcode::Fence},
         {"rgnbound", Opcode::RegionBoundary},
         {"ckpt", Opcode::Checkpoint},
@@ -224,7 +225,8 @@ parseInstr(LineLexer &lex)
         break;
       }
       case Op::AtomicAdd:
-      case Op::AtomicXchg: {
+      case Op::AtomicXchg:
+      case Op::AtomicCas: {
         i.dst = lex.reg();
         i.a = lex.reg();
         auto [base, off] = parseMemRef(lex);

@@ -55,6 +55,7 @@ toString(const Instr &i)
         break;
       case Opcode::AtomicAdd:
       case Opcode::AtomicXchg:
+      case Opcode::AtomicCas:
         os << " " << regName(i.dst) << ", " << regName(i.a) << ", ["
            << regName(i.b) << "+" << i.imm << "]";
         break;

@@ -101,6 +101,7 @@ verifyFunction(const Function &func, const Module *module,
               }
               case Opcode::AtomicAdd:
               case Opcode::AtomicXchg:
+              case Opcode::AtomicCas:
                 checkReg(i.dst, false, w, problems);
                 checkReg(i.a, false, w, problems);
                 checkReg(i.b, false, w, problems);

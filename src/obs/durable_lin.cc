@@ -1,0 +1,353 @@
+#include "obs/durable_lin.hh"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cwsp::obs {
+
+namespace {
+
+using workloads::ConcurrentKind;
+using workloads::ConcurrentOp;
+using workloads::ConcurrentSpec;
+
+/** Everything known about one (worker, index) op after harvesting. */
+struct OpFacts
+{
+    bool invCommitted = false;  ///< inv record in the pre-crash log
+    bool respCommitted = false; ///< resp record in the pre-crash log
+    bool respDurable = false;   ///< resp record in the durable image
+    std::uint64_t respValue = 0;
+};
+
+/** Sequential abstract model of the three structures. Queue fronts
+ * are consumed by index so DFS copies stay cheap. */
+struct Model
+{
+    ConcurrentKind kind = ConcurrentKind::Stack;
+    std::vector<std::uint64_t> seq; ///< stack (back = top) / queue
+    std::size_t qhead = 0;          ///< queue: first live element
+    std::vector<std::uint64_t> entries; ///< hash: composed, sorted
+
+    std::uint64_t
+    apply(const ConcurrentOp &op)
+    {
+        switch (kind) {
+          case ConcurrentKind::Stack:
+            if (op.kind == 1) {
+                seq.push_back(op.arg);
+                return 1;
+            }
+            if (seq.empty())
+                return 0;
+            {
+                std::uint64_t v = seq.back();
+                seq.pop_back();
+                return v;
+            }
+          case ConcurrentKind::Queue:
+            if (op.kind == 1) {
+                seq.push_back(op.arg);
+                return 1;
+            }
+            if (qhead == seq.size())
+                return 0;
+            return seq[qhead++];
+          case ConcurrentKind::HashMap:
+            if (op.kind == 1) {
+                auto it = std::lower_bound(entries.begin(),
+                                           entries.end(), op.arg);
+                if (it == entries.end() || *it != op.arg)
+                    entries.insert(it, op.arg);
+                return 1;
+            }
+            for (std::uint64_t e : entries)
+                if (e >> 32 == op.arg)
+                    return e & 0xffff'ffffull;
+            return 0;
+        }
+        return 0;
+    }
+
+    /** Canonical serialization for memoization. */
+    std::string
+    memoKey() const
+    {
+        std::string k;
+        auto put = [&k](std::uint64_t v) {
+            k.append(reinterpret_cast<const char *>(&v), sizeof(v));
+        };
+        if (kind == ConcurrentKind::HashMap) {
+            for (std::uint64_t e : entries)
+                put(e);
+        } else {
+            for (std::size_t i = qhead; i < seq.size(); ++i)
+                put(seq[i]);
+        }
+        return k;
+    }
+
+    /** Does the live content equal @p target (see decode order)? */
+    bool
+    matches(const std::vector<std::uint64_t> &target) const
+    {
+        if (kind == ConcurrentKind::HashMap)
+            return entries == target;
+        if (seq.size() - qhead != target.size())
+            return false;
+        if (kind == ConcurrentKind::Queue)
+            return std::equal(seq.begin() + static_cast<std::ptrdiff_t>(
+                                                qhead),
+                              seq.end(), target.begin());
+        // Stack target is top-first; seq is bottom-first.
+        return std::equal(seq.rbegin(), seq.rend(), target.begin());
+    }
+};
+
+/** Decode the durable image into the model's canonical content
+ * vector (queue: front-first; stack: top-first; hash: sorted
+ * composed entries). nullopt = structurally corrupt image. */
+std::optional<std::vector<std::uint64_t>>
+decodeImage(const ConcurrentSpec &spec,
+            const interp::SparseMemory &image, std::string &why)
+{
+    std::vector<std::uint64_t> out;
+    auto node = [&](std::uint64_t idx) {
+        return spec.nodesBase + idx * 16;
+    };
+    switch (spec.kind) {
+      case ConcurrentKind::Stack: {
+        std::uint64_t enc = image.read(spec.topAddr);
+        std::uint64_t steps = 0;
+        while (enc != 0) {
+            if (enc > spec.nodeCount || ++steps > spec.nodeCount) {
+                why = "stack top chain corrupt (bad index or cycle)";
+                return std::nullopt;
+            }
+            out.push_back(image.read(node(enc - 1)));
+            enc = image.read(node(enc - 1) + 8);
+        }
+        return out;
+      }
+      case ConcurrentKind::Queue: {
+        std::uint64_t idx = image.read(spec.topAddr);
+        std::uint64_t steps = 0;
+        if (idx >= spec.nodeCount) {
+            why = "queue head corrupt (bad index)";
+            return std::nullopt;
+        }
+        std::uint64_t nxt = image.read(node(idx) + 8);
+        while (nxt != 0) {
+            if (nxt >= spec.nodeCount || ++steps > spec.nodeCount) {
+                why = "queue next chain corrupt (bad index or cycle)";
+                return std::nullopt;
+            }
+            out.push_back(image.read(node(nxt)));
+            nxt = image.read(node(nxt) + 8);
+        }
+        return out;
+      }
+      case ConcurrentKind::HashMap: {
+        for (std::uint32_t s = 0; s < spec.capacity; ++s) {
+            std::uint64_t w = image.read(spec.slotsBase + s * 8ull);
+            if (w != 0)
+                out.push_back(w);
+        }
+        std::sort(out.begin(), out.end());
+        for (std::size_t i = 1; i < out.size(); ++i) {
+            if (out[i] >> 32 == out[i - 1] >> 32) {
+                why = "hash image holds duplicate keys";
+                return std::nullopt;
+            }
+        }
+        return out;
+      }
+    }
+    why = "unknown structure kind";
+    return std::nullopt;
+}
+
+/** Memoized DFS over per-worker cutoffs and interleavings. */
+struct Search
+{
+    const std::vector<std::vector<ConcurrentOp>> &ops;
+    const std::vector<std::vector<OpFacts>> &facts;
+    const std::vector<std::uint32_t> &lo;
+    const std::vector<std::uint32_t> &hi;
+    const std::vector<std::uint64_t> &target;
+
+    std::set<std::pair<std::vector<std::uint32_t>, std::string>> seen;
+    std::uint64_t states = 0;
+    bool found = false;
+    static constexpr std::uint64_t kStateBudget = 4'000'000;
+
+    void
+    dfs(std::vector<std::uint32_t> &n, const Model &m)
+    {
+        if (found || ++states > kStateBudget)
+            return;
+        if (!seen.emplace(n, m.memoKey()).second)
+            return;
+        bool cutOk = true;
+        for (std::size_t w = 0; w < n.size(); ++w)
+            cutOk &= n[w] >= lo[w];
+        if (cutOk && m.matches(target)) {
+            found = true;
+            return;
+        }
+        for (std::size_t w = 0; w < n.size() && !found; ++w) {
+            if (n[w] >= hi[w])
+                continue;
+            const ConcurrentOp &op = ops[w][n[w]];
+            const OpFacts &f = facts[w][n[w]];
+            Model next = m;
+            std::uint64_t ret = next.apply(op) & 0xffff'ffffull;
+            // A committed response pins the return value this op
+            // must have produced in any witnessing linearization.
+            if (f.respCommitted &&
+                ret != (f.respValue & 0xffff'ffffull)) {
+                continue;
+            }
+            ++n[w];
+            dfs(n, next);
+            --n[w];
+        }
+    }
+};
+
+} // namespace
+
+const char *
+dlOutcomeName(DlOutcome outcome)
+{
+    switch (outcome) {
+      case DlOutcome::Pass: return "pass";
+      case DlOutcome::Violation: return "violation";
+      case DlOutcome::Vacuous: return "vacuous";
+    }
+    return "?";
+}
+
+DlResult
+checkDurableLinearizability(
+    const ConcurrentSpec &spec,
+    const std::vector<std::vector<ConcurrentOp>> &workerOps,
+    const std::vector<arch::StoreRecord> &stores,
+    const interp::SparseMemory &image, bool fullRestart)
+{
+    DlResult res;
+    if (fullRestart) {
+        res.outcome = DlOutcome::Vacuous;
+        res.reason = "recovery restarted from scratch: the empty "
+                     "image is trivially consistent";
+        return res;
+    }
+    cwsp_assert(workerOps.size() == spec.numWorkers,
+                "one op sequence per worker required");
+
+    // Harvest per-op facts from the pre-crash store log (commit
+    // order) and the durable image (survival ground truth).
+    std::vector<std::vector<OpFacts>> facts(spec.numWorkers);
+    for (std::uint32_t w = 0; w < spec.numWorkers; ++w)
+        facts[w].resize(spec.opsPerWorker);
+    auto slotOf = [&spec](Addr addr) {
+        std::uint64_t word = (addr - spec.histBase) / 8;
+        return std::pair<std::uint64_t, bool>{word / 2, word % 2 != 0};
+    };
+    for (const auto &rec : stores) {
+        if (rec.addr < spec.histBase ||
+            rec.addr >= spec.histBase + spec.histBytes) {
+            continue;
+        }
+        auto [op, isResp] = slotOf(rec.addr);
+        auto w = static_cast<std::uint32_t>(op / spec.opsPerWorker);
+        auto i = static_cast<std::uint32_t>(op % spec.opsPerWorker);
+        if (w >= spec.numWorkers)
+            continue;
+        if (isResp) {
+            facts[w][i].respCommitted = true;
+            facts[w][i].respValue = rec.value;
+        } else {
+            facts[w][i].invCommitted = true;
+        }
+    }
+    for (std::uint32_t w = 0; w < spec.numWorkers; ++w) {
+        for (std::uint32_t i = 0; i < spec.opsPerWorker; ++i) {
+            Addr inv = spec.histBase +
+                       (std::uint64_t{w} * spec.opsPerWorker + i) * 16;
+            std::uint64_t respWord = image.read(inv + 8);
+            if (respWord != 0) {
+                facts[w][i].respDurable = true;
+                if (!facts[w][i].respCommitted)
+                    facts[w][i].respValue = respWord;
+            }
+        }
+    }
+
+    // Per-worker bounds: hi = committed-invocation prefix (nothing
+    // unstarted may appear), lo = durably-acknowledged prefix
+    // (nothing acknowledged may be lost).
+    std::vector<std::uint32_t> lo(spec.numWorkers, 0);
+    std::vector<std::uint32_t> hi(spec.numWorkers, 0);
+    for (std::uint32_t w = 0; w < spec.numWorkers; ++w) {
+        while (hi[w] < spec.opsPerWorker &&
+               facts[w][hi[w]].invCommitted) {
+            ++hi[w];
+        }
+        for (std::uint32_t i = 0; i < spec.opsPerWorker; ++i) {
+            if (!facts[w][i].respDurable)
+                continue;
+            if (i >= hi[w]) {
+                res.outcome = DlOutcome::Violation;
+                res.reason = "durable response without a committed "
+                             "invocation (history corrupt)";
+                return res;
+            }
+            lo[w] = i + 1;
+            ++res.completedOps;
+        }
+        res.invokedOps += hi[w];
+    }
+
+    std::string why;
+    auto target = decodeImage(spec, image, why);
+    if (!target) {
+        res.outcome = DlOutcome::Violation;
+        res.reason = why;
+        return res;
+    }
+
+    if (res.invokedOps == 0) {
+        bool emptyOk = target->empty();
+        res.outcome = emptyOk ? DlOutcome::Vacuous : DlOutcome::Violation;
+        res.reason = emptyOk
+                         ? "no committed invocations and an empty image"
+                         : "image holds state but nothing was invoked";
+        return res;
+    }
+
+    Model m;
+    m.kind = spec.kind;
+    Search search{workerOps, facts, lo, hi, *target, {}, 0, false};
+    std::vector<std::uint32_t> n(spec.numWorkers, 0);
+    search.dfs(n, m);
+    res.statesExplored = search.states;
+    if (search.found) {
+        res.outcome = DlOutcome::Pass;
+        res.reason = "witnessing linearization found";
+    } else if (search.states > Search::kStateBudget) {
+        res.outcome = DlOutcome::Vacuous;
+        res.reason = "state budget exceeded (inconclusive)";
+    } else {
+        res.outcome = DlOutcome::Violation;
+        res.reason = "no consistent cut of the pre-crash history "
+                     "explains the recovered image";
+    }
+    return res;
+}
+
+} // namespace cwsp::obs

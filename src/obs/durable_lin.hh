@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Durable-linearizability checking for the concurrent workloads
+ * (src/workloads/concurrent.hh) under crash campaigns.
+ *
+ * After a crash + recovery, the recovered NVM image must correspond
+ * to some *consistent cut* of the pre-crash operation history: a
+ * per-worker prefix P of the invoked operations such that
+ *
+ *  - every op whose response record survived in the durable image is
+ *    in P (a durably-acknowledged op cannot be lost),
+ *  - no op outside the committed pre-crash history is in P (nothing
+ *    unstarted appears),
+ *  - some interleaving of P (respecting per-worker program order)
+ *    drives the abstract model — sequential stack / queue / map —
+ *    to exactly the structure state decoded from the durable image,
+ *    reproducing every recorded return value along the way.
+ *
+ * Classification reads the *image*, not persist timestamps: for
+ * undo-logged schemes a speculatively admitted store can be reverted
+ * by recovery, so WPQ admission does not imply survival — the image
+ * recovery actually reconstructed is the ground truth.
+ *
+ * The search is a memoized DFS over per-worker cutoffs and
+ * interleavings; histories are campaign-sized (tens of ops), so the
+ * state space stays tiny.
+ */
+
+#ifndef CWSP_OBS_DURABLE_LIN_HH
+#define CWSP_OBS_DURABLE_LIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/scheme.hh"
+#include "interp/machine_state.hh"
+#include "workloads/concurrent.hh"
+
+namespace cwsp::obs {
+
+/** Verdict of one crash's durable-linearizability check. */
+enum class DlOutcome : std::uint8_t {
+    Pass,      ///< a witnessing linearization of some cut exists
+    Violation, ///< no cut of the pre-crash history explains the image
+    Vacuous,   ///< nothing to check (full restart / empty image)
+};
+
+const char *dlOutcomeName(DlOutcome outcome);
+
+/** Result of checking one crash. */
+struct DlResult
+{
+    DlOutcome outcome = DlOutcome::Vacuous;
+    std::string reason;             ///< human-readable verdict detail
+    std::uint32_t invokedOps = 0;   ///< ops with a committed inv record
+    std::uint32_t completedOps = 0; ///< ops durably acknowledged
+    std::uint64_t statesExplored = 0;
+};
+
+/**
+ * Check one crash of a concurrent workload.
+ *
+ * @param spec         structure/history layout (workloads::concurrentSpec)
+ * @param workerOps    per-worker op sequences (workloads::concurrentOps)
+ * @param stores       the pre-crash recording bundle's store log
+ *                     (commit order; CrashRunResult::firstStores)
+ * @param image        the durable NVM image recovery reconstructed
+ *                     (CrashRunResult::firstDurableImage)
+ * @param fullRestart  recovery degraded to a full restart: the empty
+ *                     image is trivially consistent -> Vacuous
+ */
+DlResult checkDurableLinearizability(
+    const workloads::ConcurrentSpec &spec,
+    const std::vector<std::vector<workloads::ConcurrentOp>> &workerOps,
+    const std::vector<arch::StoreRecord> &stores,
+    const interp::SparseMemory &image, bool fullRestart);
+
+} // namespace cwsp::obs
+
+#endif // CWSP_OBS_DURABLE_LIN_HH

@@ -88,6 +88,7 @@ traceKindName(TraceEventKind kind)
       case TraceEventKind::RecoveryReentry:
         return "recovery_reentry";
       case TraceEventKind::RecoveryPhase: return "recovery_phase";
+      case TraceEventKind::AtomicCommit: return "atomic_commit";
     }
     return "?";
 }
@@ -126,6 +127,7 @@ argNames(TraceEventKind kind, const char *&a0, const char *&a1)
         a0 = "addr";
         break;
       case TraceEventKind::UndoRollback:
+      case TraceEventKind::AtomicCommit:
         a0 = "addr";
         a1 = "region";
         break;

@@ -112,6 +112,8 @@ enum class TraceEventKind : std::uint16_t {
                      ///< interrupted replay pass had applied
     RecoveryPhase,   ///< arg0 = core::RecoveryPhase id, arg1 = item
                      ///< count (records/slice ops); dur = phase len
+    // kTraceRegion (concurrent campaign: interleaving boundaries)
+    AtomicCommit,    ///< arg0 = word addr, arg1 = region id
 };
 
 /** Category of @p kind (constexpr so the mask check inlines). */
@@ -124,6 +126,7 @@ traceKindCategory(TraceEventKind kind)
       case TraceEventKind::RegionPersist:
       case TraceEventKind::SchemeDrain:
       case TraceEventKind::RsPointerWrite:
+      case TraceEventKind::AtomicCommit:
         return kTraceRegion;
       case TraceEventKind::PbEnqueue:
       case TraceEventKind::PbDrain:

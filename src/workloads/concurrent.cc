@@ -1,0 +1,694 @@
+#include "workloads/concurrent.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "sim/logging.hh"
+
+namespace cwsp::workloads {
+
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+// Host-side LCG (Knuth MMIX) driving the per-worker op mix.
+constexpr std::uint64_t kLcgA = 0x5851f42d4c957f2dull;
+constexpr std::uint64_t kLcgC = 0x14057b7ef767814full;
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Register plan shared by all three kernels. r0 is the tid param;
+ * r8..r10 hold structure base addresses (set once in the entry
+ * block); r16..r22 are per-op scratch. */
+constexpr Reg rTid = 0, rTopB = 8, rTailB = 9, rNodes = 10,
+              rT0 = 16, rT1 = 17, rT2 = 18, rT3 = 19, rT4 = 20,
+              rRet = 21, rJ = 22;
+
+constexpr std::int64_t kHighBit =
+    std::numeric_limits<std::int64_t>::min();
+
+/** Addresses of one op's history pair. */
+struct HistSlot
+{
+    std::int64_t inv;
+    std::int64_t resp;
+};
+
+HistSlot
+histSlot(Addr hist_base, std::uint32_t ops_per_worker,
+         std::uint32_t tid, std::uint32_t i)
+{
+    auto idx = std::uint64_t{tid} * ops_per_worker + i;
+    auto inv = static_cast<std::int64_t>(hist_base + idx * 16);
+    return {inv, inv + 8};
+}
+
+/** Emit the constant-response tail shared by ops whose return value
+ * is known statically (push/enqueue: always 1). */
+void
+emitConstResp(IRBuilder &b, const HistSlot &h, std::uint64_t ret)
+{
+    b.movImm(rT0, static_cast<std::int64_t>(packRespRecord(ret)));
+    b.movImm(rT1, h.resp);
+    b.store(rT0, rT1);
+}
+
+/** Emit the dynamic-response tail: resp = kHistRespBit | rRet. The
+ * high bit never collides with the 32-bit return, so Xor composes
+ * the record without needing an Or opcode. */
+void
+emitDynResp(IRBuilder &b, const HistSlot &h)
+{
+    b.movImm(rT0, kHighBit);
+    b.xorOp(rRet, rRet, rT0);
+    b.movImm(rT1, h.resp);
+    b.store(rRet, rT1);
+}
+
+void
+emitInv(IRBuilder &b, const HistSlot &h, std::uint32_t kind,
+        std::uint64_t arg)
+{
+    b.movImm(rT0, static_cast<std::int64_t>(packInvRecord(kind, arg)));
+    b.movImm(rT1, h.inv);
+    b.store(rT0, rT1);
+}
+
+// --- Treiber stack ---------------------------------------------------
+//
+// top and node.next hold nodeIndex+1 (0 = null/empty), so the
+// zero-default memory image is a valid empty stack and no worker has
+// to win an initialization race.
+
+void
+emitStackPush(IRBuilder &b, Addr nodes_base, const HistSlot &h,
+              std::uint64_t node_idx, std::uint64_t value)
+{
+    auto node = static_cast<std::int64_t>(nodes_base + node_idx * 16);
+    auto encoded = static_cast<std::int64_t>(node_idx + 1);
+
+    emitInv(b, h, 1, value);
+    b.movImm(rT0, static_cast<std::int64_t>(value));
+    b.movImm(rT1, node);
+    b.store(rT0, rT1);
+
+    BlockId loop = b.newBlock();
+    BlockId done = b.newBlock();
+    b.br(loop);
+
+    b.setBlock(loop);
+    b.load(rT2, rTopB); // current top (encoded)
+    b.movImm(rT1, node);
+    b.store(rT2, rT1, 8); // node.next = top
+    b.mov(rT3, rT2);      // expected
+    b.movImm(rT0, encoded);
+    b.atomicCas(rT3, rT0, rTopB);
+    b.binOp(Opcode::CmpEq, rT0, rT3, rT2);
+    b.condBr(rT0, done, loop);
+
+    b.setBlock(done);
+    emitConstResp(b, h, 1);
+}
+
+void
+emitStackPop(IRBuilder &b, Addr nodes_base, const HistSlot &h)
+{
+    emitInv(b, h, 2, 0);
+
+    BlockId loop = b.newBlock();
+    BlockId tryPop = b.newBlock();
+    BlockId got = b.newBlock();
+    BlockId empty = b.newBlock();
+    BlockId resp = b.newBlock();
+    b.br(loop);
+
+    b.setBlock(loop);
+    b.load(rT2, rTopB); // current top (encoded)
+    b.cmpEqImm(rT0, rT2, 0);
+    b.condBr(rT0, empty, tryPop);
+
+    b.setBlock(tryPop);
+    b.addImm(rT1, rT2, -1);
+    b.shlImm(rT1, rT1, 4);
+    b.movImm(rT0, static_cast<std::int64_t>(nodes_base));
+    b.add(rT1, rT1, rT0); // top node address
+    b.load(rT0, rT1, 8);  // top->next (encoded)
+    b.mov(rT3, rT2);      // expected
+    b.atomicCas(rT3, rT0, rTopB);
+    b.binOp(Opcode::CmpEq, rT0, rT3, rT2);
+    b.condBr(rT0, got, loop);
+
+    b.setBlock(got);
+    // The node is exclusively ours now; no reuse means no ABA and
+    // the value read needs no revalidation.
+    b.load(rRet, rT1, 0);
+    b.br(resp);
+
+    b.setBlock(empty);
+    b.movImm(rRet, 0);
+    b.br(resp);
+
+    b.setBlock(resp);
+    emitDynResp(b, h);
+}
+
+// --- Michael-Scott queue ---------------------------------------------
+//
+// head/tail hold a plain node index whose 0 is the permanent dummy
+// node (pool slot 0); next fields hold a plain index whose 0 is null
+// (nothing ever links back to the dummy). Again zero-default memory
+// is a valid empty queue.
+
+void
+emitEnqueue(IRBuilder &b, Addr nodes_base, const HistSlot &h,
+            std::uint64_t node_idx, std::uint64_t value)
+{
+    auto node = static_cast<std::int64_t>(nodes_base + node_idx * 16);
+
+    emitInv(b, h, 1, value);
+    b.movImm(rT1, node);
+    b.movImm(rT0, static_cast<std::int64_t>(value));
+    b.store(rT0, rT1);
+    b.movImm(rT0, 0); // reset next: harmless unless the link CAS
+    b.store(rT0, rT1, 8); // persisted, and then we never re-execute
+
+    BlockId loop = b.newBlock();
+    BlockId tryLink = b.newBlock();
+    BlockId swing = b.newBlock();
+    BlockId advance = b.newBlock();
+    BlockId done = b.newBlock();
+    b.br(loop);
+
+    b.setBlock(loop);
+    b.load(rT2, rTailB); // tail index
+    b.shlImm(rT1, rT2, 4);
+    b.movImm(rT0, static_cast<std::int64_t>(nodes_base));
+    b.add(rT1, rT1, rT0); // tail node address
+    b.load(rT3, rT1, 8);  // tail->next
+    b.cmpEqImm(rT0, rT3, 0);
+    b.condBr(rT0, tryLink, advance);
+
+    b.setBlock(tryLink);
+    b.movImm(rT4, 0); // expected: still null
+    b.movImm(rT0, static_cast<std::int64_t>(node_idx));
+    b.atomicCas(rT4, rT0, rT1, 8);
+    b.cmpEqImm(rT0, rT4, 0);
+    b.condBr(rT0, swing, loop);
+
+    b.setBlock(swing);
+    // Swing tail to our node; losing this race is fine (someone
+    // helped us or enqueued after us).
+    b.mov(rT4, rT2);
+    b.movImm(rT0, static_cast<std::int64_t>(node_idx));
+    b.atomicCas(rT4, rT0, rTailB);
+    b.br(done);
+
+    b.setBlock(advance);
+    // Tail is lagging: help swing it to the observed next.
+    b.mov(rT4, rT2);
+    b.atomicCas(rT4, rT3, rTailB);
+    b.br(loop);
+
+    b.setBlock(done);
+    emitConstResp(b, h, 1);
+}
+
+void
+emitDequeue(IRBuilder &b, Addr nodes_base, const HistSlot &h)
+{
+    emitInv(b, h, 2, 0);
+
+    BlockId loop = b.newBlock();
+    BlockId tryDeq = b.newBlock();
+    BlockId empty = b.newBlock();
+    BlockId resp = b.newBlock();
+    b.br(loop);
+
+    b.setBlock(loop);
+    b.load(rT2, rTopB); // head index (rTopB doubles as head base)
+    b.shlImm(rT1, rT2, 4);
+    b.movImm(rT0, static_cast<std::int64_t>(nodes_base));
+    b.add(rT1, rT1, rT0); // head node address
+    b.load(rT3, rT1, 8);  // head->next
+    b.cmpEqImm(rT0, rT3, 0);
+    b.condBr(rT0, empty, tryDeq);
+
+    b.setBlock(tryDeq);
+    b.shlImm(rT4, rT3, 4);
+    b.movImm(rT0, static_cast<std::int64_t>(nodes_base));
+    b.add(rT4, rT4, rT0);
+    b.load(rRet, rT4, 0); // value of the node becoming the new dummy
+    b.mov(rT4, rT2);      // expected head
+    b.atomicCas(rT4, rT3, rTopB);
+    b.binOp(Opcode::CmpEq, rT0, rT4, rT2);
+    b.condBr(rT0, resp, loop);
+
+    b.setBlock(empty);
+    b.movImm(rRet, 0);
+    b.br(resp);
+
+    b.setBlock(resp);
+    emitDynResp(b, h);
+}
+
+// --- Insert-only open-addressed hash map -----------------------------
+//
+// One composed word (key<<32)|value per slot, CAS 0 -> composed,
+// linear probing. Keys are unique per op, so a probe that finds our
+// own key (only possible when a crash-resumed region re-executes an
+// already-durable insert) counts as success rather than probing on
+// to plant a duplicate.
+
+void
+emitHashInsert(IRBuilder &b, Addr slots_base, std::uint32_t capacity,
+               const HistSlot &h, std::uint64_t composed)
+{
+    std::uint64_t key = composed >> 32;
+    auto start = static_cast<std::int64_t>(mix64(key) & (capacity - 1));
+    auto mask = static_cast<std::int64_t>(capacity - 1);
+
+    emitInv(b, h, 1, composed);
+    b.movImm(rJ, 0);
+
+    BlockId probe = b.newBlock();
+    BlockId pbody = b.newBlock();
+    BlockId tryCas = b.newBlock();
+    BlockId casLost = b.newBlock();
+    BlockId mine = b.newBlock();
+    BlockId bump = b.newBlock();
+    BlockId ok = b.newBlock();
+    BlockId full = b.newBlock();
+    BlockId resp = b.newBlock();
+    b.br(probe);
+
+    b.setBlock(probe);
+    b.cmpUltImm(rT0, rJ, capacity);
+    b.condBr(rT0, pbody, full);
+
+    b.setBlock(pbody);
+    b.addImm(rT1, rJ, start);
+    b.andImm(rT1, rT1, mask);
+    b.shlImm(rT1, rT1, 3);
+    b.movImm(rT0, static_cast<std::int64_t>(slots_base));
+    b.add(rT1, rT1, rT0); // slot address
+    b.load(rT2, rT1);
+    b.cmpEqImm(rT0, rT2, 0);
+    b.condBr(rT0, tryCas, mine);
+
+    b.setBlock(tryCas);
+    b.movImm(rT3, 0); // expected: still empty
+    b.movImm(rT0, static_cast<std::int64_t>(composed));
+    b.atomicCas(rT3, rT0, rT1);
+    b.cmpEqImm(rT0, rT3, 0);
+    b.condBr(rT0, ok, casLost);
+
+    b.setBlock(casLost);
+    b.mov(rT2, rT3); // the occupant that beat us
+    b.br(mine);
+
+    b.setBlock(mine);
+    b.movImm(rT0, static_cast<std::int64_t>(composed));
+    b.binOp(Opcode::CmpEq, rT0, rT2, rT0);
+    b.condBr(rT0, ok, bump);
+
+    b.setBlock(bump);
+    b.addImm(rJ, rJ, 1);
+    b.br(probe);
+
+    b.setBlock(ok);
+    b.movImm(rRet, 1);
+    b.br(resp);
+
+    b.setBlock(full);
+    b.movImm(rRet, 0);
+    b.br(resp);
+
+    b.setBlock(resp);
+    emitDynResp(b, h);
+}
+
+void
+emitHashLookup(IRBuilder &b, Addr slots_base, std::uint32_t capacity,
+               const HistSlot &h, std::uint64_t key)
+{
+    auto start = static_cast<std::int64_t>(mix64(key) & (capacity - 1));
+    auto mask = static_cast<std::int64_t>(capacity - 1);
+
+    emitInv(b, h, 2, key);
+    b.movImm(rJ, 0);
+
+    BlockId probe = b.newBlock();
+    BlockId pbody = b.newBlock();
+    BlockId check = b.newBlock();
+    BlockId next = b.newBlock();
+    BlockId found = b.newBlock();
+    BlockId absent = b.newBlock();
+    BlockId resp = b.newBlock();
+    b.br(probe);
+
+    b.setBlock(probe);
+    b.cmpUltImm(rT0, rJ, capacity);
+    b.condBr(rT0, pbody, absent);
+
+    b.setBlock(pbody);
+    b.addImm(rT1, rJ, start);
+    b.andImm(rT1, rT1, mask);
+    b.shlImm(rT1, rT1, 3);
+    b.movImm(rT0, static_cast<std::int64_t>(slots_base));
+    b.add(rT1, rT1, rT0);
+    b.load(rT2, rT1);
+    // Insert-only probing: the first empty slot ends the cluster.
+    b.cmpEqImm(rT0, rT2, 0);
+    b.condBr(rT0, absent, check);
+
+    b.setBlock(check);
+    b.shrImm(rT3, rT2, 32);
+    b.cmpEqImm(rT0, rT3, static_cast<std::int64_t>(key));
+    b.condBr(rT0, found, next);
+
+    b.setBlock(next);
+    b.addImm(rJ, rJ, 1);
+    b.br(probe);
+
+    b.setBlock(found);
+    b.andImm(rRet, rT2, 0xffff'ffffLL);
+    b.br(resp);
+
+    b.setBlock(absent);
+    b.movImm(rRet, 0);
+    b.br(resp);
+
+    b.setBlock(resp);
+    emitDynResp(b, h);
+}
+
+} // namespace
+
+const char *
+concurrentKindName(ConcurrentKind kind)
+{
+    switch (kind) {
+      case ConcurrentKind::Stack: return "stack";
+      case ConcurrentKind::Queue: return "queue";
+      case ConcurrentKind::HashMap: return "hashmap";
+    }
+    return "?";
+}
+
+const std::vector<ConcurrentProfile> &
+concurrentAppTable()
+{
+    static const std::vector<ConcurrentProfile> table = [] {
+        std::vector<ConcurrentProfile> t;
+        {
+            ConcurrentProfile p;
+            p.name = "cstack";
+            p.kind = ConcurrentKind::Stack;
+            p.params.numWorkers = 3;
+            p.params.opsPerWorker = 8;
+            p.params.removePct = 40;
+            p.params.seed = 11;
+            t.push_back(p);
+        }
+        {
+            ConcurrentProfile p;
+            p.name = "cqueue";
+            p.kind = ConcurrentKind::Queue;
+            p.params.numWorkers = 3;
+            p.params.opsPerWorker = 8;
+            p.params.removePct = 40;
+            p.params.seed = 12;
+            t.push_back(p);
+        }
+        {
+            ConcurrentProfile p;
+            p.name = "chash";
+            p.kind = ConcurrentKind::HashMap;
+            p.params.numWorkers = 3;
+            p.params.opsPerWorker = 8;
+            p.params.capacity = 64;
+            p.params.removePct = 40;
+            p.params.seed = 13;
+            t.push_back(p);
+        }
+        return t;
+    }();
+    return table;
+}
+
+const ConcurrentProfile *
+findConcurrentApp(const std::string &name)
+{
+    for (const auto &p : concurrentAppTable())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+std::string
+concurrentProfileKey(const ConcurrentProfile &app)
+{
+    std::string key = "concurrent{";
+    key += app.name;
+    key += ',';
+    key += concurrentKindName(app.kind);
+    const auto &p = app.params;
+    key += ',' + std::to_string(p.numWorkers);
+    key += ',' + std::to_string(p.opsPerWorker);
+    key += ',' + std::to_string(p.capacity);
+    key += ',' + std::to_string(p.removePct);
+    key += ',' + std::to_string(p.seed);
+    key += '}';
+    return key;
+}
+
+std::uint64_t
+estimatedConcurrentInstrs(const ConcurrentProfile &app)
+{
+    return std::uint64_t{app.params.numWorkers} *
+           app.params.opsPerWorker * 32;
+}
+
+std::vector<ConcurrentOp>
+concurrentOps(const ConcurrentProfile &app, std::uint32_t tid)
+{
+    const auto &p = app.params;
+    std::vector<ConcurrentOp> ops;
+    ops.reserve(p.opsPerWorker);
+    std::uint64_t x = mix64(p.seed ^ mix64(0x5eedull + tid));
+    std::uint64_t total =
+        std::uint64_t{p.numWorkers} * p.opsPerWorker;
+    for (std::uint32_t i = 0; i < p.opsPerWorker; ++i) {
+        x = x * kLcgA + kLcgC;
+        ConcurrentOp op;
+        std::uint64_t uniq = std::uint64_t{tid} * p.opsPerWorker + i;
+        bool remove = (x >> 33) % 100 < p.removePct;
+        // The first op of worker 0 always adds, so no mix is
+        // all-removes-on-empty (which would make Pass vacuous).
+        if (tid == 0 && i == 0)
+            remove = false;
+        if (app.kind == ConcurrentKind::HashMap) {
+            if (remove) {
+                op.kind = 2; // lookup
+                op.arg = 1 + (x >> 13) % total;
+            } else {
+                std::uint64_t key = uniq + 1;
+                op.kind = 1; // insert
+                op.arg = (key << 32) | ((key + 1000) & 0xffff'ffffull);
+            }
+        } else {
+            op.kind = remove ? 2 : 1;
+            op.arg = remove ? 0 : uniq + 1; // pushed value
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::unique_ptr<ir::Module>
+buildConcurrentKernel(const ConcurrentProfile &app)
+{
+    const auto &p = app.params;
+    cwsp_assert(p.numWorkers >= 1 && p.opsPerWorker >= 1,
+                "concurrent kernels need at least one worker and op");
+    std::uint64_t total = std::uint64_t{p.numWorkers} * p.opsPerWorker;
+    if (app.kind == ConcurrentKind::HashMap)
+        cwsp_assert(isPow2(p.capacity) && p.capacity >= 2 * total,
+                    "hash capacity must be a power of two with slack");
+
+    auto mod = std::make_unique<ir::Module>();
+    ir::Module &m = *mod;
+
+    Addr topAddr = 0, tailAddr = 0, nodesBase = 0, slotsBase = 0;
+    switch (app.kind) {
+      case ConcurrentKind::Stack:
+        m.addGlobal("top", 64);
+        m.addGlobal("nodes", total * 16);
+        break;
+      case ConcurrentKind::Queue:
+        m.addGlobal("head", 64);
+        m.addGlobal("tail", 64);
+        m.addGlobal("nodes", (1 + total) * 16); // slot 0 = dummy
+        break;
+      case ConcurrentKind::HashMap:
+        m.addGlobal("slots", std::uint64_t{p.capacity} * 8);
+        break;
+    }
+    m.addGlobal("history", total * 16);
+    m.addGlobal("result", std::max<std::uint64_t>(64, p.numWorkers * 8));
+    m.layoutMemory();
+
+    Addr histBase = m.global("history").base;
+    switch (app.kind) {
+      case ConcurrentKind::Stack:
+        topAddr = m.global("top").base;
+        nodesBase = m.global("nodes").base;
+        break;
+      case ConcurrentKind::Queue:
+        topAddr = m.global("head").base;
+        tailAddr = m.global("tail").base;
+        nodesBase = m.global("nodes").base;
+        break;
+      case ConcurrentKind::HashMap:
+        slotsBase = m.global("slots").base;
+        break;
+    }
+
+    auto &f = m.addFunction("worker", 1);
+    IRBuilder b(f);
+    BlockId entry = b.newBlock();
+    BlockId exit = b.newBlock();
+    std::vector<BlockId> chains, tests;
+    for (std::uint32_t t = 0; t < p.numWorkers; ++t)
+        chains.push_back(b.newBlock());
+    // tests[t] compares tid against t+1 (test 0 happens in entry).
+    for (std::uint32_t t = 0; t + 1 < p.numWorkers; ++t)
+        tests.push_back(b.newBlock());
+
+    b.setBlock(entry);
+    b.movImm(rTopB, static_cast<std::int64_t>(topAddr));
+    if (app.kind == ConcurrentKind::Queue)
+        b.movImm(rTailB, static_cast<std::int64_t>(tailAddr));
+    b.movImm(rNodes, static_cast<std::int64_t>(
+                         app.kind == ConcurrentKind::HashMap
+                             ? slotsBase
+                             : nodesBase));
+    // Static dispatch: each tid runs its own unrolled op chain.
+    for (std::uint32_t t = 0; t < p.numWorkers; ++t) {
+        if (t > 0)
+            b.setBlock(tests[t - 1]);
+        b.cmpEqImm(rT0, rTid, static_cast<std::int64_t>(t));
+        BlockId miss = t + 1 < p.numWorkers ? tests[t] : exit;
+        b.condBr(rT0, chains[t], miss);
+    }
+
+    for (std::uint32_t t = 0; t < p.numWorkers; ++t) {
+        b.setBlock(chains[t]);
+        auto ops = concurrentOps(app, t);
+        for (std::uint32_t i = 0; i < ops.size(); ++i) {
+            HistSlot h = histSlot(histBase, p.opsPerWorker, t, i);
+            std::uint64_t uniq = std::uint64_t{t} * p.opsPerWorker + i;
+            switch (app.kind) {
+              case ConcurrentKind::Stack:
+                if (ops[i].kind == 1)
+                    emitStackPush(b, nodesBase, h, uniq, ops[i].arg);
+                else
+                    emitStackPop(b, nodesBase, h);
+                break;
+              case ConcurrentKind::Queue:
+                if (ops[i].kind == 1)
+                    emitEnqueue(b, nodesBase, h, uniq + 1, ops[i].arg);
+                else
+                    emitDequeue(b, nodesBase, h);
+                break;
+              case ConcurrentKind::HashMap:
+                if (ops[i].kind == 1)
+                    emitHashInsert(b, slotsBase, p.capacity, h,
+                                   ops[i].arg);
+                else
+                    emitHashLookup(b, slotsBase, p.capacity, h,
+                                   ops[i].arg);
+                break;
+            }
+        }
+        // Per-worker completion marker (also keeps `result` warm for
+        // the differential runner's footprint accounting).
+        b.movImm(rT1, static_cast<std::int64_t>(
+                          m.global("result").base));
+        b.shlImm(rT0, rTid, 3);
+        b.add(rT1, rT1, rT0);
+        b.movImm(rT0, static_cast<std::int64_t>(ops.size()));
+        b.store(rT0, rT1);
+        b.br(exit);
+    }
+
+    b.setBlock(exit);
+    b.movImm(rRet, static_cast<std::int64_t>(p.opsPerWorker));
+    b.ret(rRet);
+
+    ir::verifyOrDie(m);
+    return mod;
+}
+
+ConcurrentSpec
+concurrentSpec(const ir::Module &module, const ConcurrentProfile &app)
+{
+    // `global()` is non-const in Module's API; modules are laid out
+    // once up front, so a const_cast lookup is safe here.
+    auto &m = const_cast<ir::Module &>(module);
+    ConcurrentSpec spec;
+    spec.kind = app.kind;
+    spec.numWorkers = app.params.numWorkers;
+    spec.opsPerWorker = app.params.opsPerWorker;
+    std::uint64_t total =
+        std::uint64_t{spec.numWorkers} * spec.opsPerWorker;
+    spec.histBase = m.global("history").base;
+    spec.histBytes = total * 16;
+    switch (app.kind) {
+      case ConcurrentKind::Stack:
+        spec.topAddr = m.global("top").base;
+        spec.nodesBase = m.global("nodes").base;
+        spec.nodeCount = total;
+        break;
+      case ConcurrentKind::Queue:
+        spec.topAddr = m.global("head").base;
+        spec.tailAddr = m.global("tail").base;
+        spec.nodesBase = m.global("nodes").base;
+        spec.nodeCount = 1 + total;
+        break;
+      case ConcurrentKind::HashMap:
+        spec.slotsBase = m.global("slots").base;
+        spec.capacity = app.params.capacity;
+        break;
+    }
+    return spec;
+}
+
+std::unique_ptr<ir::Module>
+buildConcurrentApp(const ConcurrentProfile &app,
+                   const compiler::CompilerOptions &options)
+{
+    auto mod = buildConcurrentKernel(app);
+    compiler::compileForWsp(*mod, options);
+    return mod;
+}
+
+} // namespace cwsp::workloads

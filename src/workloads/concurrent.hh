@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Truly concurrent persistent workloads: lock-free (CAS-based) stack,
+ * queue, and open-addressed hash-map kernels with genuine cross-core
+ * conflicts on shared words, plus the history-log layout the
+ * durable-linearizability checker (src/obs/durable_lin.hh) consumes.
+ *
+ * Design notes:
+ *
+ *  - Every cross-core-visible mutation goes through AtomicCas; nodes
+ *    come from per-worker pools and are never reused, so there is no
+ *    ABA problem and no reclamation.
+ *  - All pointers stored in shared words are *node indexes*, encoded
+ *    so that the zero-default memory image is the valid empty
+ *    structure (no init race between workers): the stack's top and
+ *    next fields hold index+1 (0 = null); the queue's head/tail hold
+ *    a plain index whose 0 is the dummy node, and next fields hold a
+ *    plain index whose 0 is null (nothing ever links *to* the dummy).
+ *  - Each worker's op sequence is generated host-side from the
+ *    profile seed and unrolled into straight-line IR per op, so the
+ *    op mix is a pure function of the profile (deterministic cache
+ *    keys) and the emitted code needs no in-IR RNG.
+ *  - Every op brackets its effect with two plain stores into its own
+ *    slot of the `history` global: an invocation record before the
+ *    first shared access and a response record after the last. The
+ *    checker harvests both from the recorded store log (commit order
+ *    = log order) and classifies ops as completed/pending from their
+ *    persist times.
+ */
+
+#ifndef CWSP_WORKLOADS_CONCURRENT_HH
+#define CWSP_WORKLOADS_CONCURRENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "ir/ir.hh"
+#include "sim/types.hh"
+
+namespace cwsp::workloads {
+
+/** Which lock-free structure a concurrent app exercises. */
+enum class ConcurrentKind : std::uint8_t {
+    Stack,   ///< Treiber stack
+    Queue,   ///< Michael-Scott queue (dummy head, tail-swing helper)
+    HashMap, ///< insert-only open-addressed map, single-word entries
+};
+
+/** Stable name ("stack", "queue", "hashmap"). */
+const char *concurrentKindName(ConcurrentKind kind);
+
+/** Parameters of one concurrent kernel instance. */
+struct ConcurrentParams
+{
+    std::uint32_t numWorkers = 2;   ///< one core per worker
+    std::uint32_t opsPerWorker = 8; ///< history slots per worker
+    /** Hash map: slot count (power of two, > total inserts). */
+    std::uint32_t capacity = 64;
+    /** Stack/queue: percentage of remove ops in the mix. */
+    std::uint32_t removePct = 40;
+    std::uint64_t seed = 1; ///< drives the per-worker op mix
+};
+
+/** One concurrent application (kept out of appTable() on purpose:
+ * the single-threaded roster and its benches stay untouched). */
+struct ConcurrentProfile
+{
+    std::string name;
+    ConcurrentKind kind = ConcurrentKind::Stack;
+    ConcurrentParams params;
+};
+
+/** The concurrent roster: cstack, cqueue, chash. */
+const std::vector<ConcurrentProfile> &concurrentAppTable();
+
+/** Look up a concurrent profile by name; nullptr when unknown. */
+const ConcurrentProfile *findConcurrentApp(const std::string &name);
+
+/** Canonical single-line cache key (mirrors profileKey()). */
+std::string concurrentProfileKey(const ConcurrentProfile &app);
+
+/** Order-of-magnitude committed-instruction estimate. */
+std::uint64_t estimatedConcurrentInstrs(const ConcurrentProfile &app);
+
+/**
+ * One generated operation of a worker's sequence (host-side mirror
+ * of the unrolled IR; the checker re-derives the same list from the
+ * profile to know each op's kind and argument).
+ */
+struct ConcurrentOp
+{
+    /** 1 = push/enqueue/insert, 2 = pop/dequeue/lookup. */
+    std::uint32_t kind = 1;
+    std::uint64_t arg = 0; ///< pushed value / composed entry / key
+};
+
+/** The deterministic op sequence of worker @p tid. */
+std::vector<ConcurrentOp> concurrentOps(const ConcurrentProfile &app,
+                                        std::uint32_t tid);
+
+/** History-record packing shared by kernels and checker. */
+constexpr std::uint64_t kHistRespBit = 1ull << 63;
+
+constexpr std::uint64_t
+packInvRecord(std::uint32_t kind, std::uint64_t arg)
+{
+    return (std::uint64_t{kind} << 56) | (arg & 0x00ff'ffff'ffff'ffffull);
+}
+
+constexpr std::uint64_t
+packRespRecord(std::uint64_t ret)
+{
+    return kHistRespBit | (ret & 0xffff'ffffull);
+}
+
+/**
+ * Where the structure and the history live after layout. Derived
+ * from the (laid-out) module plus the profile; the checker decodes
+ * the durable image and harvests history stores through this.
+ */
+struct ConcurrentSpec
+{
+    ConcurrentKind kind = ConcurrentKind::Stack;
+    std::uint32_t numWorkers = 0;
+    std::uint32_t opsPerWorker = 0;
+
+    // History: worker t, op i → inv word at
+    // histBase + ((t*opsPerWorker + i)*2 + 0)*8, resp at +8.
+    Addr histBase = 0;
+    std::uint64_t histBytes = 0;
+
+    // Structure globals.
+    Addr topAddr = 0;   ///< stack top / queue head word
+    Addr tailAddr = 0;  ///< queue tail word (queue only)
+    Addr nodesBase = 0; ///< node pool base (stack/queue; 16 B nodes)
+    std::uint64_t nodeCount = 0;
+    Addr slotsBase = 0; ///< hash slot array base (hash only)
+    std::uint32_t capacity = 0;
+};
+
+/** Compute the spec for a module built from @p app (post-layout). */
+ConcurrentSpec concurrentSpec(const ir::Module &module,
+                              const ConcurrentProfile &app);
+
+/** Build the app's module (uncompiled, laid out). */
+std::unique_ptr<ir::Module>
+buildConcurrentKernel(const ConcurrentProfile &app);
+
+/** Build and compile for one design point (mirrors buildApp()). */
+std::unique_ptr<ir::Module>
+buildConcurrentApp(const ConcurrentProfile &app,
+                   const compiler::CompilerOptions &options);
+
+} // namespace cwsp::workloads
+
+#endif // CWSP_WORKLOADS_CONCURRENT_HH

@@ -64,14 +64,21 @@ emitMixFunction(ir::Module &m, const MixParams &p, ir::FuncId leaf,
     std::uint64_t warm_w_words = p.warmWords;
     std::uint64_t cold_lines = p.coldLines;
     if (worker) {
-        cwsp_assert(isPow2(num_workers) && num_workers >= 1,
-                    "worker count must be a power of two");
-        hot_w_words = std::max<std::uint64_t>(1, p.hotWords /
-                                                     num_workers);
-        warm_w_words = std::max<std::uint64_t>(1, p.warmWords /
-                                                      num_workers);
-        cold_lines = std::max<std::uint64_t>(1, p.coldLines /
-                                                    num_workers);
+        cwsp_assert(num_workers >= 1,
+                    "mix kernel worker count must be >= 1");
+        // Per-worker slice sizes floor to a power of two: slice
+        // offsets are mask-derived, and tid-strided slices of the
+        // floored size never overlap for any worker count.
+        auto slice = [&](std::uint64_t words) {
+            std::uint64_t s =
+                std::max<std::uint64_t>(1, words / num_workers);
+            while (s & (s - 1))
+                s &= s - 1;
+            return s;
+        };
+        hot_w_words = slice(p.hotWords);
+        warm_w_words = slice(p.warmWords);
+        cold_lines = slice(p.coldLines);
     }
 
     auto &f = m.addFunction(worker ? "worker" : "main",
@@ -904,6 +911,18 @@ buildAtomicMixKernel(const AtomicMixParams &p)
 std::unique_ptr<ir::Module>
 buildParallelKernel(const ParallelParams &p)
 {
+    // Slices are tid-strided, so any worker count >= 1 partitions
+    // cleanly; the in-slice offsets and the sync-point selector are
+    // mask-derived, so those two parameters must be powers of two —
+    // fail loudly instead of silently aliasing slices.
+    cwsp_assert(p.numWorkers >= 1,
+                "parallel kernel needs at least one worker");
+    cwsp_assert(isPow2(p.wordsPerWorker),
+                "parallel wordsPerWorker must be a power of two "
+                "(in-slice offsets are mask-derived)");
+    cwsp_assert(p.atomicEvery <= 1 || isPow2(p.atomicEvery),
+                "parallel atomicEvery must be a power of two "
+                "(sync points are mask-selected)");
     auto mod = std::make_unique<ir::Module>();
     ir::Module &m = *mod;
     auto &data = m.addGlobal("data",

@@ -110,9 +110,9 @@ struct AtomicMixParams
 /** Parameters of the disjoint-partition parallel kernel (tests). */
 struct ParallelParams
 {
-    std::uint64_t wordsPerWorker = 1 << 10;
+    std::uint64_t wordsPerWorker = 1 << 10; ///< power of two (mask)
     std::uint64_t itersPerWorker = 2'000;
-    std::uint32_t numWorkers = 4;
+    std::uint32_t numWorkers = 4; ///< any count >= 1 (tid-strided)
     std::uint32_t storesPerBurst = 1; ///< back-to-back stores per iter
     std::uint32_t computeOps = 0;     ///< quiet ALU gap between bursts
     std::uint32_t atomicEvery = 1;    ///< sync frequency (power of 2)
@@ -127,7 +127,8 @@ struct ParallelParams
  * @param num_workers when nonzero, additionally emit a `worker(tid)`
  * entry whose write arrays and cold stream are partitioned per
  * thread (data-race-free multicore execution); tid must be below
- * num_workers (a power of two).
+ * num_workers (any count >= 1 — per-worker slice sizes floor to a
+ * power of two for the mask-derived offsets).
  */
 std::unique_ptr<ir::Module>
 buildMixKernel(const MixParams &params, std::uint32_t num_workers = 0);

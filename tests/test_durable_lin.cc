@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Durable-linearizability checking of the lock-free concurrent
+ * workloads: complete runs must linearize, crash sweeps under the
+ * correct schemes must never produce a violation, deterministic
+ * interleaving schedules must replay bit-identically, and the seeded
+ * CAS-persistence bug must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "core/config.hh"
+#include "core/interleave.hh"
+#include "core/whole_system_sim.hh"
+#include "obs/durable_lin.hh"
+#include "workloads/concurrent.hh"
+
+using namespace cwsp;
+
+namespace {
+
+std::vector<std::vector<workloads::ConcurrentOp>>
+allWorkerOps(const workloads::ConcurrentProfile &app)
+{
+    std::vector<std::vector<workloads::ConcurrentOp>> ops;
+    for (std::uint32_t t = 0; t < app.params.numWorkers; ++t)
+        ops.push_back(workloads::concurrentOps(app, t));
+    return ops;
+}
+
+std::vector<core::ThreadSpec>
+workerThreads(const workloads::ConcurrentProfile &app)
+{
+    std::vector<core::ThreadSpec> threads;
+    for (std::uint32_t t = 0; t < app.params.numWorkers; ++t)
+        threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+    return threads;
+}
+
+/** Fabricate a full-history store log from a completed run's final
+ * memory: every op's inv/resp pair, in per-worker program order. */
+std::vector<arch::StoreRecord>
+fullHistoryLog(const workloads::ConcurrentSpec &spec,
+               const interp::SparseMemory &memory)
+{
+    std::vector<arch::StoreRecord> log;
+    for (std::uint32_t w = 0; w < spec.numWorkers; ++w) {
+        for (std::uint32_t i = 0; i < spec.opsPerWorker; ++i) {
+            Addr inv = spec.histBase +
+                       (std::uint64_t{w} * spec.opsPerWorker + i) * 16;
+            for (Addr a : {inv, inv + 8}) {
+                arch::StoreRecord rec;
+                rec.addr = a;
+                rec.value = memory.read(a);
+                log.push_back(rec);
+            }
+        }
+    }
+    return log;
+}
+
+} // namespace
+
+// A complete (crash-free) run of every concurrent app must leave a
+// structure state some linearization of the full history explains,
+// with every recorded return value reproduced.
+TEST(DurableLin, CompleteRunsLinearize)
+{
+    for (const auto &app : workloads::concurrentAppTable()) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.numCores = app.params.numWorkers;
+        auto mod = workloads::buildConcurrentApp(app, cfg.compiler);
+        auto spec = workloads::concurrentSpec(*mod, app);
+
+        core::WholeSystemSim sim(*mod, cfg);
+        auto run = sim.run(workerThreads(app));
+        ASSERT_GT(run.cycles, 0u) << app.name;
+        for (std::uint32_t t = 0; t < app.params.numWorkers; ++t) {
+            EXPECT_EQ(run.returnValues[t], app.params.opsPerWorker)
+                << app.name << " worker " << t;
+        }
+
+        // Every history slot must be filled (all ops responded).
+        auto log = fullHistoryLog(spec, sim.memory());
+        for (const auto &rec : log)
+            ASSERT_NE(rec.value, 0u) << app.name;
+
+        auto res = obs::checkDurableLinearizability(
+            spec, allWorkerOps(app), log, sim.memory(), false);
+        EXPECT_EQ(res.outcome, obs::DlOutcome::Pass)
+            << app.name << ": " << res.reason;
+        EXPECT_EQ(res.invokedOps, app.params.numWorkers *
+                                      app.params.opsPerWorker)
+            << app.name;
+    }
+}
+
+// Crash sweeps under an unmodified scheme: the recovered image must
+// always admit a consistent cut (Pass or Vacuous, never Violation).
+TEST(DurableLin, CrashSweepNeverViolatesCorrectSchemes)
+{
+    for (const auto &app : workloads::concurrentAppTable()) {
+        for (const char *scheme : {"cwsp", "ido"}) {
+            auto cfg = core::makeSystemConfig(scheme);
+            cfg.numCores = app.params.numWorkers;
+            auto mod =
+                workloads::buildConcurrentApp(app, cfg.compiler);
+            auto spec = workloads::concurrentSpec(*mod, app);
+            auto threads = workerThreads(app);
+            auto ops = allWorkerOps(app);
+
+            core::WholeSystemSim sim(*mod, cfg);
+            Tick full = sim.run(threads).cycles;
+            ASSERT_GT(full, 16u);
+
+            int passes = 0;
+            sim.setCaptureFirstCrash(true);
+            for (int k = 1; k <= 8; ++k) {
+                Tick crash = full * k / 9;
+                if (crash == 0)
+                    continue;
+                auto out = sim.runWithCrash(threads, crash);
+                if (!out.crashed)
+                    continue;
+                ASSERT_TRUE(out.hasFirstCrash);
+                auto res = obs::checkDurableLinearizability(
+                    spec, ops, out.firstStores,
+                    out.firstDurableImage, out.firstFullRestart);
+                EXPECT_NE(res.outcome, obs::DlOutcome::Violation)
+                    << app.name << '/' << scheme << " @" << crash
+                    << ": " << res.reason;
+                passes += res.outcome == obs::DlOutcome::Pass;
+                // Whatever the crash did, the program must still
+                // finish correctly after recovery.
+                for (std::uint32_t t = 0; t < app.params.numWorkers;
+                     ++t) {
+                    EXPECT_EQ(out.result.returnValues[t],
+                              app.params.opsPerWorker)
+                        << app.name << '/' << scheme << " @" << crash;
+                }
+            }
+            EXPECT_GT(passes, 0)
+                << app.name << '/' << scheme
+                << ": sweep never produced a checkable image";
+        }
+    }
+}
+
+// The seeded ordering bug — a CAS that becomes visible but skips
+// persistence — must be caught as a durable-linearizability
+// violation somewhere in a crash sweep.
+TEST(DurableLin, SeededCasBugIsCaught)
+{
+    const auto *app = workloads::findConcurrentApp("cqueue");
+    ASSERT_NE(app, nullptr);
+    auto cfg = core::makeSystemConfig("cwsp");
+    cfg.numCores = app->params.numWorkers;
+    cfg.scheme.bugCasSkipPersist = true;
+    auto mod = workloads::buildConcurrentApp(*app, cfg.compiler);
+    auto spec = workloads::concurrentSpec(*mod, *app);
+    auto threads = workerThreads(*app);
+    auto ops = allWorkerOps(*app);
+
+    core::WholeSystemSim sim(*mod, cfg);
+    Tick full = sim.run(threads).cycles;
+    ASSERT_GT(full, 16u);
+
+    int violations = 0;
+    sim.setCaptureFirstCrash(true);
+    for (int k = 1; k <= 12 && violations == 0; ++k) {
+        Tick crash = full * k / 13;
+        if (crash == 0)
+            continue;
+        auto out = sim.runWithCrash(threads, crash);
+        if (!out.crashed || !out.hasFirstCrash)
+            continue;
+        auto res = obs::checkDurableLinearizability(
+            spec, ops, out.firstStores, out.firstDurableImage,
+            out.firstFullRestart);
+        violations += res.outcome == obs::DlOutcome::Violation;
+    }
+    EXPECT_GT(violations, 0)
+        << "the CAS-skips-persistence bug evaded the checker";
+}
+
+// Interleaving schedules: schedule 0 is the identity; a nonzero
+// schedule perturbs timing deterministically (same seed -> identical
+// cycles, reproducible across simulator instances).
+TEST(DurableLin, InterleaveSchedulesAreDeterministic)
+{
+    const auto *app = workloads::findConcurrentApp("cstack");
+    ASSERT_NE(app, nullptr);
+
+    auto cyclesWith = [&](std::uint32_t schedule) {
+        auto cfg = core::makeSystemConfig("cwsp");
+        cfg.numCores = app->params.numWorkers;
+        cfg.scheme.interleave = core::interleaveSchedule(7, schedule);
+        auto mod = workloads::buildConcurrentApp(*app, cfg.compiler);
+        core::WholeSystemSim sim(*mod, cfg);
+        return sim.run(workerThreads(*app)).cycles;
+    };
+
+    EXPECT_EQ(core::interleaveSchedule(7, 0).seed, 0u);
+    EXPECT_NE(core::interleaveSchedule(7, 1).seed,
+              core::interleaveSchedule(7, 2).seed);
+    EXPECT_NE(core::interleaveSchedule(7, 1).seed,
+              core::interleaveSchedule(8, 1).seed);
+
+    Tick base = cyclesWith(0);
+    Tick s1a = cyclesWith(1);
+    Tick s1b = cyclesWith(1);
+    EXPECT_EQ(s1a, s1b) << "schedule 1 must replay bit-identically";
+    EXPECT_GE(s1a, base) << "jitter only ever adds delay";
+}
+
+// The checker itself: hand-built violation (a durably-acknowledged
+// push missing from the image) must be flagged.
+TEST(DurableLin, HandBuiltLostAckIsViolation)
+{
+    workloads::ConcurrentProfile app;
+    app.name = "unit";
+    app.kind = workloads::ConcurrentKind::Stack;
+    app.params.numWorkers = 1;
+    app.params.opsPerWorker = 1;
+    app.params.removePct = 0;
+
+    auto mod = workloads::buildConcurrentKernel(app);
+    auto spec = workloads::concurrentSpec(*mod, app);
+    auto ops = allWorkerOps(app);
+    ASSERT_EQ(ops[0][0].kind, 1u);
+
+    interp::SparseMemory image;
+    // inv + resp durable, but the pushed node never made it.
+    image.write(spec.histBase,
+                workloads::packInvRecord(1, ops[0][0].arg));
+    image.write(spec.histBase + 8, workloads::packRespRecord(1));
+    std::vector<arch::StoreRecord> log;
+    arch::StoreRecord inv;
+    inv.addr = spec.histBase;
+    inv.value = image.read(spec.histBase);
+    log.push_back(inv);
+    arch::StoreRecord resp;
+    resp.addr = spec.histBase + 8;
+    resp.value = image.read(spec.histBase + 8);
+    log.push_back(resp);
+
+    auto res = obs::checkDurableLinearizability(spec, ops, log,
+                                                image, false);
+    EXPECT_EQ(res.outcome, obs::DlOutcome::Violation) << res.reason;
+
+    // Completing the image (top chain + node) turns it into a Pass.
+    image.write(spec.topAddr, 1);
+    image.write(spec.nodesBase, ops[0][0].arg);
+    auto ok = obs::checkDurableLinearizability(spec, ops, log, image,
+                                               false);
+    EXPECT_EQ(ok.outcome, obs::DlOutcome::Pass) << ok.reason;
+}

@@ -306,5 +306,76 @@ TEST(FaultCampaign, CampaignSmokeAllPass)
     EXPECT_NE(os.str().find("\"totals\""), std::string::npos);
 }
 
+// Concurrent campaign: every case of a correct scheme carries a
+// durable-linearizability verdict and none is a violation; the
+// per-scheme report folds the verdict totals; the jittered schedule
+// contributes its own cases.
+TEST(FaultCampaign, ConcurrentCampaignChecksDurableLinearizability)
+{
+    fault::CampaignOptions opt;
+    opt.apps = {"cqueue"};
+    opt.schemes = {"cwsp"};
+    opt.pointsPerKind = 2;
+    opt.numSchedules = 2;
+    opt.jobs = 2;
+    auto report = fault::runCampaign(opt);
+    EXPECT_TRUE(report.allPassed());
+    ASSERT_GT(report.casesRun, 0u);
+
+    bool sawIlv = false;
+    std::size_t checked = 0, passes = 0;
+    for (const auto &r : report.cases) {
+        ASSERT_FALSE(r.dlVerdict.empty()) << r.c.label();
+        EXPECT_NE(r.dlVerdict, "violation") << r.c.label();
+        sawIlv |= r.c.ilvIndex != 0;
+        ++checked;
+        passes += r.dlVerdict == "pass";
+    }
+    EXPECT_TRUE(sawIlv) << "schedule 1 contributed no cases";
+    EXPECT_GT(passes, 0u);
+
+    ASSERT_EQ(report.recovery.size(), 1u);
+    const auto &st = report.recovery[0];
+    EXPECT_EQ(st.dlChecked, checked);
+    EXPECT_EQ(st.dlPass, passes);
+    EXPECT_EQ(st.dlViolation, 0u);
+    EXPECT_EQ(st.dlChecked, st.dlPass + st.dlVacuous);
+
+    std::ostringstream os;
+    report.writeJson(os);
+    EXPECT_NE(os.str().find("\"dl_verdict\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"durable_lin\""), std::string::npos);
+}
+
+// The seeded CAS-ordering bug (visible-but-never-durable CAS) must
+// be caught by the checker and shrunk to a minimal repro: a single
+// crash, no media faults, and jitter only when the schedule is part
+// of the failure.
+TEST(FaultCampaign, SeededCasBugCaughtAndShrunk)
+{
+    fault::CampaignOptions opt;
+    opt.apps = {"cqueue"};
+    opt.schemes = {"cwsp"};
+    opt.pointsPerKind = 6;
+    opt.numSchedules = 3;
+    opt.seedCasBug = true;
+    opt.jobs = 2;
+    auto report = fault::runCampaign(opt);
+    ASSERT_FALSE(report.allPassed())
+        << "the seeded CAS bug evaded the campaign";
+    bool sawViolation = false;
+    for (const auto &f : report.failures) {
+        if (f.dlVerdict == "violation") {
+            sawViolation = true;
+            // Shrunk: one crash, media faults gone.
+            EXPECT_EQ(f.c.schedule.ticks.size(), 1u)
+                << f.c.label();
+            EXPECT_TRUE(f.c.plan.faults.empty()) << f.c.label();
+        }
+    }
+    EXPECT_TRUE(sawViolation);
+    EXPECT_GT(report.shrinkRuns, 0u);
+}
+
 } // namespace
 } // namespace cwsp

@@ -22,6 +22,7 @@
 #include "obs/span_builder.hh"
 #include "obs/stall_attribution.hh"
 #include "sim/trace.hh"
+#include "workloads/concurrent.hh"
 #include "workloads/workload.hh"
 
 using namespace cwsp;
@@ -258,6 +259,57 @@ TEST(InvariantMonitor, CleanAcrossCrashAndRecovery)
                 ? ""
                 : monitor.violations()[0].invariant + " — " +
                       monitor.violations()[0].detail);
+}
+
+// Multicore: several cores funneling into a single shared MC must
+// still respect WPQ<=ADR (one shared ADR domain) and
+// log-before-accept, both fault-free and across a crash, for the
+// store-through (cwsp) and undo-logged (ido) persist paths. The
+// concurrent queue supplies genuine cross-core CAS conflicts.
+TEST(InvariantMonitor, CleanOnMulticoreSharedMc)
+{
+    const auto *app = workloads::findConcurrentApp("cqueue");
+    ASSERT_NE(app, nullptr);
+    for (const char *scheme : {"cwsp", "ido"}) {
+        auto cfg = core::makeSystemConfig(scheme);
+        cfg.numCores = app->params.numWorkers;
+        cfg.hierarchy.numMcs = 1; // all cores share one WPQ/undo log
+        auto mod = workloads::buildConcurrentApp(*app, cfg.compiler);
+        std::vector<core::ThreadSpec> threads;
+        for (std::uint32_t t = 0; t < app->params.numWorkers; ++t)
+            threads.push_back(core::ThreadSpec{"worker", {Word{t}}});
+
+        core::WholeSystemSim sim(*mod, cfg);
+        obs::InvariantMonitor monitor(obs::InvariantMonitorConfig{
+            cfg.hierarchy.wpqCapacity, 8, 16});
+        sim.attachTraceSink(&monitor);
+        Tick full = sim.run(threads).cycles;
+        monitor.finish();
+        ASSERT_GT(full, 0u) << scheme;
+        EXPECT_GT(monitor.eventsChecked(), 0u) << scheme;
+        EXPECT_TRUE(monitor.clean())
+            << scheme << ": "
+            << (monitor.violations().empty()
+                    ? ""
+                    : monitor.violations()[0].invariant + " — " +
+                          monitor.violations()[0].detail);
+
+        // Same hierarchy across a mid-run crash + recovery.
+        core::WholeSystemSim crashSim(*mod, cfg);
+        obs::InvariantMonitor crashMon(obs::InvariantMonitorConfig{
+            cfg.hierarchy.wpqCapacity, 8, 16});
+        crashSim.attachTraceSink(&crashMon);
+        auto out = crashSim.runWithCrash(threads, full / 2);
+        crashMon.finish();
+        ASSERT_TRUE(out.crashed) << scheme;
+        EXPECT_GT(crashMon.eventsChecked(), 0u) << scheme;
+        EXPECT_TRUE(crashMon.clean())
+            << scheme << ": "
+            << (crashMon.violations().empty()
+                    ? ""
+                    : crashMon.violations()[0].invariant + " — " +
+                          crashMon.violations()[0].detail);
+    }
 }
 
 // ---------------------------------------------------------------

@@ -204,5 +204,55 @@ TEST(ParallelKernel, WorkerSemantics)
               2 * pp.itersPerWorker);
 }
 
+// Non-power-of-two worker counts partition cleanly: slices are
+// tid-strided, so any count >= 1 is legal and every worker's
+// iterations land in the shared counter.
+TEST(ParallelKernel, NonPowerOfTwoWorkers)
+{
+    workloads::ParallelParams pp;
+    pp.numWorkers = 3;
+    pp.itersPerWorker = 50;
+    pp.wordsPerWorker = 64;
+    auto mod = workloads::buildParallelKernel(pp);
+    interp::SparseMemory mem;
+    interp::NullCommitSink sink;
+    std::vector<std::unique_ptr<interp::Interpreter>> ws;
+    for (std::uint32_t t = 0; t < pp.numWorkers; ++t) {
+        ws.push_back(std::make_unique<interp::Interpreter>(
+            *mod, mem, t));
+        ws.back()->start("worker", {t}, sink);
+    }
+    bool busy = true;
+    while (busy) {
+        busy = false;
+        for (auto &w : ws) {
+            if (!w->finished()) {
+                w->step(sink);
+                busy = true;
+            }
+        }
+    }
+    EXPECT_EQ(mem.read(mod->global("shared").base),
+              pp.numWorkers * pp.itersPerWorker);
+}
+
+// The mix kernel's worker mode likewise accepts any worker count:
+// per-worker slice sizes floor to a power of two, so three workers
+// run data-race-free to completion.
+TEST(ParallelKernel, MixKernelNonPowerOfTwoWorkers)
+{
+    workloads::MixParams mp;
+    mp.iterations = 50;
+    auto mod = workloads::buildMixKernel(mp, 3);
+    interp::SparseMemory mem;
+    interp::NullCommitSink sink;
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        interp::Interpreter w(*mod, mem, t);
+        w.start("worker", {t}, sink);
+        while (!w.finished())
+            w.step(sink);
+    }
+}
+
 } // namespace
 } // namespace cwsp

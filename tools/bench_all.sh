@@ -77,8 +77,9 @@ if [ -x "$BUILD_DIR/tools/cwsp_faultcampaign" ]; then
     mkdir -p "$tmp/campaign"
     campaign=$tmp/campaign/report.json
     echo ">> cwsp_faultcampaign (jobs=$JOBS)" >&2
-    "$BUILD_DIR"/tools/cwsp_faultcampaign --apps fft,bzip2 \
-        --points 1 --jobs "$JOBS" --json "$campaign" --quiet ||
+    "$BUILD_DIR"/tools/cwsp_faultcampaign --apps fft,bzip2,cqueue \
+        --points 1 --schedules 2 --jobs "$JOBS" \
+        --json "$campaign" --quiet ||
         echo "bench_all: fault campaign reported failures" \
              "(folded into $OUT)" >&2
 fi
@@ -162,6 +163,11 @@ if campaign_path != "none" and os.path.exists(campaign_path):
             "lost_work_mean": r.get("lost_work", {}).get("mean", 0),
             "runtime_overhead": r.get("runtime_overhead", 0),
             "phases": r.get("phases", {}),
+            # Durable-linearizability verdict totals of the
+            # concurrent cases: a scheme that starts producing
+            # violations (or stops producing checkable images) shows
+            # up in the trajectory diff like any other regression.
+            "durable_lin": r.get("durable_lin", {}),
         }
         for r in report.get("recovery", [])
     ]

@@ -69,6 +69,15 @@ for san in "${SANITIZERS[@]}"; do
     # itself exercised under ASan and UBSan.
     "$dir"/tools/cwsp_faultcampaign --apps fft,bzip2 \
           --points 1 --fork --jobs "$JOBS" --quiet
+    echo "== $san: concurrent campaign smoke (durable-lin on) =="
+    # Lock-free queue + hash-map across all schemes, two
+    # interleaving schedules each, with the durable-linearizability
+    # checker deciding every verdict (concurrent cases have no
+    # golden state to diff). Exits nonzero on any violation — and
+    # the sanitizers watch the multicore crash/recovery path and the
+    # checker's search itself.
+    "$dir"/tools/cwsp_faultcampaign --apps cqueue,chash \
+          --points 1 --schedules 2 --jobs "$JOBS" --quiet
     echo "== $san: what-if smoke (every scheme, cross-checked) =="
     # Counterfactual waterfalls for one app across all schemes with
     # the stall-attribution cross-check enabled, bypassing the result

@@ -47,6 +47,15 @@ usage()
         "  --fork              fork cases from golden-run checkpoints\n"
         "                      (default; O(tail) per case)\n"
         "  --no-fork           re-execute every pre-crash prefix\n"
+        "  --seed N            base seed of the deterministic\n"
+        "                      interleaving schedules swept for\n"
+        "                      concurrent apps (default 1)\n"
+        "  --schedules N       interleaving schedules per concurrent\n"
+        "                      (app, scheme); schedule 0 is always\n"
+        "                      the unjittered timing (default 2)\n"
+        "  --seed-cas-bug      inject the seeded CAS-ordering bug\n"
+        "                      into concurrent apps (checker\n"
+        "                      self-test; the campaign must fail)\n"
         "  --jobs N            worker threads (default: all cores)\n"
         "  --json FILE         write the JSON report (`-` = stdout)\n"
         "  --stats-json FILE   write hierarchical stats JSON (like\n"
@@ -110,6 +119,30 @@ runMain(int argc, char **argv)
             opt.forkCheckpoints = true;
         } else if (a == "--no-fork") {
             opt.forkCheckpoints = false;
+        } else if (a == "--seed") {
+            const char *v = arg(argc, argv, i);
+            long long n = std::atoll(v);
+            if (n <= 0) {
+                std::fprintf(
+                    stderr,
+                    "--seed expects a positive seed, got '%s'\n", v);
+                return 2;
+            }
+            opt.interleaveSeed = static_cast<std::uint64_t>(n);
+        } else if (a == "--schedules") {
+            const char *v = arg(argc, argv, i);
+            int n = std::atoi(v);
+            if (n <= 0) {
+                std::fprintf(
+                    stderr,
+                    "--schedules expects a positive count, got "
+                    "'%s'\n",
+                    v);
+                return 2;
+            }
+            opt.numSchedules = static_cast<std::uint32_t>(n);
+        } else if (a == "--seed-cas-bug") {
+            opt.seedCasBug = true;
         } else if (a == "--jobs") {
             opt.jobs =
                 static_cast<unsigned>(std::atoi(arg(argc, argv, i)));
